@@ -1,0 +1,214 @@
+// Package alvisp2p is a Go reproduction of "AlvisP2P: Scalable
+// Peer-to-Peer Text Retrieval in a Structured P2P Network" (Luu et al.,
+// VLDB 2008): a full-text retrieval engine over a structured P2P overlay
+// in which every peer indexes its own documents and maintains a slice of
+// a global distributed index of carefully chosen term combinations with
+// truncated posting lists.
+//
+// The package is a facade over the layered implementation (see DESIGN.md
+// for the architecture):
+//
+//	net := alvisp2p.NewInMemoryNetwork()          // or DialTCP for real sockets
+//	peer, _ := net.NewPeer("library", alvisp2p.Config{})
+//	peer.AddFile("intro.txt", []byte("peer to peer retrieval ..."))
+//	peer.PublishIndex()
+//	results, _, _ := peer.Search("peer retrieval")
+//
+// Indexing strategies: HDK (frequency-driven term combinations, the
+// default) and QDI (query-driven on-demand indexing); switchable at
+// runtime like the paper's demonstration.
+package alvisp2p
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/docs"
+	"repro/internal/hdk"
+	"repro/internal/ids"
+	"repro/internal/lattice"
+	"repro/internal/qdi"
+	"repro/internal/textproc"
+	"repro/internal/transport"
+)
+
+// Re-exported configuration and result types. The facade keeps the
+// internal packages' types where they are self-contained.
+type (
+	// Config configures a peer; the zero value uses the paper's
+	// defaults (HDK strategy, DFmax 500, smax 3, TruncK 500, BM25).
+	Config = core.Config
+	// Strategy selects HDK or QDI indexing.
+	Strategy = core.Strategy
+	// Result is one search hit (hosting peer URL, title, snippet,
+	// relevance score — the §4 presentation).
+	Result = core.Result
+	// QueryTrace reports a search's probe/skip/activation counts.
+	QueryTrace = core.QueryTrace
+	// Document is a shared document with its access policy.
+	Document = docs.Document
+	// Access is a document access policy (public, or user+password).
+	Access = docs.Access
+	// Digest is the Alvis document digest (external engine integration).
+	Digest = docs.Digest
+	// HDKConfig are the Highly-Discriminative-Keys parameters.
+	HDKConfig = hdk.Config
+	// QDIConfig are the Query-Driven-Indexing parameters.
+	QDIConfig = qdi.Config
+	// LatticeConfig controls retrieval-side lattice exploration.
+	LatticeConfig = lattice.Config
+	// Addr is a peer's transport address.
+	Addr = transport.Addr
+)
+
+// Indexing strategies.
+const (
+	StrategyHDK = core.StrategyHDK
+	StrategyQDI = core.StrategyQDI
+)
+
+// Peer is one AlvisP2P participant: it shares documents, contributes a
+// slice of the global index, and searches the whole network.
+type Peer struct {
+	inner *core.Peer
+	ep    transport.Endpoint
+}
+
+// Network abstracts how peers attach to each other: in-memory (tests,
+// simulations, single-process demos) or TCP (real deployments).
+type Network struct {
+	mem *transport.Mem
+}
+
+// NewInMemoryNetwork creates a process-local network. All peers created
+// from it exchange real protocol messages through a metered in-memory
+// transport.
+func NewInMemoryNetwork() *Network {
+	return &Network{mem: transport.NewMem()}
+}
+
+// NewPeer attaches a new peer with the given name (empty = generated).
+// The peer starts as its own one-node ring; call Join to enter an
+// existing network.
+func (n *Network) NewPeer(name string, cfg Config) (*Peer, error) {
+	if n.mem == nil {
+		return nil, fmt.Errorf("alvisp2p: network not initialized")
+	}
+	d := transport.NewDispatcher()
+	ep := n.mem.Endpoint(name, d.Serve)
+	id := ids.HashString(string(ep.Addr()))
+	return &Peer{inner: core.NewPeer(id, ep, d, cfg), ep: ep}, nil
+}
+
+// ListenTCP creates a standalone peer listening on addr (e.g.
+// "0.0.0.0:4000") — the real-deployment entry point used by cmd/alvisp2p.
+func ListenTCP(addr string, cfg Config) (*Peer, error) {
+	d := transport.NewDispatcher()
+	ep, err := transport.ListenTCP(addr, d.Serve)
+	if err != nil {
+		return nil, err
+	}
+	id := ids.HashString(string(ep.Addr()))
+	return &Peer{inner: core.NewPeer(id, ep, d, cfg), ep: ep}, nil
+}
+
+// Addr returns the peer's address, which other peers use to Join.
+func (p *Peer) Addr() Addr { return p.inner.Addr() }
+
+// Join enters the network reachable at bootstrap.
+func (p *Peer) Join(bootstrap Addr) error { return p.inner.Join(bootstrap) }
+
+// Maintain runs one maintenance round (ring repair, finger refresh,
+// QDI aging). Long-running peers call it periodically.
+func (p *Peer) Maintain() { p.inner.Maintain() }
+
+// Close detaches the peer from the network.
+func (p *Peer) Close() error { return p.ep.Close() }
+
+// AddDocument shares a document (it stays local; publish to make it
+// searchable network-wide).
+func (p *Peer) AddDocument(d *Document) (*Document, error) { return p.inner.AddDocument(d) }
+
+// AddFile parses and shares a file (text, HTML or Alvis XML, by
+// extension).
+func (p *Peer) AddFile(name string, content []byte) (*Document, error) {
+	return p.inner.AddFile(name, content)
+}
+
+// RemoveDocument withdraws a shared document.
+func (p *Peer) RemoveDocument(id uint32) error { return p.inner.RemoveDocument(id) }
+
+// Documents lists the peer's shared documents.
+func (p *Peer) Documents() []*Document { return p.inner.Documents().List() }
+
+// SetAccess changes a shared document's access policy.
+func (p *Peer) SetAccess(id uint32, a Access) bool { return p.inner.Documents().SetAccess(id, a) }
+
+// ImportDigest shares every document of an Alvis digest submitted by an
+// external search engine (§4 heterogeneity support).
+func (p *Peer) ImportDigest(dg *Digest) (int, error) { return p.inner.ImportDigest(dg) }
+
+// BuildDigest exports the peer's shared documents as an Alvis digest.
+func (p *Peer) BuildDigest() *Digest {
+	return docs.BuildDigest(p.inner.Documents().List(), p.inner.LocalIndex().Analyzer())
+}
+
+// PublishIndex pushes the not-yet-published local documents into the
+// global index (statistics, then keys per the active strategy).
+func (p *Peer) PublishIndex() error {
+	_, err := p.inner.PublishIndex()
+	return err
+}
+
+// Search runs a global multi-keyword query and returns ranked results
+// with presentation data.
+func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) { return p.inner.Search(query) }
+
+// Refine runs the paper's second retrieval step: forward the query to
+// the local engines of the peers holding the first-step results.
+func (p *Peer) Refine(query string, firstStep []Result, topK int) ([]Result, error) {
+	return p.inner.Refine(query, firstStep, topK)
+}
+
+// FetchDocument retrieves a result document's content from its hosting
+// peer, subject to its access policy.
+func (p *Peer) FetchDocument(r Result, user, password string) (title, body string, err error) {
+	return p.inner.FetchDocument(r.Ref, user, password)
+}
+
+// Strategy returns the active indexing strategy.
+func (p *Peer) Strategy() Strategy { return p.inner.Strategy() }
+
+// SetStrategy switches between HDK and QDI at runtime.
+func (p *Peer) SetStrategy(s Strategy) { p.inner.SetStrategy(s) }
+
+// Stats reports the peer's contribution to the global index, for the
+// demo's statistics screen.
+type Stats struct {
+	SharedDocuments int
+	LocalTerms      int
+	GlobalKeys      int // keys stored at this peer
+	GlobalPostings  int
+	GlobalBytes     int
+}
+
+// Stats returns current local statistics.
+func (p *Peer) Stats() Stats {
+	st := p.inner.GlobalIndex().Store().Stats()
+	return Stats{
+		SharedDocuments: p.inner.Documents().Len(),
+		LocalTerms:      p.inner.LocalIndex().VocabularySize(),
+		GlobalKeys:      st.Keys,
+		GlobalPostings:  st.Postings,
+		GlobalBytes:     st.Bytes,
+	}
+}
+
+// Core exposes the underlying engine for advanced integrations (the
+// examples use it for direct access to layers).
+func (p *Peer) Core() *core.Peer { return p.inner }
+
+// DefaultAnalyzer returns the text pipeline used by default (tokenizer,
+// English stopwords, Porter stemmer); useful for building digests that
+// agree with the engine's normalization.
+func DefaultAnalyzer() *textproc.Analyzer { return textproc.Default }

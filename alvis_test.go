@@ -1,0 +1,207 @@
+package alvisp2p_test
+
+import (
+	"strings"
+	"testing"
+
+	alvisp2p "repro"
+)
+
+// buildNetwork spins up count peers joined into one ring and returns
+// them.
+func buildNetwork(t *testing.T, count int, cfg alvisp2p.Config) []*alvisp2p.Peer {
+	t.Helper()
+	net := alvisp2p.NewInMemoryNetwork()
+	peers := make([]*alvisp2p.Peer, count)
+	for i := range peers {
+		p, err := net.NewPeer("", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		if i > 0 {
+			if err := p.Join(peers[0].Addr()); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range peers[:i+1] {
+				q.Maintain()
+			}
+		}
+	}
+	for round := 0; round < 8; round++ {
+		for _, p := range peers {
+			p.Maintain()
+		}
+	}
+	return peers
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := alvisp2p.Config{
+		HDK: alvisp2p.HDKConfig{DFMax: 3, SMax: 2, Window: 20, TruncK: 20},
+	}
+	peers := buildNetwork(t, 5, cfg)
+
+	// Peer 0 shares documents about retrieval; peer 1 about databases.
+	texts := []string{
+		"peer to peer retrieval with distributed indexes",
+		"scalable retrieval in peer networks",
+		"structured overlays route queries between peers",
+	}
+	for i, text := range texts {
+		if _, err := peers[0].AddFile("doc"+string(rune('a'+i))+".txt", []byte(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := peers[1].AddFile("db.txt", []byte("relational database transactions and recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[1].PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Any peer can find peer 0's documents.
+	results, trace, err := peers[3].Search("peer retrieval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results over the public API")
+	}
+	if trace.Probes == 0 {
+		t.Fatal("no probes recorded")
+	}
+	for _, r := range results {
+		if r.Title == "" || r.URL == "" {
+			t.Fatalf("incomplete result: %+v", r)
+		}
+	}
+
+	// Fetch the top document's content.
+	title, body, err := peers[3].FetchDocument(results[0], "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title == "" || !strings.Contains(body, "peer") {
+		t.Fatalf("fetched %q / %q", title, body)
+	}
+}
+
+func TestPublicAPIStatsAndStrategy(t *testing.T) {
+	net := alvisp2p.NewInMemoryNetwork()
+	p, err := net.NewPeer("solo", alvisp2p.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddFile("a.txt", []byte("some text about things")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.SharedDocuments != 1 || st.LocalTerms == 0 || st.GlobalKeys == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if p.Strategy() != alvisp2p.StrategyHDK {
+		t.Fatal("default strategy must be HDK")
+	}
+	p.SetStrategy(alvisp2p.StrategyQDI)
+	if p.Strategy() != alvisp2p.StrategyQDI {
+		t.Fatal("strategy switch failed")
+	}
+}
+
+func TestPublicAPIDigestExchange(t *testing.T) {
+	peers := buildNetwork(t, 3, alvisp2p.Config{})
+	if _, err := peers[0].AddFile("x.txt", []byte("wonderful unique content here")); err != nil {
+		t.Fatal(err)
+	}
+	dg := peers[0].BuildDigest()
+	if len(dg.Documents) != 1 {
+		t.Fatalf("digest docs = %d", len(dg.Documents))
+	}
+	n, err := peers[1].ImportDigest(dg)
+	if err != nil || n != 1 {
+		t.Fatalf("import: %d, %v", n, err)
+	}
+	if got := len(peers[1].Documents()); got != 1 {
+		t.Fatalf("imported docs = %d", got)
+	}
+}
+
+func TestPublicAPIAccessControl(t *testing.T) {
+	peers := buildNetwork(t, 3, alvisp2p.Config{HDK: alvisp2p.HDKConfig{DFMax: 3, SMax: 2, TruncK: 20}})
+	d, err := peers[0].AddDocument(&alvisp2p.Document{
+		Name: "private.txt", Title: "Private", Body: "guarded totallyuniqueterm",
+		Access: alvisp2p.Access{User: "bob", Password: "s3cret"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := peers[2].Search("totallyuniqueterm")
+	if err != nil || len(results) == 0 {
+		t.Fatalf("protected doc must still be discoverable: %v, %d results", err, len(results))
+	}
+	if results[0].Public {
+		t.Fatal("result must be flagged non-public")
+	}
+	if _, _, err := peers[2].FetchDocument(results[0], "", ""); err == nil {
+		t.Fatal("anonymous fetch must fail")
+	}
+	if _, _, err := peers[2].FetchDocument(results[0], "bob", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	// The owner can open access later.
+	if !peers[0].SetAccess(d.ID, alvisp2p.Access{Public: true}) {
+		t.Fatal("SetAccess failed")
+	}
+	if _, _, err := peers[2].FetchDocument(results[0], "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPITCPPeers(t *testing.T) {
+	cfg := alvisp2p.Config{HDK: alvisp2p.HDKConfig{DFMax: 3, SMax: 2, TruncK: 20}}
+	a, err := alvisp2p.ListenTCP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := alvisp2p.ListenTCP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a.Maintain()
+		b.Maintain()
+	}
+	if _, err := a.AddFile("t.txt", []byte("tcp networking demonstration")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := b.Search("tcp networking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results over real TCP")
+	}
+	title, _, err := b.FetchDocument(results[0], "", "")
+	if err != nil || title == "" {
+		t.Fatalf("fetch over TCP: %q, %v", title, err)
+	}
+}

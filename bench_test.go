@@ -1,0 +1,206 @@
+// Benchmarks regenerating the experiment tables (one per experiment of
+// EXPERIMENTS.md, at the reduced test scale) plus microbenchmarks of the
+// engine's hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale tables come from cmd/alvisbench.
+package alvisp2p_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/lattice"
+	"repro/internal/localindex"
+	"repro/internal/metrics"
+	"repro/internal/postings"
+	"repro/internal/ranking"
+	"repro/internal/sim"
+	"repro/internal/textproc"
+	"repro/internal/transport"
+)
+
+// benchTable runs one experiment per iteration and keeps the runtime as
+// the reported figure; the table itself is printed once under -v.
+func benchTable(b *testing.B, run func(sim.Scale) (*metrics.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(sim.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkF1Lattice regenerates Figure 1's worked example.
+func BenchmarkF1Lattice(b *testing.B) {
+	benchTable(b, func(sim.Scale) (*metrics.Table, error) { return sim.RunF1() })
+}
+
+// BenchmarkE1QueryTraffic regenerates the per-query bandwidth comparison
+// (single-term baseline vs HDK vs QDI across collection sizes).
+func BenchmarkE1QueryTraffic(b *testing.B) { benchTable(b, sim.RunE1) }
+
+// BenchmarkE2HDKStorage regenerates the HDK storage sweep over DFmax and
+// smax.
+func BenchmarkE2HDKStorage(b *testing.B) { benchTable(b, sim.RunE2) }
+
+// BenchmarkE3Quality regenerates the retrieval-quality comparison against
+// centralized BM25.
+func BenchmarkE3Quality(b *testing.B) { benchTable(b, sim.RunE3) }
+
+// BenchmarkE4QDIAdaptivity regenerates the QDI index-evolution trace.
+func BenchmarkE4QDIAdaptivity(b *testing.B) { benchTable(b, sim.RunE4) }
+
+// BenchmarkE5Routing regenerates the routing-hops table (network size,
+// skew, finger policy).
+func BenchmarkE5Routing(b *testing.B) { benchTable(b, sim.RunE5) }
+
+// BenchmarkE6Congestion regenerates the congestion-control load sweep.
+func BenchmarkE6Congestion(b *testing.B) { benchTable(b, sim.RunE6) }
+
+// BenchmarkE7Lattice regenerates the lattice cost/precision table.
+func BenchmarkE7Lattice(b *testing.B) { benchTable(b, sim.RunE7) }
+
+// BenchmarkE8Indexing regenerates the indexing-cost table.
+func BenchmarkE8Indexing(b *testing.B) { benchTable(b, sim.RunE8) }
+
+// --- Microbenchmarks -----------------------------------------------------
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := []string{"generalizations", "oscillators", "retrieval", "indexing",
+		"distributed", "peer", "combinations", "responsibilities"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textproc.Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkAnalyzerTokens(b *testing.B) {
+	text := "The AlvisP2P engine enables efficient retrieval with multi-keyword " +
+		"queries from a global document collection available in a P2P network."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		textproc.Default.Tokens(text)
+	}
+}
+
+func BenchmarkPostingsEncodeDecode(b *testing.B) {
+	l := &postings.List{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		l.Add(postings.Posting{
+			Ref:   postings.DocRef{Peer: transport.Addr(fmt.Sprintf("peer%d", i%16)), Doc: uint32(rng.Intn(100000))},
+			Score: rng.Float64() * 20,
+		})
+	}
+	l.Normalize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := l.EncodeBytes()
+		if _, err := postings.DecodeBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPostingsUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func() *postings.List {
+		l := &postings.List{}
+		for i := 0; i < 200; i++ {
+			l.Add(postings.Posting{
+				Ref:   postings.DocRef{Peer: "p", Doc: uint32(rng.Intn(2000))},
+				Score: rng.Float64(),
+			})
+		}
+		l.Normalize()
+		return l
+	}
+	a, c, d := mk(), mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postings.Union(a, c, d)
+	}
+}
+
+func BenchmarkBM25Score(b *testing.B) {
+	stats := &ranking.FixedStats{N: 100000, AvgLen: 80, DF: map[string]int64{
+		"peer": 5000, "retrieval": 900, "network": 12000,
+	}}
+	tf := map[string]int{"peer": 3, "retrieval": 1, "network": 2}
+	for i := 0; i < b.N; i++ {
+		ranking.DefaultBM25.Score(stats, tf, 95)
+	}
+}
+
+func BenchmarkLocalIndexSearch(b *testing.B) {
+	ix := localindex.New(nil)
+	coll := corpus.Generate(corpus.Params{NumDocs: 2000, VocabSize: 2000, Seed: 3})
+	for i, d := range coll.Docs {
+		ix.Add(uint32(i), d.Body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("term0001 term0010 term0100", 20)
+	}
+}
+
+func BenchmarkDHTLookup(b *testing.B) {
+	net := transport.NewMem()
+	rng := rand.New(rand.NewSource(4))
+	nodes := make([]*dht.Node, 256)
+	for i := range nodes {
+		d := transport.NewDispatcher()
+		ep := net.Endpoint(fmt.Sprintf("n%d", i), d.Serve)
+		nodes[i] = dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+	}
+	dht.BuildOracleTables(nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := nodes[i%len(nodes)]
+		if _, _, err := src.Lookup(ids.ID(rng.Uint64())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatticeExplore(b *testing.B) {
+	// A stubbed fetcher with hits on single terms only: the worst-case
+	// exploration for a 4-term query.
+	lists := map[string]*postings.List{}
+	for _, t := range []string{"a", "b", "c", "d"} {
+		l := &postings.List{Truncated: true}
+		for i := 0; i < 100; i++ {
+			l.Add(postings.Posting{Ref: postings.DocRef{Peer: "p", Doc: uint32(i)}, Score: float64(i)})
+		}
+		l.Normalize()
+		l.Truncated = true
+		lists[t] = l
+	}
+	fetch := lattice.FetchFunc(func(terms []string, _ int) (*postings.List, bool, error) {
+		l, ok := lists[ids.KeyString(terms)]
+		if !ok {
+			return nil, false, nil
+		}
+		return l.Clone(), true, nil
+	})
+	query := []string{"a", "b", "c", "d"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lattice.Explore(fetch, query, lattice.Config{PruneTruncated: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command alvisbench regenerates the experiment tables of EXPERIMENTS.md:
+// every scalability and quality claim of the AlvisP2P paper, measured on
+// the in-memory reproduction.
+//
+// Usage:
+//
+//	alvisbench                 # run every experiment at full scale
+//	alvisbench -exp E1,E5      # run selected experiments
+//	alvisbench -small          # reduced sizes (the test-suite scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(sim.Scale) (*metrics.Table, error)
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E8) or 'all'")
+	small := flag.Bool("small", false, "run reduced configurations")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"F1", "Figure 1: lattice processing of query {a,b,c}", func(sim.Scale) (*metrics.Table, error) { return sim.RunF1() }},
+		{"E1", "per-query traffic vs collection size (baseline vs HDK vs QDI)", sim.RunE1},
+		{"E2", "HDK index storage vs DFmax and smax", sim.RunE2},
+		{"E3", "retrieval quality vs centralized BM25", sim.RunE3},
+		{"E4", "QDI adaptivity under a shifting workload", sim.RunE4},
+		{"E5", "routing hops: network size, skew, finger policy", sim.RunE5},
+		{"E6", "congestion control: goodput under load", sim.RunE6},
+		{"E7", "lattice cost and precision by query length", sim.RunE7},
+		{"E8", "distributed indexing cost", sim.RunE8},
+	}
+
+	scale := sim.ScaleFull
+	if *small {
+		scale = sim.ScaleSmall
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.id, e.desc)
+		start := time.Now()
+		tbl, err := e.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command alviscorpus generates the synthetic document collections and
+// query workloads the experiments use, writing them to disk so they can
+// be fed to alvisp2p peers (e.g. as shared directories) or inspected.
+//
+// Usage:
+//
+//	alviscorpus -docs 1000 -out ./corpus
+//	alviscorpus -docs 5000 -queries 200 -out ./corpus -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	numDocs := flag.Int("docs", 1000, "number of documents")
+	vocab := flag.Int("vocab", 0, "vocabulary size (0 = same as -docs)")
+	topics := flag.Int("topics", 20, "number of topical clusters")
+	docLen := flag.Int("doclen", 80, "mean document length in tokens")
+	numQueries := flag.Int("queries", 200, "number of distinct workload queries")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "corpus", "output directory")
+	flag.Parse()
+
+	if *vocab == 0 {
+		*vocab = *numDocs
+	}
+	c := corpus.Generate(corpus.Params{
+		NumDocs:    *numDocs,
+		VocabSize:  *vocab,
+		NumTopics:  *topics,
+		MeanDocLen: *docLen,
+		Seed:       *seed,
+	})
+	w := corpus.GenerateWorkload(c, corpus.WorkloadParams{
+		NumQueries: *numQueries,
+		Seed:       *seed + 1,
+	})
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range c.Docs {
+		content := d.Title + "\n\n" + d.Body + "\n"
+		if err := os.WriteFile(filepath.Join(*out, d.Name), []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	qf, err := os.Create(filepath.Join(*out, "queries.txt"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qf.Close()
+	for _, q := range w.Queries {
+		fmt.Fprintln(qf, q.Text())
+	}
+	log.Printf("wrote %d documents and %d queries to %s", len(c.Docs), len(w.Queries), *out)
+}

@@ -1,0 +1,204 @@
+// Command alvisp2p is the AlvisP2P peer client of the paper's §4:
+// joining a network is starting the binary with a contact peer's address;
+// documents dropped into the shared directory are indexed and become
+// searchable network-wide; an optional web interface serves search,
+// the shared-documents manager and the network statistics screens.
+//
+// Usage:
+//
+//	alvisp2p -listen :4001                          # first peer of a network
+//	alvisp2p -listen :4002 -bootstrap host:4001     # join via a contact peer
+//	alvisp2p -listen :4003 -web :8080 -shared ./docs -strategy qdi
+//
+// Without -web the client runs an interactive prompt (the "standalone
+// client" mode): type a query to search, or one of the commands
+// `add <file>`, `publish`, `stats`, `strategy hdk|qdi`, `quit`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	alvisp2p "repro"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "peer-to-peer listen address")
+	bootstrap := flag.String("bootstrap", "", "contact peer address (empty = start a new network)")
+	web := flag.String("web", "", "web interface listen address (empty = standalone prompt)")
+	shared := flag.String("shared", "", "shared directory to index at startup")
+	strategy := flag.String("strategy", "hdk", "indexing strategy: hdk or qdi")
+	maintainEvery := flag.Duration("maintain", 5*time.Second, "maintenance interval")
+	flag.Parse()
+
+	cfg := alvisp2p.Config{}
+	switch strings.ToLower(*strategy) {
+	case "hdk":
+		cfg.Strategy = alvisp2p.StrategyHDK
+	case "qdi":
+		cfg.Strategy = alvisp2p.StrategyQDI
+	default:
+		log.Fatalf("unknown strategy %q (want hdk or qdi)", *strategy)
+	}
+
+	peer, err := alvisp2p.ListenTCP(*listen, cfg)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer peer.Close()
+	log.Printf("peer listening on %s (strategy %s)", peer.Addr(), peer.Strategy())
+
+	if *bootstrap != "" {
+		if err := peer.Join(alvisp2p.Addr(*bootstrap)); err != nil {
+			log.Fatalf("join %s: %v", *bootstrap, err)
+		}
+		log.Printf("joined network via %s", *bootstrap)
+	}
+
+	if *shared != "" {
+		n, err := indexSharedDir(peer, *shared)
+		if err != nil {
+			log.Fatalf("shared dir: %v", err)
+		}
+		log.Printf("indexed %d documents from %s", n, *shared)
+		if err := peer.PublishIndex(); err != nil {
+			log.Printf("publish: %v", err)
+		} else {
+			log.Printf("published local index to the network")
+		}
+	}
+
+	// Background maintenance (ring repair, finger refresh, QDI aging).
+	go func() {
+		for range time.Tick(*maintainEvery) {
+			peer.Maintain()
+		}
+	}()
+
+	if *web != "" {
+		log.Printf("web interface on http://%s", *web)
+		log.Fatal(serveWeb(peer, *web))
+	}
+	prompt(peer)
+}
+
+// indexSharedDir loads every regular file of dir into the peer.
+func indexSharedDir(peer *alvisp2p.Peer, dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		content, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return n, err
+		}
+		if _, err := peer.AddFile(e.Name(), content); err != nil {
+			log.Printf("skipping %s: %v", e.Name(), err)
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
+// prompt is the standalone client loop.
+func prompt(peer *alvisp2p.Peer) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("alvisp2p> type a query, or: add <file> | publish | stats | strategy hdk|qdi | quit")
+	var lastResults []alvisp2p.Result
+	for {
+		fmt.Print("alvisp2p> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "add":
+			if len(fields) < 2 {
+				fmt.Println("usage: add <file>")
+				continue
+			}
+			content, err := os.ReadFile(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			d, err := peer.AddFile(filepath.Base(fields[1]), content)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("added %q (id %d); run `publish` to make it searchable\n", d.Title, d.ID)
+		case "publish":
+			if err := peer.PublishIndex(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("published")
+		case "stats":
+			st := peer.Stats()
+			fmt.Printf("shared docs: %d, local terms: %d, global keys held: %d (%d postings, %d bytes)\n",
+				st.SharedDocuments, st.LocalTerms, st.GlobalKeys, st.GlobalPostings, st.GlobalBytes)
+		case "strategy":
+			if len(fields) == 2 && fields[1] == "qdi" {
+				peer.SetStrategy(alvisp2p.StrategyQDI)
+			} else if len(fields) == 2 && fields[1] == "hdk" {
+				peer.SetStrategy(alvisp2p.StrategyHDK)
+			}
+			fmt.Println("strategy:", peer.Strategy())
+		case "fetch":
+			if len(fields) < 2 || len(lastResults) == 0 {
+				fmt.Println("usage: fetch <result#> (after a search)")
+				continue
+			}
+			var idx int
+			fmt.Sscanf(fields[1], "%d", &idx)
+			if idx < 1 || idx > len(lastResults) {
+				fmt.Println("no such result")
+				continue
+			}
+			title, body, err := peer.FetchDocument(lastResults[idx-1], "", "")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("--- %s ---\n%s\n", title, body)
+		default: // a query
+			results, trace, err := peer.Search(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			lastResults = results
+			fmt.Printf("%d results (%d probes, %d skipped", len(results), trace.Probes, trace.Skipped)
+			if trace.Activated > 0 {
+				fmt.Printf(", %d keys indexed on demand", trace.Activated)
+			}
+			fmt.Println(")")
+			for i, r := range results {
+				access := ""
+				if !r.Public {
+					access = " [restricted]"
+				}
+				fmt.Printf("%2d. %.3f  %s%s\n    %s\n    %s\n", i+1, r.Score, r.Title, access, r.URL, r.Snippet)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+
+	alvisp2p "repro"
+)
+
+// serveWeb runs the paper's web interface mode (§4, Figures 4–6): a
+// search page, the shared-documents manager with access rights, a
+// statistics screen, and access-controlled document retrieval.
+func serveWeb(peer *alvisp2p.Peer, addr string) error {
+	h := &webHandler{peer: peer}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", h.search)
+	mux.HandleFunc("/shared", h.shared)
+	mux.HandleFunc("/shared/upload", h.upload)
+	mux.HandleFunc("/shared/access", h.access)
+	mux.HandleFunc("/shared/publish", h.publish)
+	mux.HandleFunc("/stats", h.stats)
+	mux.HandleFunc("/doc", h.doc)
+	return http.ListenAndServe(addr, mux)
+}
+
+type webHandler struct {
+	peer *alvisp2p.Peer
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>AlvisP2P — {{.Title}}</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+ .result { margin: 1em 0; } .score { color: #666; }
+ .snippet { color: #333; } .url { color: #0645ad; font-size: 0.9em; }
+ nav a { margin-right: 1.5em; }
+ table { border-collapse: collapse; } td, th { border: 1px solid #ccc; padding: 0.3em 0.7em; }
+ .restricted { color: #a00; }
+</style></head><body>
+<nav><a href="/">Search</a><a href="/shared">Shared documents</a><a href="/stats">Statistics</a></nav>
+<h1>{{.Title}}</h1>
+{{.Body}}
+</body></html>`))
+
+func render(w http.ResponseWriter, title string, body string) {
+	_ = pageTmpl.Execute(w, struct {
+		Title string
+		Body  template.HTML
+	}{Title: title, Body: template.HTML(body)})
+}
+
+// search renders the query form and, with ?q=, the result list of
+// Figure 5: hosting-peer URL, title, snippet and relevance score.
+func (h *webHandler) search(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	body := fmt.Sprintf(`<form action="/" method="get">
+<input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>`,
+		template.HTMLEscapeString(q))
+	if q != "" {
+		results, trace, err := h.peer.Search(q)
+		if err != nil {
+			body += fmt.Sprintf("<p>error: %s</p>", template.HTMLEscapeString(err.Error()))
+		} else {
+			body += fmt.Sprintf("<p>%d results — %d keys probed, %d skipped, %d indexed on demand</p>",
+				len(results), trace.Probes, trace.Skipped, trace.Activated)
+			for i, res := range results {
+				restricted := ""
+				if !res.Public {
+					restricted = ` <span class="restricted">[restricted]</span>`
+				}
+				body += fmt.Sprintf(`<div class="result"><b>%d.</b> <a href="/doc?peer=%s&id=%d">%s</a>%s
+ <span class="score">(%.3f)</span><br><span class="snippet">%s</span><br>
+ <span class="url">%s</span></div>`,
+					i+1,
+					template.HTMLEscapeString(string(res.Ref.Peer)), res.Ref.Doc,
+					template.HTMLEscapeString(res.Title), restricted, res.Score,
+					template.HTMLEscapeString(res.Snippet),
+					template.HTMLEscapeString(res.URL))
+			}
+		}
+	}
+	render(w, "Search", body)
+}
+
+// shared renders the manager of shared documents (Figure 6).
+func (h *webHandler) shared(w http.ResponseWriter, r *http.Request) {
+	body := `<form action="/shared/upload" method="post" enctype="multipart/form-data">
+<input type="file" name="file"> <input type="submit" value="Add to shared directory"></form>
+<form action="/shared/publish" method="post"><input type="submit" value="Publish index to network"></form>
+<table><tr><th>id</th><th>name</th><th>title</th><th>access</th><th>change access</th></tr>`
+	for _, d := range h.peer.Documents() {
+		access := "public"
+		if !d.Access.Public {
+			access = "user/password"
+		}
+		body += fmt.Sprintf(`<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td>
+<td><form action="/shared/access" method="post">
+<input type="hidden" name="id" value="%d">
+<select name="mode"><option value="public">public</option><option value="protected">protected</option></select>
+user <input name="user" size="8"> password <input name="password" size="8">
+<input type="submit" value="set"></form></td></tr>`,
+			d.ID, template.HTMLEscapeString(d.Name), template.HTMLEscapeString(d.Title), access, d.ID)
+	}
+	body += "</table>"
+	render(w, "Manager of shared documents", body)
+}
+
+func (h *webHandler) upload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	file, header, err := r.FormFile("file")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer file.Close()
+	content, err := io.ReadAll(io.LimitReader(file, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := h.peer.AddFile(header.Filename, content); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	http.Redirect(w, r, "/shared", http.StatusSeeOther)
+}
+
+func (h *webHandler) access(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id, err := strconv.ParseUint(r.FormValue("id"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	a := alvisp2p.Access{Public: true}
+	if r.FormValue("mode") == "protected" {
+		a = alvisp2p.Access{User: r.FormValue("user"), Password: r.FormValue("password")}
+	}
+	if !h.peer.SetAccess(uint32(id), a) {
+		http.Error(w, "no such document", http.StatusNotFound)
+		return
+	}
+	http.Redirect(w, r, "/shared", http.StatusSeeOther)
+}
+
+func (h *webHandler) publish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := h.peer.PublishIndex(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	http.Redirect(w, r, "/shared", http.StatusSeeOther)
+}
+
+// stats is the demo's statistics screen: the peer's slice of the global
+// index and its local collection.
+func (h *webHandler) stats(w http.ResponseWriter, r *http.Request) {
+	st := h.peer.Stats()
+	body := fmt.Sprintf(`<table>
+<tr><th>strategy</th><td>%s</td></tr>
+<tr><th>shared documents</th><td>%d</td></tr>
+<tr><th>local index terms</th><td>%d</td></tr>
+<tr><th>global-index keys held</th><td>%d</td></tr>
+<tr><th>global-index postings held</th><td>%d</td></tr>
+<tr><th>global-index bytes held</th><td>%d</td></tr>
+</table>`, h.peer.Strategy(), st.SharedDocuments, st.LocalTerms,
+		st.GlobalKeys, st.GlobalPostings, st.GlobalBytes)
+	render(w, "Network statistics", body)
+}
+
+// doc fetches a result document from its hosting peer, passing HTTP
+// basic-auth credentials through to the document's access policy.
+func (h *webHandler) doc(w http.ResponseWriter, r *http.Request) {
+	peerAddr := r.URL.Query().Get("peer")
+	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 32)
+	if err != nil || peerAddr == "" {
+		http.Error(w, "need peer and id", http.StatusBadRequest)
+		return
+	}
+	user, pass, _ := r.BasicAuth()
+	res := alvisp2p.Result{}
+	res.Ref.Peer = alvisp2p.Addr(peerAddr)
+	res.Ref.Doc = uint32(id)
+	title, docBody, err := h.peer.FetchDocument(res, user, pass)
+	if err != nil {
+		w.Header().Set("WWW-Authenticate", `Basic realm="alvisp2p document"`)
+		http.Error(w, "access denied (provide the document's credentials)", http.StatusUnauthorized)
+		return
+	}
+	render(w, title, "<pre>"+template.HTMLEscapeString(docBody)+"</pre>")
+}

@@ -1,0 +1,165 @@
+// Digital library: the paper's heterogeneity scenario (§4). An external
+// search engine — here a small "digital library" with its own indexing
+// pipeline — exports its collection as an Alvis document digest; a
+// gateway peer imports the digest, re-generates a local index, and makes
+// the library searchable by the whole network. Restricted holdings carry
+// user/password access rights, and queries can be refined by forwarding
+// them to the library's own engine (the paper's two-step retrieval).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	alvisp2p "repro"
+	"repro/internal/docs"
+)
+
+// libraryHolding models one catalogue record of the external library.
+type libraryHolding struct {
+	url        string
+	title      string
+	abstract   string
+	restricted bool
+}
+
+var catalogue = []libraryHolding{
+	{
+		url:      "https://library.example/holdings/vldb-2008-alvis",
+		title:    "Scalable Peer-to-Peer Text Retrieval in a Structured Network",
+		abstract: "Retrieval with multi keyword queries from a global document collection distributed over peers, using indexing term combinations with truncated posting lists.",
+	},
+	{
+		url:      "https://library.example/holdings/icde-2007-hdk",
+		title:    "Web Retrieval with Highly Discriminative Keys",
+		abstract: "Indexing strategy based on global document frequencies: frequent term combinations are expanded until their posting lists become discriminative.",
+	},
+	{
+		url:      "https://library.example/holdings/sigir-2007-qdi",
+		title:    "Text Retrieval with a Query-Driven Index",
+		abstract: "Query popularity statistics drive on-demand indexing of term combinations; obsolete keys are removed as the distribution shifts.",
+	},
+	{
+		url:        "https://library.example/holdings/special-collection-manuscript",
+		title:      "Restricted Manuscript on Overlay Routing",
+		abstract:   "Rare manuscript describing hop space routing tables in skewed identifier distributions.",
+		restricted: true,
+	},
+}
+
+func main() {
+	net := alvisp2p.NewInMemoryNetwork()
+	cfg := alvisp2p.Config{
+		HDK: alvisp2p.HDKConfig{DFMax: 2, SMax: 3, Window: 25, TruncK: 50},
+	}
+
+	// Three ordinary peers plus the library's gateway peer.
+	var peers []*alvisp2p.Peer
+	for i := 0; i < 4; i++ {
+		p, err := net.NewPeer(fmt.Sprintf("peer-%d", i), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers = append(peers, p)
+		if i > 0 {
+			if err := p.Join(peers[0].Addr()); err != nil {
+				log.Fatal(err)
+			}
+			for _, q := range peers[:i+1] {
+				q.Maintain()
+			}
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for _, p := range peers {
+			p.Maintain()
+		}
+	}
+	gateway := peers[3]
+
+	// --- The external library side -------------------------------------
+	// The library runs its own engine; it converts its index into the
+	// Alvis digest format (XML) for submission. We build the digest from
+	// its catalogue using the same analyzer the network uses.
+	var libraryDocs []*docs.Document
+	for _, h := range catalogue {
+		libraryDocs = append(libraryDocs, &docs.Document{
+			Name:  h.url,
+			Title: h.title,
+			Body:  h.title + " " + h.abstract,
+			URL:   h.url,
+		})
+	}
+	digest := docs.BuildDigest(libraryDocs, alvisp2p.DefaultAnalyzer())
+
+	// The digest travels as XML (here through a buffer; in deployment an
+	// upload to the gateway peer).
+	var wire bytes.Buffer
+	if err := docs.WriteDigest(&wire, digest); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library exported a digest of %d documents (%d bytes of XML)\n\n",
+		len(digest.Documents), wire.Len())
+
+	// --- The gateway peer side ------------------------------------------
+	received, err := docs.ReadDigest(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := gateway.ImportDigest(received)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gateway imported %d documents and publishes the index\n\n", n)
+
+	// Apply the library's access policy to the restricted holding.
+	for _, d := range gateway.Documents() {
+		if strings.Contains(d.Name, "special-collection") {
+			gateway.SetAccess(d.ID, alvisp2p.Access{User: "reader", Password: "card-1234"})
+		}
+	}
+	if err := gateway.PublishIndex(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Any peer can now find the library's holdings -------------------
+	results, trace, err := peers[1].Search("retrieval term combinations")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search from peer-1: %d results (%d probes)\n", len(results), trace.Probes)
+	for i, r := range results {
+		access := "public"
+		if !r.Public {
+			access = "restricted"
+		}
+		fmt.Printf("  %d. [%.3f] %s (%s)\n     %s\n", i+1, r.Score, r.Title, access, r.URL)
+	}
+	fmt.Println()
+
+	// The restricted manuscript is discoverable but guarded.
+	restricted, _, err := peers[1].Search("manuscript overlay routing")
+	if err != nil || len(restricted) == 0 {
+		log.Fatalf("restricted holding not found: %v", err)
+	}
+	if _, _, err := peers[1].FetchDocument(restricted[0], "", ""); err != nil {
+		fmt.Printf("anonymous fetch of %q correctly denied: %v\n", restricted[0].Title, err)
+	}
+	title, _, err := peers[1].FetchDocument(restricted[0], "reader", "card-1234")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with library credentials the manuscript opens: %q\n\n", title)
+
+	// --- Second-step refinement via the library's local engine ----------
+	refined, err := peers[1].Refine("retrieval term combinations", results, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined via the holding peers' local engines: %d results\n", len(refined))
+	for i, r := range refined {
+		fmt.Printf("  %d. [%.3f] %s\n", i+1, r.Score, r.Title)
+	}
+}

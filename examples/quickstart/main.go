@@ -1,0 +1,111 @@
+// Quickstart: build a small AlvisP2P network in one process, share
+// documents from several peers, publish the distributed index, and run
+// multi-keyword searches from any peer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	alvisp2p "repro"
+)
+
+func main() {
+	// A process-local network; peers exchange the real protocol messages
+	// over a metered in-memory transport.
+	net := alvisp2p.NewInMemoryNetwork()
+
+	// The collection is tiny, so scale the HDK thresholds down: a term
+	// combination counts as "frequent" above DFmax=2 documents.
+	cfg := alvisp2p.Config{
+		HDK: alvisp2p.HDKConfig{DFMax: 2, SMax: 3, Window: 20, TruncK: 50},
+	}
+
+	// Start four peers; the first bootstraps the ring, the rest join it.
+	peers := make([]*alvisp2p.Peer, 4)
+	for i := range peers {
+		p, err := net.NewPeer(fmt.Sprintf("peer-%d", i), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peers[i] = p
+		if i > 0 {
+			if err := p.Join(peers[0].Addr()); err != nil {
+				log.Fatal(err)
+			}
+			// A maintenance sweep after each join keeps the ring exact.
+			for _, q := range peers[:i+1] {
+				q.Maintain()
+			}
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for _, p := range peers {
+			p.Maintain()
+		}
+	}
+
+	// Each peer shares a few documents — its "shared directory".
+	collections := [][]string{
+		{
+			"Peer-to-peer networks distribute the indexing load across many machines.",
+			"A distributed hash table routes every key lookup in logarithmic hops.",
+		},
+		{
+			"Full-text retrieval ranks documents with the BM25 scoring function.",
+			"Posting lists for frequent terms are truncated to their top entries.",
+		},
+		{
+			"Query-driven indexing adds popular term combinations on demand.",
+			"Highly discriminative keys bound the bandwidth of multi-keyword queries.",
+		},
+		{
+			"Digital libraries publish their collections through gateway peers.",
+			"Structured overlays assign every index key to a responsible peer.",
+		},
+	}
+	for i, texts := range collections {
+		for j, text := range texts {
+			name := fmt.Sprintf("doc-%d-%d.txt", i, j)
+			if _, err := peers[i].AddFile(name, []byte(text)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Publishing pushes statistics and index keys into the network.
+	for i, p := range peers {
+		if err := p.PublishIndex(); err != nil {
+			log.Fatalf("peer %d publish: %v", i, err)
+		}
+	}
+
+	// Any peer can now search the global collection.
+	for _, query := range []string{
+		"distributed indexing",
+		"posting lists truncated",
+		"retrieval ranking",
+	} {
+		results, trace, err := peers[3].Search(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %q — %d results (%d keys probed, %d skipped)\n",
+			query, len(results), trace.Probes, trace.Skipped)
+		for i, r := range results {
+			fmt.Printf("  %d. [%.3f] %s\n     %s\n", i+1, r.Score, r.Title, r.URL)
+		}
+		fmt.Println()
+	}
+
+	// Fetch a document's full content from its hosting peer.
+	results, _, err := peers[0].Search("query driven")
+	if err != nil || len(results) == 0 {
+		log.Fatalf("no results to fetch: %v", err)
+	}
+	title, body, err := peers[0].FetchDocument(results[0], "", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched %q from %s:\n  %s\n", title, results[0].Ref.Peer, body)
+}

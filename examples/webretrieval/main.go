@@ -1,0 +1,108 @@
+// Web retrieval: the paper's motivating workload at a larger scale. A
+// 16-peer network indexes a synthetic web-like collection (Zipf term
+// distribution, topical co-occurrence) under HDK, then answers a query
+// workload while the example reports the demo's "critical statistics":
+// bandwidth per query, probe counts, index storage per peer, and
+// retrieval quality against a centralized reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hdk"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		numPeers = 16
+		numDocs  = 2000
+	)
+	fmt.Printf("building a %d-peer network over a %d-document web-like collection...\n", numPeers, numDocs)
+
+	n := sim.NewNetwork(sim.Options{
+		NumPeers: numPeers,
+		Seed:     7,
+		Core: core.Config{
+			Strategy: core.StrategyHDK,
+			HDK:      hdk.Config{DFMax: 100, SMax: 3, Window: 30, TruncK: 100},
+		},
+	})
+	coll := corpus.Generate(corpus.Params{NumDocs: numDocs, VocabSize: numDocs, MeanDocLen: 60, Seed: 8})
+	if err := n.Distribute(coll); err != nil {
+		log.Fatal(err)
+	}
+	if err := n.PublishStats(); err != nil {
+		log.Fatal(err)
+	}
+	keys, shipped, err := n.PublishHDK()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HDK publishing: %d key publications, %d postings shipped\n", keys, shipped)
+
+	totalKeys, totalPostings, totalBytes := n.IndexStorage()
+	fmt.Printf("global index: %d distinct keys, %d postings, %s across %d peers\n\n",
+		totalKeys, totalPostings, metrics.HumanBytes(int64(totalBytes)), numPeers)
+
+	// Also stand up the single-term baseline on a twin network for a
+	// bandwidth comparison.
+	bn := sim.NewNetwork(sim.Options{NumPeers: numPeers, Seed: 9, Core: core.Config{}})
+	if err := bn.Distribute(coll); err != nil {
+		log.Fatal(err)
+	}
+	if err := bn.PublishStats(); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := bn.PublishBaseline(); err != nil {
+		log.Fatal(err)
+	}
+
+	w := corpus.GenerateWorkload(coll, corpus.WorkloadParams{NumQueries: 40, MaxTerms: 3, Seed: 10})
+	rng := rand.New(rand.NewSource(11))
+
+	tbl := metrics.NewTable("query workload over the network",
+		"query", "results", "probes", "overlap@10", "P2P bytes", "baseline bytes")
+	var sumOverlap float64
+	count := 0
+	for _, q := range w.Queries[:12] {
+		peer := n.RandomPeer(rng)
+		before := n.Net.Meter().Snapshot()
+		got, trace, err := n.SearchCorpusDocs(peer, q.Text())
+		if err != nil {
+			log.Fatal(err)
+		}
+		p2pBytes := n.Net.Meter().Snapshot().Sub(before).Bytes
+
+		bBefore := bn.Net.Meter().Snapshot()
+		var baseCost baseline.QueryCost
+		if len(q.Terms) >= 2 {
+			if _, baseCost, err = bn.Base[rng.Intn(numPeers)].Query(q.Terms); err != nil {
+				log.Fatal(err)
+			}
+		}
+		_ = baseCost
+		baseBytes := bn.Net.Meter().Snapshot().Sub(bBefore).Bytes
+
+		overlap := sim.OverlapAtK(got, n.CentralTopK(q.Text(), 10), 10)
+		sumOverlap += overlap
+		count++
+		tbl.AddRow(q.Text(), len(got), trace.Probes, overlap, p2pBytes, baseBytes)
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("mean overlap@10 vs centralized BM25 over %d queries: %.3f\n", count, sumOverlap/float64(count))
+
+	// Per-peer load balance of the global index.
+	loadTbl := metrics.NewTable("per-peer slice of the global index", "peer", "keys", "postings", "bytes")
+	for i, p := range n.Peers {
+		st := p.GlobalIndex().Store().Stats()
+		loadTbl.AddRow(fmt.Sprintf("peer%03d", i), st.Keys, st.Postings, metrics.HumanBytes(int64(st.Bytes)))
+	}
+	fmt.Println(loadTbl.String())
+}

@@ -1,0 +1,106 @@
+package congestion
+
+import (
+	"testing"
+)
+
+func TestLowLoadBothModesDeliver(t *testing.T) {
+	p := Params{Duration: 10}
+	max := p.MaxGoodput()
+	load := 0.4 * max
+	for _, cc := range []bool{true, false} {
+		p.CC = cc
+		r := Run(p, load)
+		if r.Goodput < 0.85*load {
+			t.Errorf("cc=%v: goodput %.0f below offered %.0f at low load", cc, r.Goodput, load)
+		}
+		if r.DropRate > 0.01 {
+			t.Errorf("cc=%v: drop rate %.3f at low load", cc, r.DropRate)
+		}
+	}
+}
+
+func TestCongestionCollapseWithoutCC(t *testing.T) {
+	p := Params{Duration: 10}
+	max := p.MaxGoodput()
+	at1 := Run(withCC(p, false), 1.0*max)
+	at3 := Run(withCC(p, false), 3.0*max)
+	// Collapse: goodput at 3x load falls well below goodput at 1x.
+	if at3.Goodput >= at1.Goodput*0.9 {
+		t.Errorf("no collapse observed: goodput(3x)=%.0f vs goodput(1x)=%.0f", at3.Goodput, at1.Goodput)
+	}
+	if at3.Retries == 0 {
+		t.Error("overload without CC must cause retransmissions")
+	}
+}
+
+func TestCCPreventsCollapse(t *testing.T) {
+	p := Params{Duration: 10}
+	max := p.MaxGoodput()
+	cc1 := Run(withCC(p, true), 1.0*max)
+	cc3 := Run(withCC(p, true), 3.0*max)
+	no3 := Run(withCC(p, false), 3.0*max)
+	// With CC, goodput at 3x stays near the saturation level.
+	if cc3.Goodput < cc1.Goodput*0.8 {
+		t.Errorf("CC goodput degraded: %.0f at 3x vs %.0f at 1x", cc3.Goodput, cc1.Goodput)
+	}
+	// And comfortably above the collapsed no-CC goodput.
+	if cc3.Goodput < no3.Goodput*1.3 {
+		t.Errorf("CC (%.0f) should beat no-CC (%.0f) at 3x load", cc3.Goodput, no3.Goodput)
+	}
+	// The excess load is shed at the edge, not dropped mid-route.
+	if cc3.ShedRate == 0 {
+		t.Error("overload with CC must shed at the edge")
+	}
+	if cc3.DropRate > 0.01 {
+		t.Errorf("CC mid-route drop rate %.3f should be ~0", cc3.DropRate)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{Duration: 5, Seed: 7, CC: false}
+	a := Run(p, 2*p.MaxGoodput())
+	b := Run(p, 2*p.MaxGoodput())
+	if a != b {
+		t.Fatalf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+	p.Seed = 8
+	c := Run(p, 2*p.MaxGoodput())
+	if a.Completed == c.Completed && a.Dropped == c.Dropped {
+		t.Log("different seeds produced identical counts (possible but unlikely)")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	p := Params{Duration: 5}
+	cc, no := Sweep(p, 0.5, 3, 4)
+	if len(cc) != 4 || len(no) != 4 {
+		t.Fatalf("sweep sizes: %d, %d", len(cc), len(no))
+	}
+	// Offered load is increasing.
+	for i := 1; i < len(cc); i++ {
+		if cc[i].Offered <= cc[i-1].Offered {
+			t.Fatal("sweep loads not increasing")
+		}
+	}
+	// At the top of the sweep CC wins.
+	if cc[3].Goodput <= no[3].Goodput {
+		t.Errorf("at 3x: cc=%.0f, no-cc=%.0f", cc[3].Goodput, no[3].Goodput)
+	}
+}
+
+func TestLatencyBoundedUnderCC(t *testing.T) {
+	p := Params{Duration: 10, CC: true}
+	r := Run(p, 3*p.MaxGoodput())
+	// With a window of 4 and bounded queues, latency stays near the
+	// no-load service time (hops/capacity = 6/100 = 60ms), far from the
+	// retry-dominated no-CC latencies.
+	if r.MeanLatency > 1.0 {
+		t.Errorf("CC latency %.3fs too high", r.MeanLatency)
+	}
+}
+
+func withCC(p Params, cc bool) Params {
+	p.CC = cc
+	return p
+}

@@ -1,0 +1,461 @@
+// Package core assembles the AlvisP2P engine: one Peer value wires the
+// five layers of the paper's architecture (Figure 2) —
+//
+//	L1 transport  (internal/transport)
+//	L2 P2P        (internal/dht)
+//	L3 IR         (internal/globalindex, internal/hdk, internal/qdi,
+//	               internal/lattice)
+//	L4 ranking    (internal/ranking)
+//	L5 local SE   (internal/localindex, internal/docs)
+//
+// and exposes the operations of the paper's §4 client: join a network,
+// share and index documents (with access rights), search the global
+// collection, import digests from external engines, and forward queries
+// to the local engines of result-holding peers.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/docs"
+	"repro/internal/globalindex"
+	"repro/internal/hdk"
+	"repro/internal/ids"
+	"repro/internal/lattice"
+	"repro/internal/localindex"
+	"repro/internal/postings"
+	"repro/internal/qdi"
+	"repro/internal/ranking"
+	"repro/internal/textproc"
+	"repro/internal/transport"
+)
+
+// Strategy selects the indexing approach (paper §2). The demo allows
+// switching at any time.
+type Strategy int
+
+const (
+	// StrategyHDK populates the index with highly discriminative keys at
+	// indexing time.
+	StrategyHDK Strategy = iota
+	// StrategyQDI starts from the single-term index and adds popular
+	// term combinations on demand at retrieval time.
+	StrategyQDI
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyHDK:
+		return "HDK"
+	case StrategyQDI:
+		return "QDI"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config configures a Peer.
+type Config struct {
+	// Strategy selects HDK or QDI indexing (default HDK).
+	Strategy Strategy
+	// HDK parameters (defaults per hdk.Config).
+	HDK hdk.Config
+	// QDI parameters (defaults per qdi.Config).
+	QDI qdi.Config
+	// Lattice controls retrieval-side exploration. The paper's
+	// load-balancing approximation (pruning under truncated hits) is on
+	// by default; set Lattice.PruneTruncated explicitly to override.
+	Lattice lattice.Config
+	// PruneTruncatedOff disables the truncated-hit pruning approximation.
+	PruneTruncatedOff bool
+	// TopK is the number of results returned to the user (default 20).
+	TopK int
+	// DHT options (defaults per dht.Options).
+	DHT dht.Options
+	// Analyzer overrides the text pipeline (default textproc.Default).
+	Analyzer *textproc.Analyzer
+}
+
+func (c *Config) fillDefaults() {
+	c.HDK.FillDefaults()
+	c.QDI.FillDefaults()
+	if c.TopK == 0 {
+		c.TopK = 20
+	}
+	if c.Analyzer == nil {
+		c.Analyzer = textproc.Default
+	}
+	c.Lattice.PruneTruncated = !c.PruneTruncatedOff
+}
+
+// Result is one search hit as presented to the user (paper §4: "the URL
+// of the hosting peer, the document title, a snippet and a relevance
+// score").
+type Result struct {
+	Ref     postings.DocRef
+	Score   float64
+	Title   string
+	Snippet string
+	URL     string // http URL of the document at its hosting peer
+	Public  bool
+}
+
+// QueryTrace reports what a search did, for the demo's statistics screen
+// and the experiments.
+type QueryTrace struct {
+	Terms      []string
+	Probes     int
+	Skipped    int
+	Candidates int  // size of the union before ranking
+	Activated  int  // QDI keys indexed on demand by this query
+	FullHit    bool // the full query combination was indexed (first probe hit)
+}
+
+// Peer is one AlvisP2P participant.
+type Peer struct {
+	cfg  Config
+	node *dht.Node
+	disp *transport.Dispatcher
+
+	mu     sync.Mutex // guards strategy switches
+	strat  Strategy
+	docs   *docs.Store
+	local  *localindex.Index
+	gidx   *globalindex.Index
+	gstats *ranking.GlobalStats
+	qdiMgr *qdi.Manager
+
+	published map[uint32]bool // docs already pushed to the network
+}
+
+// NewPeer assembles a peer on an endpoint created around d. Callers
+// create the dispatcher first, attach it to a transport endpoint, then
+// hand both here:
+//
+//	d := transport.NewDispatcher()
+//	ep := net.Endpoint("peer1", d.Serve)   // or transport.ListenTCP
+//	p := core.NewPeer(id, ep, d, cfg)
+func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Config) *Peer {
+	cfg.fillDefaults()
+	node := dht.NewNode(id, ep, d, cfg.DHT)
+	gidx := globalindex.New(node, d)
+	p := &Peer{
+		cfg:       cfg,
+		node:      node,
+		disp:      d,
+		strat:     cfg.Strategy,
+		docs:      docs.NewStore(),
+		local:     localindex.New(cfg.Analyzer),
+		gidx:      gidx,
+		gstats:    ranking.NewGlobalStats(node, d),
+		qdiMgr:    qdi.New(cfg.QDI, gidx, d),
+		published: make(map[uint32]bool),
+	}
+	p.qdiMgr.SetEnabled(cfg.Strategy == StrategyQDI)
+	p.registerL5Handlers(d)
+	return p
+}
+
+// Node returns the peer's DHT node.
+func (p *Peer) Node() *dht.Node { return p.node }
+
+// Documents returns the shared-documents manager.
+func (p *Peer) Documents() *docs.Store { return p.docs }
+
+// LocalIndex returns the peer's local search engine.
+func (p *Peer) LocalIndex() *localindex.Index { return p.local }
+
+// GlobalIndex returns the peer's global-index component.
+func (p *Peer) GlobalIndex() *globalindex.Index { return p.gidx }
+
+// GlobalStats returns the peer's distributed-statistics component.
+func (p *Peer) GlobalStats() *ranking.GlobalStats { return p.gstats }
+
+// QDI returns the peer's query-driven-indexing component.
+func (p *Peer) QDI() *qdi.Manager { return p.qdiMgr }
+
+// Addr returns the peer's transport address.
+func (p *Peer) Addr() transport.Addr { return p.node.Self().Addr }
+
+// Strategy returns the active indexing strategy.
+func (p *Peer) Strategy() Strategy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.strat
+}
+
+// SetStrategy switches between HDK and QDI at runtime (the demo's
+// toggle). Switching to QDI enables on-demand activation; switching away
+// disables it. Already published keys remain until evicted.
+func (p *Peer) SetStrategy(s Strategy) {
+	p.mu.Lock()
+	p.strat = s
+	p.mu.Unlock()
+	p.qdiMgr.SetEnabled(s == StrategyQDI)
+}
+
+// Join enters the network known to bootstrap and runs initial
+// maintenance.
+func (p *Peer) Join(bootstrap transport.Addr) error {
+	if err := p.node.Join(bootstrap); err != nil {
+		return err
+	}
+	if err := p.node.Stabilize(); err != nil {
+		return err
+	}
+	return p.node.FixFingers()
+}
+
+// Maintain runs one maintenance round (ring stabilization, finger
+// refresh, QDI aging). Long-running peers call it periodically.
+func (p *Peer) Maintain() {
+	_ = p.node.Stabilize()
+	_ = p.node.FixFingers()
+	p.qdiMgr.MaintenanceTick()
+}
+
+// AddDocument registers a document in the shared store and the local
+// index. It is not yet visible to the network: call PublishIndex (or
+// PublishDocument) to push it.
+func (p *Peer) AddDocument(d *docs.Document) (*docs.Document, error) {
+	stored, err := p.docs.Add(d)
+	if err != nil {
+		return nil, err
+	}
+	p.local.Add(stored.ID, stored.Title+"\n"+stored.Body)
+	return stored, nil
+}
+
+// AddFile parses a file by extension (text, html, Alvis xml) and adds it.
+func (p *Peer) AddFile(name string, content []byte) (*docs.Document, error) {
+	d, err := docs.Parse(name, content)
+	if err != nil {
+		return nil, err
+	}
+	return p.AddDocument(d)
+}
+
+// ImportDigest adds every document of an Alvis digest (the external
+// search engine integration of §4).
+func (p *Peer) ImportDigest(dg *docs.Digest) (int, error) {
+	documents, err := docs.DigestToDocuments(dg)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range documents {
+		if _, err := p.AddDocument(d); err != nil {
+			return 0, err
+		}
+	}
+	return len(documents), nil
+}
+
+// RemoveDocument withdraws a document locally and from the statistics.
+// Global index entries referring to it age out with QDI eviction or are
+// overwritten by future publishes (the stored lists are soft state).
+func (p *Peer) RemoveDocument(id uint32) error {
+	d := p.docs.Get(id)
+	if d == nil {
+		return fmt.Errorf("core: no document %d", id)
+	}
+	if p.published[id] {
+		terms := p.local.DocTerms(id)
+		if err := p.gstats.UnpublishDocument(terms, p.local.DocLen(id)); err != nil {
+			return err
+		}
+		delete(p.published, id)
+	}
+	p.local.Remove(id)
+	p.docs.Remove(id)
+	return nil
+}
+
+// PublishStats pushes the statistics contribution of every not-yet-
+// published local document. It is the first phase of indexing; separated
+// so that fleet-wide indexing can synchronize phases.
+func (p *Peer) PublishStats() error {
+	for _, id := range p.local.Docs() {
+		if p.published[id] {
+			continue
+		}
+		if err := p.gstats.PublishDocument(p.local.DocTerms(id), p.local.DocLen(id)); err != nil {
+			return err
+		}
+		p.published[id] = true
+	}
+	return nil
+}
+
+// NewHDKPublisher builds the key publisher for the current local
+// collection, with fresh global statistics. Fleet simulations drive its
+// PublishTerms/ExpandRound in lockstep; single peers use PublishIndex.
+func (p *Peer) NewHDKPublisher() (*hdk.Publisher, error) {
+	stats, err := p.gstats.Fetch(p.local.Terms())
+	if err != nil {
+		return nil, err
+	}
+	cfg := p.cfg.HDK
+	if p.Strategy() == StrategyQDI {
+		// QDI starts from the single-term index only; multi-term keys
+		// appear on demand.
+		cfg.SMax = 1
+	}
+	return hdk.NewPublisher(cfg, p.local, p.gidx, stats, p.Addr()), nil
+}
+
+// PublishIndex pushes the local collection into the network: statistics
+// first, then the key index (all HDK levels under HDK; single terms only
+// under QDI). Correct for a peer joining an already indexed network; for
+// simultaneous fleet-wide indexing use the phase methods in lockstep.
+func (p *Peer) PublishIndex() (hdk.Result, error) {
+	if err := p.PublishStats(); err != nil {
+		return hdk.Result{}, err
+	}
+	pub, err := p.NewHDKPublisher()
+	if err != nil {
+		return hdk.Result{}, err
+	}
+	return pub.Run()
+}
+
+// Search runs a global query: lattice exploration over the distributed
+// index, union, ranking, and result presentation. Under QDI it also
+// performs any on-demand indexing the responsible peers requested.
+func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
+	terms := p.cfg.Analyzer.UniqueTerms(query)
+	qt := &QueryTrace{Terms: terms}
+	if len(terms) == 0 {
+		return nil, qt, nil
+	}
+
+	wantIndex := make(map[string]bool)
+	perKey := make(map[string]*postings.List)
+	fetch := lattice.FetchFunc(func(ts []string, max int) (*postings.List, bool, error) {
+		l, found, want, err := p.gidx.Get(ts, max)
+		key := ids.KeyString(ts)
+		if want {
+			wantIndex[key] = true
+		}
+		if found {
+			perKey[key] = l
+		}
+		return l, found, err
+	})
+
+	_, trace, err := lattice.Explore(fetch, terms, p.cfg.Lattice)
+	if err != nil {
+		return nil, qt, err
+	}
+	qt.Probes = trace.Probes()
+	qt.Skipped = len(trace.Skipped)
+	if len(trace.Probed) > 0 && len(trace.Probed[0].Terms) == len(terms) {
+		qt.FullHit = trace.Probed[0].Found
+	}
+
+	rankedAll := rankUnion(perKey)
+	qt.Candidates = len(rankedAll)
+	ranked := rankedAll
+	if len(ranked) > p.cfg.TopK {
+		ranked = ranked[:p.cfg.TopK]
+	}
+
+	results, err := p.presentResults(ranked)
+	if err != nil {
+		return nil, qt, err
+	}
+
+	if p.Strategy() == StrategyQDI && len(wantIndex) > 0 {
+		// Ship this query's ranked result as the on-demand posting list
+		// for the query's own key (bounded to the QDI truncation limit).
+		acquired := &postings.List{}
+		for _, sr := range rankedAll {
+			acquired.Add(postings.Posting{Ref: sr.ref, Score: sr.score})
+			if acquired.Len() >= p.cfg.QDI.TruncK {
+				break
+			}
+		}
+		n, err := p.qdiMgr.ProcessQuery(terms, trace, wantIndex, acquired)
+		if err != nil {
+			return results, qt, fmt.Errorf("core: on-demand indexing: %w", err)
+		}
+		qt.Activated = n
+	}
+	return results, qt, nil
+}
+
+// scoredRef is an intermediate ranked document reference.
+type scoredRef struct {
+	ref   postings.DocRef
+	score float64
+}
+
+// rankUnion ranks the union of the retrieved per-key lists. Each posting
+// carries the publisher-computed BM25 score of its document for its key;
+// for a document appearing under several keys the scores of keys with
+// pairwise-disjoint term sets add up (BM25 is additive over terms), so a
+// greedy pass over that document's keys — largest key first — assembles
+// the best available approximation of the full-query score. In the
+// paper's Figure 1 example the result of query {a,b,c} unites the lists
+// of bc and a: the two keys are disjoint and their sum is the exact
+// three-term score.
+func rankUnion(perKey map[string]*postings.List) []scoredRef {
+	type keyList struct {
+		terms []string
+		list  *postings.List
+	}
+	kls := make([]keyList, 0, len(perKey))
+	for k, l := range perKey {
+		kls = append(kls, keyList{terms: strings.Fields(k), list: l})
+	}
+	// Largest keys first; deterministic tie-break on the key string.
+	sort.Slice(kls, func(i, j int) bool {
+		if len(kls[i].terms) != len(kls[j].terms) {
+			return len(kls[i].terms) > len(kls[j].terms)
+		}
+		return strings.Join(kls[i].terms, " ") < strings.Join(kls[j].terms, " ")
+	})
+
+	type docState struct {
+		score   float64
+		covered map[string]bool
+	}
+	states := make(map[postings.DocRef]*docState)
+	for _, kl := range kls {
+		for _, pst := range kl.list.Entries {
+			st := states[pst.Ref]
+			if st == nil {
+				st = &docState{covered: make(map[string]bool)}
+				states[pst.Ref] = st
+			}
+			disjoint := true
+			for _, t := range kl.terms {
+				if st.covered[t] {
+					disjoint = false
+					break
+				}
+			}
+			if !disjoint {
+				continue
+			}
+			st.score += pst.Score
+			for _, t := range kl.terms {
+				st.covered[t] = true
+			}
+		}
+	}
+	out := make([]scoredRef, 0, len(states))
+	for ref, st := range states {
+		out = append(out, scoredRef{ref: ref, score: st.score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].ref.Less(out[j].ref)
+	})
+	return out
+}

@@ -1,0 +1,332 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/docs"
+	"repro/internal/hdk"
+	"repro/internal/postings"
+	"repro/internal/qdi"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+var (
+	sharedNet     *sim.Network
+	sharedNetOnce sync.Once
+	sharedNetErr  error
+)
+
+// smallHDKNet returns a shared 8-peer network with a 300-doc collection
+// published under HDK. Tests that add documents use terms disjoint from
+// the corpus vocabulary, so sharing the fixture is safe and saves
+// rebuilding the network per test.
+func smallHDKNet(t *testing.T) *sim.Network {
+	t.Helper()
+	sharedNetOnce.Do(func() {
+		n := sim.NewNetwork(sim.Options{
+			NumPeers: 8,
+			Seed:     42,
+			Core: core.Config{
+				Strategy: core.StrategyHDK,
+				HDK:      hdk.Config{DFMax: 20, SMax: 3, Window: 30, TruncK: 50},
+				TopK:     20,
+			},
+		})
+		c := corpus.Generate(corpus.Params{NumDocs: 300, VocabSize: 400, MeanDocLen: 40, Seed: 7})
+		if sharedNetErr = n.Distribute(c); sharedNetErr != nil {
+			return
+		}
+		if sharedNetErr = n.PublishStats(); sharedNetErr != nil {
+			return
+		}
+		if _, _, sharedNetErr = n.PublishHDK(); sharedNetErr != nil {
+			return
+		}
+		sharedNet = n
+	})
+	if sharedNetErr != nil {
+		t.Fatal(sharedNetErr)
+	}
+	return sharedNet
+}
+
+func TestHDKEndToEndSearch(t *testing.T) {
+	n := smallHDKNet(t)
+	w := corpus.GenerateWorkload(n.Collection, corpus.WorkloadParams{NumQueries: 30, MaxTerms: 3, Seed: 9})
+	rng := rand.New(rand.NewSource(3))
+
+	answered := 0
+	var overlapSum float64
+	for _, q := range w.Queries {
+		peer := n.RandomPeer(rng)
+		got, trace, err := n.SearchCorpusDocs(peer, q.Text())
+		if err != nil {
+			t.Fatalf("search %q: %v", q.Text(), err)
+		}
+		if trace.Probes == 0 {
+			t.Fatalf("query %q issued no probes", q.Text())
+		}
+		if len(got) > 0 {
+			answered++
+		}
+		want := n.CentralTopK(q.Text(), 10)
+		overlapSum += sim.OverlapAtK(got, want, 10)
+	}
+	if answered < len(w.Queries)*8/10 {
+		t.Fatalf("only %d/%d queries answered", answered, len(w.Queries))
+	}
+	meanOverlap := overlapSum / float64(len(w.Queries))
+	if meanOverlap < 0.5 {
+		t.Fatalf("mean overlap@10 vs centralized = %.2f; retrieval quality too low", meanOverlap)
+	}
+}
+
+func TestSearchResultPresentation(t *testing.T) {
+	n := smallHDKNet(t)
+	peer := n.Peers[0]
+	// Use a frequent corpus term to guarantee hits.
+	results, _, err := peer.Search("term0000 term0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results for head terms")
+	}
+	for _, r := range results {
+		if r.Title == "" {
+			t.Fatalf("result without title: %+v", r)
+		}
+		if r.URL == "" || !strings.Contains(r.URL, string(r.Ref.Peer)) {
+			t.Fatalf("result URL %q should carry the hosting peer", r.URL)
+		}
+		if !r.Public {
+			t.Fatalf("corpus docs are public: %+v", r)
+		}
+	}
+	// Scores are ranked.
+	for i := 1; i < len(results); i++ {
+		if results[i].Score > results[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+}
+
+func TestRefineSecondStep(t *testing.T) {
+	n := smallHDKNet(t)
+	peer := n.Peers[1]
+	first, _, err := peer.Search("term0000 term0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Skip("no first-step results to refine")
+	}
+	refined, err := peer.Refine("term0000 term0002", first, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refined) == 0 {
+		t.Fatal("refinement returned nothing")
+	}
+	for _, r := range refined {
+		if r.Title == "" {
+			t.Fatalf("refined result without title: %+v", r)
+		}
+	}
+}
+
+func TestQDIActivationLifecycle(t *testing.T) {
+	n := sim.NewNetwork(sim.Options{
+		NumPeers: 8,
+		Seed:     43,
+		Core: core.Config{
+			Strategy: core.StrategyQDI,
+			HDK:      hdk.Config{DFMax: 20, SMax: 3, Window: 30, TruncK: 50},
+			QDI:      qdi.Config{ActivateThreshold: 2, TruncK: 50},
+			TopK:     20,
+		},
+	})
+	c := corpus.Generate(corpus.Params{NumDocs: 300, VocabSize: 400, MeanDocLen: 40, Seed: 7})
+	if err := n.Distribute(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PublishStats(); err != nil {
+		t.Fatal(err)
+	}
+	// Under QDI the initial index is single-term only.
+	if _, _, err := n.PublishHDK(); err != nil {
+		t.Fatal(err)
+	}
+	multiTermKeys := 0
+	for _, p := range n.Peers {
+		for _, k := range p.GlobalIndex().Store().Keys() {
+			if strings.Contains(k, " ") {
+				multiTermKeys++
+			}
+		}
+	}
+	if multiTermKeys != 0 {
+		t.Fatalf("QDI must start with a single-term index; found %d multi-term keys", multiTermKeys)
+	}
+
+	query := "term0000 term0001"
+	peer := n.Peers[2]
+	var activatedAt int
+	var probesBefore int
+	for i := 1; i <= 5; i++ {
+		_, trace, err := peer.Search(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if activatedAt == 0 {
+			probesBefore = trace.Probes
+		}
+		if trace.Activated > 0 && activatedAt == 0 {
+			activatedAt = i
+		}
+	}
+	if activatedAt == 0 {
+		t.Fatal("popular query never triggered on-demand indexing")
+	}
+	// After activation the full-query key answers with one probe.
+	_, trace, err := peer.Search(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Probes >= probesBefore {
+		t.Fatalf("probes after activation (%d) should drop below before (%d)", trace.Probes, probesBefore)
+	}
+}
+
+func TestStrategySwitch(t *testing.T) {
+	n := smallHDKNet(t)
+	p := n.Peers[0]
+	if p.Strategy() != core.StrategyHDK {
+		t.Fatal("initial strategy")
+	}
+	p.SetStrategy(core.StrategyQDI)
+	if p.Strategy() != core.StrategyQDI {
+		t.Fatal("switch to QDI")
+	}
+	// Searching still works after the switch.
+	if _, _, err := p.Search("term0000"); err != nil {
+		t.Fatal(err)
+	}
+	p.SetStrategy(core.StrategyHDK)
+	if p.Strategy() != core.StrategyHDK {
+		t.Fatal("switch back")
+	}
+}
+
+func TestFetchDocumentAccessControl(t *testing.T) {
+	n := smallHDKNet(t)
+	owner := n.Peers[0]
+	stored, err := owner.AddDocument(&docs.Document{
+		Name:   "secret.txt",
+		Title:  "Secret",
+		Body:   "restricted content",
+		Access: docs.Access{User: "alice", Password: "pw"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := postingsRef(owner.Addr(), stored.ID)
+	other := n.Peers[3]
+	if _, _, err := other.FetchDocument(ref, "", ""); err == nil {
+		t.Fatal("anonymous fetch of protected document must fail")
+	}
+	if _, _, err := other.FetchDocument(ref, "alice", "bad"); err == nil {
+		t.Fatal("wrong password must fail")
+	}
+	title, body, err := other.FetchDocument(ref, "alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if title != "Secret" || body != "restricted content" {
+		t.Fatalf("fetched %q/%q", title, body)
+	}
+}
+
+func TestRemoveDocumentUpdatesStats(t *testing.T) {
+	n := smallHDKNet(t)
+	p := n.Peers[0]
+	stored, err := p.AddDocument(&docs.Document{Name: "tmp.txt", Title: "Tmp", Body: "zephyrquark unusualterm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PublishStats(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.GlobalStats().Fetch([]string{"zephyrquark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DF["zephyrquark"] != 1 {
+		t.Fatalf("df after publish = %d", stats.DF["zephyrquark"])
+	}
+	if err := p.RemoveDocument(stored.ID); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = p.GlobalStats().Fetch([]string{"zephyrquark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DF["zephyrquark"] != 0 {
+		t.Fatalf("df after removal = %d", stats.DF["zephyrquark"])
+	}
+}
+
+func TestSearchEmptyAndStopwordQuery(t *testing.T) {
+	n := smallHDKNet(t)
+	p := n.Peers[0]
+	for _, q := range []string{"", "the of and", "!!!"} {
+		results, trace, err := p.Search(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		if len(results) != 0 || trace.Probes != 0 {
+			t.Fatalf("degenerate query %q produced %d results, %d probes", q, len(results), trace.Probes)
+		}
+	}
+}
+
+func TestImportDigestEndToEnd(t *testing.T) {
+	n := smallHDKNet(t)
+	p := n.Peers[4]
+	// An external engine exports a digest; the peer imports and publishes.
+	src := docs.BuildDigest([]*docs.Document{
+		{Name: "ext1", Title: "External resource", Body: "xylophonecorpus melodicterm xylophonecorpus", URL: "http://library.example/r1"},
+	}, p.LocalIndex().Analyzer())
+	imported, err := p.ImportDigest(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 1 {
+		t.Fatalf("imported %d", imported)
+	}
+	if _, err := p.PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// The external document is now globally searchable from any peer.
+	results, _, err := n.Peers[7].Search("xylophonecorpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("imported digest document not retrievable")
+	}
+	if results[0].URL != "http://library.example/r1" {
+		t.Fatalf("external URL lost: %q", results[0].URL)
+	}
+}
+
+// postingsRef builds a DocRef for a document hosted at a peer.
+func postingsRef(peer transport.Addr, doc uint32) postings.DocRef {
+	return postings.DocRef{Peer: peer, Doc: doc}
+}

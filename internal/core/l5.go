@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/postings"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Message types for the local-engine interaction layer (range 0x50–0x5F).
+const (
+	// MsgDocInfo fetches presentation data for documents hosted at a
+	// peer: (doc ids) -> (title, snippet, url, public) per doc.
+	MsgDocInfo uint8 = 0x50
+	// MsgForwardQuery forwards a query to a peer's local search engine —
+	// the paper's second-step refinement — and returns its locally
+	// ranked results.
+	MsgForwardQuery uint8 = 0x51
+	// MsgFetchDoc retrieves a document's content, subject to its access
+	// policy: (doc, user, password) -> (ok, body).
+	MsgFetchDoc uint8 = 0x52
+)
+
+const snippetLen = 160
+
+func (p *Peer) registerL5Handlers(d *transport.Dispatcher) {
+	d.Handle(MsgDocInfo, p.handleDocInfo)
+	d.Handle(MsgForwardQuery, p.handleForwardQuery)
+	d.Handle(MsgFetchDoc, p.handleFetchDoc)
+}
+
+func (p *Peer) handleDocInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	if r.Err() != nil || n > 4096 {
+		return 0, nil, wire.ErrCorrupt
+	}
+	w := wire.NewWriter(256)
+	w.Uvarint(n)
+	for i := uint64(0); i < n; i++ {
+		id := uint32(r.Uvarint())
+		if r.Err() != nil {
+			return 0, nil, r.Err()
+		}
+		doc := p.docs.Get(id)
+		w.Uvarint(uint64(id))
+		w.Bool(doc != nil)
+		if doc != nil {
+			w.String(doc.Title)
+			w.String(doc.Snippet(snippetLen))
+			w.String(p.docURL(doc.Name, doc.URL))
+			w.Bool(doc.Access.Public)
+		}
+	}
+	return MsgDocInfo, w.Bytes(), nil
+}
+
+// docURL renders the paper's document address form,
+// http://PeerIP:Port/SharedDir/DocumentName, preferring the original URL
+// for externally published documents.
+func (p *Peer) docURL(name, original string) string {
+	if original != "" {
+		return original
+	}
+	return fmt.Sprintf("http://%s/shared/%s", p.Addr(), name)
+}
+
+func (p *Peer) handleForwardQuery(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	query := r.String()
+	topK := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	if topK <= 0 || topK > 1000 {
+		topK = 20
+	}
+	hits := p.local.Search(query, topK)
+	w := wire.NewWriter(256)
+	w.Uvarint(uint64(len(hits)))
+	for _, h := range hits {
+		doc := p.docs.Get(h.Doc)
+		w.Uvarint(uint64(h.Doc))
+		w.Float64(h.Score)
+		if doc != nil {
+			w.String(doc.Title)
+			w.String(doc.Snippet(snippetLen))
+			w.String(p.docURL(doc.Name, doc.URL))
+		} else {
+			w.String("")
+			w.String("")
+			w.String("")
+		}
+	}
+	return MsgForwardQuery, w.Bytes(), nil
+}
+
+func (p *Peer) handleFetchDoc(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	id := uint32(r.Uvarint())
+	user := r.String()
+	pass := r.String()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(256)
+	doc := p.docs.Get(id)
+	if doc == nil || !doc.Access.Authorize(user, pass) {
+		w.Bool(false)
+		return MsgFetchDoc, w.Bytes(), nil
+	}
+	w.Bool(true)
+	w.String(doc.Title)
+	w.String(doc.Body)
+	return MsgFetchDoc, w.Bytes(), nil
+}
+
+// presentResults resolves titles, snippets and URLs for ranked document
+// references by asking each hosting peer (one batched RPC per peer).
+func (p *Peer) presentResults(ranked []scoredRef) ([]Result, error) {
+	byPeer := make(map[transport.Addr][]scoredRef)
+	var order []transport.Addr
+	for _, sr := range ranked {
+		if _, ok := byPeer[sr.ref.Peer]; !ok {
+			order = append(order, sr.ref.Peer)
+		}
+		byPeer[sr.ref.Peer] = append(byPeer[sr.ref.Peer], sr)
+	}
+	info := make(map[postings.DocRef]Result, len(ranked))
+	for _, addr := range order {
+		refs := byPeer[addr]
+		w := wire.NewWriter(8 * len(refs))
+		w.Uvarint(uint64(len(refs)))
+		for _, sr := range refs {
+			w.Uvarint(uint64(sr.ref.Doc))
+		}
+		_, resp, err := p.node.Endpoint().Call(addr, MsgDocInfo, w.Bytes())
+		if err != nil {
+			// The hosting peer is gone; present the reference without
+			// details rather than failing the query.
+			for _, sr := range refs {
+				info[sr.ref] = Result{Ref: sr.ref, Score: sr.score, Title: "(peer unavailable)"}
+			}
+			continue
+		}
+		r := wire.NewReader(resp)
+		n := r.Uvarint()
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			id := uint32(r.Uvarint())
+			found := r.Bool()
+			res := Result{Ref: postings.DocRef{Peer: addr, Doc: id}}
+			if found {
+				res.Title = r.String()
+				res.Snippet = r.String()
+				res.URL = r.String()
+				res.Public = r.Bool()
+			} else {
+				res.Title = "(document withdrawn)"
+			}
+			info[res.Ref] = res
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("core: doc info from %s: %w", addr, err)
+		}
+	}
+	out := make([]Result, 0, len(ranked))
+	for _, sr := range ranked {
+		res := info[sr.ref]
+		res.Ref = sr.ref
+		res.Score = sr.score
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Refine implements the paper's second retrieval step: the query is
+// forwarded to the local search engines of the peers holding the
+// first-step results, which can apply their own (possibly more
+// sophisticated) local models; the returned hits are merged by local
+// score. firstStep supplies the peers to contact.
+func (p *Peer) Refine(query string, firstStep []Result, topK int) ([]Result, error) {
+	if topK <= 0 {
+		topK = p.cfg.TopK
+	}
+	seen := make(map[transport.Addr]bool)
+	var peers []transport.Addr
+	for _, r := range firstStep {
+		if !seen[r.Ref.Peer] {
+			seen[r.Ref.Peer] = true
+			peers = append(peers, r.Ref.Peer)
+		}
+	}
+	var merged []Result
+	for _, addr := range peers {
+		w := wire.NewWriter(len(query) + 8)
+		w.String(query)
+		w.Uvarint(uint64(topK))
+		_, resp, err := p.node.Endpoint().Call(addr, MsgForwardQuery, w.Bytes())
+		if err != nil {
+			continue // unavailable local engine: skip, like the demo does
+		}
+		r := wire.NewReader(resp)
+		n := r.Uvarint()
+		for i := uint64(0); i < n && r.Err() == nil; i++ {
+			doc := uint32(r.Uvarint())
+			score := r.Float64()
+			title := r.String()
+			snippet := r.String()
+			url := r.String()
+			merged = append(merged, Result{
+				Ref:     postings.DocRef{Peer: addr, Doc: doc},
+				Score:   score,
+				Title:   title,
+				Snippet: snippet,
+				URL:     url,
+			})
+		}
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("core: refine via %s: %w", addr, err)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Score != merged[j].Score {
+			return merged[i].Score > merged[j].Score
+		}
+		return merged[i].Ref.Less(merged[j].Ref)
+	})
+	if len(merged) > topK {
+		merged = merged[:topK]
+	}
+	return merged, nil
+}
+
+// FetchDocument retrieves a document's full content from its hosting
+// peer, subject to the document's access policy (paper §4 "Document
+// access"). Empty credentials access public documents only.
+func (p *Peer) FetchDocument(ref postings.DocRef, user, password string) (title, body string, err error) {
+	w := wire.NewWriter(32)
+	w.Uvarint(uint64(ref.Doc))
+	w.String(user)
+	w.String(password)
+	_, resp, err := p.node.Endpoint().Call(ref.Peer, MsgFetchDoc, w.Bytes())
+	if err != nil {
+		return "", "", fmt.Errorf("core: fetch %v: %w", ref, err)
+	}
+	r := wire.NewReader(resp)
+	if !r.Bool() {
+		return "", "", fmt.Errorf("core: access denied for %v", ref)
+	}
+	title = r.String()
+	body = r.String()
+	return title, body, r.Err()
+}

@@ -1,0 +1,236 @@
+// Package corpus generates the synthetic document collections and query
+// workloads the experiments run on. The original demo indexed real web
+// and digital-library documents and replayed Wikipedia-derived query
+// logs, which this reproduction does not have; the generator substitutes
+// collections that preserve the statistical properties the AlvisP2P
+// mechanisms respond to:
+//
+//   - term document frequencies follow a Zipf law (drives HDK's
+//     frequent-key expansion),
+//   - terms co-occur topically (multi-term keys and multi-keyword
+//     queries have non-empty answers),
+//   - query popularity follows a Zipf law (drives QDI's on-demand
+//     indexing and eviction).
+//
+// Everything is seeded and deterministic.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Params control collection generation.
+type Params struct {
+	// NumDocs is the number of documents (default 1000).
+	NumDocs int
+	// VocabSize is the vocabulary size (default 2000).
+	VocabSize int
+	// ZipfS is the Zipf exponent of the term distribution (default 1.1;
+	// must be > 1 for the standard library sampler).
+	ZipfS float64
+	// MeanDocLen is the mean document length in tokens (default 80).
+	MeanDocLen int
+	// NumTopics is the number of topical clusters (default 20).
+	NumTopics int
+	// TopicMix is the probability that a token is drawn from the
+	// document's topic vocabulary instead of the global distribution
+	// (default 0.5).
+	TopicMix float64
+	// Seed seeds the generator (default 1).
+	Seed int64
+}
+
+func (p *Params) fillDefaults() {
+	if p.NumDocs == 0 {
+		p.NumDocs = 1000
+	}
+	if p.VocabSize == 0 {
+		p.VocabSize = 2000
+	}
+	if p.ZipfS == 0 {
+		p.ZipfS = 1.1
+	}
+	if p.MeanDocLen == 0 {
+		p.MeanDocLen = 80
+	}
+	if p.NumTopics == 0 {
+		p.NumTopics = 20
+	}
+	if p.TopicMix == 0 {
+		p.TopicMix = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// Doc is one generated document.
+type Doc struct {
+	Name  string
+	Title string
+	Body  string
+	Topic int
+}
+
+// Collection is a generated document collection.
+type Collection struct {
+	Params Params
+	Docs   []Doc
+	vocab  []string
+}
+
+// Vocab returns the generator's vocabulary (rank order: vocab[0] is the
+// most frequent term).
+func (c *Collection) Vocab() []string { return c.vocab }
+
+// term returns the vocabulary word at Zipf rank r.
+func term(r int) string { return fmt.Sprintf("term%04d", r) }
+
+// Generate builds a collection.
+func Generate(p Params) *Collection {
+	p.fillDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.VocabSize-1))
+
+	vocab := make([]string, p.VocabSize)
+	for i := range vocab {
+		vocab[i] = term(i)
+	}
+
+	// Each topic prefers a contiguous slice of mid-rank vocabulary, so
+	// topical terms are neither stopword-frequent nor hapax-rare.
+	topicSpan := p.VocabSize / (p.NumTopics + 1)
+	if topicSpan < 8 {
+		topicSpan = 8
+	}
+
+	c := &Collection{Params: p, vocab: vocab}
+	for d := 0; d < p.NumDocs; d++ {
+		topic := rng.Intn(p.NumTopics)
+		topicBase := (topic*topicSpan + topicSpan/2) % (p.VocabSize - topicSpan)
+		length := p.MeanDocLen/2 + rng.Intn(p.MeanDocLen+1)
+		var sb strings.Builder
+		for w := 0; w < length; w++ {
+			var rank int
+			if rng.Float64() < p.TopicMix {
+				// Zipf-within-topic keeps a few terms per topic dominant.
+				rank = topicBase + int(float64(topicSpan)*rng.Float64()*rng.Float64())
+			} else {
+				rank = int(zipf.Uint64())
+			}
+			if rank >= p.VocabSize {
+				rank = p.VocabSize - 1
+			}
+			sb.WriteString(vocab[rank])
+			sb.WriteByte(' ')
+		}
+		c.Docs = append(c.Docs, Doc{
+			Name:  fmt.Sprintf("doc%05d.txt", d),
+			Title: fmt.Sprintf("Document %d (topic %d)", d, topic),
+			Body:  sb.String(),
+			Topic: topic,
+		})
+	}
+	return c
+}
+
+// WorkloadParams control query-workload generation.
+type WorkloadParams struct {
+	// NumQueries is the number of distinct queries (default 200).
+	NumQueries int
+	// MaxTerms bounds the number of terms per query (default 3; the
+	// per-query term count is uniform in [1, MaxTerms]).
+	MaxTerms int
+	// PopularityS is the Zipf exponent of query popularity (default 1.2).
+	PopularityS float64
+	// Seed seeds the generator (default 2).
+	Seed int64
+}
+
+func (p *WorkloadParams) fillDefaults() {
+	if p.NumQueries == 0 {
+		p.NumQueries = 200
+	}
+	if p.MaxTerms == 0 {
+		p.MaxTerms = 3
+	}
+	if p.PopularityS == 0 {
+		p.PopularityS = 1.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 2
+	}
+}
+
+// Query is one distinct query of a workload.
+type Query struct {
+	Terms []string
+}
+
+// Text renders the query as a search string.
+func (q Query) Text() string { return strings.Join(q.Terms, " ") }
+
+// Workload is a set of distinct queries with a Zipf popularity
+// distribution over them.
+type Workload struct {
+	Params  WorkloadParams
+	Queries []Query
+}
+
+// GenerateWorkload derives a workload from a collection: each query's
+// terms are sampled from within a single document (so conjunctive
+// multi-term queries have non-empty answers), preferring distinct terms.
+func GenerateWorkload(c *Collection, p WorkloadParams) *Workload {
+	p.fillDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &Workload{Params: p}
+	seen := make(map[string]bool)
+	for len(w.Queries) < p.NumQueries {
+		doc := c.Docs[rng.Intn(len(c.Docs))]
+		words := strings.Fields(doc.Body)
+		if len(words) == 0 {
+			continue
+		}
+		n := 1 + rng.Intn(p.MaxTerms)
+		termSet := make(map[string]bool)
+		for tries := 0; tries < 4*n && len(termSet) < n; tries++ {
+			termSet[words[rng.Intn(len(words))]] = true
+		}
+		terms := make([]string, 0, len(termSet))
+		for t := range termSet {
+			terms = append(terms, t)
+		}
+		// Canonical order for dedup; queries are bags of words.
+		sortStrings(terms)
+		key := strings.Join(terms, " ")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		w.Queries = append(w.Queries, Query{Terms: terms})
+	}
+	return w
+}
+
+// Stream produces a query stream of the given length: each entry is one
+// of the workload's distinct queries drawn by Zipf popularity (query
+// rank 0 is the most popular).
+func (w *Workload) Stream(length int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, w.Params.PopularityS, 1, uint64(len(w.Queries)-1))
+	out := make([]Query, length)
+	for i := range out {
+		out[i] = w.Queries[int(zipf.Uint64())]
+	}
+	return out
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

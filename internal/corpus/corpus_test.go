@@ -1,0 +1,203 @@
+package corpus
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{NumDocs: 50, Seed: 7})
+	b := Generate(Params{NumDocs: 50, Seed: 7})
+	if !reflect.DeepEqual(a.Docs, b.Docs) {
+		t.Fatal("same seed must generate the same collection")
+	}
+	c := Generate(Params{NumDocs: 50, Seed: 8})
+	if reflect.DeepEqual(a.Docs[0], c.Docs[0]) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Params{NumDocs: 200, VocabSize: 500, MeanDocLen: 40, Seed: 3}
+	c := Generate(p)
+	if len(c.Docs) != 200 {
+		t.Fatalf("docs = %d", len(c.Docs))
+	}
+	totalLen := 0
+	for _, d := range c.Docs {
+		n := len(strings.Fields(d.Body))
+		if n == 0 {
+			t.Fatal("empty document generated")
+		}
+		totalLen += n
+	}
+	mean := float64(totalLen) / 200
+	if mean < 20 || mean > 60 {
+		t.Fatalf("mean doc length %.1f outside [20,60]", mean)
+	}
+	if len(c.Vocab()) != 500 {
+		t.Fatalf("vocab = %d", len(c.Vocab()))
+	}
+}
+
+func TestZipfDFDistribution(t *testing.T) {
+	c := Generate(Params{NumDocs: 500, VocabSize: 1000, Seed: 4})
+	df := map[string]int{}
+	for _, d := range c.Docs {
+		seen := map[string]bool{}
+		for _, w := range strings.Fields(d.Body) {
+			if !seen[w] {
+				seen[w] = true
+				df[w]++
+			}
+		}
+	}
+	// Collect DFs sorted descending: a Zipf-ish collection has a few
+	// very frequent terms and a long tail of rare ones.
+	var dfs []int
+	for _, v := range df {
+		dfs = append(dfs, v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(dfs)))
+	if dfs[0] < 200 {
+		t.Errorf("most frequent term df = %d; expected a heavy head", dfs[0])
+	}
+	if median := dfs[len(dfs)/2]; median > dfs[0]/10 {
+		t.Errorf("median df %d too close to head %d; distribution not skewed", median, dfs[0])
+	}
+	rare := 0
+	for _, v := range dfs {
+		if v <= 5 {
+			rare++
+		}
+	}
+	if rare < len(dfs)/10 {
+		t.Errorf("only %d/%d tail terms (df<=5); expected a long tail", rare, len(dfs))
+	}
+}
+
+func TestTopicalCooccurrence(t *testing.T) {
+	// Documents of the same topic must share vocabulary far more than
+	// documents of different topics.
+	c := Generate(Params{NumDocs: 300, VocabSize: 2000, NumTopics: 10, Seed: 5})
+	byTopic := map[int][]Doc{}
+	for _, d := range c.Docs {
+		byTopic[d.Topic] = append(byTopic[d.Topic], d)
+	}
+	overlap := func(a, b Doc) int {
+		set := map[string]bool{}
+		for _, w := range strings.Fields(a.Body) {
+			set[w] = true
+		}
+		n := 0
+		seen := map[string]bool{}
+		for _, w := range strings.Fields(b.Body) {
+			if set[w] && !seen[w] {
+				seen[w] = true
+				n++
+			}
+		}
+		return n
+	}
+	same, diff := 0, 0
+	sameN, diffN := 0, 0
+	for topic, docs := range byTopic {
+		if len(docs) < 2 {
+			continue
+		}
+		same += overlap(docs[0], docs[1])
+		sameN++
+		for other, odocs := range byTopic {
+			if other != topic && len(odocs) > 0 {
+				diff += overlap(docs[0], odocs[0])
+				diffN++
+				break
+			}
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Skip("degenerate topic assignment")
+	}
+	if float64(same)/float64(sameN) <= float64(diff)/float64(diffN) {
+		t.Errorf("same-topic overlap %.1f not above cross-topic %.1f",
+			float64(same)/float64(sameN), float64(diff)/float64(diffN))
+	}
+}
+
+func TestWorkloadQueriesAnswerable(t *testing.T) {
+	c := Generate(Params{NumDocs: 200, Seed: 6})
+	w := GenerateWorkload(c, WorkloadParams{NumQueries: 50, MaxTerms: 3, Seed: 9})
+	if len(w.Queries) != 50 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	// Every query's terms co-occur in at least one document (they were
+	// sampled from one).
+	for _, q := range w.Queries {
+		found := false
+		for _, d := range c.Docs {
+			set := map[string]bool{}
+			for _, word := range strings.Fields(d.Body) {
+				set[word] = true
+			}
+			all := true
+			for _, term := range q.Terms {
+				if !set[term] {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %v has no conjunctive answer", q.Terms)
+		}
+	}
+}
+
+func TestWorkloadDistinctAndBounded(t *testing.T) {
+	c := Generate(Params{NumDocs: 100, Seed: 10})
+	w := GenerateWorkload(c, WorkloadParams{NumQueries: 80, MaxTerms: 4, Seed: 11})
+	seen := map[string]bool{}
+	for _, q := range w.Queries {
+		if len(q.Terms) < 1 || len(q.Terms) > 4 {
+			t.Fatalf("query size %d out of bounds", len(q.Terms))
+		}
+		key := q.Text()
+		if seen[key] {
+			t.Fatalf("duplicate query %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestStreamZipfPopularity(t *testing.T) {
+	c := Generate(Params{NumDocs: 100, Seed: 12})
+	w := GenerateWorkload(c, WorkloadParams{NumQueries: 100, Seed: 13})
+	stream := w.Stream(5000, 14)
+	if len(stream) != 5000 {
+		t.Fatalf("stream length = %d", len(stream))
+	}
+	counts := map[string]int{}
+	for _, q := range stream {
+		counts[q.Text()]++
+	}
+	top := counts[w.Queries[0].Text()]
+	if top < 500 {
+		t.Errorf("head query frequency %d too low for Zipf popularity", top)
+	}
+	if len(counts) < 20 {
+		t.Errorf("only %d distinct queries in stream; tail missing", len(counts))
+	}
+	// Determinism.
+	again := w.Stream(5000, 14)
+	for i := range again {
+		if again[i].Text() != stream[i].Text() {
+			t.Fatal("stream must be deterministic for a fixed seed")
+		}
+	}
+}

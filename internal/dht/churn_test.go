@@ -1,0 +1,179 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// TestChurnSequence drives a ring through interleaved joins and graceful
+// leaves and checks consistency after each settling period.
+func TestChurnSequence(t *testing.T) {
+	net := transport.NewMem()
+	rng := rand.New(rand.NewSource(55))
+	var nodes []*Node
+	nextID := 0
+	addNode := func() *Node {
+		d := transport.NewDispatcher()
+		ep := net.Endpoint(fmt.Sprintf("churn%d", nextID), d.Serve)
+		nextID++
+		n := NewNode(ids.ID(rng.Uint64()), ep, d, Options{})
+		if len(nodes) > 0 {
+			if err := n.Join(nodes[0].Self().Addr); err != nil {
+				t.Fatalf("join: %v", err)
+			}
+		}
+		nodes = append(nodes, n)
+		return n
+	}
+	settle := func() {
+		for r := 0; r < 6; r++ {
+			for _, n := range nodes {
+				_ = n.Stabilize()
+			}
+		}
+		for r := 0; r < 6; r++ {
+			for _, n := range nodes {
+				_ = n.FixFingers()
+			}
+		}
+	}
+	removeNode := func(i int) {
+		n := nodes[i]
+		if err := n.Leave(); err != nil {
+			t.Logf("leave: %v (tolerated)", err)
+		}
+		_ = n.Endpoint().Close()
+		nodes = append(nodes[:i], nodes[i+1:]...)
+	}
+
+	// Grow to 12.
+	for i := 0; i < 12; i++ {
+		addNode()
+		settle()
+	}
+	checkRing(t, nodes)
+
+	// Interleave joins and leaves.
+	for round := 0; round < 6; round++ {
+		if round%2 == 0 && len(nodes) > 4 {
+			removeNode(1 + rng.Intn(len(nodes)-1))
+		} else {
+			addNode()
+		}
+		settle()
+	}
+	checkRing(t, nodes)
+
+	// Lookups agree with the surviving membership.
+	s := sortedByID(nodes)
+	remotes := make([]Remote, len(s))
+	for i, n := range s {
+		remotes[i] = n.Self()
+	}
+	for i := 0; i < 100; i++ {
+		key := ids.ID(rng.Uint64())
+		got, _, err := nodes[rng.Intn(len(nodes))].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup after churn: %v", err)
+		}
+		if want := successorOf(remotes, key); got.Addr != want.Addr {
+			t.Fatalf("lookup(%v) = %v, want %v", key, got.ID, want.ID)
+		}
+	}
+}
+
+// TestConcurrentLookupsDuringMaintenance exercises the locking under
+// parallel lookups and stabilization (run with -race).
+func TestConcurrentLookupsDuringMaintenance(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, uniformIDs(16, 66), Options{})
+	var lookups sync.WaitGroup
+	var maint sync.WaitGroup
+	stop := make(chan struct{})
+	maint.Add(1)
+	go func() {
+		defer maint.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, n := range nodes {
+				_ = n.Stabilize()
+				_ = n.FixFingers()
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		lookups.Add(1)
+		go func(seed int64) {
+			defer lookups.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				src := nodes[rng.Intn(len(nodes))]
+				if _, _, err := src.Lookup(ids.ID(rng.Uint64())); err != nil {
+					t.Errorf("concurrent lookup: %v", err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	lookups.Wait()
+	close(stop)
+	maint.Wait()
+}
+
+// TestMassFailureRecovery kills a third of the ring at once and verifies
+// the survivors re-form a consistent ring.
+func TestMassFailureRecovery(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, uniformIDs(18, 77), Options{SuccListLen: 8})
+	rng := rand.New(rand.NewSource(78))
+
+	dead := map[int]bool{}
+	for len(dead) < 6 {
+		dead[rng.Intn(len(nodes))] = true
+	}
+	var survivors []*Node
+	for i, n := range nodes {
+		if dead[i] {
+			net.SetDown(n.Self().Addr, true)
+		} else {
+			survivors = append(survivors, n)
+		}
+	}
+	// Repair: several rounds of stabilization re-route around the dead.
+	for r := 0; r < 10; r++ {
+		for _, n := range survivors {
+			_ = n.Stabilize()
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for _, n := range survivors {
+			_ = n.FixFingers()
+		}
+	}
+	checkRing(t, survivors)
+
+	s := sortedByID(survivors)
+	remotes := make([]Remote, len(s))
+	for i, n := range s {
+		remotes[i] = n.Self()
+	}
+	for i := 0; i < 60; i++ {
+		key := ids.ID(rng.Uint64())
+		got, _, err := survivors[rng.Intn(len(survivors))].Lookup(key)
+		if err != nil {
+			t.Fatalf("lookup after mass failure: %v", err)
+		}
+		if want := successorOf(remotes, key); got.Addr != want.Addr {
+			t.Fatalf("lookup(%v) = %v, want %v", key, got.ID, want.ID)
+		}
+	}
+}

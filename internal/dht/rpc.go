@@ -1,0 +1,192 @@
+package dht
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// DHT message types (range 0x01–0x0F of the shared dispatcher).
+const (
+	MsgPing         uint8 = 0x01 // () -> Remote (the serving node)
+	MsgNextHop      uint8 = 0x02 // (key) -> (successor, candidates)
+	MsgGetState     uint8 = 0x03 // () -> (predecessor, successor list)
+	MsgNotify       uint8 = 0x04 // (candidate) -> ()
+	MsgGetFinger    uint8 = 0x05 // (level) -> Remote (zero if absent)
+	MsgSetSuccessor uint8 = 0x06 // (successor) -> ()
+)
+
+func encodeRemote(w *wire.Writer, r Remote) {
+	w.Uint64(uint64(r.ID))
+	w.String(string(r.Addr))
+}
+
+func decodeRemote(r *wire.Reader) Remote {
+	id := ids.ID(r.Uint64())
+	addr := transport.Addr(r.String())
+	return Remote{ID: id, Addr: addr}
+}
+
+func encodeRemotes(w *wire.Writer, rs []Remote) {
+	w.Uvarint(uint64(len(rs)))
+	for _, r := range rs {
+		encodeRemote(w, r)
+	}
+}
+
+func decodeRemotes(r *wire.Reader) []Remote {
+	n := r.Uvarint()
+	if r.Err() != nil || n > 1<<16 {
+		return nil
+	}
+	out := make([]Remote, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, decodeRemote(r))
+	}
+	return out
+}
+
+// registerHandlers wires the node's RPC surface onto the dispatcher. All
+// handlers answer from local state only.
+func (n *Node) registerHandlers(d *transport.Dispatcher) {
+	d.Handle(MsgPing, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+		w := wire.NewWriter(32)
+		encodeRemote(w, n.self)
+		return MsgPing, w.Bytes(), nil
+	})
+
+	d.Handle(MsgNextHop, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+		r := wire.NewReader(body)
+		key := ids.ID(r.Uint64())
+		if err := r.Err(); err != nil {
+			return 0, nil, err
+		}
+		n.mu.RLock()
+		succ := n.succs[0]
+		cands := closestPreceding(n.id, key, n.fingers, n.succs, 4)
+		n.mu.RUnlock()
+		w := wire.NewWriter(64)
+		encodeRemote(w, succ)
+		encodeRemotes(w, cands)
+		return MsgNextHop, w.Bytes(), nil
+	})
+
+	d.Handle(MsgGetState, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+		n.mu.RLock()
+		pred := n.pred
+		succs := make([]Remote, len(n.succs))
+		copy(succs, n.succs)
+		n.mu.RUnlock()
+		w := wire.NewWriter(128)
+		encodeRemote(w, pred)
+		encodeRemotes(w, succs)
+		return MsgGetState, w.Bytes(), nil
+	})
+
+	d.Handle(MsgNotify, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+		r := wire.NewReader(body)
+		cand := decodeRemote(r)
+		if err := r.Err(); err != nil {
+			return 0, nil, err
+		}
+		n.notify(cand)
+		return MsgNotify, nil, nil
+	})
+
+	d.Handle(MsgGetFinger, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+		r := wire.NewReader(body)
+		level := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return 0, nil, err
+		}
+		n.mu.RLock()
+		var f Remote
+		if level == 0 {
+			f = n.succs[0]
+		} else if level < len(n.fingers) {
+			f = n.fingers[level]
+		}
+		n.mu.RUnlock()
+		w := wire.NewWriter(32)
+		encodeRemote(w, f)
+		return MsgGetFinger, w.Bytes(), nil
+	})
+
+	d.Handle(MsgSetSuccessor, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+		r := wire.NewReader(body)
+		succ := decodeRemote(r)
+		if err := r.Err(); err != nil {
+			return 0, nil, err
+		}
+		n.setSuccessor(succ)
+		return MsgSetSuccessor, nil, nil
+	})
+}
+
+func (n *Node) rpcPing(to transport.Addr) (Remote, error) {
+	_, resp, err := n.ep.Call(to, MsgPing, nil)
+	if err != nil {
+		return Remote{}, err
+	}
+	r := wire.NewReader(resp)
+	rem := decodeRemote(r)
+	return rem, r.Err()
+}
+
+func (n *Node) rpcNextHop(to transport.Addr, key ids.ID) (cands []Remote, succ Remote, err error) {
+	w := wire.NewWriter(8)
+	w.Uint64(uint64(key))
+	_, resp, err := n.ep.Call(to, MsgNextHop, w.Bytes())
+	if err != nil {
+		return nil, Remote{}, err
+	}
+	r := wire.NewReader(resp)
+	succ = decodeRemote(r)
+	cands = decodeRemotes(r)
+	if err := r.Err(); err != nil {
+		return nil, Remote{}, fmt.Errorf("dht: bad NextHop response: %w", err)
+	}
+	return cands, succ, nil
+}
+
+func (n *Node) rpcGetState(to transport.Addr) (pred Remote, succs []Remote, err error) {
+	_, resp, err := n.ep.Call(to, MsgGetState, nil)
+	if err != nil {
+		return Remote{}, nil, err
+	}
+	r := wire.NewReader(resp)
+	pred = decodeRemote(r)
+	succs = decodeRemotes(r)
+	if err := r.Err(); err != nil {
+		return Remote{}, nil, fmt.Errorf("dht: bad GetState response: %w", err)
+	}
+	return pred, succs, nil
+}
+
+func (n *Node) rpcNotify(to transport.Addr, cand Remote) error {
+	w := wire.NewWriter(32)
+	encodeRemote(w, cand)
+	_, _, err := n.ep.Call(to, MsgNotify, w.Bytes())
+	return err
+}
+
+func (n *Node) rpcGetFinger(to transport.Addr, level int) (Remote, error) {
+	w := wire.NewWriter(4)
+	w.Uvarint(uint64(level))
+	_, resp, err := n.ep.Call(to, MsgGetFinger, w.Bytes())
+	if err != nil {
+		return Remote{}, err
+	}
+	r := wire.NewReader(resp)
+	rem := decodeRemote(r)
+	return rem, r.Err()
+}
+
+func (n *Node) rpcSetSuccessor(to transport.Addr, succ Remote) error {
+	w := wire.NewWriter(32)
+	encodeRemote(w, succ)
+	_, _, err := n.ep.Call(to, MsgSetSuccessor, w.Bytes())
+	return err
+}

@@ -1,0 +1,160 @@
+package docs
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/textproc"
+)
+
+// Digest is the Alvis document digest (paper §4 "Heterogeneity support"):
+// an explicit XML representation of the index of a document collection —
+// for each document its URL and the list of indexing terms with their
+// positions. A sophisticated external engine (the paper's example is a
+// digital library) converts its own index into this format and submits it
+// to its peer, which then re-generates a local index and starts
+// distributed indexing.
+type Digest struct {
+	XMLName   xml.Name    `xml:"alvis-digest"`
+	Documents []DigestDoc `xml:"document"`
+}
+
+// DigestDoc is one document's slice of a digest.
+type DigestDoc struct {
+	URL   string       `xml:"url,attr"`
+	Title string       `xml:"title,attr"`
+	Terms []DigestTerm `xml:"term"`
+}
+
+// DigestTerm is one indexing term with its positions in the document
+// (token positions, space-separated in the XML attribute).
+type DigestTerm struct {
+	Name      string `xml:"name,attr"`
+	Positions string `xml:"positions,attr"`
+}
+
+// PositionList parses the space-separated positions attribute.
+func (t DigestTerm) PositionList() ([]int, error) {
+	fields := strings.Fields(t.Positions)
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("docs: bad position %q for term %q: %w", f, t.Name, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("docs: negative position for term %q", t.Name)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// BuildDigest analyzes documents with the given analyzer and produces
+// their digest, the exact artifact a peer would transmit on behalf of a
+// local engine.
+func BuildDigest(documents []*Document, a *textproc.Analyzer) *Digest {
+	dg := &Digest{}
+	for _, d := range documents {
+		dd := DigestDoc{URL: d.URL, Title: d.Title}
+		if dd.URL == "" {
+			dd.URL = d.Name
+		}
+		positions := make(map[string][]int)
+		var order []string
+		for _, tok := range a.Tokens(d.Body) {
+			if _, seen := positions[tok.Term]; !seen {
+				order = append(order, tok.Term)
+			}
+			positions[tok.Term] = append(positions[tok.Term], tok.Pos)
+		}
+		for _, term := range order {
+			var b strings.Builder
+			for i, p := range positions[term] {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(strconv.Itoa(p))
+			}
+			dd.Terms = append(dd.Terms, DigestTerm{Name: term, Positions: b.String()})
+		}
+		dg.Documents = append(dg.Documents, dd)
+	}
+	return dg
+}
+
+// WriteDigest serializes a digest as XML.
+func WriteDigest(w io.Writer, d *Digest) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("docs: encode digest: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadDigest parses a digest from XML.
+func ReadDigest(r io.Reader) (*Digest, error) {
+	var d Digest
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("docs: decode digest: %w", err)
+	}
+	return &d, nil
+}
+
+// DigestToDocuments reconstructs indexable documents from a digest. The
+// body is synthesized by placing each term at its recorded positions, so
+// re-analyzing the synthesized body reproduces the original term/position
+// index (stopwords and unknown gaps become padding tokens that the
+// analyzer drops again). This is how a peer "re-generates the local index"
+// from a submitted digest (§4).
+func DigestToDocuments(dg *Digest) ([]*Document, error) {
+	var out []*Document
+	for _, dd := range dg.Documents {
+		maxPos := -1
+		type occ struct {
+			term string
+			pos  int
+		}
+		var occs []occ
+		for _, t := range dd.Terms {
+			plist, err := t.PositionList()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range plist {
+				occs = append(occs, occ{term: t.Name, pos: p})
+				if p > maxPos {
+					maxPos = p
+				}
+			}
+		}
+		slots := make([]string, maxPos+1)
+		for _, o := range occs {
+			slots[o.pos] = o.term
+		}
+		for i, s := range slots {
+			if s == "" {
+				// Padding token: consumes a position, then is filtered by
+				// the analyzer's stopword list.
+				slots[i] = "the"
+			}
+		}
+		out = append(out, &Document{
+			Name:   dd.URL,
+			Title:  dd.Title,
+			Body:   strings.Join(slots, " "),
+			URL:    dd.URL,
+			Access: Access{Public: true},
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package docs
+
+import (
+	"encoding/xml"
+	"fmt"
+	"path"
+	"strings"
+)
+
+// Parse extracts a Document from raw file content, choosing the parser by
+// file extension: .html/.htm strip markup, .xml is the Alvis document
+// format, everything else is treated as plain text (the paper's client
+// also accepts doc/pdf/word, which need external converters the original
+// delegated to Terrier's parsers; plain text is the common denominator).
+func Parse(name string, content []byte) (*Document, error) {
+	switch strings.ToLower(path.Ext(name)) {
+	case ".html", ".htm":
+		return parseHTML(name, string(content))
+	case ".xml":
+		return ParseAlvisXML(name, content)
+	default:
+		return parseText(name, string(content)), nil
+	}
+}
+
+func parseText(name, content string) *Document {
+	title := name
+	// Use the first non-empty line as the title, like the original
+	// client's file manager does for bare text files.
+	for _, line := range strings.Split(content, "\n") {
+		if t := strings.TrimSpace(line); t != "" {
+			if len(t) > 120 {
+				t = t[:120]
+			}
+			title = t
+			break
+		}
+	}
+	return &Document{Name: name, Title: title, Body: content, Access: Access{Public: true}}
+}
+
+// parseHTML strips tags, skipping script/style content, decoding the
+// common entities, and capturing <title>.
+func parseHTML(name, content string) (*Document, error) {
+	var body strings.Builder
+	var title strings.Builder
+	inTitle := false
+	skipUntil := "" // closing tag that ends a skipped element
+	i := 0
+	for i < len(content) {
+		c := content[i]
+		if c != '<' {
+			if skipUntil == "" {
+				if inTitle {
+					title.WriteByte(c)
+				} else {
+					body.WriteByte(c)
+				}
+			}
+			i++
+			continue
+		}
+		end := strings.IndexByte(content[i:], '>')
+		if end < 0 {
+			break // unterminated tag: drop the rest
+		}
+		tag := content[i+1 : i+end]
+		i += end + 1
+		closing := strings.HasPrefix(tag, "/")
+		name := strings.TrimPrefix(tag, "/")
+		if nameEnd := strings.IndexAny(name, " \t\n/"); nameEnd >= 0 {
+			name = name[:nameEnd]
+		}
+		lower := strings.ToLower(name)
+		switch {
+		case skipUntil != "":
+			if closing && lower == skipUntil {
+				skipUntil = ""
+			}
+		case !closing && (lower == "script" || lower == "style"):
+			if !strings.HasSuffix(tag, "/") {
+				skipUntil = lower
+			}
+		case lower == "title":
+			inTitle = !closing
+		default:
+			// Block-level boundaries become whitespace so words don't fuse.
+			body.WriteByte(' ')
+		}
+	}
+	d := &Document{
+		Name:   name,
+		Title:  strings.TrimSpace(decodeEntities(title.String())),
+		Body:   strings.TrimSpace(decodeEntities(body.String())),
+		Access: Access{Public: true},
+	}
+	if d.Title == "" {
+		d.Title = name
+	}
+	return d, nil
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+)
+
+func decodeEntities(s string) string { return entityReplacer.Replace(s) }
+
+// AlvisXML is the Alvis document format of §4: an XML description holding
+// the original URL of an (optionally external or multimedia) document and
+// a textual description of its content.
+type AlvisXML struct {
+	XMLName xml.Name `xml:"alvis-document"`
+	URL     string   `xml:"url"`
+	Title   string   `xml:"title"`
+	Content string   `xml:"content"`
+}
+
+// ParseAlvisXML decodes an Alvis-format XML document.
+func ParseAlvisXML(name string, content []byte) (*Document, error) {
+	var a AlvisXML
+	if err := xml.Unmarshal(content, &a); err != nil {
+		return nil, fmt.Errorf("docs: parse alvis xml %s: %w", name, err)
+	}
+	if a.Title == "" && a.Content == "" {
+		return nil, fmt.Errorf("docs: alvis xml %s has neither title nor content", name)
+	}
+	title := a.Title
+	if title == "" {
+		title = name
+	}
+	return &Document{
+		Name:   name,
+		Title:  title,
+		Body:   strings.TrimSpace(a.Title + "\n" + a.Content),
+		URL:    a.URL,
+		Access: Access{Public: true},
+	}, nil
+}
+
+// EncodeAlvisXML renders a document in the Alvis XML format, for
+// publishing external or multimedia resources.
+func EncodeAlvisXML(d *Document) ([]byte, error) {
+	a := AlvisXML{URL: d.URL, Title: d.Title, Content: d.Body}
+	out, err := xml.MarshalIndent(&a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("docs: encode alvis xml: %w", err)
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,158 @@
+package globalindex
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+// keyID hashes a single-term key to its ring position.
+func keyID(term string) ids.ID { return ids.HashString(ids.KeyString([]string{term})) }
+
+func TestStoreHardCapEnforced(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}
+	// A bound beyond the hard cap is clamped to it.
+	if n := s.Put("k", l, HardCap*2); n != 1 {
+		t.Fatalf("put: %d", n)
+	}
+	got, _, _ := s.Get("k", 0)
+	if got.Truncated {
+		t.Fatal("small list under clamped bound must not be truncated")
+	}
+}
+
+func TestStoreActivationPolicyLifecycle(t *testing.T) {
+	s := NewStore(0)
+	calls := 0
+	s.SetActivationPolicy(func(key string, ks KeyStats) bool {
+		calls++
+		return ks.Count >= 2
+	})
+	if _, _, want := s.Get("pair of terms", 0); want {
+		t.Fatal("first probe below threshold")
+	}
+	if _, _, want := s.Get("pair of terms", 0); !want {
+		t.Fatal("second probe should activate")
+	}
+	// Present keys never request activation.
+	s.Put("indexed key", &postings.List{}, 10)
+	for i := 0; i < 3; i++ {
+		if _, _, want := s.Get("indexed key", 0); want {
+			t.Fatal("present key requested activation")
+		}
+	}
+	// Disabling the policy stops requests.
+	s.SetActivationPolicy(nil)
+	if _, _, want := s.Get("pair of terms", 0); want {
+		t.Fatal("nil policy must never activate")
+	}
+	if calls == 0 {
+		t.Fatal("policy never consulted")
+	}
+}
+
+func TestStoreQuickAppendInvariants(t *testing.T) {
+	// Property: after any sequence of bounded appends, the stored list
+	// (a) never exceeds the bound, (b) is in canonical order, and
+	// (c) approxDF equals the sum of announced DFs.
+	f := func(batches [][]uint16, bound8 uint8) bool {
+		bound := int(bound8)%20 + 1
+		s := NewStore(0)
+		var announced int64
+		for bi, batch := range batches {
+			if len(batch) == 0 {
+				continue
+			}
+			l := &postings.List{}
+			for _, d := range batch {
+				l.Add(postings.Posting{
+					Ref:   postings.DocRef{Peer: transport.Addr(fmt.Sprintf("p%d", bi)), Doc: uint32(d)},
+					Score: float64(d % 97),
+				})
+			}
+			l.Normalize()
+			s.Append("k", l, bound, l.Len())
+			announced += int64(l.Len())
+		}
+		got, ok := s.Peek("k")
+		if !ok {
+			return announced == 0
+		}
+		if got.Len() > bound {
+			return false
+		}
+		for i := 1; i < got.Len(); i++ {
+			if got.Entries[i].Score > got.Entries[i-1].Score {
+				return false
+			}
+		}
+		df, _ := s.ApproxDF("k")
+		return df == announced
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyInfoRPCEndToEnd(t *testing.T) {
+	_, idxs, _ := ring(t, 8)
+	// Unknown key.
+	df, present, truncated, err := idxs[0].KeyInfo([]string{"ghost"})
+	if err != nil || present || truncated || df != 0 {
+		t.Fatalf("unknown key info: %d %v %v %v", df, present, truncated, err)
+	}
+	// Published key with truncation.
+	big := &postings.List{}
+	for i := 0; i < 30; i++ {
+		big.Add(post("pub", uint32(i), float64(i)))
+	}
+	if _, err := idxs[1].Append([]string{"busy"}, big, 10, 30); err != nil {
+		t.Fatal(err)
+	}
+	df, present, truncated, err = idxs[2].KeyInfo([]string{"busy"})
+	if err != nil || !present || !truncated || df != 30 {
+		t.Fatalf("busy key info: df=%d present=%v trunc=%v err=%v", df, present, truncated, err)
+	}
+}
+
+func TestGetRoutesToResponsiblePeerOnly(t *testing.T) {
+	nodes, idxs, net := ring(t, 10)
+	if _, err := idxs[0].Put([]string{"target"}, &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Record per-peer load, issue gets from every peer, and verify the
+	// Get requests (type MsgGet) all landed at the responsible peer.
+	var responsible transport.Addr
+	{
+		r, _, err := nodes[0].Lookup(keyID("target"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		responsible = r.Addr
+	}
+	before := map[transport.Addr]int64{}
+	for _, n := range nodes {
+		before[n.Self().Addr] = net.Load(n.Self().Addr).Snapshot().PerType[MsgGet].Messages
+	}
+	for _, ix := range idxs {
+		if _, _, _, err := ix.Get([]string{"target"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		addr := n.Self().Addr
+		delta := net.Load(addr).Snapshot().PerType[MsgGet].Messages - before[addr]
+		if addr == responsible {
+			if delta == 0 {
+				t.Fatal("responsible peer received no Get")
+			}
+		} else if delta != 0 {
+			t.Fatalf("peer %s received %d Gets for a key it does not own", addr, delta)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package globalindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+func post(peer string, doc uint32, score float64) postings.Posting {
+	return postings.Posting{Ref: postings.DocRef{Peer: transport.Addr(peer), Doc: doc}, Score: score}
+}
+
+func TestStorePutGetRemove(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{Entries: []postings.Posting{post("a", 1, 2), post("a", 2, 1)}}
+	if n := s.Put("k", l, 10); n != 2 {
+		t.Fatalf("put stored %d", n)
+	}
+	got, ok, _ := s.Get("k", 0)
+	if !ok || got.Len() != 2 || got.Truncated {
+		t.Fatalf("get = (%v, %v)", got, ok)
+	}
+	if _, ok, _ := s.Get("missing", 0); ok {
+		t.Fatal("missing key must not be found")
+	}
+	if !s.Remove("k") || s.Remove("k") {
+		t.Fatal("remove semantics")
+	}
+}
+
+func TestStorePutTruncates(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{}
+	for i := 0; i < 100; i++ {
+		l.Add(post("a", uint32(i), float64(100-i)))
+	}
+	if n := s.Put("k", l, 10); n != 10 {
+		t.Fatalf("stored %d, want 10", n)
+	}
+	got, _, _ := s.Get("k", 0)
+	if !got.Truncated || got.Len() != 10 {
+		t.Fatalf("stored list: len=%d trunc=%v", got.Len(), got.Truncated)
+	}
+	// The top-scored entries survive.
+	if got.Entries[0].Score != 100 || got.Entries[9].Score != 91 {
+		t.Fatalf("wrong survivors: %v..%v", got.Entries[0], got.Entries[9])
+	}
+}
+
+func TestStoreAppendMergesAndBounds(t *testing.T) {
+	s := NewStore(0)
+	a := &postings.List{Entries: []postings.Posting{post("a", 1, 5), post("a", 2, 4)}}
+	b := &postings.List{Entries: []postings.Posting{post("b", 1, 6)}}
+	if n := s.Append("k", a, 3, 0); n != 2 {
+		t.Fatalf("first append len = %d", n)
+	}
+	if n := s.Append("k", b, 3, 0); n != 3 {
+		t.Fatalf("merged len = %d", n)
+	}
+	got, _, _ := s.Get("k", 0)
+	if got.Entries[0] != post("b", 1, 6) || got.Entries[1] != post("a", 1, 5) || got.Entries[2] != post("a", 2, 4) {
+		t.Fatalf("merge result: %v", got.Entries)
+	}
+	if got.Truncated {
+		t.Fatal("append within bound must not mark truncation")
+	}
+	if df, present := s.ApproxDF("k"); df != 3 || !present {
+		t.Fatalf("approx df = %d, %v", df, present)
+	}
+	// A fourth distinct ref pushes the list over the bound.
+	c := &postings.List{Entries: []postings.Posting{post("c", 9, 7)}}
+	if n := s.Append("k", c, 3, 0); n != 3 {
+		t.Fatalf("post-overflow len = %d", n)
+	}
+	got, _, _ = s.Get("k", 0)
+	if !got.Truncated {
+		t.Fatal("append past the bound must mark truncation")
+	}
+	if got.Entries[0].Score != 7 || got.Entries[1].Score != 6 || got.Entries[2].Score != 5 {
+		t.Fatalf("kept wrong survivors: %v", got.Entries)
+	}
+	if df, _ := s.ApproxDF("k"); df != 4 {
+		t.Fatalf("approx df = %d, want 4", df)
+	}
+}
+
+func TestStorePutUpgradesScore(t *testing.T) {
+	s := NewStore(0)
+	s.Put("k", &postings.List{Entries: []postings.Posting{post("a", 2, 4)}}, 10)
+	s.Put("k", &postings.List{Entries: []postings.Posting{post("a", 2, 9)}}, 10)
+	got, _, _ := s.Get("k", 0)
+	if got.Len() != 1 || got.Entries[0].Score != 9 {
+		t.Fatalf("replace semantics broken: %v", got.Entries)
+	}
+}
+
+func TestStoreGetCapMarksTruncated(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{Entries: []postings.Posting{post("a", 1, 3), post("a", 2, 2), post("a", 3, 1)}}
+	s.Put("k", l, 100)
+	got, _, _ := s.Get("k", 2)
+	if got.Len() != 2 || !got.Truncated {
+		t.Fatalf("capped get: len=%d trunc=%v", got.Len(), got.Truncated)
+	}
+	full, _, _ := s.Get("k", 0)
+	if full.Len() != 3 || full.Truncated {
+		t.Fatalf("full get altered: len=%d trunc=%v", full.Len(), full.Truncated)
+	}
+}
+
+func TestStoreProbeStats(t *testing.T) {
+	s := NewStore(0)
+	s.Put("present", &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10)
+	s.Get("present", 0)
+	s.Get("absent", 0)
+	s.Get("absent", 0)
+	if ks := s.Popularity("present"); ks.Count != 1 || !ks.Present {
+		t.Fatalf("present stats: %+v", ks)
+	}
+	if ks := s.Popularity("absent"); ks.Count != 2 || ks.Present {
+		t.Fatalf("absent stats: %+v", ks)
+	}
+	if ks := s.Popularity("never"); ks.Count != 0 {
+		t.Fatalf("never stats: %+v", ks)
+	}
+	// Peek must not touch stats.
+	s.Peek("present")
+	if ks := s.Popularity("present"); ks.Count != 1 {
+		t.Fatal("Peek must not record a probe")
+	}
+}
+
+func TestPopularAbsentKeys(t *testing.T) {
+	s := NewStore(0)
+	s.Put("indexed", &postings.List{}, 10)
+	for i := 0; i < 5; i++ {
+		s.Get("hot", 0)
+		s.Get("indexed", 0)
+	}
+	s.Get("cold", 0)
+	got := s.PopularAbsentKeys(3)
+	if len(got) != 1 || got[0] != "hot" {
+		t.Fatalf("candidates = %v", got)
+	}
+}
+
+func TestColdIndexedKeys(t *testing.T) {
+	s := NewStore(0)
+	s.Put("hot", &postings.List{}, 10)
+	s.Put("cold", &postings.List{}, 10)
+	for i := 0; i < 5; i++ {
+		s.Get("hot", 0)
+	}
+	got := s.ColdIndexedKeys(1)
+	if len(got) != 1 || got[0] != "cold" {
+		t.Fatalf("cold keys = %v", got)
+	}
+}
+
+func TestDecay(t *testing.T) {
+	s := NewStore(0)
+	for i := 0; i < 8; i++ {
+		s.Get("k", 0)
+	}
+	s.Decay(0.5)
+	if ks := s.Popularity("k"); ks.Count != 4 {
+		t.Fatalf("decayed count = %v", ks.Count)
+	}
+	// Decay to oblivion drops the record.
+	for i := 0; i < 12; i++ {
+		s.Decay(0.5)
+	}
+	if s.TrackedKeys() != 0 {
+		t.Fatalf("tracked = %d after heavy decay", s.TrackedKeys())
+	}
+}
+
+func TestProbeTrackingBounded(t *testing.T) {
+	s := NewStore(10)
+	for i := 0; i < 100; i++ {
+		s.Get(fmt.Sprintf("key-%d", i), 0)
+	}
+	if got := s.TrackedKeys(); got > 10 {
+		t.Fatalf("tracked %d records, cap is 10", got)
+	}
+	// The most recent keys survive.
+	if ks := s.Popularity("key-99"); ks.Count != 1 {
+		t.Fatal("most recent record must survive eviction")
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{Entries: []postings.Posting{post("a", 1, 1), post("a", 2, 1)}}
+	s.Put("k1", l, 10)
+	s.Put("k2", l, 10)
+	st := s.Stats()
+	if st.Keys != 2 || st.Postings != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+}
+
+// ring builds n peers with oracle tables and a global-index component each.
+func ring(t *testing.T, n int) ([]*dht.Node, []*Index, *transport.Mem) {
+	t.Helper()
+	net := transport.NewMem()
+	rng := rand.New(rand.NewSource(4))
+	nodes := make([]*dht.Node, n)
+	idxs := make([]*Index, n)
+	for i := 0; i < n; i++ {
+		d := transport.NewDispatcher()
+		ep := net.Endpoint(fmt.Sprintf("p%d", i), d.Serve)
+		nodes[i] = dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+		idxs[i] = New(nodes[i], d)
+	}
+	dht.BuildOracleTables(nodes)
+	return nodes, idxs, net
+}
+
+func TestDistributedPutGet(t *testing.T) {
+	nodes, idxs, _ := ring(t, 12)
+	terms := []string{"peer", "retrieval"}
+	list := &postings.List{Entries: []postings.Posting{post("p3", 7, 1.5), post("p4", 1, 0.5)}}
+	if _, err := idxs[0].Put(terms, list, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Any peer can fetch it.
+	got, found, _, err := idxs[7].Get([]string{"retrieval", "peer"}, 0) // order independent
+	if err != nil || !found {
+		t.Fatalf("get: %v found=%v", err, found)
+	}
+	if got.Len() != 2 || got.Entries[0] != post("p3", 7, 1.5) {
+		t.Fatalf("got %v", got.Entries)
+	}
+	// The entry lives at exactly the responsible peer.
+	key := ids.KeyString(terms)
+	resp, _, err := nodes[0].Lookup(ids.HashString(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders := 0
+	for i, ix := range idxs {
+		if _, ok := ix.Store().Peek(key); ok {
+			holders++
+			if nodes[i].Self().Addr != resp.Addr {
+				t.Fatalf("key stored at %s, responsible is %s", nodes[i].Self().Addr, resp.Addr)
+			}
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("key stored at %d peers", holders)
+	}
+}
+
+func TestDistributedAppendAccumulates(t *testing.T) {
+	_, idxs, _ := ring(t, 8)
+	terms := []string{"shared"}
+	for i := 0; i < 5; i++ {
+		l := &postings.List{Entries: []postings.Posting{post(fmt.Sprintf("pub%d", i), 1, float64(i))}}
+		if _, err := idxs[i].Append(terms, l, 100, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, found, _, err := idxs[6].Get(terms, 0)
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Fatalf("accumulated %d entries", got.Len())
+	}
+}
+
+func TestDistributedGetMissAndRemove(t *testing.T) {
+	_, idxs, _ := ring(t, 8)
+	if _, found, _, err := idxs[0].Get([]string{"nothing"}, 0); err != nil || found {
+		t.Fatalf("miss: %v %v", found, err)
+	}
+	if _, err := idxs[0].Put([]string{"gone"}, &postings.List{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := idxs[3].Remove([]string{"gone"})
+	if err != nil || !removed {
+		t.Fatalf("remove: %v %v", removed, err)
+	}
+	if _, found, _, _ := idxs[5].Get([]string{"gone"}, 0); found {
+		t.Fatal("key must be gone after remove")
+	}
+}
+
+func TestPeerStatsRPC(t *testing.T) {
+	nodes, idxs, _ := ring(t, 6)
+	if _, err := idxs[0].Put([]string{"x"}, &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	key := ids.KeyString([]string{"x"})
+	resp, _, err := nodes[0].Lookup(ids.HashString(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := idxs[1].PeerStats(resp.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys != 1 || st.Postings != 1 {
+		t.Fatalf("peer stats = %+v", st)
+	}
+}
+
+func TestGetBandwidthBoundedByCap(t *testing.T) {
+	// The transferred bytes for a capped get must not grow with the
+	// stored list size — the paper's core bandwidth property.
+	_, idxs, net := ring(t, 8)
+	big := &postings.List{}
+	for i := 0; i < 5000; i++ {
+		big.Add(post("pub", uint32(i), float64(i)))
+	}
+	if _, err := idxs[0].Put([]string{"huge"}, big, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Meter().Snapshot()
+	if _, _, _, err := idxs[1].Get([]string{"huge"}, 50); err != nil {
+		t.Fatal(err)
+	}
+	capped := net.Meter().Snapshot().Sub(before).Bytes
+
+	before = net.Meter().Snapshot()
+	if _, _, _, err := idxs[1].Get([]string{"huge"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := net.Meter().Snapshot().Sub(before).Bytes
+
+	if capped*10 > full {
+		t.Fatalf("capped transfer %d should be far below full %d", capped, full)
+	}
+}

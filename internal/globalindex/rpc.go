@@ -1,0 +1,280 @@
+package globalindex
+
+import (
+	"fmt"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Message types for the global-index protocol (range 0x10–0x2F).
+const (
+	MsgPut     uint8 = 0x10 // (key, bound, list) -> storedLen
+	MsgAppend  uint8 = 0x11 // (key, bound, announcedDF, list) -> storedLen
+	MsgGet     uint8 = 0x12 // (key, maxResults) -> (found, wantIndex, list?)
+	MsgRemove  uint8 = 0x13 // (key) -> removed
+	MsgStats   uint8 = 0x14 // () -> (keys, postings, bytes)
+	MsgKeyInfo uint8 = 0x15 // (key) -> (present, approxDF, truncated)
+)
+
+// Index is one peer's global-index component: the local store slice plus
+// client operations that route through the DHT to whichever peer is
+// responsible for a key.
+type Index struct {
+	node  *dht.Node
+	store *Store
+}
+
+// New creates the component for node, registering its handlers on d.
+func New(node *dht.Node, d *transport.Dispatcher) *Index {
+	ix := &Index{node: node, store: NewStore(0)}
+	d.Handle(MsgPut, ix.handlePut)
+	d.Handle(MsgAppend, ix.handleAppend)
+	d.Handle(MsgGet, ix.handleGet)
+	d.Handle(MsgRemove, ix.handleRemove)
+	d.Handle(MsgStats, ix.handleStats)
+	d.Handle(MsgKeyInfo, ix.handleKeyInfo)
+	return ix
+}
+
+// Store exposes the peer's local slice of the global index (the QDI layer
+// and the monitoring UI read it).
+func (ix *Index) Store() *Store { return ix.store }
+
+// Node returns the underlying DHT node.
+func (ix *Index) Node() *dht.Node { return ix.node }
+
+func (ix *Index) handlePut(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	key, bound, _, list, err := decodeKeyBoundList(body, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := ix.store.Put(key, list, bound)
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(n))
+	return MsgPut, w.Bytes(), nil
+}
+
+func (ix *Index) handleAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	key, bound, announcedDF, list, err := decodeKeyBoundList(body, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := ix.store.Append(key, list, bound, announcedDF)
+	w := wire.NewWriter(8)
+	w.Uvarint(uint64(n))
+	return MsgAppend, w.Bytes(), nil
+}
+
+func (ix *Index) handleGet(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	key := r.String()
+	maxResults := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	list, found, wantIndex := ix.store.Get(key, maxResults)
+	w := wire.NewWriter(64)
+	w.Bool(found)
+	w.Bool(wantIndex)
+	if found {
+		list.Encode(w)
+	}
+	return MsgGet, w.Bytes(), nil
+}
+
+func (ix *Index) handleRemove(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	key := r.String()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	removed := ix.store.Remove(key)
+	w := wire.NewWriter(2)
+	w.Bool(removed)
+	return MsgRemove, w.Bytes(), nil
+}
+
+func (ix *Index) handleStats(_ transport.Addr, _ uint8, _ []byte) (uint8, []byte, error) {
+	st := ix.store.Stats()
+	w := wire.NewWriter(16)
+	w.Uvarint(uint64(st.Keys))
+	w.Uvarint(uint64(st.Postings))
+	w.Uvarint(uint64(st.Bytes))
+	return MsgStats, w.Bytes(), nil
+}
+
+func (ix *Index) handleKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	key := r.String()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	df, present := ix.store.ApproxDF(key)
+	truncated := false
+	if present {
+		if l, ok := ix.store.Peek(key); ok {
+			truncated = l.Truncated
+		}
+	}
+	w := wire.NewWriter(16)
+	w.Bool(present)
+	w.Uvarint(uint64(df))
+	w.Bool(truncated)
+	return MsgKeyInfo, w.Bytes(), nil
+}
+
+func decodeKeyBoundList(body []byte, withDF bool) (string, int, int, *postings.List, error) {
+	r := wire.NewReader(body)
+	key := r.String()
+	bound := int(r.Uvarint())
+	announcedDF := 0
+	if withDF {
+		announcedDF = int(r.Uvarint())
+	}
+	list, err := postings.Decode(r)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	if err := r.Err(); err != nil {
+		return "", 0, 0, nil, err
+	}
+	return key, bound, announcedDF, list, nil
+}
+
+func encodeKeyBoundList(key string, bound, announcedDF int, list *postings.List, withDF bool) []byte {
+	w := wire.NewWriter(64 + 12*list.Len())
+	w.String(key)
+	w.Uvarint(uint64(bound))
+	if withDF {
+		w.Uvarint(uint64(announcedDF))
+	}
+	list.Encode(w)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// resolve finds the peer responsible for a canonical key string.
+func (ix *Index) resolve(key string) (dht.Remote, error) {
+	r, _, err := ix.node.Lookup(ids.HashString(key))
+	if err != nil {
+		return dht.Remote{}, fmt.Errorf("globalindex: resolve %q: %w", key, err)
+	}
+	return r, nil
+}
+
+// Put stores list under the canonical key for terms, replacing any
+// previous list, truncated to bound (0 = hard cap only). It returns the
+// length stored at the responsible peer.
+func (ix *Index) Put(terms []string, list *postings.List, bound int) (int, error) {
+	return ix.putOrAppend(MsgPut, terms, list, bound, 0)
+}
+
+// Append merges list into the entry stored under the canonical key for
+// terms, announcing the publisher's true local document frequency (see
+// Store.Append). It returns the resulting stored length.
+func (ix *Index) Append(terms []string, list *postings.List, bound, announcedDF int) (int, error) {
+	return ix.putOrAppend(MsgAppend, terms, list, bound, announcedDF)
+}
+
+func (ix *Index) putOrAppend(msg uint8, terms []string, list *postings.List, bound, announcedDF int) (int, error) {
+	key := ids.KeyString(terms)
+	peer, err := ix.resolve(key)
+	if err != nil {
+		return 0, err
+	}
+	_, resp, err := ix.node.Endpoint().Call(peer.Addr, msg, encodeKeyBoundList(key, bound, announcedDF, list, msg == MsgAppend))
+	if err != nil {
+		return 0, fmt.Errorf("globalindex: put %q at %s: %w", key, peer.Addr, err)
+	}
+	r := wire.NewReader(resp)
+	n := int(r.Uvarint())
+	return n, r.Err()
+}
+
+// Get fetches the posting list for the given term combination from the
+// responsible peer, capped to maxResults entries (0 = whole stored list).
+// found reports whether the key is indexed; wantIndex is the responsible
+// peer's QDI activation request for a missing-but-popular key. The probe
+// updates the responsible peer's usage statistics either way.
+func (ix *Index) Get(terms []string, maxResults int) (list *postings.List, found, wantIndex bool, err error) {
+	key := ids.KeyString(terms)
+	peer, err := ix.resolve(key)
+	if err != nil {
+		return nil, false, false, err
+	}
+	w := wire.NewWriter(len(key) + 8)
+	w.String(key)
+	w.Uvarint(uint64(maxResults))
+	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgGet, w.Bytes())
+	if err != nil {
+		return nil, false, false, fmt.Errorf("globalindex: get %q at %s: %w", key, peer.Addr, err)
+	}
+	r := wire.NewReader(resp)
+	found = r.Bool()
+	wantIndex = r.Bool()
+	if !found {
+		return nil, false, wantIndex, r.Err()
+	}
+	list, err = postings.Decode(r)
+	if err != nil {
+		return nil, false, false, err
+	}
+	return list, true, wantIndex, nil
+}
+
+// Remove deletes the entry for the given term combination.
+func (ix *Index) Remove(terms []string) (bool, error) {
+	key := ids.KeyString(terms)
+	peer, err := ix.resolve(key)
+	if err != nil {
+		return false, err
+	}
+	w := wire.NewWriter(len(key) + 4)
+	w.String(key)
+	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgRemove, w.Bytes())
+	if err != nil {
+		return false, fmt.Errorf("globalindex: remove %q: %w", key, err)
+	}
+	r := wire.NewReader(resp)
+	return r.Bool(), r.Err()
+}
+
+// KeyInfo fetches the presence, approximate global document frequency and
+// truncation state of a key from its responsible peer. HDK's frequency
+// test is built on it.
+func (ix *Index) KeyInfo(terms []string) (df int64, present, truncated bool, err error) {
+	key := ids.KeyString(terms)
+	peer, err := ix.resolve(key)
+	if err != nil {
+		return 0, false, false, err
+	}
+	w := wire.NewWriter(len(key) + 4)
+	w.String(key)
+	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgKeyInfo, w.Bytes())
+	if err != nil {
+		return 0, false, false, fmt.Errorf("globalindex: keyinfo %q: %w", key, err)
+	}
+	r := wire.NewReader(resp)
+	present = r.Bool()
+	df = int64(r.Uvarint())
+	truncated = r.Bool()
+	return df, present, truncated, r.Err()
+}
+
+// PeerStats fetches the storage statistics of an arbitrary peer.
+func (ix *Index) PeerStats(addr transport.Addr) (Stats, error) {
+	_, resp, err := ix.node.Endpoint().Call(addr, MsgStats, nil)
+	if err != nil {
+		return Stats{}, fmt.Errorf("globalindex: stats %s: %w", addr, err)
+	}
+	r := wire.NewReader(resp)
+	st := Stats{
+		Keys:     int(r.Uvarint()),
+		Postings: int(r.Uvarint()),
+		Bytes:    int(r.Uvarint()),
+	}
+	return st, r.Err()
+}

@@ -1,0 +1,346 @@
+// Package globalindex implements AlvisP2P's layer-3 distributed index:
+// the key → (truncated) posting-list store partitioned over the DHT. Each
+// peer runs one Index component that (a) stores and serves the slice of
+// the global index whose keys hash onto it and (b) lets the local engine
+// publish and fetch posting lists anywhere in the network.
+//
+// Every probe for a key — hit or miss — updates usage statistics at the
+// responsible peer (paper §2: "during the exploration, each contacted
+// peer also updates the usage statistics for the requested term
+// combination"); the query-driven indexing layer reads those statistics
+// to decide which keys to index or evict.
+package globalindex
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/postings"
+)
+
+// HardCap bounds any posting list a store will retain, whatever bound the
+// publisher requests; it protects peers from hostile or buggy publishers.
+// It is far above any AlvisP2P truncation bound — it exists so that the
+// *baseline* single-term index (experiment E1) can store its untruncated
+// lists through the same machinery.
+const HardCap = 1 << 20
+
+// Store is one peer's slice of the global index. It is safe for
+// concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[string]*postings.List
+
+	// approxDF approximates each key's global document frequency: the
+	// total number of postings publishers have pushed for it, counted
+	// before truncation. HDK's frequency test (df > DFmax) reads it; it
+	// is exact as long as each peer publishes each (key, doc) once.
+	approxDF map[string]int64
+
+	// Usage statistics: probe counts per canonical key, for both present
+	// and absent keys (QDI candidates are exactly the popular absent
+	// keys). A logical clock orders observations; decay divides counts.
+	probes     map[string]*KeyStats
+	clock      int64
+	maxTracked int
+
+	// activation, when set (by the QDI layer), decides whether a probe of
+	// a missing key should ask the querying peer to index it on demand.
+	activation func(key string, ks KeyStats) bool
+}
+
+// KeyStats is the usage record of one key.
+type KeyStats struct {
+	Count     float64 // decayed probe count
+	LastProbe int64   // logical time of the most recent probe
+	Present   bool    // whether the key was indexed at last probe
+}
+
+// NewStore returns an empty store tracking at most maxTracked key-usage
+// records (0 means the 4096 default).
+func NewStore(maxTracked int) *Store {
+	if maxTracked <= 0 {
+		maxTracked = 4096
+	}
+	return &Store{
+		entries:    make(map[string]*postings.List),
+		approxDF:   make(map[string]int64),
+		probes:     make(map[string]*KeyStats),
+		maxTracked: maxTracked,
+	}
+}
+
+// Put replaces the list stored under key, truncating to bound (and to the
+// hard cap). It returns the stored length.
+func (s *Store) Put(key string, list *postings.List, bound int) int {
+	if bound <= 0 || bound > HardCap {
+		bound = HardCap
+	}
+	cp := list.Clone()
+	cp.Normalize()
+	preTruncate := cp.Len()
+	cp.Truncate(bound)
+	s.mu.Lock()
+	s.entries[key] = cp
+	s.approxDF[key] = int64(preTruncate)
+	s.mu.Unlock()
+	return cp.Len()
+}
+
+// Append merges new entries into the list stored under key (creating it
+// if absent), truncating to bound. announcedDF is the publisher's true
+// local document frequency for the key — publishers cap the postings they
+// ship (sending more than the bound is wasted bandwidth) but must still
+// announce the real count so the store can (a) approximate the global DF
+// for HDK's frequency test and (b) mark lists that are incomplete.
+// announcedDF below the shipped length is corrected upward. It returns
+// the resulting stored length.
+func (s *Store) Append(key string, list *postings.List, bound, announcedDF int) int {
+	if bound <= 0 || bound > HardCap {
+		bound = HardCap
+	}
+	if announcedDF < list.Len() {
+		announcedDF = list.Len()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.entries[key]
+	if !ok {
+		cur = &postings.List{}
+	}
+	merged := postings.Union(cur, list)
+	// Union marks the result truncated if either input was; appending to
+	// a previously truncated list keeps that mark.
+	merged.Truncate(bound)
+	s.approxDF[key] += int64(announcedDF)
+	if s.approxDF[key] > int64(merged.Len()) {
+		merged.Truncated = true
+	}
+	s.entries[key] = merged
+	return merged.Len()
+}
+
+// SetActivationPolicy installs the QDI layer's on-demand indexing
+// predicate: given a missing key's usage statistics, should the querying
+// peer be asked to index it? Passing nil disables activation.
+func (s *Store) SetActivationPolicy(f func(key string, ks KeyStats) bool) {
+	s.mu.Lock()
+	s.activation = f
+	s.mu.Unlock()
+}
+
+// Get returns (a copy of) the list stored under key capped to maxResults
+// entries (0 = all), and whether the key is present. The probe is
+// recorded in the usage statistics either way. wantIndex is the QDI
+// activation signal: true when the key is missing, popular, and the
+// activation policy asks the caller to index it on demand.
+func (s *Store) Get(key string, maxResults int) (list *postings.List, found, wantIndex bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.entries[key]
+	s.recordProbeLocked(key, ok)
+	if !ok {
+		if s.activation != nil {
+			if ks := s.probes[key]; ks != nil && s.activation(key, *ks) {
+				wantIndex = true
+			}
+		}
+		return nil, false, wantIndex
+	}
+	out := cur.Clone()
+	if maxResults > 0 && out.Len() > maxResults {
+		out.Entries = out.Entries[:maxResults]
+		out.Truncated = true
+	}
+	return out, true, false
+}
+
+// Peek returns the stored list without touching usage statistics
+// (monitoring and tests).
+func (s *Store) Peek(key string) (*postings.List, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cur, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return cur.Clone(), true
+}
+
+// Remove deletes the key. It reports whether the key was present.
+func (s *Store) Remove(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; !ok {
+		return false
+	}
+	delete(s.entries, key)
+	delete(s.approxDF, key)
+	return true
+}
+
+// ApproxDF returns the approximate global document frequency of key (the
+// number of postings ever pushed for it, pre-truncation) and whether the
+// key is present.
+func (s *Store) ApproxDF(key string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, present := s.entries[key]
+	return s.approxDF[key], present
+}
+
+// Keys returns all stored keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes the store for monitoring and the storage experiments.
+type Stats struct {
+	Keys     int
+	Postings int
+	Bytes    int // exact wire-encoded size of all stored lists
+}
+
+// Stats computes current storage statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Keys: len(s.entries)}
+	for _, l := range s.entries {
+		st.Postings += l.Len()
+		st.Bytes += l.EncodedSize()
+	}
+	return st
+}
+
+// recordProbeLocked updates usage statistics for a key probe.
+func (s *Store) recordProbeLocked(key string, present bool) {
+	s.clock++
+	ks, ok := s.probes[key]
+	if !ok {
+		if len(s.probes) >= s.maxTracked {
+			s.evictColdestLocked()
+		}
+		ks = &KeyStats{}
+		s.probes[key] = ks
+	}
+	ks.Count++
+	ks.LastProbe = s.clock
+	ks.Present = present
+}
+
+// evictColdestLocked drops the least recently probed record.
+func (s *Store) evictColdestLocked() {
+	var coldest string
+	var coldestTime int64 = 1<<63 - 1
+	for k, ks := range s.probes {
+		if ks.LastProbe < coldestTime {
+			coldest, coldestTime = k, ks.LastProbe
+		}
+	}
+	if coldest != "" {
+		delete(s.probes, coldest)
+	}
+}
+
+// Popularity returns the usage record for key (zero value if untracked).
+func (s *Store) Popularity(key string) KeyStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ks, ok := s.probes[key]; ok {
+		return *ks
+	}
+	return KeyStats{}
+}
+
+// PopularAbsentKeys returns keys probed at least minCount times that are
+// not currently indexed — the QDI indexing candidates — most popular
+// first.
+func (s *Store) PopularAbsentKeys(minCount float64) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type kc struct {
+		key string
+		c   float64
+	}
+	var cands []kc
+	for k, ks := range s.probes {
+		if _, indexed := s.entries[k]; indexed {
+			continue
+		}
+		if ks.Count >= minCount {
+			cands = append(cands, kc{k, ks.Count})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].c != cands[j].c {
+			return cands[i].c > cands[j].c
+		}
+		return cands[i].key < cands[j].key
+	})
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.key
+	}
+	return out
+}
+
+// ColdIndexedKeys returns indexed keys whose decayed popularity has
+// fallen below maxCount — the QDI eviction candidates — coldest first.
+func (s *Store) ColdIndexedKeys(maxCount float64) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type kc struct {
+		key string
+		c   float64
+	}
+	var cands []kc
+	for k := range s.entries {
+		var c float64
+		if ks, ok := s.probes[k]; ok {
+			c = ks.Count
+		}
+		if c <= maxCount {
+			cands = append(cands, kc{k, c})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].c != cands[j].c {
+			return cands[i].c < cands[j].c
+		}
+		return cands[i].key < cands[j].key
+	})
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.key
+	}
+	return out
+}
+
+// Decay multiplies every probe count by factor (0 < factor < 1), the
+// aging mechanism that lets QDI track the *current* query distribution.
+// Records that decay below 0.01 are dropped.
+func (s *Store) Decay(factor float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, ks := range s.probes {
+		ks.Count *= factor
+		if ks.Count < 0.01 {
+			delete(s.probes, k)
+		}
+	}
+}
+
+// TrackedKeys returns the number of usage records currently held.
+func (s *Store) TrackedKeys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.probes)
+}

@@ -1,0 +1,93 @@
+// Package ids defines the identifier space shared by the AlvisP2P DHT and
+// the distributed index: a 64-bit ring on which both peers and index keys
+// are placed. It provides hashing of textual keys into the ring and the
+// modular interval arithmetic that routing and responsibility tests need.
+package ids
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID is a position on the identifier ring [0, 2^64).
+type ID uint64
+
+// String renders the ID as fixed-width hexadecimal so that IDs sort
+// textually in ring order.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// HashBytes maps arbitrary bytes onto the ring using the first eight bytes
+// of their SHA-1 digest. SHA-1 keeps parity with the original system's
+// hashing (P-Grid/Chord-era DHTs) and gives a uniform distribution; the
+// truncation to 64 bits is the ring width, not a security boundary.
+func HashBytes(b []byte) ID {
+	sum := sha1.Sum(b)
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashString maps a string onto the ring. It is the canonical way to place
+// an index key: the caller must pass the key's canonical form (see
+// KeyString).
+func HashString(s string) ID { return HashBytes([]byte(s)) }
+
+// KeyString returns the canonical textual form of a term combination:
+// terms sorted lexicographically and joined with a single space. Hashing
+// the canonical form guarantees that {a,b} and {b,a} map to the same peer.
+func KeyString(terms []string) string {
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	sorted := make([]string, len(terms))
+	copy(sorted, terms)
+	sort.Strings(sorted)
+	return strings.Join(sorted, " ")
+}
+
+// HashKey hashes a term combination in canonical form.
+func HashKey(terms []string) ID { return HashString(KeyString(terms)) }
+
+// Between reports whether x lies in the half-open ring interval (from, to].
+// This is the Chord successor-responsibility test: the peer with ID `to`
+// whose predecessor has ID `from` is responsible for every x in (from, to].
+// When from == to the interval covers the whole ring (single-peer case).
+func Between(x, from, to ID) bool {
+	if from == to {
+		return true
+	}
+	if from < to {
+		return from < x && x <= to
+	}
+	// Interval wraps around zero.
+	return x > from || x <= to
+}
+
+// BetweenOpen reports whether x lies strictly inside the open ring
+// interval (from, to). Used by finger-table maintenance where neither
+// endpoint qualifies.
+func BetweenOpen(x, from, to ID) bool {
+	if from == to {
+		return x != from
+	}
+	if from < to {
+		return from < x && x < to
+	}
+	return x > from || x < to
+}
+
+// Distance returns the clockwise distance from a to b on the ring, i.e.
+// the number of positions a pointer must advance from a to reach b.
+func Distance(a, b ID) uint64 {
+	return uint64(b - a) // wrap-around is exactly two's-complement subtraction
+}
+
+// Add advances an ID clockwise by d positions, wrapping around the ring.
+func Add(a ID, d uint64) ID { return a + ID(d) }
+
+// FingerTarget returns the classic Chord finger target for index i:
+// a + 2^i positions clockwise. i must be in [0, 64).
+func FingerTarget(a ID, i uint) ID {
+	return a + ID(uint64(1)<<i)
+}

@@ -1,0 +1,185 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := HashString("information retrieval")
+	b := HashString("information retrieval")
+	if a != b {
+		t.Fatalf("HashString not deterministic: %v vs %v", a, b)
+	}
+	if HashString("information") == HashString("retrieval") {
+		t.Fatal("distinct strings should not collide in practice")
+	}
+}
+
+func TestKeyStringCanonical(t *testing.T) {
+	cases := []struct {
+		terms []string
+		want  string
+	}{
+		{[]string{"a"}, "a"},
+		{[]string{"b", "a"}, "a b"},
+		{[]string{"c", "a", "b"}, "a b c"},
+		{[]string{"zebra", "apple", "mango"}, "apple mango zebra"},
+	}
+	for _, c := range cases {
+		if got := KeyString(c.terms); got != c.want {
+			t.Errorf("KeyString(%v) = %q, want %q", c.terms, got, c.want)
+		}
+	}
+}
+
+func TestKeyStringDoesNotMutateInput(t *testing.T) {
+	terms := []string{"c", "a", "b"}
+	KeyString(terms)
+	if terms[0] != "c" || terms[1] != "a" || terms[2] != "b" {
+		t.Fatalf("KeyString mutated its input: %v", terms)
+	}
+}
+
+func TestHashKeyOrderIndependent(t *testing.T) {
+	a := HashKey([]string{"peer", "to", "network"})
+	b := HashKey([]string{"network", "peer", "to"})
+	if a != b {
+		t.Fatalf("HashKey must be order independent: %v vs %v", a, b)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		x, from, to ID
+		want        bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false}, // half-open: from excluded
+		{10, 1, 10, true}, // to included
+		{11, 1, 10, false},
+		{0, 10, 2, true}, // wrapping interval
+		{1, 10, 2, true},
+		{2, 10, 2, true},
+		{3, 10, 2, false},
+		{10, 10, 2, false},
+		{11, 10, 2, true},
+		{7, 7, 7, true}, // degenerate: whole ring
+		{0, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := Between(c.x, c.from, c.to); got != c.want {
+			t.Errorf("Between(%d, %d, %d) = %v, want %v", c.x, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	cases := []struct {
+		x, from, to ID
+		want        bool
+	}{
+		{5, 1, 10, true},
+		{1, 1, 10, false},
+		{10, 1, 10, false},
+		{0, 10, 2, true},
+		{1, 10, 2, true},
+		{2, 10, 2, false},
+		{10, 10, 2, false},
+		{7, 7, 7, false},
+		{8, 7, 7, true},
+	}
+	for _, c := range cases {
+		if got := BetweenOpen(c.x, c.from, c.to); got != c.want {
+			t.Errorf("BetweenOpen(%d, %d, %d) = %v, want %v", c.x, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestDistanceAddRoundTrip(t *testing.T) {
+	f := func(a uint64, d uint64) bool {
+		id := ID(a)
+		return Distance(id, Add(id, d)) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetweenPartitionsRing(t *testing.T) {
+	// Property: for from != to, every point is in exactly one of
+	// (from, to] and (to, from].
+	f := func(x, from, to uint64) bool {
+		if from == to {
+			return true
+		}
+		a := Between(ID(x), ID(from), ID(to))
+		b := Between(ID(x), ID(to), ID(from))
+		return a != b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleOnRing(t *testing.T) {
+	// Property: clockwise distances around any three points sum to a
+	// multiple of the ring size (i.e. wrap consistently).
+	f := func(a, b, c uint64) bool {
+		ab := Distance(ID(a), ID(b))
+		bc := Distance(ID(b), ID(c))
+		ca := Distance(ID(c), ID(a))
+		return ab+bc+ca == 0 || ab+bc+ca != 0 // sums mod 2^64; always consistent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The real invariant: ab + bc == ac (mod 2^64).
+	g := func(a, b, c uint64) bool {
+		ab := Distance(ID(a), ID(b))
+		bc := Distance(ID(b), ID(c))
+		ac := Distance(ID(a), ID(c))
+		return ab+bc == ac
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerTarget(t *testing.T) {
+	base := ID(100)
+	if got := FingerTarget(base, 0); got != 101 {
+		t.Errorf("finger 0 = %d, want 101", got)
+	}
+	if got := FingerTarget(base, 3); got != 108 {
+		t.Errorf("finger 3 = %d, want 108", got)
+	}
+	// Wrap-around.
+	near := ID(^uint64(0)) // max
+	if got := FingerTarget(near, 0); got != 0 {
+		t.Errorf("finger wrap = %d, want 0", got)
+	}
+}
+
+func TestHashUniformQuartiles(t *testing.T) {
+	// Sanity check that hashing spreads keys across the ring: bucket
+	// 4096 random strings into quartiles and require no quartile to be
+	// wildly over- or under-populated.
+	rng := rand.New(rand.NewSource(42))
+	var buckets [4]int
+	const n = 4096
+	for i := 0; i < n; i++ {
+		s := make([]byte, 12)
+		for j := range s {
+			s[j] = byte('a' + rng.Intn(26))
+		}
+		id := HashBytes(s)
+		buckets[uint64(id)>>62]++
+	}
+	for i, b := range buckets {
+		if b < n/8 || b > n/2 {
+			t.Errorf("quartile %d has %d of %d hashes; distribution too skewed", i, b, n)
+		}
+	}
+}

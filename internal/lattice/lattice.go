@@ -1,0 +1,203 @@
+// Package lattice implements AlvisP2P's retrieval-side lattice
+// exploration (paper §2, Figure 1). Given a multi-keyword query, the
+// querying peer explores the lattice of its term combinations in
+// decreasing combination-size order, requesting each combination's
+// posting list from the peer responsible for it. A hit with an
+// *untruncated* list excludes the part of the lattice it dominates (all
+// sub-combinations) from further exploration; as the paper's
+// load-balancing approximation, a hit with a *truncated* list may prune
+// its sublattice too, at a marginal loss in precision. The union of all
+// retrieved lists is the candidate set handed to the ranking layer.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/postings"
+)
+
+// Fetcher is the probe primitive: fetch the posting list stored for a
+// term combination (the global index implements it; tests stub it).
+type Fetcher interface {
+	Get(terms []string, maxResults int) (list *postings.List, found bool, err error)
+}
+
+// FetchFunc adapts a function to the Fetcher interface.
+type FetchFunc func(terms []string, maxResults int) (*postings.List, bool, error)
+
+// Get implements Fetcher.
+func (f FetchFunc) Get(terms []string, maxResults int) (*postings.List, bool, error) {
+	return f(terms, maxResults)
+}
+
+// Config controls the exploration.
+type Config struct {
+	// PruneTruncated applies the paper's approximation: the sublattice
+	// dominated by a key with a truncated posting list is pruned as well
+	// (Figure 1 shows this behaviour: after the truncated hit on bc, the
+	// keys b and c are skipped).
+	PruneTruncated bool
+	// MaxResultsPerProbe caps how many postings a probe transfers
+	// (0 = the whole stored list, which is itself bounded by TruncK).
+	MaxResultsPerProbe int
+	// MaxQueryTerms bounds the lattice size; longer queries keep only
+	// their first MaxQueryTerms distinct terms (default 6, i.e. at most
+	// 63 probes).
+	MaxQueryTerms int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxQueryTerms == 0 {
+		c.MaxQueryTerms = 6
+	}
+}
+
+// Probe records one lattice node visit.
+type Probe struct {
+	Terms     []string
+	Found     bool
+	Truncated bool
+	Postings  int
+}
+
+// Trace records an exploration for inspection: the Figure 1 reproduction
+// test and the probe-cost experiments read it.
+type Trace struct {
+	Probed  []Probe
+	Skipped [][]string
+}
+
+// Probes returns the number of probes issued.
+func (t *Trace) Probes() int { return len(t.Probed) }
+
+// String renders the trace in the style of Figure 1's legend.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, p := range t.Probed {
+		state := "miss"
+		if p.Found && p.Truncated {
+			state = "hit (truncated)"
+		} else if p.Found {
+			state = "hit"
+		}
+		fmt.Fprintf(&b, "probed  {%s}: %s\n", strings.Join(p.Terms, ","), state)
+	}
+	for _, s := range t.Skipped {
+		fmt.Fprintf(&b, "skipped {%s}\n", strings.Join(s, ","))
+	}
+	return b.String()
+}
+
+// Explore runs the lattice exploration for the given distinct query terms
+// and returns the union of all retrieved posting lists plus the trace.
+func Explore(f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace, error) {
+	cfg.fillDefaults()
+	terms := dedupeSorted(queryTerms)
+	if len(terms) == 0 {
+		return &postings.List{}, &Trace{}, nil
+	}
+	if len(terms) > cfg.MaxQueryTerms {
+		terms = terms[:cfg.MaxQueryTerms]
+	}
+	n := len(terms)
+
+	// Enumerate non-empty subsets by decreasing size; within a size, in
+	// lexicographic order of the term combination (matching Figure 1's
+	// ab, ac, bc order).
+	masks := make([]uint, 0, (1<<n)-1)
+	for m := uint(1); m < 1<<n; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		a, b := masks[i], masks[j]
+		ca, cb := popcount(a), popcount(b)
+		if ca != cb {
+			return ca > cb
+		}
+		// Lexicographic on the combination = numeric on the mask read as
+		// smallest-index-first: lower set bits first.
+		return lexLess(a, b, n)
+	})
+
+	trace := &Trace{}
+	var lists []*postings.List
+	var covering []uint // masks whose sublattice is pruned
+
+	for _, m := range masks {
+		skipped := false
+		for _, c := range covering {
+			if m&c == m && m != c {
+				skipped = true
+				break
+			}
+		}
+		if skipped {
+			trace.Skipped = append(trace.Skipped, maskTerms(m, terms))
+			continue
+		}
+		combo := maskTerms(m, terms)
+		list, found, err := f.Get(combo, cfg.MaxResultsPerProbe)
+		if err != nil {
+			return nil, trace, fmt.Errorf("lattice: probe %v: %w", combo, err)
+		}
+		p := Probe{Terms: combo, Found: found}
+		if found {
+			p.Truncated = list.Truncated
+			p.Postings = list.Len()
+			lists = append(lists, list)
+			if !list.Truncated || cfg.PruneTruncated {
+				covering = append(covering, m)
+			}
+		}
+		trace.Probed = append(trace.Probed, p)
+	}
+	return postings.Union(lists...), trace, nil
+}
+
+func dedupeSorted(terms []string) []string {
+	out := append([]string(nil), terms...)
+	sort.Strings(out)
+	j := 0
+	for i, t := range out {
+		if i > 0 && t == out[j-1] {
+			continue
+		}
+		out[j] = t
+		j++
+	}
+	return out[:j]
+}
+
+func popcount(m uint) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}
+
+// lexLess orders equal-popcount masks so that the term combinations they
+// select over n sorted terms come out lexicographically: the combination
+// with the earliest differing index first.
+func lexLess(a, b uint, n int) bool {
+	for i := 0; i < n; i++ {
+		ba := a&(1<<i) != 0
+		bb := b&(1<<i) != 0
+		if ba != bb {
+			return ba // a contains the earlier index: a first
+		}
+	}
+	return false
+}
+
+func maskTerms(m uint, terms []string) []string {
+	out := make([]string, 0, popcount(m))
+	for i := range terms {
+		if m&(1<<i) != 0 {
+			out = append(out, terms[i])
+		}
+	}
+	return out
+}

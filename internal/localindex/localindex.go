@@ -1,0 +1,390 @@
+// Package localindex implements AlvisP2P's layer L5: the per-peer local
+// search engine. The original system embeds Terrier; this package is the
+// substitution — a positional inverted index with BM25 ranked retrieval,
+// boolean retrieval, co-occurrence queries (the primitive HDK key
+// generation needs), and digest import/export. It implements
+// ranking.Stats over its local collection so the same scorer serves both
+// local and distributed ranking.
+package localindex
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/docs"
+	"repro/internal/ranking"
+	"repro/internal/textproc"
+)
+
+// DocPosting records one document's occurrences of a term.
+type DocPosting struct {
+	Doc       uint32
+	Positions []int // token positions, ascending
+}
+
+// Result is one ranked retrieval hit.
+type Result struct {
+	Doc   uint32
+	Score float64
+}
+
+// Index is the local engine. It is safe for concurrent use.
+type Index struct {
+	analyzer *textproc.Analyzer
+
+	mu       sync.RWMutex
+	postings map[string][]DocPosting // term -> postings sorted by Doc
+	docTerms map[uint32][]string     // doc -> distinct terms (for removal)
+	docLen   map[uint32]int          // doc -> token count
+	totalLen int64
+}
+
+// New creates an empty index using analyzer (textproc.Default if nil).
+func New(analyzer *textproc.Analyzer) *Index {
+	if analyzer == nil {
+		analyzer = textproc.Default
+	}
+	return &Index{
+		analyzer: analyzer,
+		postings: make(map[string][]DocPosting),
+		docTerms: make(map[uint32][]string),
+		docLen:   make(map[uint32]int),
+	}
+}
+
+// Analyzer returns the analyzer the index normalizes text with.
+func (ix *Index) Analyzer() *textproc.Analyzer { return ix.analyzer }
+
+// Add indexes a document body under the given peer-local ID, replacing
+// any previous content for that ID.
+func (ix *Index) Add(doc uint32, text string) {
+	toks := ix.analyzer.Tokens(text)
+	byTerm := make(map[string][]int)
+	var order []string
+	length := 0
+	for _, t := range toks {
+		if _, seen := byTerm[t.Term]; !seen {
+			order = append(order, t.Term)
+		}
+		byTerm[t.Term] = append(byTerm[t.Term], t.Pos)
+		length++
+	}
+	sort.Strings(order)
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(doc)
+	for _, term := range order {
+		plist := ix.postings[term]
+		i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
+		plist = append(plist, DocPosting{})
+		copy(plist[i+1:], plist[i:])
+		plist[i] = DocPosting{Doc: doc, Positions: byTerm[term]}
+		ix.postings[term] = plist
+	}
+	ix.docTerms[doc] = order
+	ix.docLen[doc] = length
+	ix.totalLen += int64(length)
+}
+
+// Remove deletes a document from the index. It reports whether the
+// document was present.
+func (ix *Index) Remove(doc uint32) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.removeLocked(doc)
+}
+
+func (ix *Index) removeLocked(doc uint32) bool {
+	terms, ok := ix.docTerms[doc]
+	if !ok {
+		return false
+	}
+	for _, term := range terms {
+		plist := ix.postings[term]
+		i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
+		if i < len(plist) && plist[i].Doc == doc {
+			plist = append(plist[:i], plist[i+1:]...)
+		}
+		if len(plist) == 0 {
+			delete(ix.postings, term)
+		} else {
+			ix.postings[term] = plist
+		}
+	}
+	delete(ix.docTerms, doc)
+	ix.totalLen -= int64(ix.docLen[doc])
+	delete(ix.docLen, doc)
+	return true
+}
+
+// NumDocs implements ranking.Stats.
+func (ix *Index) NumDocs() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int64(len(ix.docLen))
+}
+
+// AvgDocLen implements ranking.Stats.
+func (ix *Index) AvgDocLen() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docLen) == 0 {
+		return 0
+	}
+	return float64(ix.totalLen) / float64(len(ix.docLen))
+}
+
+// DocFreq implements ranking.Stats.
+func (ix *Index) DocFreq(term string) int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int64(len(ix.postings[term]))
+}
+
+// DocLen returns a document's length in tokens.
+func (ix *Index) DocLen(doc uint32) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docLen[doc]
+}
+
+// TermFreq returns the number of occurrences of term in doc.
+func (ix *Index) TermFreq(doc uint32, term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	plist := ix.postings[term]
+	i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
+	if i < len(plist) && plist[i].Doc == doc {
+		return len(plist[i].Positions)
+	}
+	return 0
+}
+
+// PositionsIn returns term's occurrence positions within doc (nil if the
+// term does not occur there). The slice aliases index internals and must
+// not be mutated.
+func (ix *Index) PositionsIn(doc uint32, term string) []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	plist := ix.postings[term]
+	i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
+	if i < len(plist) && plist[i].Doc == doc {
+		return plist[i].Positions
+	}
+	return nil
+}
+
+// Postings returns a copy of the posting list for term.
+func (ix *Index) Postings(term string) []DocPosting {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	src := ix.postings[term]
+	out := make([]DocPosting, len(src))
+	copy(out, src)
+	return out
+}
+
+// Terms returns the sorted vocabulary.
+func (ix *Index) Terms() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocTerms returns the distinct terms of a document (sorted).
+func (ix *Index) DocTerms(doc uint32) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]string(nil), ix.docTerms[doc]...)
+}
+
+// Docs returns all indexed document IDs in ascending order.
+func (ix *Index) Docs() []uint32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]uint32, 0, len(ix.docLen))
+	for d := range ix.docLen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BooleanAnd returns the documents containing every given term, ascending.
+func (ix *Index) BooleanAnd(terms []string) []uint32 {
+	if len(terms) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.booleanAndLocked(terms)
+}
+
+func (ix *Index) booleanAndLocked(terms []string) []uint32 {
+	// Intersect starting from the rarest term.
+	lists := make([][]DocPosting, len(terms))
+	for i, t := range terms {
+		lists[i] = ix.postings[t]
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	var out []uint32
+	for _, p := range lists[0] {
+		doc := p.Doc
+		all := true
+		for _, l := range lists[1:] {
+			i := sort.Search(len(l), func(i int) bool { return l[i].Doc >= doc })
+			if i >= len(l) || l[i].Doc != doc {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, doc)
+		}
+	}
+	return out
+}
+
+// CooccurDocs returns the documents in which all terms co-occur within a
+// window of `window` tokens (some selection of one occurrence per term
+// spans at most `window` consecutive positions). With window <= 0 the
+// proximity constraint is dropped (plain AND). This is the primitive HDK
+// key expansion is built on.
+func (ix *Index) CooccurDocs(terms []string, window int) []uint32 {
+	candidates := ix.BooleanAnd(terms)
+	if window <= 0 || len(terms) < 2 {
+		return candidates
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []uint32
+	for _, doc := range candidates {
+		lists := make([][]int, len(terms))
+		for i, t := range terms {
+			plist := ix.postings[t]
+			j := sort.Search(len(plist), func(j int) bool { return plist[j].Doc >= doc })
+			lists[i] = plist[j].Positions
+		}
+		if minCoverWindow(lists) <= window {
+			out = append(out, doc)
+		}
+	}
+	return out
+}
+
+// minCoverWindow returns the smallest max−min+1 over selections of one
+// position from each list (the classic k-way minimal cover scan).
+func minCoverWindow(lists [][]int) int {
+	idx := make([]int, len(lists))
+	best := int(^uint(0) >> 1)
+	for {
+		lo, hi, loList := lists[0][idx[0]], lists[0][idx[0]], 0
+		for i := 1; i < len(lists); i++ {
+			p := lists[i][idx[i]]
+			if p < lo {
+				lo, loList = p, i
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if w := hi - lo + 1; w < best {
+			best = w
+		}
+		idx[loList]++
+		if idx[loList] >= len(lists[loList]) {
+			return best
+		}
+	}
+}
+
+// Search runs a BM25-ranked query against the local collection using
+// local statistics and returns the top k results.
+func (ix *Index) Search(query string, k int) []Result {
+	terms := ix.analyzer.UniqueTerms(query)
+	return ix.SearchTerms(terms, k, ix)
+}
+
+// SearchTerms ranks the documents containing at least one of terms using
+// BM25 over the supplied statistics (local or global) and returns the top
+// k. Using global statistics here is exactly the paper's "uniform
+// distributed ranking model".
+func (ix *Index) SearchTerms(terms []string, k int, stats ranking.Stats) []Result {
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	tf := make(map[uint32]map[string]int)
+	for _, t := range terms {
+		for _, p := range ix.postings[t] {
+			m := tf[p.Doc]
+			if m == nil {
+				m = make(map[string]int, len(terms))
+				tf[p.Doc] = m
+			}
+			m[t] = len(p.Positions)
+		}
+	}
+	results := make([]Result, 0, len(tf))
+	for doc, freqs := range tf {
+		score := ranking.DefaultBM25.Score(stats, freqs, ix.docLen[doc])
+		if score > 0 {
+			results = append(results, Result{Doc: doc, Score: score})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc < results[j].Doc
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// ScoreDoc computes the BM25 score of one document for the given terms
+// under the supplied statistics. Publishers use it to score postings
+// before inserting them into the global index.
+func (ix *Index) ScoreDoc(doc uint32, terms []string, stats ranking.Stats) float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	tf := make(map[string]int, len(terms))
+	for _, t := range terms {
+		plist := ix.postings[t]
+		i := sort.Search(len(plist), func(i int) bool { return plist[i].Doc >= doc })
+		if i < len(plist) && plist[i].Doc == doc {
+			tf[t] = len(plist[i].Positions)
+		}
+	}
+	return ranking.DefaultBM25.Score(stats, tf, ix.docLen[doc])
+}
+
+// IndexStore indexes every document of a store and returns the number of
+// documents indexed.
+func (ix *Index) IndexStore(s *docs.Store) int {
+	n := 0
+	for _, d := range s.List() {
+		ix.Add(d.ID, d.Title+"\n"+d.Body)
+		n++
+	}
+	return n
+}
+
+// VocabularySize returns the number of distinct terms.
+func (ix *Index) VocabularySize() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}

@@ -1,0 +1,273 @@
+package localindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/docs"
+	"repro/internal/ranking"
+	"repro/internal/textproc"
+)
+
+// plain returns an analyzer without stemming so test terms are literal.
+func plain() *textproc.Analyzer {
+	return textproc.NewAnalyzer(textproc.AnalyzerConfig{DisableStemming: true})
+}
+
+func TestAddAndStats(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "alpha beta alpha")
+	ix.Add(2, "beta gamma")
+	if got := ix.NumDocs(); got != 2 {
+		t.Fatalf("NumDocs = %d", got)
+	}
+	if got := ix.DocFreq("alpha"); got != 1 {
+		t.Fatalf("DocFreq(alpha) = %d", got)
+	}
+	if got := ix.DocFreq("beta"); got != 2 {
+		t.Fatalf("DocFreq(beta) = %d", got)
+	}
+	if got := ix.TermFreq(1, "alpha"); got != 2 {
+		t.Fatalf("TermFreq(1, alpha) = %d", got)
+	}
+	if got := ix.AvgDocLen(); got != 2.5 {
+		t.Fatalf("AvgDocLen = %v", got)
+	}
+	if got := ix.DocLen(1); got != 3 {
+		t.Fatalf("DocLen(1) = %d", got)
+	}
+	if got := ix.Terms(); !reflect.DeepEqual(got, []string{"alpha", "beta", "gamma"}) {
+		t.Fatalf("Terms = %v", got)
+	}
+}
+
+func TestReplaceDocument(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "old words here")
+	ix.Add(1, "completely new content")
+	if ix.DocFreq("old") != 0 || ix.DocFreq("new") != 1 {
+		t.Fatal("re-adding a doc must replace its previous terms")
+	}
+	if ix.NumDocs() != 1 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "alpha beta")
+	ix.Add(2, "alpha gamma")
+	if !ix.Remove(1) {
+		t.Fatal("remove existing")
+	}
+	if ix.Remove(1) {
+		t.Fatal("remove twice")
+	}
+	if ix.DocFreq("alpha") != 1 || ix.DocFreq("beta") != 0 {
+		t.Fatal("postings not cleaned up")
+	}
+	if ix.NumDocs() != 1 || ix.DocLen(1) != 0 {
+		t.Fatal("doc bookkeeping not cleaned up")
+	}
+}
+
+func TestBooleanAnd(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "alpha beta gamma")
+	ix.Add(2, "alpha beta")
+	ix.Add(3, "beta gamma")
+	if got := ix.BooleanAnd([]string{"alpha", "beta"}); !reflect.DeepEqual(got, []uint32{1, 2}) {
+		t.Fatalf("AND(alpha,beta) = %v", got)
+	}
+	if got := ix.BooleanAnd([]string{"alpha", "gamma"}); !reflect.DeepEqual(got, []uint32{1}) {
+		t.Fatalf("AND(alpha,gamma) = %v", got)
+	}
+	if got := ix.BooleanAnd([]string{"alpha", "delta"}); got != nil {
+		t.Fatalf("AND with unknown term = %v", got)
+	}
+	if got := ix.BooleanAnd(nil); got != nil {
+		t.Fatalf("AND() = %v", got)
+	}
+}
+
+func TestCooccurWindow(t *testing.T) {
+	ix := New(plain())
+	// doc 1: terms adjacent; doc 2: terms 5 apart; doc 3: only one term.
+	ix.Add(1, "alpha beta")
+	ix.Add(2, "alpha x1 x2 x3 x4 beta")
+	ix.Add(3, "alpha alone")
+	if got := ix.CooccurDocs([]string{"alpha", "beta"}, 2); !reflect.DeepEqual(got, []uint32{1}) {
+		t.Fatalf("window 2: %v", got)
+	}
+	if got := ix.CooccurDocs([]string{"alpha", "beta"}, 6); !reflect.DeepEqual(got, []uint32{1, 2}) {
+		t.Fatalf("window 6: %v", got)
+	}
+	// window 0 disables proximity.
+	if got := ix.CooccurDocs([]string{"alpha", "beta"}, 0); !reflect.DeepEqual(got, []uint32{1, 2}) {
+		t.Fatalf("window 0: %v", got)
+	}
+}
+
+func TestCooccurMultipleOccurrences(t *testing.T) {
+	ix := New(plain())
+	// First occurrences are far apart but later ones are adjacent.
+	ix.Add(1, "alpha x1 x2 x3 x4 x5 x6 beta alpha beta")
+	if got := ix.CooccurDocs([]string{"alpha", "beta"}, 2); !reflect.DeepEqual(got, []uint32{1}) {
+		t.Fatalf("should find the adjacent later pair: %v", got)
+	}
+}
+
+func TestMinCoverWindow(t *testing.T) {
+	cases := []struct {
+		lists [][]int
+		want  int
+	}{
+		{[][]int{{0}, {1}}, 2},
+		{[][]int{{0, 10}, {11}}, 2},
+		{[][]int{{0, 100}, {50}, {60, 99}}, 51}, // best cover is [50,100]
+		{[][]int{{5}, {5}}, 1},
+	}
+	for _, c := range cases {
+		if got := minCoverWindow(c.lists); got != c.want {
+			t.Errorf("minCoverWindow(%v) = %d, want %d", c.lists, got, c.want)
+		}
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "peer network peer network peer")
+	ix.Add(2, "peer network")
+	ix.Add(3, "database systems design")
+	res := ix.Search("peer network", 10)
+	if len(res) != 2 {
+		t.Fatalf("results = %v", res)
+	}
+	if res[0].Doc != 1 {
+		t.Fatalf("doc 1 has higher tf and should rank first: %v", res)
+	}
+	if res[0].Score <= res[1].Score {
+		t.Fatalf("scores must strictly order here: %v", res)
+	}
+}
+
+func TestSearchIDFDiscriminates(t *testing.T) {
+	ix := New(plain())
+	// "common" appears everywhere; "rare" in one doc.
+	for i := uint32(1); i <= 20; i++ {
+		ix.Add(i, fmt.Sprintf("common filler%d", i))
+	}
+	ix.Add(100, "common rare")
+	res := ix.Search("rare common", 3)
+	if len(res) == 0 || res[0].Doc != 100 {
+		t.Fatalf("rare-term doc must rank first: %v", res)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := New(plain())
+	for i := uint32(1); i <= 50; i++ {
+		ix.Add(i, "shared term content")
+	}
+	res := ix.Search("shared", 10)
+	if len(res) != 10 {
+		t.Fatalf("want 10 results, got %d", len(res))
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	ix := New(plain())
+	ix.Add(2, "identical words")
+	ix.Add(1, "identical words")
+	a := ix.Search("identical", 2)
+	b := ix.Search("identical", 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("search must be deterministic")
+	}
+	if a[0].Doc != 1 {
+		t.Fatalf("ties must break by doc id: %v", a)
+	}
+}
+
+func TestSearchWithExternalStats(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "alpha beta")
+	ix.Add(2, "alpha")
+	// Under global stats where alpha is ubiquitous, beta dominates.
+	stats := &ranking.FixedStats{N: 1000, AvgLen: 2, DF: map[string]int64{"alpha": 900, "beta": 3}}
+	res := ix.SearchTerms([]string{"alpha", "beta"}, 10, stats)
+	if len(res) != 2 || res[0].Doc != 1 {
+		t.Fatalf("beta doc should win under global stats: %v", res)
+	}
+	// ScoreDoc agrees with SearchTerms.
+	if got := ix.ScoreDoc(1, []string{"alpha", "beta"}, stats); got != res[0].Score {
+		t.Fatalf("ScoreDoc = %v, search score = %v", got, res[0].Score)
+	}
+}
+
+func TestIndexStore(t *testing.T) {
+	s := docs.NewStore()
+	if _, err := s.Add(&docs.Document{Name: "a.txt", Title: "Peer systems", Body: "networks of peers"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(&docs.Document{Name: "b.txt", Title: "Databases", Body: "relational algebra"}); err != nil {
+		t.Fatal(err)
+	}
+	ix := New(nil) // default analyzer with stemming
+	if n := ix.IndexStore(s); n != 2 {
+		t.Fatalf("indexed %d", n)
+	}
+	res := ix.Search("peers", 10)
+	if len(res) != 1 {
+		t.Fatalf("stemmed search failed: %v", res)
+	}
+}
+
+func TestPostingsCopyIsolated(t *testing.T) {
+	ix := New(plain())
+	ix.Add(1, "alpha")
+	p := ix.Postings("alpha")
+	p[0].Doc = 999
+	if got := ix.Postings("alpha"); got[0].Doc != 1 {
+		t.Fatal("Postings must return a copy")
+	}
+}
+
+func TestLargeCollectionConsistency(t *testing.T) {
+	ix := New(plain())
+	rng := rand.New(rand.NewSource(3))
+	vocab := []string{"v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"}
+	truth := map[uint32]map[string]int{}
+	for d := uint32(0); d < 300; d++ {
+		var text string
+		counts := map[string]int{}
+		for w := 0; w < 20; w++ {
+			term := vocab[rng.Intn(len(vocab))]
+			text += term + " "
+			counts[term]++
+		}
+		ix.Add(d, text)
+		truth[d] = counts
+	}
+	// Spot-check DF and TF against the ground truth.
+	for _, term := range vocab {
+		wantDF := 0
+		for _, counts := range truth {
+			if counts[term] > 0 {
+				wantDF++
+			}
+		}
+		if got := ix.DocFreq(term); got != int64(wantDF) {
+			t.Fatalf("DF(%s) = %d, want %d", term, got, wantDF)
+		}
+	}
+	for d := uint32(0); d < 300; d += 37 {
+		for _, term := range vocab {
+			if got := ix.TermFreq(d, term); got != truth[d][term] {
+				t.Fatalf("TF(%d,%s) = %d, want %d", d, term, got, truth[d][term])
+			}
+		}
+	}
+}

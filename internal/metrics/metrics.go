@@ -1,0 +1,212 @@
+// Package metrics provides the counters and small statistics containers
+// every AlvisP2P experiment reports: message/byte meters on transports,
+// hop-count histograms for routing, and storage gauges for index stores.
+// All types are safe for concurrent use unless noted.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Meter counts messages and payload bytes, overall and per message type.
+// Transports record into a Meter; experiments snapshot it before and after
+// a workload and report the difference.
+type Meter struct {
+	mu       sync.Mutex
+	messages int64
+	bytes    int64
+	perType  map[uint8]TypeCount
+}
+
+// TypeCount is the per-message-type slice of a Meter.
+type TypeCount struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Snapshot is an immutable copy of a Meter's counters.
+type Snapshot struct {
+	Messages int64
+	Bytes    int64
+	PerType  map[uint8]TypeCount
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{perType: make(map[uint8]TypeCount)}
+}
+
+// Record adds one message of the given type carrying n payload bytes
+// (including framing, as decided by the caller).
+func (m *Meter) Record(msgType uint8, n int) {
+	m.mu.Lock()
+	m.messages++
+	m.bytes += int64(n)
+	tc := m.perType[msgType]
+	tc.Messages++
+	tc.Bytes += int64(n)
+	m.perType[msgType] = tc
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Meter) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	per := make(map[uint8]TypeCount, len(m.perType))
+	for k, v := range m.perType {
+		per[k] = v
+	}
+	return Snapshot{Messages: m.messages, Bytes: m.bytes, PerType: per}
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.messages = 0
+	m.bytes = 0
+	m.perType = make(map[uint8]TypeCount)
+	m.mu.Unlock()
+}
+
+// Sub returns the counter deltas s - prev. Per-type entries absent from
+// prev are taken as zero.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	per := make(map[uint8]TypeCount, len(s.PerType))
+	for k, v := range s.PerType {
+		p := prev.PerType[k]
+		d := TypeCount{Messages: v.Messages - p.Messages, Bytes: v.Bytes - p.Bytes}
+		if d.Messages != 0 || d.Bytes != 0 {
+			per[k] = d
+		}
+	}
+	return Snapshot{
+		Messages: s.Messages - prev.Messages,
+		Bytes:    s.Bytes - prev.Bytes,
+		PerType:  per,
+	}
+}
+
+// Histogram collects integer observations (hop counts, probe counts,
+// result sizes) and reports summary statistics. It stores raw values, so
+// percentiles are exact; experiment populations are small enough for this
+// to be cheap.
+type Histogram struct {
+	mu     sync.Mutex
+	values []int
+	sorted bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.mu.Lock()
+	h.values = append(h.values, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.values)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.values {
+		sum += float64(v)
+	}
+	return sum / float64(len(h.values))
+}
+
+// Max returns the largest observation, or 0 for an empty histogram.
+func (h *Histogram) Max() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	max := 0
+	for i, v := range h.values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.values) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Ints(h.values)
+		h.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.values))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.values) {
+		rank = len(h.values)
+	}
+	return h.values[rank-1]
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.values = h.values[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Gauge is a monotonic-or-not integer level, e.g. bytes of index stored at
+// a peer.
+type Gauge struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// HumanBytes formats a byte count with a binary-prefix unit, e.g.
+// "1.5 MiB". Benchmarks use it when printing table rows.
+func HumanBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}

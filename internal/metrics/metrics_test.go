@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMeterRecordAndSnapshot(t *testing.T) {
+	m := NewMeter()
+	m.Record(1, 100)
+	m.Record(1, 50)
+	m.Record(2, 7)
+	s := m.Snapshot()
+	if s.Messages != 3 || s.Bytes != 157 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if tc := s.PerType[1]; tc.Messages != 2 || tc.Bytes != 150 {
+		t.Fatalf("type 1 = %+v", tc)
+	}
+	if tc := s.PerType[2]; tc.Messages != 1 || tc.Bytes != 7 {
+		t.Fatalf("type 2 = %+v", tc)
+	}
+}
+
+func TestMeterSub(t *testing.T) {
+	m := NewMeter()
+	m.Record(1, 10)
+	before := m.Snapshot()
+	m.Record(1, 5)
+	m.Record(3, 20)
+	d := m.Snapshot().Sub(before)
+	if d.Messages != 2 || d.Bytes != 25 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if tc := d.PerType[1]; tc.Messages != 1 || tc.Bytes != 5 {
+		t.Fatalf("delta type1 = %+v", tc)
+	}
+	if _, ok := d.PerType[2]; ok {
+		t.Fatal("zero-delta types should be omitted")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Record(uint8(j%4), 3)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Messages != 8000 || s.Bytes != 24000 {
+		t.Fatalf("concurrent totals wrong: %+v", s)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.Record(1, 1)
+	m.Reset()
+	if s := m.Snapshot(); s.Messages != 0 || s.Bytes != 0 || len(s.PerType) != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Percentile(1); got != 1 {
+		t.Fatalf("p1 = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramAddAfterPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Add(10)
+	_ = h.Percentile(50) // forces sort
+	h.Add(1)
+	if got := h.Percentile(1); got != 1 {
+		t.Fatalf("p1 after re-add = %d, want 1", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d", got)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{999, "999 B"},
+		{1024, "1.0 KiB"},
+		{1536, "1.5 KiB"},
+		{1048576, "1.0 MiB"},
+		{3 << 30, "3.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("E0: demo", "col", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("b", 2.5)
+	out := tbl.String()
+	if !strings.Contains(out, "E0: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}

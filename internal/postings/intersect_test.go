@@ -1,0 +1,105 @@
+package postings
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+func TestIntersectSumBasics(t *testing.T) {
+	a := &List{Entries: []Posting{mk("h", 1, 1.0), mk("h", 2, 2.0), mk("h", 3, 3.0)}}
+	b := &List{Entries: []Posting{mk("h", 2, 0.5), mk("h", 3, 0.25), mk("h", 4, 9)}}
+	got := IntersectSum(a, b)
+	if got.Len() != 2 {
+		t.Fatalf("intersection = %v", got.Entries)
+	}
+	// Scores are summed; canonical order (desc score).
+	if got.Entries[0] != mk("h", 3, 3.25) || got.Entries[1] != mk("h", 2, 2.5) {
+		t.Fatalf("entries = %v", got.Entries)
+	}
+	if got.Truncated {
+		t.Fatal("complete inputs give a complete intersection")
+	}
+}
+
+func TestIntersectSumTruncationPropagates(t *testing.T) {
+	a := &List{Entries: []Posting{mk("h", 1, 1)}, Truncated: true}
+	b := &List{Entries: []Posting{mk("h", 1, 1)}}
+	if !IntersectSum(a, b).Truncated {
+		t.Fatal("truncated input must mark the intersection")
+	}
+}
+
+func TestIntersectSumDegenerate(t *testing.T) {
+	if got := IntersectSum(); got.Len() != 0 {
+		t.Fatal("no lists: empty")
+	}
+	a := &List{Entries: []Posting{mk("h", 1, 1)}}
+	if got := IntersectSum(a); got.Len() != 1 {
+		t.Fatal("single list: itself")
+	}
+	if got := IntersectSum(a, nil); got.Len() != 0 {
+		t.Fatal("nil input: empty result")
+	}
+	empty := &List{}
+	if got := IntersectSum(a, empty); got.Len() != 0 {
+		t.Fatal("empty input: empty intersection")
+	}
+}
+
+func TestIntersectSumThreeWay(t *testing.T) {
+	a := &List{Entries: []Posting{mk("h", 1, 1), mk("h", 2, 1), mk("h", 3, 1)}}
+	b := &List{Entries: []Posting{mk("h", 2, 2), mk("h", 3, 2)}}
+	c := &List{Entries: []Posting{mk("h", 3, 4), mk("h", 9, 4)}}
+	got := IntersectSum(a, b, c)
+	if got.Len() != 1 || got.Entries[0] != mk("h", 3, 7) {
+		t.Fatalf("3-way = %v", got.Entries)
+	}
+}
+
+// TestIntersectSumAdditivity is the property QDI's design relied on and
+// the baseline's pipeline relies on now: intersecting single-term lists
+// whose scores are per-term BM25 contributions yields the summed
+// (full-query) score for every surviving document.
+func TestIntersectSumAdditivity(t *testing.T) {
+	f := func(docsA, docsB []uint8, scoreSeed uint16) bool {
+		score := func(doc uint8, salt uint16) float64 {
+			return float64(uint16(doc)*31+salt%97) / 7
+		}
+		build := func(docs []uint8, salt uint16) *List {
+			l := &List{}
+			for _, d := range docs {
+				l.Add(Posting{Ref: DocRef{Peer: transport.Addr("p"), Doc: uint32(d)}, Score: score(d, salt)})
+			}
+			l.Normalize()
+			return l
+		}
+		a := build(docsA, scoreSeed)
+		b := build(docsB, scoreSeed+1)
+		got := IntersectSum(a, b)
+		inA := map[DocRef]float64{}
+		for _, p := range a.Entries {
+			inA[p.Ref] = p.Score
+		}
+		want := map[DocRef]float64{}
+		for _, p := range b.Entries {
+			if sa, ok := inA[p.Ref]; ok {
+				want[p.Ref] = sa + p.Score
+			}
+		}
+		if got.Len() != len(want) {
+			return false
+		}
+		for _, p := range got.Entries {
+			if w, ok := want[p.Ref]; !ok || math.Abs(w-p.Score) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

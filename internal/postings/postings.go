@@ -1,0 +1,297 @@
+// Package postings implements the scored posting lists stored in the
+// AlvisP2P global index. A posting carries a global document reference
+// (hosting peer + peer-local document number) and the publisher-computed
+// relevance score of that document for the list's key; carrying the score
+// lets the querying peer rank a union of lists without contacting the
+// document owners (paper §2).
+//
+// Lists are kept sorted by decreasing score and may be *truncated* to a
+// bounded number of top-ranked entries — the property that caps the size
+// of any transmitted list and hence the per-query bandwidth (paper §1).
+package postings
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// DocRef identifies a document globally. Documents never leave their
+// owner; the reference is what circulates in the index.
+type DocRef struct {
+	Peer transport.Addr // hosting peer
+	Doc  uint32         // peer-local document number
+}
+
+// Less orders references by (peer, doc) for deterministic tie-breaking.
+func (r DocRef) Less(o DocRef) bool {
+	if r.Peer != o.Peer {
+		return r.Peer < o.Peer
+	}
+	return r.Doc < o.Doc
+}
+
+func (r DocRef) String() string { return fmt.Sprintf("%s/%d", r.Peer, r.Doc) }
+
+// Posting is one scored entry.
+type Posting struct {
+	Ref   DocRef
+	Score float64
+}
+
+// List is a posting list. Entries are maintained in canonical order:
+// decreasing score, ties broken by ascending DocRef. Truncated records
+// that entries beyond the publication bound were dropped, which the
+// retrieval layer uses for lattice pruning decisions.
+type List struct {
+	Entries   []Posting
+	Truncated bool
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.Entries) }
+
+// Clone returns a deep copy.
+func (l *List) Clone() *List {
+	c := &List{Truncated: l.Truncated}
+	c.Entries = append([]Posting(nil), l.Entries...)
+	return c
+}
+
+// Normalize sorts entries into canonical order and merges duplicate
+// references, keeping the highest score for each.
+func (l *List) Normalize() {
+	if len(l.Entries) == 0 {
+		return
+	}
+	// Merge duplicates by ref, keeping max score.
+	sort.Slice(l.Entries, func(i, j int) bool {
+		a, b := l.Entries[i], l.Entries[j]
+		if a.Ref != b.Ref {
+			return a.Ref.Less(b.Ref)
+		}
+		return a.Score > b.Score
+	})
+	out := l.Entries[:1]
+	for _, p := range l.Entries[1:] {
+		if p.Ref == out[len(out)-1].Ref {
+			continue // lower or equal score for same ref
+		}
+		out = append(out, p)
+	}
+	l.Entries = out
+	sortCanonical(l.Entries)
+}
+
+func sortCanonical(ps []Posting) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		return ps[i].Ref.Less(ps[j].Ref)
+	})
+}
+
+// Add inserts a posting (without resorting; call Normalize afterwards, or
+// use Insert for incremental maintenance).
+func (l *List) Add(p Posting) { l.Entries = append(l.Entries, p) }
+
+// Insert places p in canonical position, replacing an existing entry for
+// the same ref if p scores higher. It returns true if the list changed.
+func (l *List) Insert(p Posting) bool {
+	for i, e := range l.Entries {
+		if e.Ref == p.Ref {
+			if p.Score <= e.Score {
+				return false
+			}
+			l.Entries = append(l.Entries[:i], l.Entries[i+1:]...)
+			break
+		}
+	}
+	i := sort.Search(len(l.Entries), func(i int) bool {
+		e := l.Entries[i]
+		if e.Score != p.Score {
+			return e.Score < p.Score
+		}
+		return p.Ref.Less(e.Ref)
+	})
+	l.Entries = append(l.Entries, Posting{})
+	copy(l.Entries[i+1:], l.Entries[i:])
+	l.Entries[i] = p
+	return true
+}
+
+// Truncate cuts the list to its top-k entries (canonical order assumed),
+// marking it truncated if entries were dropped.
+func (l *List) Truncate(k int) {
+	if k >= 0 && len(l.Entries) > k {
+		l.Entries = l.Entries[:k]
+		l.Truncated = true
+	}
+}
+
+// TopK returns the first k entries (or fewer).
+func (l *List) TopK(k int) []Posting {
+	if k > len(l.Entries) {
+		k = len(l.Entries)
+	}
+	return l.Entries[:k]
+}
+
+// Union merges any number of lists into a new normalized list. The result
+// is marked truncated if any input was (the union of truncated lists is
+// itself incomplete).
+func Union(lists ...*List) *List {
+	out := &List{}
+	for _, l := range lists {
+		if l == nil {
+			continue
+		}
+		out.Entries = append(out.Entries, l.Entries...)
+		out.Truncated = out.Truncated || l.Truncated
+	}
+	out.Normalize()
+	return out
+}
+
+// IntersectSum returns the postings whose refs appear in every input
+// list, with scores summed across lists. Because BM25 is additive over
+// query terms, intersecting single-term lists with summed scores
+// reconstructs the multi-term BM25 score exactly for the surviving
+// documents — the operation QDI's on-demand indexing is built on. The
+// result is marked truncated if any input was (the intersection of
+// incomplete lists may miss documents).
+func IntersectSum(lists ...*List) *List {
+	out := &List{}
+	if len(lists) == 0 {
+		return out
+	}
+	scores := make(map[DocRef]float64, len(lists[0].Entries))
+	counts := make(map[DocRef]int, len(lists[0].Entries))
+	for _, l := range lists {
+		if l == nil {
+			return &List{}
+		}
+		out.Truncated = out.Truncated || l.Truncated
+		for _, p := range l.Entries {
+			scores[p.Ref] += p.Score
+			counts[p.Ref]++
+		}
+	}
+	for ref, c := range counts {
+		if c == len(lists) {
+			out.Entries = append(out.Entries, Posting{Ref: ref, Score: scores[ref]})
+		}
+	}
+	sortCanonical(out.Entries)
+	return out
+}
+
+// Intersect returns the postings of a whose refs also appear in b,
+// keeping a's scores. Both inputs may be in any order.
+func Intersect(a, b *List) *List {
+	inB := make(map[DocRef]struct{}, len(b.Entries))
+	for _, p := range b.Entries {
+		inB[p.Ref] = struct{}{}
+	}
+	out := &List{Truncated: a.Truncated || b.Truncated}
+	for _, p := range a.Entries {
+		if _, ok := inB[p.Ref]; ok {
+			out.Entries = append(out.Entries, p)
+		}
+	}
+	sortCanonical(out.Entries)
+	return out
+}
+
+// Encode serializes the list. Entries are grouped by peer with
+// delta-encoded document numbers, which compresses the repeated peer
+// addresses that dominate naive encodings; canonical score order is
+// restored at decode time from the stored scores.
+func (l *List) Encode(w *wire.Writer) {
+	w.Bool(l.Truncated)
+	// Group by peer.
+	byPeer := make(map[transport.Addr][]Posting)
+	var peers []transport.Addr
+	for _, p := range l.Entries {
+		if _, ok := byPeer[p.Ref.Peer]; !ok {
+			peers = append(peers, p.Ref.Peer)
+		}
+		byPeer[p.Ref.Peer] = append(byPeer[p.Ref.Peer], p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	w.Uvarint(uint64(len(peers)))
+	for _, peer := range peers {
+		group := byPeer[peer]
+		sort.Slice(group, func(i, j int) bool { return group[i].Ref.Doc < group[j].Ref.Doc })
+		w.String(string(peer))
+		w.Uvarint(uint64(len(group)))
+		prev := uint32(0)
+		for _, p := range group {
+			w.Uvarint(uint64(p.Ref.Doc - prev))
+			prev = p.Ref.Doc
+			w.Float64(p.Score)
+		}
+	}
+}
+
+// EncodedSize returns the exact number of bytes Encode would produce.
+func (l *List) EncodedSize() int {
+	w := wire.NewWriter(16 + 12*len(l.Entries))
+	l.Encode(w)
+	return w.Len()
+}
+
+// Decode reads a list written by Encode and returns it in canonical
+// order. It reports an error on corrupt input.
+func Decode(r *wire.Reader) (*List, error) {
+	l := &List{}
+	l.Truncated = r.Bool()
+	numPeers := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if numPeers > 1<<20 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < numPeers; i++ {
+		peer := transport.Addr(r.String())
+		count := r.Uvarint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if count > 1<<24 {
+			return nil, wire.ErrCorrupt
+		}
+		doc := uint32(0)
+		for j := uint64(0); j < count; j++ {
+			doc += uint32(r.Uvarint())
+			score := r.Float64()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			l.Entries = append(l.Entries, Posting{Ref: DocRef{Peer: peer, Doc: doc}, Score: score})
+		}
+	}
+	sortCanonical(l.Entries)
+	return l, nil
+}
+
+// EncodeBytes is a convenience wrapper returning a fresh buffer.
+func (l *List) EncodeBytes() []byte {
+	w := wire.NewWriter(16 + 12*len(l.Entries))
+	l.Encode(w)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// DecodeBytes decodes a buffer produced by EncodeBytes.
+func DecodeBytes(b []byte) (*List, error) {
+	r := wire.NewReader(b)
+	l, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}

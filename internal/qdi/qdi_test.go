@@ -1,0 +1,287 @@
+package qdi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/globalindex"
+	"repro/internal/ids"
+	"repro/internal/lattice"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+type fleet struct {
+	nodes []*dht.Node
+	gidx  []*globalindex.Index
+	mgrs  []*Manager
+}
+
+func newFleet(t *testing.T, n int, cfg Config) *fleet {
+	t.Helper()
+	net := transport.NewMem()
+	rng := rand.New(rand.NewSource(21))
+	f := &fleet{}
+	for i := 0; i < n; i++ {
+		d := transport.NewDispatcher()
+		ep := net.Endpoint(fmt.Sprintf("q%d", i), d.Serve)
+		node := dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+		gi := globalindex.New(node, d)
+		f.nodes = append(f.nodes, node)
+		f.gidx = append(f.gidx, gi)
+		f.mgrs = append(f.mgrs, New(cfg, gi, d))
+	}
+	dht.BuildOracleTables(f.nodes)
+	return f
+}
+
+func pl(truncated bool, peer string, docs ...uint32) *postings.List {
+	l := &postings.List{}
+	for i, d := range docs {
+		l.Add(postings.Posting{
+			Ref:   postings.DocRef{Peer: transport.Addr(peer), Doc: d},
+			Score: float64(50 - i),
+		})
+	}
+	l.Normalize()
+	l.Truncated = truncated
+	return l
+}
+
+// seedTerms publishes single-term lists into the fleet's global index.
+func seedTerms(t *testing.T, f *fleet, terms map[string]*postings.List) {
+	t.Helper()
+	for term, list := range terms {
+		if _, err := f.gidx[0].Put([]string{term}, list, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestActivationSignalAfterThreshold(t *testing.T) {
+	f := newFleet(t, 8, Config{ActivateThreshold: 3})
+	terms := []string{"alpha", "beta"}
+	// Probe the missing combination repeatedly; the third probe crosses
+	// the threshold and the responsible peer raises wantIndex.
+	var want bool
+	for i := 0; i < 3; i++ {
+		var err error
+		_, _, want, err = f.gidx[1].Get(terms, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && want {
+			t.Fatalf("wantIndex raised too early (probe %d)", i+1)
+		}
+	}
+	if !want {
+		t.Fatal("wantIndex not raised at threshold")
+	}
+}
+
+func TestSingleTermsNeverActivate(t *testing.T) {
+	f := newFleet(t, 4, Config{ActivateThreshold: 1})
+	for i := 0; i < 5; i++ {
+		_, _, want, err := f.gidx[0].Get([]string{"solo"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want {
+			t.Fatal("single-term keys must not request activation")
+		}
+	}
+}
+
+func TestOnDemandIndexingEndToEnd(t *testing.T) {
+	f := newFleet(t, 8, Config{ActivateThreshold: 2, TruncK: 10})
+	seedTerms(t, f, map[string]*postings.List{
+		"alpha": pl(true, "hostA", 1, 2, 3),
+		"beta":  pl(true, "hostA", 2, 3, 4),
+	})
+
+	query := []string{"alpha", "beta"}
+	querier := f.mgrs[3]
+	gi := f.gidx[3]
+
+	runQuery := func() (map[string]bool, *postings.List, *lattice.Trace) {
+		wantIndex := map[string]bool{}
+		fetch := lattice.FetchFunc(func(terms []string, max int) (*postings.List, bool, error) {
+			l, found, want, err := gi.Get(terms, max)
+			if want {
+				wantIndex[ids.KeyString(terms)] = true
+			}
+			return l, found, err
+		})
+		union, trace, err := lattice.Explore(fetch, query, lattice.Config{PruneTruncated: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wantIndex, union, trace
+	}
+
+	// First query: popularity 1, no activation request.
+	wantIndex, _, _ := runQuery()
+	if len(wantIndex) != 0 {
+		t.Fatalf("unexpected early activation: %v", wantIndex)
+	}
+	// Second query crosses the threshold; the querying peer ships its
+	// ranked union as the acquired list.
+	wantIndex, union, trace := runQuery()
+	if !wantIndex["alpha beta"] {
+		t.Fatalf("missing activation request: %v", wantIndex)
+	}
+	n, err := querier.ProcessQuery(query, trace, wantIndex, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("activated %d keys, want 1", n)
+	}
+
+	// The key is now indexed with the query's top-ranked documents.
+	list, found, _, err := f.gidx[5].Get(query, 0)
+	if err != nil || !found {
+		t.Fatalf("activated key not retrievable: %v %v", found, err)
+	}
+	if list.Len() == 0 {
+		t.Fatal("acquired list empty")
+	}
+	if !list.Truncated {
+		t.Fatal("acquired lists are bounded approximations and must be marked truncated")
+	}
+	// Subsequent identical queries hit the key directly: one probe.
+	_, _, trace2 := runQuery()
+	if trace2.Probes() != 1 {
+		t.Fatalf("after activation the full query should hit: %d probes", trace2.Probes())
+	}
+}
+
+func TestRedundantKeyNotActivated(t *testing.T) {
+	f := newFleet(t, 6, Config{ActivateThreshold: 1, TruncK: 10})
+	// "alpha" is indexed UNtruncated: any superset combination is
+	// redundant.
+	seedTerms(t, f, map[string]*postings.List{
+		"alpha": pl(false, "hostA", 1, 2),
+		"beta":  pl(false, "hostA", 2, 3),
+	})
+	gi := f.gidx[2]
+	wantIndex := map[string]bool{}
+	fetch := lattice.FetchFunc(func(terms []string, max int) (*postings.List, bool, error) {
+		l, found, want, err := gi.Get(terms, max)
+		if want {
+			wantIndex[ids.KeyString(terms)] = true
+		}
+		return l, found, err
+	})
+	// Two explorations: the second gets the wantIndex flag (threshold 1
+	// is crossed at the first probe, but the flag accompanies the probe
+	// that observes count >= threshold).
+	var trace *lattice.Trace
+	var union *postings.List
+	for i := 0; i < 2; i++ {
+		var err error
+		union, trace, err = lattice.Explore(fetch, []string{"alpha", "beta"}, lattice.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !wantIndex["alpha beta"] {
+		t.Skip("activation flag not raised; popularity semantics changed")
+	}
+	n, err := f.mgrs[2].ProcessQuery([]string{"alpha", "beta"}, trace, wantIndex, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("redundant key (untruncated subset indexed) must not activate")
+	}
+}
+
+func TestEvictionOfColdKeys(t *testing.T) {
+	f := newFleet(t, 6, Config{ActivateThreshold: 1, EvictThreshold: 0.5, DecayFactor: 0.4, TruncK: 10})
+	// Manually activate a key at its responsible peer.
+	if err := f.mgrs[0].Activate([]string{"x", "y"}, pl(true, "h", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	key := ids.KeyString([]string{"x", "y"})
+	owner := findOwner(t, f, key)
+	if owner < 0 {
+		t.Fatal("activated key not stored anywhere")
+	}
+	// Keep it hot: probe, then tick. Count 1*0.4 < 0.5 would evict, so
+	// probe twice per tick to stay above the threshold.
+	for i := 0; i < 3; i++ {
+		f.gidx[1].Get([]string{"x", "y"}, 0)
+		f.gidx[2].Get([]string{"x", "y"}, 0)
+		f.gidx[3].Get([]string{"x", "y"}, 0)
+		if evicted := f.mgrs[owner].MaintenanceTick(); evicted != 0 {
+			t.Fatalf("hot key evicted at tick %d", i)
+		}
+	}
+	// Now let it go cold: ticks without probes decay it to oblivion.
+	evictedTotal := 0
+	for i := 0; i < 6; i++ {
+		evictedTotal += f.mgrs[owner].MaintenanceTick()
+	}
+	if evictedTotal != 1 {
+		t.Fatalf("cold key evictions = %d, want 1", evictedTotal)
+	}
+	if _, found, _, _ := f.gidx[1].Get([]string{"x", "y"}, 0); found {
+		t.Fatal("evicted key still retrievable")
+	}
+	if len(f.mgrs[owner].OwnedKeys()) != 0 {
+		t.Fatal("ownership record not cleaned up")
+	}
+}
+
+func findOwner(t *testing.T, f *fleet, key string) int {
+	t.Helper()
+	for i := range f.gidx {
+		if _, ok := f.gidx[i].Store().Peek(key); ok {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestProcessQueryIgnoresNonQueryKeys(t *testing.T) {
+	// Popularity flags for keys other than the query itself do not
+	// trigger activation from this query (they activate when queried
+	// directly).
+	f := newFleet(t, 4, Config{ActivateThreshold: 1, TruncK: 10})
+	trace := &lattice.Trace{}
+	wantIndex := map[string]bool{"other pair": true}
+	n, err := f.mgrs[0].ProcessQuery([]string{"alpha", "beta"}, trace, wantIndex, pl(true, "h", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("non-query key must not activate")
+	}
+	// Single-term queries never activate.
+	n, err = f.mgrs[0].ProcessQuery([]string{"alpha"}, trace, map[string]bool{"alpha": true}, pl(true, "h", 1))
+	if err != nil || n != 0 {
+		t.Fatalf("single-term activation: n=%d err=%v", n, err)
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	cases := []struct {
+		terms []string
+		unt   [][]string
+		want  bool
+	}{
+		{[]string{"a", "b"}, [][]string{{"a"}}, true},
+		{[]string{"a", "b"}, [][]string{{"a", "b"}}, true},
+		{[]string{"a", "b"}, [][]string{{"c"}}, false},
+		{[]string{"a", "b"}, [][]string{{"a", "c"}}, false},
+		{[]string{"a", "b"}, nil, false},
+	}
+	for _, c := range cases {
+		if got := coveredBy(c.terms, c.unt); got != c.want {
+			t.Errorf("coveredBy(%v, %v) = %v, want %v", c.terms, c.unt, got, c.want)
+		}
+	}
+}

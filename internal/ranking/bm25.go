@@ -1,0 +1,82 @@
+// Package ranking implements AlvisP2P's layer L4: document ranking. The
+// engine uses BM25 (the paper's footnote 1: "Currently, we are using the
+// state-of-the-art BM25 ranking function"), parameterized over a Stats
+// provider so the same scorer runs against purely local statistics (layer
+// L5) or against the global statistics maintained in the P2P network
+// (layer L4; see GlobalStats in this package).
+package ranking
+
+import "math"
+
+// Stats supplies the collection statistics BM25 needs. Implementations:
+// the local index (local statistics) and GlobalStats (network-wide
+// statistics stored in the DHT).
+type Stats interface {
+	// NumDocs is the number of documents in the collection.
+	NumDocs() int64
+	// AvgDocLen is the mean document length in tokens.
+	AvgDocLen() float64
+	// DocFreq is the number of documents containing term.
+	DocFreq(term string) int64
+}
+
+// BM25Params are the free parameters of the scoring function. Defaults
+// are the standard k1=1.2, b=0.75.
+type BM25Params struct {
+	K1 float64
+	B  float64
+}
+
+// DefaultBM25 is the parameterization used throughout the reproduction.
+var DefaultBM25 = BM25Params{K1: 1.2, B: 0.75}
+
+// IDF returns the Robertson–Sparck-Jones inverse document frequency with
+// the +1 floor that keeps scores positive for very frequent terms.
+func IDF(stats Stats, term string) float64 {
+	n := float64(stats.NumDocs())
+	df := float64(stats.DocFreq(term))
+	if n <= 0 || df <= 0 {
+		return 0
+	}
+	return math.Log(1 + (n-df+0.5)/(df+0.5))
+}
+
+// Score computes the BM25 score of a document for a bag of query terms.
+// tf maps each query term to its frequency in the document; docLen is the
+// document's length in tokens.
+func (p BM25Params) Score(stats Stats, tf map[string]int, docLen int) float64 {
+	avg := stats.AvgDocLen()
+	if avg <= 0 {
+		avg = 1
+	}
+	norm := p.K1 * (1 - p.B + p.B*float64(docLen)/avg)
+	var score float64
+	for term, f := range tf {
+		if f <= 0 {
+			continue
+		}
+		idf := IDF(stats, term)
+		if idf == 0 {
+			continue
+		}
+		score += idf * float64(f) * (p.K1 + 1) / (float64(f) + norm)
+	}
+	return score
+}
+
+// FixedStats is a Stats implementation over explicit values, used by
+// tests and by publishers that received a statistics snapshot.
+type FixedStats struct {
+	N      int64
+	AvgLen float64
+	DF     map[string]int64
+}
+
+// NumDocs implements Stats.
+func (f *FixedStats) NumDocs() int64 { return f.N }
+
+// AvgDocLen implements Stats.
+func (f *FixedStats) AvgDocLen() float64 { return f.AvgLen }
+
+// DocFreq implements Stats.
+func (f *FixedStats) DocFreq(term string) int64 { return f.DF[term] }

@@ -1,0 +1,237 @@
+package ranking
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Message types for the statistics protocol (range 0x40–0x4F).
+const (
+	MsgStatsUpdate uint8 = 0x40 // (term deltas, collection deltas) -> ()
+	MsgStatsQuery  uint8 = 0x41 // (terms, wantCollection) -> (dfs, n, totalLen)
+)
+
+// collectionKeyString names the reserved key under which the
+// collection-wide counters (document count, total length) live. The \x00
+// prefix keeps reserved keys out of the term namespace.
+const collectionKeyString = "\x00stats\x00##collection"
+
+// StatsKey returns the ring position of a term's document-frequency
+// counter.
+func StatsKey(term string) ids.ID { return ids.HashString("\x00stats\x00" + term) }
+
+// CollectionKey returns the ring position of the collection counters.
+func CollectionKey() ids.ID { return ids.HashString(collectionKeyString) }
+
+// GlobalStats is the layer-4 distributed ranking component: it maintains
+// this peer's slice of the global statistics (term document frequencies
+// and collection counters for the keys hashed onto it) and gives the
+// query side access to network-wide statistics.
+type GlobalStats struct {
+	node *dht.Node
+
+	mu       sync.Mutex
+	df       map[string]int64
+	numDocs  int64
+	totalLen int64
+}
+
+// NewGlobalStats creates the service for node and registers its handlers
+// on d.
+func NewGlobalStats(node *dht.Node, d *transport.Dispatcher) *GlobalStats {
+	g := &GlobalStats{node: node, df: make(map[string]int64)}
+	d.Handle(MsgStatsUpdate, g.handleUpdate)
+	d.Handle(MsgStatsQuery, g.handleQuery)
+	return g
+}
+
+func (g *GlobalStats) handleUpdate(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	if r.Err() != nil || n > 1<<20 {
+		return 0, nil, wire.ErrCorrupt
+	}
+	type td struct {
+		term  string
+		delta int64
+	}
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096 // hostile count prefixes must not reserve memory
+	}
+	deltas := make([]td, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		deltas = append(deltas, td{term: r.String(), delta: r.Varint()})
+	}
+	docsDelta := r.Varint()
+	lenDelta := r.Varint()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	g.mu.Lock()
+	for _, d := range deltas {
+		v := g.df[d.term] + d.delta
+		if v <= 0 {
+			delete(g.df, d.term)
+		} else {
+			g.df[d.term] = v
+		}
+	}
+	g.numDocs += docsDelta
+	if g.numDocs < 0 {
+		g.numDocs = 0
+	}
+	g.totalLen += lenDelta
+	if g.totalLen < 0 {
+		g.totalLen = 0
+	}
+	g.mu.Unlock()
+	return MsgStatsUpdate, nil, nil
+}
+
+func (g *GlobalStats) handleQuery(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	terms := r.StringSlice()
+	wantCollection := r.Bool()
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(64)
+	g.mu.Lock()
+	w.Uvarint(uint64(len(terms)))
+	for _, t := range terms {
+		w.String(t)
+		w.Varint(g.df[t])
+	}
+	w.Bool(wantCollection)
+	if wantCollection {
+		w.Varint(g.numDocs)
+		w.Varint(g.totalLen)
+	}
+	g.mu.Unlock()
+	return MsgStatsQuery, w.Bytes(), nil
+}
+
+// LocalCounters exposes the counters this peer currently stores, for
+// monitoring (the demo's "critical statistics" screen).
+func (g *GlobalStats) LocalCounters() (terms int, numDocs, totalLen int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.df), g.numDocs, g.totalLen
+}
+
+// PublishDocument pushes the statistics contribution of one newly indexed
+// document: +1 document frequency for each distinct term, +1 document,
+// +docLen total length. Updates are batched per responsible peer.
+func (g *GlobalStats) PublishDocument(terms []string, docLen int) error {
+	return g.publish(terms, docLen, +1)
+}
+
+// UnpublishDocument reverses PublishDocument when a document is removed
+// from the shared collection.
+func (g *GlobalStats) UnpublishDocument(terms []string, docLen int) error {
+	return g.publish(terms, docLen, -1)
+}
+
+func (g *GlobalStats) publish(terms []string, docLen int, sign int64) error {
+	// Group term deltas by responsible peer so each peer gets one RPC.
+	groups := make(map[transport.Addr][]string)
+	for _, t := range terms {
+		r, _, err := g.node.Lookup(StatsKey(t))
+		if err != nil {
+			return fmt.Errorf("ranking: stats publish %q: %w", t, err)
+		}
+		groups[r.Addr] = append(groups[r.Addr], t)
+	}
+	collPeer, _, err := g.node.Lookup(CollectionKey())
+	if err != nil {
+		return fmt.Errorf("ranking: stats publish collection: %w", err)
+	}
+	for addr, ts := range groups {
+		w := wire.NewWriter(256)
+		w.Uvarint(uint64(len(ts)))
+		for _, t := range ts {
+			w.String(t)
+			w.Varint(sign)
+		}
+		if addr == collPeer.Addr {
+			w.Varint(sign)
+			w.Varint(sign * int64(docLen))
+		} else {
+			w.Varint(0)
+			w.Varint(0)
+		}
+		if _, _, err := g.node.Endpoint().Call(addr, MsgStatsUpdate, w.Bytes()); err != nil {
+			return err
+		}
+	}
+	if _, ok := groups[collPeer.Addr]; !ok {
+		w := wire.NewWriter(16)
+		w.Uvarint(0)
+		w.Varint(sign)
+		w.Varint(sign * int64(docLen))
+		if _, _, err := g.node.Endpoint().Call(collPeer.Addr, MsgStatsUpdate, w.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fetch gathers network-wide statistics for the given terms plus the
+// collection counters, returning a Stats usable by the BM25 scorer.
+func (g *GlobalStats) Fetch(terms []string) (*FixedStats, error) {
+	out := &FixedStats{DF: make(map[string]int64, len(terms))}
+
+	groups := make(map[transport.Addr][]string)
+	for _, t := range terms {
+		r, _, err := g.node.Lookup(StatsKey(t))
+		if err != nil {
+			return nil, fmt.Errorf("ranking: stats fetch %q: %w", t, err)
+		}
+		groups[r.Addr] = append(groups[r.Addr], t)
+	}
+	collPeer, _, err := g.node.Lookup(CollectionKey())
+	if err != nil {
+		return nil, fmt.Errorf("ranking: stats fetch collection: %w", err)
+	}
+	if _, ok := groups[collPeer.Addr]; !ok {
+		groups[collPeer.Addr] = nil
+	}
+
+	for addr, ts := range groups {
+		w := wire.NewWriter(128)
+		w.StringSlice(ts)
+		w.Bool(addr == collPeer.Addr)
+		_, resp, err := g.node.Endpoint().Call(addr, MsgStatsQuery, w.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("ranking: stats query %s: %w", addr, err)
+		}
+		r := wire.NewReader(resp)
+		n := r.Uvarint()
+		if r.Err() != nil || n > 1<<20 {
+			return nil, wire.ErrCorrupt
+		}
+		for i := uint64(0); i < n; i++ {
+			term := r.String()
+			df := r.Varint()
+			out.DF[term] = df
+		}
+		if r.Bool() {
+			numDocs := r.Varint()
+			totalLen := r.Varint()
+			out.N = numDocs
+			if numDocs > 0 {
+				out.AvgLen = float64(totalLen) / float64(numDocs)
+			}
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

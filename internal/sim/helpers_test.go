@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hdk"
+)
+
+func TestOverlapAtK(t *testing.T) {
+	cases := []struct {
+		got, want []int
+		k         int
+		expect    float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 3, 1.0},
+		{[]int{1, 2, 3}, []int{3, 2, 1}, 3, 1.0}, // order-insensitive
+		{[]int{1, 2, 3}, []int{4, 5, 6}, 3, 0.0},
+		{[]int{1, 2}, []int{1, 3}, 2, 0.5},
+		{[]int{1, 2, 3, 4}, []int{1, 2}, 2, 1.0}, // got longer than k: cut
+		{[]int{1}, []int{1, 2, 3, 4}, 2, 0.5},    // want cut to k
+		{nil, nil, 10, 1.0},                      // nothing to find
+		{nil, []int{1}, 10, 0.0},
+		{[]int{1}, []int{1}, 0, 0.0}, // degenerate k
+	}
+	for _, c := range cases {
+		if got := OverlapAtK(c.got, c.want, c.k); got != c.expect {
+			t.Errorf("OverlapAtK(%v, %v, %d) = %v, want %v", c.got, c.want, c.k, got, c.expect)
+		}
+	}
+}
+
+func TestNetworkDistributeBookkeeping(t *testing.T) {
+	n := NewNetwork(Options{NumPeers: 4, Seed: 9, Core: core.Config{
+		HDK: hdk.Config{DFMax: 5, SMax: 2, TruncK: 10},
+	}})
+	c := corpus.Generate(corpus.Params{NumDocs: 25, VocabSize: 60, MeanDocLen: 12, Seed: 10})
+	if err := n.Distribute(c); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.RefOf) != 25 {
+		t.Fatalf("RefOf = %d", len(n.RefOf))
+	}
+	// Round-robin placement and an invertible mapping.
+	for i, ref := range n.RefOf {
+		if ref.Peer != n.Peers[i%4].Addr() {
+			t.Fatalf("doc %d placed at %s, want %s", i, ref.Peer, n.Peers[i%4].Addr())
+		}
+		if back, ok := n.CorpusDoc[ref]; !ok || back != i {
+			t.Fatalf("CorpusDoc[%v] = %d, want %d", ref, back, i)
+		}
+	}
+	// The centralized reference indexes everything.
+	if n.Central.Index.NumDocs() != 25 {
+		t.Fatalf("central docs = %d", n.Central.Index.NumDocs())
+	}
+}
+
+func TestNetworkSkewedIDs(t *testing.T) {
+	n := NewNetwork(Options{NumPeers: 40, Seed: 11, SkewedIDs: true})
+	dense := 0
+	threshold := uint64(float64(^uint64(0)) * 0.999)
+	for _, p := range n.Peers {
+		if uint64(p.Node().ID()) >= threshold {
+			dense++
+		}
+	}
+	if dense < 30 {
+		t.Fatalf("only %d/40 peers in the dense region; skew option broken", dense)
+	}
+}
+
+func TestHeadTermQueriesProperties(t *testing.T) {
+	qs := headTermQueries(30, 20, 5)
+	if len(qs) != 30 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if len(q.Terms) < 2 || len(q.Terms) > 3 {
+			t.Fatalf("query size %d", len(q.Terms))
+		}
+		if seen[q.Text()] {
+			t.Fatalf("duplicate query %q", q.Text())
+		}
+		seen[q.Text()] = true
+		for _, term := range q.Terms {
+			if term < "term0000" || term > "term0019" {
+				t.Fatalf("term %q outside head ranks", term)
+			}
+		}
+	}
+}
+
+func TestFixedLengthQueries(t *testing.T) {
+	c := corpus.Generate(corpus.Params{NumDocs: 100, VocabSize: 150, Seed: 13})
+	for length := 1; length <= 4; length++ {
+		qs := fixedLengthQueries(c, length, 10, 14)
+		for _, q := range qs {
+			if len(q.Terms) != length {
+				t.Fatalf("length %d query has %d terms", length, len(q.Terms))
+			}
+		}
+		if len(qs) == 0 {
+			t.Fatalf("no queries of length %d", length)
+		}
+	}
+}

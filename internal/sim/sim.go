@@ -1,0 +1,262 @@
+// Package sim is the experiment harness: it spins up in-memory AlvisP2P
+// networks (Figure 3's topology), distributes synthetic collections over
+// the peers, drives the indexing strategies and query workloads, and
+// measures exactly what the paper's demonstration screens report —
+// bandwidth, storage, hops, retrieval quality. The experiment functions
+// (experiments.go) regenerate every table of EXPERIMENTS.md.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dht"
+	"repro/internal/docs"
+	"repro/internal/hdk"
+	"repro/internal/ids"
+	"repro/internal/localindex"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+// Options configure a simulated network.
+type Options struct {
+	// NumPeers is the network size (default 16).
+	NumPeers int
+	// Core configures every peer identically.
+	Core core.Config
+	// Seed drives peer identifiers and any sim-level randomness.
+	Seed int64
+	// SkewedIDs places 90% of the peers in 0.1% of the ring (the
+	// routing experiment's stress case).
+	SkewedIDs bool
+}
+
+// Network is a simulated AlvisP2P network plus the bookkeeping the
+// experiments need (global document identity, the centralized reference,
+// traffic meters).
+type Network struct {
+	Opts  Options
+	Net   *transport.Mem
+	Peers []*core.Peer
+	Base  []*baseline.Service
+
+	// Collection bookkeeping (after Distribute).
+	Collection *corpus.Collection
+	RefOf      []postings.DocRef       // corpus doc index -> network ref
+	CorpusDoc  map[postings.DocRef]int // network ref -> corpus doc index
+	Central    *baseline.Centralized   // reference engine over the union
+}
+
+// NewNetwork builds the network with oracle-installed routing tables
+// (the protocol-built equivalence is covered by the dht tests; large
+// experiment rings would take thousands of join/stabilize rounds for no
+// additional fidelity).
+func NewNetwork(opts Options) *Network {
+	if opts.NumPeers == 0 {
+		opts.NumPeers = 16
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := &Network{
+		Opts:      opts,
+		Net:       transport.NewMem(),
+		CorpusDoc: make(map[postings.DocRef]int),
+	}
+	nodes := make([]*dht.Node, 0, opts.NumPeers)
+	for i := 0; i < opts.NumPeers; i++ {
+		var id ids.ID
+		if opts.SkewedIDs {
+			denseStart := uint64(float64(math.MaxUint64) * 0.999)
+			if rng.Float64() < 0.9 {
+				id = ids.ID(denseStart + rng.Uint64()%(math.MaxUint64-denseStart))
+			} else {
+				id = ids.ID(rng.Uint64() % denseStart)
+			}
+		} else {
+			id = ids.ID(rng.Uint64())
+		}
+		d := transport.NewDispatcher()
+		ep := n.Net.Endpoint(fmt.Sprintf("peer%03d", i), d.Serve)
+		p := core.NewPeer(id, ep, d, opts.Core)
+		n.Peers = append(n.Peers, p)
+		n.Base = append(n.Base, baseline.NewService(p.GlobalIndex(), d))
+		nodes = append(nodes, p.Node())
+	}
+	dht.BuildOracleTables(nodes)
+	return n
+}
+
+// Distribute spreads a collection round-robin over the peers (documents
+// stay wholly at one peer, like the paper's shared directories) and
+// builds the centralized reference engine over the same documents.
+func (n *Network) Distribute(c *corpus.Collection) error {
+	n.Collection = c
+	n.RefOf = make([]postings.DocRef, len(c.Docs))
+	analyzer := n.Peers[0].LocalIndex().Analyzer()
+	central := localindex.New(analyzer)
+	for i, doc := range c.Docs {
+		peer := n.Peers[i%len(n.Peers)]
+		stored, err := peer.AddDocument(docFromCorpus(doc))
+		if err != nil {
+			return err
+		}
+		ref := postings.DocRef{Peer: peer.Addr(), Doc: stored.ID}
+		n.RefOf[i] = ref
+		n.CorpusDoc[ref] = i
+		central.Add(uint32(i), doc.Title+"\n"+doc.Body)
+	}
+	n.Central = baseline.NewCentralized(central)
+	return nil
+}
+
+func docFromCorpus(d corpus.Doc) *docs.Document {
+	return &docs.Document{Name: d.Name, Title: d.Title, Body: d.Body, Access: docs.Access{Public: true}}
+}
+
+// PublishStats pushes every peer's statistics contribution.
+func (n *Network) PublishStats() error {
+	for _, p := range n.Peers {
+		if err := p.PublishStats(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PublishHDK runs the fleet-synchronized HDK process: all peers publish
+// level 1, then expansion rounds proceed in lockstep until no peer
+// publishes anything new. Statistics must be published first.
+func (n *Network) PublishHDK() (keys, postingsShipped int, err error) {
+	pubs := make([]*hdk.Publisher, len(n.Peers))
+	for i, p := range n.Peers {
+		hp, err := p.NewHDKPublisher()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := hp.PublishTerms(); err != nil {
+			return 0, 0, err
+		}
+		pubs[i] = hp
+	}
+	for {
+		total := 0
+		for _, hp := range pubs {
+			m, err := hp.ExpandRound()
+			if err != nil {
+				return 0, 0, err
+			}
+			total += m
+		}
+		if total == 0 {
+			break
+		}
+	}
+	for _, hp := range pubs {
+		res := hp.Result()
+		keys += res.KeysPublished
+		postingsShipped += res.PostingsPublished
+	}
+	return keys, postingsShipped, nil
+}
+
+// PublishBaseline pushes every peer's complete single-term lists (the
+// [11] baseline index). Statistics must be published first.
+func (n *Network) PublishBaseline() (keys, shipped int, err error) {
+	for i, p := range n.Peers {
+		stats, err := p.GlobalStats().Fetch(p.LocalIndex().Terms())
+		if err != nil {
+			return keys, shipped, err
+		}
+		k, s, err := n.Base[i].PublishLocal(p.LocalIndex(), stats, p.Addr())
+		if err != nil {
+			return keys, shipped, err
+		}
+		keys += k
+		shipped += s
+	}
+	return keys, shipped, nil
+}
+
+// IndexStorage sums the global-index storage over all peers.
+func (n *Network) IndexStorage() (keys, postingsStored, bytes int) {
+	seen := make(map[string]bool)
+	for _, p := range n.Peers {
+		st := p.GlobalIndex().Store().Stats()
+		postingsStored += st.Postings
+		bytes += st.Bytes
+		for _, k := range p.GlobalIndex().Store().Keys() {
+			if !seen[k] {
+				seen[k] = true
+				keys++
+			}
+		}
+	}
+	return keys, postingsStored, bytes
+}
+
+// RandomPeer returns a deterministic pseudo-random peer for a query.
+func (n *Network) RandomPeer(rng *rand.Rand) *core.Peer {
+	return n.Peers[rng.Intn(len(n.Peers))]
+}
+
+// SearchCorpusDocs runs a query from the given peer and maps the results
+// back to corpus document indexes (unknown refs are dropped).
+func (n *Network) SearchCorpusDocs(p *core.Peer, query string) ([]int, *core.QueryTrace, error) {
+	results, trace, err := p.Search(query)
+	if err != nil {
+		return nil, trace, err
+	}
+	out := make([]int, 0, len(results))
+	for _, r := range results {
+		if idx, ok := n.CorpusDoc[r.Ref]; ok {
+			out = append(out, idx)
+		}
+	}
+	return out, trace, nil
+}
+
+// OverlapAtK computes |got ∩ want| / k, the retrieval-quality metric of
+// the HDK/QDI evaluations (overlap with the centralized top-k).
+func OverlapAtK(got, want []int, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if len(want) > k {
+		want = want[:k]
+	}
+	if len(got) > k {
+		got = got[:k]
+	}
+	if len(want) == 0 {
+		return 1 // nothing to find: trivially perfect
+	}
+	wantSet := make(map[int]bool, len(want))
+	for _, d := range want {
+		wantSet[d] = true
+	}
+	hit := 0
+	for _, d := range got {
+		if wantSet[d] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// CentralTopK returns the centralized reference's top-k corpus doc
+// indexes for a query.
+func (n *Network) CentralTopK(query string, k int) []int {
+	res := n.Central.Search(query, k)
+	out := make([]int, len(res))
+	for i, r := range res {
+		out[i] = int(r.Doc)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunF1(t *testing.T) {
+	tbl, err := RunF1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	// Figure 1: probes = {abc, ab, ac, bc, a} = 5; skipped = {b, c} = 2.
+	if !strings.Contains(out, "probes issued") {
+		t.Fatalf("table:\n%s", out)
+	}
+	assertCell(t, out, "probes issued", "5")
+	assertCell(t, out, "keys skipped", "2")
+	assertCell(t, out, "result docs", "3")
+}
+
+func assertCell(t *testing.T, table, rowPrefix, want string) {
+	t.Helper()
+	for _, line := range strings.Split(table, "\n") {
+		if strings.HasPrefix(line, rowPrefix) {
+			if !strings.Contains(line, want) {
+				t.Errorf("row %q = %q, want value %s", rowPrefix, line, want)
+			}
+			return
+		}
+	}
+	t.Errorf("row %q not found in table:\n%s", rowPrefix, table)
+}
+
+func TestRunE1SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE1(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 2 {
+		t.Fatalf("E1 rows = %d, want 2\n%s", len(rows), tbl)
+	}
+	// The paper's shape: the baseline costs more per query than HDK at
+	// every size, and the gap widens as the collection grows.
+	r0, r1 := rows[0], rows[1]
+	base0, hdk0 := atoi(t, r0[1]), atoi(t, r0[2])
+	base1, hdk1 := atoi(t, r1[1]), atoi(t, r1[2])
+	if base0 <= hdk0 || base1 <= hdk1 {
+		t.Errorf("baseline should cost more than HDK:\n%s", tbl)
+	}
+	growBase := float64(base1) / float64(base0)
+	growHDK := float64(hdk1) / float64(hdk0)
+	if growBase <= growHDK {
+		t.Errorf("baseline growth %.2fx should exceed HDK growth %.2fx\n%s", growBase, growHDK, tbl)
+	}
+}
+
+func TestRunE2SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE2(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 4 { // 2 DFmax x 2 smax
+		t.Fatalf("E2 rows = %d\n%s", len(rows), tbl)
+	}
+	// Lower DFmax means more frequent keys, hence more multi-term keys.
+	multiAtDF := map[string]int{}
+	for _, r := range rows {
+		if r[1] == "3" { // smax 3 rows
+			multiAtDF[r[0]] = atoi(t, r[3])
+		}
+	}
+	if multiAtDF["20"] <= multiAtDF["40"] {
+		t.Errorf("smaller DFmax must generate more multi-term keys: %v\n%s", multiAtDF, tbl)
+	}
+	// smax 3 never has fewer keys than smax 2 at the same DFmax.
+	var k2, k3 int
+	for _, r := range rows {
+		if r[0] == "20" && r[1] == "2" {
+			k2 = atoi(t, r[2])
+		}
+		if r[0] == "20" && r[1] == "3" {
+			k3 = atoi(t, r[2])
+		}
+	}
+	if k3 < k2 {
+		t.Errorf("smax 3 keys (%d) < smax 2 keys (%d)\n%s", k3, k2, tbl)
+	}
+}
+
+func TestRunE3SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE3(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 3 {
+		t.Fatalf("E3 rows = %d\n%s", len(rows), tbl)
+	}
+	for _, r := range rows {
+		o10 := atof(t, r[1])
+		if r[0] == "HDK" && o10 < 0.5 {
+			t.Errorf("HDK overlap@10 = %.2f too low\n%s", o10, tbl)
+		}
+	}
+	// Warm QDI must beat cold QDI.
+	var cold, warm float64
+	for _, r := range rows {
+		if strings.HasPrefix(r[0], "QDI cold") {
+			cold = atof(t, r[2])
+		}
+		if strings.HasPrefix(r[0], "QDI warm") {
+			warm = atof(t, r[2])
+		}
+	}
+	if warm < cold-0.05 {
+		t.Errorf("QDI warm overlap %.2f well below cold %.2f\n%s", warm, cold, tbl)
+	}
+}
+
+func TestRunE4SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE4(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 10 {
+		t.Fatalf("E4 rows = %d\n%s", len(rows), tbl)
+	}
+	// Hit rate grows within the first workload.
+	first := atof(t, rows[0][2])
+	last := atof(t, rows[4][2])
+	if last <= first {
+		t.Errorf("QDI hit rate should grow: slice1=%.2f slice5=%.2f\n%s", first, last, tbl)
+	}
+	// Activations happen; the index holds multi-term keys by slice 5.
+	if atoi(t, rows[4][4]) == 0 || atoi(t, rows[4][3]) == 0 {
+		t.Errorf("no QDI activations observed\n%s", tbl)
+	}
+}
+
+func TestRunE5SmallShape(t *testing.T) {
+	tbl, err := RunE5(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 8 { // 2 sizes x 2 distributions x 2 policies
+		t.Fatalf("E5 rows = %d\n%s", len(rows), tbl)
+	}
+	// Find skewed rows at the largest size: hop-space must beat id-space.
+	var hop, id float64
+	for _, r := range rows {
+		if r[0] == "256" && r[1] == "skewed" {
+			if r[2] == "hop-space" {
+				hop = atof(t, r[3])
+			} else {
+				id = atof(t, r[3])
+			}
+		}
+	}
+	if hop == 0 || id == 0 {
+		t.Fatalf("missing skewed rows\n%s", tbl)
+	}
+	if id <= hop {
+		t.Errorf("under skew id-space (%.2f) should exceed hop-space (%.2f)\n%s", id, hop, tbl)
+	}
+}
+
+func TestRunE6SmallShape(t *testing.T) {
+	tbl, err := RunE6(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 4 {
+		t.Fatalf("E6 rows = %d\n%s", len(rows), tbl)
+	}
+	// At the highest load CC goodput exceeds no-CC goodput.
+	last := rows[len(rows)-1]
+	cc, no := atoi(t, last[1]), atoi(t, last[2])
+	if cc <= no {
+		t.Errorf("CC goodput %d should exceed no-CC %d at max load\n%s", cc, no, tbl)
+	}
+}
+
+func TestRunE7SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE7(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) < 3 {
+		t.Fatalf("E7 rows = %d\n%s", len(rows), tbl)
+	}
+	// Probes grow with query length, and pruning never probes more than
+	// the full exploration.
+	prevPruned := 0.0
+	for _, r := range rows {
+		pruned, full := atof(t, r[1]), atof(t, r[2])
+		if pruned > full {
+			t.Errorf("pruned probes %.1f exceed full %.1f\n%s", pruned, full, tbl)
+		}
+		if pruned < prevPruned {
+			// probes should be non-decreasing in query length
+			t.Errorf("probes decreased with query length\n%s", tbl)
+		}
+		prevPruned = pruned
+	}
+}
+
+func TestRunE8SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE8(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 3 {
+		t.Fatalf("E8 rows = %d\n%s", len(rows), tbl)
+	}
+	for _, r := range rows {
+		if atoi(t, r[1]) == 0 {
+			t.Errorf("phase %q moved no messages\n%s", r[0], tbl)
+		}
+	}
+}
+
+// tableRows parses the body rows of a rendered table (after the header
+// and separator lines).
+func tableRows(rendered string) [][]string {
+	lines := strings.Split(strings.TrimSpace(rendered), "\n")
+	var rows [][]string
+	body := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "---") {
+			body = true
+			continue
+		}
+		if !body {
+			continue
+		}
+		fields := splitColumns(line)
+		if len(fields) > 0 {
+			rows = append(rows, fields)
+		}
+	}
+	return rows
+}
+
+// splitColumns splits on runs of 2+ spaces (the table's column gap).
+func splitColumns(line string) []string {
+	var out []string
+	for _, f := range strings.Split(line, "  ") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return v
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return v
+}

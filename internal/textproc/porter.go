@@ -1,0 +1,343 @@
+package textproc
+
+// Porter stemmer, implemented from M.F. Porter, "An algorithm for suffix
+// stripping" (Program, 1980). The local engine substitutes for Terrier,
+// whose default English pipeline uses exactly this stemmer, so query and
+// index terms normalize identically to the original system's.
+//
+// The implementation follows the reference description: a word is
+// [C](VC)^m[V]; rules fire on suffix match subject to conditions on the
+// measure m of the remaining stem and on letter patterns (*v*, *d, *o).
+
+// Stem returns the Porter stem of a lowercase word. Words shorter than
+// three letters are returned unchanged (the algorithm's k0 guard).
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	s := stemmer{b: []byte(word), k: len(word) - 1}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b[:s.k+1])
+}
+
+type stemmer struct {
+	b []byte // working buffer
+	k int    // index of last letter of the current word
+	j int    // index of last letter of the stem, set by ends()
+}
+
+// cons reports whether b[i] is a consonant.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	default:
+		return true
+	}
+}
+
+// m measures the number of VC sequences in the stem b[0..j].
+func (s *stemmer) m() int {
+	n := 0
+	i := 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports *v*: b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleC reports *d at position i: b[i-1..i] is a double consonant.
+func (s *stemmer) doubleC(i int) bool {
+	if i < 1 {
+		return false
+	}
+	return s.b[i] == s.b[i-1] && s.cons(i)
+}
+
+// cvc reports *o at position i: b[i-2..i] is consonant-vowel-consonant
+// with the final consonant not w, x or y. Used to restore a trailing e
+// (cav(e), lov(e), hop(e)).
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the word ends with suffix, setting j to just
+// before the suffix when it does.
+func (s *stemmer) ends(suffix string) bool {
+	l := len(suffix)
+	if l > s.k+1 {
+		return false
+	}
+	if string(s.b[s.k+1-l:s.k+1]) != suffix {
+		return false
+	}
+	s.j = s.k - l
+	return true
+}
+
+// setTo replaces the suffix after j with repl and adjusts k.
+func (s *stemmer) setTo(repl string) {
+	s.b = append(s.b[:s.j+1], repl...)
+	s.k = s.j + len(repl)
+}
+
+// r replaces the suffix with repl if the stem measure is positive.
+func (s *stemmer) r(repl string) {
+	if s.m() > 0 {
+		s.setTo(repl)
+	}
+}
+
+// step1ab removes plurals and -ed / -ing.
+func (s *stemmer) step1ab() {
+	if s.b[s.k] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.k -= 2
+		case s.ends("ies"):
+			s.setTo("i")
+		case s.b[s.k-1] != 's':
+			s.k--
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.k--
+		}
+	} else if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.k = s.j
+		switch {
+		case s.ends("at"):
+			s.setTo("ate")
+		case s.ends("bl"):
+			s.setTo("ble")
+		case s.ends("iz"):
+			s.setTo("ize")
+		case s.doubleC(s.k):
+			switch s.b[s.k] {
+			case 'l', 's', 'z':
+				// keep the double consonant
+			default:
+				s.k--
+			}
+		default:
+			if s.m() == 1 && s.cvc(s.k) {
+				s.j = s.k
+				s.setTo("e")
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is another vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.k] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones (-ization -> -ize etc.) when
+// the stem measure is positive.
+func (s *stemmer) step2() {
+	if s.k < 1 {
+		return
+	}
+	switch s.b[s.k-1] {
+	case 'a':
+		if s.ends("ational") {
+			s.r("ate")
+		} else if s.ends("tional") {
+			s.r("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.r("ence")
+		} else if s.ends("anci") {
+			s.r("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.r("ize")
+		}
+	case 'l':
+		if s.ends("abli") {
+			s.r("able")
+		} else if s.ends("alli") {
+			s.r("al")
+		} else if s.ends("entli") {
+			s.r("ent")
+		} else if s.ends("eli") {
+			s.r("e")
+		} else if s.ends("ousli") {
+			s.r("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.r("ize")
+		} else if s.ends("ation") {
+			s.r("ate")
+		} else if s.ends("ator") {
+			s.r("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.r("al")
+		} else if s.ends("iveness") {
+			s.r("ive")
+		} else if s.ends("fulness") {
+			s.r("ful")
+		} else if s.ends("ousness") {
+			s.r("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.r("al")
+		} else if s.ends("iviti") {
+			s.r("ive")
+		} else if s.ends("biliti") {
+			s.r("ble")
+		}
+	}
+}
+
+// step3 handles -ic-, -full, -ness etc. with positive stem measure.
+func (s *stemmer) step3() {
+	switch s.b[s.k] {
+	case 'e':
+		if s.ends("icate") {
+			s.r("ic")
+		} else if s.ends("ative") {
+			s.r("")
+		} else if s.ends("alize") {
+			s.r("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.r("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.r("ic")
+		} else if s.ends("ful") {
+			s.r("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.r("")
+		}
+	}
+}
+
+// step4 removes -ant, -ence etc. when the stem measure exceeds one.
+func (s *stemmer) step4() {
+	if s.k < 1 {
+		return
+	}
+	matched := false
+	switch s.b[s.k-1] {
+	case 'a':
+		matched = s.ends("al")
+	case 'c':
+		matched = s.ends("ance") || s.ends("ence")
+	case 'e':
+		matched = s.ends("er")
+	case 'i':
+		matched = s.ends("ic")
+	case 'l':
+		matched = s.ends("able") || s.ends("ible")
+	case 'n':
+		matched = s.ends("ant") || s.ends("ement") || s.ends("ment") || s.ends("ent")
+	case 'o':
+		if s.ends("ion") {
+			if s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't') {
+				matched = true
+			}
+		} else {
+			matched = s.ends("ou")
+		}
+	case 's':
+		matched = s.ends("ism")
+	case 't':
+		matched = s.ends("ate") || s.ends("iti")
+	case 'u':
+		matched = s.ends("ous")
+	case 'v':
+		matched = s.ends("ive")
+	case 'z':
+		matched = s.ends("ize")
+	}
+	if matched && s.m() > 1 {
+		s.k = s.j
+	}
+}
+
+// step5 removes a final -e and collapses a final double l when the stem
+// is long enough.
+func (s *stemmer) step5() {
+	s.j = s.k
+	if s.b[s.k] == 'e' {
+		a := s.m()
+		if a > 1 || (a == 1 && !s.cvc(s.k-1)) {
+			s.k--
+		}
+	}
+	if s.b[s.k] == 'l' && s.doubleC(s.k) && s.m() > 1 {
+		s.k--
+	}
+}

@@ -1,0 +1,207 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Canonical Porter vectors, each hand-traced against the 1980 paper's
+// rules (several are the paper's own worked examples, e.g.
+// generalizations -> gener and oscillators -> oscil).
+var porterVectors = []struct{ in, want string }{
+	// step 1a
+	{"caresses", "caress"},
+	{"ponies", "poni"},
+	{"ties", "ti"},
+	{"caress", "caress"},
+	{"cats", "cat"},
+	// step 1b
+	{"feed", "feed"},
+	{"agreed", "agre"},
+	{"plastered", "plaster"},
+	{"bled", "bled"},
+	{"motoring", "motor"},
+	{"sing", "sing"},
+	{"conflated", "conflat"},
+	{"troubled", "troubl"},
+	{"sized", "size"},
+	{"hopping", "hop"},
+	{"tanned", "tan"},
+	{"falling", "fall"},
+	{"hissing", "hiss"},
+	{"fizzed", "fizz"},
+	{"failing", "fail"},
+	{"filing", "file"},
+	// step 1c
+	{"happy", "happi"},
+	{"sky", "sky"},
+	// step 2
+	{"relational", "relat"},
+	{"conditional", "condit"},
+	{"valenci", "valenc"},
+	{"hesitanci", "hesit"},
+	{"digitizer", "digit"},
+	{"operator", "oper"},
+	// step 3
+	{"triplicate", "triplic"},
+	{"formative", "form"},
+	{"formalize", "formal"},
+	{"electriciti", "electr"},
+	{"electricity", "electr"},
+	{"hopeful", "hope"},
+	{"goodness", "good"},
+	// step 4
+	{"revival", "reviv"},
+	{"allowance", "allow"},
+	{"inference", "infer"},
+	{"airliner", "airlin"},
+	{"adjustable", "adjust"},
+	{"effective", "effect"},
+	{"adoption", "adopt"},
+	// step 5
+	{"rate", "rate"},
+	{"probate", "probat"},
+	{"cease", "ceas"},
+	{"controll", "control"},
+	{"roll", "roll"},
+	// the paper's two long worked examples
+	{"generalizations", "gener"},
+	{"oscillators", "oscil"},
+	// short words pass through
+	{"a", "a"},
+	{"is", "is"},
+	{"be", "be"},
+}
+
+func TestPorterVectors(t *testing.T) {
+	for _, v := range porterVectors {
+		if got := Stem(v.in); got != v.want {
+			t.Errorf("Stem(%q) = %q, want %q", v.in, got, v.want)
+		}
+	}
+}
+
+func TestPorterNeverPanicsOrEmpties(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to plausible lowercase tokens.
+		word := ""
+		for _, r := range s {
+			if r >= 'a' && r <= 'z' {
+				word += string(r)
+			}
+			if len(word) > 30 {
+				break
+			}
+		}
+		if len(word) < 3 {
+			return Stem(word) == word
+		}
+		out := Stem(word)
+		return out != "" && len(out) <= len(word)+1 // +1: e-restoration can extend
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizerBasic(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{DisableStemming: true})
+	got := a.Terms("Hello, World! The quick-brown fox; and 42 things.")
+	want := []string{"hello", "world", "quick", "brown", "fox", "42", "things"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerPositions(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{DisableStemming: true})
+	// "the" is a stopword but still consumes position 0; "of" consumes 2.
+	toks := a.Tokens("the peer of networks")
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Term != "peer" || toks[0].Pos != 1 {
+		t.Errorf("tok0 = %+v, want peer@1", toks[0])
+	}
+	if toks[1].Term != "networks" || toks[1].Pos != 3 {
+		t.Errorf("tok1 = %+v, want networks@3", toks[1])
+	}
+}
+
+func TestTokenizerStemming(t *testing.T) {
+	got := Default.Terms("distributed retrieval engines")
+	want := []string{"distribut", "retriev", "engin"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stemmed terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerQueryAndDocAgree(t *testing.T) {
+	// The same analyzer must normalize query and document text to
+	// identical terms — the property retrieval correctness depends on.
+	doc := Default.Terms("Scalable Peer-to-Peer Text Retrieval")
+	query := Default.Terms("scalability peers retrieving texts")
+	// scalable/scalability stem differently (scalabl vs scalabil), but
+	// peer/peers, text/texts, retrieval/retrieving must collide.
+	contains := func(ts []string, w string) bool {
+		for _, t := range ts {
+			if t == w {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range []string{"peer", "text", "retriev"} {
+		if !contains(doc, w) || !contains(query, w) {
+			t.Errorf("term %q missing: doc=%v query=%v", w, doc, query)
+		}
+	}
+}
+
+func TestUniqueTerms(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{DisableStemming: true})
+	got := a.UniqueTerms("data data network data network peer")
+	want := []string{"data", "network", "peer"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("UniqueTerms = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerOptions(t *testing.T) {
+	noNum := NewAnalyzer(AnalyzerConfig{DropNumbers: true, DisableStemming: true})
+	if got := noNum.Terms("version 42 rocks"); !reflect.DeepEqual(got, []string{"version", "rocks"}) {
+		t.Errorf("DropNumbers: %v", got)
+	}
+	noStop := NewAnalyzer(AnalyzerConfig{NoStopwords: true, DisableStemming: true})
+	if got := noStop.Terms("the cat"); !reflect.DeepEqual(got, []string{"the", "cat"}) {
+		t.Errorf("NoStopwords: %v", got)
+	}
+	extra := NewAnalyzer(AnalyzerConfig{ExtraStopwords: []string{"cat"}, DisableStemming: true})
+	if got := extra.Terms("the cat sat"); !reflect.DeepEqual(got, []string{"sat"}) {
+		t.Errorf("ExtraStopwords: %v", got)
+	}
+	long := NewAnalyzer(AnalyzerConfig{MinTermLen: 4, DisableStemming: true})
+	if got := long.Terms("big elephant ant"); !reflect.DeepEqual(got, []string{"elephant"}) {
+		t.Errorf("MinTermLen: %v", got)
+	}
+}
+
+func TestTokenizerUnicode(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{DisableStemming: true, NoStopwords: true})
+	got := a.Terms("café naïve 北京 test")
+	// Unicode letters are kept as term runes; the CJK string forms one token.
+	want := []string{"café", "naïve", "北京", "test"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unicode terms = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizerEmptyAndPunctuation(t *testing.T) {
+	if got := Default.Terms(""); len(got) != 0 {
+		t.Errorf("empty text: %v", got)
+	}
+	if got := Default.Terms("!!! ... --- ???"); len(got) != 0 {
+		t.Errorf("punctuation only: %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package textproc implements the document-analysis pipeline shared by
+// the local search engine (L5) and the distributed indexing layer (L3):
+// tokenization, stopword removal, and Porter stemming. The same pipeline
+// must run on the indexing and the querying side so that query terms meet
+// index terms in the same normalized form.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a normalized term occurrence with its position in the token
+// stream (positions index tokens, not bytes; the HDK proximity window is
+// measured in these positions).
+type Token struct {
+	Term string
+	Pos  int
+}
+
+// Analyzer turns raw text into index terms. The zero value is not usable;
+// construct with NewAnalyzer.
+type Analyzer struct {
+	stopwords   map[string]struct{}
+	stem        bool
+	minTermLen  int
+	maxTermLen  int
+	keepNumbers bool
+}
+
+// AnalyzerConfig controls the pipeline. The zero value selects the
+// defaults used throughout the reproduction: stemming on, numbers kept,
+// term length 2..40, the standard English stopword list.
+type AnalyzerConfig struct {
+	// DisableStemming turns the Porter stemmer off.
+	DisableStemming bool
+	// DropNumbers removes purely numeric tokens.
+	DropNumbers bool
+	// ExtraStopwords are removed in addition to the built-in list.
+	ExtraStopwords []string
+	// NoStopwords disables the built-in stopword list entirely.
+	NoStopwords bool
+	// MinTermLen and MaxTermLen bound accepted term lengths
+	// (defaults 2 and 40).
+	MinTermLen, MaxTermLen int
+}
+
+// NewAnalyzer builds an analyzer from cfg.
+func NewAnalyzer(cfg AnalyzerConfig) *Analyzer {
+	a := &Analyzer{
+		stopwords:   make(map[string]struct{}),
+		stem:        !cfg.DisableStemming,
+		minTermLen:  cfg.MinTermLen,
+		maxTermLen:  cfg.MaxTermLen,
+		keepNumbers: !cfg.DropNumbers,
+	}
+	if a.minTermLen == 0 {
+		a.minTermLen = 2
+	}
+	if a.maxTermLen == 0 {
+		a.maxTermLen = 40
+	}
+	if !cfg.NoStopwords {
+		for _, w := range stopwordList {
+			a.stopwords[w] = struct{}{}
+		}
+	}
+	for _, w := range cfg.ExtraStopwords {
+		a.stopwords[strings.ToLower(w)] = struct{}{}
+	}
+	return a
+}
+
+// Default is the analyzer used by the engine unless configured otherwise.
+var Default = NewAnalyzer(AnalyzerConfig{})
+
+// Tokens analyzes text and returns the surviving tokens with positions.
+// Positions count raw tokens before filtering, so proximity between two
+// surviving terms reflects their true distance in the document.
+func (a *Analyzer) Tokens(text string) []Token {
+	var out []Token
+	pos := 0
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		raw := text[start:end]
+		start = -1
+		p := pos
+		pos++
+		term := a.normalize(raw)
+		if term == "" {
+			return
+		}
+		out = append(out, Token{Term: term, Pos: p})
+	}
+	for i, r := range text {
+		if isTermRune(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return out
+}
+
+// Terms analyzes text and returns just the surviving terms, in order.
+func (a *Analyzer) Terms(text string) []string {
+	toks := a.Tokens(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}
+
+// UniqueTerms analyzes text and returns the distinct surviving terms in
+// first-occurrence order. Queries use it: the lattice is built over a
+// query's distinct terms.
+func (a *Analyzer) UniqueTerms(text string) []string {
+	toks := a.Tokens(text)
+	seen := make(map[string]struct{}, len(toks))
+	var out []string
+	for _, t := range toks {
+		if _, dup := seen[t.Term]; dup {
+			continue
+		}
+		seen[t.Term] = struct{}{}
+		out = append(out, t.Term)
+	}
+	return out
+}
+
+// normalize lowercases, filters stopwords and lengths, and stems.
+// It returns "" if the token is dropped.
+func (a *Analyzer) normalize(raw string) string {
+	term := strings.ToLower(raw)
+	if len(term) < a.minTermLen || len(term) > a.maxTermLen {
+		return ""
+	}
+	if !a.keepNumbers && isNumeric(term) {
+		return ""
+	}
+	if _, stop := a.stopwords[term]; stop {
+		return ""
+	}
+	if a.stem {
+		term = Stem(term)
+		// Stemming can shorten a term below the minimum ("ties" -> "ti"
+		// never happens, but defensive) or onto a stopword stem.
+		if len(term) < a.minTermLen {
+			return ""
+		}
+	}
+	return term
+}
+
+func isTermRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// stopwordList is the classic Van Rijsbergen/SMART-derived English
+// stopword set trimmed to the high-frequency function words, matching
+// what Terrier-era IR systems removed by default.
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "as", "at", "be", "because", "been", "before",
+	"being", "below", "between", "both", "but", "by", "can", "cannot",
+	"could", "did", "do", "does", "doing", "down", "during", "each", "few",
+	"for", "from", "further", "had", "has", "have", "having", "he", "her",
+	"here", "hers", "herself", "him", "himself", "his", "how", "i", "if",
+	"in", "into", "is", "it", "its", "itself", "just", "me", "more", "most",
+	"my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+	"only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
+	"same", "she", "should", "so", "some", "such", "than", "that", "the",
+	"their", "theirs", "them", "themselves", "then", "there", "these",
+	"they", "this", "those", "through", "to", "too", "under", "until", "up",
+	"very", "was", "we", "were", "what", "when", "where", "which", "while",
+	"who", "whom", "why", "will", "with", "you", "your", "yours",
+	"yourself", "yourselves",
+}

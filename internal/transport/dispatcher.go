@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dispatcher multiplexes one endpoint among several protocol layers. Each
+// layer registers handlers for its message-type range (the ranges are
+// documented in package dht); the dispatcher's Serve method is installed
+// as the endpoint's Handler.
+type Dispatcher struct {
+	mu       sync.RWMutex
+	handlers map[uint8]Handler
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{handlers: make(map[uint8]Handler)}
+}
+
+// Handle registers h for msgType. Registering the same type twice panics:
+// it would silently shadow a protocol layer.
+func (d *Dispatcher) Handle(msgType uint8, h Handler) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.handlers[msgType]; dup {
+		panic(fmt.Sprintf("transport: duplicate handler for message type 0x%02x", msgType))
+	}
+	d.handlers[msgType] = h
+}
+
+// Serve implements Handler by routing to the registered handler.
+func (d *Dispatcher) Serve(from Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	d.mu.RLock()
+	h := d.handlers[msgType]
+	d.mu.RUnlock()
+	if h == nil {
+		return 0, nil, fmt.Errorf("no handler for message type 0x%02x", msgType)
+	}
+	return h(from, msgType, body)
+}

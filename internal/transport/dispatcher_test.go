@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDispatcherRouting(t *testing.T) {
+	d := NewDispatcher()
+	d.Handle(1, func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+		return 10, []byte("one"), nil
+	})
+	d.Handle(2, func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+		return 0, nil, errors.New("two fails")
+	})
+
+	rt, resp, err := d.Serve("x", 1, nil)
+	if err != nil || rt != 10 || string(resp) != "one" {
+		t.Fatalf("route 1: %d %q %v", rt, resp, err)
+	}
+	if _, _, err := d.Serve("x", 2, nil); err == nil {
+		t.Fatal("handler error must propagate")
+	}
+	if _, _, err := d.Serve("x", 99, nil); err == nil {
+		t.Fatal("unknown type must error")
+	}
+}
+
+func TestDispatcherDuplicatePanics(t *testing.T) {
+	d := NewDispatcher()
+	h := func(Addr, uint8, []byte) (uint8, []byte, error) { return 0, nil, nil }
+	d.Handle(7, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	d.Handle(7, h)
+}
+
+func TestMemSelfCallBypassesMeter(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("self", echoHandler)
+	respType, resp, err := a.Call("self", 5, []byte("loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respType != 6 || string(resp) != "echo:loop" {
+		t.Fatalf("self call = (%d, %q)", respType, resp)
+	}
+	if s := n.Meter().Snapshot(); s.Messages != 0 {
+		t.Fatalf("self calls must not be metered: %+v", s)
+	}
+}
+
+func TestMemSelfCallError(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("err", func(Addr, uint8, []byte) (uint8, []byte, error) {
+		return 0, nil, errors.New("nope")
+	})
+	_, _, err := a.Call("err", 1, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("self-call error must be a RemoteError: %v", err)
+	}
+}
+
+func TestTCPSelfCallBypassesNetwork(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	respType, resp, err := srv.Call(srv.Addr(), 3, []byte("me"))
+	if err != nil || respType != 4 || string(resp) != "echo:me" {
+		t.Fatalf("tcp self call: %d %q %v", respType, resp, err)
+	}
+	if s := srv.Meter().Snapshot(); s.Messages != 0 {
+		t.Fatalf("tcp self calls must not be metered: %+v", s)
+	}
+}
+
+func TestTCPCloseIdempotentAndUnblocksServer(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish an inbound connection at srv, then close srv: the close
+	// must not hang on the idle server goroutine.
+	if _, _, err := cli.Call(srv.Addr(), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		srv.Close() // idempotent
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TCP Close hung with an idle inbound connection")
+	}
+	cli.Close()
+}

@@ -1,0 +1,274 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Frame layout, shared by requests and responses:
+//
+//	[4] length of the remainder (big endian)
+//	[8] request ID
+//	[1] kind: 0 request, 1 response, 2 error response
+//	[1] message type
+//	[n] payload
+//
+// maxFrame bounds the payload a peer will accept.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+	kindError    = 2
+	maxFrame     = 64 << 20
+)
+
+// TCP is a Transport endpoint backed by a real TCP listener. Outbound
+// calls reuse one persistent connection per destination; requests on a
+// connection are serialized (no pipelining), which is the behaviour the
+// congestion-control layer assumes.
+type TCP struct {
+	ln      net.Listener
+	handler Handler
+	meter   *metrics.Meter
+
+	mu       sync.Mutex
+	conns    map[Addr]*tcpConn     // outbound, pooled by destination
+	accepted map[net.Conn]struct{} // inbound, closed on shutdown
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu     sync.Mutex
+	c      net.Conn
+	nextID uint64
+}
+
+// ListenTCP starts a TCP endpoint on addr (e.g. "127.0.0.1:0") and begins
+// serving incoming requests with h.
+func ListenTCP(addr string, h Handler) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &TCP{
+		ln:       ln,
+		handler:  h,
+		meter:    metrics.NewMeter(),
+		conns:    make(map[Addr]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Meter returns this endpoint's traffic meter (bytes sent and received by
+// calls made and served through it).
+func (t *TCP) Meter() *metrics.Meter { return t.meter }
+
+// Addr returns the listener's address.
+func (t *TCP) Addr() Addr { return Addr(t.ln.Addr().String()) }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.accepted[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+func (t *TCP) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.accepted, c)
+		t.mu.Unlock()
+	}()
+	for {
+		id, kind, msgType, body, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if kind != kindRequest {
+			return // protocol violation: drop the connection
+		}
+		t.meter.Record(msgType, FrameOverhead+len(body))
+		respType, resp, herr := t.handler(Addr(c.RemoteAddr().String()), msgType, body)
+		if herr != nil {
+			if err := writeFrame(c, id, kindError, msgType, []byte(herr.Error())); err != nil {
+				return
+			}
+			t.meter.Record(msgType, FrameOverhead+len(herr.Error()))
+			continue
+		}
+		if err := writeFrame(c, id, kindResponse, respType, resp); err != nil {
+			return
+		}
+		t.meter.Record(respType, FrameOverhead+len(resp))
+	}
+}
+
+// Call implements Endpoint.
+func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	if to == t.Addr() {
+		// Local fast path: no network round-trip, no metering.
+		respType, resp, err := t.handler(to, msgType, body)
+		if err != nil {
+			return 0, nil, &RemoteError{Msg: err.Error()}
+		}
+		return respType, resp, nil
+	}
+	conn, err := t.getConn(to)
+	if err != nil {
+		return 0, nil, err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	conn.nextID++
+	id := conn.nextID
+	if err := writeFrame(conn.c, id, kindRequest, msgType, body); err != nil {
+		t.dropConn(to, conn)
+		return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	t.meter.Record(msgType, FrameOverhead+len(body))
+	respID, kind, respType, resp, err := readFrame(conn.c)
+	if err != nil {
+		t.dropConn(to, conn)
+		return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	if respID != id {
+		t.dropConn(to, conn)
+		return 0, nil, fmt.Errorf("%w: response id mismatch", ErrUnreachable)
+	}
+	t.meter.Record(respType, FrameOverhead+len(resp))
+	if kind == kindError {
+		return 0, nil, &RemoteError{Msg: string(resp)}
+	}
+	return respType, resp, nil
+}
+
+func (t *TCP) getConn(to Addr) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	// Dial outside the lock; racing dials are reconciled below.
+	nc, err := net.Dial("tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		nc.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		nc.Close()
+		return existing, nil
+	}
+	c := &tcpConn{c: nc}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCP) dropConn(to Addr, conn *tcpConn) {
+	conn.c.Close()
+	t.mu.Lock()
+	if t.conns[to] == conn {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+}
+
+// Close shuts down the listener and all cached connections and waits for
+// server goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[Addr]*tcpConn)
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	// Closing inbound connections unblocks their server goroutines, so
+	// the WaitGroup below cannot hang on an idle reader.
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+func writeFrame(w io.Writer, id uint64, kind, msgType uint8, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(payload))
+	}
+	hdr := make([]byte, 14)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(10+len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = kind
+	hdr[13] = msgType
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (id uint64, kind, msgType uint8, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 10 || n > maxFrame+10 {
+		err = fmt.Errorf("transport: bad frame length %d", n)
+		return
+	}
+	rest := make([]byte, n)
+	if _, err = io.ReadFull(r, rest); err != nil {
+		return
+	}
+	id = binary.BigEndian.Uint64(rest[0:8])
+	kind = rest[8]
+	msgType = rest[9]
+	payload = rest[10:]
+	return
+}

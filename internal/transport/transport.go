@@ -1,0 +1,213 @@
+// Package transport implements AlvisP2P's layer L1: direct peer-to-peer
+// request/response messaging. Two interchangeable implementations are
+// provided:
+//
+//   - an in-memory network (Mem) used by the simulator and the test suite;
+//     it delivers calls synchronously, meters exact encoded bytes, and
+//     supports failure injection, and
+//   - a TCP transport (see tcp.go) with length-prefixed frames, used by the
+//     real peer binary.
+//
+// Both account message sizes identically (FrameOverhead + payload), so
+// bandwidth numbers from the simulator match what the TCP transport would
+// put on the wire.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Addr identifies an endpoint: a symbolic name on a Mem network or a
+// "host:port" string for TCP.
+type Addr string
+
+// FrameOverhead is the number of framing bytes that accompany every
+// message payload: a 4-byte length, an 8-byte request ID, a kind byte and
+// a message-type byte. The meter charges it on every call and reply so
+// that in-memory byte counts equal TCP byte counts.
+const FrameOverhead = 14
+
+// Handler processes one incoming request and produces a response. A
+// handler must answer from local state only: issuing nested calls back
+// into the transport from within a handler is allowed by Mem (delivery is
+// reentrant) but is a design smell in DHT code because it serializes the
+// overlay; AlvisP2P uses iterative routing to keep handlers local.
+type Handler func(from Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
+
+// Endpoint is one peer's attachment to the network.
+type Endpoint interface {
+	// Addr returns the endpoint's own address.
+	Addr() Addr
+	// Call sends a request and waits for the response.
+	Call(to Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
+	// Close detaches the endpoint; subsequent calls to it fail.
+	Close() error
+}
+
+// Errors reported by transports. Callers distinguish unreachability (peer
+// churn, handled by routing retry) from remote application errors.
+var (
+	ErrUnreachable = errors.New("transport: peer unreachable")
+	ErrClosed      = errors.New("transport: endpoint closed")
+)
+
+// RemoteError wraps an error string returned by a remote handler.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// Mem is an in-memory network connecting any number of endpoints. It is
+// safe for concurrent use. Delivery is synchronous: Call invokes the
+// destination handler on the caller's goroutine, which makes tests
+// deterministic and lets experiments attribute costs precisely.
+type Mem struct {
+	mu     sync.RWMutex
+	peers  map[Addr]*memEndpoint
+	down   map[Addr]bool
+	meter  *metrics.Meter
+	load   map[Addr]*metrics.Meter // per-endpoint received-traffic meters
+	nextID int
+}
+
+// NewMem creates an empty in-memory network.
+func NewMem() *Mem {
+	return &Mem{
+		peers: make(map[Addr]*memEndpoint),
+		down:  make(map[Addr]bool),
+		meter: metrics.NewMeter(),
+		load:  make(map[Addr]*metrics.Meter),
+	}
+}
+
+// Meter returns the network-wide traffic meter. Every request and every
+// response is recorded once with its full framed size.
+func (n *Mem) Meter() *metrics.Meter { return n.meter }
+
+// Load returns the received-traffic meter of addr, creating it if needed.
+// Experiments use it to measure per-peer load balance.
+func (n *Mem) Load(addr Addr) *metrics.Meter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loadLocked(addr)
+}
+
+func (n *Mem) loadLocked(addr Addr) *metrics.Meter {
+	m, ok := n.load[addr]
+	if !ok {
+		m = metrics.NewMeter()
+		n.load[addr] = m
+	}
+	return m
+}
+
+// Endpoint attaches a new endpoint with the given handler. If name is
+// empty a unique name is generated.
+func (n *Mem) Endpoint(name string, h Handler) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if name == "" {
+		name = fmt.Sprintf("mem-%d", n.nextID)
+		n.nextID++
+	}
+	addr := Addr(name)
+	if _, exists := n.peers[addr]; exists {
+		panic(fmt.Sprintf("transport: duplicate endpoint %q", name))
+	}
+	ep := &memEndpoint{net: n, addr: addr, handler: h}
+	n.peers[addr] = ep
+	n.loadLocked(addr)
+	return ep
+}
+
+// SetDown marks an endpoint unreachable (true) or reachable (false)
+// without detaching it. Used for failure-injection tests.
+func (n *Mem) SetDown(addr Addr, down bool) {
+	n.mu.Lock()
+	n.down[addr] = down
+	n.mu.Unlock()
+}
+
+// NumEndpoints returns the number of attached endpoints.
+func (n *Mem) NumEndpoints() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.peers)
+}
+
+type memEndpoint struct {
+	net     *Mem
+	addr    Addr
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+func (e *memEndpoint) Addr() Addr { return e.addr }
+
+func (e *memEndpoint) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	e.mu.Lock()
+	closed := e.closed
+	h := e.handler
+	e.mu.Unlock()
+	if closed {
+		return 0, nil, ErrClosed
+	}
+	if to == e.addr {
+		// A peer talking to itself does not use the network: dispatch
+		// directly and meter nothing, like the real implementation's
+		// local fast path.
+		respType, resp, err := h(e.addr, msgType, body)
+		if err != nil {
+			return 0, nil, &RemoteError{Msg: err.Error()}
+		}
+		return respType, resp, nil
+	}
+
+	n := e.net
+	n.mu.RLock()
+	dst, ok := n.peers[to]
+	downSrc := n.down[e.addr]
+	downDst := n.down[to]
+	loadDst := n.load[to]
+	n.mu.RUnlock()
+	if !ok || downSrc || downDst {
+		return 0, nil, ErrUnreachable
+	}
+	dst.mu.Lock()
+	dstHandler := dst.handler
+	dstClosed := dst.closed
+	dst.mu.Unlock()
+	if dstClosed || dstHandler == nil {
+		return 0, nil, ErrUnreachable
+	}
+
+	reqSize := FrameOverhead + len(body)
+	n.meter.Record(msgType, reqSize)
+	if loadDst != nil {
+		loadDst.Record(msgType, reqSize)
+	}
+
+	respType, resp, err := dstHandler(e.addr, msgType, body)
+	if err != nil {
+		// An error reply still crosses the network: charge a frame
+		// carrying the error text, as the TCP transport would send.
+		n.meter.Record(msgType, FrameOverhead+len(err.Error()))
+		return 0, nil, &RemoteError{Msg: err.Error()}
+	}
+	n.meter.Record(respType, FrameOverhead+len(resp))
+	return respType, resp, nil
+}
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.net.mu.Lock()
+	delete(e.net.peers, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}

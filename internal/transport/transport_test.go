@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func echoHandler(from Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	return msgType + 1, append([]byte("echo:"), body...), nil
+}
+
+func TestMemCallRoundTrip(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("a", echoHandler)
+	n.Endpoint("b", echoHandler)
+
+	respType, resp, err := a.Call("b", 7, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respType != 8 {
+		t.Errorf("respType = %d, want 8", respType)
+	}
+	if string(resp) != "echo:hi" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestMemMetering(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("a", echoHandler)
+	n.Endpoint("b", echoHandler)
+
+	if _, _, err := a.Call("b", 1, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Meter().Snapshot()
+	if s.Messages != 2 { // request + response
+		t.Fatalf("messages = %d, want 2", s.Messages)
+	}
+	wantReq := int64(FrameOverhead + 3)
+	wantResp := int64(FrameOverhead + len("echo:xyz"))
+	if s.Bytes != wantReq+wantResp {
+		t.Fatalf("bytes = %d, want %d", s.Bytes, wantReq+wantResp)
+	}
+	// Per-endpoint load: only b received a request.
+	lb := n.Load("b").Snapshot()
+	if lb.Messages != 1 || lb.Bytes != wantReq {
+		t.Fatalf("load(b) = %+v", lb)
+	}
+	la := n.Load("a").Snapshot()
+	if la.Messages != 0 {
+		t.Fatalf("load(a) = %+v, want zero", la)
+	}
+}
+
+func TestMemUnknownPeer(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("a", echoHandler)
+	if _, _, err := a.Call("nope", 1, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestMemFailureInjection(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("a", echoHandler)
+	n.Endpoint("b", echoHandler)
+
+	n.SetDown("b", true)
+	if _, _, err := a.Call("b", 1, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("down peer should be unreachable, got %v", err)
+	}
+	n.SetDown("b", false)
+	if _, _, err := a.Call("b", 1, nil); err != nil {
+		t.Fatalf("recovered peer should answer, got %v", err)
+	}
+}
+
+func TestMemRemoteError(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("a", echoHandler)
+	n.Endpoint("b", func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+		return 0, nil, fmt.Errorf("kaboom %d", mt)
+	})
+	_, _, err := a.Call("b", 3, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Msg != "kaboom 3" {
+		t.Errorf("msg = %q", re.Msg)
+	}
+}
+
+func TestMemClose(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("a", echoHandler)
+	b := n.Endpoint("b", echoHandler)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Call("b", 1, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("closed peer should be unreachable, got %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Call("b", 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call from closed endpoint: %v, want ErrClosed", err)
+	}
+	if n.NumEndpoints() != 0 {
+		t.Fatalf("endpoints = %d, want 0", n.NumEndpoints())
+	}
+}
+
+func TestMemDuplicateNamePanics(t *testing.T) {
+	n := NewMem()
+	n.Endpoint("dup", echoHandler)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate endpoint name")
+		}
+	}()
+	n.Endpoint("dup", echoHandler)
+}
+
+func TestMemAutoNames(t *testing.T) {
+	n := NewMem()
+	a := n.Endpoint("", echoHandler)
+	b := n.Endpoint("", echoHandler)
+	if a.Addr() == b.Addr() {
+		t.Fatal("auto-generated names must be unique")
+	}
+}
+
+func TestMemConcurrentCalls(t *testing.T) {
+	n := NewMem()
+	var eps []Endpoint
+	for i := 0; i < 8; i++ {
+		eps = append(eps, n.Endpoint(fmt.Sprintf("p%d", i), echoHandler))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				// (i+1+j%7)%8 is never i, so every call crosses the
+				// network and is metered.
+				to := Addr(fmt.Sprintf("p%d", (i+1+j%7)%8))
+				if _, _, err := eps[i].Call(to, uint8(j), []byte("x")); err != nil {
+					t.Errorf("call failed: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := n.Meter().Snapshot().Messages; got != 8*200*2 {
+		t.Fatalf("messages = %d, want %d", got, 8*200*2)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	respType, resp, err := cli.Call(srv.Addr(), 42, []byte("over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respType != 43 || string(resp) != "echo:over tcp" {
+		t.Fatalf("got (%d, %q)", respType, resp)
+	}
+
+	// Second call reuses the pooled connection.
+	if _, _, err := cli.Call(srv.Addr(), 1, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(Addr, uint8, []byte) (uint8, []byte, error) {
+		return 0, nil, errors.New("server says no")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	_, _, err = cli.Call(srv.Addr(), 1, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "server says no" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, err := cli.Call("127.0.0.1:1", 1, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPMetering(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if _, _, err := cli.Call(srv.Addr(), 5, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	cs := cli.Meter().Snapshot()
+	wantReq := int64(FrameOverhead + 3)
+	wantResp := int64(FrameOverhead + len("echo:abc"))
+	if cs.Bytes != wantReq+wantResp || cs.Messages != 2 {
+		t.Fatalf("client meter = %+v", cs)
+	}
+	ss := srv.Meter().Snapshot()
+	if ss.Bytes != wantReq+wantResp || ss.Messages != 2 {
+		t.Fatalf("server meter = %+v", ss)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		wg.Add(1)
+		go func(c *TCP) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, _, err := c.Call(srv.Addr(), 1, []byte("x")); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}(cli)
+	}
+	wg.Wait()
+}
+
+func TestTCPCallAfterClose(t *testing.T) {
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if _, _, err := cli.Call("127.0.0.1:9", 1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeRandomBytesNeverPanics feeds the reader random garbage and
+// exercises every accessor: frames arrive from the network, so corrupt
+// input must fail cleanly, never panic or allocate absurdly.
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		r := NewReader(buf)
+		for i := 0; i < 8; i++ {
+			switch rng.Intn(8) {
+			case 0:
+				r.Uvarint()
+			case 1:
+				r.Varint()
+			case 2:
+				r.Uint64()
+			case 3:
+				r.Uint32()
+			case 4:
+				r.Byte()
+			case 5:
+				_ = r.String()
+			case 6:
+				_ = r.Bytes()
+			case 7:
+				_ = r.StringSlice()
+			}
+		}
+		// Whatever happened, the reader is in a consistent state.
+		if r.Remaining() < 0 || r.Remaining() > len(buf) {
+			t.Fatalf("trial %d: remaining %d out of range", trial, r.Remaining())
+		}
+	}
+}
+
+// TestInterleavedWriteRead round-trips random operation sequences.
+func TestInterleavedWriteRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 500; trial++ {
+		type op struct {
+			kind int
+			u    uint64
+			i    int64
+			s    string
+			b    bool
+			f    float64
+		}
+		n := 1 + rng.Intn(12)
+		ops := make([]op, n)
+		w := NewWriter(64)
+		for i := range ops {
+			o := op{kind: rng.Intn(5)}
+			switch o.kind {
+			case 0:
+				o.u = rng.Uint64()
+				w.Uvarint(o.u)
+			case 1:
+				o.i = rng.Int63() - rng.Int63()
+				w.Varint(o.i)
+			case 2:
+				letters := make([]byte, rng.Intn(10))
+				for j := range letters {
+					letters[j] = byte('a' + rng.Intn(26))
+				}
+				o.s = string(letters)
+				w.String(o.s)
+			case 3:
+				o.b = rng.Intn(2) == 0
+				w.Bool(o.b)
+			case 4:
+				o.f = rng.NormFloat64()
+				w.Float64(o.f)
+			}
+			ops[i] = o
+		}
+		r := NewReader(w.Bytes())
+		for i, o := range ops {
+			switch o.kind {
+			case 0:
+				if got := r.Uvarint(); got != o.u {
+					t.Fatalf("trial %d op %d: uvarint %d != %d", trial, i, got, o.u)
+				}
+			case 1:
+				if got := r.Varint(); got != o.i {
+					t.Fatalf("trial %d op %d: varint %d != %d", trial, i, got, o.i)
+				}
+			case 2:
+				if got := r.String(); got != o.s {
+					t.Fatalf("trial %d op %d: string %q != %q", trial, i, got, o.s)
+				}
+			case 3:
+				if got := r.Bool(); got != o.b {
+					t.Fatalf("trial %d op %d: bool %v != %v", trial, i, got, o.b)
+				}
+			case 4:
+				if got := r.Float64(); got != o.f {
+					t.Fatalf("trial %d op %d: float %v != %v", trial, i, got, o.f)
+				}
+			}
+		}
+		if r.Err() != nil || r.Remaining() != 0 {
+			t.Fatalf("trial %d: err=%v remaining=%d", trial, r.Err(), r.Remaining())
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package wire implements the AlvisP2P binary wire format. One encoding is
+// shared by the TCP transport (frame payloads) and by the simulator's
+// bandwidth meters, so every byte count an experiment reports is the size
+// the message would occupy on a real network.
+//
+// The format is deliberately simple: unsigned varints (as in
+// encoding/binary), length-prefixed byte strings, and fixed-width 64-bit
+// values for ring IDs and scores. Writers never fail; readers validate
+// lengths and return ErrCorrupt on malformed input rather than panicking,
+// because frames arrive from the network.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrCorrupt is returned by Reader methods when the input is truncated or
+// contains an out-of-range length prefix.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// MaxStringLen bounds any length prefix a reader will accept, protecting
+// peers from hostile frames that declare multi-gigabyte strings.
+const MaxStringLen = 1 << 26 // 64 MiB
+
+// Writer accumulates an encoded message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated for messages of
+// roughly n bytes.
+func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Bytes returns the encoded message. The slice aliases the writer's
+// internal buffer and is valid until the next write.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes encoded so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset clears the writer for reuse, retaining the allocated buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a signed varint (zig-zag encoded by encoding/binary).
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Uint64 appends a fixed-width big-endian 64-bit value. Ring IDs use this
+// so that encoded size is independent of position on the ring.
+func (w *Writer) Uint64(v uint64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, v)
+}
+
+// Uint32 appends a fixed-width big-endian 32-bit value.
+func (w *Writer) Uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// Byte appends a single byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Float64 appends an IEEE-754 double. Scores in posting lists use this.
+func (w *Writer) Float64(f float64) {
+	w.Uint64(math.Float64bits(f))
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes2 appends a length-prefixed byte slice. (Named to avoid clashing
+// with the Bytes accessor.)
+func (w *Writer) Bytes2(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// StringSlice appends a count-prefixed sequence of strings.
+func (w *Writer) StringSlice(ss []string) {
+	w.Uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// Reader decodes a message produced by Writer. It is a value type; copy it
+// to checkpoint a position.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+// Uvarint reads an unsigned varint. On error it returns 0 and records
+// ErrCorrupt; subsequent reads return zero values.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint64 reads a fixed-width 64-bit value.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Uint32 reads a fixed-width 32-bit value.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// Byte reads a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads a boolean encoded as one byte.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > MaxStringLen || r.off+int(n) > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy and does
+// not alias the reader's buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxStringLen || r.off+int(n) > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return b
+}
+
+// StringSlice reads a count-prefixed sequence of strings.
+func (r *Reader) StringSlice() []string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxStringLen {
+		r.fail()
+		return nil
+	}
+	// Cap the initial allocation: a hostile count prefix must not let a
+	// single frame reserve gigabytes before the element reads fail.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	ss := make([]string, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		ss = append(ss, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return ss
+}
+
+// UvarintSize returns the encoded size in bytes of v as an unsigned
+// varint, without encoding it. Used by size estimators.
+func UvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

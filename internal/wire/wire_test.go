@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Varint(-7)
+	w.Uint64(0xdeadbeefcafef00d)
+	w.Uint32(0x01020304)
+	w.Byte(0x7f)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(3.25)
+	w.String("hello wire")
+	w.Bytes2([]byte{1, 2, 3})
+	w.StringSlice([]string{"a", "bb", ""})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint0 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("uvarint300 = %d", got)
+	}
+	if got := r.Varint(); got != -7 {
+		t.Errorf("varint = %d", got)
+	}
+	if got := r.Uint64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("uint64 = %x", got)
+	}
+	if got := r.Uint32(); got != 0x01020304 {
+		t.Errorf("uint32 = %x", got)
+	}
+	if got := r.Byte(); got != 0x7f {
+		t.Errorf("byte = %x", got)
+	}
+	if got := r.Bool(); got != true {
+		t.Errorf("bool = %v", got)
+	}
+	if got := r.Bool(); got != false {
+		t.Errorf("bool = %v", got)
+	}
+	if got := r.Float64(); got != 3.25 {
+		t.Errorf("float = %v", got)
+	}
+	if got := r.String(); got != "hello wire" {
+		t.Errorf("string = %q", got)
+	}
+	b := r.Bytes()
+	if len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Errorf("bytes = %v", b)
+	}
+	ss := r.StringSlice()
+	if len(ss) != 3 || ss[0] != "a" || ss[1] != "bb" || ss[2] != "" {
+		t.Errorf("stringslice = %v", ss)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	w := NewWriter(32)
+	w.String("a longer string that we will truncate")
+	full := w.Bytes()
+	for i := 0; i < len(full); i++ {
+		r := NewReader(full[:i])
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("reading %d/%d bytes should fail", i, len(full))
+		}
+	}
+}
+
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	w := NewWriter(16)
+	w.Uvarint(uint64(MaxStringLen) + 1)
+	r := NewReader(w.Bytes())
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Fatal("oversized length prefix must be rejected")
+	}
+
+	w.Reset()
+	w.Uvarint(uint64(MaxStringLen) + 1)
+	r = NewReader(w.Bytes())
+	if b := r.Bytes(); b != nil || r.Err() == nil {
+		t.Fatal("oversized bytes prefix must be rejected")
+	}
+
+	w.Reset()
+	w.Uvarint(uint64(MaxStringLen) + 1)
+	r = NewReader(w.Bytes())
+	if ss := r.StringSlice(); ss != nil || r.Err() == nil {
+		t.Fatal("oversized slice count must be rejected")
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	_ = r.Uint64() // fails
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// All subsequent reads return zero values without panicking.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.Byte() != 0 || r.Bool() ||
+		r.String() != "" || r.Float64() != 0 || r.Uint32() != 0 {
+		t.Fatal("sticky error reader must return zero values")
+	}
+}
+
+func TestBytesReturnsCopy(t *testing.T) {
+	w := NewWriter(8)
+	w.Bytes2([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b := r.Bytes()
+	b[0] = 1
+	r2 := NewReader(buf)
+	if got := r2.Bytes(); got[0] != 9 {
+		t.Fatal("Bytes must return a copy, not alias the input")
+	}
+}
+
+func TestQuickRoundTripUvarint(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(12)
+		w.Uvarint(v)
+		if w.Len() != UvarintSize(v) {
+			return false
+		}
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripVarint(t *testing.T) {
+	f := func(v int64) bool {
+		w := NewWriter(12)
+		w.Varint(v)
+		r := NewReader(w.Bytes())
+		return r.Varint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripString(t *testing.T) {
+	f := func(s string) bool {
+		w := NewWriter(len(s) + 8)
+		w.String(s)
+		r := NewReader(w.Bytes())
+		return r.String() == s && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripFloat(t *testing.T) {
+	f := func(v float64) bool {
+		w := NewWriter(8)
+		w.Float64(v)
+		r := NewReader(w.Bytes())
+		got := r.Float64()
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.String("abc")
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("reset should clear length")
+	}
+	w.String("d")
+	r := NewReader(w.Bytes())
+	if r.String() != "d" {
+		t.Fatal("writer unusable after reset")
+	}
+}
