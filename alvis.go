@@ -17,6 +17,13 @@
 // Indexing strategies: HDK (frequency-driven term combinations, the
 // default) and QDI (query-driven on-demand indexing); switchable at
 // runtime like the paper's demonstration.
+//
+// Publication and search fan out concurrently by default: key operations
+// are resolved in bulk and coalesced into one batched RPC per
+// responsible peer (see DESIGN.md, "The batching / fan-out layer").
+// Config.Concurrency tunes the fan-out width; setting it to 1 restores
+// the fully sequential per-key paths. Both settings produce identical
+// results, traces and global index state.
 package alvisp2p
 
 import (

@@ -12,8 +12,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dht"
+	"repro/internal/hdk"
 	"repro/internal/ids"
 	"repro/internal/lattice"
 	"repro/internal/localindex"
@@ -172,6 +174,110 @@ func BenchmarkDHTLookup(b *testing.B) {
 		if _, _, err := src.Lookup(ids.ID(rng.Uint64())); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Parallel pipeline benchmarks ----------------------------------------
+
+// benchPipelineConfig returns the peer configuration for the parallel
+// publish/search comparison: concurrency 1 is the sequential baseline,
+// higher values enable the per-peer batched fan-out paths.
+func benchPipelineConfig(concurrency int) core.Config {
+	return core.Config{
+		Concurrency: concurrency,
+		HDK:         hdk.Config{DFMax: 8, SMax: 3, Window: 10, TruncK: 20},
+	}
+}
+
+// buildPipelineNetwork stands up a 32-peer network with a distributed
+// corpus and published statistics, ready for HDK publication.
+func buildPipelineNetwork(b *testing.B, concurrency int) *sim.Network {
+	b.Helper()
+	net := sim.NewNetwork(sim.Options{NumPeers: 32, Core: benchPipelineConfig(concurrency), Seed: 9})
+	coll := corpus.Generate(corpus.Params{NumDocs: 128, VocabSize: 400, MeanDocLen: 40, Seed: 9})
+	if err := net.Distribute(coll); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.PublishStats(); err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkPublishParallel compares full-fleet HDK publication through
+// the sequential per-key pipeline against the batched concurrent one.
+// Besides ns/op it reports the transport round trips per publication
+// ("rpcs/op"): the batched path must stay well under half the
+// sequential count (the determinism tests prove the index state is
+// byte-identical either way).
+func BenchmarkPublishParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"sequential", 1},
+		{"batched", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net := buildPipelineNetwork(b, bc.concurrency)
+				before := net.Net.Meter().Snapshot().Messages
+				b.StartTimer()
+				if _, _, err := net.PublishHDK(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				msgs += net.Net.Meter().Snapshot().Messages - before
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(msgs)/float64(b.N), "rpcs/op")
+		})
+	}
+}
+
+// BenchmarkSearchParallel compares multi-keyword searches through the
+// sequential probe loop against the generation-batched exploration, on a
+// published 32-peer network. "rpcs/op" counts transport round trips per
+// query (steady state: the batched path's resolver cache is warm, as it
+// would be on a long-running peer).
+func BenchmarkSearchParallel(b *testing.B) {
+	queries := []string{
+		"term0001 term0002 term0003",
+		"term0000 term0004 term0007 term0012",
+		"term0002 term0005",
+	}
+	for _, bc := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"sequential", 1},
+		{"batched", 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			net := buildPipelineNetwork(b, bc.concurrency)
+			if _, _, err := net.PublishHDK(); err != nil {
+				b.Fatal(err)
+			}
+			peer := net.Peers[5]
+			// Warm path (and resolver cache) once.
+			for _, q := range queries {
+				if _, _, err := peer.Search(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			before := net.Net.Meter().Snapshot().Messages
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := peer.Search(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			msgs := net.Net.Meter().Snapshot().Messages - before
+			b.ReportMetric(float64(msgs)/float64(b.N), "rpcs/op")
+		})
 	}
 }
 

@@ -78,7 +78,20 @@ type Config struct {
 	DHT dht.Options
 	// Analyzer overrides the text pipeline (default textproc.Default).
 	Analyzer *textproc.Analyzer
+	// Concurrency is the network fan-out for publication and search: how
+	// many RPCs the peer keeps in flight while publishing its index
+	// (HDK appends and frequency probes, coalesced per responsible peer)
+	// and while exploring the query lattice (one batch per generation).
+	// 0 selects DefaultConcurrency; 1 forces the fully sequential
+	// per-key paths. Both settings produce identical results, ranked
+	// order, traces and global index state — the determinism tests pin
+	// that equivalence.
+	Concurrency int
 }
+
+// DefaultConcurrency is the fan-out width used when Config.Concurrency
+// is left zero.
+const DefaultConcurrency = 8
 
 func (c *Config) fillDefaults() {
 	c.HDK.FillDefaults()
@@ -90,6 +103,18 @@ func (c *Config) fillDefaults() {
 		c.Analyzer = textproc.Default
 	}
 	c.Lattice.PruneTruncated = !c.PruneTruncatedOff
+	if c.Concurrency == 0 {
+		c.Concurrency = DefaultConcurrency
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 1
+	}
+	if c.HDK.Concurrency == 0 {
+		c.HDK.Concurrency = c.Concurrency
+	}
+	if c.Lattice.Concurrency == 0 {
+		c.Lattice.Concurrency = c.Concurrency
+	}
 }
 
 // Result is one search hit as presented to the user (paper §4: "the URL
@@ -332,20 +357,7 @@ func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
 		return nil, qt, nil
 	}
 
-	wantIndex := make(map[string]bool)
-	perKey := make(map[string]*postings.List)
-	fetch := lattice.FetchFunc(func(ts []string, max int) (*postings.List, bool, error) {
-		l, found, want, err := p.gidx.Get(ts, max)
-		key := ids.KeyString(ts)
-		if want {
-			wantIndex[key] = true
-		}
-		if found {
-			perKey[key] = l
-		}
-		return l, found, err
-	})
-
+	fetch := &searchFetcher{p: p, wantIndex: make(map[string]bool), perKey: make(map[string]*postings.List)}
 	_, trace, err := lattice.Explore(fetch, terms, p.cfg.Lattice)
 	if err != nil {
 		return nil, qt, err
@@ -356,7 +368,7 @@ func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
 		qt.FullHit = trace.Probed[0].Found
 	}
 
-	rankedAll := rankUnion(perKey)
+	rankedAll := rankUnion(fetch.perKey)
 	qt.Candidates = len(rankedAll)
 	ranked := rankedAll
 	if len(ranked) > p.cfg.TopK {
@@ -368,7 +380,7 @@ func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
 		return nil, qt, err
 	}
 
-	if p.Strategy() == StrategyQDI && len(wantIndex) > 0 {
+	if p.Strategy() == StrategyQDI && len(fetch.wantIndex) > 0 {
 		// Ship this query's ranked result as the on-demand posting list
 		// for the query's own key (bounded to the QDI truncation limit).
 		acquired := &postings.List{}
@@ -378,13 +390,65 @@ func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
 				break
 			}
 		}
-		n, err := p.qdiMgr.ProcessQuery(terms, trace, wantIndex, acquired)
+		n, err := p.qdiMgr.ProcessQuery(terms, trace, fetch.wantIndex, acquired)
 		if err != nil {
 			return results, qt, fmt.Errorf("core: on-demand indexing: %w", err)
 		}
 		qt.Activated = n
 	}
 	return results, qt, nil
+}
+
+// searchFetcher adapts the global index to the lattice's Fetcher and
+// BatchFetcher interfaces while gathering the per-key lists and QDI
+// activation requests a query accumulates. The mutex covers the gather
+// maps: the lattice may drive Get from concurrent workers when the
+// fetcher is used without batch support.
+type searchFetcher struct {
+	p         *Peer
+	mu        sync.Mutex
+	wantIndex map[string]bool
+	perKey    map[string]*postings.List
+}
+
+func (sf *searchFetcher) record(key string, list *postings.List, found, want bool) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if want {
+		sf.wantIndex[key] = true
+	}
+	if found {
+		sf.perKey[key] = list
+	}
+}
+
+// Get implements lattice.Fetcher (the sequential probe path).
+func (sf *searchFetcher) Get(ts []string, max int) (*postings.List, bool, error) {
+	l, found, want, err := sf.p.gidx.Get(ts, max)
+	if err != nil {
+		return nil, false, err
+	}
+	sf.record(ids.KeyString(ts), l, found, want)
+	return l, found, nil
+}
+
+// GetBatch implements lattice.BatchFetcher: one generation of lattice
+// probes becomes one MultiGet, coalesced per responsible peer.
+func (sf *searchFetcher) GetBatch(combos [][]string, max int) ([]lattice.BatchResult, error) {
+	items := make([]globalindex.GetItem, len(combos))
+	for i, c := range combos {
+		items[i] = globalindex.GetItem{Terms: c, MaxResults: max}
+	}
+	res, err := sf.p.gidx.MultiGet(items, sf.p.cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]lattice.BatchResult, len(res))
+	for i, r := range res {
+		sf.record(ids.KeyString(combos[i]), r.List, r.Found, r.WantIndex)
+		out[i] = lattice.BatchResult{List: r.List, Found: r.Found}
+	}
+	return out, nil
 }
 
 // scoredRef is an intermediate ranked document reference.

@@ -1,0 +1,309 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// DefaultWorkers is the fan-out width used by batch resolution when the
+// caller passes 0.
+const DefaultWorkers = 8
+
+// LookupBatch resolves the node responsible for each key, running at most
+// workers lookups concurrently (workers <= 1 means sequential, 0 means
+// DefaultWorkers). Results are returned in input order. If any lookup
+// fails the first error (by input position) is returned; the returned
+// slice still holds every resolution that succeeded.
+func (n *Node) LookupBatch(keys []ids.ID, workers int) ([]Remote, error) {
+	out := make([]Remote, len(keys))
+	errs := make([]error, len(keys))
+	RunBounded(len(keys), workers, func(i int) {
+		out[i], _, errs[i] = n.Lookup(keys[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunBounded invokes fn(0..count-1) with at most workers concurrent
+// invocations (0 = DefaultWorkers). With workers <= 1 it degenerates to
+// a plain loop on the caller's goroutine. It is the bounded-fan-out
+// primitive shared by the batch layers (this package's resolvers, the
+// global index's batch client).
+func RunBounded(count, workers int, fn func(i int)) {
+	if workers == 0 {
+		workers = DefaultWorkers
+	}
+	if workers <= 1 || count <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > count {
+		workers = count
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int, count)
+	for i := 0; i < count; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// interval is one cached responsibility range: node owns every key in the
+// half-open ring interval (from, to].
+type interval struct {
+	from, to ids.ID
+	node     Remote
+}
+
+// Resolver resolves many keys to their responsible nodes with far fewer
+// RPCs than per-key lookups: every full lookup is followed by one
+// GetState RPC to the responsible node, whose predecessor pointer and
+// successor list reveal a chain of responsibility intervals. Subsequent
+// keys falling into a cached interval resolve without any network
+// traffic. The cache is soft state over the same stabilization-repaired
+// pointers a lookup would traverse; Invalidate drops the entries naming a
+// node observed dead so the next resolution re-routes around it. A
+// Resolver is safe for concurrent use.
+type Resolver struct {
+	n     *Node
+	mu    sync.Mutex
+	iv    []interval
+	known map[transport.Addr]bool // nodes whose ring state was already fetched
+	epoch uint64                  // owning node's RingEpoch when the cache was filled
+}
+
+// NewResolver returns an empty resolver for the node.
+func (n *Node) NewResolver() *Resolver {
+	return &Resolver{n: n, known: make(map[transport.Addr]bool)}
+}
+
+// cached returns the cached responsible node for key, if any.
+func (r *Resolver) cached(key ids.ID) (Remote, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, iv := range r.iv {
+		if ids.Between(key, iv.from, iv.to) {
+			return iv.node, true
+		}
+	}
+	return Remote{}, false
+}
+
+// add installs the responsibility intervals revealed by one node's ring
+// state: (pred, node] for the node itself, then one interval per
+// successor-list step, each successor owning the range from its
+// predecessor in the chain up to itself.
+func (r *Resolver) add(pred, node Remote, succs []Remote) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !pred.IsZero() && pred.Addr != node.Addr {
+		r.iv = append(r.iv, interval{from: pred.ID, to: node.ID, node: node})
+	}
+	prev := node
+	for _, s := range succs {
+		if s.IsZero() || s.Addr == prev.Addr {
+			continue
+		}
+		r.iv = append(r.iv, interval{from: prev.ID, to: s.ID, node: s})
+		prev = s
+	}
+}
+
+// Invalidate drops every cached interval naming addr. Callers invoke it
+// after an RPC to a resolved node fails, before retrying the resolution.
+func (r *Resolver) Invalidate(addr transport.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.iv[:0]
+	for _, iv := range r.iv {
+		if iv.node.Addr != addr {
+			out = append(out, iv)
+		}
+	}
+	r.iv = out
+	delete(r.known, addr)
+}
+
+func (r *Resolver) epochSnapshot() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Reset drops the whole cache.
+func (r *Resolver) Reset() {
+	r.mu.Lock()
+	r.iv = nil
+	r.known = make(map[transport.Addr]bool)
+	r.mu.Unlock()
+}
+
+// Resolve returns the responsible node for each key, in input order, with
+// at most workers concurrent lookups for cache misses. Distinct keys
+// mapping into one already-discovered interval cost no RPC at all, which
+// is what turns N per-key resolutions into roughly one lookup + one state
+// fetch per distinct responsible peer.
+func (r *Resolver) Resolve(keys []ids.ID, workers int) ([]Remote, error) {
+	// A change in the owning node's own ring pointers (a join, a failure,
+	// a repair) means cached responsibility intervals anywhere on the
+	// ring may have moved: drop the cache and re-learn. A stable ring
+	// never bumps the epoch, so the warm cache survives.
+	if ep := r.n.RingEpoch(); ep != r.epochSnapshot() {
+		r.mu.Lock()
+		r.iv = nil
+		r.known = make(map[transport.Addr]bool)
+		r.epoch = ep
+		r.mu.Unlock()
+	}
+	out := make([]Remote, len(keys))
+	resolved := make([]bool, len(keys))
+	for {
+		// Satisfy what the cache covers; collect the distinct missing keys.
+		var missing []ids.ID
+		seen := make(map[ids.ID]bool)
+		for i, k := range keys {
+			if resolved[i] {
+				continue
+			}
+			if rem, ok := r.cached(k); ok {
+				out[i] = rem
+				resolved[i] = true
+				continue
+			}
+			if !seen[k] {
+				seen[k] = true
+				missing = append(missing, k)
+			}
+		}
+		if len(missing) == 0 {
+			return out, nil
+		}
+		// Resolve a bounded batch of misses concurrently; each miss also
+		// fetches the responsible node's ring state to widen the cache.
+		// Sorting makes the batch deterministic for a given cache state.
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		batch := missing
+		if max := boundedBatch(workers); len(batch) > max {
+			batch = batch[:max]
+		}
+		got := make([]Remote, len(batch))
+		errs := make([]error, len(batch))
+		RunBounded(len(batch), workers, func(i int) {
+			rem, _, err := r.n.Lookup(batch[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = rem
+			r.learn(rem)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return out, err
+			}
+		}
+		// Record the batch's own resolutions directly: progress is then
+		// guaranteed every round even when a state fetch added nothing to
+		// the cache.
+		byKey := make(map[ids.ID]Remote, len(batch))
+		for i, k := range batch {
+			byKey[k] = got[i]
+		}
+		for i, k := range keys {
+			if !resolved[i] {
+				if rem, ok := byKey[k]; ok {
+					out[i] = rem
+					resolved[i] = true
+				}
+			}
+		}
+	}
+}
+
+// boundedBatch caps how many cache misses one round resolves. Keeping
+// rounds small is deliberate: every miss widens the cache by a whole
+// successor chain, so most keys left for later rounds resolve for free.
+func boundedBatch(workers int) int {
+	if workers == 0 {
+		workers = DefaultWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// learn records the responsibility intervals observable from rem: its
+// predecessor and successor list (fetched locally when rem is this node).
+// Each node's state is fetched at most once per cache lifetime.
+func (r *Resolver) learn(rem Remote) {
+	r.mu.Lock()
+	if r.known[rem.Addr] {
+		r.mu.Unlock()
+		return
+	}
+	r.known[rem.Addr] = true
+	r.mu.Unlock()
+	var pred Remote
+	var succs []Remote
+	if rem.Addr == r.n.self.Addr {
+		pred = r.n.Predecessor()
+		succs = r.n.Successors()
+	} else {
+		var err error
+		pred, succs, err = r.n.rpcGetState(rem.Addr)
+		if err != nil {
+			// The node answered the lookup but not the state fetch; cache
+			// nothing and let a later round retry.
+			r.mu.Lock()
+			delete(r.known, rem.Addr)
+			r.mu.Unlock()
+			return
+		}
+	}
+	if pred.IsZero() || pred.Addr == rem.Addr {
+		// No predecessor also happens transiently on a multi-node ring
+		// (right after PredecessorFailed, before the next notify repairs
+		// it); caching "rem owns everything" then would misroute whole
+		// batches. Claim the full ring only when rem's successor list
+		// confirms it is alone; otherwise record just the successor-chain
+		// intervals, which stay valid regardless of rem's predecessor.
+		alone := true
+		for _, s := range succs {
+			if !s.IsZero() && s.Addr != rem.Addr {
+				alone = false
+				break
+			}
+		}
+		if alone {
+			// (from == to) is exactly the full-ring interval for
+			// ids.Between.
+			r.mu.Lock()
+			r.iv = append(r.iv, interval{from: rem.ID, to: rem.ID, node: rem})
+			r.mu.Unlock()
+		} else {
+			r.add(Remote{}, rem, succs)
+		}
+		return
+	}
+	r.add(pred, rem, succs)
+}

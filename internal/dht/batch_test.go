@@ -1,0 +1,187 @@
+package dht
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// randomIDs returns count distinct pseudo-random ring IDs.
+func randomIDs(count int, seed int64) []ids.ID {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[ids.ID]bool, count)
+	out := make([]ids.ID, 0, count)
+	for len(out) < count {
+		id := ids.ID(rng.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestLookupBatchMatchesSequential checks that the concurrent batch
+// resolution agrees key-for-key with individual lookups.
+func TestLookupBatchMatchesSequential(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, randomIDs(16, 1), Options{})
+	src := nodes[3]
+
+	keys := randomIDs(64, 2)
+	want := make([]Remote, len(keys))
+	for i, k := range keys {
+		r, _, err := src.Lookup(k)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{0, 1, 4, 32} {
+		got, err := src.LookupBatch(keys, workers)
+		if err != nil {
+			t.Fatalf("LookupBatch(workers=%d): %v", workers, err)
+		}
+		for i := range keys {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d key %d: got %v want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestResolverMatchesSequentialAndSavesRPCs checks that the caching
+// resolver returns the same responsibilities as per-key lookups while
+// issuing strictly fewer RPCs.
+func TestResolverMatchesSequentialAndSavesRPCs(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, randomIDs(24, 3), Options{})
+	src := nodes[0]
+
+	keys := randomIDs(200, 4)
+	want := make([]Remote, len(keys))
+	before := net.Meter().Snapshot().Messages
+	for i, k := range keys {
+		r, _, err := src.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	seqMsgs := net.Meter().Snapshot().Messages - before
+
+	res := src.NewResolver()
+	before = net.Meter().Snapshot().Messages
+	got, err := res.Resolve(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchMsgs := net.Meter().Snapshot().Messages - before
+	for i := range keys {
+		if got[i] != want[i] {
+			t.Fatalf("key %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if batchMsgs >= seqMsgs {
+		t.Fatalf("resolver used %d messages, sequential %d", batchMsgs, seqMsgs)
+	}
+	t.Logf("sequential %d messages, resolver %d", seqMsgs, batchMsgs)
+
+	// A second pass over the same keys is served entirely from cache.
+	before = net.Meter().Snapshot().Messages
+	again, err := res.Resolve(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := net.Meter().Snapshot().Messages - before; warm != 0 {
+		t.Fatalf("warm resolve used %d messages", warm)
+	}
+	for i := range keys {
+		if again[i] != want[i] {
+			t.Fatalf("warm key %d: got %v want %v", i, again[i], want[i])
+		}
+	}
+}
+
+// TestResolverSingleNode covers the no-predecessor (fresh ring) case.
+func TestResolverSingleNode(t *testing.T) {
+	net := transport.NewMem()
+	n := newTestNode(net, 42, Options{})
+	res := n.NewResolver()
+	got, err := res.Resolve(randomIDs(10, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Addr != n.Self().Addr {
+			t.Fatalf("key %d resolved to %v, want self", i, r)
+		}
+	}
+}
+
+// TestResolverInvalidate checks that dropping a node's intervals forces a
+// re-resolution that routes around it.
+func TestResolverInvalidate(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, randomIDs(8, 6), Options{})
+	src := nodes[0]
+	res := src.NewResolver()
+
+	keys := randomIDs(40, 7)
+	first, err := res.Resolve(keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one remote node that owned at least one key.
+	var victim Remote
+	for _, r := range first {
+		if r.Addr != src.Self().Addr {
+			victim = r
+			break
+		}
+	}
+	if victim.IsZero() {
+		t.Skip("all keys landed on the source node")
+	}
+	net.SetDown(victim.Addr, true)
+	res.Invalidate(victim.Addr)
+	convergeLoose(nodes)
+
+	second, err := res.Resolve(keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if r.Addr == victim.Addr {
+			t.Fatalf("key %d still resolves to dead node %v", i, r)
+		}
+	}
+}
+
+// TestLookupBatchConcurrentCallers hammers one node's batch resolution
+// from many goroutines (run under -race).
+func TestLookupBatchConcurrentCallers(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, randomIDs(12, 8), Options{})
+	src := nodes[5]
+	res := src.NewResolver()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			keys := randomIDs(30, seed)
+			if _, err := src.LookupBatch(keys, 4); err != nil {
+				t.Error(err)
+			}
+			if _, err := res.Resolve(keys, 4); err != nil {
+				t.Error(err)
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+}

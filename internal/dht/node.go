@@ -119,7 +119,21 @@ type Node struct {
 	succs   []Remote // successor list, nearest first; never empty
 	fingers []Remote // fingers[i] ≈ 2^i ranks ahead (hop-space) or succ(id+2^i) (id-space)
 
+	// ringEpoch counts observed changes to the node's ring pointers
+	// (predecessor or successor list). Caches derived from ring state —
+	// the batch Resolver — compare epochs to notice that responsibility
+	// intervals may have moved and must be re-learned. A stable ring
+	// never bumps it, so warm caches stay warm.
+	ringEpoch uint64
+
 	hopHist *metrics.Histogram
+}
+
+// RingEpoch returns the current ring-pointer change counter.
+func (n *Node) RingEpoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ringEpoch
 }
 
 // NewNode creates a node with the given ring ID attached to ep, and
@@ -351,6 +365,7 @@ func (n *Node) Join(bootstrap transport.Addr) error {
 	n.succs = []Remote{succ}
 	n.pred = Remote{}
 	n.fingers = nil
+	n.ringEpoch++
 	n.mu.Unlock()
 	return n.rpcNotify(succ.Addr, n.self)
 }
@@ -431,7 +446,22 @@ func (n *Node) adoptSuccessor(succ Remote, theirList []Remote) {
 			list = append(list, r)
 		}
 	}
+	if !remotesEqual(n.succs, list) {
+		n.ringEpoch++
+	}
 	n.succs = list
+}
+
+func remotesEqual(a, b []Remote) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // notify is the handler-side predecessor update: candidate claims to be
@@ -443,6 +473,9 @@ func (n *Node) notify(candidate Remote) {
 		return
 	}
 	if n.pred.IsZero() || ids.BetweenOpen(candidate.ID, n.pred.ID, n.id) {
+		if n.pred != candidate {
+			n.ringEpoch++
+		}
 		n.pred = candidate
 	}
 }
@@ -451,6 +484,7 @@ func (n *Node) notify(candidate Remote) {
 func (n *Node) setSuccessor(succ Remote) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.ringEpoch++
 	if succ.Addr == n.self.Addr {
 		n.succs = []Remote{n.self}
 		return
@@ -477,6 +511,9 @@ func (n *Node) setSuccessor(succ Remote) {
 // is unreachable.
 func (n *Node) PredecessorFailed() {
 	n.mu.Lock()
+	if !n.pred.IsZero() {
+		n.ringEpoch++
+	}
 	n.pred = Remote{}
 	n.mu.Unlock()
 }
@@ -522,6 +559,7 @@ func (n *Node) Leave() error {
 func (n *Node) InstallRing(pred Remote, succs []Remote, fingers []Remote) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.ringEpoch++
 	n.pred = pred
 	if len(succs) == 0 {
 		succs = []Remote{n.self}

@@ -1,0 +1,491 @@
+package globalindex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Batch message types (still inside the global-index range 0x10–0x2F).
+// Each Multi frame carries every key of one logical operation that
+// resolved to the same responsible peer, collapsing N round trips into
+// one; handlers decode the whole frame before applying anything, so a
+// malformed batch is rejected without partial effects.
+const (
+	MsgMultiPut     uint8 = 0x16 // (n, n×(key, bound, list)) -> n×storedLen
+	MsgMultiAppend  uint8 = 0x17 // (n, n×(key, bound, announcedDF, list)) -> n×storedLen
+	MsgMultiGet     uint8 = 0x18 // (n, n×(key, maxResults)) -> n×(found, wantIndex, list?)
+	MsgMultiKeyInfo uint8 = 0x19 // (n, n×key) -> n×(present, approxDF, truncated)
+)
+
+// MaxBatchItems bounds the item count a batch handler accepts in one
+// frame; hostile counts beyond it are rejected as corrupt.
+const MaxBatchItems = 1 << 14
+
+// PutItem is one element of a MultiPut.
+type PutItem struct {
+	Terms []string
+	List  *postings.List
+	Bound int
+}
+
+// AppendItem is one element of a MultiAppend.
+type AppendItem struct {
+	Terms       []string
+	List        *postings.List
+	Bound       int
+	AnnouncedDF int
+}
+
+// GetItem is one element of a MultiGet.
+type GetItem struct {
+	Terms      []string
+	MaxResults int
+}
+
+// GetResult is the per-item answer of a MultiGet, mirroring Get.
+type GetResult struct {
+	List      *postings.List
+	Found     bool
+	WantIndex bool
+}
+
+// KeyInfoItem is one element of a MultiKeyInfo.
+type KeyInfoItem struct {
+	Terms []string
+}
+
+// KeyInfoResult is the per-item answer of a MultiKeyInfo, mirroring
+// KeyInfo.
+type KeyInfoResult struct {
+	DF        int64
+	Present   bool
+	Truncated bool
+}
+
+// checkResponsible rejects a batch naming any key this node does not
+// currently own. Batch frames arrive over cached routes; after a ring
+// change a stale route can deliver keys that moved to another node, and
+// silently absorbing them would strand the entries where no lookup finds
+// them. The rejection makes the client invalidate the route and re-drive
+// every item through a fresh per-key lookup. (The single-key handlers
+// skip the check: their requests follow a lookup issued moments before.)
+func (ix *Index) checkResponsible(keys []string) error {
+	for _, key := range keys {
+		if !ix.node.Responsible(ids.HashString(key)) {
+			return fmt.Errorf("globalindex: not responsible for %q", key)
+		}
+	}
+	return nil
+}
+
+func (ix *Index) handleMultiPut(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	keys, bounds, _, lists, err := decodeMultiPutBody(body, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := ix.checkResponsible(keys); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(8 + 4*len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for i, key := range keys {
+		w.Uvarint(uint64(ix.store.Put(key, lists[i], bounds[i])))
+	}
+	return MsgMultiPut, w.Bytes(), nil
+}
+
+func (ix *Index) handleMultiAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	keys, bounds, dfs, lists, err := decodeMultiPutBody(body, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := ix.checkResponsible(keys); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(8 + 4*len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for i, key := range keys {
+		w.Uvarint(uint64(ix.store.Append(key, lists[i], bounds[i], dfs[i])))
+	}
+	return MsgMultiAppend, w.Bytes(), nil
+}
+
+func (ix *Index) handleMultiGet(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	count, err := readBatchCount(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	keys := make([]string, count)
+	maxes := make([]int, count)
+	for i := 0; i < count; i++ {
+		keys[i] = r.String()
+		maxes[i] = int(r.Uvarint())
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	if err := ix.checkResponsible(keys); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(64 * count)
+	w.Uvarint(uint64(count))
+	for i, key := range keys {
+		list, found, wantIndex := ix.store.Get(key, maxes[i])
+		w.Bool(found)
+		w.Bool(wantIndex)
+		if found {
+			list.Encode(w)
+		}
+	}
+	return MsgMultiGet, w.Bytes(), nil
+}
+
+func (ix *Index) handleMultiKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	count, err := readBatchCount(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	keys := make([]string, count)
+	for i := 0; i < count; i++ {
+		keys[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	if err := ix.checkResponsible(keys); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(16 * count)
+	w.Uvarint(uint64(count))
+	for _, key := range keys {
+		ix.writeKeyInfoAnswer(w, key)
+	}
+	return MsgMultiKeyInfo, w.Bytes(), nil
+}
+
+// readBatchCount reads and validates a batch frame's item count. The
+// comparison happens on the raw uint64: a hostile count in [2^63, 2^64)
+// would wrap negative through int() and slip past a signed check
+// straight into make().
+func readBatchCount(r *wire.Reader) (int, error) {
+	count := r.Uvarint()
+	if r.Err() != nil || count > MaxBatchItems {
+		return 0, wire.ErrCorrupt
+	}
+	return int(count), nil
+}
+
+// decodeMultiPutBody decodes a MultiPut/MultiAppend frame fully before
+// returning, so callers apply either every item or none.
+func decodeMultiPutBody(body []byte, withDF bool) (keys []string, bounds, dfs []int, lists []*postings.List, err error) {
+	r := wire.NewReader(body)
+	count, err := readBatchCount(r)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	keys = make([]string, count)
+	bounds = make([]int, count)
+	dfs = make([]int, count)
+	lists = make([]*postings.List, count)
+	for i := 0; i < count; i++ {
+		keys[i], bounds[i], dfs[i], lists[i], err = readKeyBoundList(r, withDF)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	return keys, bounds, dfs, lists, nil
+}
+
+// readKeyBoundList reads one (key, bound, [announcedDF], list) group from
+// an open reader — the per-item layout shared by the single and batch
+// put/append frames.
+func readKeyBoundList(r *wire.Reader, withDF bool) (string, int, int, *postings.List, error) {
+	key := r.String()
+	bound := int(r.Uvarint())
+	announcedDF := 0
+	if withDF {
+		announcedDF = int(r.Uvarint())
+	}
+	list, err := postings.Decode(r)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	if err := r.Err(); err != nil {
+		return "", 0, 0, nil, err
+	}
+	return key, bound, announcedDF, list, nil
+}
+
+// writeKeyBoundList writes one (key, bound, [announcedDF], list) group.
+func writeKeyBoundList(w *wire.Writer, key string, bound, announcedDF int, list *postings.List, withDF bool) {
+	w.String(key)
+	w.Uvarint(uint64(bound))
+	if withDF {
+		w.Uvarint(uint64(announcedDF))
+	}
+	list.Encode(w)
+}
+
+// Resolver exposes the index's caching key resolver (benchmarks reset it
+// to measure cold-cache behaviour).
+func (ix *Index) Resolver() *dht.Resolver { return ix.resolver }
+
+// group maps each item index to a responsible peer and collects the per
+// peer item order. Groups preserve first-occurrence order of peers and
+// input order of items, keeping batch frames deterministic.
+type group struct {
+	addr  transport.Addr
+	items []int
+}
+
+func groupByPeer(peers []dht.Remote) []group {
+	index := make(map[transport.Addr]int)
+	var out []group
+	for i, p := range peers {
+		gi, ok := index[p.Addr]
+		if !ok {
+			gi = len(out)
+			index[p.Addr] = gi
+			out = append(out, group{addr: p.Addr})
+		}
+		out[gi].items = append(out[gi].items, i)
+	}
+	return out
+}
+
+// chunkGroups splits any group larger than max into consecutive chunks,
+// keeping item order. Handlers reject frames above MaxBatchItems, so an
+// unchunked oversized group would be guaranteed-refused and degrade to
+// fully sequential per-item fallback.
+func chunkGroups(groups []group, max int) []group {
+	out := make([]group, 0, len(groups))
+	for _, g := range groups {
+		for len(g.items) > max {
+			out = append(out, group{addr: g.addr, items: g.items[:max]})
+			g.items = g.items[max:]
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// resolveAll resolves the canonical keys of a batch through the caching
+// resolver.
+func (ix *Index) resolveAll(keys []string, workers int) ([]dht.Remote, error) {
+	hashes := make([]ids.ID, len(keys))
+	for i, k := range keys {
+		hashes[i] = ids.HashString(k)
+	}
+	peers, err := ix.resolver.Resolve(hashes, workers)
+	if err != nil {
+		return nil, fmt.Errorf("globalindex: batch resolve: %w", err)
+	}
+	return peers, nil
+}
+
+// MultiPut stores every item's list under its canonical key, coalescing
+// all items that resolve to the same responsible peer into one MsgMultiPut
+// round trip and issuing the per-peer calls concurrently (workers bounds
+// the fan-out; 0 = default, 1 = sequential). It returns the stored length
+// per item, in input order. Items whose batch call fails over a stale or
+// dead route are retried individually through the single-item path.
+func (ix *Index) MultiPut(items []PutItem, workers int) ([]int, error) {
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = ids.KeyString(it.Terms)
+	}
+	out := make([]int, len(items))
+	err := ix.runBatch(keys, workers, MsgMultiPut, true,
+		func(w *wire.Writer, i int) {
+			writeKeyBoundList(w, keys[i], items[i].Bound, 0, items[i].List, false)
+		},
+		func(r *wire.Reader, i int) error {
+			out[i] = int(r.Uvarint())
+			return r.Err()
+		},
+		func(i int) error {
+			n, err := ix.Put(items[i].Terms, items[i].List, items[i].Bound)
+			out[i] = n
+			return err
+		})
+	return out, err
+}
+
+// MultiAppend merges every item's list into its canonical key's entry,
+// with the same coalescing, fan-out and retry behaviour as MultiPut.
+func (ix *Index) MultiAppend(items []AppendItem, workers int) ([]int, error) {
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = ids.KeyString(it.Terms)
+	}
+	out := make([]int, len(items))
+	err := ix.runBatch(keys, workers, MsgMultiAppend, false,
+		func(w *wire.Writer, i int) {
+			writeKeyBoundList(w, keys[i], items[i].Bound, items[i].AnnouncedDF, items[i].List, true)
+		},
+		func(r *wire.Reader, i int) error {
+			out[i] = int(r.Uvarint())
+			return r.Err()
+		},
+		func(i int) error {
+			n, err := ix.Append(items[i].Terms, items[i].List, items[i].Bound, items[i].AnnouncedDF)
+			out[i] = n
+			return err
+		})
+	return out, err
+}
+
+// MultiGet fetches every item's posting list, coalescing per responsible
+// peer like MultiPut. Probes update usage statistics at the responsible
+// peers exactly as per-item Gets would; because a probe is a side
+// effect, an ambiguously-failed batch call is surfaced as an error
+// rather than retried (see runBatch).
+func (ix *Index) MultiGet(items []GetItem, workers int) ([]GetResult, error) {
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = ids.KeyString(it.Terms)
+	}
+	out := make([]GetResult, len(items))
+	err := ix.runBatch(keys, workers, MsgMultiGet, false,
+		func(w *wire.Writer, i int) {
+			w.String(keys[i])
+			w.Uvarint(uint64(items[i].MaxResults))
+		},
+		func(r *wire.Reader, i int) error {
+			out[i].Found = r.Bool()
+			out[i].WantIndex = r.Bool()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			if out[i].Found {
+				list, err := postings.Decode(r)
+				if err != nil {
+					return err
+				}
+				out[i].List = list
+			}
+			return nil
+		},
+		func(i int) error {
+			list, found, wantIndex, err := ix.Get(items[i].Terms, items[i].MaxResults)
+			out[i] = GetResult{List: list, Found: found, WantIndex: wantIndex}
+			return err
+		})
+	return out, err
+}
+
+// MultiKeyInfo fetches presence, approximate global DF and truncation
+// state for every item's key, coalescing per responsible peer. HDK's
+// expansion rounds use it to frequency-test a whole frontier in a few
+// round trips.
+func (ix *Index) MultiKeyInfo(items []KeyInfoItem, workers int) ([]KeyInfoResult, error) {
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = ids.KeyString(it.Terms)
+	}
+	out := make([]KeyInfoResult, len(items))
+	err := ix.runBatch(keys, workers, MsgMultiKeyInfo, true,
+		func(w *wire.Writer, i int) {
+			w.String(keys[i])
+		},
+		func(r *wire.Reader, i int) error {
+			out[i].Present = r.Bool()
+			out[i].DF = int64(r.Uvarint())
+			out[i].Truncated = r.Bool()
+			return r.Err()
+		},
+		func(i int) error {
+			df, present, truncated, err := ix.KeyInfo(items[i].Terms)
+			out[i] = KeyInfoResult{DF: df, Present: present, Truncated: truncated}
+			return err
+		})
+	return out, err
+}
+
+// runBatch is the shared engine of the Multi operations: resolve all
+// keys, group per responsible peer, one concurrent RPC per peer, decode
+// per-item answers in order, and fall back to the per-item path for any
+// group whose call failed (after invalidating its cached route).
+//
+// idempotent declares whether re-applying an already-applied item is
+// harmless (Put replaces, KeyInfo reads without side effects). For a
+// non-idempotent operation (Append accumulates the announced DF, Get
+// records a usage probe) the fallback runs only when the failure proves
+// the frame was never applied: the handler rejected it (RemoteError —
+// batch handlers mutate nothing before rejecting) or the transport never
+// delivered it (ErrUnreachable). An interrupted call or a garbled
+// response propagates as an error instead, exactly as the sequential
+// per-key path would surface it.
+func (ix *Index) runBatch(keys []string, workers int, msg uint8, idempotent bool,
+	encodeItem func(w *wire.Writer, i int),
+	decodeItem func(r *wire.Reader, i int) error,
+	fallbackItem func(i int) error,
+) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	peers, err := ix.resolveAll(keys, workers)
+	if err != nil {
+		return err
+	}
+	groups := chunkGroups(groupByPeer(peers), MaxBatchItems)
+	errs := make([]error, len(groups))
+	dht.RunBounded(len(groups), workers, func(gi int) {
+		g := groups[gi]
+		w := wire.NewWriter(64 * len(g.items))
+		w.Uvarint(uint64(len(g.items)))
+		for _, i := range g.items {
+			encodeItem(w, i)
+		}
+		_, resp, err := ix.node.Endpoint().Call(g.addr, msg, w.Bytes())
+		if err != nil {
+			errs[gi] = err
+			return
+		}
+		r := wire.NewReader(resp)
+		if count := int(r.Uvarint()); r.Err() != nil || count != len(g.items) {
+			errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: bad response count", msg, g.addr)
+			return
+		}
+		for _, i := range g.items {
+			if err := decodeItem(r, i); err != nil {
+				errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: %w", msg, g.addr, err)
+				return
+			}
+		}
+	})
+	for gi, gerr := range errs {
+		if gerr == nil {
+			continue
+		}
+		// The cached route was stale or the peer is gone: drop it from
+		// the cache either way.
+		ix.resolver.Invalidate(groups[gi].addr)
+		if !idempotent && !retryProvablySafe(gerr) {
+			return gerr
+		}
+		// Re-drive each item through the self-healing single path (which
+		// does a fresh lookup per key).
+		for _, i := range groups[gi].items {
+			if err := fallbackItem(i); err != nil {
+				return fmt.Errorf("globalindex: batch retry after %v: %w", gerr, err)
+			}
+		}
+	}
+	return nil
+}
+
+// retryProvablySafe reports whether err guarantees the batch frame was
+// not applied at the remote store.
+func retryProvablySafe(err error) bool {
+	var remote *transport.RemoteError
+	return errors.Is(err, transport.ErrUnreachable) || errors.As(err, &remote)
+}

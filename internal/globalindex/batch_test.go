@@ -1,0 +1,391 @@
+package globalindex
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/postings"
+	"repro/internal/wire"
+)
+
+// multiItems builds count distinct append items with small scored lists.
+func multiItems(count, listLen int) []AppendItem {
+	items := make([]AppendItem, count)
+	for i := range items {
+		l := &postings.List{}
+		for j := 0; j < listLen; j++ {
+			l.Add(post(fmt.Sprintf("src%d", i%4), uint32(j), float64(listLen-j)))
+		}
+		l.Normalize()
+		items[i] = AppendItem{
+			Terms:       []string{fmt.Sprintf("term%03d", i)},
+			List:        l,
+			Bound:       100,
+			AnnouncedDF: listLen,
+		}
+	}
+	return items
+}
+
+func TestMultiAppendMatchesSequential(t *testing.T) {
+	_, seqIdxs, _ := ring(t, 10)
+	_, batIdxs, _ := ring(t, 10)
+	items := multiItems(60, 5)
+
+	for _, it := range items {
+		if _, err := seqIdxs[0].Append(it.Terms, it.List, it.Bound, it.AnnouncedDF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns, err := batIdxs[0].MultiAppend(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if ns[i] != it.List.Len() {
+			t.Fatalf("item %d stored %d, want %d", i, ns[i], it.List.Len())
+		}
+	}
+	// The two rings (identical IDs: same seed) must hold identical slices.
+	for i := range seqIdxs {
+		sk, bk := seqIdxs[i].Store().Keys(), batIdxs[i].Store().Keys()
+		if strings.Join(sk, "|") != strings.Join(bk, "|") {
+			t.Fatalf("peer %d keys differ:\nseq  %v\nbatch %v", i, sk, bk)
+		}
+		for _, k := range sk {
+			sl, _ := seqIdxs[i].Store().Peek(k)
+			bl, _ := batIdxs[i].Store().Peek(k)
+			if sl.Len() != bl.Len() || sl.Truncated != bl.Truncated {
+				t.Fatalf("peer %d key %q: seq (%d,%v) batch (%d,%v)",
+					i, k, sl.Len(), sl.Truncated, bl.Len(), bl.Truncated)
+			}
+		}
+	}
+}
+
+func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
+	_, idxs, net := ring(t, 12)
+	var puts []PutItem
+	for i := 0; i < 40; i++ {
+		l := &postings.List{}
+		for j := 0; j < 8; j++ {
+			l.Add(post("pub", uint32(j), float64(8-j)))
+		}
+		l.Normalize()
+		puts = append(puts, PutItem{Terms: []string{fmt.Sprintf("key%02d", i)}, List: l, Bound: 5})
+	}
+	ns, err := idxs[1].MultiPut(puts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ns {
+		if n != 5 {
+			t.Fatalf("put %d stored %d, want bound 5", i, n)
+		}
+	}
+
+	gets := make([]GetItem, len(puts))
+	for i, p := range puts {
+		gets[i] = GetItem{Terms: p.Terms, MaxResults: 0}
+	}
+	// Also probe a miss in the same batch.
+	gets = append(gets, GetItem{Terms: []string{"no-such-key"}})
+
+	before := net.Meter().Snapshot().Messages
+	res, err := idxs[2].MultiGet(gets, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchMsgs := net.Meter().Snapshot().Messages - before
+
+	for i := range puts {
+		if !res[i].Found || res[i].List.Len() != 5 || !res[i].List.Truncated {
+			t.Fatalf("get %d: %+v", i, res[i])
+		}
+	}
+	if res[len(res)-1].Found {
+		t.Fatal("missing key reported found")
+	}
+
+	// The same fetches one at a time must cost strictly more round trips.
+	before = net.Meter().Snapshot().Messages
+	for _, g := range gets {
+		if _, _, _, err := idxs[3].Get(g.Terms, g.MaxResults); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqMsgs := net.Meter().Snapshot().Messages - before
+	if batchMsgs*2 > seqMsgs {
+		t.Fatalf("batched gets cost %d messages, sequential %d (want >=2x saving)", batchMsgs, seqMsgs)
+	}
+	t.Logf("MultiGet %d messages vs sequential %d", batchMsgs, seqMsgs)
+}
+
+func TestMultiGetRecordsProbes(t *testing.T) {
+	nodes, idxs, _ := ring(t, 6)
+	if _, err := idxs[0].MultiGet([]GetItem{{Terms: []string{"absent"}}, {Terms: []string{"absent"}}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Whichever peer is responsible recorded exactly two probes.
+	total := 0.0
+	for i := range nodes {
+		total += idxs[i].Store().Popularity("absent").Count
+	}
+	if total != 2 {
+		t.Fatalf("probe count across ring = %v, want 2", total)
+	}
+}
+
+// --- wire round trips at the handler level ------------------------------
+
+// selfIndex returns a single-node index whose handlers can be invoked
+// directly for frame-level tests.
+func selfIndex(t *testing.T) *Index {
+	t.Helper()
+	_, idxs, _ := ring(t, 1)
+	return idxs[0]
+}
+
+func TestMultiPutWireRoundTrip(t *testing.T) {
+	ix := selfIndex(t)
+	items := []struct {
+		key   string
+		bound int
+		n     int
+	}{
+		{"alpha", 3, 10},      // truncated to bound
+		{"beta", 0, 4},        // bound 0 = hard cap only
+		{"gamma", 1 << 30, 2}, // bound above HardCap clamps to HardCap
+	}
+	w := wire.NewWriter(256)
+	w.Uvarint(uint64(len(items)))
+	for _, it := range items {
+		l := &postings.List{}
+		for j := 0; j < it.n; j++ {
+			l.Add(post("p", uint32(j), float64(it.n-j)))
+		}
+		l.Normalize()
+		writeKeyBoundList(w, it.key, it.bound, 0, l, false)
+	}
+	msg, resp, err := ix.handleMultiPut("tester", MsgMultiPut, w.Bytes())
+	if err != nil || msg != MsgMultiPut {
+		t.Fatalf("handler: %v (msg 0x%02x)", err, msg)
+	}
+	r := wire.NewReader(resp)
+	if n := r.Uvarint(); n != uint64(len(items)) {
+		t.Fatalf("response count %d", n)
+	}
+	wantLens := []uint64{3, 4, 2}
+	for i, want := range wantLens {
+		if got := r.Uvarint(); got != want {
+			t.Fatalf("item %d stored %d, want %d", i, got, want)
+		}
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("response trailer: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+	// Truncation marks follow the store rules.
+	if l, _ := ix.Store().Peek("alpha"); !l.Truncated || l.Len() != 3 {
+		t.Fatalf("alpha: %d truncated=%v", l.Len(), l.Truncated)
+	}
+	if l, _ := ix.Store().Peek("beta"); l.Truncated {
+		t.Fatal("beta must not be truncated under the hard cap")
+	}
+}
+
+func TestMultiAppendWireRoundTripAnnouncedDF(t *testing.T) {
+	ix := selfIndex(t)
+	l := &postings.List{Entries: []postings.Posting{post("p", 1, 2), post("p", 2, 1)}}
+	w := wire.NewWriter(128)
+	w.Uvarint(1)
+	writeKeyBoundList(w, "df-key", 10, 50, l, true)
+	_, resp, err := ix.handleMultiAppend("tester", MsgMultiAppend, w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(resp)
+	if n := r.Uvarint(); n != 1 {
+		t.Fatalf("count %d", n)
+	}
+	if got := r.Uvarint(); got != 2 {
+		t.Fatalf("stored %d", got)
+	}
+	if df, present := ix.Store().ApproxDF("df-key"); df != 50 || !present {
+		t.Fatalf("announced DF not honoured: %d %v", df, present)
+	}
+	// The list is incomplete relative to the announced DF.
+	if lst, _ := ix.Store().Peek("df-key"); !lst.Truncated {
+		t.Fatal("list with announcedDF beyond stored length must be marked truncated")
+	}
+}
+
+func TestMultiGetWireRoundTrip(t *testing.T) {
+	ix := selfIndex(t)
+	big := &postings.List{}
+	for j := 0; j < 20; j++ {
+		big.Add(post("p", uint32(j), float64(20-j)))
+	}
+	big.Normalize()
+	ix.Store().Put("stored", big, 0)
+
+	w := wire.NewWriter(64)
+	w.Uvarint(2)
+	w.String("stored")
+	w.Uvarint(6) // capped fetch
+	w.String("missing")
+	w.Uvarint(0)
+	_, resp, err := ix.handleMultiGet("tester", MsgMultiGet, w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(resp)
+	if n := r.Uvarint(); n != 2 {
+		t.Fatalf("count %d", n)
+	}
+	found, wantIndex := r.Bool(), r.Bool()
+	if !found || wantIndex {
+		t.Fatalf("stored: found=%v wantIndex=%v", found, wantIndex)
+	}
+	lst, err := postings.Decode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lst.Len() != 6 || !lst.Truncated {
+		t.Fatalf("capped list: len=%d trunc=%v", lst.Len(), lst.Truncated)
+	}
+	found, wantIndex = r.Bool(), r.Bool()
+	if found || wantIndex {
+		t.Fatalf("missing: found=%v wantIndex=%v", found, wantIndex)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("trailer: %v, %d", r.Err(), r.Remaining())
+	}
+}
+
+func TestMultiHandlersRejectMalformed(t *testing.T) {
+	ix := selfIndex(t)
+	l := &postings.List{Entries: []postings.Posting{post("p", 1, 1)}}
+	good := wire.NewWriter(64)
+	good.Uvarint(1)
+	writeKeyBoundList(good, "k", 10, 0, l, false)
+
+	cases := map[string][]byte{
+		"empty-truncated":   good.Bytes()[:1],
+		"hostile count":     func() []byte { w := wire.NewWriter(8); w.Uvarint(uint64(MaxBatchItems) + 1); return w.Bytes() }(),
+		"overflow count":    func() []byte { w := wire.NewWriter(16); w.Uvarint(1 << 63); return w.Bytes() }(), // would wrap negative through int()
+		"count beyond body": func() []byte { w := wire.NewWriter(8); w.Uvarint(3); w.String("k"); return w.Bytes() }(),
+		"garbage":           {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+	}
+	for name, body := range cases {
+		if _, _, err := ix.handleMultiPut("tester", MsgMultiPut, body); err == nil {
+			t.Errorf("MultiPut accepted %s body", name)
+		}
+		if _, _, err := ix.handleMultiAppend("tester", MsgMultiAppend, body); err == nil {
+			t.Errorf("MultiAppend accepted %s body", name)
+		}
+		if _, _, err := ix.handleMultiGet("tester", MsgMultiGet, body); err == nil {
+			t.Errorf("MultiGet accepted %s body", name)
+		}
+	}
+	// A malformed later item must not leave earlier items applied.
+	w := wire.NewWriter(128)
+	w.Uvarint(2)
+	writeKeyBoundList(w, "first", 10, 0, l, false)
+	w.String("second")
+	// second item is cut off after the key
+	if _, _, err := ix.handleMultiPut("tester", MsgMultiPut, w.Bytes()); err == nil {
+		t.Fatal("truncated second item accepted")
+	}
+	if _, ok := ix.Store().Peek("first"); ok {
+		t.Fatal("partial batch applied before rejection")
+	}
+}
+
+func TestChunkGroupsSplitsOversized(t *testing.T) {
+	items := make([]int, 25)
+	for i := range items {
+		items[i] = i
+	}
+	in := []group{
+		{addr: "a", items: items},
+		{addr: "b", items: []int{100}},
+	}
+	out := chunkGroups(in, 10)
+	if len(out) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(out))
+	}
+	var flat []int
+	for _, g := range out[:3] {
+		if g.addr != "a" {
+			t.Fatalf("chunk addr %q", g.addr)
+		}
+		if len(g.items) > 10 {
+			t.Fatalf("chunk size %d over max", len(g.items))
+		}
+		flat = append(flat, g.items...)
+	}
+	for i, v := range flat {
+		if v != i {
+			t.Fatalf("item order broken at %d: %d", i, v)
+		}
+	}
+	if out[3].addr != "b" || len(out[3].items) != 1 {
+		t.Fatalf("small group mangled: %+v", out[3])
+	}
+}
+
+func TestMultiEmptyBatchesAreFree(t *testing.T) {
+	_, idxs, net := ring(t, 4)
+	before := net.Meter().Snapshot().Messages
+	if ns, err := idxs[0].MultiPut(nil, 8); err != nil || len(ns) != 0 {
+		t.Fatalf("empty MultiPut: %v %v", ns, err)
+	}
+	if ns, err := idxs[0].MultiAppend(nil, 8); err != nil || len(ns) != 0 {
+		t.Fatalf("empty MultiAppend: %v %v", ns, err)
+	}
+	if rs, err := idxs[0].MultiGet(nil, 8); err != nil || len(rs) != 0 {
+		t.Fatalf("empty MultiGet: %v %v", rs, err)
+	}
+	if used := net.Meter().Snapshot().Messages - before; used != 0 {
+		t.Fatalf("empty batches used %d messages", used)
+	}
+}
+
+func TestMultiFallbackAfterPeerDeath(t *testing.T) {
+	nodes, idxs, net := ring(t, 8)
+	items := multiItems(30, 3)
+	// Warm the resolver cache over every key, kill one remote peer, and
+	// let the ring repair. The cached routes naming the dead peer are now
+	// stale: the batch calls to it fail and must fall back to the
+	// self-healing per-item path, which re-resolves to the peer that took
+	// over the dead node's range.
+	var gets []GetItem
+	for _, it := range items {
+		gets = append(gets, GetItem{Terms: it.Terms})
+	}
+	if _, err := idxs[0].MultiGet(gets, 4); err != nil {
+		t.Fatal(err)
+	}
+	victim := nodes[5].Self()
+	net.SetDown(victim.Addr, true)
+	for round := 0; round < 6; round++ {
+		for i, n := range nodes {
+			if i == 5 {
+				continue
+			}
+			_ = n.Stabilize()
+			_ = n.FixFingers()
+		}
+	}
+
+	if _, err := idxs[0].MultiAppend(items, 4); err != nil {
+		t.Fatalf("batch append across peer death: %v", err)
+	}
+	for _, it := range items {
+		list, found, _, err := idxs[2].Get(it.Terms, 0)
+		if err != nil || !found || list.Len() == 0 {
+			t.Fatalf("key %v lost after fallback: found=%v err=%v", it.Terms, found, err)
+		}
+	}
+}

@@ -22,21 +22,28 @@ const (
 
 // Index is one peer's global-index component: the local store slice plus
 // client operations that route through the DHT to whichever peer is
-// responsible for a key.
+// responsible for a key. The single-key operations resolve each key with
+// a fresh lookup; the Multi operations (batch.go) share a caching
+// resolver and coalesce keys per responsible peer.
 type Index struct {
-	node  *dht.Node
-	store *Store
+	node     *dht.Node
+	store    *Store
+	resolver *dht.Resolver
 }
 
 // New creates the component for node, registering its handlers on d.
 func New(node *dht.Node, d *transport.Dispatcher) *Index {
-	ix := &Index{node: node, store: NewStore(0)}
+	ix := &Index{node: node, store: NewStore(0), resolver: node.NewResolver()}
 	d.Handle(MsgPut, ix.handlePut)
 	d.Handle(MsgAppend, ix.handleAppend)
 	d.Handle(MsgGet, ix.handleGet)
 	d.Handle(MsgRemove, ix.handleRemove)
 	d.Handle(MsgStats, ix.handleStats)
 	d.Handle(MsgKeyInfo, ix.handleKeyInfo)
+	d.Handle(MsgMultiPut, ix.handleMultiPut)
+	d.Handle(MsgMultiAppend, ix.handleMultiAppend)
+	d.Handle(MsgMultiGet, ix.handleMultiGet)
+	d.Handle(MsgMultiKeyInfo, ix.handleMultiKeyInfo)
 	return ix
 }
 
@@ -113,6 +120,15 @@ func (ix *Index) handleKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, [
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
+	w := wire.NewWriter(16)
+	ix.writeKeyInfoAnswer(w, key)
+	return MsgKeyInfo, w.Bytes(), nil
+}
+
+// writeKeyInfoAnswer encodes one key's (present, approxDF, truncated)
+// answer — the per-key body shared by the single and batch KeyInfo
+// handlers.
+func (ix *Index) writeKeyInfoAnswer(w *wire.Writer, key string) {
 	df, present := ix.store.ApproxDF(key)
 	truncated := false
 	if present {
@@ -120,39 +136,18 @@ func (ix *Index) handleKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, [
 			truncated = l.Truncated
 		}
 	}
-	w := wire.NewWriter(16)
 	w.Bool(present)
 	w.Uvarint(uint64(df))
 	w.Bool(truncated)
-	return MsgKeyInfo, w.Bytes(), nil
 }
 
 func decodeKeyBoundList(body []byte, withDF bool) (string, int, int, *postings.List, error) {
-	r := wire.NewReader(body)
-	key := r.String()
-	bound := int(r.Uvarint())
-	announcedDF := 0
-	if withDF {
-		announcedDF = int(r.Uvarint())
-	}
-	list, err := postings.Decode(r)
-	if err != nil {
-		return "", 0, 0, nil, err
-	}
-	if err := r.Err(); err != nil {
-		return "", 0, 0, nil, err
-	}
-	return key, bound, announcedDF, list, nil
+	return readKeyBoundList(wire.NewReader(body), withDF)
 }
 
 func encodeKeyBoundList(key string, bound, announcedDF int, list *postings.List, withDF bool) []byte {
 	w := wire.NewWriter(64 + 12*list.Len())
-	w.String(key)
-	w.Uvarint(uint64(bound))
-	if withDF {
-		w.Uvarint(uint64(announcedDF))
-	}
-	list.Encode(w)
+	writeKeyBoundList(w, key, bound, announcedDF, list, withDF)
 	return append([]byte(nil), w.Bytes()...)
 }
 

@@ -49,6 +49,13 @@ type Config struct {
 	// PublishCap bounds how many of its local postings a peer ships per
 	// key (shipping more than TruncK can never help). 0 means TruncK.
 	PublishCap int
+	// Concurrency is the publication fan-out: when above 1, each round's
+	// appends and frequency probes go through the global index's batch
+	// client (one coalesced RPC per responsible peer, Concurrency
+	// concurrent calls). 0 or 1 keeps the fully sequential per-key path.
+	// Both paths produce the same global index state and the same Result
+	// counters; the package tests assert that equivalence.
+	Concurrency int
 }
 
 // FillDefaults replaces zero fields with the defaults (DFmax 500, smax 3,
@@ -142,18 +149,26 @@ func (p *Publisher) Run() (Result, error) {
 }
 
 // PublishTerms pushes this peer's postings for every local term (level 1).
+// With Concurrency > 1 the appends are coalesced per responsible peer and
+// issued concurrently; the resulting index state is identical to the
+// sequential path.
 func (p *Publisher) PublishTerms() error {
+	var items []globalindex.AppendItem
 	for _, term := range p.local.Terms() {
 		localDF := int(p.local.DocFreq(term))
 		list := p.buildLocalList([]string{term}, nil)
 		if list.Len() == 0 {
 			continue
 		}
-		if _, err := p.global.Append([]string{term}, list, p.cfg.TruncK, localDF); err != nil {
-			return fmt.Errorf("hdk: publish %q: %w", term, err)
-		}
-		p.res.KeysPublished++
-		p.res.PostingsPublished += list.Len()
+		items = append(items, globalindex.AppendItem{
+			Terms:       []string{term},
+			List:        list,
+			Bound:       p.cfg.TruncK,
+			AnnouncedDF: localDF,
+		})
+	}
+	if err := p.publishItems(items); err != nil {
+		return err
 	}
 	p.frontier = nil
 	for _, t := range p.local.Terms() {
@@ -164,9 +179,38 @@ func (p *Publisher) PublishTerms() error {
 	return nil
 }
 
+// publishItems ships prepared append items through the batched path
+// (Concurrency > 1) or one at a time, and accounts them in the result
+// counters. Both paths leave identical state at the responsible peers.
+func (p *Publisher) publishItems(items []globalindex.AppendItem) error {
+	if p.cfg.Concurrency > 1 {
+		if _, err := p.global.MultiAppend(items, p.cfg.Concurrency); err != nil {
+			return fmt.Errorf("hdk: publish %d keys: %w", len(items), err)
+		}
+	} else {
+		for _, it := range items {
+			if _, err := p.global.Append(it.Terms, it.List, it.Bound, it.AnnouncedDF); err != nil {
+				return fmt.Errorf("hdk: publish %v: %w", it.Terms, err)
+			}
+		}
+	}
+	for _, it := range items {
+		p.res.KeysPublished++
+		p.res.PostingsPublished += it.List.Len()
+	}
+	return nil
+}
+
 // ExpandRound probes the frequency of the current frontier keys and
 // publishes the expansions of the frequent ones, advancing one level. It
 // returns the number of keys published this round (0 = process finished).
+//
+// With Concurrency > 1 the round runs in two batched phases — frequency
+// probes for the whole frontier (one MultiKeyInfo), then all expansion
+// appends (one MultiAppend) — instead of interleaved per-key RPCs. The
+// phases touch disjoint key levels (probes read level s, appends write
+// level s+1), so the reordering cannot change any frequency decision and
+// the resulting index state is identical to the sequential path.
 func (p *Publisher) ExpandRound() (int, error) {
 	if p.level == 0 {
 		return 0, fmt.Errorf("hdk: ExpandRound before PublishTerms")
@@ -174,13 +218,14 @@ func (p *Publisher) ExpandRound() (int, error) {
 	if p.level >= p.cfg.SMax {
 		return 0, nil
 	}
+	frequent, err := p.frontierFrequent()
+	if err != nil {
+		return 0, err
+	}
 	var next [][]string
-	for _, key := range p.frontier {
-		frequent, err := p.keyFrequent(key)
-		if err != nil {
-			return 0, err
-		}
-		if !frequent {
+	var items []globalindex.AppendItem
+	for i, key := range p.frontier {
+		if !frequent[i] {
 			continue
 		}
 		for _, exp := range p.localExpansions(key) {
@@ -192,13 +237,17 @@ func (p *Publisher) ExpandRound() (int, error) {
 			if list.Len() == 0 {
 				continue
 			}
-			if _, err := p.global.Append(exp, list, p.cfg.TruncK, len(docs)); err != nil {
-				return 0, fmt.Errorf("hdk: publish %v: %w", exp, err)
-			}
-			p.res.KeysPublished++
-			p.res.PostingsPublished += list.Len()
+			items = append(items, globalindex.AppendItem{
+				Terms:       exp,
+				List:        list,
+				Bound:       p.cfg.TruncK,
+				AnnouncedDF: len(docs),
+			})
 			next = append(next, exp)
 		}
+	}
+	if err := p.publishItems(items); err != nil {
+		return 0, err
 	}
 	p.frontier = next
 	p.level++
@@ -206,6 +255,45 @@ func (p *Publisher) ExpandRound() (int, error) {
 		p.res.Levels = p.level
 	}
 	return len(next), nil
+}
+
+// frontierFrequent evaluates the frequency test for every frontier key,
+// in frontier order. Single terms answer from the cached global
+// statistics; multi-term keys ask their responsible peers — batched when
+// Concurrency > 1, one KeyInfo RPC at a time otherwise.
+func (p *Publisher) frontierFrequent() ([]bool, error) {
+	out := make([]bool, len(p.frontier))
+	if p.cfg.Concurrency <= 1 {
+		for i, key := range p.frontier {
+			f, err := p.keyFrequent(key)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+	var multiIdx []int
+	var items []globalindex.KeyInfoItem
+	for i, key := range p.frontier {
+		if len(key) == 1 {
+			out[i] = p.termFrequent(key[0])
+			continue
+		}
+		multiIdx = append(multiIdx, i)
+		items = append(items, globalindex.KeyInfoItem{Terms: key})
+	}
+	if len(items) == 0 {
+		return out, nil
+	}
+	infos, err := p.global.MultiKeyInfo(items, p.cfg.Concurrency)
+	if err != nil {
+		return nil, err
+	}
+	for j, info := range infos {
+		out[multiIdx[j]] = info.DF > int64(p.cfg.DFMax)
+	}
+	return out, nil
 }
 
 // keyFrequent tests a key's global frequency: single terms against the

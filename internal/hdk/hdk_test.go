@@ -149,6 +149,7 @@ func TestGenerateKeysDFMonotone(t *testing.T) {
 // fleet wires count peers, each with a DHT node, a global index and a
 // stats service, and returns everything plus a helper to finish stats.
 type fleet struct {
+	net    *transport.Mem
 	nodes  []*dht.Node
 	gidx   []*globalindex.Index
 	stats  []*ranking.GlobalStats
@@ -159,7 +160,7 @@ func newFleet(t *testing.T, count int) *fleet {
 	t.Helper()
 	net := transport.NewMem()
 	rng := rand.New(rand.NewSource(77))
-	f := &fleet{}
+	f := &fleet{net: net}
 	for i := 0; i < count; i++ {
 		d := transport.NewDispatcher()
 		ep := net.Endpoint(fmt.Sprintf("peer%d", i), d.Serve)

@@ -1,0 +1,137 @@
+package hdk
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// publishFleet runs the full lockstep HDK publication over a fresh fleet
+// holding the given texts (round-robin over peers) with the given config,
+// and returns the fleet plus per-peer publisher results.
+func publishFleet(t *testing.T, peers int, texts []string, cfg Config) (*fleet, []Result) {
+	t.Helper()
+	f := newFleet(t, peers)
+	for d, text := range texts {
+		f.locals[d%peers].Add(uint32(d), text)
+	}
+	for i := 0; i < peers; i++ {
+		for _, doc := range f.locals[i].Docs() {
+			if err := f.stats[i].PublishDocument(f.locals[i].DocTerms(doc), f.locals[i].DocLen(doc)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pubs := make([]*Publisher, peers)
+	for i := 0; i < peers; i++ {
+		gs, err := f.stats[i].Fetch(f.locals[i].Terms())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubs[i] = NewPublisher(cfg, f.locals[i], f.gidx[i], gs, f.nodes[i].Self().Addr)
+		if err := pubs[i].PublishTerms(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < cfg.SMax-1; round++ {
+		for i := 0; i < peers; i++ {
+			if _, err := pubs[i].ExpandRound(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	results := make([]Result, peers)
+	for i := range pubs {
+		results[i] = pubs[i].Result()
+	}
+	return f, results
+}
+
+// indexFingerprint renders every peer's store content (keys, stored
+// lengths, truncation marks, approximate DFs) as one comparable string.
+func indexFingerprint(f *fleet) string {
+	var sb strings.Builder
+	for i, ix := range f.gidx {
+		for _, k := range ix.Store().Keys() {
+			l, _ := ix.Store().Peek(k)
+			df, _ := ix.Store().ApproxDF(k)
+			fmt.Fprintf(&sb, "peer%d|%s|len=%d|trunc=%v|df=%d\n", i, k, l.Len(), l.Truncated, df)
+		}
+	}
+	return sb.String()
+}
+
+// corpusTexts generates a synthetic collection with enough co-occurrence
+// to force multi-level expansions.
+func corpusTexts(docs int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	vocab := []string{"p2p", "index", "query", "peer", "rank", "store", "rare1", "rare2", "rare3"}
+	texts := make([]string, docs)
+	for d := range texts {
+		var sb strings.Builder
+		for w := 0; w < 7; w++ {
+			var term string
+			if rng.Float64() < 0.85 {
+				term = vocab[rng.Intn(5)]
+			} else {
+				term = vocab[5+rng.Intn(4)]
+			}
+			sb.WriteString(term)
+			sb.WriteByte(' ')
+		}
+		texts[d] = sb.String()
+	}
+	return texts
+}
+
+// TestParallelPublishMatchesSequential is the publication determinism
+// regression: the batched concurrent pipeline must leave byte-identical
+// global index state and identical publisher counters.
+func TestParallelPublishMatchesSequential(t *testing.T) {
+	texts := corpusTexts(90, 11)
+	cfg := Config{DFMax: 10, SMax: 3, Window: 7, TruncK: 20}
+
+	seqCfg := cfg
+	seqCfg.Concurrency = 1
+	seqFleet, seqRes := publishFleet(t, 5, texts, seqCfg)
+
+	parCfg := cfg
+	parCfg.Concurrency = 8
+	parFleet, parRes := publishFleet(t, 5, texts, parCfg)
+
+	for i := range seqRes {
+		if seqRes[i] != parRes[i] {
+			t.Errorf("peer %d result: sequential %+v parallel %+v", i, seqRes[i], parRes[i])
+		}
+	}
+	seqFP, parFP := indexFingerprint(seqFleet), indexFingerprint(parFleet)
+	if seqFP != parFP {
+		t.Fatalf("global index state diverged:\n--- sequential ---\n%s--- parallel ---\n%s", seqFP, parFP)
+	}
+	if !strings.Contains(seqFP, "trunc=true") {
+		t.Fatal("fixture too small: no truncated list exercised")
+	}
+}
+
+// TestParallelPublishSavesRoundTrips asserts the batched pipeline's
+// message saving on a fleet publication.
+func TestParallelPublishSavesRoundTrips(t *testing.T) {
+	texts := corpusTexts(90, 12)
+	cfg := Config{DFMax: 10, SMax: 3, Window: 7, TruncK: 20}
+
+	seqCfg := cfg
+	seqCfg.Concurrency = 1
+	f1, _ := publishFleet(t, 5, texts, seqCfg)
+	seqMsgs := f1.net.Meter().Snapshot().Messages
+
+	parCfg := cfg
+	parCfg.Concurrency = 8
+	f2, _ := publishFleet(t, 5, texts, parCfg)
+	parMsgs := f2.net.Meter().Snapshot().Messages
+
+	if parMsgs*2 > seqMsgs {
+		t.Fatalf("parallel publish used %d messages, sequential %d (want >=2x saving)", parMsgs, seqMsgs)
+	}
+	t.Logf("publish round trips: sequential %d, batched %d", seqMsgs, parMsgs)
+}

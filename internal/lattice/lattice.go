@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/postings"
 )
@@ -32,6 +33,22 @@ func (f FetchFunc) Get(terms []string, maxResults int) (*postings.List, bool, er
 	return f(terms, maxResults)
 }
 
+// BatchResult is one combination's answer within a batch fetch.
+type BatchResult struct {
+	List  *postings.List
+	Found bool
+}
+
+// BatchFetcher is an optional Fetcher extension: fetch a whole
+// generation of combinations in one operation. When the fetcher
+// implements it and the exploration runs concurrently, each lattice
+// level becomes a single batch call (the global index coalesces it into
+// one RPC per responsible peer) instead of one Get per combination.
+// Results must be returned in input order.
+type BatchFetcher interface {
+	GetBatch(combos [][]string, maxResults int) ([]BatchResult, error)
+}
+
 // Config controls the exploration.
 type Config struct {
 	// PruneTruncated applies the paper's approximation: the sublattice
@@ -46,6 +63,14 @@ type Config struct {
 	// their first MaxQueryTerms distinct terms (default 6, i.e. at most
 	// 63 probes).
 	MaxQueryTerms int
+	// Concurrency, when above 1, explores each lattice generation
+	// (combination size) concurrently: the generation's unpruned
+	// combinations are fetched in one batch (BatchFetcher) or through at
+	// most Concurrency parallel Gets. Pruning decisions and the trace are
+	// identical to the sequential exploration, because a hit can only
+	// prune strict sub-combinations, which always live in later
+	// generations. 0 or 1 keeps the sequential probe loop.
+	Concurrency int
 }
 
 func (c *Config) fillDefaults() {
@@ -121,19 +146,16 @@ func Explore(f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace
 		return lexLess(a, b, n)
 	})
 
+	if cfg.Concurrency > 1 {
+		return exploreGenerational(f, terms, masks, cfg)
+	}
+
 	trace := &Trace{}
 	var lists []*postings.List
 	var covering []uint // masks whose sublattice is pruned
 
 	for _, m := range masks {
-		skipped := false
-		for _, c := range covering {
-			if m&c == m && m != c {
-				skipped = true
-				break
-			}
-		}
-		if skipped {
+		if coveredBy(m, covering) {
 			trace.Skipped = append(trace.Skipped, maskTerms(m, terms))
 			continue
 		}
@@ -152,6 +174,104 @@ func Explore(f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace
 			}
 		}
 		trace.Probed = append(trace.Probed, p)
+	}
+	return postings.Union(lists...), trace, nil
+}
+
+// coveredBy reports whether m is a strict sub-combination of any
+// covering mask (its probe is skipped).
+func coveredBy(m uint, covering []uint) bool {
+	for _, c := range covering {
+		if m&c == m && m != c {
+			return true
+		}
+	}
+	return false
+}
+
+// exploreGenerational is the concurrent exploration: the sorted masks
+// are walked one generation (combination size) at a time. Within a
+// generation no mask can prune another — a covering mask only dominates
+// strict subsets, which have strictly fewer bits — so all of a
+// generation's unpruned combinations are independent and fetch
+// concurrently. Skips, probes, covering updates and the trace are then
+// applied in the generation's mask order, making the result and trace
+// byte-identical to the sequential exploration.
+func exploreGenerational(f Fetcher, terms []string, masks []uint, cfg Config) (*postings.List, *Trace, error) {
+	trace := &Trace{}
+	var lists []*postings.List
+	var covering []uint
+
+	bf, hasBatch := f.(BatchFetcher)
+	for start := 0; start < len(masks); {
+		end := start
+		size := popcount(masks[start])
+		for end < len(masks) && popcount(masks[end]) == size {
+			end++
+		}
+		gen := masks[start:end]
+		start = end
+
+		var probe []uint
+		var combos [][]string
+		for _, m := range gen {
+			if coveredBy(m, covering) {
+				trace.Skipped = append(trace.Skipped, maskTerms(m, terms))
+				continue
+			}
+			probe = append(probe, m)
+			combos = append(combos, maskTerms(m, terms))
+		}
+		if len(probe) == 0 {
+			continue
+		}
+
+		results := make([]BatchResult, len(probe))
+		if hasBatch {
+			rs, err := bf.GetBatch(combos, cfg.MaxResultsPerProbe)
+			if err != nil {
+				return nil, trace, fmt.Errorf("lattice: batch probe level %d: %w", size, err)
+			}
+			if len(rs) != len(probe) {
+				return nil, trace, fmt.Errorf("lattice: batch probe level %d: %d results for %d combos", size, len(rs), len(probe))
+			}
+			copy(results, rs)
+		} else {
+			errs := make([]error, len(probe))
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, cfg.Concurrency)
+			for i := range probe {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					list, found, err := f.Get(combos[i], cfg.MaxResultsPerProbe)
+					results[i] = BatchResult{List: list, Found: found}
+					errs[i] = err
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					return nil, trace, fmt.Errorf("lattice: probe %v: %w", combos[i], err)
+				}
+			}
+		}
+
+		for i, m := range probe {
+			p := Probe{Terms: combos[i], Found: results[i].Found}
+			if results[i].Found {
+				list := results[i].List
+				p.Truncated = list.Truncated
+				p.Postings = list.Len()
+				lists = append(lists, list)
+				if !list.Truncated || cfg.PruneTruncated {
+					covering = append(covering, m)
+				}
+			}
+			trace.Probed = append(trace.Probed, p)
+		}
 	}
 	return postings.Union(lists...), trace, nil
 }

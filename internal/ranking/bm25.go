@@ -6,7 +6,10 @@
 // (layer L4; see GlobalStats in this package).
 package ranking
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Stats supplies the collection statistics BM25 needs. Implementations:
 // the local index (local statistics) and GlobalStats (network-wide
@@ -50,8 +53,18 @@ func (p BM25Params) Score(stats Stats, tf map[string]int, docLen int) float64 {
 		avg = 1
 	}
 	norm := p.K1 * (1 - p.B + p.B*float64(docLen)/avg)
+	// Sum per-term contributions in sorted term order: float addition is
+	// not associative, so summing in Go's randomized map order would make
+	// scores differ in the last ulp from run to run (and break the
+	// byte-identical determinism the engine guarantees).
+	terms := make([]string, 0, len(tf))
+	for term := range tf {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
 	var score float64
-	for term, f := range tf {
+	for _, term := range terms {
+		f := tf[term]
 		if f <= 0 {
 			continue
 		}

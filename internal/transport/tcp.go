@@ -149,14 +149,18 @@ func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
 	t.meter.Record(msgType, FrameOverhead+len(body))
+	// From here on the request is on the wire: a failure to read the
+	// response leaves it unknown whether the remote processed the call,
+	// which is a different contract (ErrCallInterrupted) than a request
+	// that never left (ErrUnreachable).
 	respID, kind, respType, resp, err := readFrame(conn.c)
 	if err != nil {
 		t.dropConn(to, conn)
-		return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return 0, nil, fmt.Errorf("%w: %v", ErrCallInterrupted, err)
 	}
 	if respID != id {
 		t.dropConn(to, conn)
-		return 0, nil, fmt.Errorf("%w: response id mismatch", ErrUnreachable)
+		return 0, nil, fmt.Errorf("%w: response id mismatch", ErrCallInterrupted)
 	}
 	t.meter.Record(respType, FrameOverhead+len(resp))
 	if kind == kindError {

@@ -51,8 +51,15 @@ type Endpoint interface {
 // Errors reported by transports. Callers distinguish unreachability (peer
 // churn, handled by routing retry) from remote application errors.
 var (
+	// ErrUnreachable means the request was never delivered: the peer was
+	// unknown, marked down, or the connection could not be established or
+	// written. Retrying the call cannot double-apply it.
 	ErrUnreachable = errors.New("transport: peer unreachable")
-	ErrClosed      = errors.New("transport: endpoint closed")
+	// ErrCallInterrupted means the request was sent but the response never
+	// arrived — the remote may or may not have processed it. Callers must
+	// not blindly retry non-idempotent operations on it.
+	ErrCallInterrupted = errors.New("transport: call interrupted")
+	ErrClosed          = errors.New("transport: endpoint closed")
 )
 
 // RemoteError wraps an error string returned by a remote handler.
