@@ -24,6 +24,15 @@
 // Config.Concurrency tunes the fan-out width; setting it to 1 restores
 // the fully sequential per-key paths. Both settings produce identical
 // results, traces and global index state.
+//
+// Config.ReplicationFactor makes the global index churn-tolerant: every
+// entry is kept at its responsible peer plus R−1 ring successors
+// (write-through), reads fall over to replicas when the primary is
+// unreachable, and ring changes trigger key migration — a joining peer
+// pulls the range it takes over, a peer absorbing a failed neighbour's
+// range promotes its replica copies and re-replicates them onward (see
+// DESIGN.md, "The replication layer"). The default (1) keeps the
+// single-copy behaviour and its byte-identical determinism contract.
 package alvisp2p
 
 import (

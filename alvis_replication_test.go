@@ -1,0 +1,79 @@
+package alvisp2p_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	alvisp2p "repro"
+)
+
+// TestReplicatedSearchSurvivesPeerLoss publishes through the public API
+// with ReplicationFactor 3, detaches a content-free peer (so only index
+// slices — not documents — are lost), repairs the ring, and checks every
+// query still finds its documents.
+func TestReplicatedSearchSurvivesPeerLoss(t *testing.T) {
+	cfg := alvisp2p.Config{
+		HDK:               alvisp2p.HDKConfig{DFMax: 4, SMax: 2, Window: 20, TruncK: 20},
+		ReplicationFactor: 3,
+	}
+	peers := buildNetwork(t, 8, cfg)
+
+	texts := []string{
+		"peer to peer retrieval with distributed indexes",
+		"scalable retrieval in structured peer networks",
+		"structured overlays route queries between peers",
+		"churn tolerant replication keeps indexes available",
+		"successor lists repair rings after failures",
+		"truncated posting lists bound retrieval bandwidth",
+	}
+	for i, text := range texts {
+		if _, err := peers[0].AddFile(fmt.Sprintf("doc%d.txt", i), []byte(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := peers[0].PublishIndex(); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"peer retrieval", "structured overlays", "replication indexes", "successor rings"}
+	before := make(map[string][]string)
+	for _, q := range queries {
+		results, _, err := peers[2].Search(q)
+		if err != nil {
+			t.Fatalf("pre-churn search %q: %v", q, err)
+		}
+		for _, r := range results {
+			before[q] = append(before[q], r.Title)
+		}
+		if len(before[q]) == 0 {
+			t.Fatalf("pre-churn search %q found nothing", q)
+		}
+	}
+
+	// Detach a peer that hosts no documents — only its index slice (and
+	// its replica copies) disappear.
+	if err := peers[5].Close(); err != nil {
+		t.Fatal(err)
+	}
+	survivors := append(append([]*alvisp2p.Peer(nil), peers[:5]...), peers[6:]...)
+	for round := 0; round < 10; round++ {
+		for _, p := range survivors {
+			p.Maintain()
+		}
+	}
+
+	for _, q := range queries {
+		results, _, err := peers[2].Search(q)
+		if err != nil {
+			t.Fatalf("post-churn search %q: %v", q, err)
+		}
+		var got []string
+		for _, r := range results {
+			got = append(got, r.Title)
+		}
+		if strings.Join(got, "|") != strings.Join(before[q], "|") {
+			t.Errorf("search %q changed after peer loss:\n  before: %v\n  after:  %v", q, before[q], got)
+		}
+	}
+}

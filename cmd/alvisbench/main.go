@@ -27,7 +27,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E8) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E9) or 'all'")
 	small := flag.Bool("small", false, "run reduced configurations")
 	flag.Parse()
 
@@ -41,6 +41,7 @@ func main() {
 		{"E6", "congestion control: goodput under load", sim.RunE6},
 		{"E7", "lattice cost and precision by query length", sim.RunE7},
 		{"E8", "distributed indexing cost", sim.RunE8},
+		{"E9", "availability under churn: replication factor 1 vs 3", sim.RunE9},
 	}
 
 	scale := sim.ScaleFull

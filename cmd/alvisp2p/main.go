@@ -34,10 +34,11 @@ func main() {
 	web := flag.String("web", "", "web interface listen address (empty = standalone prompt)")
 	shared := flag.String("shared", "", "shared directory to index at startup")
 	strategy := flag.String("strategy", "hdk", "indexing strategy: hdk or qdi")
+	replication := flag.Int("replication", 1, "global-index replication factor (1 = single copy)")
 	maintainEvery := flag.Duration("maintain", 5*time.Second, "maintenance interval")
 	flag.Parse()
 
-	cfg := alvisp2p.Config{}
+	cfg := alvisp2p.Config{ReplicationFactor: *replication}
 	switch strings.ToLower(*strategy) {
 	case "hdk":
 		cfg.Strategy = alvisp2p.StrategyHDK

@@ -87,6 +87,15 @@ type Config struct {
 	// order, traces and global index state — the determinism tests pin
 	// that equivalence.
 	Concurrency int
+	// ReplicationFactor is the number of copies of every global-index
+	// entry: the responsible peer plus R−1 of its ring successors
+	// (write-through on every publish, replica fallover on reads, and
+	// anti-entropy key migration on ring changes). 0 or 1 keeps today's
+	// single-copy behaviour and the byte-identical determinism contract;
+	// with R > 1 replica maintenance traffic depends on ring-event
+	// timing, so only result *sets* (not byte-exact store state) are
+	// guaranteed.
+	ReplicationFactor int
 }
 
 // DefaultConcurrency is the fan-out width used when Config.Concurrency
@@ -108,6 +117,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Concurrency < 1 {
 		c.Concurrency = 1
+	}
+	if c.ReplicationFactor < 1 {
+		c.ReplicationFactor = 1
 	}
 	if c.HDK.Concurrency == 0 {
 		c.HDK.Concurrency = c.Concurrency
@@ -168,6 +180,7 @@ func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Conf
 	cfg.fillDefaults()
 	node := dht.NewNode(id, ep, d, cfg.DHT)
 	gidx := globalindex.New(node, d)
+	gidx.EnableReplication(cfg.ReplicationFactor)
 	p := &Peer{
 		cfg:       cfg,
 		node:      node,

@@ -126,6 +126,10 @@ type Node struct {
 	// never bumps it, so warm caches stay warm.
 	ringEpoch uint64
 
+	// watchers receive a RingChange after every epoch bump (see
+	// OnRingChange in watch.go).
+	watchers []func(RingChange)
+
 	hopHist *metrics.Histogram
 }
 
@@ -362,11 +366,13 @@ func (n *Node) Join(bootstrap transport.Addr) error {
 		succ = boot
 	}
 	n.mu.Lock()
+	delta := n.snapshotLocked()
 	n.succs = []Remote{succ}
 	n.pred = Remote{}
 	n.fingers = nil
-	n.ringEpoch++
+	ch := delta.fireLocked()
 	n.mu.Unlock()
+	n.deliver(ch)
 	return n.rpcNotify(succ.Addr, n.self)
 }
 
@@ -425,7 +431,7 @@ func (n *Node) Stabilize() error {
 // successor list with the successor's own list.
 func (n *Node) adoptSuccessor(succ Remote, theirList []Remote) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	delta := n.snapshotLocked()
 	list := make([]Remote, 0, n.opts.SuccListLen)
 	list = append(list, succ)
 	for _, r := range theirList {
@@ -446,10 +452,10 @@ func (n *Node) adoptSuccessor(succ Remote, theirList []Remote) {
 			list = append(list, r)
 		}
 	}
-	if !remotesEqual(n.succs, list) {
-		n.ringEpoch++
-	}
 	n.succs = list
+	ch := delta.fireLocked()
+	n.mu.Unlock()
+	n.deliver(ch)
 }
 
 func remotesEqual(a, b []Remote) bool {
@@ -468,42 +474,45 @@ func remotesEqual(a, b []Remote) bool {
 // our predecessor.
 func (n *Node) notify(candidate Remote) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if candidate.Addr == n.self.Addr {
+		n.mu.Unlock()
 		return
 	}
+	delta := n.snapshotLocked()
 	if n.pred.IsZero() || ids.BetweenOpen(candidate.ID, n.pred.ID, n.id) {
-		if n.pred != candidate {
-			n.ringEpoch++
-		}
 		n.pred = candidate
 	}
+	ch := delta.fireLocked()
+	n.mu.Unlock()
+	n.deliver(ch)
 }
 
 // setSuccessor force-installs a successor (graceful-leave repair).
 func (n *Node) setSuccessor(succ Remote) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.ringEpoch++
+	delta := n.snapshotLocked()
 	if succ.Addr == n.self.Addr {
 		n.succs = []Remote{n.self}
-		return
-	}
-	n.succs = append([]Remote{succ}, n.succs...)
-	// Deduplicate while preserving order.
-	seen := map[transport.Addr]bool{}
-	out := n.succs[:0]
-	for _, s := range n.succs {
-		if seen[s.Addr] {
-			continue
+	} else {
+		n.succs = append([]Remote{succ}, n.succs...)
+		// Deduplicate while preserving order.
+		seen := map[transport.Addr]bool{}
+		out := n.succs[:0]
+		for _, s := range n.succs {
+			if seen[s.Addr] {
+				continue
+			}
+			seen[s.Addr] = true
+			out = append(out, s)
 		}
-		seen[s.Addr] = true
-		out = append(out, s)
+		if len(out) > n.opts.SuccListLen {
+			out = out[:n.opts.SuccListLen]
+		}
+		n.succs = out
 	}
-	if len(out) > n.opts.SuccListLen {
-		out = out[:n.opts.SuccListLen]
-	}
-	n.succs = out
+	ch := delta.fireLocked()
+	n.mu.Unlock()
+	n.deliver(ch)
 }
 
 // PredecessorFailed clears the predecessor pointer; the next correct
@@ -511,11 +520,11 @@ func (n *Node) setSuccessor(succ Remote) {
 // is unreachable.
 func (n *Node) PredecessorFailed() {
 	n.mu.Lock()
-	if !n.pred.IsZero() {
-		n.ringEpoch++
-	}
+	delta := n.snapshotLocked()
 	n.pred = Remote{}
+	ch := delta.fireLocked()
 	n.mu.Unlock()
+	n.deliver(ch)
 }
 
 // checkPredecessor pings the predecessor and clears the pointer if it is
@@ -558,12 +567,14 @@ func (n *Node) Leave() error {
 // installed rings are verified equivalent by the package tests.
 func (n *Node) InstallRing(pred Remote, succs []Remote, fingers []Remote) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.ringEpoch++
+	delta := n.snapshotLocked()
 	n.pred = pred
 	if len(succs) == 0 {
 		succs = []Remote{n.self}
 	}
 	n.succs = append([]Remote(nil), succs...)
 	n.fingers = append([]Remote(nil), fingers...)
+	ch := delta.fireLocked()
+	n.mu.Unlock()
+	n.deliver(ch)
 }

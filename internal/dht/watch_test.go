@@ -1,0 +1,131 @@
+package dht
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// TestRingChangeNotifications verifies that every RingEpoch bump is
+// accompanied by exactly one RingChange callback carrying the delta.
+func TestRingChangeNotifications(t *testing.T) {
+	net := transport.NewMem()
+	a := newTestNode(net, 100, Options{})
+	b := newTestNode(net, 200, Options{})
+
+	var mu sync.Mutex
+	var events []RingChange
+	a.OnRingChange(func(ch RingChange) {
+		mu.Lock()
+		events = append(events, ch)
+		mu.Unlock()
+	})
+
+	if err := b.Join(a.Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.Stabilize(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Stabilize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("no ring changes observed on a during b's join")
+	}
+	// Every event carries a delta and epochs are strictly increasing.
+	var lastEpoch uint64
+	for i, ev := range events {
+		if !ev.PredChanged && !ev.SuccsChanged {
+			t.Errorf("event %d carries no delta: %+v", i, ev)
+		}
+		if ev.Epoch <= lastEpoch {
+			t.Errorf("event %d epoch %d not increasing past %d", i, ev.Epoch, lastEpoch)
+		}
+		lastEpoch = ev.Epoch
+	}
+	if lastEpoch != a.RingEpoch() {
+		t.Errorf("last event epoch %d != RingEpoch %d", lastEpoch, a.RingEpoch())
+	}
+	// a must have learned b as both predecessor and successor.
+	final := events[len(events)-1]
+	_ = final
+	if a.Predecessor().Addr != b.Self().Addr {
+		t.Errorf("a.pred = %v, want b", a.Predecessor())
+	}
+	if a.Successor().Addr != b.Self().Addr {
+		t.Errorf("a.succ = %v, want b", a.Successor())
+	}
+
+	// A stable ring fires nothing.
+	before := len(events)
+	mu.Unlock()
+	for i := 0; i < 3; i++ {
+		_ = a.Stabilize()
+		_ = b.Stabilize()
+	}
+	mu.Lock()
+	if len(events) != before {
+		t.Errorf("stable ring fired %d extra events", len(events)-before)
+	}
+}
+
+// TestRingChangePredecessorFailed verifies the failure path delta: the
+// cleared predecessor is reported, and the repair notify reports the new
+// one.
+func TestRingChangePredecessorFailed(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, []ids.ID{100, 200, 300}, Options{})
+
+	// Find node 300's successor-ring neighbours: pred=200.
+	var n300 *Node
+	for _, n := range nodes {
+		if n.ID() == 300 {
+			n300 = n
+		}
+	}
+	var events []RingChange
+	n300.OnRingChange(func(ch RingChange) { events = append(events, ch) })
+
+	old := n300.Predecessor()
+	n300.PredecessorFailed()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	ev := events[0]
+	if !ev.PredChanged || ev.OldPred != old || !ev.NewPred.IsZero() {
+		t.Fatalf("bad delta: %+v", ev)
+	}
+	// Clearing an already-zero predecessor fires nothing.
+	n300.PredecessorFailed()
+	if len(events) != 1 {
+		t.Fatalf("no-op clear fired an event")
+	}
+}
+
+// TestStateOf checks the exported ring-state fetch, both remote and
+// local.
+func TestStateOf(t *testing.T) {
+	net := transport.NewMem()
+	nodes := buildRing(t, net, []ids.ID{100, 200, 300}, Options{})
+	n := nodes[0]
+	for _, m := range nodes {
+		pred, succs, err := n.StateOf(m.Self().Addr)
+		if err != nil {
+			t.Fatalf("StateOf(%s): %v", m.Self().Addr, err)
+		}
+		if pred != m.Predecessor() {
+			t.Errorf("pred of %s = %v, want %v", m.Self().Addr, pred, m.Predecessor())
+		}
+		if len(succs) == 0 || succs[0] != m.Successor() {
+			t.Errorf("succs of %s = %v", m.Self().Addr, succs)
+		}
+	}
+}

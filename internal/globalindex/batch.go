@@ -438,6 +438,7 @@ func (ix *Index) runBatch(keys []string, workers int, msg uint8, idempotent bool
 	}
 	groups := chunkGroups(groupByPeer(peers), MaxBatchItems)
 	errs := make([]error, len(groups))
+	replMsg := replicaWriteMsg(msg)
 	dht.RunBounded(len(groups), workers, func(gi int) {
 		g := groups[gi]
 		w := wire.NewWriter(64 * len(g.items))
@@ -460,6 +461,12 @@ func (ix *Index) runBatch(keys []string, workers int, msg uint8, idempotent bool
 				errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: %w", msg, g.addr, err)
 				return
 			}
+		}
+		if replMsg != 0 && ix.repl.factor > 1 {
+			// Write-through: the replica replay frame is the applied batch
+			// frame verbatim (same body layout, responsibility check
+			// skipped on the replica side).
+			ix.replicate(g.addr, replMsg, w.Bytes())
 		}
 	})
 	for gi, gerr := range errs {

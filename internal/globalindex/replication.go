@@ -1,0 +1,481 @@
+package globalindex
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Replication message types (range 0x20–0x2F). ReplPut, ReplAppend and
+// ReplRemove replay a primary's writes on its successors verbatim — the
+// bodies reuse the Multi frame layouts, so a write-through replica stays
+// byte-identical to the primary — and deliberately skip the batch
+// handlers' responsibility check: a replica stores keys it does not own.
+// PullRange and ReplSync move *stored* entries (list plus accumulated
+// approximate DF) during anti-entropy; receivers merge them idempotently
+// (Store.AdoptReplica), so repeated passes converge.
+const (
+	MsgReplPut    uint8 = 0x20 // (n, n×(key, bound, list)) -> n×storedLen
+	MsgReplAppend uint8 = 0x21 // (n, n×(key, bound, announcedDF, list)) -> n×storedLen
+	MsgReplRemove uint8 = 0x22 // (n, n×key) -> n×removed
+	MsgPullRange  uint8 = 0x23 // (from, to) -> (n, n×(key, approxDF, list))
+	MsgReplSync   uint8 = 0x24 // (n, n×(key, approxDF, list)) -> n×storedLen
+)
+
+// replicator holds the replication state of one Index: the configured
+// factor R and a cache of primary → successor-list mappings (where a
+// primary's replicas live). The cache is soft state like the Resolver's
+// intervals: it is dropped wholesale on any local ring change, and a
+// stale entry costs only a wasted best-effort RPC.
+type replicator struct {
+	factor int // replication factor R; <= 1 disables replication
+
+	mu      sync.Mutex
+	succsOf map[transport.Addr][]dht.Remote
+}
+
+// ReplicationFactor returns the configured replication factor (1 = no
+// replication, today's single-copy behaviour).
+func (ix *Index) ReplicationFactor() int {
+	if ix.repl.factor < 1 {
+		return 1
+	}
+	return ix.repl.factor
+}
+
+// EnableReplication sets the replication factor and, for R > 1,
+// subscribes the anti-entropy pass to the node's ring-change
+// notifications. Call it once, before the node joins a network. With
+// R <= 1 it is a no-op: every write stays single-copy and the
+// determinism contract of the batch layer is untouched.
+func (ix *Index) EnableReplication(r int) {
+	if r <= 1 {
+		return
+	}
+	ix.repl.factor = r
+	ix.repl.succsOf = make(map[transport.Addr][]dht.Remote)
+	ix.node.OnRingChange(ix.onRingChange)
+}
+
+// registerReplicationHandlers wires the replica-side protocol. Handlers
+// are registered unconditionally (in New) so that a peer can hold
+// replicas for others whatever its own factor is.
+func (ix *Index) registerReplicationHandlers(d *transport.Dispatcher) {
+	d.Handle(MsgReplPut, ix.handleReplPut)
+	d.Handle(MsgReplAppend, ix.handleReplAppend)
+	d.Handle(MsgReplRemove, ix.handleReplRemove)
+	d.Handle(MsgPullRange, ix.handlePullRange)
+	d.Handle(MsgReplSync, ix.handleReplSync)
+}
+
+func (ix *Index) handleReplPut(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	keys, bounds, _, lists, err := decodeMultiPutBody(body, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(8 + 4*len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for i, key := range keys {
+		w.Uvarint(uint64(ix.store.Put(key, lists[i], bounds[i])))
+	}
+	return MsgReplPut, w.Bytes(), nil
+}
+
+func (ix *Index) handleReplAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	keys, bounds, dfs, lists, err := decodeMultiPutBody(body, true)
+	if err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(8 + 4*len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for i, key := range keys {
+		w.Uvarint(uint64(ix.store.Append(key, lists[i], bounds[i], dfs[i])))
+	}
+	return MsgReplAppend, w.Bytes(), nil
+}
+
+func (ix *Index) handleReplRemove(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	count, err := readBatchCount(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	keys := make([]string, count)
+	for i := 0; i < count; i++ {
+		keys[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(2 + count)
+	w.Uvarint(uint64(count))
+	for _, key := range keys {
+		w.Bool(ix.store.Remove(key))
+	}
+	return MsgReplRemove, w.Bytes(), nil
+}
+
+func (ix *Index) handlePullRange(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	from := ids.ID(r.Uint64())
+	to := ids.ID(r.Uint64())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	keys := ix.store.KeysInRange(from, to)
+	more := false
+	if len(keys) > MaxBatchItems {
+		// A larger range is paginated: the puller resumes from the last
+		// returned key's hash (exclusive lower bound), so a page must end
+		// on a hash boundary — retreat the cut past any keys sharing the
+		// boundary hash, or resuming would skip the rest of the tie group.
+		cut := MaxBatchItems
+		for cut > 0 && ids.HashString(keys[cut-1]) == ids.HashString(keys[cut]) {
+			cut--
+		}
+		if cut == 0 {
+			// A whole page of one hash value cannot happen with a real
+			// 64-bit digest; if it somehow does, ship the raw page rather
+			// than loop forever.
+			cut = MaxBatchItems
+		}
+		keys = keys[:cut]
+		more = true
+	}
+	w := wire.NewWriter(64 * len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for _, key := range keys {
+		list, df, ok := ix.store.Export(key)
+		if !ok {
+			list = &postings.List{}
+		}
+		writeSyncItem(w, key, df, list)
+	}
+	w.Bool(more)
+	return MsgPullRange, w.Bytes(), nil
+}
+
+func (ix *Index) handleReplSync(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	keys, dfs, lists, err := decodeSyncItems(wire.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(8 + 4*len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for i, key := range keys {
+		w.Uvarint(uint64(ix.store.AdoptReplica(key, lists[i], dfs[i])))
+	}
+	return MsgReplSync, w.Bytes(), nil
+}
+
+// writeSyncItem writes one anti-entropy transfer item.
+func writeSyncItem(w *wire.Writer, key string, df int64, list *postings.List) {
+	w.String(key)
+	w.Uvarint(uint64(df))
+	list.Encode(w)
+}
+
+// decodeSyncItems decodes a run of anti-entropy transfer items (the
+// shared prefix of a PullRange response and a ReplSync body) fully
+// before returning; PullRange callers read their trailing continuation
+// flag from the same reader afterwards.
+func decodeSyncItems(r *wire.Reader) (keys []string, dfs []int64, lists []*postings.List, err error) {
+	count, err := readBatchCount(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	keys = make([]string, count)
+	dfs = make([]int64, count)
+	lists = make([]*postings.List, count)
+	for i := 0; i < count; i++ {
+		keys[i] = r.String()
+		dfs[i] = int64(r.Uvarint())
+		lists[i], err = postings.Decode(r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	return keys, dfs, lists, nil
+}
+
+// replicaTargets returns where primary's replicas live: the first R−1
+// live entries of its successor list, fetched once per ring-stable period
+// and cached. It returns nil when replication is off, when the primary
+// cannot be asked (write-through only talks to live primaries), or when
+// the answer is degenerate.
+func (ix *Index) replicaTargets(primary transport.Addr) []dht.Remote {
+	want := ix.repl.factor - 1
+	if want <= 0 {
+		return nil
+	}
+	ix.repl.mu.Lock()
+	cached, ok := ix.repl.succsOf[primary]
+	ix.repl.mu.Unlock()
+	if ok {
+		return cached
+	}
+	_, succs, err := ix.node.StateOf(primary)
+	if err != nil {
+		return nil
+	}
+	targets := selectReplicas(primary, succs, want)
+	ix.repl.mu.Lock()
+	if ix.repl.succsOf != nil {
+		ix.repl.succsOf[primary] = targets
+	}
+	ix.repl.mu.Unlock()
+	return targets
+}
+
+// cachedReplicaTargets returns the cached replica set of primary without
+// any network traffic — the fallover read path uses it when the primary
+// is already known dead.
+func (ix *Index) cachedReplicaTargets(primary transport.Addr) []dht.Remote {
+	ix.repl.mu.Lock()
+	defer ix.repl.mu.Unlock()
+	return ix.repl.succsOf[primary]
+}
+
+// selectReplicas picks the first want distinct successors of primary,
+// excluding the primary itself.
+func selectReplicas(primary transport.Addr, succs []dht.Remote, want int) []dht.Remote {
+	var out []dht.Remote
+	seen := map[transport.Addr]bool{primary: true}
+	for _, s := range succs {
+		if len(out) >= want {
+			break
+		}
+		if s.IsZero() || seen[s.Addr] {
+			continue
+		}
+		seen[s.Addr] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// replicate ships a write-through frame (a ReplPut/ReplAppend/ReplRemove
+// replay of what the primary just applied) to every replica of primary.
+// Best effort: a replica that cannot be reached is repaired later by the
+// anti-entropy pass, and a failed replica write must not fail the
+// client's operation.
+func (ix *Index) replicate(primary transport.Addr, msg uint8, body []byte) {
+	for _, t := range ix.replicaTargets(primary) {
+		_, _, _ = ix.node.Endpoint().Call(t.Addr, msg, body)
+	}
+}
+
+// replicaWriteMsg maps a primary write message to its replica replay
+// frame (0 = not replicated).
+func replicaWriteMsg(msg uint8) uint8 {
+	switch msg {
+	case MsgPut, MsgMultiPut:
+		return MsgReplPut
+	case MsgAppend, MsgMultiAppend:
+		return MsgReplAppend
+	case MsgRemove:
+		return MsgReplRemove
+	default:
+		return 0
+	}
+}
+
+// getFromReplicas serves a read whose primary is unreachable from the
+// replica chain. It first tries the cached replica set (learned while the
+// primary was alive), then walks the ring past the dead node
+// (Lookup(prev.ID+1) resolves the next live owner once stabilization has
+// routed around the failure). ok reports whether a replica answered; a
+// replica's miss is returned as an authoritative absence.
+func (ix *Index) getFromReplicas(key string, maxResults int, primary dht.Remote, cause error) (list *postings.List, found, wantIndex, ok bool) {
+	if ix.repl.factor <= 1 || !errors.Is(cause, transport.ErrUnreachable) {
+		return nil, false, false, false
+	}
+	tried := map[transport.Addr]bool{primary.Addr: true}
+	for _, t := range ix.cachedReplicaTargets(primary.Addr) {
+		if tried[t.Addr] {
+			continue
+		}
+		tried[t.Addr] = true
+		if list, found, wantIndex, ok = ix.getAt(t.Addr, key, maxResults); ok {
+			return list, found, wantIndex, true
+		}
+	}
+	cur := primary
+	for i := 1; i < ix.repl.factor; i++ {
+		next, _, err := ix.node.Lookup(cur.ID + 1)
+		if err != nil {
+			return nil, false, false, false
+		}
+		if next.Addr == primary.Addr {
+			return nil, false, false, false // walked back to the dead node
+		}
+		if !tried[next.Addr] {
+			tried[next.Addr] = true
+			if list, found, wantIndex, ok = ix.getAt(next.Addr, key, maxResults); ok {
+				return list, found, wantIndex, true
+			}
+		}
+		cur = next
+	}
+	return nil, false, false, false
+}
+
+// getAt issues one plain Get to a specific peer (no routing); ok reports
+// a decodable answer.
+func (ix *Index) getAt(addr transport.Addr, key string, maxResults int) (list *postings.List, found, wantIndex, ok bool) {
+	w := wire.NewWriter(len(key) + 8)
+	w.String(key)
+	w.Uvarint(uint64(maxResults))
+	_, resp, err := ix.node.Endpoint().Call(addr, MsgGet, w.Bytes())
+	if err != nil {
+		return nil, false, false, false
+	}
+	r := wire.NewReader(resp)
+	found = r.Bool()
+	wantIndex = r.Bool()
+	if r.Err() != nil {
+		return nil, false, false, false
+	}
+	if !found {
+		return nil, false, wantIndex, true
+	}
+	list, err = postings.Decode(r)
+	if err != nil {
+		return nil, false, false, false
+	}
+	return list, true, wantIndex, true
+}
+
+// onRingChange is the anti-entropy/handoff pass, invoked synchronously on
+// every change to the node's ring pointers:
+//
+//   - any change invalidates the replica-target cache (where a primary's
+//     replicas live may have moved);
+//   - a new (non-zero) predecessor redefines this node's responsibility
+//     range (pred, self]: a joining node pulls the keys it now owns from
+//     its successor (which held them as primary until now), and a node
+//     that absorbed a failed predecessor's range — its replica copies
+//     promote to primary in place — re-replicates the range onward so the
+//     replication factor is restored at the new depth;
+//   - a changed successor list re-replicates the owned range to the
+//     current successors (replicas must live on today's successor set,
+//     not yesterday's).
+//
+// A zero new predecessor (PredecessorFailed's transient state) is skipped:
+// the responsibility range is unknown until the repairing notify arrives,
+// and acting on "I own everything" would flood the ring.
+func (ix *Index) onRingChange(ch dht.RingChange) {
+	ix.repl.mu.Lock()
+	ix.repl.succsOf = make(map[transport.Addr][]dht.Remote)
+	ix.repl.mu.Unlock()
+	if ch.PredChanged && !ch.NewPred.IsZero() {
+		ix.pullOwnedRange()
+		ix.pushOwnedRange()
+		return
+	}
+	if ch.SuccsChanged {
+		ix.pushOwnedRange()
+	}
+}
+
+// pullOwnedRange fetches the entries of this node's responsibility range
+// (pred, self] from its immediate successor and merges them in. The
+// successor was the range's primary before this node joined (or holds its
+// replicas), so the pull is exactly the key migration a join requires.
+// Responses arrive in ring order capped at the batch bound; a full page
+// resumes from the last received key's position, so ranges of any size
+// migrate completely.
+func (ix *Index) pullOwnedRange() {
+	self := ix.node.Self()
+	pred := ix.node.Predecessor()
+	succ := ix.node.Successor()
+	if pred.IsZero() || succ.IsZero() || succ.Addr == self.Addr {
+		return
+	}
+	from := pred.ID
+	for page := 0; page < 1024; page++ { // hard stop against protocol bugs
+		w := wire.NewWriter(16)
+		w.Uint64(uint64(from))
+		w.Uint64(uint64(self.ID))
+		_, resp, err := ix.node.Endpoint().Call(succ.Addr, MsgPullRange, w.Bytes())
+		if err != nil {
+			return // best effort; the next ring change retries
+		}
+		r := wire.NewReader(resp)
+		keys, dfs, lists, err := decodeSyncItems(r)
+		if err != nil {
+			return
+		}
+		more := r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		for i, key := range keys {
+			ix.store.AdoptReplica(key, lists[i], dfs[i])
+		}
+		if !more || len(keys) == 0 {
+			return
+		}
+		next := ids.HashString(keys[len(keys)-1])
+		if next == self.ID || next == from {
+			return // boundary reached, or no forward progress possible
+		}
+		from = next
+	}
+}
+
+// pushOwnedRange re-replicates the entries of this node's responsibility
+// range (pred, self] to its current first R−1 successors, chunked at the
+// batch bound. Merging on the receiver makes repeated pushes idempotent.
+func (ix *Index) pushOwnedRange() {
+	self := ix.node.Self()
+	pred := ix.node.Predecessor()
+	if pred.IsZero() {
+		return
+	}
+	keys := ix.store.KeysInRange(pred.ID, self.ID)
+	if len(keys) == 0 {
+		return
+	}
+	targets := selectReplicas(self.Addr, ix.node.Successors(), ix.repl.factor-1)
+	if len(targets) == 0 {
+		return
+	}
+	for start := 0; start < len(keys); start += MaxBatchItems {
+		end := start + MaxBatchItems
+		if end > len(keys) {
+			end = len(keys)
+		}
+		type export struct {
+			key  string
+			df   int64
+			list *postings.List
+		}
+		var items []export
+		for _, key := range keys[start:end] {
+			if list, df, ok := ix.store.Export(key); ok {
+				items = append(items, export{key, df, list})
+			}
+			// A key removed since the range listing is simply skipped.
+		}
+		if len(items) == 0 {
+			continue
+		}
+		w := wire.NewWriter(64 * len(items))
+		w.Uvarint(uint64(len(items)))
+		for _, it := range items {
+			writeSyncItem(w, it.key, it.df, it.list)
+		}
+		for _, t := range targets {
+			_, _, _ = ix.node.Endpoint().Call(t.Addr, MsgReplSync, w.Bytes())
+		}
+	}
+}

@@ -29,11 +29,14 @@ type Index struct {
 	node     *dht.Node
 	store    *Store
 	resolver *dht.Resolver
+	repl     replicator
 }
 
 // New creates the component for node, registering its handlers on d.
+// Replication is off by default (factor 1); see EnableReplication.
 func New(node *dht.Node, d *transport.Dispatcher) *Index {
 	ix := &Index{node: node, store: NewStore(0), resolver: node.NewResolver()}
+	ix.repl.factor = 1
 	d.Handle(MsgPut, ix.handlePut)
 	d.Handle(MsgAppend, ix.handleAppend)
 	d.Handle(MsgGet, ix.handleGet)
@@ -44,6 +47,7 @@ func New(node *dht.Node, d *transport.Dispatcher) *Index {
 	d.Handle(MsgMultiAppend, ix.handleMultiAppend)
 	d.Handle(MsgMultiGet, ix.handleMultiGet)
 	d.Handle(MsgMultiKeyInfo, ix.handleMultiKeyInfo)
+	ix.registerReplicationHandlers(d)
 	return ix
 }
 
@@ -186,7 +190,18 @@ func (ix *Index) putOrAppend(msg uint8, terms []string, list *postings.List, bou
 	}
 	r := wire.NewReader(resp)
 	n := int(r.Uvarint())
-	return n, r.Err()
+	if err := r.Err(); err != nil {
+		return n, err
+	}
+	if replMsg := replicaWriteMsg(msg); replMsg != 0 && ix.repl.factor > 1 {
+		// Write-through: replay the applied write on the primary's
+		// replicas as a one-item batch frame.
+		w := wire.NewWriter(64 + 12*list.Len())
+		w.Uvarint(1)
+		writeKeyBoundList(w, key, bound, announcedDF, list, msg == MsgAppend)
+		ix.replicate(peer.Addr, replMsg, w.Bytes())
+	}
+	return n, nil
 }
 
 // Get fetches the posting list for the given term combination from the
@@ -205,6 +220,11 @@ func (ix *Index) Get(terms []string, maxResults int) (list *postings.List, found
 	w.Uvarint(uint64(maxResults))
 	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgGet, w.Bytes())
 	if err != nil {
+		// The primary is unreachable: with replication on, fall over to
+		// its successor replicas before failing the read.
+		if l, f, wi, ok := ix.getFromReplicas(key, maxResults, peer, err); ok {
+			return l, f, wi, nil
+		}
 		return nil, false, false, fmt.Errorf("globalindex: get %q at %s: %w", key, peer.Addr, err)
 	}
 	r := wire.NewReader(resp)
@@ -232,6 +252,12 @@ func (ix *Index) Remove(terms []string) (bool, error) {
 	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgRemove, w.Bytes())
 	if err != nil {
 		return false, fmt.Errorf("globalindex: remove %q: %w", key, err)
+	}
+	if ix.repl.factor > 1 {
+		rw := wire.NewWriter(len(key) + 8)
+		rw.Uvarint(1)
+		rw.String(key)
+		ix.replicate(peer.Addr, MsgReplRemove, rw.Bytes())
 	}
 	r := wire.NewReader(resp)
 	return r.Bool(), r.Err()

@@ -1,0 +1,147 @@
+package globalindex
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+// fixedRing builds peers at the given ring IDs with oracle tables.
+func fixedRing(t *testing.T, net *transport.Mem, ringIDs []ids.ID, opts dht.Options) ([]*dht.Node, []*Index) {
+	t.Helper()
+	nodes := make([]*dht.Node, len(ringIDs))
+	idxs := make([]*Index, len(ringIDs))
+	for i, id := range ringIDs {
+		d := transport.NewDispatcher()
+		ep := net.Endpoint(fmt.Sprintf("f%d", i), d.Serve)
+		nodes[i] = dht.NewNode(id, ep, d, opts)
+		idxs[i] = New(nodes[i], d)
+	}
+	dht.BuildOracleTables(nodes)
+	return nodes, idxs
+}
+
+// keysHashingInto finds count distinct keys whose canonical hash lies in
+// (from, to].
+func keysHashingInto(from, to ids.ID, count int) []string {
+	var out []string
+	for i := 0; len(out) < count && i < 1_000_000; i++ {
+		k := fmt.Sprintf("stale%06d", i)
+		if ids.Between(ids.HashString(k), from, to) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestBatchRejectionInvalidatesStaleRoute is the regression test for the
+// stale-route loop: after a remote join moves responsibility, the cached
+// interval still routes a batch to the old owner, which rejects it. The
+// rejection must (a) fall back to the per-key path so the operation
+// succeeds against the new owner, and (b) drop the rejecting peer's
+// cached intervals, so the NEXT batch resolves the moved keys afresh
+// instead of re-rejecting and re-driving forever.
+//
+// The join happens more than SuccListLen positions away from the writer,
+// so the writer's own ring pointers — and hence its RingEpoch, the only
+// other cache-reset trigger — stay put; the guard assertions below pin
+// that, keeping the test honest about which path it covers.
+func TestBatchRejectionInvalidatesStaleRoute(t *testing.T) {
+	net := transport.NewMem()
+	// Twelve nodes evenly spread over the full 64-bit ring (clustering
+	// them in a corner would leave hashed keys nowhere near them).
+	const slot = ids.ID(1) << 60
+	var ringIDs []ids.ID
+	for i := 1; i <= 12; i++ {
+		ringIDs = append(ringIDs, ids.ID(i)*slot)
+	}
+	nodes, idxs := fixedRing(t, net, ringIDs, dht.Options{SuccListLen: 4})
+	writer := idxs[0] // node 1<<60
+	epoch := nodes[0].RingEpoch()
+
+	// Keys owned by the node at 10<<60; the ones hashing below the join
+	// point (9.5<<60) will move to the joiner.
+	joinID := 9*slot + slot/2
+	moved := keysHashingInto(9*slot, joinID, 8)
+	staying := keysHashingInto(joinID, 10*slot, 8)
+	if len(moved) < 8 || len(staying) < 8 {
+		t.Fatalf("key search exhausted: %d moved, %d staying", len(moved), len(staying))
+	}
+	items := func(score float64) []PutItem {
+		var out []PutItem
+		for _, k := range append(append([]string(nil), moved...), staying...) {
+			out = append(out, PutItem{
+				Terms: []string{k},
+				List:  &postings.List{Entries: []postings.Posting{post("h", 1, score)}},
+				Bound: 10,
+			})
+		}
+		return out
+	}
+	if _, err := writer.MultiPut(items(1.0), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// A node joins midway through the old owner's range and takes over
+	// its lower half.
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("joiner", d.Serve)
+	joiner := dht.NewNode(joinID, ep, d, dht.Options{SuccListLen: 4})
+	jix := New(joiner, d)
+	if err := joiner.Join(nodes[0].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]*dht.Node(nil), nodes...), joiner)
+	for r := 0; r < 6; r++ {
+		for _, n := range all {
+			_ = n.Stabilize()
+		}
+	}
+	if got := nodes[0].RingEpoch(); got != epoch {
+		t.Fatalf("writer's own epoch moved (%d -> %d); the join must stay outside its successor list for this test to cover the remote-reject path", epoch, got)
+	}
+
+	// Second batch: the stale cached route sends the moved keys to
+	// the old owner, which rejects; the fallback must land them on the joiner.
+	if _, err := writer.MultiPut(items(2.0), 4); err != nil {
+		t.Fatalf("rejected batch must self-heal: %v", err)
+	}
+	if got := nodes[0].RingEpoch(); got != epoch {
+		t.Fatalf("writer's epoch moved during the batch (%d -> %d)", epoch, got)
+	}
+	for _, k := range moved {
+		l, ok := jix.Store().Peek(k)
+		if !ok {
+			t.Fatalf("moved key %q not re-driven to the joiner", k)
+		}
+		if l.Entries[0].Score != 2.0 {
+			t.Fatalf("moved key %q holds stale payload %v", k, l.Entries[0])
+		}
+	}
+
+	// Third batch: the rejecting peer's intervals were dropped, so the
+	// moved keys re-resolve to the joiner and coalesce into a clean batch
+	// — zero single-key fallback Puts.
+	before := net.Meter().Snapshot()
+	if _, err := writer.MultiPut(items(3.0), 4); err != nil {
+		t.Fatal(err)
+	}
+	delta := net.Meter().Snapshot().Sub(before)
+	if n := delta.PerType[MsgPut].Messages; n != 0 {
+		t.Errorf("third batch fell back to %d single Puts: stale route not invalidated", n)
+	}
+	for _, k := range moved {
+		if l, _ := jix.Store().Peek(k); l == nil || l.Entries[0].Score != 3.0 {
+			t.Errorf("moved key %q not updated through the clean batch", k)
+		}
+	}
+	for _, k := range staying {
+		if l, _ := idxs[9].Store().Peek(k); l == nil || l.Entries[0].Score != 3.0 {
+			t.Errorf("staying key %q not updated at its owner", k)
+		}
+	}
+}

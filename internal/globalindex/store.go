@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/ids"
 	"repro/internal/postings"
 )
 
@@ -187,6 +188,78 @@ func (s *Store) ApproxDF(key string) (int64, bool) {
 	defer s.mu.RUnlock()
 	_, present := s.entries[key]
 	return s.approxDF[key], present
+}
+
+// KeysInRange returns the stored keys whose canonical hash lies in the
+// half-open ring interval (from, to], ordered by clockwise ring position
+// starting at from (ties broken by key string). The replication layer
+// uses it to select the entries a responsibility range owns: a joining
+// node pulls this range from its successor, a promoted node re-replicates
+// it onward. Ring order is what makes the pull protocol resumable — a
+// response capped at the batch bound continues from the last returned
+// key's position.
+func (s *Store) KeysInRange(from, to ids.ID) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type keyPos struct {
+		key  string
+		dist uint64
+	}
+	var hits []keyPos
+	for k := range s.entries {
+		if h := ids.HashString(k); ids.Between(h, from, to) {
+			hits = append(hits, keyPos{k, ids.Distance(from, h)})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].dist != hits[j].dist {
+			return hits[i].dist < hits[j].dist
+		}
+		return hits[i].key < hits[j].key
+	})
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.key
+	}
+	return out
+}
+
+// Export atomically snapshots one entry for replication transfer: the
+// stored list (with its truncation mark) and the accumulated approximate
+// document frequency.
+func (s *Store) Export(key string) (list *postings.List, approxDF int64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cur, ok := s.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return cur.Clone(), s.approxDF[key], true
+}
+
+// AdoptReplica merges a replicated entry into the store during
+// anti-entropy: the stored list becomes the union of the current and the
+// incoming copy (keeping truncation marks), and the approximate DF
+// becomes the larger of the two accumulations — both idempotent, so
+// repeated synchronization passes converge instead of double-counting.
+// It returns the resulting stored length.
+func (s *Store) AdoptReplica(key string, list *postings.List, approxDF int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.entries[key]
+	if !ok {
+		cur = &postings.List{}
+	}
+	merged := postings.Union(cur, list)
+	merged.Truncate(HardCap)
+	if approxDF > s.approxDF[key] {
+		s.approxDF[key] = approxDF
+	}
+	if s.approxDF[key] > int64(merged.Len()) {
+		merged.Truncated = true
+	}
+	s.entries[key] = merged
+	return merged.Len()
 }
 
 // Keys returns all stored keys, sorted.

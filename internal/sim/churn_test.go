@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// TestRunE9SmallShape pins the churn experiment's claims: with
+// ReplicationFactor 3 the workload keeps succeeding (>= 99%) and the
+// settled recall stays within 1% of the no-churn run, while the
+// single-copy index measurably loses keys and recall.
+func TestRunE9SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE9(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 2 {
+		t.Fatalf("E9 rows = %d, want 2\n%s", len(rows), tbl)
+	}
+	var r1, r3 []string
+	for _, r := range rows {
+		switch r[0] {
+		case "1":
+			r1 = r
+		case "3":
+			r3 = r
+		}
+	}
+	if r1 == nil || r3 == nil {
+		t.Fatalf("missing factor rows\n%s", tbl)
+	}
+
+	// R=3: the churn window and the settled phase both keep the workload
+	// alive, and recall is within 1% of the no-churn reference.
+	if s := atof(t, r3[1]); s < 0.99 {
+		t.Errorf("R=3 churn-window success = %.3f, want >= 0.99\n%s", s, tbl)
+	}
+	if s := atof(t, r3[2]); s < 0.99 {
+		t.Errorf("R=3 settled success = %.3f, want >= 0.99\n%s", s, tbl)
+	}
+	if rec := atof(t, r3[3]); rec < 0.99 {
+		t.Errorf("R=3 settled recall = %.3f, want >= 0.99\n%s", rec, tbl)
+	}
+	// R=3 keeps every key live (replicas survive the kills).
+	if kb, ka := atoi(t, r3[4]), atoi(t, r3[5]); ka < kb {
+		t.Errorf("R=3 live keys dropped %d -> %d\n%s", kb, ka, tbl)
+	}
+
+	// R=1 measurably loses keys and recall compared to R=3.
+	if kb, ka := atoi(t, r1[4]), atoi(t, r1[5]); ka >= kb {
+		t.Errorf("R=1 live keys did not drop (%d -> %d)\n%s", kb, ka, tbl)
+	}
+	if rec1, rec3 := atof(t, r1[3]), atof(t, r3[3]); rec1 >= rec3 {
+		t.Errorf("R=1 recall %.3f should trail R=3 recall %.3f\n%s", rec1, rec3, tbl)
+	}
+}

@@ -692,6 +692,182 @@ func RunE8(scale Scale) (*metrics.Table, error) {
 	return t, nil
 }
 
+// RunE9 measures availability under churn: a query workload keeps
+// running while 10% of the peers are killed and fresh peers join, with
+// ReplicationFactor 1 (the single-copy index) vs 3. Reported per factor:
+// the query success rate during the churn window (ring not yet repaired;
+// reads must fall over to replicas) and after the ring settles, and the
+// settled result recall against the pre-churn run. Documents hosted on
+// killed peers are excluded from the recall reference — their loss is
+// content going offline, not index damage, and no replication factor can
+// recover them. The live-key columns count distinct index keys held by
+// live peers: with R=1 a killed peer's slice vanishes and a joiner's
+// range goes dark, with R=3 replicas keep every key reachable.
+func RunE9(scale Scale) (*metrics.Table, error) {
+	numDocs := pick(scale, 4000, 600)
+	peers := pick(scale, 30, 10)
+	numQueries := pick(scale, 150, 40)
+	joins := pick(scale, 3, 1)
+
+	hdkCfg := hdkConfigFor(numDocs)
+	coll := corpusFor(numDocs, 121)
+	w := corpus.GenerateWorkload(coll, corpus.WorkloadParams{NumQueries: numQueries, MaxTerms: 3, Seed: 123})
+
+	kill := (peers + 9) / 10
+	t := metrics.NewTable(
+		fmt.Sprintf("E9: availability under churn (%d peers, kill %d, join %d, %d queries)",
+			peers, kill, joins, len(w.Queries)),
+		"factor", "success churn", "success settled", "recall settled", "live keys before", "live keys after",
+	)
+	for _, factor := range []int{1, 3} {
+		sc, ss, rec, kb, ka, err := churnTrial(coll, w.Queries, peers, kill, joins, factor, hdkCfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(factor, sc, ss, rec, kb, ka)
+	}
+	return t, nil
+}
+
+// churnTrial runs one E9 configuration and returns the churn-window and
+// settled success rates, the settled recall, and the distinct live-key
+// counts before and after the churn.
+func churnTrial(coll *corpus.Collection, queries []corpus.Query, peers, kill, joins, factor int, hdkCfg hdk.Config) (succChurn, succSettled, recall float64, keysBefore, keysAfter int, err error) {
+	n := NewNetwork(Options{NumPeers: peers, Core: core.Config{
+		HDK: hdkCfg, ReplicationFactor: factor,
+	}, Seed: 124})
+	if err := n.Distribute(coll); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	if err := n.PublishStats(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+	if _, _, err := n.PublishHDK(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
+
+	rng := rand.New(rand.NewSource(125))
+	live := append([]*core.Peer(nil), n.Peers...)
+	pickPeer := func() *core.Peer { return live[rng.Intn(len(live))] }
+
+	// Pre-churn reference pass.
+	expected := make([][]int, len(queries))
+	for qi, q := range queries {
+		got, _, err := n.SearchCorpusDocs(pickPeer(), q.Text())
+		if err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("pre-churn query %d: %w", qi, err)
+		}
+		expected[qi] = got
+	}
+	keysBefore = distinctKeys(live)
+
+	// Kill 10% of the peers mid-workload.
+	killedIdx := map[int]bool{}
+	for len(killedIdx) < kill {
+		killedIdx[rng.Intn(len(n.Peers))] = true
+	}
+	killedAddr := map[transport.Addr]bool{}
+	for i := range killedIdx {
+		killedAddr[n.Peers[i].Addr()] = true
+		n.Net.SetDown(n.Peers[i].Addr(), true)
+	}
+	live = live[:0]
+	for i, p := range n.Peers {
+		if !killedIdx[i] {
+			live = append(live, p)
+		}
+	}
+	deadDoc := make([]bool, len(n.RefOf))
+	for i, ref := range n.RefOf {
+		deadDoc[i] = killedAddr[ref.Peer]
+	}
+
+	// Churn window: the workload keeps running while periodic maintenance
+	// repairs the ring in the background (one sweep every few queries).
+	okChurn := 0
+	for qi, q := range queries {
+		if qi%4 == 0 {
+			for _, p := range live {
+				p.Maintain()
+			}
+		}
+		if _, _, err := n.SearchCorpusDocs(pickPeer(), q.Text()); err == nil {
+			okChurn++
+		}
+	}
+	succChurn = float64(okChurn) / float64(len(queries))
+
+	// Fresh peers join mid-workload and take over key ranges.
+	for j := 0; j < joins; j++ {
+		p, err := n.AddPeer(fmt.Sprintf("late%d", j), ids.ID(rng.Uint64()), live[0].Addr())
+		if err != nil {
+			return 0, 0, 0, 0, 0, fmt.Errorf("join %d: %w", j, err)
+		}
+		live = append(live, p)
+		for r := 0; r < 4; r++ {
+			for _, q := range live {
+				q.Maintain()
+			}
+		}
+	}
+	for r := 0; r < 6; r++ {
+		for _, p := range live {
+			p.Maintain()
+		}
+	}
+
+	// Settled pass: success and recall against the pre-churn reference
+	// minus the offline documents.
+	okSettled, recSum, recN := 0, 0.0, 0
+	for qi, q := range queries {
+		got, _, err := n.SearchCorpusDocs(pickPeer(), q.Text())
+		if err == nil {
+			okSettled++
+		}
+		var exp []int
+		for _, d := range expected[qi] {
+			if !deadDoc[d] {
+				exp = append(exp, d)
+			}
+		}
+		if len(exp) == 0 {
+			continue
+		}
+		recN++
+		if err != nil {
+			continue // a failed query recalls nothing
+		}
+		gotSet := make(map[int]bool, len(got))
+		for _, d := range got {
+			gotSet[d] = true
+		}
+		hit := 0
+		for _, d := range exp {
+			if gotSet[d] {
+				hit++
+			}
+		}
+		recSum += float64(hit) / float64(len(exp))
+	}
+	succSettled = float64(okSettled) / float64(len(queries))
+	if recN > 0 {
+		recall = recSum / float64(recN)
+	}
+	keysAfter = distinctKeys(live)
+	return succChurn, succSettled, recall, keysBefore, keysAfter, nil
+}
+
+// distinctKeys counts the distinct global-index keys held across peers.
+func distinctKeys(peers []*core.Peer) int {
+	seen := map[string]bool{}
+	for _, p := range peers {
+		for _, k := range p.GlobalIndex().Store().Keys() {
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}
+
 // RunF1 reproduces Figure 1's worked example as a table: the probe/skip
 // sequence for query {a,b,c} with bc indexed (truncated) and ab, ac
 // absent.

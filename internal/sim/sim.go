@@ -93,6 +93,22 @@ func NewNetwork(opts Options) *Network {
 	return n
 }
 
+// AddPeer attaches one more peer to the network (same core
+// configuration) and joins it through bootstrap — the churn experiment's
+// mid-workload join. The caller drives subsequent maintenance rounds.
+func (n *Network) AddPeer(name string, id ids.ID, bootstrap transport.Addr) (*core.Peer, error) {
+	d := transport.NewDispatcher()
+	ep := n.Net.Endpoint(name, d.Serve)
+	p := core.NewPeer(id, ep, d, n.Opts.Core)
+	base := baseline.NewService(p.GlobalIndex(), d)
+	if err := p.Join(bootstrap); err != nil {
+		return nil, err // a failed join leaves the network untouched
+	}
+	n.Peers = append(n.Peers, p)
+	n.Base = append(n.Base, base)
+	return p, nil
+}
+
 // Distribute spreads a collection round-robin over the peers (documents
 // stay wholly at one peer, like the paper's shared directories) and
 // builds the centralized reference engine over the same documents.

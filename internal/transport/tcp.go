@@ -27,9 +27,12 @@ const (
 )
 
 // TCP is a Transport endpoint backed by a real TCP listener. Outbound
-// calls reuse one persistent connection per destination; requests on a
-// connection are serialized (no pipelining), which is the behaviour the
-// congestion-control layer assumes.
+// calls reuse one persistent connection per destination and pipeline:
+// any number of requests may be in flight on one connection, each frame
+// carrying a request ID that a per-connection reader goroutine matches
+// to its waiting caller. The server side likewise dispatches each
+// request to its own goroutine (responses share a write lock), so
+// responses may legally return out of order.
 type TCP struct {
 	ln      net.Listener
 	handler Handler
@@ -42,10 +45,25 @@ type TCP struct {
 	wg       sync.WaitGroup
 }
 
+// tcpConn is one pooled outbound connection. wmu serializes frame
+// writes; mu guards the request-ID counter and the pending-call table
+// the reader goroutine dispatches into.
 type tcpConn struct {
-	mu     sync.Mutex
-	c      net.Conn
-	nextID uint64
+	c   net.Conn
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan tcpReply
+	dead    error // set once the reader exits; registrations fail fast
+}
+
+// tcpReply is what the reader goroutine hands back to a waiting caller.
+type tcpReply struct {
+	kind    uint8
+	msgType uint8
+	body    []byte
+	err     error // read-side failure: the call was interrupted mid-flight
 }
 
 // ListenTCP starts a TCP endpoint on addr (e.g. "127.0.0.1:0") and begins
@@ -96,12 +114,15 @@ func (t *TCP) acceptLoop() {
 
 func (t *TCP) serveConn(c net.Conn) {
 	defer t.wg.Done()
+	var handlers sync.WaitGroup
 	defer func() {
+		handlers.Wait()
 		c.Close()
 		t.mu.Lock()
 		delete(t.accepted, c)
 		t.mu.Unlock()
 	}()
+	var wmu sync.Mutex // serializes response frames from concurrent handlers
 	for {
 		id, kind, msgType, body, err := readFrame(c)
 		if err != nil {
@@ -111,22 +132,30 @@ func (t *TCP) serveConn(c net.Conn) {
 			return // protocol violation: drop the connection
 		}
 		t.meter.Record(msgType, FrameOverhead+len(body))
-		respType, resp, herr := t.handler(Addr(c.RemoteAddr().String()), msgType, body)
-		if herr != nil {
-			if err := writeFrame(c, id, kindError, msgType, []byte(herr.Error())); err != nil {
+		handlers.Add(1)
+		go func(id uint64, msgType uint8, body []byte) {
+			defer handlers.Done()
+			respType, resp, herr := t.handler(Addr(c.RemoteAddr().String()), msgType, body)
+			wmu.Lock()
+			defer wmu.Unlock()
+			if herr != nil {
+				if writeFrame(c, id, kindError, msgType, []byte(herr.Error())) == nil {
+					t.meter.Record(msgType, FrameOverhead+len(herr.Error()))
+				}
 				return
 			}
-			t.meter.Record(msgType, FrameOverhead+len(herr.Error()))
-			continue
-		}
-		if err := writeFrame(c, id, kindResponse, respType, resp); err != nil {
-			return
-		}
-		t.meter.Record(respType, FrameOverhead+len(resp))
+			if writeFrame(c, id, kindResponse, respType, resp) == nil {
+				t.meter.Record(respType, FrameOverhead+len(resp))
+			}
+		}(id, msgType, body)
 	}
 }
 
-// Call implements Endpoint.
+// Call implements Endpoint. Concurrent calls to the same destination
+// pipeline on one pooled connection: the request is registered in the
+// connection's pending table, written under the write lock, and the
+// per-connection reader delivers whichever response frame carries its ID
+// — responses are free to return out of order.
 func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	if to == t.Addr() {
 		// Local fast path: no network round-trip, no metering.
@@ -136,37 +165,106 @@ func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 		}
 		return respType, resp, nil
 	}
-	conn, err := t.getConn(to)
-	if err != nil {
-		return 0, nil, err
+	// A pooled connection can die between pool lookup and registration;
+	// the registration then fails fast and one retry dials afresh.
+	for attempt := 0; ; attempt++ {
+		conn, err := t.getConn(to)
+		if err != nil {
+			return 0, nil, err
+		}
+		id, ch, ok := conn.register()
+		if !ok {
+			t.dropConn(to, conn)
+			if attempt == 0 {
+				continue
+			}
+			return 0, nil, fmt.Errorf("%w: connection closed", ErrUnreachable)
+		}
+		conn.wmu.Lock()
+		err = writeFrame(conn.c, id, kindRequest, msgType, body)
+		conn.wmu.Unlock()
+		if err != nil {
+			// The request never left intact: unreachable, not interrupted.
+			conn.unregister(id)
+			t.dropConn(to, conn)
+			return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		t.meter.Record(msgType, FrameOverhead+len(body))
+		// From here on the request is on the wire: a failure to read the
+		// response leaves it unknown whether the remote processed the
+		// call, which is a different contract (ErrCallInterrupted) than a
+		// request that never left (ErrUnreachable).
+		reply := <-ch
+		if reply.err != nil {
+			return 0, nil, reply.err
+		}
+		t.meter.Record(reply.msgType, FrameOverhead+len(reply.body))
+		if reply.kind == kindError {
+			return 0, nil, &RemoteError{Msg: string(reply.body)}
+		}
+		return reply.msgType, reply.body, nil
 	}
+}
+
+// register allocates a request ID and its reply channel. ok is false
+// when the connection's reader has already exited.
+func (c *tcpConn) register() (uint64, chan tcpReply, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return 0, nil, false
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan tcpReply, 1)
+	c.pending[id] = ch
+	return id, ch, true
+}
+
+// unregister abandons a request that was never written.
+func (c *tcpConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// readLoop is the per-connection response dispatcher: it matches every
+// inbound frame to its pending call by request ID and, when the
+// connection dies, fails every in-flight call with ErrCallInterrupted
+// (the remote may or may not have processed them).
+func (t *TCP) readLoop(to Addr, conn *tcpConn) {
+	defer t.wg.Done()
+	for {
+		id, kind, msgType, body, err := readFrame(conn.c)
+		if err != nil {
+			t.failConn(to, conn, err)
+			return
+		}
+		conn.mu.Lock()
+		ch, ok := conn.pending[id]
+		delete(conn.pending, id)
+		conn.mu.Unlock()
+		if !ok {
+			// A response nobody asked for: protocol violation, drop the
+			// connection (in-flight calls are interrupted).
+			t.failConn(to, conn, fmt.Errorf("transport: unmatched response id %d", id))
+			return
+		}
+		ch <- tcpReply{kind: kind, msgType: msgType, body: body}
+	}
+}
+
+// failConn tears a connection down and interrupts every pending call.
+func (t *TCP) failConn(to Addr, conn *tcpConn, cause error) {
+	t.dropConn(to, conn)
 	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	conn.nextID++
-	id := conn.nextID
-	if err := writeFrame(conn.c, id, kindRequest, msgType, body); err != nil {
-		t.dropConn(to, conn)
-		return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	conn.dead = cause
+	pending := conn.pending
+	conn.pending = nil
+	conn.mu.Unlock()
+	for _, ch := range pending {
+		ch <- tcpReply{err: fmt.Errorf("%w: %v", ErrCallInterrupted, cause)}
 	}
-	t.meter.Record(msgType, FrameOverhead+len(body))
-	// From here on the request is on the wire: a failure to read the
-	// response leaves it unknown whether the remote processed the call,
-	// which is a different contract (ErrCallInterrupted) than a request
-	// that never left (ErrUnreachable).
-	respID, kind, respType, resp, err := readFrame(conn.c)
-	if err != nil {
-		t.dropConn(to, conn)
-		return 0, nil, fmt.Errorf("%w: %v", ErrCallInterrupted, err)
-	}
-	if respID != id {
-		t.dropConn(to, conn)
-		return 0, nil, fmt.Errorf("%w: response id mismatch", ErrCallInterrupted)
-	}
-	t.meter.Record(respType, FrameOverhead+len(resp))
-	if kind == kindError {
-		return 0, nil, &RemoteError{Msg: string(resp)}
-	}
-	return respType, resp, nil
 }
 
 func (t *TCP) getConn(to Addr) (*tcpConn, error) {
@@ -196,8 +294,10 @@ func (t *TCP) getConn(to Addr) (*tcpConn, error) {
 		nc.Close()
 		return existing, nil
 	}
-	c := &tcpConn{c: nc}
+	c := &tcpConn{c: nc, pending: make(map[uint64]chan tcpReply)}
 	t.conns[to] = c
+	t.wg.Add(1)
+	go t.readLoop(to, c)
 	return c, nil
 }
 
