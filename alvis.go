@@ -11,12 +11,25 @@
 //	net := alvisp2p.NewInMemoryNetwork()          // or DialTCP for real sockets
 //	peer, _ := net.NewPeer("library", alvisp2p.Config{})
 //	peer.AddFile("intro.txt", []byte("peer to peer retrieval ..."))
-//	peer.PublishIndex()
-//	results, _, _ := peer.Search("peer retrieval")
+//	peer.PublishIndex(ctx)
+//	resp, _ := peer.Search(ctx, "peer retrieval",
+//	        alvisp2p.WithTopK(10),
+//	        alvisp2p.WithTimeout(200*time.Millisecond))
+//	for _, r := range resp.Results { ... }
+//
+// Every network-touching operation takes a context.Context: cancelling
+// it unwinds the operation mid-fan-out (no further RPCs are spawned) and
+// a deadline turns into connection/read timeouts on the TCP transport.
+// Search additionally accepts functional options — WithTopK,
+// WithTimeout, WithReadConsistency, WithStrategy, WithTrace — that tune
+// a single query without touching the peer's configuration. A cancelled
+// search returns ErrQueryCancelled, an expired one ErrPartialResults;
+// both leave the usable ranked prefix in the response (Partial is set).
 //
 // Indexing strategies: HDK (frequency-driven term combinations, the
 // default) and QDI (query-driven on-demand indexing); switchable at
-// runtime like the paper's demonstration.
+// runtime like the paper's demonstration, and per query via
+// WithStrategy.
 //
 // Publication and search fan out concurrently by default: key operations
 // are resolved in bulk and coalesced into one batched RPC per
@@ -28,14 +41,15 @@
 // Config.ReplicationFactor makes the global index churn-tolerant: every
 // entry is kept at its responsible peer plus R−1 ring successors
 // (write-through), reads fall over to replicas when the primary is
-// unreachable, and ring changes trigger key migration — a joining peer
-// pulls the range it takes over, a peer absorbing a failed neighbour's
-// range promotes its replica copies and re-replicates them onward (see
-// DESIGN.md, "The replication layer"). The default (1) keeps the
+// unreachable, and ring changes trigger key migration (see DESIGN.md,
+// "The replication layer"). With replication on,
+// WithReadConsistency(ReadAnyReplica) additionally spreads a query's
+// reads across each key's whole replica set. The default (1) keeps the
 // single-copy behaviour and its byte-identical determinism contract.
 package alvisp2p
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -59,6 +73,13 @@ type (
 	// Result is one search hit (hosting peer URL, title, snippet,
 	// relevance score — the §4 presentation).
 	Result = core.Result
+	// SearchResponse is what Search returns: ranked results, the
+	// optional trace, and whether cancellation made them partial.
+	SearchResponse = core.SearchResponse
+	// SearchOption tunes one query; see WithTopK and friends.
+	SearchOption = core.SearchOption
+	// ReadConsistency selects which index copies serve a query's reads.
+	ReadConsistency = core.ReadConsistency
 	// QueryTrace reports a search's probe/skip/activation counts.
 	QueryTrace = core.QueryTrace
 	// Document is a shared document with its access policy.
@@ -83,11 +104,47 @@ const (
 	StrategyQDI = core.StrategyQDI
 )
 
+// Read-consistency levels for WithReadConsistency.
+const (
+	// ReadPrimaryOnly reads every key from its responsible peer
+	// (replica fallover only on primary failure). The default.
+	ReadPrimaryOnly = core.ReadPrimaryOnly
+	// ReadAnyReplica spreads each key's read across the primary's
+	// replica set, trading a little freshness for hotspot relief.
+	ReadAnyReplica = core.ReadAnyReplica
+)
+
+// Per-query options (functional options for Search).
+var (
+	// WithTopK bounds the query's result count and per-probe transfer
+	// budget to n.
+	WithTopK = core.WithTopK
+	// WithTimeout gives the query its own deadline; on expiry the
+	// usable prefix is returned with ErrPartialResults.
+	WithTimeout = core.WithTimeout
+	// WithReadConsistency selects ReadPrimaryOnly or ReadAnyReplica.
+	WithReadConsistency = core.WithReadConsistency
+	// WithStrategy overrides HDK/QDI for this query only.
+	WithStrategy = core.WithStrategy
+	// WithTrace toggles the response's QueryTrace (default on).
+	WithTrace = core.WithTrace
+)
+
+// Request-level errors (match with errors.Is).
+var (
+	// ErrQueryCancelled: the caller cancelled the context mid-query.
+	ErrQueryCancelled = core.ErrQueryCancelled
+	// ErrPartialResults: the deadline expired; the response carries the
+	// ranked prefix gathered before it.
+	ErrPartialResults = core.ErrPartialResults
+	// ErrPeerClosed: the operation ran on a peer after Close.
+	ErrPeerClosed = core.ErrPeerClosed
+)
+
 // Peer is one AlvisP2P participant: it shares documents, contributes a
 // slice of the global index, and searches the whole network.
 type Peer struct {
 	inner *core.Peer
-	ep    transport.Endpoint
 }
 
 // Network abstracts how peers attach to each other: in-memory (tests,
@@ -113,7 +170,7 @@ func (n *Network) NewPeer(name string, cfg Config) (*Peer, error) {
 	d := transport.NewDispatcher()
 	ep := n.mem.Endpoint(name, d.Serve)
 	id := ids.HashString(string(ep.Addr()))
-	return &Peer{inner: core.NewPeer(id, ep, d, cfg), ep: ep}, nil
+	return &Peer{inner: core.NewPeer(id, ep, d, cfg)}, nil
 }
 
 // ListenTCP creates a standalone peer listening on addr (e.g.
@@ -125,21 +182,27 @@ func ListenTCP(addr string, cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	id := ids.HashString(string(ep.Addr()))
-	return &Peer{inner: core.NewPeer(id, ep, d, cfg), ep: ep}, nil
+	return &Peer{inner: core.NewPeer(id, ep, d, cfg)}, nil
 }
 
 // Addr returns the peer's address, which other peers use to Join.
 func (p *Peer) Addr() Addr { return p.inner.Addr() }
 
-// Join enters the network reachable at bootstrap.
-func (p *Peer) Join(bootstrap Addr) error { return p.inner.Join(bootstrap) }
+// Join enters the network reachable at bootstrap. The context bounds the
+// whole join, including the bootstrap dial on TCP (a dead bootstrap
+// address fails at the context's deadline, not the OS default timeout).
+func (p *Peer) Join(ctx context.Context, bootstrap Addr) error {
+	return p.inner.Join(ctx, bootstrap)
+}
 
 // Maintain runs one maintenance round (ring repair, finger refresh,
 // QDI aging). Long-running peers call it periodically.
-func (p *Peer) Maintain() { p.inner.Maintain() }
+func (p *Peer) Maintain(ctx context.Context) { p.inner.Maintain(ctx) }
 
-// Close detaches the peer from the network.
-func (p *Peer) Close() error { return p.ep.Close() }
+// Close shuts the peer down gracefully: in-flight operations are
+// unwound (their contexts cancel), the dispatcher refuses new work, and
+// the transport drains its server goroutines before returning.
+func (p *Peer) Close() error { return p.inner.Close() }
 
 // AddDocument shares a document (it stays local; publish to make it
 // searchable network-wide).
@@ -152,7 +215,9 @@ func (p *Peer) AddFile(name string, content []byte) (*Document, error) {
 }
 
 // RemoveDocument withdraws a shared document.
-func (p *Peer) RemoveDocument(id uint32) error { return p.inner.RemoveDocument(id) }
+func (p *Peer) RemoveDocument(ctx context.Context, id uint32) error {
+	return p.inner.RemoveDocument(ctx, id)
+}
 
 // Documents lists the peer's shared documents.
 func (p *Peer) Documents() []*Document { return p.inner.Documents().List() }
@@ -171,25 +236,71 @@ func (p *Peer) BuildDigest() *Digest {
 
 // PublishIndex pushes the not-yet-published local documents into the
 // global index (statistics, then keys per the active strategy).
-func (p *Peer) PublishIndex() error {
-	_, err := p.inner.PublishIndex()
+// Cancelling the context stops the publication between batches;
+// re-running it later converges (the index is merge-idempotent).
+func (p *Peer) PublishIndex(ctx context.Context) error {
+	_, err := p.inner.PublishIndex(ctx)
 	return err
 }
 
 // Search runs a global multi-keyword query and returns ranked results
-// with presentation data.
-func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) { return p.inner.Search(query) }
+// with presentation data. Options tune the single query; see WithTopK,
+// WithTimeout, WithReadConsistency, WithStrategy, WithTrace. On
+// cancellation or deadline expiry the response still carries the ranked
+// prefix gathered so far (Partial set) alongside ErrQueryCancelled or
+// ErrPartialResults.
+func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (*SearchResponse, error) {
+	return p.inner.Search(ctx, query, opts...)
+}
 
 // Refine runs the paper's second retrieval step: forward the query to
 // the local engines of the peers holding the first-step results.
-func (p *Peer) Refine(query string, firstStep []Result, topK int) ([]Result, error) {
-	return p.inner.Refine(query, firstStep, topK)
+func (p *Peer) Refine(ctx context.Context, query string, firstStep []Result, topK int) ([]Result, error) {
+	return p.inner.Refine(ctx, query, firstStep, topK)
 }
 
 // FetchDocument retrieves a result document's content from its hosting
 // peer, subject to its access policy.
-func (p *Peer) FetchDocument(r Result, user, password string) (title, body string, err error) {
-	return p.inner.FetchDocument(r.Ref, user, password)
+func (p *Peer) FetchDocument(ctx context.Context, r Result, user, password string) (title, body string, err error) {
+	return p.inner.FetchDocument(ctx, r.Ref, user, password)
+}
+
+// JoinLegacy is Join without a context.
+//
+// Deprecated: use Join(ctx, bootstrap). Kept so pre-context callers
+// migrate incrementally; internal code must not use it (CI enforces).
+func (p *Peer) JoinLegacy(bootstrap Addr) error { return p.Join(context.Background(), bootstrap) }
+
+// PublishIndexLegacy is PublishIndex without a context.
+//
+// Deprecated: use PublishIndex(ctx).
+func (p *Peer) PublishIndexLegacy() error { return p.PublishIndex(context.Background()) }
+
+// SearchLegacy is the pre-context Search: it runs to completion with the
+// peer-level defaults and returns the flattened (results, trace, error)
+// triple of the old signature.
+//
+// Deprecated: use Search(ctx, query, opts...).
+func (p *Peer) SearchLegacy(query string) ([]Result, *QueryTrace, error) {
+	resp, err := p.Search(context.Background(), query)
+	if resp == nil {
+		return nil, nil, err
+	}
+	return resp.Results, resp.Trace, err
+}
+
+// RefineLegacy is Refine without a context.
+//
+// Deprecated: use Refine(ctx, query, firstStep, topK).
+func (p *Peer) RefineLegacy(query string, firstStep []Result, topK int) ([]Result, error) {
+	return p.Refine(context.Background(), query, firstStep, topK)
+}
+
+// FetchDocumentLegacy is FetchDocument without a context.
+//
+// Deprecated: use FetchDocument(ctx, r, user, password).
+func (p *Peer) FetchDocumentLegacy(r Result, user, password string) (title, body string, err error) {
+	return p.FetchDocument(context.Background(), r, user, password)
 }
 
 // Strategy returns the active indexing strategy.

@@ -1,0 +1,76 @@
+package alvisp2p_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	alvisp2p "repro"
+	"repro/internal/leakcheck"
+)
+
+// TestTCPSearchCancelAndClose drives the context API end to end over
+// real sockets: a deadline-bound search returns the partial-results
+// taxonomy, Close drains the TCP server goroutines (leakcheck), and a
+// closed peer refuses further work with ErrPeerClosed.
+func TestTCPSearchCancelAndClose(t *testing.T) {
+	defer leakcheck.Check(t)()
+	cfg := alvisp2p.Config{HDK: alvisp2p.HDKConfig{DFMax: 3, SMax: 2, TruncK: 20}}
+	a, err := alvisp2p.ListenTCP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := alvisp2p.ListenTCP("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joinCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err = b.Join(joinCtx, a.Addr())
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a.Maintain(context.Background())
+		b.Maintain(context.Background())
+	}
+	if _, err := a.AddFile("doc.txt", []byte("tcp deadline cancellation exercised end to end")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PublishIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deadline that has effectively already passed: the query reports
+	// the partial taxonomy without hanging on the sockets.
+	resp, err := b.Search(context.Background(), "tcp deadline", alvisp2p.WithTimeout(time.Nanosecond))
+	if !errors.Is(err, alvisp2p.ErrPartialResults) && !errors.Is(err, alvisp2p.ErrQueryCancelled) {
+		t.Fatalf("err = %v, want partial/cancelled taxonomy", err)
+	}
+	if resp == nil || !resp.Partial {
+		t.Fatalf("resp = %+v, want Partial", resp)
+	}
+
+	// A healthy search still works.
+	full, err := b.Search(context.Background(), "tcp deadline")
+	if err != nil || len(full.Results) == 0 {
+		t.Fatalf("healthy search: %v, %d results", err, len(full.Results))
+	}
+
+	// The deprecated wrapper stays behaviourally identical.
+	legacyRes, legacyTrace, err := b.SearchLegacy("tcp deadline")
+	if err != nil || len(legacyRes) != len(full.Results) || legacyTrace == nil {
+		t.Fatalf("SearchLegacy: %v, %d results, trace=%v", err, len(legacyRes), legacyTrace)
+	}
+
+	// Close drains; afterwards the peer refuses work.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Search(context.Background(), "tcp deadline"); !errors.Is(err, alvisp2p.ErrPeerClosed) {
+		t.Fatalf("search on closed peer = %v, want ErrPeerClosed", err)
+	}
+}

@@ -7,6 +7,8 @@ package alvisp2p_test
 // (Concurrency == 1).
 
 import (
+	"context"
+
 	"fmt"
 	"reflect"
 	"testing"
@@ -28,7 +30,7 @@ func publishCorpusNetwork(t *testing.T, nPeers int, cfg alvisp2p.Config) []*alvi
 		}
 	}
 	for _, p := range peers {
-		if err := p.PublishIndex(); err != nil {
+		if err := p.PublishIndex(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -78,7 +80,7 @@ func TestRepublishAfterJoinReachesNewResponsiblePeer(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := a.PublishIndex(); err != nil {
+	if err := a.PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -86,26 +88,26 @@ func TestRepublishAfterJoinReachesNewResponsiblePeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Join(a.Addr()); err != nil {
+	if err := b.Join(context.Background(), a.Addr()); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		a.Maintain()
-		b.Maintain()
+		a.Maintain(context.Background())
+		b.Maintain(context.Background())
 	}
 	// Republish now that responsibility is split between two peers.
-	if err := a.PublishIndex(); err != nil {
+	if err := a.PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Every term must be findable from the joiner, and the joiner must
 	// actually own part of the index (the migrated keys).
 	for i := 0; i < 12; i++ {
 		q := fmt.Sprintf("uniqueterm%02d", i)
-		results, _, err := b.Search(q)
+		bresp, err := b.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(results) == 0 {
+		if len(bresp.Results) == 0 {
 			t.Fatalf("query %q found nothing after republish", q)
 		}
 	}
@@ -140,14 +142,16 @@ func TestParallelSearchMatchesSequential(t *testing.T) {
 	sawResults := false
 	for qi, q := range queries {
 		for pi := range seq {
-			seqRes, seqTrace, err := seq[pi].Search(q)
+			seqResp, err := seq[pi].Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
-			parRes, parTrace, err := par[pi].Search(q)
+			parResp, err := par[pi].Search(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
+			seqRes, seqTrace := seqResp.Results, seqResp.Trace
+			parRes, parTrace := parResp.Results, parResp.Trace
 			if !reflect.DeepEqual(seqRes, parRes) {
 				t.Fatalf("query %d from peer %d: results diverged:\nseq: %+v\npar: %+v", qi, pi, seqRes, parRes)
 			}

@@ -1,6 +1,8 @@
 package alvisp2p_test
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"testing"
@@ -32,18 +34,18 @@ func TestReplicatedSearchSurvivesPeerLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := peers[0].PublishIndex(); err != nil {
+	if err := peers[0].PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
 	queries := []string{"peer retrieval", "structured overlays", "replication indexes", "successor rings"}
 	before := make(map[string][]string)
 	for _, q := range queries {
-		results, _, err := peers[2].Search(q)
+		resp, err := peers[2].Search(context.Background(), q)
 		if err != nil {
 			t.Fatalf("pre-churn search %q: %v", q, err)
 		}
-		for _, r := range results {
+		for _, r := range resp.Results {
 			before[q] = append(before[q], r.Title)
 		}
 		if len(before[q]) == 0 {
@@ -59,17 +61,17 @@ func TestReplicatedSearchSurvivesPeerLoss(t *testing.T) {
 	survivors := append(append([]*alvisp2p.Peer(nil), peers[:5]...), peers[6:]...)
 	for round := 0; round < 10; round++ {
 		for _, p := range survivors {
-			p.Maintain()
+			p.Maintain(context.Background())
 		}
 	}
 
 	for _, q := range queries {
-		results, _, err := peers[2].Search(q)
+		resp, err := peers[2].Search(context.Background(), q)
 		if err != nil {
 			t.Fatalf("post-churn search %q: %v", q, err)
 		}
 		var got []string
-		for _, r := range results {
+		for _, r := range resp.Results {
 			got = append(got, r.Title)
 		}
 		if strings.Join(got, "|") != strings.Join(before[q], "|") {

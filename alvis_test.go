@@ -1,6 +1,8 @@
 package alvisp2p_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -20,17 +22,17 @@ func buildNetwork(t *testing.T, count int, cfg alvisp2p.Config) []*alvisp2p.Peer
 		}
 		peers[i] = p
 		if i > 0 {
-			if err := p.Join(peers[0].Addr()); err != nil {
+			if err := p.Join(context.Background(), peers[0].Addr()); err != nil {
 				t.Fatal(err)
 			}
 			for _, q := range peers[:i+1] {
-				q.Maintain()
+				q.Maintain(context.Background())
 			}
 		}
 	}
 	for round := 0; round < 8; round++ {
 		for _, p := range peers {
-			p.Maintain()
+			p.Maintain(context.Background())
 		}
 	}
 	return peers
@@ -56,18 +58,19 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if _, err := peers[1].AddFile("db.txt", []byte("relational database transactions and recovery")); err != nil {
 		t.Fatal(err)
 	}
-	if err := peers[0].PublishIndex(); err != nil {
+	if err := peers[0].PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := peers[1].PublishIndex(); err != nil {
+	if err := peers[1].PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
 	// Any peer can find peer 0's documents.
-	results, trace, err := peers[3].Search("peer retrieval")
+	resp, err := peers[3].Search(context.Background(), "peer retrieval")
 	if err != nil {
 		t.Fatal(err)
 	}
+	results, trace := resp.Results, resp.Trace
 	if len(results) == 0 {
 		t.Fatal("no results over the public API")
 	}
@@ -81,7 +84,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 
 	// Fetch the top document's content.
-	title, body, err := peers[3].FetchDocument(results[0], "", "")
+	title, body, err := peers[3].FetchDocument(context.Background(), results[0], "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestPublicAPIStatsAndStrategy(t *testing.T) {
 	if _, err := p.AddFile("a.txt", []byte("some text about things")); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.PublishIndex(); err != nil {
+	if err := p.PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Stats()
@@ -142,27 +145,28 @@ func TestPublicAPIAccessControl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := peers[0].PublishIndex(); err != nil {
+	if err := peers[0].PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := peers[2].Search("totallyuniqueterm")
-	if err != nil || len(results) == 0 {
-		t.Fatalf("protected doc must still be discoverable: %v, %d results", err, len(results))
+	resp, err := peers[2].Search(context.Background(), "totallyuniqueterm")
+	if err != nil || len(resp.Results) == 0 {
+		t.Fatalf("protected doc must still be discoverable: %v, %d results", err, len(resp.Results))
 	}
+	results := resp.Results
 	if results[0].Public {
 		t.Fatal("result must be flagged non-public")
 	}
-	if _, _, err := peers[2].FetchDocument(results[0], "", ""); err == nil {
+	if _, _, err := peers[2].FetchDocument(context.Background(), results[0], "", ""); err == nil {
 		t.Fatal("anonymous fetch must fail")
 	}
-	if _, _, err := peers[2].FetchDocument(results[0], "bob", "s3cret"); err != nil {
+	if _, _, err := peers[2].FetchDocument(context.Background(), results[0], "bob", "s3cret"); err != nil {
 		t.Fatal(err)
 	}
 	// The owner can open access later.
 	if !peers[0].SetAccess(d.ID, alvisp2p.Access{Public: true}) {
 		t.Fatal("SetAccess failed")
 	}
-	if _, _, err := peers[2].FetchDocument(results[0], "", ""); err != nil {
+	if _, _, err := peers[2].FetchDocument(context.Background(), results[0], "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -180,27 +184,28 @@ func TestPublicAPITCPPeers(t *testing.T) {
 	}
 	defer b.Close()
 
-	if err := b.Join(a.Addr()); err != nil {
+	if err := b.Join(context.Background(), a.Addr()); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		a.Maintain()
-		b.Maintain()
+		a.Maintain(context.Background())
+		b.Maintain(context.Background())
 	}
 	if _, err := a.AddFile("t.txt", []byte("tcp networking demonstration")); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.PublishIndex(); err != nil {
+	if err := a.PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := b.Search("tcp networking")
+	resp, err := b.Search(context.Background(), "tcp networking")
 	if err != nil {
 		t.Fatal(err)
 	}
+	results := resp.Results
 	if len(results) == 0 {
 		t.Fatal("no results over real TCP")
 	}
-	title, _, err := b.FetchDocument(results[0], "", "")
+	title, _, err := b.FetchDocument(context.Background(), results[0], "", "")
 	if err != nil || title == "" {
 		t.Fatalf("fetch over TCP: %q, %v", title, err)
 	}

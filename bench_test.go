@@ -8,6 +8,8 @@
 package alvisp2p_test
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -171,7 +173,7 @@ func BenchmarkDHTLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := nodes[i%len(nodes)]
-		if _, _, err := src.Lookup(ids.ID(rng.Uint64())); err != nil {
+		if _, _, err := src.Lookup(context.Background(), ids.ID(rng.Uint64())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -263,14 +265,14 @@ func BenchmarkSearchParallel(b *testing.B) {
 			peer := net.Peers[5]
 			// Warm path (and resolver cache) once.
 			for _, q := range queries {
-				if _, _, err := peer.Search(q); err != nil {
+				if _, err := peer.Search(context.Background(), q); err != nil {
 					b.Fatal(err)
 				}
 			}
 			before := net.Net.Meter().Snapshot().Messages
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := peer.Search(queries[i%len(queries)]); err != nil {
+				if _, err := peer.Search(context.Background(), queries[i%len(queries)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -294,7 +296,7 @@ func BenchmarkLatticeExplore(b *testing.B) {
 		l.Truncated = true
 		lists[t] = l
 	}
-	fetch := lattice.FetchFunc(func(terms []string, _ int) (*postings.List, bool, error) {
+	fetch := lattice.FetchFunc(func(_ context.Context, terms []string, _ int) (*postings.List, bool, error) {
 		l, ok := lists[ids.KeyString(terms)]
 		if !ok {
 			return nil, false, nil
@@ -305,7 +307,7 @@ func BenchmarkLatticeExplore(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := lattice.Explore(fetch, query, lattice.Config{PruneTruncated: true}); err != nil {
+		if _, _, err := lattice.Explore(context.Background(), fetch, query, lattice.Config{PruneTruncated: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

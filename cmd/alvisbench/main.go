@@ -27,7 +27,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E9) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E10) or 'all'")
 	small := flag.Bool("small", false, "run reduced configurations")
 	flag.Parse()
 
@@ -42,6 +42,7 @@ func main() {
 		{"E7", "lattice cost and precision by query length", sim.RunE7},
 		{"E8", "distributed indexing cost", sim.RunE8},
 		{"E9", "availability under churn: replication factor 1 vs 3", sim.RunE9},
+		{"E10", "wasted-RPC reduction from per-query cancellation", sim.RunE10},
 	}
 
 	scale := sim.ScaleFull

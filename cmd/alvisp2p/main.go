@@ -17,6 +17,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +38,9 @@ func main() {
 	strategy := flag.String("strategy", "hdk", "indexing strategy: hdk or qdi")
 	replication := flag.Int("replication", 1, "global-index replication factor (1 = single copy)")
 	maintainEvery := flag.Duration("maintain", 5*time.Second, "maintenance interval")
+	joinTimeout := flag.Duration("join-timeout", 10*time.Second, "bootstrap join deadline")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none)")
+	topK := flag.Int("topk", 0, "per-query result budget (0 = peer default)")
 	flag.Parse()
 
 	cfg := alvisp2p.Config{ReplicationFactor: *replication}
@@ -56,7 +61,12 @@ func main() {
 	log.Printf("peer listening on %s (strategy %s)", peer.Addr(), peer.Strategy())
 
 	if *bootstrap != "" {
-		if err := peer.Join(alvisp2p.Addr(*bootstrap)); err != nil {
+		// The deadline also bounds the bootstrap dial: a dead contact
+		// address fails here, not after the OS default TCP timeout.
+		ctx, cancel := context.WithTimeout(context.Background(), *joinTimeout)
+		err := peer.Join(ctx, alvisp2p.Addr(*bootstrap))
+		cancel()
+		if err != nil {
 			log.Fatalf("join %s: %v", *bootstrap, err)
 		}
 		log.Printf("joined network via %s", *bootstrap)
@@ -68,7 +78,7 @@ func main() {
 			log.Fatalf("shared dir: %v", err)
 		}
 		log.Printf("indexed %d documents from %s", n, *shared)
-		if err := peer.PublishIndex(); err != nil {
+		if err := peer.PublishIndex(context.Background()); err != nil {
 			log.Printf("publish: %v", err)
 		} else {
 			log.Printf("published local index to the network")
@@ -78,15 +88,15 @@ func main() {
 	// Background maintenance (ring repair, finger refresh, QDI aging).
 	go func() {
 		for range time.Tick(*maintainEvery) {
-			peer.Maintain()
+			peer.Maintain(context.Background())
 		}
 	}()
 
 	if *web != "" {
 		log.Printf("web interface on http://%s", *web)
-		log.Fatal(serveWeb(peer, *web))
+		log.Fatal(serveWeb(peer, *web, *queryTimeout))
 	}
-	prompt(peer)
+	prompt(peer, *queryTimeout, *topK)
 }
 
 // indexSharedDir loads every regular file of dir into the peer.
@@ -114,7 +124,7 @@ func indexSharedDir(peer *alvisp2p.Peer, dir string) (int, error) {
 }
 
 // prompt is the standalone client loop.
-func prompt(peer *alvisp2p.Peer) {
+func prompt(peer *alvisp2p.Peer, queryTimeout time.Duration, topK int) {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Println("alvisp2p> type a query, or: add <file> | publish | stats | strategy hdk|qdi | quit")
 	var lastResults []alvisp2p.Result
@@ -148,7 +158,7 @@ func prompt(peer *alvisp2p.Peer) {
 			}
 			fmt.Printf("added %q (id %d); run `publish` to make it searchable\n", d.Title, d.ID)
 		case "publish":
-			if err := peer.PublishIndex(); err != nil {
+			if err := peer.PublishIndex(context.Background()); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
@@ -175,19 +185,30 @@ func prompt(peer *alvisp2p.Peer) {
 				fmt.Println("no such result")
 				continue
 			}
-			title, body, err := peer.FetchDocument(lastResults[idx-1], "", "")
+			title, body, err := peer.FetchDocument(context.Background(), lastResults[idx-1], "", "")
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
 			fmt.Printf("--- %s ---\n%s\n", title, body)
 		default: // a query
-			results, trace, err := peer.Search(line)
-			if err != nil {
+			var opts []alvisp2p.SearchOption
+			if queryTimeout > 0 {
+				opts = append(opts, alvisp2p.WithTimeout(queryTimeout))
+			}
+			if topK > 0 {
+				opts = append(opts, alvisp2p.WithTopK(topK))
+			}
+			resp, err := peer.Search(context.Background(), line, opts...)
+			if err != nil && !errors.Is(err, alvisp2p.ErrPartialResults) {
 				fmt.Println("error:", err)
 				continue
 			}
+			results, trace := resp.Results, resp.Trace
 			lastResults = results
+			if resp.Partial {
+				fmt.Println("(deadline hit: showing partial results)")
+			}
 			fmt.Printf("%d results (%d probes, %d skipped", len(results), trace.Probes, trace.Skipped)
 			if trace.Activated > 0 {
 				fmt.Printf(", %d keys indexed on demand", trace.Activated)

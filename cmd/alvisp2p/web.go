@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	alvisp2p "repro"
 )
@@ -13,8 +16,8 @@ import (
 // serveWeb runs the paper's web interface mode (§4, Figures 4–6): a
 // search page, the shared-documents manager with access rights, a
 // statistics screen, and access-controlled document retrieval.
-func serveWeb(peer *alvisp2p.Peer, addr string) error {
-	h := &webHandler{peer: peer}
+func serveWeb(peer *alvisp2p.Peer, addr string, queryTimeout time.Duration) error {
+	h := &webHandler{peer: peer, queryTimeout: queryTimeout}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", h.search)
 	mux.HandleFunc("/shared", h.shared)
@@ -27,7 +30,8 @@ func serveWeb(peer *alvisp2p.Peer, addr string) error {
 }
 
 type webHandler struct {
-	peer *alvisp2p.Peer
+	peer         *alvisp2p.Peer
+	queryTimeout time.Duration
 }
 
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
@@ -64,10 +68,23 @@ func (h *webHandler) search(w http.ResponseWriter, r *http.Request) {
 <input name="q" size="50" value="%s"> <input type="submit" value="Search"></form>`,
 		template.HTMLEscapeString(q))
 	if q != "" {
-		results, trace, err := h.peer.Search(q)
-		if err != nil {
+		// The HTTP request's context rides along: closing the browser tab
+		// cancels the distributed query mid-fan-out.
+		var opts []alvisp2p.SearchOption
+		if h.queryTimeout > 0 {
+			opts = append(opts, alvisp2p.WithTimeout(h.queryTimeout))
+		}
+		if k, kerr := strconv.Atoi(r.URL.Query().Get("k")); kerr == nil && k > 0 {
+			opts = append(opts, alvisp2p.WithTopK(k))
+		}
+		resp, err := h.peer.Search(r.Context(), q, opts...)
+		if err != nil && !errors.Is(err, alvisp2p.ErrPartialResults) {
 			body += fmt.Sprintf("<p>error: %s</p>", template.HTMLEscapeString(err.Error()))
 		} else {
+			results, trace := resp.Results, resp.Trace
+			if resp.Partial {
+				body += "<p><em>deadline hit — partial results</em></p>"
+			}
 			body += fmt.Sprintf("<p>%d results — %d keys probed, %d skipped, %d indexed on demand</p>",
 				len(results), trace.Probes, trace.Skipped, trace.Activated)
 			for i, res := range results {
@@ -161,7 +178,7 @@ func (h *webHandler) publish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	if err := h.peer.PublishIndex(); err != nil {
+	if err := h.peer.PublishIndex(context.Background()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -197,7 +214,7 @@ func (h *webHandler) doc(w http.ResponseWriter, r *http.Request) {
 	res := alvisp2p.Result{}
 	res.Ref.Peer = alvisp2p.Addr(peerAddr)
 	res.Ref.Doc = uint32(id)
-	title, docBody, err := h.peer.FetchDocument(res, user, pass)
+	title, docBody, err := h.peer.FetchDocument(r.Context(), res, user, pass)
 	if err != nil {
 		w.Header().Set("WWW-Authenticate", `Basic realm="alvisp2p document"`)
 		http.Error(w, "access denied (provide the document's credentials)", http.StatusUnauthorized)

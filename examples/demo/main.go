@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -54,10 +55,11 @@ func main() {
 	queries := []string{"term0001 term0004", "term0002 term0008 term0016", "term0100"}
 	for _, q := range queries {
 		before := n.Net.Meter().Snapshot()
-		results, trace, err := demoPeer.Search(q)
+		resp, err := demoPeer.Search(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
+		results, trace := resp.Results, resp.Trace
 		used := n.Net.Meter().Snapshot().Sub(before)
 		fmt.Printf("query %q: %d results, %d probes (%d skipped), %s transferred\n",
 			q, len(results), trace.Probes, trace.Skipped, metrics.HumanBytes(used.Bytes))
@@ -102,10 +104,11 @@ func main() {
 	popular := "term0001 term0004"
 	var activatedAt int
 	for i := 1; i <= 4; i++ {
-		_, trace, err := q.Peers[3].Search(popular)
+		resp, err := q.Peers[3].Search(context.Background(), popular)
 		if err != nil {
 			log.Fatal(err)
 		}
+		trace := resp.Trace
 		if trace.Activated > 0 && activatedAt == 0 {
 			activatedAt = i
 		}
@@ -129,14 +132,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if _, err := host.PublishIndex(); err != nil {
+	if _, err := host.PublishIndex(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	results, _, err := n.Peers[2].Search("zebrafish")
+	zresp, err := n.Peers[2].Search(context.Background(), "zebrafish")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("new content searchable immediately: %d results for \"zebrafish\"\n", len(results))
+	fmt.Printf("new content searchable immediately: %d results for \"zebrafish\"\n", len(zresp.Results))
 
 	// "report the current state of the network, as well as some critical
 	// statistics about bandwidth consumption, storage, etc."

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -64,17 +65,17 @@ func main() {
 		}
 		peers = append(peers, p)
 		if i > 0 {
-			if err := p.Join(peers[0].Addr()); err != nil {
+			if err := p.Join(context.Background(), peers[0].Addr()); err != nil {
 				log.Fatal(err)
 			}
 			for _, q := range peers[:i+1] {
-				q.Maintain()
+				q.Maintain(context.Background())
 			}
 		}
 	}
 	for round := 0; round < 4; round++ {
 		for _, p := range peers {
-			p.Maintain()
+			p.Maintain(context.Background())
 		}
 	}
 	gateway := peers[3]
@@ -120,15 +121,16 @@ func main() {
 			gateway.SetAccess(d.ID, alvisp2p.Access{User: "reader", Password: "card-1234"})
 		}
 	}
-	if err := gateway.PublishIndex(); err != nil {
+	if err := gateway.PublishIndex(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 
 	// --- Any peer can now find the library's holdings -------------------
-	results, trace, err := peers[1].Search("retrieval term combinations")
+	resp, err := peers[1].Search(context.Background(), "retrieval term combinations")
 	if err != nil {
 		log.Fatal(err)
 	}
+	results, trace := resp.Results, resp.Trace
 	fmt.Printf("search from peer-1: %d results (%d probes)\n", len(results), trace.Probes)
 	for i, r := range results {
 		access := "public"
@@ -140,21 +142,22 @@ func main() {
 	fmt.Println()
 
 	// The restricted manuscript is discoverable but guarded.
-	restricted, _, err := peers[1].Search("manuscript overlay routing")
-	if err != nil || len(restricted) == 0 {
+	rresp, err := peers[1].Search(context.Background(), "manuscript overlay routing")
+	if err != nil || len(rresp.Results) == 0 {
 		log.Fatalf("restricted holding not found: %v", err)
 	}
-	if _, _, err := peers[1].FetchDocument(restricted[0], "", ""); err != nil {
+	restricted := rresp.Results
+	if _, _, err := peers[1].FetchDocument(context.Background(), restricted[0], "", ""); err != nil {
 		fmt.Printf("anonymous fetch of %q correctly denied: %v\n", restricted[0].Title, err)
 	}
-	title, _, err := peers[1].FetchDocument(restricted[0], "reader", "card-1234")
+	title, _, err := peers[1].FetchDocument(context.Background(), restricted[0], "reader", "card-1234")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("with library credentials the manuscript opens: %q\n\n", title)
 
 	// --- Second-step refinement via the library's local engine ----------
-	refined, err := peers[1].Refine("retrieval term combinations", results, 5)
+	refined, err := peers[1].Refine(context.Background(), "retrieval term combinations", results, 5)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -75,10 +76,11 @@ func main() {
 				continue
 			}
 			multi++
-			_, trace, err := n.RandomPeer(rng).Search(q.Text())
+			resp, err := n.RandomPeer(rng).Search(context.Background(), q.Text())
 			if err != nil {
 				log.Fatal(err)
 			}
+			trace := resp.Trace
 			if trace.FullHit {
 				hits++
 			}

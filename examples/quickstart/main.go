@@ -1,16 +1,28 @@
 // Quickstart: build a small AlvisP2P network in one process, share
 // documents from several peers, publish the distributed index, and run
 // multi-keyword searches from any peer.
+//
+// Every network operation takes a context.Context — cancel it (or give
+// it a deadline) and the distributed fan-out unwinds mid-flight. Search
+// additionally accepts per-query options: WithTopK bounds both the
+// result count and the posting-transfer budget, WithTimeout turns a slow
+// query into a fast partial answer, WithReadConsistency spreads reads
+// over replicas, WithStrategy flips HDK/QDI for one query.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	alvisp2p "repro"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A process-local network; peers exchange the real protocol messages
 	// over a metered in-memory transport.
 	net := alvisp2p.NewInMemoryNetwork()
@@ -22,6 +34,8 @@ func main() {
 	}
 
 	// Start four peers; the first bootstraps the ring, the rest join it.
+	// Joins run under a deadline: a dead bootstrap fails fast instead of
+	// hanging on the OS connect timeout.
 	peers := make([]*alvisp2p.Peer, 4)
 	for i := range peers {
 		p, err := net.NewPeer(fmt.Sprintf("peer-%d", i), cfg)
@@ -30,18 +44,21 @@ func main() {
 		}
 		peers[i] = p
 		if i > 0 {
-			if err := p.Join(peers[0].Addr()); err != nil {
+			joinCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			err := p.Join(joinCtx, peers[0].Addr())
+			cancel()
+			if err != nil {
 				log.Fatal(err)
 			}
 			// A maintenance sweep after each join keeps the ring exact.
 			for _, q := range peers[:i+1] {
-				q.Maintain()
+				q.Maintain(ctx)
 			}
 		}
 	}
 	for round := 0; round < 4; round++ {
 		for _, p := range peers {
-			p.Maintain()
+			p.Maintain(ctx)
 		}
 	}
 
@@ -75,37 +92,49 @@ func main() {
 
 	// Publishing pushes statistics and index keys into the network.
 	for i, p := range peers {
-		if err := p.PublishIndex(); err != nil {
+		if err := p.PublishIndex(ctx); err != nil {
 			log.Fatalf("peer %d publish: %v", i, err)
 		}
 	}
 
-	// Any peer can now search the global collection.
+	// Any peer can now search the global collection. Each query carries
+	// its own knobs: a result budget and a deadline.
 	for _, query := range []string{
 		"distributed indexing",
 		"posting lists truncated",
 		"retrieval ranking",
 	} {
-		results, trace, err := peers[3].Search(query)
-		if err != nil {
+		resp, err := peers[3].Search(ctx, query,
+			alvisp2p.WithTopK(5),
+			alvisp2p.WithTimeout(2*time.Second))
+		if err != nil && !errors.Is(err, alvisp2p.ErrPartialResults) {
 			log.Fatal(err)
 		}
 		fmt.Printf("query %q — %d results (%d keys probed, %d skipped)\n",
-			query, len(results), trace.Probes, trace.Skipped)
-		for i, r := range results {
+			query, len(resp.Results), resp.Trace.Probes, resp.Trace.Skipped)
+		for i, r := range resp.Results {
 			fmt.Printf("  %d. [%.3f] %s\n     %s\n", i+1, r.Score, r.Title, r.URL)
 		}
 		fmt.Println()
 	}
 
 	// Fetch a document's full content from its hosting peer.
-	results, _, err := peers[0].Search("query driven")
-	if err != nil || len(results) == 0 {
+	resp, err := peers[0].Search(ctx, "query driven")
+	if err != nil || len(resp.Results) == 0 {
 		log.Fatalf("no results to fetch: %v", err)
 	}
-	title, body, err := peers[0].FetchDocument(results[0], "", "")
+	title, body, err := peers[0].FetchDocument(ctx, resp.Results[0], "", "")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fetched %q from %s:\n  %s\n", title, results[0].Ref.Peer, body)
+	fmt.Printf("fetched %q from %s:\n  %s\n", title, resp.Results[0].Ref.Peer, body)
+
+	// A cancelled context stops a query mid-fan-out: here the context is
+	// cancelled up front, so the search returns ErrQueryCancelled
+	// without issuing a single RPC.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := peers[0].Search(cancelled, "distributed retrieval"); errors.Is(err, alvisp2p.ErrQueryCancelled) {
+		fmt.Println("cancelled query reported:", err)
+	}
 }

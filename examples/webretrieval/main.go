@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -83,7 +84,7 @@ func main() {
 		bBefore := bn.Net.Meter().Snapshot()
 		var baseCost baseline.QueryCost
 		if len(q.Terms) >= 2 {
-			if _, baseCost, err = bn.Base[rng.Intn(numPeers)].Query(q.Terms); err != nil {
+			if _, baseCost, err = bn.Base[rng.Intn(numPeers)].Query(context.Background(), q.Terms); err != nil {
 				log.Fatal(err)
 			}
 		}

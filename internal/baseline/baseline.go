@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -65,7 +66,7 @@ func (s *Service) handleIntersect(_ transport.Addr, _ uint8, body []byte) (uint8
 // PublishLocal pushes the peer's complete single-term lists (no
 // truncation bound beyond the store's hard cap), scored with the given
 // statistics so the final intersection ranks documents by summed BM25.
-func (s *Service) PublishLocal(local *localindex.Index, stats ranking.Stats, self transport.Addr) (keys, shipped int, err error) {
+func (s *Service) PublishLocal(ctx context.Context, local *localindex.Index, stats ranking.Stats, self transport.Addr) (keys, shipped int, err error) {
 	for _, term := range local.Terms() {
 		list := &postings.List{}
 		for _, dp := range local.Postings(term) {
@@ -79,7 +80,7 @@ func (s *Service) PublishLocal(local *localindex.Index, stats ranking.Stats, sel
 		if list.Len() == 0 {
 			continue
 		}
-		if _, err := s.gidx.Append([]string{term}, list, globalindex.HardCap, list.Len()); err != nil {
+		if _, err := s.gidx.Append(ctx, []string{term}, list, globalindex.HardCap, list.Len()); err != nil {
 			return keys, shipped, fmt.Errorf("baseline: publish %q: %w", term, err)
 		}
 		keys++
@@ -103,7 +104,7 @@ type QueryCost struct {
 // for the remaining terms in increasing-frequency order. It returns the
 // final intersected list (scores summed, i.e. full-query BM25 for the
 // survivors).
-func (s *Service) Query(terms []string) (*postings.List, QueryCost, error) {
+func (s *Service) Query(ctx context.Context, terms []string) (*postings.List, QueryCost, error) {
 	var cost QueryCost
 	if len(terms) == 0 {
 		return &postings.List{}, cost, nil
@@ -115,7 +116,7 @@ func (s *Service) Query(terms []string) (*postings.List, QueryCost, error) {
 	}
 	tds := make([]termDF, 0, len(terms))
 	for _, t := range terms {
-		df, present, _, err := s.gidx.KeyInfo([]string{t})
+		df, present, _, err := s.gidx.KeyInfo(ctx, []string{t})
 		if err != nil {
 			return nil, cost, err
 		}
@@ -132,7 +133,7 @@ func (s *Service) Query(terms []string) (*postings.List, QueryCost, error) {
 	})
 
 	// Fetch the complete list of the rarest term.
-	cand, found, _, err := s.gidx.Get([]string{tds[0].term}, 0)
+	cand, found, _, err := s.gidx.Get(ctx, []string{tds[0].term}, 0, globalindex.ReadPrimary)
 	if err != nil {
 		return nil, cost, err
 	}
@@ -144,14 +145,14 @@ func (s *Service) Query(terms []string) (*postings.List, QueryCost, error) {
 
 	// Ship candidates through the remaining terms' peers.
 	for _, td := range tds[1:] {
-		peer, _, err := s.gidx.Node().Lookup(ids.HashString(td.term))
+		peer, _, err := s.gidx.Node().Lookup(ctx, ids.HashString(td.term))
 		if err != nil {
 			return nil, cost, err
 		}
 		w := wire.NewWriter(64 + 12*cand.Len())
 		w.String(td.term)
 		cand.Encode(w)
-		_, resp, err := s.gidx.Node().Endpoint().Call(peer.Addr, MsgIntersect, w.Bytes())
+		_, resp, err := s.gidx.Node().Endpoint().Call(ctx, peer.Addr, MsgIntersect, w.Bytes())
 		if err != nil {
 			return nil, cost, fmt.Errorf("baseline: intersect %q at %s: %w", td.term, peer.Addr, err)
 		}

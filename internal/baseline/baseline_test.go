@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -56,7 +58,7 @@ func seed(t *testing.T, f *fleet, docs []string) {
 		f.locals[i%len(f.locals)].Add(uint32(i), text)
 	}
 	for i := range f.svcs {
-		if _, _, err := f.svcs[i].PublishLocal(f.locals[i], stats, f.nodes[i].Self().Addr); err != nil {
+		if _, _, err := f.svcs[i].PublishLocal(context.Background(), f.locals[i], stats, f.nodes[i].Self().Addr); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,7 +72,7 @@ func TestPublishLocalStoresFullLists(t *testing.T) {
 	}
 	seed(t, f, docs)
 	// "common" appears in all 40 documents and must be stored complete.
-	list, found, _, err := f.gidx[0].Get([]string{"common"}, 0)
+	list, found, _, err := f.gidx[0].Get(context.Background(), []string{"common"}, 0, globalindex.ReadPrimary)
 	if err != nil || !found {
 		t.Fatalf("get: %v %v", found, err)
 	}
@@ -87,7 +89,7 @@ func TestQueryIntersection(t *testing.T) {
 		"alpha delta",
 		"beta epsilon",
 	})
-	result, cost, err := f.svcs[1].Query([]string{"alpha", "beta"})
+	result, cost, err := f.svcs[1].Query(context.Background(), []string{"alpha", "beta"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestQueryRarestFirst(t *testing.T) {
 		docs = append(docs, "common filler"+fmt.Sprint(i))
 	}
 	seed(t, f, docs)
-	result, cost, err := f.svcs[0].Query([]string{"common", "rare"})
+	result, cost, err := f.svcs[0].Query(context.Background(), []string{"common", "rare"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestQueryRarestFirst(t *testing.T) {
 func TestQueryMissingTerm(t *testing.T) {
 	f := newFleet(t, 4)
 	seed(t, f, []string{"alpha beta"})
-	result, _, err := f.svcs[0].Query([]string{"alpha", "ghost"})
+	result, _, err := f.svcs[0].Query(context.Background(), []string{"alpha", "ghost"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +133,7 @@ func TestQueryMissingTerm(t *testing.T) {
 		t.Fatalf("AND with unindexed term must be empty: %v", result.Entries)
 	}
 	// Empty query.
-	result, _, err = f.svcs[0].Query(nil)
+	result, _, err = f.svcs[0].Query(context.Background(), nil)
 	if err != nil || result.Len() != 0 {
 		t.Fatalf("empty query: %v %v", result, err)
 	}
@@ -144,7 +146,7 @@ func TestQueryEmptyIntersectionStopsEarly(t *testing.T) {
 		"beta two",
 		"gamma three",
 	})
-	result, cost, err := f.svcs[2].Query([]string{"alpha", "beta", "gamma"})
+	result, cost, err := f.svcs[2].Query(context.Background(), []string{"alpha", "beta", "gamma"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +162,7 @@ func TestQueryEmptyIntersectionStopsEarly(t *testing.T) {
 func TestQueryScoresAreSummed(t *testing.T) {
 	f := newFleet(t, 3)
 	seed(t, f, []string{"alpha beta", "alpha other", "beta other"})
-	result, _, err := f.svcs[0].Query([]string{"alpha", "beta"})
+	result, _, err := f.svcs[0].Query(context.Background(), []string{"alpha", "beta"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +171,7 @@ func TestQueryScoresAreSummed(t *testing.T) {
 	}
 	// The survivor's score must exceed either single-term score (it is
 	// the sum of both BM25 contributions).
-	a, _, _, err := f.gidx[0].Get([]string{"alpha"}, 0)
+	a, _, _, err := f.gidx[0].Get(context.Background(), []string{"alpha"}, 0, globalindex.ReadPrimary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestBaselineCostGrowsWithCollection(t *testing.T) {
 			docs[i] = "alpha beta pad" + fmt.Sprint(i%7)
 		}
 		seed(t, f, docs)
-		_, c, err := f.svcs[0].Query([]string{"alpha", "beta"})
+		_, c, err := f.svcs[0].Query(context.Background(), []string{"alpha", "beta"})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -158,6 +160,12 @@ type Peer struct {
 	node *dht.Node
 	disp *transport.Dispatcher
 
+	// root is the peer's lifetime context: Close cancels it, which
+	// unwinds every in-flight operation that runs under a cancellable
+	// caller context (opCtx links them).
+	root     context.Context
+	shutdown context.CancelFunc
+
 	mu     sync.Mutex // guards strategy switches
 	strat  Strategy
 	docs   *docs.Store
@@ -181,10 +189,13 @@ func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Conf
 	node := dht.NewNode(id, ep, d, cfg.DHT)
 	gidx := globalindex.New(node, d)
 	gidx.EnableReplication(cfg.ReplicationFactor)
+	root, shutdown := context.WithCancel(context.Background())
 	p := &Peer{
 		cfg:       cfg,
 		node:      node,
 		disp:      d,
+		root:      root,
+		shutdown:  shutdown,
 		strat:     cfg.Strategy,
 		docs:      docs.NewStore(),
 		local:     localindex.New(cfg.Analyzer),
@@ -196,6 +207,39 @@ func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Conf
 	p.qdiMgr.SetEnabled(cfg.Strategy == StrategyQDI)
 	p.registerL5Handlers(d)
 	return p
+}
+
+// opCtx derives the context one operation runs under. A cancellable
+// caller context is additionally linked to the peer's root context, so
+// Close unwinds the operation mid-fan-out; an uncancellable one
+// (context.Background and friends) is passed through untouched, keeping
+// the transports' allocation-free synchronous delivery — those
+// operations are unwound by Close through the endpoint teardown instead.
+// The returned cancel must always be called.
+func (p *Peer) opCtx(ctx context.Context) (context.Context, context.CancelFunc, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.root.Err() != nil {
+		return ctx, func() {}, ErrPeerClosed
+	}
+	if ctx.Done() == nil {
+		return ctx, func() {}, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	unlink := context.AfterFunc(p.root, cancel)
+	return cctx, func() { unlink(); cancel() }, nil
+}
+
+// Close shuts the peer down gracefully: the root context is cancelled
+// (in-flight fan-outs unwind at their next call boundary), the
+// dispatcher refuses new work, and the transport endpoint is closed —
+// the TCP endpoint drains its per-request server goroutines before
+// returning. Close is idempotent.
+func (p *Peer) Close() error {
+	p.shutdown()
+	p.disp.Close()
+	return p.node.Endpoint().Close()
 }
 
 // Node returns the peer's DHT node.
@@ -237,22 +281,33 @@ func (p *Peer) SetStrategy(s Strategy) {
 }
 
 // Join enters the network known to bootstrap and runs initial
-// maintenance.
-func (p *Peer) Join(bootstrap transport.Addr) error {
-	if err := p.node.Join(bootstrap); err != nil {
+// maintenance. The context bounds the whole join, including the
+// bootstrap dial on TCP transports.
+func (p *Peer) Join(ctx context.Context, bootstrap transport.Addr) error {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
 		return err
 	}
-	if err := p.node.Stabilize(); err != nil {
+	if err := p.node.Join(ctx, bootstrap); err != nil {
 		return err
 	}
-	return p.node.FixFingers()
+	if err := p.node.Stabilize(ctx); err != nil {
+		return err
+	}
+	return p.node.FixFingers(ctx)
 }
 
 // Maintain runs one maintenance round (ring stabilization, finger
 // refresh, QDI aging). Long-running peers call it periodically.
-func (p *Peer) Maintain() {
-	_ = p.node.Stabilize()
-	_ = p.node.FixFingers()
+func (p *Peer) Maintain(ctx context.Context) {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
+		return
+	}
+	_ = p.node.Stabilize(ctx)
+	_ = p.node.FixFingers(ctx)
 	p.qdiMgr.MaintenanceTick()
 }
 
@@ -295,14 +350,19 @@ func (p *Peer) ImportDigest(dg *docs.Digest) (int, error) {
 // RemoveDocument withdraws a document locally and from the statistics.
 // Global index entries referring to it age out with QDI eviction or are
 // overwritten by future publishes (the stored lists are soft state).
-func (p *Peer) RemoveDocument(id uint32) error {
+func (p *Peer) RemoveDocument(ctx context.Context, id uint32) error {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
+		return err
+	}
 	d := p.docs.Get(id)
 	if d == nil {
 		return fmt.Errorf("core: no document %d", id)
 	}
 	if p.published[id] {
 		terms := p.local.DocTerms(id)
-		if err := p.gstats.UnpublishDocument(terms, p.local.DocLen(id)); err != nil {
+		if err := p.gstats.UnpublishDocument(ctx, terms, p.local.DocLen(id)); err != nil {
 			return err
 		}
 		delete(p.published, id)
@@ -315,12 +375,17 @@ func (p *Peer) RemoveDocument(id uint32) error {
 // PublishStats pushes the statistics contribution of every not-yet-
 // published local document. It is the first phase of indexing; separated
 // so that fleet-wide indexing can synchronize phases.
-func (p *Peer) PublishStats() error {
+func (p *Peer) PublishStats(ctx context.Context) error {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
+		return err
+	}
 	for _, id := range p.local.Docs() {
 		if p.published[id] {
 			continue
 		}
-		if err := p.gstats.PublishDocument(p.local.DocTerms(id), p.local.DocLen(id)); err != nil {
+		if err := p.gstats.PublishDocument(ctx, p.local.DocTerms(id), p.local.DocLen(id)); err != nil {
 			return err
 		}
 		p.published[id] = true
@@ -331,8 +396,8 @@ func (p *Peer) PublishStats() error {
 // NewHDKPublisher builds the key publisher for the current local
 // collection, with fresh global statistics. Fleet simulations drive its
 // PublishTerms/ExpandRound in lockstep; single peers use PublishIndex.
-func (p *Peer) NewHDKPublisher() (*hdk.Publisher, error) {
-	stats, err := p.gstats.Fetch(p.local.Terms())
+func (p *Peer) NewHDKPublisher(ctx context.Context) (*hdk.Publisher, error) {
+	stats, err := p.gstats.Fetch(ctx, p.local.Terms())
 	if err != nil {
 		return nil, err
 	}
@@ -349,51 +414,137 @@ func (p *Peer) NewHDKPublisher() (*hdk.Publisher, error) {
 // first, then the key index (all HDK levels under HDK; single terms only
 // under QDI). Correct for a peer joining an already indexed network; for
 // simultaneous fleet-wide indexing use the phase methods in lockstep.
-func (p *Peer) PublishIndex() (hdk.Result, error) {
-	if err := p.PublishStats(); err != nil {
-		return hdk.Result{}, err
-	}
-	pub, err := p.NewHDKPublisher()
+// Cancelling the context stops the publication between batches; already
+// shipped postings remain (the global index is merge-idempotent soft
+// state, so re-running the publication later converges).
+func (p *Peer) PublishIndex(ctx context.Context) (hdk.Result, error) {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
 	if err != nil {
 		return hdk.Result{}, err
 	}
-	return pub.Run()
+	if err := p.PublishStats(ctx); err != nil {
+		return hdk.Result{}, err
+	}
+	pub, err := p.NewHDKPublisher(ctx)
+	if err != nil {
+		return hdk.Result{}, err
+	}
+	return pub.Run(ctx)
 }
 
 // Search runs a global query: lattice exploration over the distributed
-// index, union, ranking, and result presentation. Under QDI it also
-// performs any on-demand indexing the responsible peers requested.
-func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
-	terms := p.cfg.Analyzer.UniqueTerms(query)
-	qt := &QueryTrace{Terms: terms}
-	if len(terms) == 0 {
-		return nil, qt, nil
+// index, union, ranking, and result presentation. Under QDI (or a
+// WithStrategy(StrategyQDI) override) it also performs any on-demand
+// indexing the responsible peers requested.
+//
+// Options tune the single query: WithTopK (result count and per-probe
+// transfer budget), WithTimeout (deadline on top of ctx's),
+// WithReadConsistency (which index copies serve the reads), WithStrategy
+// (per-query HDK/QDI override) and WithTrace. Cancelling ctx stops the
+// fan-out mid-flight: the response carries the ranked prefix gathered so
+// far with Partial set, and the error is ErrQueryCancelled (cancel) or
+// ErrPartialResults (deadline expiry).
+func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (*SearchResponse, error) {
+	o := searchOpts{trace: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.strategySet {
+		o.strategy = p.Strategy()
+	}
+	if o.timeout > 0 {
+		// Before opCtx: the timeout makes the context cancellable, which
+		// is what opCtx keys on to link it to the peer's root — a
+		// WithTimeout query must be unwound by Close like any other
+		// cancellable one.
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, o.timeout)
+		defer tcancel()
+	}
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
+		return nil, err
 	}
 
-	fetch := &searchFetcher{p: p, wantIndex: make(map[string]bool), perKey: make(map[string]*postings.List)}
-	_, trace, err := lattice.Explore(fetch, terms, p.cfg.Lattice)
-	if err != nil {
-		return nil, qt, err
+	terms := p.cfg.Analyzer.UniqueTerms(query)
+	qt := &QueryTrace{Terms: terms}
+	resp := &SearchResponse{}
+	if o.trace {
+		resp.Trace = qt
 	}
+	if len(terms) == 0 {
+		return resp, nil
+	}
+
+	topK := p.cfg.TopK
+	latCfg := p.cfg.Lattice
+	if o.topK > 0 {
+		// The per-query budget replaces both the result bound and the
+		// per-probe transfer cap: no peer ships more postings than the
+		// user will see.
+		topK = o.topK
+		if latCfg.MaxResultsPerProbe == 0 || o.topK < latCfg.MaxResultsPerProbe {
+			latCfg.MaxResultsPerProbe = o.topK
+		}
+	}
+
+	fetch := &searchFetcher{
+		p:         p,
+		policy:    o.consistency.policy(),
+		wantIndex: make(map[string]bool),
+		perKey:    make(map[string]*postings.List),
+	}
+	_, trace, exploreErr := lattice.Explore(ctx, fetch, terms, latCfg)
 	qt.Probes = trace.Probes()
 	qt.Skipped = len(trace.Skipped)
 	if len(trace.Probed) > 0 && len(trace.Probed[0].Terms) == len(terms) {
 		qt.FullHit = trace.Probed[0].Found
 	}
+	if exploreErr != nil && ctx.Err() == nil {
+		// A genuine failure (not the caller giving up): no partial
+		// semantics, surface it as before.
+		return resp, exploreErr
+	}
 
 	rankedAll := rankUnion(fetch.perKey)
 	qt.Candidates = len(rankedAll)
 	ranked := rankedAll
-	if len(ranked) > p.cfg.TopK {
-		ranked = ranked[:p.cfg.TopK]
+	if len(ranked) > topK {
+		ranked = ranked[:topK]
 	}
 
-	results, err := p.presentResults(ranked)
+	if cause := ctx.Err(); cause != nil {
+		// The exploration (or what preceded the check) was cut short.
+		// Rank and return the prefix without further network work —
+		// presentation RPCs would all fail against the dead context.
+		resp.Results = p.presentLocal(ranked)
+		resp.Partial = true
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return resp, fmt.Errorf("%w (%d of %d+ probes): %w", ErrPartialResults, qt.Probes, qt.Probes+qt.Skipped, cause)
+		}
+		return resp, fmt.Errorf("%w (%d probes completed): %w", ErrQueryCancelled, qt.Probes, cause)
+	}
+
+	results, err := p.presentResults(ctx, ranked)
 	if err != nil {
-		return nil, qt, err
+		return resp, err
+	}
+	resp.Results = results
+
+	if cause := ctx.Err(); cause != nil {
+		// The context died during presentation: every reference and score
+		// is final, but some hosting peers were never asked for titles
+		// and snippets — still a partial answer.
+		resp.Partial = true
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return resp, fmt.Errorf("%w (presentation incomplete): %w", ErrPartialResults, cause)
+		}
+		return resp, fmt.Errorf("%w (presentation incomplete): %w", ErrQueryCancelled, cause)
 	}
 
-	if p.Strategy() == StrategyQDI && len(fetch.wantIndex) > 0 {
+	if o.strategy == StrategyQDI && len(fetch.wantIndex) > 0 {
 		// Ship this query's ranked result as the on-demand posting list
 		// for the query's own key (bounded to the QDI truncation limit).
 		acquired := &postings.List{}
@@ -403,13 +554,24 @@ func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
 				break
 			}
 		}
-		n, err := p.qdiMgr.ProcessQuery(terms, trace, fetch.wantIndex, acquired)
+		n, err := p.qdiMgr.ProcessQuery(ctx, terms, trace, fetch.wantIndex, acquired)
 		if err != nil {
-			return results, qt, fmt.Errorf("core: on-demand indexing: %w", err)
+			return resp, fmt.Errorf("core: on-demand indexing: %w", err)
 		}
 		qt.Activated = n
 	}
-	return results, qt, nil
+	return resp, nil
+}
+
+// presentLocal renders ranked references without contacting their
+// hosting peers — the presentation used for partial (cancelled) results,
+// where further RPCs are pointless by definition.
+func (p *Peer) presentLocal(ranked []scoredRef) []Result {
+	out := make([]Result, 0, len(ranked))
+	for _, sr := range ranked {
+		out = append(out, Result{Ref: sr.ref, Score: sr.score})
+	}
+	return out
 }
 
 // searchFetcher adapts the global index to the lattice's Fetcher and
@@ -419,6 +581,7 @@ func (p *Peer) Search(query string) ([]Result, *QueryTrace, error) {
 // fetcher is used without batch support.
 type searchFetcher struct {
 	p         *Peer
+	policy    globalindex.ReadPolicy
 	mu        sync.Mutex
 	wantIndex map[string]bool
 	perKey    map[string]*postings.List
@@ -436,8 +599,8 @@ func (sf *searchFetcher) record(key string, list *postings.List, found, want boo
 }
 
 // Get implements lattice.Fetcher (the sequential probe path).
-func (sf *searchFetcher) Get(ts []string, max int) (*postings.List, bool, error) {
-	l, found, want, err := sf.p.gidx.Get(ts, max)
+func (sf *searchFetcher) Get(ctx context.Context, ts []string, max int) (*postings.List, bool, error) {
+	l, found, want, err := sf.p.gidx.Get(ctx, ts, max, sf.policy)
 	if err != nil {
 		return nil, false, err
 	}
@@ -446,13 +609,13 @@ func (sf *searchFetcher) Get(ts []string, max int) (*postings.List, bool, error)
 }
 
 // GetBatch implements lattice.BatchFetcher: one generation of lattice
-// probes becomes one MultiGet, coalesced per responsible peer.
-func (sf *searchFetcher) GetBatch(combos [][]string, max int) ([]lattice.BatchResult, error) {
+// probes becomes one MultiGet, coalesced per serving peer.
+func (sf *searchFetcher) GetBatch(ctx context.Context, combos [][]string, max int) ([]lattice.BatchResult, error) {
 	items := make([]globalindex.GetItem, len(combos))
 	for i, c := range combos {
 		items[i] = globalindex.GetItem{Terms: c, MaxResults: max}
 	}
-	res, err := sf.p.gidx.MultiGet(items, sf.p.cfg.Concurrency)
+	res, err := sf.p.gidx.MultiGet(ctx, items, sf.p.cfg.Concurrency, sf.policy)
 	if err != nil {
 		return nil, err
 	}

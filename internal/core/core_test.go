@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"math/rand"
 	"strings"
 	"sync"
@@ -91,10 +93,11 @@ func TestSearchResultPresentation(t *testing.T) {
 	n := smallHDKNet(t)
 	peer := n.Peers[0]
 	// Use a frequent corpus term to guarantee hits.
-	results, _, err := peer.Search("term0000 term0001")
+	sresp, err := peer.Search(context.Background(), "term0000 term0001")
 	if err != nil {
 		t.Fatal(err)
 	}
+	results := sresp.Results
 	if len(results) == 0 {
 		t.Fatal("no results for head terms")
 	}
@@ -120,14 +123,15 @@ func TestSearchResultPresentation(t *testing.T) {
 func TestRefineSecondStep(t *testing.T) {
 	n := smallHDKNet(t)
 	peer := n.Peers[1]
-	first, _, err := peer.Search("term0000 term0002")
+	fresp, err := peer.Search(context.Background(), "term0000 term0002")
 	if err != nil {
 		t.Fatal(err)
 	}
+	first := fresp.Results
 	if len(first) == 0 {
 		t.Skip("no first-step results to refine")
 	}
-	refined, err := peer.Refine("term0000 term0002", first, 10)
+	refined, err := peer.Refine(context.Background(), "term0000 term0002", first, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,10 +184,11 @@ func TestQDIActivationLifecycle(t *testing.T) {
 	var activatedAt int
 	var probesBefore int
 	for i := 1; i <= 5; i++ {
-		_, trace, err := peer.Search(query)
+		qresp, err := peer.Search(context.Background(), query)
 		if err != nil {
 			t.Fatal(err)
 		}
+		trace := qresp.Trace
 		if activatedAt == 0 {
 			probesBefore = trace.Probes
 		}
@@ -195,10 +200,11 @@ func TestQDIActivationLifecycle(t *testing.T) {
 		t.Fatal("popular query never triggered on-demand indexing")
 	}
 	// After activation the full-query key answers with one probe.
-	_, trace, err := peer.Search(query)
+	aresp, err := peer.Search(context.Background(), query)
 	if err != nil {
 		t.Fatal(err)
 	}
+	trace := aresp.Trace
 	if trace.Probes >= probesBefore {
 		t.Fatalf("probes after activation (%d) should drop below before (%d)", trace.Probes, probesBefore)
 	}
@@ -215,7 +221,7 @@ func TestStrategySwitch(t *testing.T) {
 		t.Fatal("switch to QDI")
 	}
 	// Searching still works after the switch.
-	if _, _, err := p.Search("term0000"); err != nil {
+	if _, err := p.Search(context.Background(), "term0000"); err != nil {
 		t.Fatal(err)
 	}
 	p.SetStrategy(core.StrategyHDK)
@@ -238,13 +244,13 @@ func TestFetchDocumentAccessControl(t *testing.T) {
 	}
 	ref := postingsRef(owner.Addr(), stored.ID)
 	other := n.Peers[3]
-	if _, _, err := other.FetchDocument(ref, "", ""); err == nil {
+	if _, _, err := other.FetchDocument(context.Background(), ref, "", ""); err == nil {
 		t.Fatal("anonymous fetch of protected document must fail")
 	}
-	if _, _, err := other.FetchDocument(ref, "alice", "bad"); err == nil {
+	if _, _, err := other.FetchDocument(context.Background(), ref, "alice", "bad"); err == nil {
 		t.Fatal("wrong password must fail")
 	}
-	title, body, err := other.FetchDocument(ref, "alice", "pw")
+	title, body, err := other.FetchDocument(context.Background(), ref, "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,20 +266,20 @@ func TestRemoveDocumentUpdatesStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.PublishStats(); err != nil {
+	if err := p.PublishStats(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := p.GlobalStats().Fetch([]string{"zephyrquark"})
+	stats, err := p.GlobalStats().Fetch(context.Background(), []string{"zephyrquark"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.DF["zephyrquark"] != 1 {
 		t.Fatalf("df after publish = %d", stats.DF["zephyrquark"])
 	}
-	if err := p.RemoveDocument(stored.ID); err != nil {
+	if err := p.RemoveDocument(context.Background(), stored.ID); err != nil {
 		t.Fatal(err)
 	}
-	stats, err = p.GlobalStats().Fetch([]string{"zephyrquark"})
+	stats, err = p.GlobalStats().Fetch(context.Background(), []string{"zephyrquark"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,10 +292,11 @@ func TestSearchEmptyAndStopwordQuery(t *testing.T) {
 	n := smallHDKNet(t)
 	p := n.Peers[0]
 	for _, q := range []string{"", "the of and", "!!!"} {
-		results, trace, err := p.Search(q)
+		dresp, err := p.Search(context.Background(), q)
 		if err != nil {
 			t.Fatalf("query %q: %v", q, err)
 		}
+		results, trace := dresp.Results, dresp.Trace
 		if len(results) != 0 || trace.Probes != 0 {
 			t.Fatalf("degenerate query %q produced %d results, %d probes", q, len(results), trace.Probes)
 		}
@@ -310,19 +317,19 @@ func TestImportDigestEndToEnd(t *testing.T) {
 	if imported != 1 {
 		t.Fatalf("imported %d", imported)
 	}
-	if _, err := p.PublishIndex(); err != nil {
+	if _, err := p.PublishIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// The external document is now globally searchable from any peer.
-	results, _, err := n.Peers[7].Search("xylophonecorpus")
+	xresp, err := n.Peers[7].Search(context.Background(), "xylophonecorpus")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) == 0 {
+	if len(xresp.Results) == 0 {
 		t.Fatal("imported digest document not retrievable")
 	}
-	if results[0].URL != "http://library.example/r1" {
-		t.Fatalf("external URL lost: %q", results[0].URL)
+	if xresp.Results[0].URL != "http://library.example/r1" {
+		t.Fatalf("external URL lost: %q", xresp.Results[0].URL)
 	}
 }
 

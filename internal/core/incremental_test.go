@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -22,17 +24,17 @@ func protoNet(t *testing.T, count int, cfg core.Config) []*core.Peer {
 		ep := net.Endpoint(fmt.Sprintf("inc%d", i), d.Serve)
 		peers[i] = core.NewPeer(ids.HashString(fmt.Sprintf("inc%d", i)), ep, d, cfg)
 		if i > 0 {
-			if err := peers[i].Join(peers[0].Addr()); err != nil {
+			if err := peers[i].Join(context.Background(), peers[0].Addr()); err != nil {
 				t.Fatal(err)
 			}
 			for _, p := range peers[:i+1] {
-				p.Maintain()
+				p.Maintain(context.Background())
 			}
 		}
 	}
 	for r := 0; r < 8; r++ {
 		for _, p := range peers {
-			p.Maintain()
+			p.Maintain(context.Background())
 		}
 	}
 	return peers
@@ -55,7 +57,7 @@ func TestLateJoinerPublishesIncrementally(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := peers[i].PublishIndex(); err != nil {
+		if _, err := peers[i].PublishIndex(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -78,7 +80,7 @@ func TestLateJoinerPublishesIncrementally(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := late.PublishIndex()
+	res, err := late.PublishIndex(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +97,12 @@ func TestLateJoinerPublishesIncrementally(t *testing.T) {
 
 	// Its document is searchable from everyone.
 	for _, p := range peers[:3] {
-		results, _, err := p.Search("congestion aware")
+		cresp, err := p.Search(context.Background(), "congestion aware")
 		if err != nil {
 			t.Fatal(err)
 		}
 		found := false
-		for _, r := range results {
+		for _, r := range cresp.Results {
 			if r.Ref.Peer == late.Addr() {
 				found = true
 			}
@@ -120,13 +122,13 @@ func TestPublishIndexIdempotentStats(t *testing.T) {
 	if _, err := p.AddDocument(&docs.Document{Name: "once.txt", Body: "singular snowflake content"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.PublishStats(); err != nil {
+	if err := p.PublishStats(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.PublishStats(); err != nil { // second call: no new docs
+	if err := p.PublishStats(context.Background()); err != nil { // second call: no new docs
 		t.Fatal(err)
 	}
-	stats, err := p.GlobalStats().Fetch([]string{"snowflak"})
+	stats, err := p.GlobalStats().Fetch(context.Background(), []string{"snowflak"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,13 +157,13 @@ func TestMaintainTicksQDI(t *testing.T) {
 		}
 	}
 	for _, p := range peers {
-		if _, err := p.PublishIndex(); err != nil {
+		if _, err := p.PublishIndex(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Drive the pair to activation (threshold default 3).
 	for i := 0; i < 5; i++ {
-		if _, _, err := peers[0].Search("gamma delta"); err != nil {
+		if _, err := peers[0].Search(context.Background(), "gamma delta"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -179,7 +181,7 @@ func TestMaintainTicksQDI(t *testing.T) {
 	// Maintenance without further queries decays and evicts.
 	for i := 0; i < 12; i++ {
 		for _, p := range peers {
-			p.Maintain()
+			p.Maintain(context.Background())
 		}
 	}
 	if activatedSomewhere() {

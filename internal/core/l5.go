@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -119,7 +121,7 @@ func (p *Peer) handleFetchDoc(_ transport.Addr, _ uint8, body []byte) (uint8, []
 
 // presentResults resolves titles, snippets and URLs for ranked document
 // references by asking each hosting peer (one batched RPC per peer).
-func (p *Peer) presentResults(ranked []scoredRef) ([]Result, error) {
+func (p *Peer) presentResults(ctx context.Context, ranked []scoredRef) ([]Result, error) {
 	byPeer := make(map[transport.Addr][]scoredRef)
 	var order []transport.Addr
 	for _, sr := range ranked {
@@ -136,7 +138,7 @@ func (p *Peer) presentResults(ranked []scoredRef) ([]Result, error) {
 		for _, sr := range refs {
 			w.Uvarint(uint64(sr.ref.Doc))
 		}
-		_, resp, err := p.node.Endpoint().Call(addr, MsgDocInfo, w.Bytes())
+		_, resp, err := p.node.Endpoint().Call(ctx, addr, MsgDocInfo, w.Bytes())
 		if err != nil {
 			// The hosting peer is gone; present the reference without
 			// details rather than failing the query.
@@ -179,8 +181,15 @@ func (p *Peer) presentResults(ranked []scoredRef) ([]Result, error) {
 // forwarded to the local search engines of the peers holding the
 // first-step results, which can apply their own (possibly more
 // sophisticated) local models; the returned hits are merged by local
-// score. firstStep supplies the peers to contact.
-func (p *Peer) Refine(query string, firstStep []Result, topK int) ([]Result, error) {
+// score. firstStep supplies the peers to contact. A cancelled context
+// stops contacting further peers and returns the merge so far alongside
+// ErrQueryCancelled (cancel) or ErrPartialResults (deadline expiry).
+func (p *Peer) Refine(ctx context.Context, query string, firstStep []Result, topK int) ([]Result, error) {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
+		return nil, err
+	}
 	if topK <= 0 {
 		topK = p.cfg.TopK
 	}
@@ -193,11 +202,22 @@ func (p *Peer) Refine(query string, firstStep []Result, topK int) ([]Result, err
 		}
 	}
 	var merged []Result
+	var cut error
 	for _, addr := range peers {
+		if cerr := ctx.Err(); cerr != nil {
+			// Stop contacting peers but keep what already merged — the
+			// usable prefix, like Search's partial semantics.
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				cut = fmt.Errorf("%w (refine incomplete): %w", ErrPartialResults, cerr)
+			} else {
+				cut = fmt.Errorf("%w (refine incomplete): %w", ErrQueryCancelled, cerr)
+			}
+			break
+		}
 		w := wire.NewWriter(len(query) + 8)
 		w.String(query)
 		w.Uvarint(uint64(topK))
-		_, resp, err := p.node.Endpoint().Call(addr, MsgForwardQuery, w.Bytes())
+		_, resp, err := p.node.Endpoint().Call(ctx, addr, MsgForwardQuery, w.Bytes())
 		if err != nil {
 			continue // unavailable local engine: skip, like the demo does
 		}
@@ -230,18 +250,23 @@ func (p *Peer) Refine(query string, firstStep []Result, topK int) ([]Result, err
 	if len(merged) > topK {
 		merged = merged[:topK]
 	}
-	return merged, nil
+	return merged, cut
 }
 
 // FetchDocument retrieves a document's full content from its hosting
 // peer, subject to the document's access policy (paper §4 "Document
 // access"). Empty credentials access public documents only.
-func (p *Peer) FetchDocument(ref postings.DocRef, user, password string) (title, body string, err error) {
+func (p *Peer) FetchDocument(ctx context.Context, ref postings.DocRef, user, password string) (title, body string, err error) {
+	ctx, cancel, cerr := p.opCtx(ctx)
+	defer cancel()
+	if cerr != nil {
+		return "", "", cerr
+	}
 	w := wire.NewWriter(32)
 	w.Uvarint(uint64(ref.Doc))
 	w.String(user)
 	w.String(password)
-	_, resp, err := p.node.Endpoint().Call(ref.Peer, MsgFetchDoc, w.Bytes())
+	_, resp, err := p.node.Endpoint().Call(ctx, ref.Peer, MsgFetchDoc, w.Bytes())
 	if err != nil {
 		return "", "", fmt.Errorf("core: fetch %v: %w", ref, err)
 	}

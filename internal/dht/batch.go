@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -16,17 +17,21 @@ const DefaultWorkers = 8
 // workers lookups concurrently (workers <= 1 means sequential, 0 means
 // DefaultWorkers). Results are returned in input order. If any lookup
 // fails the first error (by input position) is returned; the returned
-// slice still holds every resolution that succeeded.
-func (n *Node) LookupBatch(keys []ids.ID, workers int) ([]Remote, error) {
+// slice still holds every resolution that succeeded. A cancelled context
+// stops the fan-out from dispatching further lookups.
+func (n *Node) LookupBatch(ctx context.Context, keys []ids.ID, workers int) ([]Remote, error) {
 	out := make([]Remote, len(keys))
 	errs := make([]error, len(keys))
-	RunBounded(len(keys), workers, func(i int) {
-		out[i], _, errs[i] = n.Lookup(keys[i])
+	stopped := RunBounded(ctx, len(keys), workers, func(i int) {
+		out[i], _, errs[i] = n.Lookup(ctx, keys[i])
 	})
 	for _, err := range errs {
 		if err != nil {
 			return out, err
 		}
+	}
+	if stopped != nil {
+		return out, stopped
 	}
 	return out, nil
 }
@@ -35,16 +40,25 @@ func (n *Node) LookupBatch(keys []ids.ID, workers int) ([]Remote, error) {
 // invocations (0 = DefaultWorkers). With workers <= 1 it degenerates to
 // a plain loop on the caller's goroutine. It is the bounded-fan-out
 // primitive shared by the batch layers (this package's resolvers, the
-// global index's batch client).
-func RunBounded(count, workers int, fn func(i int)) {
+// global index's batch client). A context that dies mid-run stops workers
+// from picking up further indices — already dispatched fn calls finish —
+// and the context's error is returned so callers know the fan-out is
+// incomplete; nil means every index ran.
+func RunBounded(ctx context.Context, count, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers == 0 {
 		workers = DefaultWorkers
 	}
 	if workers <= 1 || count <= 1 {
 		for i := 0; i < count; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	if workers > count {
 		workers = count
@@ -60,11 +74,15 @@ func RunBounded(count, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // interval is one cached responsibility range: node owns every key in the
@@ -161,8 +179,9 @@ func (r *Resolver) Reset() {
 // at most workers concurrent lookups for cache misses. Distinct keys
 // mapping into one already-discovered interval cost no RPC at all, which
 // is what turns N per-key resolutions into roughly one lookup + one state
-// fetch per distinct responsible peer.
-func (r *Resolver) Resolve(keys []ids.ID, workers int) ([]Remote, error) {
+// fetch per distinct responsible peer. A cancelled context stops the
+// miss-resolution rounds and returns the context's error.
+func (r *Resolver) Resolve(ctx context.Context, keys []ids.ID, workers int) ([]Remote, error) {
 	// A change in the owning node's own ring pointers (a join, a failure,
 	// a repair) means cached responsibility intervals anywhere on the
 	// ring may have moved: drop the cache and re-learn. A stable ring
@@ -197,6 +216,9 @@ func (r *Resolver) Resolve(keys []ids.ID, workers int) ([]Remote, error) {
 		if len(missing) == 0 {
 			return out, nil
 		}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		// Resolve a bounded batch of misses concurrently; each miss also
 		// fetches the responsible node's ring state to widen the cache.
 		// Sorting makes the batch deterministic for a given cache state.
@@ -207,19 +229,22 @@ func (r *Resolver) Resolve(keys []ids.ID, workers int) ([]Remote, error) {
 		}
 		got := make([]Remote, len(batch))
 		errs := make([]error, len(batch))
-		RunBounded(len(batch), workers, func(i int) {
-			rem, _, err := r.n.Lookup(batch[i])
+		stopped := RunBounded(ctx, len(batch), workers, func(i int) {
+			rem, _, err := r.n.Lookup(ctx, batch[i])
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			got[i] = rem
-			r.learn(rem)
+			r.learn(ctx, rem)
 		})
 		for _, err := range errs {
 			if err != nil {
 				return out, err
 			}
+		}
+		if stopped != nil {
+			return out, stopped
 		}
 		// Record the batch's own resolutions directly: progress is then
 		// guaranteed every round even when a state fetch added nothing to
@@ -255,7 +280,7 @@ func boundedBatch(workers int) int {
 // learn records the responsibility intervals observable from rem: its
 // predecessor and successor list (fetched locally when rem is this node).
 // Each node's state is fetched at most once per cache lifetime.
-func (r *Resolver) learn(rem Remote) {
+func (r *Resolver) learn(ctx context.Context, rem Remote) {
 	r.mu.Lock()
 	if r.known[rem.Addr] {
 		r.mu.Unlock()
@@ -270,7 +295,7 @@ func (r *Resolver) learn(rem Remote) {
 		succs = r.n.Successors()
 	} else {
 		var err error
-		pred, succs, err = r.n.rpcGetState(rem.Addr)
+		pred, succs, err = r.n.rpcGetState(ctx, rem.Addr)
 		if err != nil {
 			// The node answered the lookup but not the state fetch; cache
 			// nothing and let a later round retry.

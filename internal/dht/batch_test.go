@@ -1,6 +1,8 @@
 package dht
 
 import (
+	"context"
+
 	"math/rand"
 	"sync"
 	"testing"
@@ -34,14 +36,14 @@ func TestLookupBatchMatchesSequential(t *testing.T) {
 	keys := randomIDs(64, 2)
 	want := make([]Remote, len(keys))
 	for i, k := range keys {
-		r, _, err := src.Lookup(k)
+		r, _, err := src.Lookup(context.Background(), k)
 		if err != nil {
 			t.Fatalf("lookup %d: %v", i, err)
 		}
 		want[i] = r
 	}
 	for _, workers := range []int{0, 1, 4, 32} {
-		got, err := src.LookupBatch(keys, workers)
+		got, err := src.LookupBatch(context.Background(), keys, workers)
 		if err != nil {
 			t.Fatalf("LookupBatch(workers=%d): %v", workers, err)
 		}
@@ -65,7 +67,7 @@ func TestResolverMatchesSequentialAndSavesRPCs(t *testing.T) {
 	want := make([]Remote, len(keys))
 	before := net.Meter().Snapshot().Messages
 	for i, k := range keys {
-		r, _, err := src.Lookup(k)
+		r, _, err := src.Lookup(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +77,7 @@ func TestResolverMatchesSequentialAndSavesRPCs(t *testing.T) {
 
 	res := src.NewResolver()
 	before = net.Meter().Snapshot().Messages
-	got, err := res.Resolve(keys, 8)
+	got, err := res.Resolve(context.Background(), keys, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestResolverMatchesSequentialAndSavesRPCs(t *testing.T) {
 
 	// A second pass over the same keys is served entirely from cache.
 	before = net.Meter().Snapshot().Messages
-	again, err := res.Resolve(keys, 8)
+	again, err := res.Resolve(context.Background(), keys, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestResolverSingleNode(t *testing.T) {
 	net := transport.NewMem()
 	n := newTestNode(net, 42, Options{})
 	res := n.NewResolver()
-	got, err := res.Resolve(randomIDs(10, 5), 4)
+	got, err := res.Resolve(context.Background(), randomIDs(10, 5), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +133,7 @@ func TestResolverInvalidate(t *testing.T) {
 	res := src.NewResolver()
 
 	keys := randomIDs(40, 7)
-	first, err := res.Resolve(keys, 4)
+	first, err := res.Resolve(context.Background(), keys, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestResolverInvalidate(t *testing.T) {
 	res.Invalidate(victim.Addr)
 	convergeLoose(nodes)
 
-	second, err := res.Resolve(keys, 4)
+	second, err := res.Resolve(context.Background(), keys, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +177,10 @@ func TestLookupBatchConcurrentCallers(t *testing.T) {
 		go func(seed int64) {
 			defer wg.Done()
 			keys := randomIDs(30, seed)
-			if _, err := src.LookupBatch(keys, 4); err != nil {
+			if _, err := src.LookupBatch(context.Background(), keys, 4); err != nil {
 				t.Error(err)
 			}
-			if _, err := res.Resolve(keys, 4); err != nil {
+			if _, err := res.Resolve(context.Background(), keys, 4); err != nil {
 				t.Error(err)
 			}
 		}(int64(100 + g))

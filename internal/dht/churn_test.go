@@ -1,6 +1,8 @@
 package dht
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sync"
@@ -23,7 +25,7 @@ func TestChurnSequence(t *testing.T) {
 		nextID++
 		n := NewNode(ids.ID(rng.Uint64()), ep, d, Options{})
 		if len(nodes) > 0 {
-			if err := n.Join(nodes[0].Self().Addr); err != nil {
+			if err := n.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 				t.Fatalf("join: %v", err)
 			}
 		}
@@ -33,18 +35,18 @@ func TestChurnSequence(t *testing.T) {
 	settle := func() {
 		for r := 0; r < 6; r++ {
 			for _, n := range nodes {
-				_ = n.Stabilize()
+				_ = n.Stabilize(context.Background())
 			}
 		}
 		for r := 0; r < 6; r++ {
 			for _, n := range nodes {
-				_ = n.FixFingers()
+				_ = n.FixFingers(context.Background())
 			}
 		}
 	}
 	removeNode := func(i int) {
 		n := nodes[i]
-		if err := n.Leave(); err != nil {
+		if err := n.Leave(context.Background()); err != nil {
 			t.Logf("leave: %v (tolerated)", err)
 		}
 		_ = n.Endpoint().Close()
@@ -77,7 +79,7 @@ func TestChurnSequence(t *testing.T) {
 	}
 	for i := 0; i < 100; i++ {
 		key := ids.ID(rng.Uint64())
-		got, _, err := nodes[rng.Intn(len(nodes))].Lookup(key)
+		got, _, err := nodes[rng.Intn(len(nodes))].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup after churn: %v", err)
 		}
@@ -105,8 +107,8 @@ func TestConcurrentLookupsDuringMaintenance(t *testing.T) {
 			default:
 			}
 			for _, n := range nodes {
-				_ = n.Stabilize()
-				_ = n.FixFingers()
+				_ = n.Stabilize(context.Background())
+				_ = n.FixFingers(context.Background())
 			}
 		}
 	}()
@@ -117,7 +119,7 @@ func TestConcurrentLookupsDuringMaintenance(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; i < 100; i++ {
 				src := nodes[rng.Intn(len(nodes))]
-				if _, _, err := src.Lookup(ids.ID(rng.Uint64())); err != nil {
+				if _, _, err := src.Lookup(context.Background(), ids.ID(rng.Uint64())); err != nil {
 					t.Errorf("concurrent lookup: %v", err)
 					return
 				}
@@ -151,12 +153,12 @@ func TestMassFailureRecovery(t *testing.T) {
 	// Repair: several rounds of stabilization re-route around the dead.
 	for r := 0; r < 10; r++ {
 		for _, n := range survivors {
-			_ = n.Stabilize()
+			_ = n.Stabilize(context.Background())
 		}
 	}
 	for r := 0; r < 8; r++ {
 		for _, n := range survivors {
-			_ = n.FixFingers()
+			_ = n.FixFingers(context.Background())
 		}
 	}
 	checkRing(t, survivors)
@@ -168,7 +170,7 @@ func TestMassFailureRecovery(t *testing.T) {
 	}
 	for i := 0; i < 60; i++ {
 		key := ids.ID(rng.Uint64())
-		got, _, err := survivors[rng.Intn(len(survivors))].Lookup(key)
+		got, _, err := survivors[rng.Intn(len(survivors))].Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup after mass failure: %v", err)
 		}

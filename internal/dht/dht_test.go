@@ -1,6 +1,8 @@
 package dht
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -26,7 +28,7 @@ func buildRing(t *testing.T, net *transport.Mem, nodeIDs []ids.ID, opts Options)
 	for i, id := range nodeIDs {
 		n := newTestNode(net, id, opts)
 		if i > 0 {
-			if err := n.Join(nodes[0].Self().Addr); err != nil {
+			if err := n.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 				t.Fatalf("join node %d: %v", i, err)
 			}
 		}
@@ -34,7 +36,7 @@ func buildRing(t *testing.T, net *transport.Mem, nodeIDs []ids.ID, opts Options)
 		// One stabilization sweep keeps the ring consistent throughout
 		// the join sequence.
 		for _, m := range nodes {
-			if err := m.Stabilize(); err != nil {
+			if err := m.Stabilize(context.Background()); err != nil {
 				t.Fatalf("stabilize after join %d: %v", i, err)
 			}
 		}
@@ -48,14 +50,14 @@ func converge(t *testing.T, nodes []*Node) {
 	rounds := int(math.Log2(float64(len(nodes)))) + 3
 	for r := 0; r < rounds; r++ {
 		for _, n := range nodes {
-			if err := n.Stabilize(); err != nil {
+			if err := n.Stabilize(context.Background()); err != nil {
 				t.Fatalf("stabilize round %d: %v", r, err)
 			}
 		}
 	}
 	for r := 0; r < rounds; r++ {
 		for _, n := range nodes {
-			if err := n.FixFingers(); err != nil {
+			if err := n.FixFingers(context.Background()); err != nil {
 				t.Fatalf("fix fingers round %d: %v", r, err)
 			}
 		}
@@ -69,12 +71,12 @@ func convergeLoose(nodes []*Node) {
 	rounds := int(math.Log2(float64(len(nodes)))) + 3
 	for r := 0; r < rounds; r++ {
 		for _, n := range nodes {
-			_ = n.Stabilize()
+			_ = n.Stabilize(context.Background())
 		}
 	}
 	for r := 0; r < rounds; r++ {
 		for _, n := range nodes {
-			_ = n.FixFingers()
+			_ = n.FixFingers(context.Background())
 		}
 	}
 }
@@ -143,17 +145,17 @@ func skewedIDs(n int, seed int64) []ids.ID {
 func TestSingleNodeRing(t *testing.T) {
 	net := transport.NewMem()
 	n := newTestNode(net, 42, Options{})
-	r, hops, err := n.Lookup(ids.ID(7))
+	r, hops, err := n.Lookup(context.Background(), ids.ID(7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Addr != n.Self().Addr || hops != 0 {
 		t.Fatalf("single-node lookup = (%v, %d)", r, hops)
 	}
-	if err := n.Stabilize(); err != nil {
+	if err := n.Stabilize(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.FixFingers(); err != nil {
+	if err := n.FixFingers(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := n.Successor(); got.Addr != n.Self().Addr {
@@ -170,7 +172,7 @@ func TestTwoNodeRing(t *testing.T) {
 		key  ids.ID
 		want ids.ID
 	}{{150, 200}, {250, 100}, {100, 100}, {200, 200}, {50, 100}} {
-		r, _, err := nodes[0].Lookup(c.key)
+		r, _, err := nodes[0].Lookup(context.Background(), c.key)
 		if err != nil {
 			t.Fatalf("lookup %d: %v", c.key, err)
 		}
@@ -199,7 +201,7 @@ func TestLookupCorrectness(t *testing.T) {
 		key := ids.ID(rng.Uint64())
 		want := successorOf(remotes, key)
 		src := nodes[rng.Intn(len(nodes))]
-		got, _, err := src.Lookup(key)
+		got, _, err := src.Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup %v from %v: %v", key, src.ID(), err)
 		}
@@ -217,7 +219,7 @@ func TestLookupHopsLogarithmic(t *testing.T) {
 	maxHops := 0
 	for i := 0; i < 300; i++ {
 		src := nodes[rng.Intn(len(nodes))]
-		_, hops, err := src.Lookup(ids.ID(rng.Uint64()))
+		_, hops, err := src.Lookup(context.Background(), ids.ID(rng.Uint64()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +296,7 @@ func TestOracleLookupCorrectness(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			key := ids.ID(rng.Uint64())
 			want := successorOf(remotes, key)
-			got, _, err := nodes[rng.Intn(len(nodes))].Lookup(key)
+			got, _, err := nodes[rng.Intn(len(nodes))].Lookup(context.Background(), key)
 			if err != nil {
 				t.Fatalf("[%v] lookup: %v", policy, err)
 			}
@@ -322,7 +324,7 @@ func TestSkewResistance(t *testing.T) {
 		rng := rand.New(rand.NewSource(13))
 		total, count := 0, 0
 		for _, key := range keys {
-			_, hops, err := nodes[rng.Intn(n)].Lookup(key)
+			_, hops, err := nodes[rng.Intn(n)].Lookup(context.Background(), key)
 			if err != nil {
 				t.Fatalf("[%v] %v", policy, err)
 			}
@@ -357,11 +359,11 @@ func TestNodeFailureRerouting(t *testing.T) {
 			if n == dead {
 				continue
 			}
-			_ = n.Stabilize()
+			_ = n.Stabilize(context.Background())
 		}
 	}
 	s[11].PredecessorFailed()
-	_ = s[11].Stabilize()
+	_ = s[11].Stabilize(context.Background())
 
 	rng := rand.New(rand.NewSource(10))
 	resolved := 0
@@ -371,7 +373,7 @@ func TestNodeFailureRerouting(t *testing.T) {
 		if src == dead {
 			continue
 		}
-		got, _, err := src.Lookup(key)
+		got, _, err := src.Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatalf("lookup after failure: %v", err)
 		}
@@ -393,7 +395,7 @@ func TestGracefulLeave(t *testing.T) {
 	nodes := buildRing(t, net, uniformIDs(16, 12), Options{})
 	s := sortedByID(nodes)
 	leaver := s[5]
-	if err := leaver.Leave(); err != nil {
+	if err := leaver.Leave(context.Background()); err != nil {
 		t.Fatalf("leave: %v", err)
 	}
 	if err := leaver.Endpoint().Close(); err != nil {
@@ -412,10 +414,10 @@ func TestGracefulLeave(t *testing.T) {
 func TestJoinErrors(t *testing.T) {
 	net := transport.NewMem()
 	n := newTestNode(net, 1, Options{})
-	if err := n.Join(n.Self().Addr); err == nil {
+	if err := n.Join(context.Background(), n.Self().Addr); err == nil {
 		t.Error("join via self must fail")
 	}
-	if err := n.Join("nonexistent"); err == nil {
+	if err := n.Join(context.Background(), "nonexistent"); err == nil {
 		t.Error("join via unreachable bootstrap must fail")
 	}
 }
@@ -460,7 +462,7 @@ func TestHopHistogramRecorded(t *testing.T) {
 	net := transport.NewMem()
 	nodes := buildRing(t, net, uniformIDs(8, 20), Options{})
 	before := nodes[0].HopHistogram().Count()
-	if _, _, err := nodes[0].Lookup(ids.ID(12345)); err != nil {
+	if _, _, err := nodes[0].Lookup(context.Background(), ids.ID(12345)); err != nil {
 		t.Fatal(err)
 	}
 	if nodes[0].HopHistogram().Count() != before+1 {

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -25,16 +26,16 @@ import (
 // distance and routing is O(log n); under a skewed population, ID
 // distances no longer track rank distances and routing degrades — the
 // effect experiment E5 measures.
-func (n *Node) FixFingers() error {
+func (n *Node) FixFingers(ctx context.Context) error {
 	switch n.opts.Policy {
 	case PolicyIDSpace:
-		return n.fixFingersIDSpace()
+		return n.fixFingersIDSpace(ctx)
 	default:
-		return n.fixFingersHopSpace()
+		return n.fixFingersHopSpace(ctx)
 	}
 }
 
-func (n *Node) fixFingersHopSpace() error {
+func (n *Node) fixFingersHopSpace(ctx context.Context) error {
 	succ := n.Successor()
 	if succ.Addr == n.self.Addr {
 		n.mu.Lock()
@@ -46,7 +47,7 @@ func (n *Node) fixFingersHopSpace() error {
 	cur := succ
 	var firstErr error
 	for level := 0; level < n.opts.MaxFingers; level++ {
-		f, err := n.rpcGetFinger(cur.Addr, level)
+		f, err := n.rpcGetFinger(ctx, cur.Addr, level)
 		if err != nil {
 			firstErr = err
 			break
@@ -98,7 +99,7 @@ func (n *Node) fingerBudget() int {
 	return b
 }
 
-func (n *Node) fixFingersIDSpace() error {
+func (n *Node) fixFingersIDSpace(ctx context.Context) error {
 	succ := n.Successor()
 	if succ.Addr == n.self.Addr {
 		n.mu.Lock()
@@ -113,7 +114,7 @@ func (n *Node) fixFingersIDSpace() error {
 	for j := 1; j <= budget; j++ {
 		dist := uint64(1) << (64 - uint(j)) // ring/2^j
 		target := ids.Add(n.id, dist)
-		r, _, err := n.lookupFrom(n.self, target)
+		r, _, err := n.lookupFrom(ctx, n.self, target)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err

@@ -28,6 +28,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -225,26 +226,36 @@ var errStale = errors.New("dht: stale routing state")
 var ErrLookupFailed = errors.New("dht: lookup failed")
 
 // Lookup resolves the node responsible for key, returning it and the
-// number of hops (routing RPCs) taken.
-func (n *Node) Lookup(key ids.ID) (Remote, int, error) {
+// number of hops (routing RPCs) taken. A cancelled context stops the
+// iterative routing (and its retries) at the next hop boundary.
+func (n *Node) Lookup(ctx context.Context, key ids.ID) (Remote, int, error) {
 	if n.Responsible(key) {
 		n.hopHist.Add(0)
 		return n.self, 0, nil
 	}
 	var lastErr error
 	for attempt := 0; attempt <= n.opts.LookupRetries; attempt++ {
-		r, hops, err := n.lookupFrom(n.self, key)
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		r, hops, err := n.lookupFrom(ctx, n.self, key)
 		if err == nil {
 			n.hopHist.Add(hops)
 			return r, hops, nil
 		}
 		lastErr = err
+		if ctx.Err() != nil {
+			break // the failure is the cancellation; don't burn retries
+		}
 		// Give the ring a chance to repair before retrying.
-		if serr := n.Stabilize(); serr != nil {
+		if serr := n.Stabilize(ctx); serr != nil {
 			lastErr = fmt.Errorf("%v (stabilize: %v)", lastErr, serr)
 		}
 	}
-	return Remote{}, 0, fmt.Errorf("%w: %v", ErrLookupFailed, lastErr)
+	return Remote{}, 0, fmt.Errorf("%w: %w", ErrLookupFailed, lastErr)
 }
 
 // lookupFrom runs one iterative lookup for key starting at node start
@@ -252,7 +263,7 @@ func (n *Node) Lookup(key ids.ID) (Remote, int, error) {
 // RPC when the current node is remote. A frontier of untried candidates
 // from the last successful step lets the lookup route around individual
 // dead nodes.
-func (n *Node) lookupFrom(start Remote, key ids.ID) (Remote, int, error) {
+func (n *Node) lookupFrom(ctx context.Context, start Remote, key ids.ID) (Remote, int, error) {
 	cur := start
 	hops := 0
 	var frontier []Remote
@@ -264,9 +275,14 @@ func (n *Node) lookupFrom(start Remote, key ids.ID) (Remote, int, error) {
 			cands = n.nextHopCandidates(key)
 		} else {
 			var err error
-			cands, curSucc, err = n.rpcNextHop(cur.Addr, key)
+			cands, curSucc, err = n.rpcNextHop(ctx, cur.Addr, key)
 			hops++
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					// The routing step failed because the caller gave up:
+					// report the cancellation, don't route around it.
+					return Remote{}, hops, cerr
+				}
 				// Current node died mid-lookup: fall back to an untried
 				// candidate from the previous step.
 				if len(frontier) > 0 {
@@ -348,16 +364,18 @@ func closestPreceding(selfID, key ids.ID, fingers, succs []Remote, max int) []Re
 
 // Join inserts the node into the ring reachable at bootstrap: it resolves
 // its own successor by routing from the bootstrap node, adopts it, and
-// announces itself. Pointers are then repaired by Stabilize rounds.
-func (n *Node) Join(bootstrap transport.Addr) error {
+// announces itself. Pointers are then repaired by Stabilize rounds. The
+// context bounds the whole join, including the bootstrap dial on TCP
+// transports.
+func (n *Node) Join(ctx context.Context, bootstrap transport.Addr) error {
 	if bootstrap == n.self.Addr {
 		return errors.New("dht: cannot bootstrap from self")
 	}
-	boot, err := n.rpcPing(bootstrap)
+	boot, err := n.rpcPing(ctx, bootstrap)
 	if err != nil {
 		return fmt.Errorf("dht: join via %s: %w", bootstrap, err)
 	}
-	succ, _, err := n.lookupFrom(boot, n.id)
+	succ, _, err := n.lookupFrom(ctx, boot, n.id)
 	if err != nil {
 		return fmt.Errorf("dht: join via %s: %w", bootstrap, err)
 	}
@@ -373,7 +391,7 @@ func (n *Node) Join(bootstrap transport.Addr) error {
 	ch := delta.fireLocked()
 	n.mu.Unlock()
 	n.deliver(ch)
-	return n.rpcNotify(succ.Addr, n.self)
+	return n.rpcNotify(ctx, succ.Addr, n.self)
 }
 
 // Stabilize runs one maintenance round: check the predecessor's liveness,
@@ -381,18 +399,21 @@ func (n *Node) Join(bootstrap transport.Addr) error {
 // us), refresh the successor list, and notify the successor of our
 // existence. It returns an error only if every known successor is
 // unreachable.
-func (n *Node) Stabilize() error {
-	n.checkPredecessor()
+func (n *Node) Stabilize(ctx context.Context) error {
+	n.checkPredecessor(ctx)
 	succs := n.Successors()
 	var lastErr error
 	for _, s := range succs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if s.Addr == n.self.Addr {
 			// We are our own successor. If someone has notified us (a
 			// second node joined), adopt them to break out of the
 			// single-node state.
 			if pred := n.Predecessor(); !pred.IsZero() && pred.Addr != n.self.Addr {
 				n.adoptSuccessor(pred, nil)
-				if err := n.rpcNotify(pred.Addr, n.self); err != nil {
+				if err := n.rpcNotify(ctx, pred.Addr, n.self); err != nil {
 					lastErr = err
 					continue
 				}
@@ -401,7 +422,7 @@ func (n *Node) Stabilize() error {
 			n.adoptSuccessor(n.self, nil)
 			return nil
 		}
-		pred, slist, err := n.rpcGetState(s.Addr)
+		pred, slist, err := n.rpcGetState(ctx, s.Addr)
 		if err != nil {
 			lastErr = err
 			continue // successor dead: fail over to the next in the list
@@ -409,13 +430,13 @@ func (n *Node) Stabilize() error {
 		succ := s
 		if !pred.IsZero() && pred.Addr != n.self.Addr && ids.BetweenOpen(pred.ID, n.id, s.ID) {
 			// A node joined between us and our successor; adopt it if alive.
-			if p2, sl2, err2 := n.rpcGetState(pred.Addr); err2 == nil {
+			if p2, sl2, err2 := n.rpcGetState(ctx, pred.Addr); err2 == nil {
 				succ, slist = pred, sl2
 				_ = p2
 			}
 		}
 		n.adoptSuccessor(succ, slist)
-		if err := n.rpcNotify(succ.Addr, n.self); err != nil {
+		if err := n.rpcNotify(ctx, succ.Addr, n.self); err != nil {
 			lastErr = err
 			continue
 		}
@@ -529,12 +550,14 @@ func (n *Node) PredecessorFailed() {
 
 // checkPredecessor pings the predecessor and clears the pointer if it is
 // unreachable, so that the live predecessor's next notify can take over.
-func (n *Node) checkPredecessor() {
+// A failure caused by the caller's own cancelled context is not evidence
+// of a dead predecessor and leaves the pointer alone.
+func (n *Node) checkPredecessor(ctx context.Context) {
 	pred := n.Predecessor()
 	if pred.IsZero() || pred.Addr == n.self.Addr {
 		return
 	}
-	if _, err := n.rpcPing(pred.Addr); err != nil {
+	if _, err := n.rpcPing(ctx, pred.Addr); err != nil && ctx.Err() == nil {
 		n.PredecessorFailed()
 	}
 }
@@ -542,7 +565,7 @@ func (n *Node) checkPredecessor() {
 // Leave departs gracefully: the predecessor and successor are linked to
 // each other. The caller is responsible for re-publishing any application
 // state (the global index treats stored entries as soft state).
-func (n *Node) Leave() error {
+func (n *Node) Leave(ctx context.Context) error {
 	n.mu.RLock()
 	pred, succ := n.pred, n.succs[0]
 	n.mu.RUnlock()
@@ -551,10 +574,10 @@ func (n *Node) Leave() error {
 	}
 	var firstErr error
 	if !pred.IsZero() {
-		if err := n.rpcSetSuccessor(pred.Addr, succ); err != nil {
+		if err := n.rpcSetSuccessor(ctx, pred.Addr, succ); err != nil {
 			firstErr = err
 		}
-		if err := n.rpcNotify(succ.Addr, pred); err != nil && firstErr == nil {
+		if err := n.rpcNotify(ctx, succ.Addr, pred); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

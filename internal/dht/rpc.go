@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ids"
@@ -125,8 +126,8 @@ func (n *Node) registerHandlers(d *transport.Dispatcher) {
 	})
 }
 
-func (n *Node) rpcPing(to transport.Addr) (Remote, error) {
-	_, resp, err := n.ep.Call(to, MsgPing, nil)
+func (n *Node) rpcPing(ctx context.Context, to transport.Addr) (Remote, error) {
+	_, resp, err := n.ep.Call(ctx, to, MsgPing, nil)
 	if err != nil {
 		return Remote{}, err
 	}
@@ -135,10 +136,10 @@ func (n *Node) rpcPing(to transport.Addr) (Remote, error) {
 	return rem, r.Err()
 }
 
-func (n *Node) rpcNextHop(to transport.Addr, key ids.ID) (cands []Remote, succ Remote, err error) {
+func (n *Node) rpcNextHop(ctx context.Context, to transport.Addr, key ids.ID) (cands []Remote, succ Remote, err error) {
 	w := wire.NewWriter(8)
 	w.Uint64(uint64(key))
-	_, resp, err := n.ep.Call(to, MsgNextHop, w.Bytes())
+	_, resp, err := n.ep.Call(ctx, to, MsgNextHop, w.Bytes())
 	if err != nil {
 		return nil, Remote{}, err
 	}
@@ -151,8 +152,8 @@ func (n *Node) rpcNextHop(to transport.Addr, key ids.ID) (cands []Remote, succ R
 	return cands, succ, nil
 }
 
-func (n *Node) rpcGetState(to transport.Addr) (pred Remote, succs []Remote, err error) {
-	_, resp, err := n.ep.Call(to, MsgGetState, nil)
+func (n *Node) rpcGetState(ctx context.Context, to transport.Addr) (pred Remote, succs []Remote, err error) {
+	_, resp, err := n.ep.Call(ctx, to, MsgGetState, nil)
 	if err != nil {
 		return Remote{}, nil, err
 	}
@@ -165,17 +166,17 @@ func (n *Node) rpcGetState(to transport.Addr) (pred Remote, succs []Remote, err 
 	return pred, succs, nil
 }
 
-func (n *Node) rpcNotify(to transport.Addr, cand Remote) error {
+func (n *Node) rpcNotify(ctx context.Context, to transport.Addr, cand Remote) error {
 	w := wire.NewWriter(32)
 	encodeRemote(w, cand)
-	_, _, err := n.ep.Call(to, MsgNotify, w.Bytes())
+	_, _, err := n.ep.Call(ctx, to, MsgNotify, w.Bytes())
 	return err
 }
 
-func (n *Node) rpcGetFinger(to transport.Addr, level int) (Remote, error) {
+func (n *Node) rpcGetFinger(ctx context.Context, to transport.Addr, level int) (Remote, error) {
 	w := wire.NewWriter(4)
 	w.Uvarint(uint64(level))
-	_, resp, err := n.ep.Call(to, MsgGetFinger, w.Bytes())
+	_, resp, err := n.ep.Call(ctx, to, MsgGetFinger, w.Bytes())
 	if err != nil {
 		return Remote{}, err
 	}
@@ -184,9 +185,9 @@ func (n *Node) rpcGetFinger(to transport.Addr, level int) (Remote, error) {
 	return rem, r.Err()
 }
 
-func (n *Node) rpcSetSuccessor(to transport.Addr, succ Remote) error {
+func (n *Node) rpcSetSuccessor(ctx context.Context, to transport.Addr, succ Remote) error {
 	w := wire.NewWriter(32)
 	encodeRemote(w, succ)
-	_, _, err := n.ep.Call(to, MsgSetSuccessor, w.Bytes())
+	_, _, err := n.ep.Call(ctx, to, MsgSetSuccessor, w.Bytes())
 	return err
 }

@@ -1,6 +1,10 @@
 package dht
 
-import "repro/internal/transport"
+import (
+	"context"
+
+	"repro/internal/transport"
+)
 
 // RingChange describes one observed change to a node's ring pointers. It
 // is the delta behind a RingEpoch bump: which pointer moved, from what to
@@ -96,9 +100,9 @@ func (n *Node) deliver(ch RingChange) {
 // node at addr. It is the exported form of the GetState RPC, used by
 // upper layers that need to know where a peer's replicas live. Asking a
 // node for its own state answers locally without an RPC.
-func (n *Node) StateOf(addr transport.Addr) (pred Remote, succs []Remote, err error) {
+func (n *Node) StateOf(ctx context.Context, addr transport.Addr) (pred Remote, succs []Remote, err error) {
 	if addr == n.self.Addr {
 		return n.Predecessor(), n.Successors(), nil
 	}
-	return n.rpcGetState(addr)
+	return n.rpcGetState(ctx, addr)
 }

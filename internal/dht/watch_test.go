@@ -1,6 +1,8 @@
 package dht
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -23,14 +25,14 @@ func TestRingChangeNotifications(t *testing.T) {
 		mu.Unlock()
 	})
 
-	if err := b.Join(a.Self().Addr); err != nil {
+	if err := b.Join(context.Background(), a.Self().Addr); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := a.Stabilize(); err != nil {
+		if err := a.Stabilize(context.Background()); err != nil {
 			t.Fatal(err)
 		}
-		if err := b.Stabilize(); err != nil {
+		if err := b.Stabilize(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,8 +70,8 @@ func TestRingChangeNotifications(t *testing.T) {
 	before := len(events)
 	mu.Unlock()
 	for i := 0; i < 3; i++ {
-		_ = a.Stabilize()
-		_ = b.Stabilize()
+		_ = a.Stabilize(context.Background())
+		_ = b.Stabilize(context.Background())
 	}
 	mu.Lock()
 	if len(events) != before {
@@ -117,7 +119,7 @@ func TestStateOf(t *testing.T) {
 	nodes := buildRing(t, net, []ids.ID{100, 200, 300}, Options{})
 	n := nodes[0]
 	for _, m := range nodes {
-		pred, succs, err := n.StateOf(m.Self().Addr)
+		pred, succs, err := n.StateOf(context.Background(), m.Self().Addr)
 		if err != nil {
 			t.Fatalf("StateOf(%s): %v", m.Self().Addr, err)
 		}

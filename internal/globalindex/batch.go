@@ -1,6 +1,7 @@
 package globalindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,6 +22,11 @@ const (
 	MsgMultiAppend  uint8 = 0x17 // (n, n×(key, bound, announcedDF, list)) -> n×storedLen
 	MsgMultiGet     uint8 = 0x18 // (n, n×(key, maxResults)) -> n×(found, wantIndex, list?)
 	MsgMultiKeyInfo uint8 = 0x19 // (n, n×key) -> n×(present, approxDF, truncated)
+	// MsgMultiGetAny is MsgMultiGet minus the responsibility check: it is
+	// addressed to a *replica* of the keys' primary (the ReadAnyReplica
+	// policy), which legitimately serves keys it does not own. (0x1A is
+	// taken by the single-term baseline's MsgIntersect.)
+	MsgMultiGetAny uint8 = 0x1B
 )
 
 // MaxBatchItems bounds the item count a batch handler accepts in one
@@ -116,7 +122,7 @@ func (ix *Index) handleMultiAppend(_ transport.Addr, _ uint8, body []byte) (uint
 	return MsgMultiAppend, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiGet(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiGet(_ transport.Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	count, err := readBatchCount(r)
 	if err != nil {
@@ -131,8 +137,10 @@ func (ix *Index) handleMultiGet(_ transport.Addr, _ uint8, body []byte) (uint8, 
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
-	if err := ix.checkResponsible(keys); err != nil {
-		return 0, nil, err
+	if msgType != MsgMultiGetAny {
+		if err := ix.checkResponsible(keys); err != nil {
+			return 0, nil, err
+		}
 	}
 	w := wire.NewWriter(64 * count)
 	w.Uvarint(uint64(count))
@@ -144,7 +152,7 @@ func (ix *Index) handleMultiGet(_ transport.Addr, _ uint8, body []byte) (uint8, 
 			list.Encode(w)
 		}
 	}
-	return MsgMultiGet, w.Bytes(), nil
+	return msgType, w.Bytes(), nil
 }
 
 func (ix *Index) handleMultiKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
@@ -279,12 +287,12 @@ func chunkGroups(groups []group, max int) []group {
 
 // resolveAll resolves the canonical keys of a batch through the caching
 // resolver.
-func (ix *Index) resolveAll(keys []string, workers int) ([]dht.Remote, error) {
+func (ix *Index) resolveAll(ctx context.Context, keys []string, workers int) ([]dht.Remote, error) {
 	hashes := make([]ids.ID, len(keys))
 	for i, k := range keys {
 		hashes[i] = ids.HashString(k)
 	}
-	peers, err := ix.resolver.Resolve(hashes, workers)
+	peers, err := ix.resolver.Resolve(ctx, hashes, workers)
 	if err != nil {
 		return nil, fmt.Errorf("globalindex: batch resolve: %w", err)
 	}
@@ -297,13 +305,13 @@ func (ix *Index) resolveAll(keys []string, workers int) ([]dht.Remote, error) {
 // the fan-out; 0 = default, 1 = sequential). It returns the stored length
 // per item, in input order. Items whose batch call fails over a stale or
 // dead route are retried individually through the single-item path.
-func (ix *Index) MultiPut(items []PutItem, workers int) ([]int, error) {
+func (ix *Index) MultiPut(ctx context.Context, items []PutItem, workers int) ([]int, error) {
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
 	}
 	out := make([]int, len(items))
-	err := ix.runBatch(keys, workers, MsgMultiPut, true,
+	err := ix.runBatch(ctx, keys, workers, MsgMultiPut, true, nil,
 		func(w *wire.Writer, i int) {
 			writeKeyBoundList(w, keys[i], items[i].Bound, 0, items[i].List, false)
 		},
@@ -312,7 +320,7 @@ func (ix *Index) MultiPut(items []PutItem, workers int) ([]int, error) {
 			return r.Err()
 		},
 		func(i int) error {
-			n, err := ix.Put(items[i].Terms, items[i].List, items[i].Bound)
+			n, err := ix.Put(ctx, items[i].Terms, items[i].List, items[i].Bound)
 			out[i] = n
 			return err
 		})
@@ -321,13 +329,13 @@ func (ix *Index) MultiPut(items []PutItem, workers int) ([]int, error) {
 
 // MultiAppend merges every item's list into its canonical key's entry,
 // with the same coalescing, fan-out and retry behaviour as MultiPut.
-func (ix *Index) MultiAppend(items []AppendItem, workers int) ([]int, error) {
+func (ix *Index) MultiAppend(ctx context.Context, items []AppendItem, workers int) ([]int, error) {
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
 	}
 	out := make([]int, len(items))
-	err := ix.runBatch(keys, workers, MsgMultiAppend, false,
+	err := ix.runBatch(ctx, keys, workers, MsgMultiAppend, false, nil,
 		func(w *wire.Writer, i int) {
 			writeKeyBoundList(w, keys[i], items[i].Bound, items[i].AnnouncedDF, items[i].List, true)
 		},
@@ -336,25 +344,36 @@ func (ix *Index) MultiAppend(items []AppendItem, workers int) ([]int, error) {
 			return r.Err()
 		},
 		func(i int) error {
-			n, err := ix.Append(items[i].Terms, items[i].List, items[i].Bound, items[i].AnnouncedDF)
+			n, err := ix.Append(ctx, items[i].Terms, items[i].List, items[i].Bound, items[i].AnnouncedDF)
 			out[i] = n
 			return err
 		})
 	return out, err
 }
 
-// MultiGet fetches every item's posting list, coalescing per responsible
-// peer like MultiPut. Probes update usage statistics at the responsible
+// MultiGet fetches every item's posting list, coalescing per serving
+// peer like MultiPut. Probes update usage statistics at the serving
 // peers exactly as per-item Gets would; because a probe is a side
 // effect, an ambiguously-failed batch call is surfaced as an error
-// rather than retried (see runBatch).
-func (ix *Index) MultiGet(items []GetItem, workers int) ([]GetResult, error) {
+// rather than retried (see runBatch). Under ReadAnyReplica each key is
+// retargeted from its primary to a hash-chosen member of the primary's
+// replica set and the groups go out as MsgMultiGetAny frames (no
+// responsibility check: replicas serve keys they do not own).
+func (ix *Index) MultiGet(ctx context.Context, items []GetItem, workers int, policy ReadPolicy) ([]GetResult, error) {
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
 	}
+	msg := MsgMultiGet
+	var retarget func(key string, primary dht.Remote) dht.Remote
+	if policy == ReadAnyReplica && ix.repl.factor > 1 {
+		msg = MsgMultiGetAny
+		retarget = func(key string, primary dht.Remote) dht.Remote {
+			return dht.Remote{ID: primary.ID, Addr: ix.readTarget(ctx, key, primary)}
+		}
+	}
 	out := make([]GetResult, len(items))
-	err := ix.runBatch(keys, workers, MsgMultiGet, false,
+	err := ix.runBatch(ctx, keys, workers, msg, false, retarget,
 		func(w *wire.Writer, i int) {
 			w.String(keys[i])
 			w.Uvarint(uint64(items[i].MaxResults))
@@ -375,7 +394,7 @@ func (ix *Index) MultiGet(items []GetItem, workers int) ([]GetResult, error) {
 			return nil
 		},
 		func(i int) error {
-			list, found, wantIndex, err := ix.Get(items[i].Terms, items[i].MaxResults)
+			list, found, wantIndex, err := ix.Get(ctx, items[i].Terms, items[i].MaxResults, ReadPrimary)
 			out[i] = GetResult{List: list, Found: found, WantIndex: wantIndex}
 			return err
 		})
@@ -386,13 +405,13 @@ func (ix *Index) MultiGet(items []GetItem, workers int) ([]GetResult, error) {
 // state for every item's key, coalescing per responsible peer. HDK's
 // expansion rounds use it to frequency-test a whole frontier in a few
 // round trips.
-func (ix *Index) MultiKeyInfo(items []KeyInfoItem, workers int) ([]KeyInfoResult, error) {
+func (ix *Index) MultiKeyInfo(ctx context.Context, items []KeyInfoItem, workers int) ([]KeyInfoResult, error) {
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
 	}
 	out := make([]KeyInfoResult, len(items))
-	err := ix.runBatch(keys, workers, MsgMultiKeyInfo, true,
+	err := ix.runBatch(ctx, keys, workers, MsgMultiKeyInfo, true, nil,
 		func(w *wire.Writer, i int) {
 			w.String(keys[i])
 		},
@@ -403,7 +422,7 @@ func (ix *Index) MultiKeyInfo(items []KeyInfoItem, workers int) ([]KeyInfoResult
 			return r.Err()
 		},
 		func(i int) error {
-			df, present, truncated, err := ix.KeyInfo(items[i].Terms)
+			df, present, truncated, err := ix.KeyInfo(ctx, items[i].Terms)
 			out[i] = KeyInfoResult{DF: df, Present: present, Truncated: truncated}
 			return err
 		})
@@ -411,9 +430,15 @@ func (ix *Index) MultiKeyInfo(items []KeyInfoItem, workers int) ([]KeyInfoResult
 }
 
 // runBatch is the shared engine of the Multi operations: resolve all
-// keys, group per responsible peer, one concurrent RPC per peer, decode
+// keys, group per serving peer, one concurrent RPC per peer, decode
 // per-item answers in order, and fall back to the per-item path for any
-// group whose call failed (after invalidating its cached route).
+// group whose call failed (after invalidating its cached route). The
+// context stops the fan-out from dispatching further group calls once it
+// dies, and its error propagates.
+//
+// retarget, when non-nil, maps each item's resolved primary to the peer
+// that actually serves it (the ReadAnyReplica policy redirects reads to
+// replica-set members); nil keeps the primaries.
 //
 // idempotent declares whether re-applying an already-applied item is
 // harmless (Put replaces, KeyInfo reads without side effects). For a
@@ -421,10 +446,12 @@ func (ix *Index) MultiKeyInfo(items []KeyInfoItem, workers int) ([]KeyInfoResult
 // records a usage probe) the fallback runs only when the failure proves
 // the frame was never applied: the handler rejected it (RemoteError —
 // batch handlers mutate nothing before rejecting) or the transport never
-// delivered it (ErrUnreachable). An interrupted call or a garbled
-// response propagates as an error instead, exactly as the sequential
-// per-key path would surface it.
-func (ix *Index) runBatch(keys []string, workers int, msg uint8, idempotent bool,
+// delivered it (ErrUnreachable, which includes a context that died
+// before the send). An interrupted call or a garbled response propagates
+// as an error instead, exactly as the sequential per-key path would
+// surface it.
+func (ix *Index) runBatch(ctx context.Context, keys []string, workers int, msg uint8, idempotent bool,
+	retarget func(key string, primary dht.Remote) dht.Remote,
 	encodeItem func(w *wire.Writer, i int),
 	decodeItem func(r *wire.Reader, i int) error,
 	fallbackItem func(i int) error,
@@ -432,33 +459,57 @@ func (ix *Index) runBatch(keys []string, workers int, msg uint8, idempotent bool
 	if len(keys) == 0 {
 		return nil
 	}
-	peers, err := ix.resolveAll(keys, workers)
+	primaries, err := ix.resolveAll(ctx, keys, workers)
 	if err != nil {
 		return err
 	}
-	groups := chunkGroups(groupByPeer(peers), MaxBatchItems)
+	serve := primaries
+	if retarget != nil {
+		serve = make([]dht.Remote, len(primaries))
+		for i := range primaries {
+			serve[i] = retarget(keys[i], primaries[i])
+		}
+	}
+	groups := chunkGroups(groupByPeer(serve), MaxBatchItems)
+	// groupRetargeted reports whether any of a group's items was steered
+	// away from its primary. A group whose every item is primary-served
+	// keeps the responsibility-checked frame even under a replica-read
+	// policy, preserving the batch path's stale-route detection for the
+	// ~1/R of keys the hash keeps on their primaries.
+	groupRetargeted := func(g group) bool {
+		for _, i := range g.items {
+			if serve[i].Addr != primaries[i].Addr {
+				return true
+			}
+		}
+		return false
+	}
 	errs := make([]error, len(groups))
 	replMsg := replicaWriteMsg(msg)
-	dht.RunBounded(len(groups), workers, func(gi int) {
+	stopped := dht.RunBounded(ctx, len(groups), workers, func(gi int) {
 		g := groups[gi]
+		gmsg := msg
+		if gmsg == MsgMultiGetAny && !groupRetargeted(g) {
+			gmsg = MsgMultiGet
+		}
 		w := wire.NewWriter(64 * len(g.items))
 		w.Uvarint(uint64(len(g.items)))
 		for _, i := range g.items {
 			encodeItem(w, i)
 		}
-		_, resp, err := ix.node.Endpoint().Call(g.addr, msg, w.Bytes())
+		_, resp, err := ix.node.Endpoint().Call(ctx, g.addr, gmsg, w.Bytes())
 		if err != nil {
 			errs[gi] = err
 			return
 		}
 		r := wire.NewReader(resp)
 		if count := int(r.Uvarint()); r.Err() != nil || count != len(g.items) {
-			errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: bad response count", msg, g.addr)
+			errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: bad response count", gmsg, g.addr)
 			return
 		}
 		for _, i := range g.items {
 			if err := decodeItem(r, i); err != nil {
-				errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: %w", msg, g.addr, err)
+				errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: %w", gmsg, g.addr, err)
 				return
 			}
 		}
@@ -466,16 +517,39 @@ func (ix *Index) runBatch(keys []string, workers int, msg uint8, idempotent bool
 			// Write-through: the replica replay frame is the applied batch
 			// frame verbatim (same body layout, responsibility check
 			// skipped on the replica side).
-			ix.replicate(g.addr, replMsg, w.Bytes())
+			ix.replicate(ctx, g.addr, replMsg, w.Bytes())
 		}
 	})
+	if stopped != nil {
+		return stopped
+	}
 	for gi, gerr := range errs {
 		if gerr == nil {
 			continue
 		}
+		if ctx.Err() != nil {
+			// The group failed because the caller gave up: surface the
+			// cancellation instead of burning per-item retries.
+			return gerr
+		}
 		// The cached route was stale or the peer is gone: drop it from
-		// the cache either way.
+		// the cache either way. A retargeted (replica-read) group also
+		// drops the replica sets naming the failed peer — or every later
+		// AnyReplica read would re-route to the same dead replica — and
+		// the *primary* routes that produced the group, since a stale
+		// primary mapping is a failure the unchecked replica frame cannot
+		// detect on its own.
 		ix.resolver.Invalidate(groups[gi].addr)
+		if retarget != nil && groupRetargeted(groups[gi]) {
+			ix.invalidateReplicaTarget(groups[gi].addr)
+			dropped := map[transport.Addr]bool{groups[gi].addr: true}
+			for _, i := range groups[gi].items {
+				if p := primaries[i].Addr; !dropped[p] {
+					dropped[p] = true
+					ix.resolver.Invalidate(p)
+				}
+			}
+		}
 		if !idempotent && !retryProvablySafe(gerr) {
 			return gerr
 		}

@@ -1,6 +1,8 @@
 package globalindex
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 	"testing"
@@ -34,11 +36,11 @@ func TestMultiAppendMatchesSequential(t *testing.T) {
 	items := multiItems(60, 5)
 
 	for _, it := range items {
-		if _, err := seqIdxs[0].Append(it.Terms, it.List, it.Bound, it.AnnouncedDF); err != nil {
+		if _, err := seqIdxs[0].Append(context.Background(), it.Terms, it.List, it.Bound, it.AnnouncedDF); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ns, err := batIdxs[0].MultiAppend(items, 8)
+	ns, err := batIdxs[0].MultiAppend(context.Background(), items, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
 		l.Normalize()
 		puts = append(puts, PutItem{Terms: []string{fmt.Sprintf("key%02d", i)}, List: l, Bound: 5})
 	}
-	ns, err := idxs[1].MultiPut(puts, 8)
+	ns, err := idxs[1].MultiPut(context.Background(), puts, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
 	gets = append(gets, GetItem{Terms: []string{"no-such-key"}})
 
 	before := net.Meter().Snapshot().Messages
-	res, err := idxs[2].MultiGet(gets, 8)
+	res, err := idxs[2].MultiGet(context.Background(), gets, 8, ReadPrimary)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
 	// The same fetches one at a time must cost strictly more round trips.
 	before = net.Meter().Snapshot().Messages
 	for _, g := range gets {
-		if _, _, _, err := idxs[3].Get(g.Terms, g.MaxResults); err != nil {
+		if _, _, _, err := idxs[3].Get(context.Background(), g.Terms, g.MaxResults, ReadPrimary); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,7 +126,7 @@ func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
 
 func TestMultiGetRecordsProbes(t *testing.T) {
 	nodes, idxs, _ := ring(t, 6)
-	if _, err := idxs[0].MultiGet([]GetItem{{Terms: []string{"absent"}}, {Terms: []string{"absent"}}}, 4); err != nil {
+	if _, err := idxs[0].MultiGet(context.Background(), []GetItem{{Terms: []string{"absent"}}, {Terms: []string{"absent"}}}, 4, ReadPrimary); err != nil {
 		t.Fatal(err)
 	}
 	// Whichever peer is responsible recorded exactly two probes.
@@ -338,13 +340,13 @@ func TestChunkGroupsSplitsOversized(t *testing.T) {
 func TestMultiEmptyBatchesAreFree(t *testing.T) {
 	_, idxs, net := ring(t, 4)
 	before := net.Meter().Snapshot().Messages
-	if ns, err := idxs[0].MultiPut(nil, 8); err != nil || len(ns) != 0 {
+	if ns, err := idxs[0].MultiPut(context.Background(), nil, 8); err != nil || len(ns) != 0 {
 		t.Fatalf("empty MultiPut: %v %v", ns, err)
 	}
-	if ns, err := idxs[0].MultiAppend(nil, 8); err != nil || len(ns) != 0 {
+	if ns, err := idxs[0].MultiAppend(context.Background(), nil, 8); err != nil || len(ns) != 0 {
 		t.Fatalf("empty MultiAppend: %v %v", ns, err)
 	}
-	if rs, err := idxs[0].MultiGet(nil, 8); err != nil || len(rs) != 0 {
+	if rs, err := idxs[0].MultiGet(context.Background(), nil, 8, ReadPrimary); err != nil || len(rs) != 0 {
 		t.Fatalf("empty MultiGet: %v %v", rs, err)
 	}
 	if used := net.Meter().Snapshot().Messages - before; used != 0 {
@@ -364,7 +366,7 @@ func TestMultiFallbackAfterPeerDeath(t *testing.T) {
 	for _, it := range items {
 		gets = append(gets, GetItem{Terms: it.Terms})
 	}
-	if _, err := idxs[0].MultiGet(gets, 4); err != nil {
+	if _, err := idxs[0].MultiGet(context.Background(), gets, 4, ReadPrimary); err != nil {
 		t.Fatal(err)
 	}
 	victim := nodes[5].Self()
@@ -374,16 +376,16 @@ func TestMultiFallbackAfterPeerDeath(t *testing.T) {
 			if i == 5 {
 				continue
 			}
-			_ = n.Stabilize()
-			_ = n.FixFingers()
+			_ = n.Stabilize(context.Background())
+			_ = n.FixFingers(context.Background())
 		}
 	}
 
-	if _, err := idxs[0].MultiAppend(items, 4); err != nil {
+	if _, err := idxs[0].MultiAppend(context.Background(), items, 4); err != nil {
 		t.Fatalf("batch append across peer death: %v", err)
 	}
 	for _, it := range items {
-		list, found, _, err := idxs[2].Get(it.Terms, 0)
+		list, found, _, err := idxs[2].Get(context.Background(), it.Terms, 0, ReadPrimary)
 		if err != nil || !found || list.Len() == 0 {
 			t.Fatalf("key %v lost after fallback: found=%v err=%v", it.Terms, found, err)
 		}

@@ -1,6 +1,8 @@
 package globalindex
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -102,7 +104,7 @@ func TestStoreQuickAppendInvariants(t *testing.T) {
 func TestKeyInfoRPCEndToEnd(t *testing.T) {
 	_, idxs, _ := ring(t, 8)
 	// Unknown key.
-	df, present, truncated, err := idxs[0].KeyInfo([]string{"ghost"})
+	df, present, truncated, err := idxs[0].KeyInfo(context.Background(), []string{"ghost"})
 	if err != nil || present || truncated || df != 0 {
 		t.Fatalf("unknown key info: %d %v %v %v", df, present, truncated, err)
 	}
@@ -111,10 +113,10 @@ func TestKeyInfoRPCEndToEnd(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		big.Add(post("pub", uint32(i), float64(i)))
 	}
-	if _, err := idxs[1].Append([]string{"busy"}, big, 10, 30); err != nil {
+	if _, err := idxs[1].Append(context.Background(), []string{"busy"}, big, 10, 30); err != nil {
 		t.Fatal(err)
 	}
-	df, present, truncated, err = idxs[2].KeyInfo([]string{"busy"})
+	df, present, truncated, err = idxs[2].KeyInfo(context.Background(), []string{"busy"})
 	if err != nil || !present || !truncated || df != 30 {
 		t.Fatalf("busy key info: df=%d present=%v trunc=%v err=%v", df, present, truncated, err)
 	}
@@ -122,14 +124,14 @@ func TestKeyInfoRPCEndToEnd(t *testing.T) {
 
 func TestGetRoutesToResponsiblePeerOnly(t *testing.T) {
 	nodes, idxs, net := ring(t, 10)
-	if _, err := idxs[0].Put([]string{"target"}, &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10); err != nil {
+	if _, err := idxs[0].Put(context.Background(), []string{"target"}, &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10); err != nil {
 		t.Fatal(err)
 	}
 	// Record per-peer load, issue gets from every peer, and verify the
 	// Get requests (type MsgGet) all landed at the responsible peer.
 	var responsible transport.Addr
 	{
-		r, _, err := nodes[0].Lookup(keyID("target"))
+		r, _, err := nodes[0].Lookup(context.Background(), keyID("target"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +142,7 @@ func TestGetRoutesToResponsiblePeerOnly(t *testing.T) {
 		before[n.Self().Addr] = net.Load(n.Self().Addr).Snapshot().PerType[MsgGet].Messages
 	}
 	for _, ix := range idxs {
-		if _, _, _, err := ix.Get([]string{"target"}, 0); err != nil {
+		if _, _, _, err := ix.Get(context.Background(), []string{"target"}, 0, ReadPrimary); err != nil {
 			t.Fatal(err)
 		}
 	}

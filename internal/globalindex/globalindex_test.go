@@ -1,6 +1,8 @@
 package globalindex
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -229,11 +231,11 @@ func TestDistributedPutGet(t *testing.T) {
 	nodes, idxs, _ := ring(t, 12)
 	terms := []string{"peer", "retrieval"}
 	list := &postings.List{Entries: []postings.Posting{post("p3", 7, 1.5), post("p4", 1, 0.5)}}
-	if _, err := idxs[0].Put(terms, list, 100); err != nil {
+	if _, err := idxs[0].Put(context.Background(), terms, list, 100); err != nil {
 		t.Fatal(err)
 	}
 	// Any peer can fetch it.
-	got, found, _, err := idxs[7].Get([]string{"retrieval", "peer"}, 0) // order independent
+	got, found, _, err := idxs[7].Get(context.Background(), []string{"retrieval", "peer"}, 0, ReadPrimary) // order independent
 	if err != nil || !found {
 		t.Fatalf("get: %v found=%v", err, found)
 	}
@@ -242,7 +244,7 @@ func TestDistributedPutGet(t *testing.T) {
 	}
 	// The entry lives at exactly the responsible peer.
 	key := ids.KeyString(terms)
-	resp, _, err := nodes[0].Lookup(ids.HashString(key))
+	resp, _, err := nodes[0].Lookup(context.Background(), ids.HashString(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,11 +267,11 @@ func TestDistributedAppendAccumulates(t *testing.T) {
 	terms := []string{"shared"}
 	for i := 0; i < 5; i++ {
 		l := &postings.List{Entries: []postings.Posting{post(fmt.Sprintf("pub%d", i), 1, float64(i))}}
-		if _, err := idxs[i].Append(terms, l, 100, 0); err != nil {
+		if _, err := idxs[i].Append(context.Background(), terms, l, 100, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, found, _, err := idxs[6].Get(terms, 0)
+	got, found, _, err := idxs[6].Get(context.Background(), terms, 0, ReadPrimary)
 	if err != nil || !found {
 		t.Fatal(err)
 	}
@@ -280,32 +282,32 @@ func TestDistributedAppendAccumulates(t *testing.T) {
 
 func TestDistributedGetMissAndRemove(t *testing.T) {
 	_, idxs, _ := ring(t, 8)
-	if _, found, _, err := idxs[0].Get([]string{"nothing"}, 0); err != nil || found {
+	if _, found, _, err := idxs[0].Get(context.Background(), []string{"nothing"}, 0, ReadPrimary); err != nil || found {
 		t.Fatalf("miss: %v %v", found, err)
 	}
-	if _, err := idxs[0].Put([]string{"gone"}, &postings.List{}, 10); err != nil {
+	if _, err := idxs[0].Put(context.Background(), []string{"gone"}, &postings.List{}, 10); err != nil {
 		t.Fatal(err)
 	}
-	removed, err := idxs[3].Remove([]string{"gone"})
+	removed, err := idxs[3].Remove(context.Background(), []string{"gone"})
 	if err != nil || !removed {
 		t.Fatalf("remove: %v %v", removed, err)
 	}
-	if _, found, _, _ := idxs[5].Get([]string{"gone"}, 0); found {
+	if _, found, _, _ := idxs[5].Get(context.Background(), []string{"gone"}, 0, ReadPrimary); found {
 		t.Fatal("key must be gone after remove")
 	}
 }
 
 func TestPeerStatsRPC(t *testing.T) {
 	nodes, idxs, _ := ring(t, 6)
-	if _, err := idxs[0].Put([]string{"x"}, &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10); err != nil {
+	if _, err := idxs[0].Put(context.Background(), []string{"x"}, &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}, 10); err != nil {
 		t.Fatal(err)
 	}
 	key := ids.KeyString([]string{"x"})
-	resp, _, err := nodes[0].Lookup(ids.HashString(key))
+	resp, _, err := nodes[0].Lookup(context.Background(), ids.HashString(key))
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := idxs[1].PeerStats(resp.Addr)
+	st, err := idxs[1].PeerStats(context.Background(), resp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,17 +324,17 @@ func TestGetBandwidthBoundedByCap(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		big.Add(post("pub", uint32(i), float64(i)))
 	}
-	if _, err := idxs[0].Put([]string{"huge"}, big, 0); err != nil {
+	if _, err := idxs[0].Put(context.Background(), []string{"huge"}, big, 0); err != nil {
 		t.Fatal(err)
 	}
 	before := net.Meter().Snapshot()
-	if _, _, _, err := idxs[1].Get([]string{"huge"}, 50); err != nil {
+	if _, _, _, err := idxs[1].Get(context.Background(), []string{"huge"}, 50, ReadPrimary); err != nil {
 		t.Fatal(err)
 	}
 	capped := net.Meter().Snapshot().Sub(before).Bytes
 
 	before = net.Meter().Snapshot()
-	if _, _, _, err := idxs[1].Get([]string{"huge"}, 0); err != nil {
+	if _, _, _, err := idxs[1].Get(context.Background(), []string{"huge"}, 0, ReadPrimary); err != nil {
 		t.Fatal(err)
 	}
 	full := net.Meter().Snapshot().Sub(before).Bytes

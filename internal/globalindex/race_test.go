@@ -6,6 +6,8 @@ package globalindex
 // (the CI workflow does). The heaviest cases shrink under -short.
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 	"testing"
@@ -123,14 +125,14 @@ func TestBatchClientConcurrentPublishers(t *testing.T) {
 				l.Add(post(fmt.Sprintf("peer%d", p), uint32(i), float64(p+1)))
 				items[i] = AppendItem{Terms: []string{fmt.Sprintf("shared%03d", i)}, List: l, Bound: 0, AnnouncedDF: 1}
 			}
-			if _, err := idxs[p].MultiAppend(items, 4); err != nil {
+			if _, err := idxs[p].MultiAppend(context.Background(), items, 4); err != nil {
 				t.Errorf("peer %d: %v", p, err)
 			}
 			gets := make([]GetItem, nKeys)
 			for i := range gets {
 				gets[i] = GetItem{Terms: []string{fmt.Sprintf("shared%03d", i)}}
 			}
-			if _, err := idxs[p].MultiGet(gets, 4); err != nil {
+			if _, err := idxs[p].MultiGet(context.Background(), gets, 4, ReadPrimary); err != nil {
 				t.Errorf("peer %d get: %v", p, err)
 			}
 		}(p)
@@ -141,7 +143,7 @@ func TestBatchClientConcurrentPublishers(t *testing.T) {
 	// interleaving was.
 	for i := 0; i < nKeys; i++ {
 		terms := []string{fmt.Sprintf("shared%03d", i)}
-		l, found, _, err := idxs[0].Get(terms, 0)
+		l, found, _, err := idxs[0].Get(context.Background(), terms, 0, ReadPrimary)
 		if err != nil || !found {
 			t.Fatalf("key %d: found=%v err=%v", i, found, err)
 		}
@@ -170,7 +172,7 @@ func TestBatchClientSharedIndexConcurrentCallers(t *testing.T) {
 					l.Add(post("p", uint32(i), 1))
 					items[i] = PutItem{Terms: []string{fmt.Sprintf("c%dr%di%d", c, r, i)}, List: l, Bound: 4}
 				}
-				if _, err := ix.MultiPut(items, 4); err != nil {
+				if _, err := ix.MultiPut(context.Background(), items, 4); err != nil {
 					t.Errorf("caller %d: %v", c, err)
 					return
 				}
@@ -178,7 +180,7 @@ func TestBatchClientSharedIndexConcurrentCallers(t *testing.T) {
 				for i, it := range items {
 					gets[i] = GetItem{Terms: it.Terms}
 				}
-				res, err := ix.MultiGet(gets, 4)
+				res, err := ix.MultiGet(context.Background(), gets, 4, ReadPrimary)
 				if err != nil {
 					t.Errorf("caller %d get: %v", c, err)
 					return

@@ -1,6 +1,7 @@
 package globalindex
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -211,7 +212,7 @@ func decodeSyncItems(r *wire.Reader) (keys []string, dfs []int64, lists []*posti
 // and cached. It returns nil when replication is off, when the primary
 // cannot be asked (write-through only talks to live primaries), or when
 // the answer is degenerate.
-func (ix *Index) replicaTargets(primary transport.Addr) []dht.Remote {
+func (ix *Index) replicaTargets(ctx context.Context, primary transport.Addr) []dht.Remote {
 	want := ix.repl.factor - 1
 	if want <= 0 {
 		return nil
@@ -222,7 +223,7 @@ func (ix *Index) replicaTargets(primary transport.Addr) []dht.Remote {
 	if ok {
 		return cached
 	}
-	_, succs, err := ix.node.StateOf(primary)
+	_, succs, err := ix.node.StateOf(ctx, primary)
 	if err != nil {
 		return nil
 	}
@@ -233,6 +234,25 @@ func (ix *Index) replicaTargets(primary transport.Addr) []dht.Remote {
 	}
 	ix.repl.mu.Unlock()
 	return targets
+}
+
+// invalidateReplicaTarget drops every cached replica set naming addr as
+// a replica. The batch client calls it when a replica-read group fails:
+// the set that routed there is stale (the replica died or moved), and
+// without the drop every subsequent AnyReplica read would retarget the
+// same dead peer until an unrelated local ring change cleared the cache.
+// The next read refetches the primary's successor list.
+func (ix *Index) invalidateReplicaTarget(addr transport.Addr) {
+	ix.repl.mu.Lock()
+	for primary, targets := range ix.repl.succsOf {
+		for _, t := range targets {
+			if t.Addr == addr {
+				delete(ix.repl.succsOf, primary)
+				break
+			}
+		}
+	}
+	ix.repl.mu.Unlock()
 }
 
 // cachedReplicaTargets returns the cached replica set of primary without
@@ -267,9 +287,9 @@ func selectReplicas(primary transport.Addr, succs []dht.Remote, want int) []dht.
 // Best effort: a replica that cannot be reached is repaired later by the
 // anti-entropy pass, and a failed replica write must not fail the
 // client's operation.
-func (ix *Index) replicate(primary transport.Addr, msg uint8, body []byte) {
-	for _, t := range ix.replicaTargets(primary) {
-		_, _, _ = ix.node.Endpoint().Call(t.Addr, msg, body)
+func (ix *Index) replicate(ctx context.Context, primary transport.Addr, msg uint8, body []byte) {
+	for _, t := range ix.replicaTargets(ctx, primary) {
+		_, _, _ = ix.node.Endpoint().Call(ctx, t.Addr, msg, body)
 	}
 }
 
@@ -294,7 +314,7 @@ func replicaWriteMsg(msg uint8) uint8 {
 // (Lookup(prev.ID+1) resolves the next live owner once stabilization has
 // routed around the failure). ok reports whether a replica answered; a
 // replica's miss is returned as an authoritative absence.
-func (ix *Index) getFromReplicas(key string, maxResults int, primary dht.Remote, cause error) (list *postings.List, found, wantIndex, ok bool) {
+func (ix *Index) getFromReplicas(ctx context.Context, key string, maxResults int, primary dht.Remote, cause error) (list *postings.List, found, wantIndex, ok bool) {
 	if ix.repl.factor <= 1 || !errors.Is(cause, transport.ErrUnreachable) {
 		return nil, false, false, false
 	}
@@ -304,13 +324,13 @@ func (ix *Index) getFromReplicas(key string, maxResults int, primary dht.Remote,
 			continue
 		}
 		tried[t.Addr] = true
-		if list, found, wantIndex, ok = ix.getAt(t.Addr, key, maxResults); ok {
+		if list, found, wantIndex, ok = ix.getAt(ctx, t.Addr, key, maxResults); ok {
 			return list, found, wantIndex, true
 		}
 	}
 	cur := primary
 	for i := 1; i < ix.repl.factor; i++ {
-		next, _, err := ix.node.Lookup(cur.ID + 1)
+		next, _, err := ix.node.Lookup(ctx, cur.ID+1)
 		if err != nil {
 			return nil, false, false, false
 		}
@@ -319,7 +339,7 @@ func (ix *Index) getFromReplicas(key string, maxResults int, primary dht.Remote,
 		}
 		if !tried[next.Addr] {
 			tried[next.Addr] = true
-			if list, found, wantIndex, ok = ix.getAt(next.Addr, key, maxResults); ok {
+			if list, found, wantIndex, ok = ix.getAt(ctx, next.Addr, key, maxResults); ok {
 				return list, found, wantIndex, true
 			}
 		}
@@ -330,11 +350,11 @@ func (ix *Index) getFromReplicas(key string, maxResults int, primary dht.Remote,
 
 // getAt issues one plain Get to a specific peer (no routing); ok reports
 // a decodable answer.
-func (ix *Index) getAt(addr transport.Addr, key string, maxResults int) (list *postings.List, found, wantIndex, ok bool) {
+func (ix *Index) getAt(ctx context.Context, addr transport.Addr, key string, maxResults int) (list *postings.List, found, wantIndex, ok bool) {
 	w := wire.NewWriter(len(key) + 8)
 	w.String(key)
 	w.Uvarint(uint64(maxResults))
-	_, resp, err := ix.node.Endpoint().Call(addr, MsgGet, w.Bytes())
+	_, resp, err := ix.node.Endpoint().Call(ctx, addr, MsgGet, w.Bytes())
 	if err != nil {
 		return nil, false, false, false
 	}
@@ -373,6 +393,8 @@ func (ix *Index) getAt(addr transport.Addr, key string, maxResults int) (list *p
 // the responsibility range is unknown until the repairing notify arrives,
 // and acting on "I own everything" would flood the ring.
 func (ix *Index) onRingChange(ch dht.RingChange) {
+	// Anti-entropy runs from ring-maintenance callbacks, outside any
+	// query: it proceeds under its own background context.
 	ix.repl.mu.Lock()
 	ix.repl.succsOf = make(map[transport.Addr][]dht.Remote)
 	ix.repl.mu.Unlock()
@@ -394,6 +416,7 @@ func (ix *Index) onRingChange(ch dht.RingChange) {
 // resumes from the last received key's position, so ranges of any size
 // migrate completely.
 func (ix *Index) pullOwnedRange() {
+	ctx := context.Background()
 	self := ix.node.Self()
 	pred := ix.node.Predecessor()
 	succ := ix.node.Successor()
@@ -405,7 +428,7 @@ func (ix *Index) pullOwnedRange() {
 		w := wire.NewWriter(16)
 		w.Uint64(uint64(from))
 		w.Uint64(uint64(self.ID))
-		_, resp, err := ix.node.Endpoint().Call(succ.Addr, MsgPullRange, w.Bytes())
+		_, resp, err := ix.node.Endpoint().Call(ctx, succ.Addr, MsgPullRange, w.Bytes())
 		if err != nil {
 			return // best effort; the next ring change retries
 		}
@@ -436,6 +459,7 @@ func (ix *Index) pullOwnedRange() {
 // range (pred, self] to its current first R−1 successors, chunked at the
 // batch bound. Merging on the receiver makes repeated pushes idempotent.
 func (ix *Index) pushOwnedRange() {
+	ctx := context.Background()
 	self := ix.node.Self()
 	pred := ix.node.Predecessor()
 	if pred.IsZero() {
@@ -475,7 +499,44 @@ func (ix *Index) pushOwnedRange() {
 			writeSyncItem(w, it.key, it.df, it.list)
 		}
 		for _, t := range targets {
-			_, _, _ = ix.node.Endpoint().Call(t.Addr, MsgReplSync, w.Bytes())
+			_, _, _ = ix.node.Endpoint().Call(ctx, t.Addr, MsgReplSync, w.Bytes())
 		}
 	}
+}
+
+// ReadPolicy selects which copy of an entry serves a read — the
+// per-query read-consistency knob the facade exposes as
+// WithReadConsistency.
+type ReadPolicy int
+
+const (
+	// ReadPrimary (the default) reads from the responsible peer, falling
+	// over to its replicas only when the primary is unreachable.
+	ReadPrimary ReadPolicy = iota
+	// ReadAnyReplica spreads reads across the primary's whole replica set
+	// (primary + R−1 successors), chosen per key by hash, so query
+	// hotspots distribute over R peers instead of hammering the primary.
+	// Replica copies are write-through + anti-entropy soft state: a read
+	// may briefly miss an entry the primary already holds. With
+	// replication off (factor 1) it behaves exactly like ReadPrimary.
+	ReadAnyReplica
+)
+
+// readTarget picks the peer that serves an AnyReplica read of key: the
+// key's hash indexes deterministically into [primary, replica1, ...], so
+// a given key always reads from the same copy (cache-friendly) while
+// distinct keys of one hot primary spread across its replica set.
+func (ix *Index) readTarget(ctx context.Context, key string, primary dht.Remote) transport.Addr {
+	if ix.repl.factor <= 1 {
+		return primary.Addr
+	}
+	replicas := ix.replicaTargets(ctx, primary.Addr)
+	if len(replicas) == 0 {
+		return primary.Addr
+	}
+	idx := int(uint64(ids.HashString(key)) % uint64(1+len(replicas)))
+	if idx == 0 {
+		return primary.Addr
+	}
+	return replicas[idx-1].Addr
 }

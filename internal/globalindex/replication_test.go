@@ -1,6 +1,8 @@
 package globalindex
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"sort"
@@ -69,11 +71,11 @@ func TestWriteThroughReplication(t *testing.T) {
 	terms := []string{"alpha", "beta"}
 	key := ids.KeyString(terms)
 	list := &postings.List{Entries: []postings.Posting{post("a", 1, 2.0), post("a", 2, 1.0)}}
-	if _, err := idxs[0].Append(terms, list, 100, 7); err != nil {
+	if _, err := idxs[0].Append(context.Background(), terms, list, 100, 7); err != nil {
 		t.Fatal(err)
 	}
 
-	resp, _, err := nodes[0].Lookup(ids.HashString(key))
+	resp, _, err := nodes[0].Lookup(context.Background(), ids.HashString(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestWriteThroughReplication(t *testing.T) {
 			Bound: 50,
 		})
 	}
-	if _, err := idxs[1].MultiPut(items, 4); err != nil {
+	if _, err := idxs[1].MultiPut(context.Background(), items, 4); err != nil {
 		t.Fatal(err)
 	}
 	for _, it := range items {
@@ -144,7 +146,7 @@ func TestReplicationFactorOneUnchanged(t *testing.T) {
 	}
 	terms := []string{"solo"}
 	list := &postings.List{Entries: []postings.Posting{post("a", 1, 1.0)}}
-	if _, err := idxs[0].Put(terms, list, 10); err != nil {
+	if _, err := idxs[0].Put(context.Background(), terms, list, 10); err != nil {
 		t.Fatal(err)
 	}
 	count := 0
@@ -167,10 +169,10 @@ func TestReadFalloverToReplica(t *testing.T) {
 	key := ids.KeyString(terms)
 	list := &postings.List{Entries: []postings.Posting{post("x", 3, 9.0), post("y", 4, 5.0)}}
 	// The writer's replica cache warms during the write-through.
-	if _, err := idxs[2].Put(terms, list, 100); err != nil {
+	if _, err := idxs[2].Put(context.Background(), terms, list, 100); err != nil {
 		t.Fatal(err)
 	}
-	resp, _, err := nodes[2].Lookup(ids.HashString(key))
+	resp, _, err := nodes[2].Lookup(context.Background(), ids.HashString(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +181,7 @@ func TestReadFalloverToReplica(t *testing.T) {
 	}
 	net.SetDown(resp.Addr, true)
 
-	got, found, _, err := idxs[2].Get(terms, 0)
+	got, found, _, err := idxs[2].Get(context.Background(), terms, 0, ReadPrimary)
 	if err != nil || !found {
 		t.Fatalf("fallover get: %v found=%v", err, found)
 	}
@@ -188,7 +190,7 @@ func TestReadFalloverToReplica(t *testing.T) {
 	}
 
 	// MultiGet drives the same fallover through the batch fallback path.
-	res, err := idxs[2].MultiGet([]GetItem{{Terms: terms}}, 4)
+	res, err := idxs[2].MultiGet(context.Background(), []GetItem{{Terms: terms}}, 4, ReadPrimary)
 	if err != nil {
 		t.Fatalf("multiget fallover: %v", err)
 	}
@@ -205,10 +207,10 @@ func TestPromotionAfterPrimaryFailure(t *testing.T) {
 	terms := []string{"promote", "me"}
 	key := ids.KeyString(terms)
 	list := &postings.List{Entries: []postings.Posting{post("x", 1, 4.0)}}
-	if _, err := idxs[0].Put(terms, list, 100); err != nil {
+	if _, err := idxs[0].Put(context.Background(), terms, list, 100); err != nil {
 		t.Fatal(err)
 	}
-	resp, _, err := nodes[0].Lookup(ids.HashString(key))
+	resp, _, err := nodes[0].Lookup(context.Background(), ids.HashString(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,16 +229,16 @@ func TestPromotionAfterPrimaryFailure(t *testing.T) {
 	}
 	for r := 0; r < 8; r++ {
 		for _, n := range survivors {
-			_ = n.Stabilize()
+			_ = n.Stabilize(context.Background())
 		}
 	}
 	for r := 0; r < 6; r++ {
 		for _, n := range survivors {
-			_ = n.FixFingers()
+			_ = n.FixFingers(context.Background())
 		}
 	}
 
-	got, found, _, err := reader.Get(terms, 0)
+	got, found, _, err := reader.Get(context.Background(), terms, 0, ReadPrimary)
 	if err != nil || !found {
 		t.Fatalf("post-repair get: %v found=%v", err, found)
 	}
@@ -272,7 +274,7 @@ func TestJoinPullsOwnedRange(t *testing.T) {
 			Bound: 10,
 		})
 	}
-	if _, err := idxs[0].MultiPut(items, 4); err != nil {
+	if _, err := idxs[0].MultiPut(context.Background(), items, 4); err != nil {
 		t.Fatal(err)
 	}
 
@@ -282,18 +284,18 @@ func TestJoinPullsOwnedRange(t *testing.T) {
 	joiner := dht.NewNode(ids.ID(0x7777777777777777), ep, d, dht.Options{})
 	jix := New(joiner, d)
 	jix.EnableReplication(3)
-	if err := joiner.Join(nodes[0].Self().Addr); err != nil {
+	if err := joiner.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}
 	all := append(append([]*dht.Node(nil), nodes...), joiner)
 	for r := 0; r < 10; r++ {
 		for _, n := range all {
-			_ = n.Stabilize()
+			_ = n.Stabilize(context.Background())
 		}
 	}
 	for r := 0; r < 8; r++ {
 		for _, n := range all {
-			_ = n.FixFingers()
+			_ = n.FixFingers(context.Background())
 		}
 	}
 
@@ -313,7 +315,7 @@ func TestJoinPullsOwnedRange(t *testing.T) {
 
 	// Every key still resolves and is found from an arbitrary peer.
 	for _, it := range items {
-		_, found, _, err := idxs[3].Get(it.Terms, 0)
+		_, found, _, err := idxs[3].Get(context.Background(), it.Terms, 0, ReadPrimary)
 		if err != nil || !found {
 			t.Fatalf("get %v after join: %v found=%v", it.Terms, err, found)
 		}

@@ -1,6 +1,7 @@
 package globalindex
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dht"
@@ -46,6 +47,7 @@ func New(node *dht.Node, d *transport.Dispatcher) *Index {
 	d.Handle(MsgMultiPut, ix.handleMultiPut)
 	d.Handle(MsgMultiAppend, ix.handleMultiAppend)
 	d.Handle(MsgMultiGet, ix.handleMultiGet)
+	d.Handle(MsgMultiGetAny, ix.handleMultiGet)
 	d.Handle(MsgMultiKeyInfo, ix.handleMultiKeyInfo)
 	ix.registerReplicationHandlers(d)
 	return ix
@@ -156,8 +158,8 @@ func encodeKeyBoundList(key string, bound, announcedDF int, list *postings.List,
 }
 
 // resolve finds the peer responsible for a canonical key string.
-func (ix *Index) resolve(key string) (dht.Remote, error) {
-	r, _, err := ix.node.Lookup(ids.HashString(key))
+func (ix *Index) resolve(ctx context.Context, key string) (dht.Remote, error) {
+	r, _, err := ix.node.Lookup(ctx, ids.HashString(key))
 	if err != nil {
 		return dht.Remote{}, fmt.Errorf("globalindex: resolve %q: %w", key, err)
 	}
@@ -167,24 +169,24 @@ func (ix *Index) resolve(key string) (dht.Remote, error) {
 // Put stores list under the canonical key for terms, replacing any
 // previous list, truncated to bound (0 = hard cap only). It returns the
 // length stored at the responsible peer.
-func (ix *Index) Put(terms []string, list *postings.List, bound int) (int, error) {
-	return ix.putOrAppend(MsgPut, terms, list, bound, 0)
+func (ix *Index) Put(ctx context.Context, terms []string, list *postings.List, bound int) (int, error) {
+	return ix.putOrAppend(ctx, MsgPut, terms, list, bound, 0)
 }
 
 // Append merges list into the entry stored under the canonical key for
 // terms, announcing the publisher's true local document frequency (see
 // Store.Append). It returns the resulting stored length.
-func (ix *Index) Append(terms []string, list *postings.List, bound, announcedDF int) (int, error) {
-	return ix.putOrAppend(MsgAppend, terms, list, bound, announcedDF)
+func (ix *Index) Append(ctx context.Context, terms []string, list *postings.List, bound, announcedDF int) (int, error) {
+	return ix.putOrAppend(ctx, MsgAppend, terms, list, bound, announcedDF)
 }
 
-func (ix *Index) putOrAppend(msg uint8, terms []string, list *postings.List, bound, announcedDF int) (int, error) {
+func (ix *Index) putOrAppend(ctx context.Context, msg uint8, terms []string, list *postings.List, bound, announcedDF int) (int, error) {
 	key := ids.KeyString(terms)
-	peer, err := ix.resolve(key)
+	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return 0, err
 	}
-	_, resp, err := ix.node.Endpoint().Call(peer.Addr, msg, encodeKeyBoundList(key, bound, announcedDF, list, msg == MsgAppend))
+	_, resp, err := ix.node.Endpoint().Call(ctx, peer.Addr, msg, encodeKeyBoundList(key, bound, announcedDF, list, msg == MsgAppend))
 	if err != nil {
 		return 0, fmt.Errorf("globalindex: put %q at %s: %w", key, peer.Addr, err)
 	}
@@ -199,30 +201,50 @@ func (ix *Index) putOrAppend(msg uint8, terms []string, list *postings.List, bou
 		w := wire.NewWriter(64 + 12*list.Len())
 		w.Uvarint(1)
 		writeKeyBoundList(w, key, bound, announcedDF, list, msg == MsgAppend)
-		ix.replicate(peer.Addr, replMsg, w.Bytes())
+		ix.replicate(ctx, peer.Addr, replMsg, w.Bytes())
 	}
 	return n, nil
 }
 
-// Get fetches the posting list for the given term combination from the
-// responsible peer, capped to maxResults entries (0 = whole stored list).
-// found reports whether the key is indexed; wantIndex is the responsible
-// peer's QDI activation request for a missing-but-popular key. The probe
-// updates the responsible peer's usage statistics either way.
-func (ix *Index) Get(terms []string, maxResults int) (list *postings.List, found, wantIndex bool, err error) {
+// Get fetches the posting list for the given term combination, capped to
+// maxResults entries (0 = whole stored list). found reports whether the
+// key is indexed; wantIndex is the serving peer's QDI activation request
+// for a missing-but-popular key. The probe updates the serving peer's
+// usage statistics either way. policy selects which copy serves the read:
+// ReadPrimary asks the responsible peer (falling over to replicas only
+// when it is unreachable); ReadAnyReplica spreads reads across the
+// primary's whole replica set (see readTarget).
+func (ix *Index) Get(ctx context.Context, terms []string, maxResults int, policy ReadPolicy) (list *postings.List, found, wantIndex bool, err error) {
 	key := ids.KeyString(terms)
-	peer, err := ix.resolve(key)
+	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return nil, false, false, err
+	}
+	serve := peer.Addr
+	if policy == ReadAnyReplica {
+		serve = ix.readTarget(ctx, key, peer)
 	}
 	w := wire.NewWriter(len(key) + 8)
 	w.String(key)
 	w.Uvarint(uint64(maxResults))
-	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgGet, w.Bytes())
+	if serve != peer.Addr {
+		// A replica read: decodable answers are authoritative enough for
+		// soft-state retrieval; any failure drops the stale replica set
+		// and falls back to the primary path.
+		if l, f, wi, ok := ix.getAt(ctx, serve, key, maxResults); ok {
+			return l, f, wi, nil
+		}
+		if ctx.Err() == nil {
+			// The replica itself failed (not the caller's context): the
+			// cached set is stale, stop routing there.
+			ix.invalidateReplicaTarget(serve)
+		}
+	}
+	_, resp, err := ix.node.Endpoint().Call(ctx, peer.Addr, MsgGet, w.Bytes())
 	if err != nil {
 		// The primary is unreachable: with replication on, fall over to
 		// its successor replicas before failing the read.
-		if l, f, wi, ok := ix.getFromReplicas(key, maxResults, peer, err); ok {
+		if l, f, wi, ok := ix.getFromReplicas(ctx, key, maxResults, peer, err); ok {
 			return l, f, wi, nil
 		}
 		return nil, false, false, fmt.Errorf("globalindex: get %q at %s: %w", key, peer.Addr, err)
@@ -241,15 +263,15 @@ func (ix *Index) Get(terms []string, maxResults int) (list *postings.List, found
 }
 
 // Remove deletes the entry for the given term combination.
-func (ix *Index) Remove(terms []string) (bool, error) {
+func (ix *Index) Remove(ctx context.Context, terms []string) (bool, error) {
 	key := ids.KeyString(terms)
-	peer, err := ix.resolve(key)
+	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return false, err
 	}
 	w := wire.NewWriter(len(key) + 4)
 	w.String(key)
-	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgRemove, w.Bytes())
+	_, resp, err := ix.node.Endpoint().Call(ctx, peer.Addr, MsgRemove, w.Bytes())
 	if err != nil {
 		return false, fmt.Errorf("globalindex: remove %q: %w", key, err)
 	}
@@ -257,7 +279,7 @@ func (ix *Index) Remove(terms []string) (bool, error) {
 		rw := wire.NewWriter(len(key) + 8)
 		rw.Uvarint(1)
 		rw.String(key)
-		ix.replicate(peer.Addr, MsgReplRemove, rw.Bytes())
+		ix.replicate(ctx, peer.Addr, MsgReplRemove, rw.Bytes())
 	}
 	r := wire.NewReader(resp)
 	return r.Bool(), r.Err()
@@ -266,15 +288,15 @@ func (ix *Index) Remove(terms []string) (bool, error) {
 // KeyInfo fetches the presence, approximate global document frequency and
 // truncation state of a key from its responsible peer. HDK's frequency
 // test is built on it.
-func (ix *Index) KeyInfo(terms []string) (df int64, present, truncated bool, err error) {
+func (ix *Index) KeyInfo(ctx context.Context, terms []string) (df int64, present, truncated bool, err error) {
 	key := ids.KeyString(terms)
-	peer, err := ix.resolve(key)
+	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return 0, false, false, err
 	}
 	w := wire.NewWriter(len(key) + 4)
 	w.String(key)
-	_, resp, err := ix.node.Endpoint().Call(peer.Addr, MsgKeyInfo, w.Bytes())
+	_, resp, err := ix.node.Endpoint().Call(ctx, peer.Addr, MsgKeyInfo, w.Bytes())
 	if err != nil {
 		return 0, false, false, fmt.Errorf("globalindex: keyinfo %q: %w", key, err)
 	}
@@ -286,8 +308,8 @@ func (ix *Index) KeyInfo(terms []string) (df int64, present, truncated bool, err
 }
 
 // PeerStats fetches the storage statistics of an arbitrary peer.
-func (ix *Index) PeerStats(addr transport.Addr) (Stats, error) {
-	_, resp, err := ix.node.Endpoint().Call(addr, MsgStats, nil)
+func (ix *Index) PeerStats(ctx context.Context, addr transport.Addr) (Stats, error) {
+	_, resp, err := ix.node.Endpoint().Call(ctx, addr, MsgStats, nil)
 	if err != nil {
 		return Stats{}, fmt.Errorf("globalindex: stats %s: %w", addr, err)
 	}

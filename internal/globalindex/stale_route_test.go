@@ -1,6 +1,8 @@
 package globalindex
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -82,7 +84,7 @@ func TestBatchRejectionInvalidatesStaleRoute(t *testing.T) {
 		}
 		return out
 	}
-	if _, err := writer.MultiPut(items(1.0), 4); err != nil {
+	if _, err := writer.MultiPut(context.Background(), items(1.0), 4); err != nil {
 		t.Fatal(err)
 	}
 
@@ -92,13 +94,13 @@ func TestBatchRejectionInvalidatesStaleRoute(t *testing.T) {
 	ep := net.Endpoint("joiner", d.Serve)
 	joiner := dht.NewNode(joinID, ep, d, dht.Options{SuccListLen: 4})
 	jix := New(joiner, d)
-	if err := joiner.Join(nodes[0].Self().Addr); err != nil {
+	if err := joiner.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}
 	all := append(append([]*dht.Node(nil), nodes...), joiner)
 	for r := 0; r < 6; r++ {
 		for _, n := range all {
-			_ = n.Stabilize()
+			_ = n.Stabilize(context.Background())
 		}
 	}
 	if got := nodes[0].RingEpoch(); got != epoch {
@@ -107,7 +109,7 @@ func TestBatchRejectionInvalidatesStaleRoute(t *testing.T) {
 
 	// Second batch: the stale cached route sends the moved keys to
 	// the old owner, which rejects; the fallback must land them on the joiner.
-	if _, err := writer.MultiPut(items(2.0), 4); err != nil {
+	if _, err := writer.MultiPut(context.Background(), items(2.0), 4); err != nil {
 		t.Fatalf("rejected batch must self-heal: %v", err)
 	}
 	if got := nodes[0].RingEpoch(); got != epoch {
@@ -127,7 +129,7 @@ func TestBatchRejectionInvalidatesStaleRoute(t *testing.T) {
 	// moved keys re-resolve to the joiner and coalesce into a clean batch
 	// — zero single-key fallback Puts.
 	before := net.Meter().Snapshot()
-	if _, err := writer.MultiPut(items(3.0), 4); err != nil {
+	if _, err := writer.MultiPut(context.Background(), items(3.0), 4); err != nil {
 		t.Fatal(err)
 	}
 	delta := net.Meter().Snapshot().Sub(before)

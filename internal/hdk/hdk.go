@@ -23,6 +23,7 @@
 package hdk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -132,12 +133,12 @@ func (p *Publisher) Result() Result { return p.res }
 // summary. Correct when the rest of the network is already published (or
 // this peer holds the whole collection); for fleet-wide initial indexing
 // use PublishTerms/ExpandRound in lockstep instead.
-func (p *Publisher) Run() (Result, error) {
-	if err := p.PublishTerms(); err != nil {
+func (p *Publisher) Run(ctx context.Context) (Result, error) {
+	if err := p.PublishTerms(ctx); err != nil {
 		return p.res, err
 	}
 	for s := 1; s < p.cfg.SMax; s++ {
-		n, err := p.ExpandRound()
+		n, err := p.ExpandRound(ctx)
 		if err != nil {
 			return p.res, err
 		}
@@ -152,7 +153,7 @@ func (p *Publisher) Run() (Result, error) {
 // With Concurrency > 1 the appends are coalesced per responsible peer and
 // issued concurrently; the resulting index state is identical to the
 // sequential path.
-func (p *Publisher) PublishTerms() error {
+func (p *Publisher) PublishTerms(ctx context.Context) error {
 	var items []globalindex.AppendItem
 	for _, term := range p.local.Terms() {
 		localDF := int(p.local.DocFreq(term))
@@ -167,7 +168,7 @@ func (p *Publisher) PublishTerms() error {
 			AnnouncedDF: localDF,
 		})
 	}
-	if err := p.publishItems(items); err != nil {
+	if err := p.publishItems(ctx, items); err != nil {
 		return err
 	}
 	p.frontier = nil
@@ -182,14 +183,14 @@ func (p *Publisher) PublishTerms() error {
 // publishItems ships prepared append items through the batched path
 // (Concurrency > 1) or one at a time, and accounts them in the result
 // counters. Both paths leave identical state at the responsible peers.
-func (p *Publisher) publishItems(items []globalindex.AppendItem) error {
+func (p *Publisher) publishItems(ctx context.Context, items []globalindex.AppendItem) error {
 	if p.cfg.Concurrency > 1 {
-		if _, err := p.global.MultiAppend(items, p.cfg.Concurrency); err != nil {
+		if _, err := p.global.MultiAppend(ctx, items, p.cfg.Concurrency); err != nil {
 			return fmt.Errorf("hdk: publish %d keys: %w", len(items), err)
 		}
 	} else {
 		for _, it := range items {
-			if _, err := p.global.Append(it.Terms, it.List, it.Bound, it.AnnouncedDF); err != nil {
+			if _, err := p.global.Append(ctx, it.Terms, it.List, it.Bound, it.AnnouncedDF); err != nil {
 				return fmt.Errorf("hdk: publish %v: %w", it.Terms, err)
 			}
 		}
@@ -211,14 +212,14 @@ func (p *Publisher) publishItems(items []globalindex.AppendItem) error {
 // phases touch disjoint key levels (probes read level s, appends write
 // level s+1), so the reordering cannot change any frequency decision and
 // the resulting index state is identical to the sequential path.
-func (p *Publisher) ExpandRound() (int, error) {
+func (p *Publisher) ExpandRound(ctx context.Context) (int, error) {
 	if p.level == 0 {
 		return 0, fmt.Errorf("hdk: ExpandRound before PublishTerms")
 	}
 	if p.level >= p.cfg.SMax {
 		return 0, nil
 	}
-	frequent, err := p.frontierFrequent()
+	frequent, err := p.frontierFrequent(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -246,7 +247,7 @@ func (p *Publisher) ExpandRound() (int, error) {
 			next = append(next, exp)
 		}
 	}
-	if err := p.publishItems(items); err != nil {
+	if err := p.publishItems(ctx, items); err != nil {
 		return 0, err
 	}
 	p.frontier = next
@@ -261,11 +262,11 @@ func (p *Publisher) ExpandRound() (int, error) {
 // in frontier order. Single terms answer from the cached global
 // statistics; multi-term keys ask their responsible peers — batched when
 // Concurrency > 1, one KeyInfo RPC at a time otherwise.
-func (p *Publisher) frontierFrequent() ([]bool, error) {
+func (p *Publisher) frontierFrequent(ctx context.Context) ([]bool, error) {
 	out := make([]bool, len(p.frontier))
 	if p.cfg.Concurrency <= 1 {
 		for i, key := range p.frontier {
-			f, err := p.keyFrequent(key)
+			f, err := p.keyFrequent(ctx, key)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +287,7 @@ func (p *Publisher) frontierFrequent() ([]bool, error) {
 	if len(items) == 0 {
 		return out, nil
 	}
-	infos, err := p.global.MultiKeyInfo(items, p.cfg.Concurrency)
+	infos, err := p.global.MultiKeyInfo(ctx, items, p.cfg.Concurrency)
 	if err != nil {
 		return nil, err
 	}
@@ -299,11 +300,11 @@ func (p *Publisher) frontierFrequent() ([]bool, error) {
 // keyFrequent tests a key's global frequency: single terms against the
 // statistics service, multi-term keys against the responsible peer's
 // approximate DF.
-func (p *Publisher) keyFrequent(key []string) (bool, error) {
+func (p *Publisher) keyFrequent(ctx context.Context, key []string) (bool, error) {
 	if len(key) == 1 {
 		return p.termFrequent(key[0]), nil
 	}
-	df, _, _, err := p.global.KeyInfo(key)
+	df, _, _, err := p.global.KeyInfo(ctx, key)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,8 @@
 package hdk
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -211,7 +213,7 @@ func TestDistributedMatchesOracle(t *testing.T) {
 	for i := 0; i < peers; i++ {
 		for _, doc := range f.locals[i].Docs() {
 			terms := f.locals[i].DocTerms(doc)
-			if err := f.stats[i].PublishDocument(terms, f.locals[i].DocLen(doc)); err != nil {
+			if err := f.stats[i].PublishDocument(context.Background(), terms, f.locals[i].DocLen(doc)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -220,18 +222,18 @@ func TestDistributedMatchesOracle(t *testing.T) {
 	// Lockstep HDK rounds.
 	pubs := make([]*Publisher, peers)
 	for i := 0; i < peers; i++ {
-		gs, err := f.stats[i].Fetch(f.locals[i].Terms())
+		gs, err := f.stats[i].Fetch(context.Background(), f.locals[i].Terms())
 		if err != nil {
 			t.Fatal(err)
 		}
 		pubs[i] = NewPublisher(cfg, f.locals[i], f.gidx[i], gs, f.nodes[i].Self().Addr)
-		if err := pubs[i].PublishTerms(); err != nil {
+		if err := pubs[i].PublishTerms(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for round := 0; round < cfg.SMax-1; round++ {
 		for i := 0; i < peers; i++ {
-			if _, err := pubs[i].ExpandRound(); err != nil {
+			if _, err := pubs[i].ExpandRound(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -268,27 +270,27 @@ func TestPublisherTruncationAtStore(t *testing.T) {
 		f.locals[0].Add(d, fmt.Sprintf("common unique%d", d))
 	}
 	for _, doc := range f.locals[0].Docs() {
-		if err := f.stats[0].PublishDocument(f.locals[0].DocTerms(doc), f.locals[0].DocLen(doc)); err != nil {
+		if err := f.stats[0].PublishDocument(context.Background(), f.locals[0].DocTerms(doc), f.locals[0].DocLen(doc)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	gs, err := f.stats[0].Fetch(f.locals[0].Terms())
+	gs, err := f.stats[0].Fetch(context.Background(), f.locals[0].Terms())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := Config{DFMax: 3, SMax: 2, Window: 5, TruncK: 5}
 	pub := NewPublisher(cfg, f.locals[0], f.gidx[0], gs, f.nodes[0].Self().Addr)
-	if _, err := pub.Run(); err != nil {
+	if _, err := pub.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	list, found, _, err := f.gidx[1].Get([]string{"common"}, 0)
+	list, found, _, err := f.gidx[1].Get(context.Background(), []string{"common"}, 0, globalindex.ReadPrimary)
 	if err != nil || !found {
 		t.Fatalf("get common: %v %v", found, err)
 	}
 	if list.Len() != 5 || !list.Truncated {
 		t.Fatalf("stored list len=%d trunc=%v, want 5/true", list.Len(), list.Truncated)
 	}
-	df, _, _, err := f.gidx[1].KeyInfo([]string{"common"})
+	df, _, _, err := f.gidx[1].KeyInfo(context.Background(), []string{"common"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +302,7 @@ func TestPublisherTruncationAtStore(t *testing.T) {
 func TestExpandRoundBeforePublishFails(t *testing.T) {
 	f := newFleet(t, 2)
 	pub := NewPublisher(Config{}, f.locals[0], f.gidx[0], &ranking.FixedStats{}, f.nodes[0].Self().Addr)
-	if _, err := pub.ExpandRound(); err == nil {
+	if _, err := pub.ExpandRound(context.Background()); err == nil {
 		t.Fatal("ExpandRound before PublishTerms must fail")
 	}
 }
@@ -313,7 +315,7 @@ func TestPublishCapBoundsShippedPostings(t *testing.T) {
 	gs := &ranking.FixedStats{N: 50, AvgLen: 2, DF: map[string]int64{"shared": 50, "term": 50}}
 	cfg := Config{DFMax: 100, SMax: 2, Window: 5, TruncK: 10} // PublishCap defaults to TruncK
 	pub := NewPublisher(cfg, f.locals[0], f.gidx[0], gs, f.nodes[0].Self().Addr)
-	if err := pub.PublishTerms(); err != nil {
+	if err := pub.PublishTerms(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	res := pub.Result()

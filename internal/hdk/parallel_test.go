@@ -1,6 +1,8 @@
 package hdk
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"strings"
@@ -18,25 +20,25 @@ func publishFleet(t *testing.T, peers int, texts []string, cfg Config) (*fleet, 
 	}
 	for i := 0; i < peers; i++ {
 		for _, doc := range f.locals[i].Docs() {
-			if err := f.stats[i].PublishDocument(f.locals[i].DocTerms(doc), f.locals[i].DocLen(doc)); err != nil {
+			if err := f.stats[i].PublishDocument(context.Background(), f.locals[i].DocTerms(doc), f.locals[i].DocLen(doc)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	pubs := make([]*Publisher, peers)
 	for i := 0; i < peers; i++ {
-		gs, err := f.stats[i].Fetch(f.locals[i].Terms())
+		gs, err := f.stats[i].Fetch(context.Background(), f.locals[i].Terms())
 		if err != nil {
 			t.Fatal(err)
 		}
 		pubs[i] = NewPublisher(cfg, f.locals[i], f.gidx[i], gs, f.nodes[i].Self().Addr)
-		if err := pubs[i].PublishTerms(); err != nil {
+		if err := pubs[i].PublishTerms(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for round := 0; round < cfg.SMax-1; round++ {
 		for i := 0; i < peers; i++ {
-			if _, err := pubs[i].ExpandRound(); err != nil {
+			if _, err := pubs[i].ExpandRound(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}

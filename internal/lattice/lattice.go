@@ -11,6 +11,7 @@
 package lattice
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,17 +21,18 @@ import (
 )
 
 // Fetcher is the probe primitive: fetch the posting list stored for a
-// term combination (the global index implements it; tests stub it).
+// term combination (the global index implements it; tests stub it). The
+// context bounds the probe's network round trip.
 type Fetcher interface {
-	Get(terms []string, maxResults int) (list *postings.List, found bool, err error)
+	Get(ctx context.Context, terms []string, maxResults int) (list *postings.List, found bool, err error)
 }
 
 // FetchFunc adapts a function to the Fetcher interface.
-type FetchFunc func(terms []string, maxResults int) (*postings.List, bool, error)
+type FetchFunc func(ctx context.Context, terms []string, maxResults int) (*postings.List, bool, error)
 
 // Get implements Fetcher.
-func (f FetchFunc) Get(terms []string, maxResults int) (*postings.List, bool, error) {
-	return f(terms, maxResults)
+func (f FetchFunc) Get(ctx context.Context, terms []string, maxResults int) (*postings.List, bool, error) {
+	return f(ctx, terms, maxResults)
 }
 
 // BatchResult is one combination's answer within a batch fetch.
@@ -46,7 +48,7 @@ type BatchResult struct {
 // one RPC per responsible peer) instead of one Get per combination.
 // Results must be returned in input order.
 type BatchFetcher interface {
-	GetBatch(combos [][]string, maxResults int) ([]BatchResult, error)
+	GetBatch(ctx context.Context, combos [][]string, maxResults int) ([]BatchResult, error)
 }
 
 // Config controls the exploration.
@@ -117,7 +119,12 @@ func (t *Trace) String() string {
 
 // Explore runs the lattice exploration for the given distinct query terms
 // and returns the union of all retrieved posting lists plus the trace.
-func Explore(f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace, error) {
+// A context that dies mid-exploration stops at the next probe (or
+// generation) boundary: the error is the context's, and the trace
+// reflects exactly the probes that completed — the caller still holds
+// every list its fetcher gathered, which is what turns a deadline expiry
+// into usable partial results.
+func Explore(ctx context.Context, f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace, error) {
 	cfg.fillDefaults()
 	terms := dedupeSorted(queryTerms)
 	if len(terms) == 0 {
@@ -147,7 +154,7 @@ func Explore(f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace
 	})
 
 	if cfg.Concurrency > 1 {
-		return exploreGenerational(f, terms, masks, cfg)
+		return exploreGenerational(ctx, f, terms, masks, cfg)
 	}
 
 	trace := &Trace{}
@@ -155,12 +162,15 @@ func Explore(f Fetcher, queryTerms []string, cfg Config) (*postings.List, *Trace
 	var covering []uint // masks whose sublattice is pruned
 
 	for _, m := range masks {
+		if err := ctx.Err(); err != nil {
+			return postings.Union(lists...), trace, err
+		}
 		if coveredBy(m, covering) {
 			trace.Skipped = append(trace.Skipped, maskTerms(m, terms))
 			continue
 		}
 		combo := maskTerms(m, terms)
-		list, found, err := f.Get(combo, cfg.MaxResultsPerProbe)
+		list, found, err := f.Get(ctx, combo, cfg.MaxResultsPerProbe)
 		if err != nil {
 			return nil, trace, fmt.Errorf("lattice: probe %v: %w", combo, err)
 		}
@@ -197,13 +207,18 @@ func coveredBy(m uint, covering []uint) bool {
 // concurrently. Skips, probes, covering updates and the trace are then
 // applied in the generation's mask order, making the result and trace
 // byte-identical to the sequential exploration.
-func exploreGenerational(f Fetcher, terms []string, masks []uint, cfg Config) (*postings.List, *Trace, error) {
+func exploreGenerational(ctx context.Context, f Fetcher, terms []string, masks []uint, cfg Config) (*postings.List, *Trace, error) {
 	trace := &Trace{}
 	var lists []*postings.List
 	var covering []uint
 
 	bf, hasBatch := f.(BatchFetcher)
 	for start := 0; start < len(masks); {
+		if err := ctx.Err(); err != nil {
+			// Between generations: everything gathered so far is a clean
+			// prefix of the exploration.
+			return postings.Union(lists...), trace, err
+		}
 		end := start
 		size := popcount(masks[start])
 		for end < len(masks) && popcount(masks[end]) == size {
@@ -228,7 +243,7 @@ func exploreGenerational(f Fetcher, terms []string, masks []uint, cfg Config) (*
 
 		results := make([]BatchResult, len(probe))
 		if hasBatch {
-			rs, err := bf.GetBatch(combos, cfg.MaxResultsPerProbe)
+			rs, err := bf.GetBatch(ctx, combos, cfg.MaxResultsPerProbe)
 			if err != nil {
 				return nil, trace, fmt.Errorf("lattice: batch probe level %d: %w", size, err)
 			}
@@ -246,7 +261,7 @@ func exploreGenerational(f Fetcher, terms []string, masks []uint, cfg Config) (*
 				go func(i int) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					list, found, err := f.Get(combos[i], cfg.MaxResultsPerProbe)
+					list, found, err := f.Get(ctx, combos[i], cfg.MaxResultsPerProbe)
 					results[i] = BatchResult{List: list, Found: found}
 					errs[i] = err
 				}(i)

@@ -1,6 +1,8 @@
 package lattice
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -51,12 +53,12 @@ func TestPruningIsConservative(t *testing.T) {
 		mf := func() *mapFetcher { return &mapFetcher{lists: idx} }
 
 		fOn := mf()
-		unionOn, _, err := Explore(fOn, terms, Config{PruneTruncated: true})
+		unionOn, _, err := Explore(context.Background(), fOn, terms, Config{PruneTruncated: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		fOff := mf()
-		unionOff, _, err := Explore(fOff, terms, Config{PruneTruncated: false})
+		unionOff, _, err := Explore(context.Background(), fOff, terms, Config{PruneTruncated: false})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +95,7 @@ func TestDominatedByUntruncatedNeverProbed(t *testing.T) {
 		idx := randomIndex(rng, terms, 0.4, 0.3)
 		for _, prune := range []bool{true, false} {
 			f := &mapFetcher{lists: idx}
-			_, trace, err := Explore(f, terms, Config{PruneTruncated: prune})
+			_, trace, err := Explore(context.Background(), f, terms, Config{PruneTruncated: prune})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,7 +134,7 @@ func TestUnionMatchesProbedHits(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		idx := randomIndex(rng, terms, 0.6, 0.5)
 		f := &mapFetcher{lists: idx}
-		union, trace, err := Explore(f, terms, Config{PruneTruncated: true})
+		union, trace, err := Explore(context.Background(), f, terms, Config{PruneTruncated: true})
 		if err != nil {
 			t.Fatal(err)
 		}

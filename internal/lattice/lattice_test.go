@@ -1,6 +1,8 @@
 package lattice
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"strings"
@@ -18,7 +20,7 @@ type mapFetcher struct {
 	probes []string
 }
 
-func (m *mapFetcher) Get(terms []string, maxResults int) (*postings.List, bool, error) {
+func (m *mapFetcher) Get(_ context.Context, terms []string, maxResults int) (*postings.List, bool, error) {
 	key := ids.KeyString(terms)
 	m.probes = append(m.probes, key)
 	l, ok := m.lists[key]
@@ -58,7 +60,7 @@ func TestFigure1(t *testing.T) {
 		"b":   pl(true, 10, 11, 12),
 		"c":   pl(true, 10, 13),
 	}}
-	result, trace, err := Explore(f, []string{"a", "b", "c"}, Config{PruneTruncated: true})
+	result, trace, err := Explore(context.Background(), f, []string{"a", "b", "c"}, Config{PruneTruncated: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestFigure1WithoutApproximation(t *testing.T) {
 		"b":   pl(true, 10, 11, 12),
 		"c":   pl(true, 10, 13),
 	}}
-	_, _, err := Explore(f, []string{"a", "b", "c"}, Config{PruneTruncated: false})
+	_, _, err := Explore(context.Background(), f, []string{"a", "b", "c"}, Config{PruneTruncated: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestUntruncatedHitPrunesDominated(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{
 		"a b c": pl(false, 1, 2),
 	}}
-	result, trace, err := Explore(f, []string{"c", "b", "a"}, Config{})
+	result, trace, err := Explore(context.Background(), f, []string{"c", "b", "a"}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestUntruncatedHitPrunesDominated(t *testing.T) {
 
 func TestSingleTermQuery(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{"x": pl(false, 5)}}
-	result, trace, err := Explore(f, []string{"x"}, Config{})
+	result, trace, err := Explore(context.Background(), f, []string{"x"}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestSingleTermQuery(t *testing.T) {
 
 func TestEmptyQuery(t *testing.T) {
 	f := &mapFetcher{}
-	result, trace, err := Explore(f, nil, Config{})
+	result, trace, err := Explore(context.Background(), f, nil, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +162,7 @@ func TestEmptyQuery(t *testing.T) {
 
 func TestDuplicateTermsCollapse(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{"x": pl(false, 5)}}
-	_, trace, err := Explore(f, []string{"x", "x", "x"}, Config{})
+	_, trace, err := Explore(context.Background(), f, []string{"x", "x", "x"}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +173,7 @@ func TestDuplicateTermsCollapse(t *testing.T) {
 
 func TestAllMissesProbesEverything(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{}}
-	result, trace, err := Explore(f, []string{"a", "b", "c", "d"}, Config{})
+	result, trace, err := Explore(context.Background(), f, []string{"a", "b", "c", "d"}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestAllMissesProbesEverything(t *testing.T) {
 func TestMaxQueryTermsBounds(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{}}
 	terms := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
-	_, trace, err := Explore(f, terms, Config{MaxQueryTerms: 3})
+	_, trace, err := Explore(context.Background(), f, terms, Config{MaxQueryTerms: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func TestMaxResultsPerProbePropagates(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{
 		"a": pl(false, 1, 2, 3, 4, 5),
 	}}
-	result, _, err := Explore(f, []string{"a"}, Config{MaxResultsPerProbe: 2})
+	result, _, err := Explore(context.Background(), f, []string{"a"}, Config{MaxResultsPerProbe: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,10 +212,10 @@ func TestMaxResultsPerProbePropagates(t *testing.T) {
 
 func TestFetchErrorAborts(t *testing.T) {
 	boom := errors.New("network down")
-	f := FetchFunc(func(terms []string, _ int) (*postings.List, bool, error) {
+	f := FetchFunc(func(_ context.Context, terms []string, _ int) (*postings.List, bool, error) {
 		return nil, false, boom
 	})
-	_, _, err := Explore(f, []string{"a", "b"}, Config{})
+	_, _, err := Explore(context.Background(), f, []string{"a", "b"}, Config{})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -221,7 +223,7 @@ func TestFetchErrorAborts(t *testing.T) {
 
 func TestDecreasingSizeOrder(t *testing.T) {
 	f := &mapFetcher{lists: map[string]*postings.List{}}
-	_, _, err := Explore(f, []string{"d", "b", "a", "c"}, Config{})
+	_, _, err := Explore(context.Background(), f, []string{"d", "b", "a", "c"}, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package lattice
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -49,7 +51,7 @@ func newRandomFetcher(terms []string, seed int64) *randomFetcher {
 	return f
 }
 
-func (f *randomFetcher) Get(terms []string, _ int) (*postings.List, bool, error) {
+func (f *randomFetcher) Get(_ context.Context, terms []string, _ int) (*postings.List, bool, error) {
 	f.probes.Add(1)
 	f.mu.Lock()
 	l, ok := f.lists[ids.KeyString(terms)]
@@ -71,7 +73,7 @@ func (f *batchingFetcher) GetBatch(combos [][]string, maxResults int) ([]BatchRe
 	f.batchCalls.Add(1)
 	out := make([]BatchResult, len(combos))
 	for i, c := range combos {
-		l, found, err := f.Get(c, maxResults)
+		l, found, err := f.Get(context.Background(), c, maxResults)
 		if err != nil {
 			return nil, err
 		}
@@ -101,14 +103,14 @@ func TestExploreParallelMatchesSequential(t *testing.T) {
 		for _, prune := range []bool{false, true} {
 			seqCfg := Config{PruneTruncated: prune, Concurrency: 1}
 			base := newRandomFetcher(terms, seed)
-			seqList, seqTrace, err := Explore(base, terms, seqCfg)
+			seqList, seqTrace, err := Explore(context.Background(), base, terms, seqCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 
 			parCfg := Config{PruneTruncated: prune, Concurrency: 8}
 			plain := newRandomFetcher(terms, seed)
-			parList, parTrace, err := Explore(plain, terms, parCfg)
+			parList, parTrace, err := Explore(context.Background(), plain, terms, parCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -119,7 +121,7 @@ func TestExploreParallelMatchesSequential(t *testing.T) {
 			}
 
 			batch := &batchingFetcher{randomFetcher: newRandomFetcher(terms, seed)}
-			batList, batTrace, err := Explore(batch, terms, parCfg)
+			batList, batTrace, err := Explore(context.Background(), batch, terms, parCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,11 +148,11 @@ func TestExploreConcurrencyZeroIsSequential(t *testing.T) {
 	terms := []string{"x", "y", "z"}
 	a := newRandomFetcher(terms, 99)
 	b := newRandomFetcher(terms, 99)
-	l0, t0, err := Explore(a, terms, Config{})
+	l0, t0, err := Explore(context.Background(), a, terms, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1, t1, err := Explore(b, terms, Config{Concurrency: 1})
+	l1, t1, err := Explore(context.Background(), b, terms, Config{Concurrency: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,114 @@
+// Package leakcheck is a dependency-free stand-in for go.uber.org/goleak
+// (the container builds offline): it snapshots the goroutine population
+// at test start and fails the test if goroutines born during the test
+// are still alive at its end. The cancellation tests use it to prove
+// that abandoning a query leaks nothing.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignored matches goroutines that are not the test's to leak: runtime
+// and testing machinery, and the netpoller.
+var ignored = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime/trace",
+	"os/signal.",
+	"net.(*pollDesc)",
+	"internal/poll.runtime_pollWait",
+	"leakcheck.interesting",
+}
+
+// interesting returns the stacks of goroutines the checker holds a test
+// accountable for.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		skip := false
+		for _, pat := range ignored {
+			if strings.Contains(g, pat) {
+				skip = true
+				break
+			}
+		}
+		if !skip && strings.TrimSpace(g) != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails t if, after a grace period, goroutines not present at the
+// snapshot are still running. Call it first in a test:
+//
+//	defer leakcheck.Check(t)()
+func Check(t *testing.T) func() {
+	t.Helper()
+	before := make(map[string]int)
+	for _, g := range interesting() {
+		before[header(g)]++
+	}
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			now := make(map[string]int)
+			cur := interesting()
+			for _, g := range cur {
+				now[header(g)]++
+			}
+			for _, g := range cur {
+				h := header(g)
+				if now[h] > before[h] {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s", len(leaked), fmt.Sprint(strings.Join(leaked, "\n\n")))
+	}
+}
+
+// header reduces a goroutine dump to its identity-free first frames, so
+// counts compare across runs (goroutine IDs vary).
+func header(g string) string {
+	lines := strings.Split(g, "\n")
+	if len(lines) < 2 {
+		return g
+	}
+	// Drop "goroutine N [state]:" — keep the top function frames.
+	out := []string{}
+	for _, l := range lines[1:] {
+		if strings.HasPrefix(l, "\t") {
+			continue // file:line carries addresses; function names suffice
+		}
+		out = append(out, l)
+		if len(out) == 4 {
+			break
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -24,6 +24,7 @@
 package qdi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -134,16 +135,16 @@ func (m *Manager) handleActivate(_ transport.Addr, _ uint8, body []byte) (uint8,
 
 // Activate sends an acquired posting list for a key to its responsible
 // peer, completing the on-demand indexing of that key.
-func (m *Manager) Activate(terms []string, list *postings.List) error {
+func (m *Manager) Activate(ctx context.Context, terms []string, list *postings.List) error {
 	key := ids.KeyString(terms)
-	peer, _, err := m.gidx.Node().Lookup(ids.HashString(key))
+	peer, _, err := m.gidx.Node().Lookup(ctx, ids.HashString(key))
 	if err != nil {
 		return fmt.Errorf("qdi: activate %q: %w", key, err)
 	}
 	w := wire.NewWriter(64 + 12*list.Len())
 	w.String(key)
 	list.Encode(w)
-	if _, _, err := m.gidx.Node().Endpoint().Call(peer.Addr, MsgActivate, w.Bytes()); err != nil {
+	if _, _, err := m.gidx.Node().Endpoint().Call(ctx, peer.Addr, MsgActivate, w.Bytes()); err != nil {
 		return fmt.Errorf("qdi: activate %q at %s: %w", key, peer.Addr, err)
 	}
 	return nil
@@ -196,7 +197,7 @@ func (m *Manager) MaintenanceTick() int {
 // a bounded number of top-ranked document references" — to the
 // responsible peer. Sub-combinations flagged as popular activate when
 // they are themselves queried. It returns 1 if the key was activated.
-func (m *Manager) ProcessQuery(queryTerms []string, trace *lattice.Trace, wantIndex map[string]bool, ranked *postings.List) (int, error) {
+func (m *Manager) ProcessQuery(ctx context.Context, queryTerms []string, trace *lattice.Trace, wantIndex map[string]bool, ranked *postings.List) (int, error) {
 	if len(queryTerms) < 2 || ranked == nil || ranked.Len() == 0 {
 		return 0, nil
 	}
@@ -223,7 +224,7 @@ func (m *Manager) ProcessQuery(queryTerms []string, trace *lattice.Trace, wantIn
 	// An acquired list is a bounded approximation of the query's full
 	// answer by construction.
 	list.Truncated = true
-	if err := m.Activate(queryTerms, list); err != nil {
+	if err := m.Activate(ctx, queryTerms, list); err != nil {
 		return 0, err
 	}
 	return 1, nil

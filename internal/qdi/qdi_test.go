@@ -1,6 +1,8 @@
 package qdi
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -54,7 +56,7 @@ func pl(truncated bool, peer string, docs ...uint32) *postings.List {
 func seedTerms(t *testing.T, f *fleet, terms map[string]*postings.List) {
 	t.Helper()
 	for term, list := range terms {
-		if _, err := f.gidx[0].Put([]string{term}, list, 0); err != nil {
+		if _, err := f.gidx[0].Put(context.Background(), []string{term}, list, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -68,7 +70,7 @@ func TestActivationSignalAfterThreshold(t *testing.T) {
 	var want bool
 	for i := 0; i < 3; i++ {
 		var err error
-		_, _, want, err = f.gidx[1].Get(terms, 0)
+		_, _, want, err = f.gidx[1].Get(context.Background(), terms, 0, globalindex.ReadPrimary)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +86,7 @@ func TestActivationSignalAfterThreshold(t *testing.T) {
 func TestSingleTermsNeverActivate(t *testing.T) {
 	f := newFleet(t, 4, Config{ActivateThreshold: 1})
 	for i := 0; i < 5; i++ {
-		_, _, want, err := f.gidx[0].Get([]string{"solo"}, 0)
+		_, _, want, err := f.gidx[0].Get(context.Background(), []string{"solo"}, 0, globalindex.ReadPrimary)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,14 +109,14 @@ func TestOnDemandIndexingEndToEnd(t *testing.T) {
 
 	runQuery := func() (map[string]bool, *postings.List, *lattice.Trace) {
 		wantIndex := map[string]bool{}
-		fetch := lattice.FetchFunc(func(terms []string, max int) (*postings.List, bool, error) {
-			l, found, want, err := gi.Get(terms, max)
+		fetch := lattice.FetchFunc(func(ctx context.Context, terms []string, max int) (*postings.List, bool, error) {
+			l, found, want, err := gi.Get(ctx, terms, max, globalindex.ReadPrimary)
 			if want {
 				wantIndex[ids.KeyString(terms)] = true
 			}
 			return l, found, err
 		})
-		union, trace, err := lattice.Explore(fetch, query, lattice.Config{PruneTruncated: true})
+		union, trace, err := lattice.Explore(context.Background(), fetch, query, lattice.Config{PruneTruncated: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +134,7 @@ func TestOnDemandIndexingEndToEnd(t *testing.T) {
 	if !wantIndex["alpha beta"] {
 		t.Fatalf("missing activation request: %v", wantIndex)
 	}
-	n, err := querier.ProcessQuery(query, trace, wantIndex, union)
+	n, err := querier.ProcessQuery(context.Background(), query, trace, wantIndex, union)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestOnDemandIndexingEndToEnd(t *testing.T) {
 	}
 
 	// The key is now indexed with the query's top-ranked documents.
-	list, found, _, err := f.gidx[5].Get(query, 0)
+	list, found, _, err := f.gidx[5].Get(context.Background(), query, 0, globalindex.ReadPrimary)
 	if err != nil || !found {
 		t.Fatalf("activated key not retrievable: %v %v", found, err)
 	}
@@ -168,8 +170,8 @@ func TestRedundantKeyNotActivated(t *testing.T) {
 	})
 	gi := f.gidx[2]
 	wantIndex := map[string]bool{}
-	fetch := lattice.FetchFunc(func(terms []string, max int) (*postings.List, bool, error) {
-		l, found, want, err := gi.Get(terms, max)
+	fetch := lattice.FetchFunc(func(ctx context.Context, terms []string, max int) (*postings.List, bool, error) {
+		l, found, want, err := gi.Get(ctx, terms, max, globalindex.ReadPrimary)
 		if want {
 			wantIndex[ids.KeyString(terms)] = true
 		}
@@ -182,7 +184,7 @@ func TestRedundantKeyNotActivated(t *testing.T) {
 	var union *postings.List
 	for i := 0; i < 2; i++ {
 		var err error
-		union, trace, err = lattice.Explore(fetch, []string{"alpha", "beta"}, lattice.Config{})
+		union, trace, err = lattice.Explore(context.Background(), fetch, []string{"alpha", "beta"}, lattice.Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +192,7 @@ func TestRedundantKeyNotActivated(t *testing.T) {
 	if !wantIndex["alpha beta"] {
 		t.Skip("activation flag not raised; popularity semantics changed")
 	}
-	n, err := f.mgrs[2].ProcessQuery([]string{"alpha", "beta"}, trace, wantIndex, union)
+	n, err := f.mgrs[2].ProcessQuery(context.Background(), []string{"alpha", "beta"}, trace, wantIndex, union)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +204,7 @@ func TestRedundantKeyNotActivated(t *testing.T) {
 func TestEvictionOfColdKeys(t *testing.T) {
 	f := newFleet(t, 6, Config{ActivateThreshold: 1, EvictThreshold: 0.5, DecayFactor: 0.4, TruncK: 10})
 	// Manually activate a key at its responsible peer.
-	if err := f.mgrs[0].Activate([]string{"x", "y"}, pl(true, "h", 1, 2)); err != nil {
+	if err := f.mgrs[0].Activate(context.Background(), []string{"x", "y"}, pl(true, "h", 1, 2)); err != nil {
 		t.Fatal(err)
 	}
 	key := ids.KeyString([]string{"x", "y"})
@@ -213,9 +215,9 @@ func TestEvictionOfColdKeys(t *testing.T) {
 	// Keep it hot: probe, then tick. Count 1*0.4 < 0.5 would evict, so
 	// probe twice per tick to stay above the threshold.
 	for i := 0; i < 3; i++ {
-		f.gidx[1].Get([]string{"x", "y"}, 0)
-		f.gidx[2].Get([]string{"x", "y"}, 0)
-		f.gidx[3].Get([]string{"x", "y"}, 0)
+		f.gidx[1].Get(context.Background(), []string{"x", "y"}, 0, globalindex.ReadPrimary)
+		f.gidx[2].Get(context.Background(), []string{"x", "y"}, 0, globalindex.ReadPrimary)
+		f.gidx[3].Get(context.Background(), []string{"x", "y"}, 0, globalindex.ReadPrimary)
 		if evicted := f.mgrs[owner].MaintenanceTick(); evicted != 0 {
 			t.Fatalf("hot key evicted at tick %d", i)
 		}
@@ -228,7 +230,7 @@ func TestEvictionOfColdKeys(t *testing.T) {
 	if evictedTotal != 1 {
 		t.Fatalf("cold key evictions = %d, want 1", evictedTotal)
 	}
-	if _, found, _, _ := f.gidx[1].Get([]string{"x", "y"}, 0); found {
+	if _, found, _, _ := f.gidx[1].Get(context.Background(), []string{"x", "y"}, 0, globalindex.ReadPrimary); found {
 		t.Fatal("evicted key still retrievable")
 	}
 	if len(f.mgrs[owner].OwnedKeys()) != 0 {
@@ -253,7 +255,7 @@ func TestProcessQueryIgnoresNonQueryKeys(t *testing.T) {
 	f := newFleet(t, 4, Config{ActivateThreshold: 1, TruncK: 10})
 	trace := &lattice.Trace{}
 	wantIndex := map[string]bool{"other pair": true}
-	n, err := f.mgrs[0].ProcessQuery([]string{"alpha", "beta"}, trace, wantIndex, pl(true, "h", 1))
+	n, err := f.mgrs[0].ProcessQuery(context.Background(), []string{"alpha", "beta"}, trace, wantIndex, pl(true, "h", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +263,7 @@ func TestProcessQueryIgnoresNonQueryKeys(t *testing.T) {
 		t.Fatal("non-query key must not activate")
 	}
 	// Single-term queries never activate.
-	n, err = f.mgrs[0].ProcessQuery([]string{"alpha"}, trace, map[string]bool{"alpha": true}, pl(true, "h", 1))
+	n, err = f.mgrs[0].ProcessQuery(context.Background(), []string{"alpha"}, trace, map[string]bool{"alpha": true}, pl(true, "h", 1))
 	if err != nil || n != 0 {
 		t.Fatalf("single-term activation: n=%d err=%v", n, err)
 	}

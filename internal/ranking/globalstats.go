@@ -1,6 +1,7 @@
 package ranking
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -128,27 +129,27 @@ func (g *GlobalStats) LocalCounters() (terms int, numDocs, totalLen int64) {
 // PublishDocument pushes the statistics contribution of one newly indexed
 // document: +1 document frequency for each distinct term, +1 document,
 // +docLen total length. Updates are batched per responsible peer.
-func (g *GlobalStats) PublishDocument(terms []string, docLen int) error {
-	return g.publish(terms, docLen, +1)
+func (g *GlobalStats) PublishDocument(ctx context.Context, terms []string, docLen int) error {
+	return g.publish(ctx, terms, docLen, +1)
 }
 
 // UnpublishDocument reverses PublishDocument when a document is removed
 // from the shared collection.
-func (g *GlobalStats) UnpublishDocument(terms []string, docLen int) error {
-	return g.publish(terms, docLen, -1)
+func (g *GlobalStats) UnpublishDocument(ctx context.Context, terms []string, docLen int) error {
+	return g.publish(ctx, terms, docLen, -1)
 }
 
-func (g *GlobalStats) publish(terms []string, docLen int, sign int64) error {
+func (g *GlobalStats) publish(ctx context.Context, terms []string, docLen int, sign int64) error {
 	// Group term deltas by responsible peer so each peer gets one RPC.
 	groups := make(map[transport.Addr][]string)
 	for _, t := range terms {
-		r, _, err := g.node.Lookup(StatsKey(t))
+		r, _, err := g.node.Lookup(ctx, StatsKey(t))
 		if err != nil {
 			return fmt.Errorf("ranking: stats publish %q: %w", t, err)
 		}
 		groups[r.Addr] = append(groups[r.Addr], t)
 	}
-	collPeer, _, err := g.node.Lookup(CollectionKey())
+	collPeer, _, err := g.node.Lookup(ctx, CollectionKey())
 	if err != nil {
 		return fmt.Errorf("ranking: stats publish collection: %w", err)
 	}
@@ -166,7 +167,7 @@ func (g *GlobalStats) publish(terms []string, docLen int, sign int64) error {
 			w.Varint(0)
 			w.Varint(0)
 		}
-		if _, _, err := g.node.Endpoint().Call(addr, MsgStatsUpdate, w.Bytes()); err != nil {
+		if _, _, err := g.node.Endpoint().Call(ctx, addr, MsgStatsUpdate, w.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -175,7 +176,7 @@ func (g *GlobalStats) publish(terms []string, docLen int, sign int64) error {
 		w.Uvarint(0)
 		w.Varint(sign)
 		w.Varint(sign * int64(docLen))
-		if _, _, err := g.node.Endpoint().Call(collPeer.Addr, MsgStatsUpdate, w.Bytes()); err != nil {
+		if _, _, err := g.node.Endpoint().Call(ctx, collPeer.Addr, MsgStatsUpdate, w.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -184,18 +185,18 @@ func (g *GlobalStats) publish(terms []string, docLen int, sign int64) error {
 
 // Fetch gathers network-wide statistics for the given terms plus the
 // collection counters, returning a Stats usable by the BM25 scorer.
-func (g *GlobalStats) Fetch(terms []string) (*FixedStats, error) {
+func (g *GlobalStats) Fetch(ctx context.Context, terms []string) (*FixedStats, error) {
 	out := &FixedStats{DF: make(map[string]int64, len(terms))}
 
 	groups := make(map[transport.Addr][]string)
 	for _, t := range terms {
-		r, _, err := g.node.Lookup(StatsKey(t))
+		r, _, err := g.node.Lookup(ctx, StatsKey(t))
 		if err != nil {
 			return nil, fmt.Errorf("ranking: stats fetch %q: %w", t, err)
 		}
 		groups[r.Addr] = append(groups[r.Addr], t)
 	}
-	collPeer, _, err := g.node.Lookup(CollectionKey())
+	collPeer, _, err := g.node.Lookup(ctx, CollectionKey())
 	if err != nil {
 		return nil, fmt.Errorf("ranking: stats fetch collection: %w", err)
 	}
@@ -207,7 +208,7 @@ func (g *GlobalStats) Fetch(terms []string) (*FixedStats, error) {
 		w := wire.NewWriter(128)
 		w.StringSlice(ts)
 		w.Bool(addr == collPeer.Addr)
-		_, resp, err := g.node.Endpoint().Call(addr, MsgStatsQuery, w.Bytes())
+		_, resp, err := g.node.Endpoint().Call(ctx, addr, MsgStatsQuery, w.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("ranking: stats query %s: %w", addr, err)
 		}

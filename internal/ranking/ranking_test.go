@@ -1,6 +1,8 @@
 package ranking
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -84,17 +86,17 @@ func TestGlobalStatsPublishAndFetch(t *testing.T) {
 	_, svcs := buildStatsRing(t, 16)
 
 	// Three peers publish overlapping documents.
-	if err := svcs[0].PublishDocument([]string{"peer", "network"}, 10); err != nil {
+	if err := svcs[0].PublishDocument(context.Background(), []string{"peer", "network"}, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := svcs[1].PublishDocument([]string{"peer", "index"}, 20); err != nil {
+	if err := svcs[1].PublishDocument(context.Background(), []string{"peer", "index"}, 20); err != nil {
 		t.Fatal(err)
 	}
-	if err := svcs[2].PublishDocument([]string{"peer"}, 30); err != nil {
+	if err := svcs[2].PublishDocument(context.Background(), []string{"peer"}, 30); err != nil {
 		t.Fatal(err)
 	}
 
-	stats, err := svcs[5].Fetch([]string{"peer", "network", "index", "absent"})
+	stats, err := svcs[5].Fetch(context.Background(), []string{"peer", "network", "index", "absent"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,13 +116,13 @@ func TestGlobalStatsPublishAndFetch(t *testing.T) {
 
 func TestGlobalStatsUnpublish(t *testing.T) {
 	_, svcs := buildStatsRing(t, 8)
-	if err := svcs[0].PublishDocument([]string{"alpha", "beta"}, 12); err != nil {
+	if err := svcs[0].PublishDocument(context.Background(), []string{"alpha", "beta"}, 12); err != nil {
 		t.Fatal(err)
 	}
-	if err := svcs[0].UnpublishDocument([]string{"alpha", "beta"}, 12); err != nil {
+	if err := svcs[0].UnpublishDocument(context.Background(), []string{"alpha", "beta"}, 12); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := svcs[3].Fetch([]string{"alpha", "beta"})
+	stats, err := svcs[3].Fetch(context.Background(), []string{"alpha", "beta"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestGlobalStatsDistribution(t *testing.T) {
 	// accumulate at the publisher.
 	nodes, svcs := buildStatsRing(t, 16)
 	terms := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
-	if err := svcs[0].PublishDocument(terms, 8); err != nil {
+	if err := svcs[0].PublishDocument(context.Background(), terms, 8); err != nil {
 		t.Fatal(err)
 	}
 	holders := 0
@@ -148,7 +150,7 @@ func TestGlobalStatsDistribution(t *testing.T) {
 	}
 	// Each term's counter must live at the responsible peer.
 	for _, term := range terms {
-		r, _, err := nodes[0].Lookup(StatsKey(term))
+		r, _, err := nodes[0].Lookup(context.Background(), StatsKey(term))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +163,7 @@ func TestGlobalStatsDistribution(t *testing.T) {
 		if holder == nil {
 			t.Fatalf("no node for addr %s", r.Addr)
 		}
-		stats, err := holder.Fetch([]string{term})
+		stats, err := holder.Fetch(context.Background(), []string{term})
 		if err != nil {
 			t.Fatal(err)
 		}

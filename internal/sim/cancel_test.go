@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunE10SmallShape pins the cancellation experiment's claim: queries
+// abandoned at their 50ms deadline issue measurably fewer RPCs than the
+// same queries running to completion — the fan-out stops spawning work
+// once the context dies, instead of the old fire-and-forget behaviour.
+func TestRunE10SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE10(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 2 {
+		t.Fatalf("E10 rows = %d, want 2\n%s", len(rows), tbl)
+	}
+	var full, cancelled []string
+	for _, r := range rows {
+		switch {
+		case strings.HasPrefix(r[0], "run-to-completion"):
+			full = r
+		case strings.HasPrefix(r[0], "cancel"):
+			cancelled = r
+		}
+	}
+	if full == nil || cancelled == nil {
+		t.Fatalf("missing mode rows\n%s", tbl)
+	}
+	fullMsgs, cancelMsgs := atoi(t, full[1]), atoi(t, cancelled[1])
+	if timedOut := atoi(t, cancelled[2]); timedOut == 0 {
+		t.Fatalf("no query hit its deadline; the experiment exercised nothing\n%s", tbl)
+	}
+	// "Measurably fewer": at least 10% of the subset's RPCs saved.
+	if cancelMsgs >= fullMsgs || float64(cancelMsgs) > 0.9*float64(fullMsgs) {
+		t.Errorf("cancellation saved too little: %d vs %d RPCs\n%s", cancelMsgs, fullMsgs, tbl)
+	}
+}

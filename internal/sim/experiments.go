@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -201,7 +203,7 @@ func measureBaselineQueries(n *Network, queries []corpus.Query) (int64, error) {
 	before := n.Net.Meter().Snapshot()
 	for _, q := range queries {
 		svc := n.Base[rng.Intn(len(n.Base))]
-		if _, _, err := svc.Query(q.Terms); err != nil {
+		if _, _, err := svc.Query(context.Background(), q.Terms); err != nil {
 			return 0, err
 		}
 	}
@@ -219,7 +221,7 @@ func measureSearchQueries(n *Network, queries []corpus.Query) (int64, error) {
 	before := n.Net.Meter().Snapshot()
 	for _, q := range queries {
 		p := n.RandomPeer(rng)
-		if _, _, err := p.Search(q.Text()); err != nil {
+		if _, err := p.Search(context.Background(), q.Text()); err != nil {
 			return 0, err
 		}
 	}
@@ -408,10 +410,11 @@ func RunE4(scale Scale) (*metrics.Table, error) {
 				continue
 			}
 			multiQ++
-			_, trace, err := n.RandomPeer(rng).Search(q.Text())
+			resp, err := n.RandomPeer(rng).Search(context.Background(), q.Text())
 			if err != nil {
 				return nil, err
 			}
+			trace := resp.Trace
 			if trace.FullHit {
 				hits++
 			}
@@ -489,7 +492,7 @@ func routingTrial(size int, skewed bool, policy dht.FingerPolicy, lookups int) (
 			key = ids.ID(rng.Uint64())
 		}
 		src := nodes[rng.Intn(size)]
-		_, hops, err := src.Lookup(key)
+		_, hops, err := src.Lookup(context.Background(), key)
 		if err != nil {
 			continue
 		}
@@ -788,7 +791,7 @@ func churnTrial(coll *corpus.Collection, queries []corpus.Query, peers, kill, jo
 	for qi, q := range queries {
 		if qi%4 == 0 {
 			for _, p := range live {
-				p.Maintain()
+				p.Maintain(context.Background())
 			}
 		}
 		if _, _, err := n.SearchCorpusDocs(pickPeer(), q.Text()); err == nil {
@@ -806,13 +809,13 @@ func churnTrial(coll *corpus.Collection, queries []corpus.Query, peers, kill, jo
 		live = append(live, p)
 		for r := 0; r < 4; r++ {
 			for _, q := range live {
-				q.Maintain()
+				q.Maintain(context.Background())
 			}
 		}
 	}
 	for r := 0; r < 6; r++ {
 		for _, p := range live {
-			p.Maintain()
+			p.Maintain(context.Background())
 		}
 	}
 
@@ -875,7 +878,7 @@ func RunF1() (*metrics.Table, error) {
 	// A minimal 4-peer network with exactly the figure's index state.
 	n := NewNetwork(Options{NumPeers: 4, Seed: 111, Core: core.Config{}})
 	put := func(terms []string, truncated bool, docs ...uint32) error {
-		_, err := n.Peers[0].GlobalIndex().Put(terms, figureList(truncated, docs...), 0)
+		_, err := n.Peers[0].GlobalIndex().Put(context.Background(), terms, figureList(truncated, docs...), 0)
 		return err
 	}
 	// Single terms are always indexed; b and c truncated, a complete.
@@ -892,10 +895,11 @@ func RunF1() (*metrics.Table, error) {
 		return nil, err
 	}
 
-	results, trace, err := n.Peers[1].Search("figterma figtermb figtermc")
+	resp, err := n.Peers[1].Search(context.Background(), "figterma figtermb figtermc")
 	if err != nil {
 		return nil, err
 	}
+	results, trace := resp.Results, resp.Trace
 	t := metrics.NewTable(
 		"F1: lattice processing of query {a,b,c} (bc truncated-indexed; ab, ac absent)",
 		"quantity", "value",
@@ -917,4 +921,100 @@ func figureList(truncated bool, docIDs ...uint32) *postings.List {
 	l.Normalize()
 	l.Truncated = truncated
 	return l
+}
+
+// RunE10 measures the wasted-RPC reduction context cancellation buys: a
+// query workload where 20% of the queries carry a 50ms deadline, over a
+// network with simulated per-message latency, compared against the same
+// subset running to completion. Before the context redesign a query
+// could not be stopped once it left the facade, so every RPC of an
+// abandoned query was paid in full; with cancellation the fan-out stops
+// spawning work the moment the deadline passes.
+func RunE10(scale Scale) (*metrics.Table, error) {
+	numDocs := pick(scale, 4000, 600)
+	peers := pick(scale, 16, 8)
+	numQueries := pick(scale, 60, 25)
+	latency := pick(scale, 20*time.Millisecond, 20*time.Millisecond)
+	const deadline = 50 * time.Millisecond
+	const cancelEvery = 5 // every 5th query = 20%
+
+	// run builds a fresh network, publishes the corpus, then replays the
+	// workload; queries at the cancel positions run under a deadline when
+	// cancel is true. It returns the message count attributable to the
+	// cancel-position queries.
+	run := func(cancel bool) (subsetMsgs int64, timedOut int, err error) {
+		n := NewNetwork(Options{NumPeers: peers, Seed: 91, Core: core.Config{
+			Strategy: core.StrategyHDK,
+			HDK:      hdkConfigFor(numDocs),
+		}})
+		coll := corpusFor(numDocs, 92)
+		if err := n.Distribute(coll); err != nil {
+			return 0, 0, err
+		}
+		if err := n.PublishStats(); err != nil {
+			return 0, 0, err
+		}
+		if _, _, err := n.PublishHDK(); err != nil {
+			return 0, 0, err
+		}
+		w := corpus.GenerateWorkload(coll, corpus.WorkloadParams{NumQueries: numQueries * 2, MaxTerms: 3, Seed: 93})
+		var multi []corpus.Query
+		for _, q := range w.Queries {
+			if len(q.Terms) >= 2 { // single-term queries finish inside the deadline
+				multi = append(multi, q)
+			}
+		}
+		if len(multi) > numQueries {
+			multi = multi[:numQueries]
+		}
+		// Latency starts after publication: only the query phase pays it.
+		n.Net.SetLatency(latency)
+		defer n.Net.SetLatency(0)
+		rng := rand.New(rand.NewSource(94))
+		for qi, q := range multi {
+			p := n.RandomPeer(rng)
+			atCancelPos := qi%cancelEvery == 0
+			before := n.Net.Meter().Snapshot().Messages
+			if cancel && atCancelPos {
+				_, err := p.Search(context.Background(), q.Text(), core.WithTimeout(deadline))
+				switch {
+				case err == nil:
+					// finished inside the deadline
+				case errors.Is(err, core.ErrPartialResults) || errors.Is(err, core.ErrQueryCancelled):
+					timedOut++
+				default:
+					return 0, 0, err
+				}
+			} else {
+				if _, err := p.Search(context.Background(), q.Text()); err != nil {
+					return 0, 0, err
+				}
+			}
+			if atCancelPos {
+				subsetMsgs += n.Net.Meter().Snapshot().Messages - before
+			}
+		}
+		return subsetMsgs, timedOut, nil
+	}
+
+	fullMsgs, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	cancelMsgs, timedOut, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	saved := 0.0
+	if fullMsgs > 0 {
+		saved = 1 - float64(cancelMsgs)/float64(fullMsgs)
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("E10: wasted RPCs under cancellation (%d peers, %s/msg latency, 20%% of queries deadlined at %s)",
+			peers, latency, deadline),
+		"mode", "RPCs on 20% subset", "deadlines hit", "RPCs saved",
+	)
+	t.AddRow("run-to-completion", fullMsgs, 0, "0%")
+	t.AddRow("cancel@50ms", cancelMsgs, timedOut, fmt.Sprintf("%.0f%%", 100*saved))
+	return t, nil
 }

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -101,7 +102,7 @@ func (n *Network) AddPeer(name string, id ids.ID, bootstrap transport.Addr) (*co
 	ep := n.Net.Endpoint(name, d.Serve)
 	p := core.NewPeer(id, ep, d, n.Opts.Core)
 	base := baseline.NewService(p.GlobalIndex(), d)
-	if err := p.Join(bootstrap); err != nil {
+	if err := p.Join(context.Background(), bootstrap); err != nil {
 		return nil, err // a failed join leaves the network untouched
 	}
 	n.Peers = append(n.Peers, p)
@@ -138,8 +139,9 @@ func docFromCorpus(d corpus.Doc) *docs.Document {
 
 // PublishStats pushes every peer's statistics contribution.
 func (n *Network) PublishStats() error {
+	ctx := context.Background()
 	for _, p := range n.Peers {
-		if err := p.PublishStats(); err != nil {
+		if err := p.PublishStats(ctx); err != nil {
 			return err
 		}
 	}
@@ -150,13 +152,14 @@ func (n *Network) PublishStats() error {
 // level 1, then expansion rounds proceed in lockstep until no peer
 // publishes anything new. Statistics must be published first.
 func (n *Network) PublishHDK() (keys, postingsShipped int, err error) {
+	ctx := context.Background()
 	pubs := make([]*hdk.Publisher, len(n.Peers))
 	for i, p := range n.Peers {
-		hp, err := p.NewHDKPublisher()
+		hp, err := p.NewHDKPublisher(ctx)
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := hp.PublishTerms(); err != nil {
+		if err := hp.PublishTerms(ctx); err != nil {
 			return 0, 0, err
 		}
 		pubs[i] = hp
@@ -164,7 +167,7 @@ func (n *Network) PublishHDK() (keys, postingsShipped int, err error) {
 	for {
 		total := 0
 		for _, hp := range pubs {
-			m, err := hp.ExpandRound()
+			m, err := hp.ExpandRound(ctx)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -185,12 +188,13 @@ func (n *Network) PublishHDK() (keys, postingsShipped int, err error) {
 // PublishBaseline pushes every peer's complete single-term lists (the
 // [11] baseline index). Statistics must be published first.
 func (n *Network) PublishBaseline() (keys, shipped int, err error) {
+	ctx := context.Background()
 	for i, p := range n.Peers {
-		stats, err := p.GlobalStats().Fetch(p.LocalIndex().Terms())
+		stats, err := p.GlobalStats().Fetch(ctx, p.LocalIndex().Terms())
 		if err != nil {
 			return keys, shipped, err
 		}
-		k, s, err := n.Base[i].PublishLocal(p.LocalIndex(), stats, p.Addr())
+		k, s, err := n.Base[i].PublishLocal(ctx, p.LocalIndex(), stats, p.Addr())
 		if err != nil {
 			return keys, shipped, err
 		}
@@ -224,18 +228,22 @@ func (n *Network) RandomPeer(rng *rand.Rand) *core.Peer {
 
 // SearchCorpusDocs runs a query from the given peer and maps the results
 // back to corpus document indexes (unknown refs are dropped).
-func (n *Network) SearchCorpusDocs(p *core.Peer, query string) ([]int, *core.QueryTrace, error) {
-	results, trace, err := p.Search(query)
+func (n *Network) SearchCorpusDocs(p *core.Peer, query string, opts ...core.SearchOption) ([]int, *core.QueryTrace, error) {
+	resp, err := p.Search(context.Background(), query, opts...)
 	if err != nil {
+		var trace *core.QueryTrace
+		if resp != nil {
+			trace = resp.Trace
+		}
 		return nil, trace, err
 	}
-	out := make([]int, 0, len(results))
-	for _, r := range results {
+	out := make([]int, 0, len(resp.Results))
+	for _, r := range resp.Results {
 		if idx, ok := n.CorpusDoc[r.Ref]; ok {
 			out = append(out, idx)
 		}
 	}
-	return out, trace, nil
+	return out, resp.Trace, nil
 }
 
 // OverlapAtK computes |got ∩ want| / k, the retrieval-quality metric of

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMemCancelStalledCall pins the cancellation contract on the
+// in-memory transport: a call whose destination handler has stalled
+// returns promptly (well under 100ms) once the context is cancelled,
+// with ErrCallInterrupted carrying the context's error, and leaks no
+// goroutines once the handler unblocks.
+func TestMemCancelStalledCall(t *testing.T) {
+	defer leakcheck.Check(t)()
+	n := NewMem()
+	release := make(chan struct{})
+	stalled := n.Endpoint("stalled", func(Addr, uint8, []byte) (uint8, []byte, error) {
+		<-release
+		return 1, nil, nil
+	})
+	caller := n.Endpoint("caller", func(Addr, uint8, []byte) (uint8, []byte, error) {
+		return 1, nil, nil
+	})
+	_ = stalled
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := caller.Call(ctx, "stalled", 0x01, []byte("x"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the handler
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if since := time.Since(start); since > 100*time.Millisecond {
+			t.Fatalf("cancel took %s, want < 100ms", since)
+		}
+		if !errors.Is(err, ErrCallInterrupted) {
+			t.Fatalf("err = %v, want ErrCallInterrupted", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v should carry context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled call never returned")
+	}
+	close(release) // unblock the abandoned handler goroutine
+}
+
+// TestMemCancelBeforeSend: a context that is dead before the request
+// leaves maps to ErrUnreachable — provably not applied, safe to retry.
+func TestMemCancelBeforeSend(t *testing.T) {
+	n := NewMem()
+	n.Endpoint("dst", func(Addr, uint8, []byte) (uint8, []byte, error) { return 1, nil, nil })
+	src := n.Endpoint("src", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := src.Call(ctx, "dst", 0x01, nil)
+	if !errors.Is(err, ErrUnreachable) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrUnreachable wrapping context.Canceled", err)
+	}
+}
+
+// TestMemCancelDuringLatency: a context that dies while the message is
+// "on the wire" (simulated latency) also counts as never-sent, and the
+// call returns at the cancellation, not after the full latency.
+func TestMemCancelDuringLatency(t *testing.T) {
+	defer leakcheck.Check(t)()
+	n := NewMem()
+	n.Endpoint("dst", func(Addr, uint8, []byte) (uint8, []byte, error) { return 1, nil, nil })
+	src := n.Endpoint("src", nil)
+	n.SetLatency(10 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := src.Call(ctx, "dst", 0x01, nil)
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("call took %s, should return at the deadline", since)
+	}
+	if !errors.Is(err, ErrUnreachable) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrUnreachable wrapping DeadlineExceeded", err)
+	}
+	if got := n.Meter().Snapshot().Messages; got != 0 {
+		t.Fatalf("a cancelled-in-latency call must not be metered, got %d messages", got)
+	}
+}
+
+// TestTCPDeadlineCancelInFlight pins the deadline contract over real
+// sockets: a request whose handler outlives the context's deadline
+// returns ErrCallInterrupted promptly; the pooled connection survives
+// the abandonment (the late response is discarded, not treated as a
+// protocol violation), so the next call on the same connection works.
+func TestTCPDeadlineCancelInFlight(t *testing.T) {
+	defer leakcheck.Check(t)()
+	release := make(chan struct{})
+	var serverCalls int
+	srv, err := ListenTCP("127.0.0.1:0", func(_ Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+		serverCalls++
+		if serverCalls == 1 {
+			<-release // stall only the first request
+		}
+		return msgType, body, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", func(_ Addr, m uint8, b []byte) (uint8, []byte, error) {
+		return m, b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err = cli.Call(ctx, srv.Addr(), 0x01, []byte("slow"))
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("deadline expiry took %s", since)
+	}
+	if !errors.Is(err, ErrCallInterrupted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCallInterrupted wrapping DeadlineExceeded", err)
+	}
+	close(release) // the late response for the abandoned ID is discarded
+
+	// The connection must still be usable: same pooled conn, next ID.
+	respType, resp, err := cli.Call(context.Background(), srv.Addr(), 0x02, []byte("fast"))
+	if err != nil || respType != 0x02 || string(resp) != "fast" {
+		t.Fatalf("call after abandoned request: %v %d %q", err, respType, resp)
+	}
+}
+
+// TestTCPDialHonorsContext: dialing with an already-dead context fails
+// immediately with ErrUnreachable instead of waiting out the OS connect
+// timeout — the Join-with-deadline fix.
+func TestTCPDialHonorsContext(t *testing.T) {
+	cli, err := ListenTCP("127.0.0.1:0", func(_ Addr, m uint8, b []byte) (uint8, []byte, error) {
+		return m, b, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	// 192.0.2.0/24 is TEST-NET: nothing listens there, and an OS connect
+	// would normally hang for seconds before timing out.
+	_, _, err = cli.Call(ctx, "192.0.2.1:9", 0x01, nil)
+	if since := time.Since(start); since > time.Second {
+		t.Fatalf("dial with dead context took %s", since)
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+// TestDispatcherClose: a closed dispatcher refuses new work.
+func TestDispatcherCloseCancelsNewWork(t *testing.T) {
+	d := NewDispatcher()
+	d.Handle(0x01, func(Addr, uint8, []byte) (uint8, []byte, error) { return 0x01, nil, nil })
+	if _, _, err := d.Serve("x", 0x01, nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if _, _, err := d.Serve("x", 0x01, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Serve after Close = %v, want ErrClosed", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 type Dispatcher struct {
 	mu       sync.RWMutex
 	handlers map[uint8]Handler
+	closed   bool
 }
 
 // NewDispatcher returns an empty dispatcher.
@@ -30,11 +31,25 @@ func (d *Dispatcher) Handle(msgType uint8, h Handler) {
 	d.handlers[msgType] = h
 }
 
+// Close stops the dispatcher from accepting new work: every subsequent
+// Serve returns ErrClosed as a remote error. Requests already inside a
+// handler run to completion (the transports drain them on their own
+// Close). Part of a peer's graceful shutdown.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+}
+
 // Serve implements Handler by routing to the registered handler.
 func (d *Dispatcher) Serve(from Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	d.mu.RLock()
+	closed := d.closed
 	h := d.handlers[msgType]
 	d.mu.RUnlock()
+	if closed {
+		return 0, nil, ErrClosed
+	}
 	if h == nil {
 		return 0, nil, fmt.Errorf("no handler for message type 0x%02x", msgType)
 	}

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 	"time"
@@ -42,7 +44,7 @@ func TestDispatcherDuplicatePanics(t *testing.T) {
 func TestMemSelfCallBypassesMeter(t *testing.T) {
 	n := NewMem()
 	a := n.Endpoint("self", echoHandler)
-	respType, resp, err := a.Call("self", 5, []byte("loop"))
+	respType, resp, err := a.Call(context.Background(), "self", 5, []byte("loop"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestMemSelfCallError(t *testing.T) {
 	a := n.Endpoint("err", func(Addr, uint8, []byte) (uint8, []byte, error) {
 		return 0, nil, errors.New("nope")
 	})
-	_, _, err := a.Call("err", 1, nil)
+	_, _, err := a.Call(context.Background(), "err", 1, nil)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("self-call error must be a RemoteError: %v", err)
@@ -72,7 +74,7 @@ func TestTCPSelfCallBypassesNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	respType, resp, err := srv.Call(srv.Addr(), 3, []byte("me"))
+	respType, resp, err := srv.Call(context.Background(), srv.Addr(), 3, []byte("me"))
 	if err != nil || respType != 4 || string(resp) != "echo:me" {
 		t.Fatalf("tcp self call: %d %q %v", respType, resp, err)
 	}
@@ -92,7 +94,7 @@ func TestTCPCloseIdempotentAndUnblocksServer(t *testing.T) {
 	}
 	// Establish an inbound connection at srv, then close srv: the close
 	// must not hang on the idle server goroutine.
-	if _, _, err := cli.Call(srv.Addr(), 1, []byte("x")); err != nil {
+	if _, _, err := cli.Call(context.Background(), srv.Addr(), 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})

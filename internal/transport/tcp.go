@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -46,16 +47,20 @@ type TCP struct {
 }
 
 // tcpConn is one pooled outbound connection. wmu serializes frame
-// writes; mu guards the request-ID counter and the pending-call table
-// the reader goroutine dispatches into.
+// writes; mu guards the request-ID counter, the pending-call table the
+// reader goroutine dispatches into, and the abandoned set (requests whose
+// caller's context died while the response was in flight — their late
+// responses are discarded instead of being treated as protocol
+// violations).
 type tcpConn struct {
 	c   net.Conn
 	wmu sync.Mutex
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan tcpReply
-	dead    error // set once the reader exits; registrations fail fast
+	mu        sync.Mutex
+	nextID    uint64
+	pending   map[uint64]chan tcpReply
+	abandoned map[uint64]struct{}
+	dead      error // set once the reader exits; registrations fail fast
 }
 
 // tcpReply is what the reader goroutine hands back to a waiting caller.
@@ -155,8 +160,16 @@ func (t *TCP) serveConn(c net.Conn) {
 // pipeline on one pooled connection: the request is registered in the
 // connection's pending table, written under the write lock, and the
 // per-connection reader delivers whichever response frame carries its ID
-// — responses are free to return out of order.
-func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+// — responses are free to return out of order. Cancelling ctx abandons
+// the wait (ErrCallInterrupted); the connection stays healthy and a late
+// response for the abandoned ID is silently discarded.
+func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, cancelledBeforeSend(err)
+	}
 	if to == t.Addr() {
 		// Local fast path: no network round-trip, no metering.
 		respType, resp, err := t.handler(to, msgType, body)
@@ -168,7 +181,7 @@ func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	// A pooled connection can die between pool lookup and registration;
 	// the registration then fails fast and one retry dials afresh.
 	for attempt := 0; ; attempt++ {
-		conn, err := t.getConn(to)
+		conn, err := t.getConn(ctx, to)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -194,15 +207,20 @@ func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 		// response leaves it unknown whether the remote processed the
 		// call, which is a different contract (ErrCallInterrupted) than a
 		// request that never left (ErrUnreachable).
-		reply := <-ch
-		if reply.err != nil {
-			return 0, nil, reply.err
+		select {
+		case reply := <-ch:
+			if reply.err != nil {
+				return 0, nil, reply.err
+			}
+			t.meter.Record(reply.msgType, FrameOverhead+len(reply.body))
+			if reply.kind == kindError {
+				return 0, nil, &RemoteError{Msg: string(reply.body)}
+			}
+			return reply.msgType, reply.body, nil
+		case <-ctx.Done():
+			conn.abandon(id)
+			return 0, nil, interruptedInFlight(ctx.Err())
 		}
-		t.meter.Record(reply.msgType, FrameOverhead+len(reply.body))
-		if reply.kind == kindError {
-			return 0, nil, &RemoteError{Msg: string(reply.body)}
-		}
-		return reply.msgType, reply.body, nil
 	}
 }
 
@@ -228,10 +246,27 @@ func (c *tcpConn) unregister(id uint64) {
 	c.mu.Unlock()
 }
 
+// abandon marks an in-flight request as walked-away-from: its response,
+// if it ever arrives, is discarded. If the reply was already delivered
+// (it sits in the call's buffered channel), there is nothing to mark.
+func (c *tcpConn) abandon(id uint64) {
+	c.mu.Lock()
+	if _, still := c.pending[id]; still {
+		delete(c.pending, id)
+		if c.abandoned == nil {
+			c.abandoned = make(map[uint64]struct{})
+		}
+		c.abandoned[id] = struct{}{}
+	}
+	c.mu.Unlock()
+}
+
 // readLoop is the per-connection response dispatcher: it matches every
 // inbound frame to its pending call by request ID and, when the
 // connection dies, fails every in-flight call with ErrCallInterrupted
-// (the remote may or may not have processed them).
+// (the remote may or may not have processed them). Responses whose
+// caller abandoned the wait (context cancellation) are discarded without
+// disturbing the connection.
 func (t *TCP) readLoop(to Addr, conn *tcpConn) {
 	defer t.wg.Done()
 	for {
@@ -243,6 +278,13 @@ func (t *TCP) readLoop(to Addr, conn *tcpConn) {
 		conn.mu.Lock()
 		ch, ok := conn.pending[id]
 		delete(conn.pending, id)
+		if !ok {
+			if _, was := conn.abandoned[id]; was {
+				delete(conn.abandoned, id)
+				conn.mu.Unlock()
+				continue // late response to a cancelled call
+			}
+		}
 		conn.mu.Unlock()
 		if !ok {
 			// A response nobody asked for: protocol violation, drop the
@@ -267,7 +309,7 @@ func (t *TCP) failConn(to Addr, conn *tcpConn, cause error) {
 	}
 }
 
-func (t *TCP) getConn(to Addr) (*tcpConn, error) {
+func (t *TCP) getConn(ctx context.Context, to Addr) (*tcpConn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -279,8 +321,12 @@ func (t *TCP) getConn(to Addr) (*tcpConn, error) {
 	}
 	t.mu.Unlock()
 
-	// Dial outside the lock; racing dials are reconciled below.
-	nc, err := net.Dial("tcp", string(to))
+	// Dial outside the lock; racing dials are reconciled below. The
+	// context bounds the dial itself: a dead or blackholed bootstrap
+	// address fails at the caller's deadline, not the OS default TCP
+	// timeout.
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", string(to))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}

@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,7 +65,7 @@ func TestTCPMidCallInterrupted(t *testing.T) {
 	}
 	defer cli.Close()
 
-	_, _, err = cli.Call(Addr(addr.String()), 7, []byte("doomed"))
+	_, _, err = cli.Call(context.Background(), Addr(addr.String()), 7, []byte("doomed"))
 	if !errors.Is(err, ErrCallInterrupted) {
 		t.Fatalf("err = %v, want ErrCallInterrupted", err)
 	}
@@ -94,7 +96,7 @@ func TestTCPInterruptFailsAllInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, _, err := cli.Call(Addr(addr.String()), 1, []byte("warm")); err != nil {
+	if _, _, err := cli.Call(context.Background(), Addr(addr.String()), 1, []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -104,7 +106,7 @@ func TestTCPInterruptFailsAllInFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = cli.Call(Addr(addr.String()), 1, []byte{byte(i)})
+			_, _, errs[i] = cli.Call(context.Background(), Addr(addr.String()), 1, []byte{byte(i)})
 		}(i)
 	}
 	wg.Wait()
@@ -130,7 +132,7 @@ func TestTCPReconnectAfterDrop(t *testing.T) {
 	}
 	defer cli.Close()
 
-	if _, _, err := cli.Call(srv.Addr(), 1, []byte("warm")); err != nil {
+	if _, _, err := cli.Call(context.Background(), srv.Addr(), 1, []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
 	// Kill every server-side connection under the client's feet.
@@ -145,7 +147,7 @@ func TestTCPReconnectAfterDrop(t *testing.T) {
 	// again within a few attempts.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		respType, resp, err := cli.Call(srv.Addr(), 1, []byte("again"))
+		respType, resp, err := cli.Call(context.Background(), srv.Addr(), 1, []byte("again"))
 		if err == nil {
 			if respType != 2 || string(resp) != "echo:again" {
 				t.Fatalf("bad reconnected response (%d, %q)", respType, resp)
@@ -198,7 +200,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, _, err := cli.Call(Addr(addr.String()), 1, []byte("warm")); err != nil {
+	if _, _, err := cli.Call(context.Background(), Addr(addr.String()), 1, []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -210,7 +212,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, resps[i], errs[i] = cli.Call(Addr(addr.String()), uint8(10+i), []byte{byte('a' + i)})
+			_, resps[i], errs[i] = cli.Call(context.Background(), Addr(addr.String()), uint8(10+i), []byte{byte('a' + i)})
 		}(i)
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -254,7 +256,7 @@ func TestTCPPipelinedConcurrentCalls(t *testing.T) {
 			for j := 0; j < 40; j++ {
 				mt := uint8(1 + (g+j)%2*8) // mix of fast (1) and slow (9) calls
 				payload := []byte(fmt.Sprintf("g%dj%d", g, j))
-				respType, resp, err := cli.Call(srv.Addr(), mt, payload)
+				respType, resp, err := cli.Call(context.Background(), srv.Addr(), mt, payload)
 				if err != nil {
 					t.Errorf("call: %v", err)
 					return

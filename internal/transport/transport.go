@@ -11,12 +11,21 @@
 // Both account message sizes identically (FrameOverhead + payload), so
 // bandwidth numbers from the simulator match what the TCP transport would
 // put on the wire.
+//
+// Every call carries a context.Context. Cancelling it abandons the
+// in-flight request: the caller gets ErrCallInterrupted (wrapping the
+// context's error) promptly, while the remote may or may not still
+// process the request. A context that is already dead before the request
+// is sent fails with ErrUnreachable instead — the request provably never
+// left, so retrying it cannot double-apply.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 )
@@ -42,8 +51,11 @@ type Handler func(from Addr, msgType uint8, body []byte) (respType uint8, resp [
 type Endpoint interface {
 	// Addr returns the endpoint's own address.
 	Addr() Addr
-	// Call sends a request and waits for the response.
-	Call(to Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
+	// Call sends a request and waits for the response. Cancelling ctx
+	// abandons the call: an in-flight request fails with
+	// ErrCallInterrupted, a not-yet-sent one with ErrUnreachable. The
+	// context's own error stays inspectable through errors.Is.
+	Call(ctx context.Context, to Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
 	// Close detaches the endpoint; subsequent calls to it fail.
 	Close() error
 }
@@ -52,8 +64,9 @@ type Endpoint interface {
 // churn, handled by routing retry) from remote application errors.
 var (
 	// ErrUnreachable means the request was never delivered: the peer was
-	// unknown, marked down, or the connection could not be established or
-	// written. Retrying the call cannot double-apply it.
+	// unknown, marked down, the connection could not be established or
+	// written, or the context died before the send. Retrying the call
+	// cannot double-apply it.
 	ErrUnreachable = errors.New("transport: peer unreachable")
 	// ErrCallInterrupted means the request was sent but the response never
 	// arrived — the remote may or may not have processed it. Callers must
@@ -61,6 +74,18 @@ var (
 	ErrCallInterrupted = errors.New("transport: call interrupted")
 	ErrClosed          = errors.New("transport: endpoint closed")
 )
+
+// cancelledBeforeSend maps a context error observed before the request
+// left into the unreachable (provably-not-applied) taxonomy.
+func cancelledBeforeSend(cause error) error {
+	return fmt.Errorf("%w: %w", ErrUnreachable, cause)
+}
+
+// interruptedInFlight maps a context error observed after the request was
+// sent into the interrupted (may-have-been-applied) taxonomy.
+func interruptedInFlight(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCallInterrupted, cause)
+}
 
 // RemoteError wraps an error string returned by a remote handler.
 type RemoteError struct{ Msg string }
@@ -70,14 +95,19 @@ func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
 // Mem is an in-memory network connecting any number of endpoints. It is
 // safe for concurrent use. Delivery is synchronous: Call invokes the
 // destination handler on the caller's goroutine, which makes tests
-// deterministic and lets experiments attribute costs precisely.
+// deterministic and lets experiments attribute costs precisely. Calls
+// whose context can be cancelled (ctx.Done() != nil) dispatch the handler
+// on a helper goroutine instead, so cancellation returns promptly even
+// from a stalled handler; when the context is never cancelled the result
+// is identical to synchronous delivery.
 type Mem struct {
-	mu     sync.RWMutex
-	peers  map[Addr]*memEndpoint
-	down   map[Addr]bool
-	meter  *metrics.Meter
-	load   map[Addr]*metrics.Meter // per-endpoint received-traffic meters
-	nextID int
+	mu      sync.RWMutex
+	peers   map[Addr]*memEndpoint
+	down    map[Addr]bool
+	meter   *metrics.Meter
+	load    map[Addr]*metrics.Meter // per-endpoint received-traffic meters
+	nextID  int
+	latency time.Duration // per-call simulated network delay
 }
 
 // NewMem creates an empty in-memory network.
@@ -93,6 +123,16 @@ func NewMem() *Mem {
 // Meter returns the network-wide traffic meter. Every request and every
 // response is recorded once with its full framed size.
 func (n *Mem) Meter() *metrics.Meter { return n.meter }
+
+// SetLatency makes every non-self call pay a simulated one-way network
+// delay before dispatch. A cancelled context interrupts the wait. The
+// simulator uses it to give cancellation deadlines something real to cut
+// short; the default (0) keeps delivery immediate.
+func (n *Mem) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	n.latency = d
+	n.mu.Unlock()
+}
 
 // Load returns the received-traffic meter of addr, creating it if needed.
 // Experiments use it to measure per-peer load balance.
@@ -155,13 +195,19 @@ type memEndpoint struct {
 
 func (e *memEndpoint) Addr() Addr { return e.addr }
 
-func (e *memEndpoint) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+func (e *memEndpoint) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.Lock()
 	closed := e.closed
 	h := e.handler
 	e.mu.Unlock()
 	if closed {
 		return 0, nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, cancelledBeforeSend(err)
 	}
 	if to == e.addr {
 		// A peer talking to itself does not use the network: dispatch
@@ -180,6 +226,7 @@ func (e *memEndpoint) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, 
 	downSrc := n.down[e.addr]
 	downDst := n.down[to]
 	loadDst := n.load[to]
+	latency := n.latency
 	n.mu.RUnlock()
 	if !ok || downSrc || downDst {
 		return 0, nil, ErrUnreachable
@@ -192,12 +239,53 @@ func (e *memEndpoint) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, 
 		return 0, nil, ErrUnreachable
 	}
 
+	if latency > 0 {
+		// The delay models the request's time on the wire; a context that
+		// dies during it counts as never-sent (the frame is still "in our
+		// NIC queue"), so the call is safely retryable.
+		t := time.NewTimer(latency)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return 0, nil, cancelledBeforeSend(ctx.Err())
+		}
+	}
+
 	reqSize := FrameOverhead + len(body)
 	n.meter.Record(msgType, reqSize)
 	if loadDst != nil {
 		loadDst.Record(msgType, reqSize)
 	}
 
+	if ctx.Done() == nil {
+		// Uncancellable context: keep the synchronous, goroutine-free
+		// delivery that the determinism tests rely on.
+		return e.finishCall(dstHandler, msgType, body)
+	}
+	type outcome struct {
+		respType uint8
+		resp     []byte
+		err      error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rt, resp, err := e.finishCall(dstHandler, msgType, body)
+		ch <- outcome{rt, resp, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.respType, out.resp, out.err
+	case <-ctx.Done():
+		// The handler keeps running (the "remote" cannot be recalled), but
+		// this caller abandons the wait, exactly like the TCP transport.
+		return 0, nil, interruptedInFlight(ctx.Err())
+	}
+}
+
+// finishCall dispatches to the destination handler and meters the reply.
+func (e *memEndpoint) finishCall(dstHandler Handler, msgType uint8, body []byte) (uint8, []byte, error) {
+	n := e.net
 	respType, resp, err := dstHandler(e.addr, msgType, body)
 	if err != nil {
 		// An error reply still crosses the network: charge a frame

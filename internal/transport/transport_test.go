@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"sync"
@@ -16,7 +18,7 @@ func TestMemCallRoundTrip(t *testing.T) {
 	a := n.Endpoint("a", echoHandler)
 	n.Endpoint("b", echoHandler)
 
-	respType, resp, err := a.Call("b", 7, []byte("hi"))
+	respType, resp, err := a.Call(context.Background(), "b", 7, []byte("hi"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func TestMemMetering(t *testing.T) {
 	a := n.Endpoint("a", echoHandler)
 	n.Endpoint("b", echoHandler)
 
-	if _, _, err := a.Call("b", 1, []byte("xyz")); err != nil {
+	if _, _, err := a.Call(context.Background(), "b", 1, []byte("xyz")); err != nil {
 		t.Fatal(err)
 	}
 	s := n.Meter().Snapshot()
@@ -59,7 +61,7 @@ func TestMemMetering(t *testing.T) {
 func TestMemUnknownPeer(t *testing.T) {
 	n := NewMem()
 	a := n.Endpoint("a", echoHandler)
-	if _, _, err := a.Call("nope", 1, nil); !errors.Is(err, ErrUnreachable) {
+	if _, _, err := a.Call(context.Background(), "nope", 1, nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
 }
@@ -70,11 +72,11 @@ func TestMemFailureInjection(t *testing.T) {
 	n.Endpoint("b", echoHandler)
 
 	n.SetDown("b", true)
-	if _, _, err := a.Call("b", 1, nil); !errors.Is(err, ErrUnreachable) {
+	if _, _, err := a.Call(context.Background(), "b", 1, nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("down peer should be unreachable, got %v", err)
 	}
 	n.SetDown("b", false)
-	if _, _, err := a.Call("b", 1, nil); err != nil {
+	if _, _, err := a.Call(context.Background(), "b", 1, nil); err != nil {
 		t.Fatalf("recovered peer should answer, got %v", err)
 	}
 }
@@ -85,7 +87,7 @@ func TestMemRemoteError(t *testing.T) {
 	n.Endpoint("b", func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
 		return 0, nil, fmt.Errorf("kaboom %d", mt)
 	})
-	_, _, err := a.Call("b", 3, nil)
+	_, _, err := a.Call(context.Background(), "b", 3, nil)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -102,13 +104,13 @@ func TestMemClose(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := a.Call("b", 1, nil); !errors.Is(err, ErrUnreachable) {
+	if _, _, err := a.Call(context.Background(), "b", 1, nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("closed peer should be unreachable, got %v", err)
 	}
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := a.Call("b", 1, nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := a.Call(context.Background(), "b", 1, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("call from closed endpoint: %v, want ErrClosed", err)
 	}
 	if n.NumEndpoints() != 0 {
@@ -151,7 +153,7 @@ func TestMemConcurrentCalls(t *testing.T) {
 				// (i+1+j%7)%8 is never i, so every call crosses the
 				// network and is metered.
 				to := Addr(fmt.Sprintf("p%d", (i+1+j%7)%8))
-				if _, _, err := eps[i].Call(to, uint8(j), []byte("x")); err != nil {
+				if _, _, err := eps[i].Call(context.Background(), to, uint8(j), []byte("x")); err != nil {
 					t.Errorf("call failed: %v", err)
 					return
 				}
@@ -177,7 +179,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 	defer cli.Close()
 
-	respType, resp, err := cli.Call(srv.Addr(), 42, []byte("over tcp"))
+	respType, resp, err := cli.Call(context.Background(), srv.Addr(), 42, []byte("over tcp"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 
 	// Second call reuses the pooled connection.
-	if _, _, err := cli.Call(srv.Addr(), 1, []byte("again")); err != nil {
+	if _, _, err := cli.Call(context.Background(), srv.Addr(), 1, []byte("again")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -205,7 +207,7 @@ func TestTCPRemoteError(t *testing.T) {
 	}
 	defer cli.Close()
 
-	_, _, err = cli.Call(srv.Addr(), 1, nil)
+	_, _, err = cli.Call(context.Background(), srv.Addr(), 1, nil)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Msg != "server says no" {
 		t.Fatalf("err = %v", err)
@@ -218,7 +220,7 @@ func TestTCPUnreachable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, _, err := cli.Call("127.0.0.1:1", 1, nil); !errors.Is(err, ErrUnreachable) {
+	if _, _, err := cli.Call(context.Background(), "127.0.0.1:1", 1, nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
 }
@@ -235,7 +237,7 @@ func TestTCPMetering(t *testing.T) {
 	}
 	defer cli.Close()
 
-	if _, _, err := cli.Call(srv.Addr(), 5, []byte("abc")); err != nil {
+	if _, _, err := cli.Call(context.Background(), srv.Addr(), 5, []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
 	cs := cli.Meter().Snapshot()
@@ -268,7 +270,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 		go func(c *TCP) {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
-				if _, _, err := c.Call(srv.Addr(), 1, []byte("x")); err != nil {
+				if _, _, err := c.Call(context.Background(), srv.Addr(), 1, []byte("x")); err != nil {
 					t.Errorf("call: %v", err)
 					return
 				}
@@ -284,7 +286,7 @@ func TestTCPCallAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	cli.Close()
-	if _, _, err := cli.Call("127.0.0.1:9", 1, nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := cli.Call(context.Background(), "127.0.0.1:9", 1, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
