@@ -21,10 +21,17 @@
 // it unwinds the operation mid-fan-out (no further RPCs are spawned) and
 // a deadline turns into connection/read timeouts on the TCP transport.
 // Search additionally accepts functional options — WithTopK,
-// WithTimeout, WithReadConsistency, WithStrategy, WithTrace — that tune
-// a single query without touching the peer's configuration. A cancelled
-// search returns ErrQueryCancelled, an expired one ErrPartialResults;
-// both leave the usable ranked prefix in the response (Partial is set).
+// WithTimeout, WithReadConsistency, WithHedging, WithStrategy,
+// WithTrace — that tune a single query without touching the peer's
+// configuration. A cancelled search returns ErrQueryCancelled, an
+// expired one ErrPartialResults; both leave the usable ranked prefix in
+// the response (Partial is set).
+//
+// Deadlines also cross the wire: a query's remaining budget travels in
+// every frame header, and a peer configured with
+// Config.AdmissionWatermark sheds requests that can no longer answer in
+// time *before* doing the work (the shed is typed, and the read paths
+// retry it on another replica).
 //
 // Indexing strategies: HDK (frequency-driven term combinations, the
 // default) and QDI (query-driven on-demand indexing); switchable at
@@ -124,6 +131,10 @@ var (
 	WithTimeout = core.WithTimeout
 	// WithReadConsistency selects ReadPrimaryOnly or ReadAnyReplica.
 	WithReadConsistency = core.WithReadConsistency
+	// WithHedging races a slow (or shedding) replica against the
+	// next-best copy after the given delay, first response wins —
+	// bounding read tail latency under ReadAnyReplica.
+	WithHedging = core.WithHedging
 	// WithStrategy overrides HDK/QDI for this query only.
 	WithStrategy = core.WithStrategy
 	// WithTrace toggles the response's QueryTrace (default on).

@@ -41,9 +41,17 @@ func main() {
 	joinTimeout := flag.Duration("join-timeout", 10*time.Second, "bootstrap join deadline")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none)")
 	topK := flag.Int("topk", 0, "per-query result budget (0 = peer default)")
+	admission := flag.Int("admission-watermark", 0,
+		"in-flight handler count above which doomed requests are shed (0 = admission control off)")
+	admissionFloor := flag.Duration("admission-min-service", 2*time.Millisecond,
+		"service-time floor for the admission check before the per-type estimates warm up")
 	flag.Parse()
 
-	cfg := alvisp2p.Config{ReplicationFactor: *replication}
+	cfg := alvisp2p.Config{
+		ReplicationFactor:   *replication,
+		AdmissionWatermark:  *admission,
+		AdmissionMinService: *admissionFloor,
+	}
 	switch strings.ToLower(*strategy) {
 	case "hdk":
 		cfg.Strategy = alvisp2p.StrategyHDK

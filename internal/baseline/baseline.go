@@ -45,7 +45,7 @@ func NewService(gidx *globalindex.Index, d *transport.Dispatcher) *Service {
 	return s
 }
 
-func (s *Service) handleIntersect(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (s *Service) handleIntersect(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	term := r.String()
 	cand, err := postings.Decode(r)

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dht"
 	"repro/internal/docs"
@@ -98,6 +99,19 @@ type Config struct {
 	// timing, so only result *sets* (not byte-exact store state) are
 	// guaranteed.
 	ReplicationFactor int
+	// AdmissionWatermark enables server-side admission control on this
+	// peer's dispatcher: at or above this many in-flight handlers, a
+	// request whose wire-shipped deadline budget cannot cover the peer's
+	// observed per-message-type service time is refused with a typed shed
+	// error before any work — callers retry it on another replica.
+	// Expired budgets are shed regardless of load. 0 (the default)
+	// disables admission control, preserving run-everything behaviour.
+	AdmissionWatermark int
+	// AdmissionMinService floors the learned service-time estimates the
+	// admission check compares budgets against, covering the cold-start
+	// window before the per-type EWMAs have observations. 0 keeps the
+	// pure EWMA.
+	AdmissionMinService time.Duration
 }
 
 // DefaultConcurrency is the fan-out width used when Config.Concurrency
@@ -186,6 +200,9 @@ type Peer struct {
 //	p := core.NewPeer(id, ep, d, cfg)
 func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Config) *Peer {
 	cfg.fillDefaults()
+	if cfg.AdmissionWatermark > 0 {
+		d.SetAdmissionControl(cfg.AdmissionWatermark, cfg.AdmissionMinService)
+	}
 	node := dht.NewNode(id, ep, d, cfg.DHT)
 	gidx := globalindex.New(node, d)
 	gidx.EnableReplication(cfg.ReplicationFactor)
@@ -244,6 +261,10 @@ func (p *Peer) Close() error {
 
 // Node returns the peer's DHT node.
 func (p *Peer) Node() *dht.Node { return p.node }
+
+// Dispatcher returns the peer's protocol dispatcher; experiments read
+// its admission-control counters from here.
+func (p *Peer) Dispatcher() *transport.Dispatcher { return p.disp }
 
 // Documents returns the shared-documents manager.
 func (p *Peer) Documents() *docs.Store { return p.docs }
@@ -493,6 +514,7 @@ func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (
 	fetch := &searchFetcher{
 		p:         p,
 		policy:    o.consistency.policy(),
+		hedge:     o.hedge,
 		wantIndex: make(map[string]bool),
 		perKey:    make(map[string]*postings.List),
 	}
@@ -582,6 +604,7 @@ func (p *Peer) presentLocal(ranked []scoredRef) []Result {
 type searchFetcher struct {
 	p         *Peer
 	policy    globalindex.ReadPolicy
+	hedge     time.Duration // WithHedging delay; 0 = unhedged reads
 	mu        sync.Mutex
 	wantIndex map[string]bool
 	perKey    map[string]*postings.List
@@ -600,7 +623,7 @@ func (sf *searchFetcher) record(key string, list *postings.List, found, want boo
 
 // Get implements lattice.Fetcher (the sequential probe path).
 func (sf *searchFetcher) Get(ctx context.Context, ts []string, max int) (*postings.List, bool, error) {
-	l, found, want, err := sf.p.gidx.Get(ctx, ts, max, sf.policy)
+	l, found, want, err := sf.p.gidx.Get(ctx, ts, max, sf.policy, globalindex.WithHedge(sf.hedge))
 	if err != nil {
 		return nil, false, err
 	}
@@ -615,7 +638,7 @@ func (sf *searchFetcher) GetBatch(ctx context.Context, combos [][]string, max in
 	for i, c := range combos {
 		items[i] = globalindex.GetItem{Terms: c, MaxResults: max}
 	}
-	res, err := sf.p.gidx.MultiGet(ctx, items, sf.p.cfg.Concurrency, sf.policy)
+	res, err := sf.p.gidx.MultiGet(ctx, items, sf.p.cfg.Concurrency, sf.policy, globalindex.WithHedge(sf.hedge))
 	if err != nil {
 		return nil, err
 	}

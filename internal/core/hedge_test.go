@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hdk"
+	"repro/internal/sim"
+)
+
+// TestWithHedgingMatchesUnhedgedResults pins the facade plumbing of
+// WithHedging: a hedged AnyReplica query returns exactly the result set
+// of the default primary-only query (replicas are write-through copies;
+// hedging changes who answers, never what is answered), including when a
+// peer is slow and the hedge actually fires.
+func TestWithHedgingMatchesUnhedgedResults(t *testing.T) {
+	cfg := core.Config{
+		Strategy:          core.StrategyHDK,
+		HDK:               hdk.Config{DFMax: 20, SMax: 3, Window: 30, TruncK: 50},
+		ReplicationFactor: 3,
+	}
+	n := sim.NewNetwork(sim.Options{NumPeers: 8, Seed: 71, Core: cfg})
+	c := corpus.Generate(corpus.Params{NumDocs: 200, VocabSize: 300, MeanDocLen: 40, Seed: 72})
+	if err := n.Distribute(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PublishStats(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.PublishHDK(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := n.Peers[0]
+	const query = "term0000 term0001"
+	primary, err := p.Search(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow down one non-querying peer mid-network; the hedged query must
+	// still return the same ranked references.
+	slow := n.Peers[5].Addr()
+	n.Net.SetPeerDelay(slow, 60*time.Millisecond)
+	defer n.Net.SetPeerDelay(slow, 0)
+
+	hedged, err := p.Search(context.Background(), query,
+		core.WithReadConsistency(core.ReadAnyReplica),
+		core.WithHedging(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hedged.Results) != len(primary.Results) {
+		t.Fatalf("hedged returned %d results, primary %d", len(hedged.Results), len(primary.Results))
+	}
+	for i := range hedged.Results {
+		if hedged.Results[i].Ref != primary.Results[i].Ref {
+			t.Fatalf("result %d diverged: hedged %+v vs primary %+v",
+				i, hedged.Results[i].Ref, primary.Results[i].Ref)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func (p *Peer) registerL5Handlers(d *transport.Dispatcher) {
 	d.Handle(MsgFetchDoc, p.handleFetchDoc)
 }
 
-func (p *Peer) handleDocInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (p *Peer) handleDocInfo(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	n := r.Uvarint()
 	if r.Err() != nil || n > 4096 {
@@ -69,7 +69,7 @@ func (p *Peer) docURL(name, original string) string {
 	return fmt.Sprintf("http://%s/shared/%s", p.Addr(), name)
 }
 
-func (p *Peer) handleForwardQuery(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (p *Peer) handleForwardQuery(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	query := r.String()
 	topK := int(r.Uvarint())
@@ -99,7 +99,7 @@ func (p *Peer) handleForwardQuery(_ transport.Addr, _ uint8, body []byte) (uint8
 	return MsgForwardQuery, w.Bytes(), nil
 }
 
-func (p *Peer) handleFetchDoc(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (p *Peer) handleFetchDoc(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	id := uint32(r.Uvarint())
 	user := r.String()

@@ -81,6 +81,7 @@ type searchOpts struct {
 	topK        int // 0 = the peer's configured TopK, no probe cap
 	timeout     time.Duration
 	consistency ReadConsistency
+	hedge       time.Duration // 0 = no hedging
 	strategy    Strategy
 	strategySet bool
 	trace       bool
@@ -115,6 +116,24 @@ func WithTimeout(d time.Duration) SearchOption {
 // reads; see ReadConsistency.
 func WithReadConsistency(c ReadConsistency) SearchOption {
 	return func(o *searchOpts) { o.consistency = c }
+}
+
+// WithHedging makes this query's replica reads hedged and load-aware:
+// each key group's replica chain is ranked by observed per-peer latency
+// (slow copies sink to the end), the best copy is asked first, and a
+// copy that stays silent past delay — or sheds the request under
+// admission control — causes the next-best copy to be raced against it,
+// first response wins with the loser cancelled. It trades a bounded
+// amount of duplicate work for a hard cap on tail latency, so pair it
+// with WithReadConsistency(ReadAnyReplica); without replication (or
+// under ReadPrimaryOnly) there is no second copy and the option is a
+// no-op. delay <= 0 is ignored.
+func WithHedging(delay time.Duration) SearchOption {
+	return func(o *searchOpts) {
+		if delay > 0 {
+			o.hedge = delay
+		}
+	}
 }
 
 // WithStrategy overrides the peer's indexing strategy for this query

@@ -52,13 +52,13 @@ func decodeRemotes(r *wire.Reader) []Remote {
 // registerHandlers wires the node's RPC surface onto the dispatcher. All
 // handlers answer from local state only.
 func (n *Node) registerHandlers(d *transport.Dispatcher) {
-	d.Handle(MsgPing, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(MsgPing, func(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 		w := wire.NewWriter(32)
 		encodeRemote(w, n.self)
 		return MsgPing, w.Bytes(), nil
 	})
 
-	d.Handle(MsgNextHop, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(MsgNextHop, func(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 		r := wire.NewReader(body)
 		key := ids.ID(r.Uint64())
 		if err := r.Err(); err != nil {
@@ -74,7 +74,7 @@ func (n *Node) registerHandlers(d *transport.Dispatcher) {
 		return MsgNextHop, w.Bytes(), nil
 	})
 
-	d.Handle(MsgGetState, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(MsgGetState, func(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 		n.mu.RLock()
 		pred := n.pred
 		succs := make([]Remote, len(n.succs))
@@ -86,7 +86,7 @@ func (n *Node) registerHandlers(d *transport.Dispatcher) {
 		return MsgGetState, w.Bytes(), nil
 	})
 
-	d.Handle(MsgNotify, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(MsgNotify, func(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 		r := wire.NewReader(body)
 		cand := decodeRemote(r)
 		if err := r.Err(); err != nil {
@@ -96,7 +96,7 @@ func (n *Node) registerHandlers(d *transport.Dispatcher) {
 		return MsgNotify, nil, nil
 	})
 
-	d.Handle(MsgGetFinger, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(MsgGetFinger, func(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 		r := wire.NewReader(body)
 		level := int(r.Uvarint())
 		if err := r.Err(); err != nil {
@@ -115,7 +115,7 @@ func (n *Node) registerHandlers(d *transport.Dispatcher) {
 		return MsgGetFinger, w.Bytes(), nil
 	})
 
-	d.Handle(MsgSetSuccessor, func(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(MsgSetSuccessor, func(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 		r := wire.NewReader(body)
 		succ := decodeRemote(r)
 		if err := r.Err(); err != nil {

@@ -90,7 +90,7 @@ func (ix *Index) checkResponsible(keys []string) error {
 	return nil
 }
 
-func (ix *Index) handleMultiPut(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiPut(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, bounds, _, lists, err := decodeMultiPutBody(body, false)
 	if err != nil {
 		return 0, nil, err
@@ -106,7 +106,7 @@ func (ix *Index) handleMultiPut(_ transport.Addr, _ uint8, body []byte) (uint8, 
 	return MsgMultiPut, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiAppend(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, bounds, dfs, lists, err := decodeMultiPutBody(body, true)
 	if err != nil {
 		return 0, nil, err
@@ -122,7 +122,7 @@ func (ix *Index) handleMultiAppend(_ transport.Addr, _ uint8, body []byte) (uint
 	return MsgMultiAppend, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiGet(_ transport.Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiGet(_ context.Context, _ transport.Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	count, err := readBatchCount(r)
 	if err != nil {
@@ -155,7 +155,7 @@ func (ix *Index) handleMultiGet(_ transport.Addr, msgType uint8, body []byte) (u
 	return msgType, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiKeyInfo(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	count, err := readBatchCount(r)
 	if err != nil {
@@ -359,21 +359,42 @@ func (ix *Index) MultiAppend(ctx context.Context, items []AppendItem, workers in
 // retargeted from its primary to a hash-chosen member of the primary's
 // replica set and the groups go out as MsgMultiGetAny frames (no
 // responsibility check: replicas serve keys they do not own).
-func (ix *Index) MultiGet(ctx context.Context, items []GetItem, workers int, policy ReadPolicy) ([]GetResult, error) {
+//
+// WithHedge changes the AnyReplica plan: items group by *primary* — so
+// every item of a group shares one replica chain — and each group frame
+// is driven through callHedged over the chain ranked by observed
+// latency: the best copy first, escalating to the next-best copy after
+// the hedge delay or on a shed, first response wins.
+func (ix *Index) MultiGet(ctx context.Context, items []GetItem, workers int, policy ReadPolicy, opts ...ReadOption) ([]GetResult, error) {
+	ro := resolveReadOpts(opts)
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
 	}
 	msg := MsgMultiGet
 	var retarget func(key string, primary dht.Remote) dht.Remote
+	var callGroup groupCaller
 	if policy == ReadAnyReplica && ix.repl.factor > 1 {
 		msg = MsgMultiGetAny
-		retarget = func(key string, primary dht.Remote) dht.Remote {
-			return dht.Remote{ID: primary.ID, Addr: ix.readTarget(ctx, key, primary)}
+		if ro.hedge > 0 {
+			callGroup = func(ctx context.Context, primary transport.Addr, gmsg uint8, seed string, body []byte) ([]byte, error) {
+				chain := ix.readChain(ctx, seed, primary)
+				resp, _, err := ix.callHedged(ctx, chain, gmsg, body, ro.hedge)
+				if err != nil && ctx.Err() == nil {
+					// Every copy in the chain failed on its own: some cached
+					// member is stale, refetch the set on the next read.
+					ix.dropReplicaSet(primary)
+				}
+				return resp, err
+			}
+		} else {
+			retarget = func(key string, primary dht.Remote) dht.Remote {
+				return dht.Remote{ID: primary.ID, Addr: ix.readTarget(ctx, key, primary)}
+			}
 		}
 	}
 	out := make([]GetResult, len(items))
-	err := ix.runBatch(ctx, keys, workers, msg, false, retarget,
+	err := ix.runBatchCustom(ctx, keys, workers, msg, false, retarget, callGroup,
 		func(w *wire.Writer, i int) {
 			w.String(keys[i])
 			w.Uvarint(uint64(items[i].MaxResults))
@@ -429,6 +450,15 @@ func (ix *Index) MultiKeyInfo(ctx context.Context, items []KeyInfoItem, workers 
 	return out, err
 }
 
+// groupCaller delivers one encoded group frame to the network on behalf
+// of runBatch. The default sends a single timed RPC to the group's
+// serving address; the hedged MultiGet path substitutes a caller that
+// races the frame across the group's replica chain. seed is the group's
+// first item key — per-call entropy for the chain rotation, so distinct
+// queries spread their first attempts across a primary's copies instead
+// of all starting at the same one.
+type groupCaller func(ctx context.Context, addr transport.Addr, msg uint8, seed string, body []byte) (resp []byte, err error)
+
 // runBatch is the shared engine of the Multi operations: resolve all
 // keys, group per serving peer, one concurrent RPC per peer, decode
 // per-item answers in order, and fall back to the per-item path for any
@@ -445,13 +475,29 @@ func (ix *Index) MultiKeyInfo(ctx context.Context, items []KeyInfoItem, workers 
 // non-idempotent operation (Append accumulates the announced DF, Get
 // records a usage probe) the fallback runs only when the failure proves
 // the frame was never applied: the handler rejected it (RemoteError —
-// batch handlers mutate nothing before rejecting) or the transport never
-// delivered it (ErrUnreachable, which includes a context that died
-// before the send). An interrupted call or a garbled response propagates
-// as an error instead, exactly as the sequential per-key path would
-// surface it.
+// batch handlers mutate nothing before rejecting), the remote's
+// admission control refused it before any work (ErrShed), or the
+// transport never delivered it (ErrUnreachable, which includes a context
+// that died before the send). An interrupted call or a garbled response
+// propagates as an error instead, exactly as the sequential per-key path
+// would surface it.
 func (ix *Index) runBatch(ctx context.Context, keys []string, workers int, msg uint8, idempotent bool,
 	retarget func(key string, primary dht.Remote) dht.Remote,
+	encodeItem func(w *wire.Writer, i int),
+	decodeItem func(r *wire.Reader, i int) error,
+	fallbackItem func(i int) error,
+) error {
+	return ix.runBatchCustom(ctx, keys, workers, msg, idempotent, retarget, nil, encodeItem, decodeItem, fallbackItem)
+}
+
+// runBatchCustom is runBatch with an optional group caller: callGroup,
+// when non-nil, replaces the single-RPC delivery of each group frame
+// (the hedged read path). A custom caller owns its own addressing, so
+// the MsgMultiGetAny → MsgMultiGet downgrade for all-primary groups does
+// not apply to it.
+func (ix *Index) runBatchCustom(ctx context.Context, keys []string, workers int, msg uint8, idempotent bool,
+	retarget func(key string, primary dht.Remote) dht.Remote,
+	callGroup groupCaller,
 	encodeItem func(w *wire.Writer, i int),
 	decodeItem func(r *wire.Reader, i int) error,
 	fallbackItem func(i int) error,
@@ -489,7 +535,7 @@ func (ix *Index) runBatch(ctx context.Context, keys []string, workers int, msg u
 	stopped := dht.RunBounded(ctx, len(groups), workers, func(gi int) {
 		g := groups[gi]
 		gmsg := msg
-		if gmsg == MsgMultiGetAny && !groupRetargeted(g) {
+		if gmsg == MsgMultiGetAny && callGroup == nil && !groupRetargeted(g) {
 			gmsg = MsgMultiGet
 		}
 		w := wire.NewWriter(64 * len(g.items))
@@ -497,7 +543,13 @@ func (ix *Index) runBatch(ctx context.Context, keys []string, workers int, msg u
 		for _, i := range g.items {
 			encodeItem(w, i)
 		}
-		_, resp, err := ix.node.Endpoint().Call(ctx, g.addr, gmsg, w.Bytes())
+		var resp []byte
+		var err error
+		if callGroup != nil {
+			resp, err = callGroup(ctx, g.addr, gmsg, keys[g.items[0]], w.Bytes())
+		} else {
+			_, resp, err = ix.timedCall(ctx, g.addr, gmsg, w.Bytes())
+		}
 		if err != nil {
 			errs[gi] = err
 			return
@@ -565,8 +617,12 @@ func (ix *Index) runBatch(ctx context.Context, keys []string, workers int, msg u
 }
 
 // retryProvablySafe reports whether err guarantees the batch frame was
-// not applied at the remote store.
+// not applied at the remote store. A shed qualifies by construction:
+// admission control refuses the request before any work, precisely so
+// that callers can redrive it on another copy.
 func retryProvablySafe(err error) bool {
 	var remote *transport.RemoteError
-	return errors.Is(err, transport.ErrUnreachable) || errors.As(err, &remote)
+	return errors.Is(err, transport.ErrUnreachable) ||
+		errors.Is(err, transport.ErrShed) ||
+		errors.As(err, &remote)
 }

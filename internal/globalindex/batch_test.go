@@ -170,7 +170,7 @@ func TestMultiPutWireRoundTrip(t *testing.T) {
 		l.Normalize()
 		writeKeyBoundList(w, it.key, it.bound, 0, l, false)
 	}
-	msg, resp, err := ix.handleMultiPut("tester", MsgMultiPut, w.Bytes())
+	msg, resp, err := ix.handleMultiPut(context.Background(), "tester", MsgMultiPut, w.Bytes())
 	if err != nil || msg != MsgMultiPut {
 		t.Fatalf("handler: %v (msg 0x%02x)", err, msg)
 	}
@@ -202,7 +202,7 @@ func TestMultiAppendWireRoundTripAnnouncedDF(t *testing.T) {
 	w := wire.NewWriter(128)
 	w.Uvarint(1)
 	writeKeyBoundList(w, "df-key", 10, 50, l, true)
-	_, resp, err := ix.handleMultiAppend("tester", MsgMultiAppend, w.Bytes())
+	_, resp, err := ix.handleMultiAppend(context.Background(), "tester", MsgMultiAppend, w.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestMultiGetWireRoundTrip(t *testing.T) {
 	w.Uvarint(6) // capped fetch
 	w.String("missing")
 	w.Uvarint(0)
-	_, resp, err := ix.handleMultiGet("tester", MsgMultiGet, w.Bytes())
+	_, resp, err := ix.handleMultiGet(context.Background(), "tester", MsgMultiGet, w.Bytes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,13 +280,13 @@ func TestMultiHandlersRejectMalformed(t *testing.T) {
 		"garbage":           {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
 	}
 	for name, body := range cases {
-		if _, _, err := ix.handleMultiPut("tester", MsgMultiPut, body); err == nil {
+		if _, _, err := ix.handleMultiPut(context.Background(), "tester", MsgMultiPut, body); err == nil {
 			t.Errorf("MultiPut accepted %s body", name)
 		}
-		if _, _, err := ix.handleMultiAppend("tester", MsgMultiAppend, body); err == nil {
+		if _, _, err := ix.handleMultiAppend(context.Background(), "tester", MsgMultiAppend, body); err == nil {
 			t.Errorf("MultiAppend accepted %s body", name)
 		}
-		if _, _, err := ix.handleMultiGet("tester", MsgMultiGet, body); err == nil {
+		if _, _, err := ix.handleMultiGet(context.Background(), "tester", MsgMultiGet, body); err == nil {
 			t.Errorf("MultiGet accepted %s body", name)
 		}
 	}
@@ -296,7 +296,7 @@ func TestMultiHandlersRejectMalformed(t *testing.T) {
 	writeKeyBoundList(w, "first", 10, 0, l, false)
 	w.String("second")
 	// second item is cut off after the key
-	if _, _, err := ix.handleMultiPut("tester", MsgMultiPut, w.Bytes()); err == nil {
+	if _, _, err := ix.handleMultiPut(context.Background(), "tester", MsgMultiPut, w.Bytes()); err == nil {
 		t.Fatal("truncated second item accepted")
 	}
 	if _, ok := ix.Store().Peek("first"); ok {

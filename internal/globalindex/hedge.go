@@ -1,0 +1,179 @@
+package globalindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// This file implements the load-aware / hedged side of replica reads
+// (the ROADMAP "load-aware replica reads" item): every RPC the index
+// issues is timed into a per-peer latency EWMA (internal/loadstat), a
+// key's replica set can be ranked by that signal, and a read may be
+// *hedged* — if the best-ranked copy has not answered within the hedge
+// delay (or refused via admission control), the same frame is fired at
+// the next-best copy, first decodable response wins and the losers are
+// cancelled. The default (unhedged) read path is untouched: it keeps the
+// deterministic hash spread of PR 3.
+
+// readOpts is the resolved per-read tuning; see ReadOption.
+type readOpts struct {
+	hedge time.Duration
+}
+
+// ReadOption tunes one Get/MultiGet call beyond its ReadPolicy.
+type ReadOption func(*readOpts)
+
+// WithHedge enables hedged, load-aware replica reads with the given
+// hedge delay: under ReadAnyReplica each key group's replica chain is
+// ranked by observed per-peer latency, the best copy is asked first, and
+// a copy that stays silent past delay (or sheds the request) causes the
+// next-best copy to be tried concurrently — first response wins, losers
+// are cancelled. Ignored for delay <= 0, under ReadPrimary, or with
+// replication off (there is no second copy to hedge to).
+func WithHedge(delay time.Duration) ReadOption {
+	return func(o *readOpts) {
+		if delay > 0 {
+			o.hedge = delay
+		}
+	}
+}
+
+func resolveReadOpts(opts []ReadOption) readOpts {
+	var o readOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// timedCall is the index's instrumented Endpoint.Call: the round trip is
+// folded into the per-peer latency EWMA whenever the elapsed time is a
+// real signal — a response (success or remote error) measures the peer,
+// and an interrupted wait is a lower bound on it. Sheds and unreachable
+// failures return near-instantly and say nothing about service latency,
+// so they are not observed (observing a shed as "fast" would steer MORE
+// load onto the overloaded peer).
+func (ix *Index) timedCall(ctx context.Context, to transport.Addr, msg uint8, body []byte) (uint8, []byte, error) {
+	start := time.Now()
+	respType, resp, err := ix.node.Endpoint().Call(ctx, to, msg, body)
+	if err == nil || errors.Is(err, transport.ErrCallInterrupted) {
+		ix.lat.Observe(to, time.Since(start))
+	} else {
+		var remote *transport.RemoteError
+		if errors.As(err, &remote) {
+			ix.lat.Observe(to, time.Since(start))
+		}
+	}
+	return respType, resp, err
+}
+
+// readChain returns the full preference order for replica reads of keys
+// whose primary is primary: the primary plus its replica set, rotated
+// deterministically by the seed's hash (so distinct keys and groups
+// spread across the copies, exactly like readTarget's hash pick) and
+// then stable-ranked by each peer's latency EWMA — with no load signal
+// the rotation order survives unchanged; a measurably slow copy sinks to
+// the end of the chain.
+func (ix *Index) readChain(ctx context.Context, seed string, primary transport.Addr) []transport.Addr {
+	chain := []transport.Addr{primary}
+	for _, r := range ix.replicaTargets(ctx, primary) {
+		chain = append(chain, r.Addr)
+	}
+	if len(chain) > 1 {
+		rot := int(uint64(ids.HashString(seed)) % uint64(len(chain)))
+		rotated := make([]transport.Addr, 0, len(chain))
+		rotated = append(rotated, chain[rot:]...)
+		rotated = append(rotated, chain[:rot]...)
+		chain = rotated
+		ix.lat.Rank(chain)
+	}
+	return chain
+}
+
+// callHedged fires msg at the targets in preference order with hedging:
+// targets[0] immediately, and another target every time `delay` passes
+// without a winner or the newest attempt fails fast (shed, unreachable,
+// remote error). The first success wins and every other in-flight
+// attempt is cancelled through a shared child context; their goroutines
+// drain into a buffered channel, so nothing leaks. If every target
+// fails, the last error is returned.
+func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg uint8, body []byte, delay time.Duration) (resp []byte, served transport.Addr, err error) {
+	if len(targets) == 0 {
+		return nil, "", transport.ErrUnreachable
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the winner's return cancels every loser
+	type attempt struct {
+		idx  int
+		resp []byte
+		err  error
+	}
+	ch := make(chan attempt, len(targets))
+	launch := func(i int) {
+		go func() {
+			_, r, e := ix.timedCall(cctx, targets[i], msg, body)
+			ch <- attempt{idx: i, resp: r, err: e}
+		}()
+	}
+	launch(0)
+	next, inflight := 1, 1
+	var lastErr error
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	for {
+		select {
+		case a := <-ch:
+			inflight--
+			if a.err == nil {
+				return a.resp, targets[a.idx], nil
+			}
+			lastErr = a.err
+			if ctx.Err() != nil {
+				// The caller's own context died: the losers are already
+				// being cancelled, surface the failure as-is.
+				return nil, "", lastErr
+			}
+			if next < len(targets) {
+				// The attempt failed fast (shed / unreachable / rejected):
+				// escalate to the next copy immediately instead of waiting
+				// out the hedge delay.
+				launch(next)
+				next++
+				inflight++
+			} else if inflight == 0 {
+				return nil, "", lastErr
+			}
+		case <-timerC:
+			if next < len(targets) {
+				launch(next)
+				next++
+				inflight++
+				timer.Reset(delay)
+			} else {
+				timerC = nil // every copy is in flight; just wait
+			}
+		case <-ctx.Done():
+			// Abandon the hedge wholesale; in-flight attempts unwind via
+			// cctx and drain into the buffered channel. At least one
+			// request was on the wire, so this is the in-flight taxonomy.
+			return nil, "", fmt.Errorf("%w: %w", transport.ErrCallInterrupted, ctx.Err())
+		}
+	}
+}
+
+// dropReplicaSet forgets the cached replica set of primary; the next
+// read re-fetches the primary's successor list. The hedged path calls it
+// when a whole chain failed — some member of the cached set is stale.
+func (ix *Index) dropReplicaSet(primary transport.Addr) {
+	ix.repl.mu.Lock()
+	if ix.repl.succsOf != nil {
+		delete(ix.repl.succsOf, primary)
+	}
+	ix.repl.mu.Unlock()
+}

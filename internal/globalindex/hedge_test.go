@@ -1,0 +1,236 @@
+package globalindex
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/leakcheck"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+// hedgeRing is replRing plus access to every peer's dispatcher (the shed
+// tests configure admission control on individual peers) and a stall
+// handler registered on each dispatcher under msgType 0x7E.
+func hedgeRing(t *testing.T, n, r int) ([]*dht.Node, []*Index, []*transport.Dispatcher, *transport.Mem, chan struct{}) {
+	t.Helper()
+	net := transport.NewMem()
+	rng := rand.New(rand.NewSource(14))
+	release := make(chan struct{})
+	nodes := make([]*dht.Node, n)
+	idxs := make([]*Index, n)
+	disps := make([]*transport.Dispatcher, n)
+	for i := 0; i < n; i++ {
+		d := transport.NewDispatcher()
+		d.Handle(0x7E, func(context.Context, transport.Addr, uint8, []byte) (uint8, []byte, error) {
+			<-release
+			return 0x7E, nil, nil
+		})
+		ep := net.Endpoint(fmt.Sprintf("h%d", i), d.Serve)
+		nodes[i] = dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+		idxs[i] = New(nodes[i], d)
+		idxs[i].EnableReplication(r)
+		disps[i] = d
+	}
+	dht.BuildOracleTables(nodes)
+	t.Cleanup(func() { close(release) })
+	return nodes, idxs, disps, net, release
+}
+
+// peerIndexOf maps a transport address back to its ring position.
+func peerIndexOf(t *testing.T, nodes []*dht.Node, addr transport.Addr) int {
+	t.Helper()
+	for i, n := range nodes {
+		if n.Self().Addr == addr {
+			return i
+		}
+	}
+	t.Fatalf("no peer at %s", addr)
+	return -1
+}
+
+// putReplicated stores a small list under terms through the write-through
+// path and returns the key, its primary's position and the stored list.
+func putReplicated(t *testing.T, nodes []*dht.Node, idxs []*Index, terms []string) (string, int, *postings.List) {
+	t.Helper()
+	l := &postings.List{}
+	for j := 0; j < 4; j++ {
+		l.Add(postings.Posting{Ref: postings.DocRef{Peer: "h0", Doc: uint32(j)}, Score: float64(9 - j)})
+	}
+	l.Normalize()
+	if _, err := idxs[0].Put(context.Background(), terms, l, 0); err != nil {
+		t.Fatal(err)
+	}
+	key := ids.KeyString(terms)
+	primary, _, err := nodes[0].Lookup(context.Background(), ids.HashString(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key, peerIndexOf(t, nodes, primary.Addr), l
+}
+
+// TestShedThenRetryOnReplicaConverges pins the client half of admission
+// control: an AnyReplica read whose hash-chosen replica sheds the
+// request (overloaded, budget below its service floor) must not fail the
+// operation — the batch layer's provably-safe retry redrives the item
+// through the primary path and the read converges to the stored data.
+func TestShedThenRetryOnReplicaConverges(t *testing.T) {
+	nodes, idxs, disps, _, _ := hedgeRing(t, 8, 3)
+	reader := idxs[0]
+
+	// Find a key whose AnyReplica read is served off-primary, so the shed
+	// provably happens at a replica and the retry lands elsewhere.
+	var key string
+	var terms []string
+	var want *postings.List
+	var serveIdx, primaryIdx int
+	for k := 0; ; k++ {
+		if k > 200 {
+			t.Fatal("no key found whose replica read leaves the primary")
+		}
+		terms = []string{fmt.Sprintf("shedkey%03d", k)}
+		var pi int
+		key, pi, want = putReplicated(t, nodes, idxs, terms)
+		primary := nodes[pi].Self()
+		serve := reader.readTarget(context.Background(), key, primary)
+		if serve != primary.Addr {
+			serveIdx, primaryIdx = peerIndexOf(t, nodes, serve), pi
+			break
+		}
+	}
+	_ = primaryIdx
+
+	// Overload the serving replica: watermark 1 with a huge service
+	// floor, and one stuck handler holding its in-flight count up.
+	disps[serveIdx].SetAdmissionControl(1, 10*time.Second)
+	go func() {
+		_, _, _ = idxs[1].Node().Endpoint().Call(context.Background(), nodes[serveIdx].Self().Addr, 0x7E, nil)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for disps[serveIdx].Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall call never occupied the replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A deadlined AnyReplica read: its budget (~500ms) is far below the
+	// replica's 10s floor, so the replica sheds it; the batch layer must
+	// retry the item on the primary and return the data.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	res, err := reader.MultiGet(ctx, []GetItem{{Terms: terms}}, 4, ReadAnyReplica)
+	if err != nil {
+		t.Fatalf("MultiGet after shed: %v", err)
+	}
+	if !res[0].Found || res[0].List.Len() != want.Len() {
+		t.Fatalf("shed-then-retry returned %+v, want the %d stored postings", res[0], want.Len())
+	}
+	sheds, _ := disps[serveIdx].AdmissionStats()
+	if sheds == 0 {
+		t.Fatal("the overloaded replica never shed — the retry path was not exercised")
+	}
+}
+
+// TestHedgedReadWinsOverSlowPrimary pins the hedged read: with the key's
+// primary made slow, a hedged AnyReplica read returns the stored data
+// from a replica well before the primary would have answered, and —
+// checked by leakcheck — the losing RPC is cancelled rather than leaked.
+func TestHedgedReadWinsOverSlowPrimary(t *testing.T) {
+	defer leakcheck.Check(t)()
+	nodes, idxs, _, net, _ := hedgeRing(t, 8, 3)
+	reader := idxs[3]
+	terms := []string{"hedged", "read"}
+	_, primaryIdx, want := putReplicated(t, nodes, idxs, terms)
+	primaryAddr := nodes[primaryIdx].Self().Addr
+
+	// Warm the resolver and replica-set caches before slowing the
+	// primary, as a steady-state peer would have them warm.
+	if _, err := reader.MultiGet(context.Background(), []GetItem{{Terms: terms}}, 4, ReadAnyReplica); err != nil {
+		t.Fatal(err)
+	}
+
+	const slow = 400 * time.Millisecond
+	net.SetPeerDelay(primaryAddr, slow)
+	defer net.SetPeerDelay(primaryAddr, 0)
+
+	start := time.Now()
+	res, err := reader.MultiGet(context.Background(), []GetItem{{Terms: terms}}, 4,
+		ReadAnyReplica, WithHedge(20*time.Millisecond))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged MultiGet: %v", err)
+	}
+	if !res[0].Found || res[0].List.Len() != want.Len() {
+		t.Fatalf("hedged read returned %+v, want %d postings", res[0], want.Len())
+	}
+	if elapsed >= slow {
+		t.Fatalf("hedged read took %s, not faster than the slow primary (%s)", elapsed, slow)
+	}
+
+	// The single-key hedged path agrees.
+	start = time.Now()
+	l, found, _, err := reader.Get(context.Background(), terms, 0, ReadAnyReplica, WithHedge(20*time.Millisecond))
+	if err != nil || !found || l.Len() != want.Len() {
+		t.Fatalf("hedged Get: %v found=%v", err, found)
+	}
+	if since := time.Since(start); since >= slow {
+		t.Fatalf("hedged Get took %s", since)
+	}
+	// leakcheck (deferred) proves the losing RPC goroutines unwound; give
+	// the slow peer's handler goroutines their delay to drain first.
+	time.Sleep(slow + 50*time.Millisecond)
+}
+
+// TestHedgedReadLearnsToAvoidSlowReplica: after a few hedged reads the
+// latency EWMA demotes the slow copy to the end of the chain, so later
+// reads go straight to a fast copy (no hedge fires, under one hedge
+// delay of wall time).
+func TestHedgedReadLearnsToAvoidSlowReplica(t *testing.T) {
+	nodes, idxs, _, net, _ := hedgeRing(t, 8, 3)
+	reader := idxs[2]
+	terms := []string{"ewma", "learns"}
+	_, primaryIdx, _ := putReplicated(t, nodes, idxs, terms)
+	primaryAddr := nodes[primaryIdx].Self().Addr
+
+	if _, err := reader.MultiGet(context.Background(), []GetItem{{Terms: terms}}, 4, ReadAnyReplica); err != nil {
+		t.Fatal(err)
+	}
+	net.SetPeerDelay(primaryAddr, 200*time.Millisecond)
+	defer net.SetPeerDelay(primaryAddr, 0)
+
+	// One primary read observes the slowness directly (any timed RPC to
+	// the peer feeds the same EWMA the read chain ranks by).
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if _, _, _, err := reader.Get(ctx, terms, 0, ReadPrimary); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Later hedged reads now rank the slow copy last and go straight to a
+	// fast replica: well under one slow-peer delay of wall time.
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := reader.MultiGet(context.Background(), []GetItem{{Terms: terms}}, 4,
+			ReadAnyReplica, WithHedge(15*time.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("4 hedged reads with a demoted slow copy took %s", elapsed)
+	}
+	chain := reader.readChain(context.Background(), string(primaryAddr), primaryAddr)
+	if len(chain) < 2 {
+		t.Fatalf("chain = %v, want primary + replicas", chain)
+	}
+	if chain[len(chain)-1] != primaryAddr {
+		// The slow primary must have sunk to the end of the preference
+		// order once observed.
+		est, ok := reader.lat.Estimate(primaryAddr)
+		t.Fatalf("slow primary not demoted: chain=%v (estimate %v ok=%v)", chain, est, ok)
+	}
+}

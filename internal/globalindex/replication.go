@@ -74,7 +74,7 @@ func (ix *Index) registerReplicationHandlers(d *transport.Dispatcher) {
 	d.Handle(MsgReplSync, ix.handleReplSync)
 }
 
-func (ix *Index) handleReplPut(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleReplPut(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, bounds, _, lists, err := decodeMultiPutBody(body, false)
 	if err != nil {
 		return 0, nil, err
@@ -87,7 +87,7 @@ func (ix *Index) handleReplPut(_ transport.Addr, _ uint8, body []byte) (uint8, [
 	return MsgReplPut, w.Bytes(), nil
 }
 
-func (ix *Index) handleReplAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleReplAppend(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, bounds, dfs, lists, err := decodeMultiPutBody(body, true)
 	if err != nil {
 		return 0, nil, err
@@ -100,7 +100,7 @@ func (ix *Index) handleReplAppend(_ transport.Addr, _ uint8, body []byte) (uint8
 	return MsgReplAppend, w.Bytes(), nil
 }
 
-func (ix *Index) handleReplRemove(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleReplRemove(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	count, err := readBatchCount(r)
 	if err != nil {
@@ -121,7 +121,7 @@ func (ix *Index) handleReplRemove(_ transport.Addr, _ uint8, body []byte) (uint8
 	return MsgReplRemove, w.Bytes(), nil
 }
 
-func (ix *Index) handlePullRange(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handlePullRange(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	from := ids.ID(r.Uint64())
 	to := ids.ID(r.Uint64())
@@ -161,7 +161,7 @@ func (ix *Index) handlePullRange(_ transport.Addr, _ uint8, body []byte) (uint8,
 	return MsgPullRange, w.Bytes(), nil
 }
 
-func (ix *Index) handleReplSync(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleReplSync(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, dfs, lists, err := decodeSyncItems(wire.NewReader(body))
 	if err != nil {
 		return 0, nil, err
@@ -354,24 +354,15 @@ func (ix *Index) getAt(ctx context.Context, addr transport.Addr, key string, max
 	w := wire.NewWriter(len(key) + 8)
 	w.String(key)
 	w.Uvarint(uint64(maxResults))
-	_, resp, err := ix.node.Endpoint().Call(ctx, addr, MsgGet, w.Bytes())
+	_, resp, err := ix.timedCall(ctx, addr, MsgGet, w.Bytes())
 	if err != nil {
 		return nil, false, false, false
 	}
-	r := wire.NewReader(resp)
-	found = r.Bool()
-	wantIndex = r.Bool()
-	if r.Err() != nil {
-		return nil, false, false, false
-	}
-	if !found {
-		return nil, false, wantIndex, true
-	}
-	list, err = postings.Decode(r)
+	list, found, wantIndex, err = decodeGetResponse(resp)
 	if err != nil {
 		return nil, false, false, false
 	}
-	return list, true, wantIndex, true
+	return list, found, wantIndex, true
 }
 
 // onRingChange is the anti-entropy/handoff pass, invoked synchronously on

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dht"
 	"repro/internal/ids"
+	"repro/internal/loadstat"
 	"repro/internal/postings"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -31,12 +32,13 @@ type Index struct {
 	store    *Store
 	resolver *dht.Resolver
 	repl     replicator
+	lat      *loadstat.Tracker // per-peer latency EWMAs fed by timedCall
 }
 
 // New creates the component for node, registering its handlers on d.
 // Replication is off by default (factor 1); see EnableReplication.
 func New(node *dht.Node, d *transport.Dispatcher) *Index {
-	ix := &Index{node: node, store: NewStore(0), resolver: node.NewResolver()}
+	ix := &Index{node: node, store: NewStore(0), resolver: node.NewResolver(), lat: loadstat.NewTracker()}
 	ix.repl.factor = 1
 	d.Handle(MsgPut, ix.handlePut)
 	d.Handle(MsgAppend, ix.handleAppend)
@@ -60,7 +62,7 @@ func (ix *Index) Store() *Store { return ix.store }
 // Node returns the underlying DHT node.
 func (ix *Index) Node() *dht.Node { return ix.node }
 
-func (ix *Index) handlePut(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handlePut(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	key, bound, _, list, err := decodeKeyBoundList(body, false)
 	if err != nil {
 		return 0, nil, err
@@ -71,7 +73,7 @@ func (ix *Index) handlePut(_ transport.Addr, _ uint8, body []byte) (uint8, []byt
 	return MsgPut, w.Bytes(), nil
 }
 
-func (ix *Index) handleAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleAppend(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	key, bound, announcedDF, list, err := decodeKeyBoundList(body, true)
 	if err != nil {
 		return 0, nil, err
@@ -82,7 +84,7 @@ func (ix *Index) handleAppend(_ transport.Addr, _ uint8, body []byte) (uint8, []
 	return MsgAppend, w.Bytes(), nil
 }
 
-func (ix *Index) handleGet(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleGet(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	key := r.String()
 	maxResults := int(r.Uvarint())
@@ -99,7 +101,7 @@ func (ix *Index) handleGet(_ transport.Addr, _ uint8, body []byte) (uint8, []byt
 	return MsgGet, w.Bytes(), nil
 }
 
-func (ix *Index) handleRemove(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleRemove(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	key := r.String()
 	if err := r.Err(); err != nil {
@@ -111,7 +113,7 @@ func (ix *Index) handleRemove(_ transport.Addr, _ uint8, body []byte) (uint8, []
 	return MsgRemove, w.Bytes(), nil
 }
 
-func (ix *Index) handleStats(_ transport.Addr, _ uint8, _ []byte) (uint8, []byte, error) {
+func (ix *Index) handleStats(_ context.Context, _ transport.Addr, _ uint8, _ []byte) (uint8, []byte, error) {
 	st := ix.store.Stats()
 	w := wire.NewWriter(16)
 	w.Uvarint(uint64(st.Keys))
@@ -120,7 +122,7 @@ func (ix *Index) handleStats(_ transport.Addr, _ uint8, _ []byte) (uint8, []byte
 	return MsgStats, w.Bytes(), nil
 }
 
-func (ix *Index) handleKeyInfo(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleKeyInfo(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	key := r.String()
 	if err := r.Err(); err != nil {
@@ -214,33 +216,48 @@ func (ix *Index) putOrAppend(ctx context.Context, msg uint8, terms []string, lis
 // ReadPrimary asks the responsible peer (falling over to replicas only
 // when it is unreachable); ReadAnyReplica spreads reads across the
 // primary's whole replica set (see readTarget).
-func (ix *Index) Get(ctx context.Context, terms []string, maxResults int, policy ReadPolicy) (list *postings.List, found, wantIndex bool, err error) {
+// Reads may additionally be tuned with ReadOptions: WithHedge turns an
+// AnyReplica read into a hedged, load-aware one — the key's replica
+// chain is ranked by observed per-peer latency and a slow (or shedding)
+// copy is raced against the next-best one, first response wins.
+func (ix *Index) Get(ctx context.Context, terms []string, maxResults int, policy ReadPolicy, opts ...ReadOption) (list *postings.List, found, wantIndex bool, err error) {
+	ro := resolveReadOpts(opts)
 	key := ids.KeyString(terms)
 	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return nil, false, false, err
 	}
-	serve := peer.Addr
-	if policy == ReadAnyReplica {
-		serve = ix.readTarget(ctx, key, peer)
-	}
 	w := wire.NewWriter(len(key) + 8)
 	w.String(key)
 	w.Uvarint(uint64(maxResults))
-	if serve != peer.Addr {
-		// A replica read: decodable answers are authoritative enough for
-		// soft-state retrieval; any failure drops the stale replica set
-		// and falls back to the primary path.
-		if l, f, wi, ok := ix.getAt(ctx, serve, key, maxResults); ok {
-			return l, f, wi, nil
+	if policy == ReadAnyReplica && ro.hedge > 0 && ix.repl.factor > 1 {
+		if chain := ix.readChain(ctx, key, peer.Addr); len(chain) > 1 {
+			if resp, _, herr := ix.callHedged(ctx, chain, MsgGet, w.Bytes(), ro.hedge); herr == nil {
+				if l, f, wi, derr := decodeGetResponse(resp); derr == nil {
+					return l, f, wi, nil
+				}
+			} else if ctx.Err() == nil {
+				// The whole chain failed on its own: some cached member is
+				// stale; refetch it before the primary-path attempt below.
+				ix.dropReplicaSet(peer.Addr)
+			}
 		}
-		if ctx.Err() == nil {
-			// The replica itself failed (not the caller's context): the
-			// cached set is stale, stop routing there.
-			ix.invalidateReplicaTarget(serve)
+	} else if policy == ReadAnyReplica {
+		if serve := ix.readTarget(ctx, key, peer); serve != peer.Addr {
+			// A replica read: decodable answers are authoritative enough
+			// for soft-state retrieval; any failure drops the stale replica
+			// set and falls back to the primary path.
+			if l, f, wi, ok := ix.getAt(ctx, serve, key, maxResults); ok {
+				return l, f, wi, nil
+			}
+			if ctx.Err() == nil {
+				// The replica itself failed (not the caller's context): the
+				// cached set is stale, stop routing there.
+				ix.invalidateReplicaTarget(serve)
+			}
 		}
 	}
-	_, resp, err := ix.node.Endpoint().Call(ctx, peer.Addr, MsgGet, w.Bytes())
+	_, resp, err := ix.timedCall(ctx, peer.Addr, MsgGet, w.Bytes())
 	if err != nil {
 		// The primary is unreachable: with replication on, fall over to
 		// its successor replicas before failing the read.
@@ -249,6 +266,12 @@ func (ix *Index) Get(ctx context.Context, terms []string, maxResults int, policy
 		}
 		return nil, false, false, fmt.Errorf("globalindex: get %q at %s: %w", key, peer.Addr, err)
 	}
+	return decodeGetResponse(resp)
+}
+
+// decodeGetResponse decodes a MsgGet answer — the (found, wantIndex,
+// list?) triple shared by the primary, replica and hedged read paths.
+func decodeGetResponse(resp []byte) (list *postings.List, found, wantIndex bool, err error) {
 	r := wire.NewReader(resp)
 	found = r.Bool()
 	wantIndex = r.Bool()

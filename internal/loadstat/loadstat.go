@@ -1,0 +1,108 @@
+// Package loadstat tracks per-peer load observations — an EWMA of the
+// round-trip latency each remote peer has recently shown — and ranks
+// candidate peers by it. The global-index read path feeds it from every
+// timed RPC and uses the ranking to steer replica reads away from slow
+// or overloaded peers (the "load-aware replica reads" ROADMAP item);
+// the hedged-read machinery consults the same ranking to pick the
+// next-best replica to fire at.
+package loadstat
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ewmaWeight is the weight of a new observation:
+// estimate += (observed - estimate) / ewmaWeight.
+const ewmaWeight = 4
+
+// quantum is the bucket size estimates are quantized to when ranking.
+// Peers whose estimates fall in the same bucket count as equally loaded,
+// so ranking stays stable (and deterministic, given a stable input
+// order) under microsecond-level jitter; only materially slower peers —
+// milliseconds apart, the scale of queueing and of simulated overload —
+// are demoted.
+const quantum = time.Millisecond
+
+// Tracker is a concurrency-safe per-peer latency EWMA table.
+type Tracker struct {
+	mu   sync.Mutex
+	ewma map[transport.Addr]time.Duration
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{ewma: make(map[transport.Addr]time.Duration)}
+}
+
+// Observe folds one measured round trip to addr into the peer's EWMA.
+// Non-positive observations are ignored.
+func (t *Tracker) Observe(addr transport.Addr, took time.Duration) {
+	if took <= 0 {
+		return
+	}
+	t.mu.Lock()
+	old, seen := t.ewma[addr]
+	if !seen {
+		t.ewma[addr] = took
+	} else {
+		t.ewma[addr] = old + (took-old)/ewmaWeight
+	}
+	t.mu.Unlock()
+}
+
+// Estimate returns the peer's current latency EWMA; ok is false for a
+// peer never observed.
+func (t *Tracker) Estimate(addr transport.Addr) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d, ok := t.ewma[addr]
+	return d, ok
+}
+
+// Forget drops a peer's state (e.g. after it was declared dead — a
+// resurrected peer should not inherit its pre-failure estimate).
+func (t *Tracker) Forget(addr transport.Addr) {
+	t.mu.Lock()
+	delete(t.ewma, addr)
+	t.mu.Unlock()
+}
+
+// Rank stable-sorts addrs in place from least to most loaded, comparing
+// quantized estimates. Never-observed peers rank as bucket zero — the
+// optimistic default: with no evidence against a peer it is tried (and
+// thereby measured) before any peer already known to be slow. With no
+// observations at all the input order is preserved, so callers keep
+// whatever deterministic base order (hash rotation) they arrived with.
+func (t *Tracker) Rank(addrs []transport.Addr) {
+	if len(addrs) < 2 {
+		return
+	}
+	buckets := make([]int64, len(addrs))
+	t.mu.Lock()
+	for i, a := range addrs {
+		buckets[i] = int64(t.ewma[a] / quantum) // absent => 0
+	}
+	t.mu.Unlock()
+	// Indirect stable sort: bucket order, input order on ties.
+	idx := make([]int, len(addrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return buckets[idx[i]] < buckets[idx[j]] })
+	out := make([]transport.Addr, len(addrs))
+	for i, j := range idx {
+		out[i] = addrs[j]
+	}
+	copy(addrs, out)
+}
+
+// Len returns the number of peers currently tracked.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ewma)
+}

@@ -1,0 +1,114 @@
+package loadstat
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestObserveAndEstimate(t *testing.T) {
+	tr := NewTracker()
+	if _, ok := tr.Estimate("a"); ok {
+		t.Fatal("unobserved peer must have no estimate")
+	}
+	tr.Observe("a", 10*time.Millisecond)
+	if d, ok := tr.Estimate("a"); !ok || d != 10*time.Millisecond {
+		t.Fatalf("first observation should seed the EWMA, got %v %v", d, ok)
+	}
+	// The EWMA moves toward new observations without jumping.
+	tr.Observe("a", 50*time.Millisecond)
+	d, _ := tr.Estimate("a")
+	if d <= 10*time.Millisecond || d >= 50*time.Millisecond {
+		t.Fatalf("EWMA = %v, want strictly between 10ms and 50ms", d)
+	}
+	tr.Observe("a", -time.Second) // ignored
+	if d2, _ := tr.Estimate("a"); d2 != d {
+		t.Fatalf("negative observation must be ignored, %v -> %v", d, d2)
+	}
+	tr.Forget("a")
+	if _, ok := tr.Estimate("a"); ok {
+		t.Fatal("Forget must drop the estimate")
+	}
+}
+
+func TestRankDemotesSlowPeer(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("slow", 120*time.Millisecond)
+	tr.Observe("fast", 2*time.Millisecond)
+	addrs := []transport.Addr{"slow", "unknown", "fast"}
+	tr.Rank(addrs)
+	if addrs[2] != "slow" {
+		t.Fatalf("slow peer must rank last, got %v", addrs)
+	}
+	// unknown (bucket 0) before fast (bucket 2): optimism over evidence.
+	if addrs[0] != "unknown" || addrs[1] != "fast" {
+		t.Fatalf("order = %v, want [unknown fast slow]", addrs)
+	}
+}
+
+// TestRankStableWithoutObservations: with nothing observed the input
+// order is preserved byte for byte — the property that keeps the
+// hash-rotated replica order (and its determinism tests) intact until
+// real load signal exists.
+func TestRankStableWithoutObservations(t *testing.T) {
+	tr := NewTracker()
+	addrs := []transport.Addr{"c", "a", "b"}
+	tr.Rank(addrs)
+	if addrs[0] != "c" || addrs[1] != "a" || addrs[2] != "b" {
+		t.Fatalf("order changed without observations: %v", addrs)
+	}
+	// Sub-quantum differences also leave the order alone.
+	tr.Observe("c", 100*time.Microsecond)
+	tr.Observe("a", 900*time.Microsecond)
+	tr.Rank(addrs)
+	if addrs[0] != "c" || addrs[1] != "a" || addrs[2] != "b" {
+		t.Fatalf("sub-millisecond jitter must not reorder: %v", addrs)
+	}
+}
+
+func TestTrackerConcurrency(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			addrs := []transport.Addr{"p0", "p1", "p2", "p3"}
+			for i := 0; i < 500; i++ {
+				tr.Observe(addrs[i%4], time.Duration(1+i%7)*time.Millisecond)
+				local := append([]transport.Addr(nil), addrs...)
+				tr.Rank(local)
+				_, _ = tr.Estimate(addrs[(i+g)%4])
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 4 {
+		t.Fatalf("tracked peers = %d, want 4", tr.Len())
+	}
+}
+
+func TestRankManyPeersDeterministic(t *testing.T) {
+	tr := NewTracker()
+	var addrs []transport.Addr
+	for i := 0; i < 16; i++ {
+		addrs = append(addrs, transport.Addr(fmt.Sprintf("p%02d", i)))
+	}
+	tr.Observe("p05", 80*time.Millisecond)
+	tr.Observe("p11", 40*time.Millisecond)
+	a := append([]transport.Addr(nil), addrs...)
+	b := append([]transport.Addr(nil), addrs...)
+	tr.Rank(a)
+	tr.Rank(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ranking not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+	if a[len(a)-1] != "p05" || a[len(a)-2] != "p11" {
+		t.Fatalf("slowest peers must sink to the end: %v", a)
+	}
+}

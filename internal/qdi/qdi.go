@@ -117,7 +117,7 @@ func (m *Manager) SetEnabled(enabled bool) {
 	m.mu.Unlock()
 }
 
-func (m *Manager) handleActivate(_ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (m *Manager) handleActivate(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	key := r.String()
 	list, err := postings.Decode(r)

@@ -51,7 +51,7 @@ func NewGlobalStats(node *dht.Node, d *transport.Dispatcher) *GlobalStats {
 	return g
 }
 
-func (g *GlobalStats) handleUpdate(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (g *GlobalStats) handleUpdate(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	n := r.Uvarint()
 	if r.Err() != nil || n > 1<<20 {
@@ -95,7 +95,7 @@ func (g *GlobalStats) handleUpdate(from transport.Addr, _ uint8, body []byte) (u
 	return MsgStatsUpdate, nil, nil
 }
 
-func (g *GlobalStats) handleQuery(from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (g *GlobalStats) handleQuery(_ context.Context, from transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	terms := r.StringSlice()
 	wantCollection := r.Bool()

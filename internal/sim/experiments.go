@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/dht"
+	"repro/internal/globalindex"
 	"repro/internal/hdk"
 	"repro/internal/ids"
 	"repro/internal/metrics"
@@ -1016,5 +1017,192 @@ func RunE10(scale Scale) (*metrics.Table, error) {
 	)
 	t.AddRow("run-to-completion", fullMsgs, 0, "0%")
 	t.AddRow("cancel@50ms", cancelMsgs, timedOut, fmt.Sprintf("%.0f%%", 100*saved))
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// E11: deadline-over-the-wire admission control + hedged replica reads.
+
+// e11Params are the shared knobs of experiment E11's arms.
+type e11Params struct {
+	numDocs, peers, numQueries, numReads int
+	slowDelay, hedgeDelay, deadline      time.Duration
+}
+
+func e11ParamsFor(scale Scale) e11Params {
+	return e11Params{
+		numDocs:    pick(scale, 2500, 500),
+		peers:      pick(scale, 12, 8),
+		numQueries: pick(scale, 50, 25),
+		numReads:   pick(scale, 120, 60),
+		slowDelay:  pick(scale, 120*time.Millisecond, 100*time.Millisecond),
+		hedgeDelay: 15 * time.Millisecond,
+		deadline:   40 * time.Millisecond,
+	}
+}
+
+// buildE11Network builds a replicated (R=3) network over a published HDK
+// index plus the multi-term query workload, and nominates the last peer
+// as the one the arms will slow down. admission toggles server-side
+// admission control on every peer (watermark 1, 2ms service floor).
+func buildE11Network(p e11Params, admission bool) (*Network, transport.Addr, []corpus.Query, error) {
+	cfg := core.Config{
+		Strategy:          core.StrategyHDK,
+		HDK:               hdkConfigFor(p.numDocs),
+		ReplicationFactor: 3,
+	}
+	if admission {
+		cfg.AdmissionWatermark = 1
+		cfg.AdmissionMinService = 2 * time.Millisecond
+	}
+	n := NewNetwork(Options{NumPeers: p.peers, Seed: 111, Core: cfg})
+	coll := corpusFor(p.numDocs, 112)
+	if err := n.Distribute(coll); err != nil {
+		return nil, "", nil, err
+	}
+	if err := n.PublishStats(); err != nil {
+		return nil, "", nil, err
+	}
+	if _, _, err := n.PublishHDK(); err != nil {
+		return nil, "", nil, err
+	}
+	w := corpus.GenerateWorkload(coll, corpus.WorkloadParams{NumQueries: p.numQueries * 3, MaxTerms: 3, Seed: 113})
+	var multi []corpus.Query
+	for _, q := range w.Queries {
+		if len(q.Terms) >= 2 {
+			multi = append(multi, q)
+		}
+	}
+	if len(multi) > p.numQueries {
+		multi = multi[:p.numQueries]
+	}
+	slow := n.Peers[p.peers-1].Addr()
+	return n, slow, multi, nil
+}
+
+// runE11ShedArm replays the deadlined query workload (every 5th query
+// carries the deadline, like E10) against the network with its slow peer
+// active, and sums the admission counters over all peers: how many
+// requests were shed before any work, and how many arrived with an
+// already-expired budget but were executed anyway (the wasted work of a
+// PR 3 style peer).
+func runE11ShedArm(p e11Params, admission bool) (sheds, doomedExecuted int64, err error) {
+	n, slow, queries, err := buildE11Network(p, admission)
+	if err != nil {
+		return 0, 0, err
+	}
+	n.Net.SetPeerDelay(slow, p.slowDelay)
+	defer n.Net.SetPeerDelay(slow, 0)
+	rng := rand.New(rand.NewSource(114))
+	for qi, q := range queries {
+		peer := n.RandomPeer(rng)
+		if qi%5 == 0 {
+			_, serr := peer.Search(context.Background(), q.Text(), core.WithTimeout(p.deadline))
+			switch {
+			case serr == nil,
+				errors.Is(serr, core.ErrPartialResults),
+				errors.Is(serr, core.ErrQueryCancelled):
+				// Finished, or cut at the deadline — both expected.
+			default:
+				return 0, 0, serr
+			}
+		} else {
+			if _, serr := peer.Search(context.Background(), q.Text()); serr != nil {
+				return 0, 0, serr
+			}
+		}
+	}
+	for _, peer := range n.Peers {
+		s, l := peer.Dispatcher().AdmissionStats()
+		sheds += s
+		doomedExecuted += l
+	}
+	return sheds, doomedExecuted, nil
+}
+
+// runE11ReadArm measures replica-read tail latency against the slow
+// peer: numReads MultiGet batches of the workload's single-term keys
+// under ReadAnyReplica, hedged or not, from one warm reader. Returned is
+// the p99 wall time in milliseconds.
+func runE11ReadArm(p e11Params, hedged bool) (p99ms int, err error) {
+	n, slow, queries, err := buildE11Network(p, false)
+	if err != nil {
+		return 0, err
+	}
+	reader := n.Peers[0].GlobalIndex()
+	itemsFor := func(q corpus.Query) []globalindex.GetItem {
+		items := make([]globalindex.GetItem, len(q.Terms))
+		for i, t := range q.Terms {
+			items[i] = globalindex.GetItem{Terms: []string{t}, MaxResults: 10}
+		}
+		return items
+	}
+	// Warm pass (no slow peer yet): resolver routes and replica sets are
+	// cached, as they would be on any steady-state peer.
+	for _, q := range queries {
+		if _, err := reader.MultiGet(context.Background(), itemsFor(q), 8, globalindex.ReadAnyReplica); err != nil {
+			return 0, err
+		}
+	}
+	n.Net.SetPeerDelay(slow, p.slowDelay)
+	defer n.Net.SetPeerDelay(slow, 0)
+	var opts []globalindex.ReadOption
+	if hedged {
+		opts = append(opts, globalindex.WithHedge(p.hedgeDelay))
+	}
+	hist := metrics.NewHistogram()
+	for i := 0; i < p.numReads; i++ {
+		q := queries[i%len(queries)]
+		start := time.Now()
+		if _, err := reader.MultiGet(context.Background(), itemsFor(q), 8, globalindex.ReadAnyReplica, opts...); err != nil {
+			return 0, err
+		}
+		hist.Add(int(time.Since(start) / time.Millisecond))
+	}
+	return hist.Percentile(99), nil
+}
+
+// RunE11 measures what the deadline-over-the-wire machinery buys on a
+// network with one slow, overloaded peer (the wasted-traffic-vs-latency
+// tradeoff the paper motivates with hop-by-hop congestion control [2]):
+//
+//   - admission control: with 20% of queries deadlined at 40ms, a PR 3
+//     style network (no admission) executes every request that reaches
+//     the slow peer even after its budget expired — pure wasted work; an
+//     admission-controlled network sheds those requests before the work,
+//     so doomed executions drop (ideally to zero) while sheds > 0;
+//   - hedged reads: AnyReplica reads whose hash-chosen copy is the slow
+//     peer pay its full delay in the tail; hedged, load-aware reads race
+//     the next-best copy after 15ms and learn to avoid the slow copy, so
+//     read p99 falls well below the slow peer's delay.
+func RunE11(scale Scale) (*metrics.Table, error) {
+	p := e11ParamsFor(scale)
+	shedsOff, doomedOff, err := runE11ShedArm(p, false)
+	if err != nil {
+		return nil, err
+	}
+	shedsOn, doomedOn, err := runE11ShedArm(p, true)
+	if err != nil {
+		return nil, err
+	}
+	p99Unhedged, err := runE11ReadArm(p, false)
+	if err != nil {
+		return nil, err
+	}
+	p99Hedged, err := runE11ReadArm(p, true)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("E11: admission control + hedged reads (%d peers, 1 slow peer @ %s, 20%% of queries deadlined at %s, hedge %s)",
+			p.peers, p.slowDelay, p.deadline, p.hedgeDelay),
+		"quantity", "value",
+	)
+	t.AddRow("sheds, admission off (PR3)", shedsOff)
+	t.AddRow("doomed requests executed, admission off (PR3)", doomedOff)
+	t.AddRow("sheds, admission on", shedsOn)
+	t.AddRow("doomed requests executed, admission on", doomedOn)
+	t.AddRow("read p99 ms, any-replica unhedged", p99Unhedged)
+	t.AddRow("read p99 ms, any-replica hedged", p99Hedged)
 	return t, nil
 }

@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"testing"
+)
+
+// The tail-latency benchmarks run E11's read arm (one slow replica, 60
+// AnyReplica batch reads) hedged and unhedged and report the measured
+// p99 as a custom metric; CI captures both into BENCH_pr4.json so the
+// hedging win is tracked across revisions.
+
+func benchReadTail(b *testing.B, hedged bool) {
+	for i := 0; i < b.N; i++ {
+		p99, err := runE11ReadArm(e11ParamsFor(ScaleSmall), hedged)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(p99), "p99-ms")
+	}
+}
+
+func BenchmarkReadTailLatencyUnhedged(b *testing.B) { benchReadTail(b, false) }
+
+func BenchmarkReadTailLatencyHedged(b *testing.B) { benchReadTail(b, true) }

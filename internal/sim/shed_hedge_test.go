@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunE11SmallShape pins experiment E11's claims on the small shape:
+//
+//   - with admission control on, the slow peer sheds doomed requests
+//     before the work (sheds > 0) and executes strictly fewer
+//     expired-budget requests than the PR 3 style run without admission
+//     (fewer wasted RPCs);
+//   - hedged, load-aware replica reads keep p99 read latency materially
+//     below the unhedged hash-spread reads on the slow-replica shape —
+//     under the slow peer's delay instead of at it.
+func TestRunE11SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment shape test skipped in -short mode")
+	}
+	tbl, err := RunE11(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(tbl.String())
+	if len(rows) != 6 {
+		t.Fatalf("E11 rows = %d, want 6\n%s", len(rows), tbl)
+	}
+	cell := func(prefix string) int {
+		t.Helper()
+		for _, r := range rows {
+			if strings.HasPrefix(r[0], prefix) {
+				return atoi(t, r[1])
+			}
+		}
+		t.Fatalf("row %q not found\n%s", prefix, tbl)
+		return 0
+	}
+	shedsOff := cell("sheds, admission off")
+	doomedOff := cell("doomed requests executed, admission off")
+	shedsOn := cell("sheds, admission on")
+	doomedOn := cell("doomed requests executed, admission on")
+	p99Unhedged := cell("read p99 ms, any-replica unhedged")
+	p99Hedged := cell("read p99 ms, any-replica hedged")
+
+	if shedsOff != 0 {
+		t.Errorf("admission-off run shed %d requests; shedding must be opt-in\n%s", shedsOff, tbl)
+	}
+	if doomedOff == 0 {
+		t.Fatalf("PR3 arm executed no doomed requests; the slow peer was never exercised\n%s", tbl)
+	}
+	if shedsOn == 0 {
+		t.Errorf("admission arm never shed — deadline budgets are not acted on\n%s", tbl)
+	}
+	if doomedOn >= doomedOff {
+		t.Errorf("wasted work did not drop: %d doomed executions with admission vs %d without\n%s",
+			doomedOn, doomedOff, tbl)
+	}
+	// "Materially below": the unhedged tail sits at the slow peer's delay
+	// (>= 90ms of the configured 100ms); the hedged tail must stay under
+	// half of it.
+	if p99Unhedged < 90 {
+		t.Fatalf("unhedged p99 = %dms; the slow replica never landed in the read path\n%s", p99Unhedged, tbl)
+	}
+	if p99Hedged >= p99Unhedged/2 {
+		t.Errorf("hedged p99 = %dms, not materially below unhedged %dms\n%s", p99Hedged, p99Unhedged, tbl)
+	}
+}

@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPAbandonedSetBounded is the regression test for the unbounded
+// abandoned-set growth: 10k calls cancelled against a remote whose
+// handler is stuck must leave the pooled connection's abandoned set at
+// or below its bound (oldest entries evicted), and the connection must
+// stay healthy — both for the flood of late responses that arrives once
+// the handler unsticks (most of their IDs are evicted by then, and an
+// unmatched response must NOT tear the connection down) and for fresh
+// calls afterwards.
+func TestTCPAbandonedSetBounded(t *testing.T) {
+	const calls = 10000
+	release := make(chan struct{})
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ Addr, mt uint8, body []byte) (uint8, []byte, error) {
+		if mt == 0x01 {
+			<-release // every request of type 1 is stuck
+		}
+		return mt, body, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Pin the pooled connection with a healthy call first.
+	if _, _, err := cli.Call(context.Background(), srv.Addr(), 0x02, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	cli.mu.Lock()
+	conn := cli.conns[srv.Addr()]
+	cli.mu.Unlock()
+	if conn == nil {
+		t.Fatal("no pooled connection after warm-up")
+	}
+
+	// 10k concurrent calls, all abandoned at a short deadline while the
+	// remote handler never answers.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 256) // bound concurrent in-flight registrations
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			_, _, err := cli.Call(ctx, srv.Addr(), 0x01, []byte("stuck"))
+			if err != nil && !errors.Is(err, ErrCallInterrupted) && !errors.Is(err, ErrUnreachable) {
+				t.Errorf("cancelled call: unexpected error class %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := conn.abandonedLen(); got > maxAbandoned {
+		t.Fatalf("abandoned set holds %d entries, bound is %d", got, maxAbandoned)
+	}
+	// The connection must not have been torn down by the churn.
+	cli.mu.Lock()
+	same := cli.conns[srv.Addr()] == conn
+	cli.mu.Unlock()
+	if !same {
+		t.Fatal("pooled connection was replaced during the abandonment storm")
+	}
+
+	// Unstick the handler: 10k late responses now pour in, most of them
+	// for evicted IDs. None of them may kill the connection.
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		respType, resp, err := cli.Call(context.Background(), srv.Addr(), 0x02, []byte("after"))
+		if err == nil {
+			if respType != 0x02 || string(resp) != "after" {
+				t.Fatalf("post-storm call = (%d, %q)", respType, resp)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("connection never recovered after the late-response flood: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cli.mu.Lock()
+	same = cli.conns[srv.Addr()] == conn
+	cli.mu.Unlock()
+	if !same {
+		t.Fatal("late responses to evicted abandoned IDs tore the pooled connection down")
+	}
+}
+
+// TestTCPAbandonEviction drives the eviction logic directly: pushing
+// more than maxAbandoned walked-away requests through abandon() keeps
+// the set at the bound and evicts oldest-first.
+func TestTCPAbandonEviction(t *testing.T) {
+	conn := &tcpConn{pending: make(map[uint64]chan tcpReply)}
+	total := maxAbandoned + 500
+	for i := 1; i <= total; i++ {
+		id, _, ok := conn.register()
+		if !ok {
+			t.Fatal("register failed")
+		}
+		conn.abandon(id)
+	}
+	if got := conn.abandonedLen(); got != maxAbandoned {
+		t.Fatalf("abandoned = %d, want exactly the bound %d", got, maxAbandoned)
+	}
+	conn.mu.Lock()
+	_, oldestStillThere := conn.abandoned[1]
+	_, newestThere := conn.abandoned[uint64(total)]
+	fifoLen := len(conn.abandonedFIFO)
+	conn.mu.Unlock()
+	if oldestStillThere {
+		t.Fatal("oldest abandoned ID should have been evicted")
+	}
+	if !newestThere {
+		t.Fatal("newest abandoned ID must be retained")
+	}
+	if fifoLen > 2*maxAbandoned {
+		t.Fatalf("eviction queue holds %d entries, bound is %d", fifoLen, 2*maxAbandoned)
+	}
+}
+
+// TestTCPAbandonQueueBoundedUnderLateResponses covers the second leak
+// shape: calls that are abandoned just before their response arrives.
+// The reader consumes each abandoned entry from the *map* (late response
+// delivered), so the map never fills — the eviction queue must not grow
+// by one stale ID per cycle regardless.
+func TestTCPAbandonQueueBoundedUnderLateResponses(t *testing.T) {
+	conn := &tcpConn{pending: make(map[uint64]chan tcpReply)}
+	for i := 0; i < 10*maxAbandoned; i++ {
+		id, _, ok := conn.register()
+		if !ok {
+			t.Fatal("register failed")
+		}
+		conn.abandon(id)
+		// Simulate the reader matching the late response: the map entry
+		// goes away, the queue entry is what used to linger.
+		conn.mu.Lock()
+		delete(conn.abandoned, id)
+		conn.mu.Unlock()
+	}
+	conn.mu.Lock()
+	mapLen, fifoLen := len(conn.abandoned), len(conn.abandonedFIFO)
+	conn.mu.Unlock()
+	if mapLen != 0 {
+		t.Fatalf("abandoned map = %d entries, want 0 (all consumed)", mapLen)
+	}
+	if fifoLen > 2*maxAbandoned {
+		t.Fatalf("eviction queue grew to %d entries across abandon/consume cycles, bound is %d",
+			fifoLen, 2*maxAbandoned)
+	}
+}

@@ -18,11 +18,11 @@ func TestMemCancelStalledCall(t *testing.T) {
 	defer leakcheck.Check(t)()
 	n := NewMem()
 	release := make(chan struct{})
-	stalled := n.Endpoint("stalled", func(Addr, uint8, []byte) (uint8, []byte, error) {
+	stalled := n.Endpoint("stalled", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
 		<-release
 		return 1, nil, nil
 	})
-	caller := n.Endpoint("caller", func(Addr, uint8, []byte) (uint8, []byte, error) {
+	caller := n.Endpoint("caller", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
 		return 1, nil, nil
 	})
 	_ = stalled
@@ -57,7 +57,7 @@ func TestMemCancelStalledCall(t *testing.T) {
 // leaves maps to ErrUnreachable — provably not applied, safe to retry.
 func TestMemCancelBeforeSend(t *testing.T) {
 	n := NewMem()
-	n.Endpoint("dst", func(Addr, uint8, []byte) (uint8, []byte, error) { return 1, nil, nil })
+	n.Endpoint("dst", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) { return 1, nil, nil })
 	src := n.Endpoint("src", nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -73,7 +73,7 @@ func TestMemCancelBeforeSend(t *testing.T) {
 func TestMemCancelDuringLatency(t *testing.T) {
 	defer leakcheck.Check(t)()
 	n := NewMem()
-	n.Endpoint("dst", func(Addr, uint8, []byte) (uint8, []byte, error) { return 1, nil, nil })
+	n.Endpoint("dst", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) { return 1, nil, nil })
 	src := n.Endpoint("src", nil)
 	n.SetLatency(10 * time.Second)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
@@ -100,7 +100,7 @@ func TestTCPDeadlineCancelInFlight(t *testing.T) {
 	defer leakcheck.Check(t)()
 	release := make(chan struct{})
 	var serverCalls int
-	srv, err := ListenTCP("127.0.0.1:0", func(_ Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 		serverCalls++
 		if serverCalls == 1 {
 			<-release // stall only the first request
@@ -111,7 +111,7 @@ func TestTCPDeadlineCancelInFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cli, err := ListenTCP("127.0.0.1:0", func(_ Addr, m uint8, b []byte) (uint8, []byte, error) {
+	cli, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ Addr, m uint8, b []byte) (uint8, []byte, error) {
 		return m, b, nil
 	})
 	if err != nil {
@@ -142,7 +142,7 @@ func TestTCPDeadlineCancelInFlight(t *testing.T) {
 // immediately with ErrUnreachable instead of waiting out the OS connect
 // timeout — the Join-with-deadline fix.
 func TestTCPDialHonorsContext(t *testing.T) {
-	cli, err := ListenTCP("127.0.0.1:0", func(_ Addr, m uint8, b []byte) (uint8, []byte, error) {
+	cli, err := ListenTCP("127.0.0.1:0", func(_ context.Context, _ Addr, m uint8, b []byte) (uint8, []byte, error) {
 		return m, b, nil
 	})
 	if err != nil {
@@ -166,12 +166,12 @@ func TestTCPDialHonorsContext(t *testing.T) {
 // TestDispatcherClose: a closed dispatcher refuses new work.
 func TestDispatcherCloseCancelsNewWork(t *testing.T) {
 	d := NewDispatcher()
-	d.Handle(0x01, func(Addr, uint8, []byte) (uint8, []byte, error) { return 0x01, nil, nil })
-	if _, _, err := d.Serve("x", 0x01, nil); err != nil {
+	d.Handle(0x01, func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) { return 0x01, nil, nil })
+	if _, _, err := d.Serve(context.Background(), "x", 0x01, nil); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()
-	if _, _, err := d.Serve("x", 0x01, nil); !errors.Is(err, ErrClosed) {
+	if _, _, err := d.Serve(context.Background(), "x", 0x01, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Serve after Close = %v, want ErrClosed", err)
 	}
 }

@@ -10,28 +10,28 @@ import (
 
 func TestDispatcherRouting(t *testing.T) {
 	d := NewDispatcher()
-	d.Handle(1, func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(1, func(_ context.Context, from Addr, mt uint8, body []byte) (uint8, []byte, error) {
 		return 10, []byte("one"), nil
 	})
-	d.Handle(2, func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+	d.Handle(2, func(_ context.Context, from Addr, mt uint8, body []byte) (uint8, []byte, error) {
 		return 0, nil, errors.New("two fails")
 	})
 
-	rt, resp, err := d.Serve("x", 1, nil)
+	rt, resp, err := d.Serve(context.Background(), "x", 1, nil)
 	if err != nil || rt != 10 || string(resp) != "one" {
 		t.Fatalf("route 1: %d %q %v", rt, resp, err)
 	}
-	if _, _, err := d.Serve("x", 2, nil); err == nil {
+	if _, _, err := d.Serve(context.Background(), "x", 2, nil); err == nil {
 		t.Fatal("handler error must propagate")
 	}
-	if _, _, err := d.Serve("x", 99, nil); err == nil {
+	if _, _, err := d.Serve(context.Background(), "x", 99, nil); err == nil {
 		t.Fatal("unknown type must error")
 	}
 }
 
 func TestDispatcherDuplicatePanics(t *testing.T) {
 	d := NewDispatcher()
-	h := func(Addr, uint8, []byte) (uint8, []byte, error) { return 0, nil, nil }
+	h := func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) { return 0, nil, nil }
 	d.Handle(7, h)
 	defer func() {
 		if recover() == nil {
@@ -58,7 +58,7 @@ func TestMemSelfCallBypassesMeter(t *testing.T) {
 
 func TestMemSelfCallError(t *testing.T) {
 	n := NewMem()
-	a := n.Endpoint("err", func(Addr, uint8, []byte) (uint8, []byte, error) {
+	a := n.Endpoint("err", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
 		return 0, nil, errors.New("nope")
 	})
 	_, _, err := a.Call(context.Background(), "err", 1, nil)

@@ -3,28 +3,49 @@ package transport
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 // Frame layout, shared by requests and responses:
 //
 //	[4] length of the remainder (big endian)
 //	[8] request ID
-//	[1] kind: 0 request, 1 response, 2 error response
+//	[1] kind byte: low bits 0 request, 1 response, 2 error response,
+//	    3 shed response; flag 0x80 = a deadline-budget field follows
 //	[1] message type
+//	[v] optional deadline budget (uvarint of relative milliseconds,
+//	    present only when the kind byte carries flagDeadline)
 //	[n] payload
+//
+// The deadline field is strictly additive: frames without flagDeadline
+// are byte-identical to the pre-budget format, so peers that never set
+// the flag interoperate unchanged.
 //
 // maxFrame bounds the payload a peer will accept.
 const (
 	kindRequest  = 0
 	kindResponse = 1
 	kindError    = 2
-	maxFrame     = 64 << 20
+	// kindShed marks a response from the server's admission control: the
+	// request was refused before any work was done. It is a distinct kind
+	// (not a kindError) so clients surface the typed ErrShed and retry
+	// elsewhere rather than treating it as an application failure.
+	kindShed = 3
+
+	// flagDeadline marks a frame whose payload is prefixed by a
+	// deadline-budget varint.
+	flagDeadline = 0x80
+	kindMask     = 0x7f
+
+	maxFrame = 64 << 20
 )
 
 // TCP is a Transport endpoint backed by a real TCP listener. Outbound
@@ -39,12 +60,25 @@ type TCP struct {
 	handler Handler
 	meter   *metrics.Meter
 
+	// baseCtx is the root of every server-side handler context; Close
+	// cancels it so stuck handlers unwind during shutdown.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
 	mu       sync.Mutex
 	conns    map[Addr]*tcpConn     // outbound, pooled by destination
 	accepted map[net.Conn]struct{} // inbound, closed on shutdown
 	closed   bool
 	wg       sync.WaitGroup
 }
+
+// maxAbandoned bounds the per-connection set of request IDs whose caller
+// cancelled while the response was still in flight. On a long-lived
+// pooled connection against a peer whose handlers are stuck, the
+// responses may never arrive to clear their entries, so the set evicts
+// its oldest IDs once full; a late response to an evicted ID is simply
+// discarded by the (tolerant) reader.
+const maxAbandoned = 4096
 
 // tcpConn is one pooled outbound connection. wmu serializes frame
 // writes; mu guards the request-ID counter, the pending-call table the
@@ -56,11 +90,12 @@ type tcpConn struct {
 	c   net.Conn
 	wmu sync.Mutex
 
-	mu        sync.Mutex
-	nextID    uint64
-	pending   map[uint64]chan tcpReply
-	abandoned map[uint64]struct{}
-	dead      error // set once the reader exits; registrations fail fast
+	mu            sync.Mutex
+	nextID        uint64
+	pending       map[uint64]chan tcpReply
+	abandoned     map[uint64]struct{}
+	abandonedFIFO []uint64 // eviction order for the bounded abandoned set
+	dead          error    // set once the reader exits; registrations fail fast
 }
 
 // tcpReply is what the reader goroutine hands back to a waiting caller.
@@ -78,12 +113,15 @@ func ListenTCP(addr string, h Handler) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	baseCtx, cancelBase := context.WithCancel(context.Background())
 	t := &TCP{
-		ln:       ln,
-		handler:  h,
-		meter:    metrics.NewMeter(),
-		conns:    make(map[Addr]*tcpConn),
-		accepted: make(map[net.Conn]struct{}),
+		ln:         ln,
+		handler:    h,
+		meter:      metrics.NewMeter(),
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
+		conns:      make(map[Addr]*tcpConn),
+		accepted:   make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -129,30 +167,43 @@ func (t *TCP) serveConn(c net.Conn) {
 	}()
 	var wmu sync.Mutex // serializes response frames from concurrent handlers
 	for {
-		id, kind, msgType, body, err := readFrame(c)
+		id, kind, msgType, budget, body, err := readFrame(c)
 		if err != nil {
 			return
 		}
 		if kind != kindRequest {
 			return // protocol violation: drop the connection
 		}
-		t.meter.Record(msgType, FrameOverhead+len(body))
+		t.meter.Record(msgType, FrameOverhead+budgetWireSize(budget)+len(body))
 		handlers.Add(1)
-		go func(id uint64, msgType uint8, body []byte) {
+		go func(id uint64, msgType uint8, budget uint64, body []byte) {
 			defer handlers.Done()
-			respType, resp, herr := t.handler(Addr(c.RemoteAddr().String()), msgType, body)
+			// The server-side request context: the caller's remaining
+			// budget restarted on receipt (clock-skew-free), rooted in the
+			// endpoint's lifetime.
+			hctx, hcancel := handlerContext(t.baseCtx, budget)
+			defer hcancel()
+			respType, resp, herr := t.handler(hctx, Addr(c.RemoteAddr().String()), msgType, body)
 			wmu.Lock()
 			defer wmu.Unlock()
 			if herr != nil {
-				if writeFrame(c, id, kindError, msgType, []byte(herr.Error())) == nil {
-					t.meter.Record(msgType, FrameOverhead+len(herr.Error()))
+				kind := uint8(kindError)
+				msg := herr.Error()
+				if errors.Is(herr, ErrShed) {
+					kind = kindShed
+					// The frame kind already carries the shed identity (the
+					// client re-wraps with ErrShed); ship only the detail.
+					msg = strings.TrimPrefix(msg, ErrShed.Error()+": ")
+				}
+				if writeFrame(c, id, kind, msgType, 0, []byte(msg)) == nil {
+					t.meter.Record(msgType, FrameOverhead+len(msg))
 				}
 				return
 			}
-			if writeFrame(c, id, kindResponse, respType, resp) == nil {
+			if writeFrame(c, id, kindResponse, respType, 0, resp) == nil {
 				t.meter.Record(respType, FrameOverhead+len(resp))
 			}
-		}(id, msgType, body)
+		}(id, msgType, budget, body)
 	}
 }
 
@@ -162,7 +213,8 @@ func (t *TCP) serveConn(c net.Conn) {
 // per-connection reader delivers whichever response frame carries its ID
 // — responses are free to return out of order. Cancelling ctx abandons
 // the wait (ErrCallInterrupted); the connection stays healthy and a late
-// response for the abandoned ID is silently discarded.
+// response for the abandoned ID is silently discarded. A ctx deadline is
+// shipped in the frame header as the request's remaining budget.
 func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -171,12 +223,7 @@ func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (ui
 		return 0, nil, cancelledBeforeSend(err)
 	}
 	if to == t.Addr() {
-		// Local fast path: no network round-trip, no metering.
-		respType, resp, err := t.handler(to, msgType, body)
-		if err != nil {
-			return 0, nil, &RemoteError{Msg: err.Error()}
-		}
-		return respType, resp, nil
+		return t.localCall(ctx, to, msgType, body)
 	}
 	// A pooled connection can die between pool lookup and registration;
 	// the registration then fails fast and one retry dials afresh.
@@ -193,8 +240,9 @@ func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (ui
 			}
 			return 0, nil, fmt.Errorf("%w: connection closed", ErrUnreachable)
 		}
+		budget := deadlineBudgetMillis(ctx)
 		conn.wmu.Lock()
-		err = writeFrame(conn.c, id, kindRequest, msgType, body)
+		err = writeFrame(conn.c, id, kindRequest, msgType, budget, body)
 		conn.wmu.Unlock()
 		if err != nil {
 			// The request never left intact: unreachable, not interrupted.
@@ -202,7 +250,7 @@ func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (ui
 			t.dropConn(to, conn)
 			return 0, nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 		}
-		t.meter.Record(msgType, FrameOverhead+len(body))
+		t.meter.Record(msgType, FrameOverhead+budgetWireSize(budget)+len(body))
 		// From here on the request is on the wire: a failure to read the
 		// response leaves it unknown whether the remote processed the
 		// call, which is a different contract (ErrCallInterrupted) than a
@@ -213,8 +261,11 @@ func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (ui
 				return 0, nil, reply.err
 			}
 			t.meter.Record(reply.msgType, FrameOverhead+len(reply.body))
-			if reply.kind == kindError {
+			switch reply.kind {
+			case kindError:
 				return 0, nil, &RemoteError{Msg: string(reply.body)}
+			case kindShed:
+				return 0, nil, fmt.Errorf("%w: %s", ErrShed, reply.body)
 			}
 			return reply.msgType, reply.body, nil
 		case <-ctx.Done():
@@ -222,6 +273,24 @@ func (t *TCP) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (ui
 			return 0, nil, interruptedInFlight(ctx.Err())
 		}
 	}
+}
+
+// localCall is the loopback fast path: no network round-trip, no
+// metering. Its cancellation contract matches the remote path and Mem's:
+// a cancellable ctx abandons the wait on a stalled handler with
+// ErrCallInterrupted (the handler keeps running, exactly as a remote
+// would), an uncancellable ctx dispatches inline, and a shed keeps its
+// typed ErrShed identity while other handler errors surface as
+// RemoteError. The handler receives the caller's own context — the
+// budget needs no wire reconstruction on loopback.
+func (t *TCP) localCall(ctx context.Context, to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	return runCancellable(ctx, func() (uint8, []byte, error) {
+		respType, resp, err := t.handler(ctx, to, msgType, body)
+		if err != nil {
+			return 0, nil, localHandlerError(err)
+		}
+		return respType, resp, nil
+	})
 }
 
 // register allocates a request ID and its reply channel. ok is false
@@ -249,16 +318,55 @@ func (c *tcpConn) unregister(id uint64) {
 // abandon marks an in-flight request as walked-away-from: its response,
 // if it ever arrives, is discarded. If the reply was already delivered
 // (it sits in the call's buffered channel), there is nothing to mark.
+// The set is bounded at maxAbandoned entries with oldest-first eviction,
+// so a stalled remote that never answers cannot grow it without bound
+// over the life of the pooled connection.
 func (c *tcpConn) abandon(id uint64) {
 	c.mu.Lock()
 	if _, still := c.pending[id]; still {
 		delete(c.pending, id)
 		if c.abandoned == nil {
-			c.abandoned = make(map[uint64]struct{})
+			c.abandoned = make(map[uint64]struct{}, maxAbandoned)
+		}
+		// Prune queue heads whose entry the reader already consumed (the
+		// late response did arrive): without this the queue would grow by
+		// one entry per abandon-then-late-response cycle while the map
+		// stays small — the same slow leak in a different container.
+		for len(c.abandonedFIFO) > 0 {
+			if _, live := c.abandoned[c.abandonedFIFO[0]]; live {
+				break
+			}
+			c.abandonedFIFO = c.abandonedFIFO[1:]
+		}
+		for len(c.abandoned) >= maxAbandoned && len(c.abandonedFIFO) > 0 {
+			oldest := c.abandonedFIFO[0]
+			c.abandonedFIFO = c.abandonedFIFO[1:]
+			delete(c.abandoned, oldest)
 		}
 		c.abandoned[id] = struct{}{}
+		c.abandonedFIFO = append(c.abandonedFIFO, id)
+		if len(c.abandonedFIFO) >= 2*maxAbandoned {
+			// Consumed entries buried behind a still-live head can defeat
+			// the head pruning; compact by rebuilding from the live set,
+			// which hard-bounds the queue at 2×maxAbandoned entries.
+			live := c.abandonedFIFO[:0]
+			for _, old := range c.abandonedFIFO {
+				if _, ok := c.abandoned[old]; ok {
+					live = append(live, old)
+				}
+			}
+			c.abandonedFIFO = live
+		}
 	}
 	c.mu.Unlock()
+}
+
+// abandonedLen reports the current abandoned-set size (tests assert the
+// bound).
+func (c *tcpConn) abandonedLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.abandoned)
 }
 
 // readLoop is the per-connection response dispatcher: it matches every
@@ -266,31 +374,36 @@ func (c *tcpConn) abandon(id uint64) {
 // connection dies, fails every in-flight call with ErrCallInterrupted
 // (the remote may or may not have processed them). Responses whose
 // caller abandoned the wait (context cancellation) are discarded without
-// disturbing the connection.
+// disturbing the connection — and because the abandoned set is bounded,
+// an unmatched response ID is no longer proof of a protocol violation
+// (it may belong to an evicted entry, or to a request the server shed
+// while the caller was simultaneously abandoning it), so unmatched
+// responses are dropped and the connection and its pipelined in-flight
+// calls stay alive. Teardown is reserved for true protocol violations:
+// unreadable frames and frame kinds a client must never receive.
 func (t *TCP) readLoop(to Addr, conn *tcpConn) {
 	defer t.wg.Done()
 	for {
-		id, kind, msgType, body, err := readFrame(conn.c)
+		id, kind, msgType, _, body, err := readFrame(conn.c)
 		if err != nil {
 			t.failConn(to, conn, err)
+			return
+		}
+		if kind != kindResponse && kind != kindError && kind != kindShed {
+			// A request (or unknown kind) arriving on a client connection
+			// is a real protocol violation: drop the connection.
+			t.failConn(to, conn, fmt.Errorf("transport: unexpected frame kind %d", kind))
 			return
 		}
 		conn.mu.Lock()
 		ch, ok := conn.pending[id]
 		delete(conn.pending, id)
 		if !ok {
-			if _, was := conn.abandoned[id]; was {
-				delete(conn.abandoned, id)
-				conn.mu.Unlock()
-				continue // late response to a cancelled call
-			}
+			delete(conn.abandoned, id)
 		}
 		conn.mu.Unlock()
 		if !ok {
-			// A response nobody asked for: protocol violation, drop the
-			// connection (in-flight calls are interrupted).
-			t.failConn(to, conn, fmt.Errorf("transport: unmatched response id %d", id))
-			return
+			continue // late response to a cancelled (possibly evicted) call
 		}
 		ch <- tcpReply{kind: kind, msgType: msgType, body: body}
 	}
@@ -357,7 +470,8 @@ func (t *TCP) dropConn(to Addr, conn *tcpConn) {
 }
 
 // Close shuts down the listener and all cached connections and waits for
-// server goroutines to exit.
+// server goroutines to exit. In-flight handler contexts are cancelled so
+// stuck handlers unwind.
 func (t *TCP) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -373,6 +487,7 @@ func (t *TCP) Close() error {
 	}
 	t.mu.Unlock()
 
+	t.cancelBase()
 	err := t.ln.Close()
 	for _, c := range conns {
 		c.c.Close()
@@ -386,15 +501,24 @@ func (t *TCP) Close() error {
 	return err
 }
 
-func writeFrame(w io.Writer, id uint64, kind, msgType uint8, payload []byte) error {
+// writeFrame writes one frame. budgetMs > 0 sets flagDeadline and
+// prefixes the payload with the budget varint; 0 produces a frame
+// byte-identical to the pre-budget format.
+func writeFrame(w io.Writer, id uint64, kind, msgType uint8, budgetMs uint64, payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("transport: frame too large (%d bytes)", len(payload))
 	}
-	hdr := make([]byte, 14)
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(10+len(payload)))
+	var budget []byte
+	if budgetMs > 0 {
+		kind |= flagDeadline
+		budget = wire.AppendDeadlineBudget(nil, budgetMs)
+	}
+	hdr := make([]byte, 14, 14+len(budget))
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(10+len(budget)+len(payload)))
 	binary.BigEndian.PutUint64(hdr[4:12], id)
 	hdr[12] = kind
 	hdr[13] = msgType
+	hdr = append(hdr, budget...)
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -402,13 +526,13 @@ func writeFrame(w io.Writer, id uint64, kind, msgType uint8, payload []byte) err
 	return err
 }
 
-func readFrame(r io.Reader) (id uint64, kind, msgType uint8, payload []byte, err error) {
+func readFrame(r io.Reader) (id uint64, kind, msgType uint8, budgetMs uint64, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
 		return
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n < 10 || n > maxFrame+10 {
+	if n < 10 || n > maxFrame+20 {
 		err = fmt.Errorf("transport: bad frame length %d", n)
 		return
 	}
@@ -417,8 +541,16 @@ func readFrame(r io.Reader) (id uint64, kind, msgType uint8, payload []byte, err
 		return
 	}
 	id = binary.BigEndian.Uint64(rest[0:8])
-	kind = rest[8]
+	rawKind := rest[8]
+	kind = rawKind & kindMask
 	msgType = rest[9]
 	payload = rest[10:]
+	if rawKind&flagDeadline != 0 {
+		budgetMs, payload, err = wire.ConsumeDeadlineBudget(payload)
+		if err != nil {
+			err = fmt.Errorf("transport: bad deadline budget: %w", err)
+			return
+		}
+	}
 	return
 }

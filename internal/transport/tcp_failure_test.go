@@ -83,7 +83,7 @@ func TestTCPInterruptFailsAllInFlight(t *testing.T) {
 	addr := rawServer(t, func(c net.Conn) {
 		// Answer the warm-up, then swallow the in-flight batch and drop.
 		id, mt, body := readRawFrame(t, c)
-		if err := writeFrame(c, id, kindResponse, mt+1, body); err != nil {
+		if err := writeFrame(c, id, kindResponse, mt+1, 0, body); err != nil {
 			t.Errorf("warm-up write: %v", err)
 			return
 		}
@@ -171,7 +171,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 	addr := rawServer(t, func(c net.Conn) {
 		// Answer the warm-up that pins the pooled connection.
 		id, mt, body := readRawFrame(t, c)
-		if err := writeFrame(c, id, kindResponse, mt+1, body); err != nil {
+		if err := writeFrame(c, id, kindResponse, mt+1, 0, body); err != nil {
 			t.Errorf("warm-up write: %v", err)
 			return
 		}
@@ -189,7 +189,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 		for i := len(reqs) - 1; i >= 0; i-- {
 			r := reqs[i]
 			resp := append([]byte("ans:"), r.payload...)
-			if err := writeFrame(c, r.id, kindResponse, r.msgType+1, resp); err != nil {
+			if err := writeFrame(c, r.id, kindResponse, r.msgType+1, 0, resp); err != nil {
 				t.Errorf("raw write: %v", err)
 				return
 			}
@@ -232,7 +232,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 // goroutines against a real (concurrently dispatching) server and
 // checks every response reaches its caller intact.
 func TestTCPPipelinedConcurrentCalls(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, from Addr, mt uint8, body []byte) (uint8, []byte, error) {
 		if mt == 9 {
 			time.Sleep(10 * time.Millisecond) // slow path must not block fast ones
 		}

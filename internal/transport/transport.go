@@ -18,6 +18,15 @@
 // process the request. A context that is already dead before the request
 // is sent fails with ErrUnreachable instead — the request provably never
 // left, so retrying it cannot double-apply.
+//
+// A caller context that carries a deadline additionally ships its
+// remaining time over the wire (a varint of relative milliseconds in the
+// frame header — clock-skew-free), and the serving side reconstructs an
+// equivalent context.WithTimeout for the handler. Overloaded peers use
+// that reconstructed budget for admission control (see Dispatcher): a
+// request that can no longer make it back in time is refused with
+// ErrShed *before* any work is done, which the caller can distinguish
+// from a real remote failure and retry elsewhere.
 package transport
 
 import (
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 // Addr identifies an endpoint: a symbolic name on a Mem network or a
@@ -37,15 +47,21 @@ type Addr string
 // FrameOverhead is the number of framing bytes that accompany every
 // message payload: a 4-byte length, an 8-byte request ID, a kind byte and
 // a message-type byte. The meter charges it on every call and reply so
-// that in-memory byte counts equal TCP byte counts.
+// that in-memory byte counts equal TCP byte counts. A request that ships
+// a deadline budget additionally pays the budget varint's bytes; both
+// transports meter those identically too.
 const FrameOverhead = 14
 
-// Handler processes one incoming request and produces a response. A
-// handler must answer from local state only: issuing nested calls back
-// into the transport from within a handler is allowed by Mem (delivery is
-// reentrant) but is a design smell in DHT code because it serializes the
-// overlay; AlvisP2P uses iterative routing to keep handlers local.
-type Handler func(from Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
+// Handler processes one incoming request and produces a response. The
+// context is the *server-side* request context: it carries the caller's
+// deadline, reconstructed from the frame header's relative budget (or no
+// deadline when the caller had none), and is cancelled when the serving
+// endpoint shuts down. A handler must answer from local state only:
+// issuing nested calls back into the transport from within a handler is
+// allowed by Mem (delivery is reentrant) but is a design smell in DHT
+// code because it serializes the overlay; AlvisP2P uses iterative
+// routing to keep handlers local.
+type Handler func(ctx context.Context, from Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
 
 // Endpoint is one peer's attachment to the network.
 type Endpoint interface {
@@ -54,7 +70,8 @@ type Endpoint interface {
 	// Call sends a request and waits for the response. Cancelling ctx
 	// abandons the call: an in-flight request fails with
 	// ErrCallInterrupted, a not-yet-sent one with ErrUnreachable. The
-	// context's own error stays inspectable through errors.Is.
+	// context's own error stays inspectable through errors.Is. A ctx
+	// deadline is shipped to the server as the frame's deadline budget.
 	Call(ctx context.Context, to Addr, msgType uint8, body []byte) (respType uint8, resp []byte, err error)
 	// Close detaches the endpoint; subsequent calls to it fail.
 	Close() error
@@ -72,7 +89,14 @@ var (
 	// arrived — the remote may or may not have processed it. Callers must
 	// not blindly retry non-idempotent operations on it.
 	ErrCallInterrupted = errors.New("transport: call interrupted")
-	ErrClosed          = errors.New("transport: endpoint closed")
+	// ErrShed means the remote's admission control refused the request
+	// before doing any work: its remaining deadline budget could not
+	// cover the peer's observed service time (or had already expired).
+	// The request was provably not applied, so callers retry it on
+	// another replica instead of failing the operation.
+	ErrShed = errors.New("transport: request shed by admission control")
+	// ErrClosed reports an operation on an endpoint whose Close has run.
+	ErrClosed = errors.New("transport: endpoint closed")
 )
 
 // cancelledBeforeSend maps a context error observed before the request
@@ -92,6 +116,80 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
 
+// deadlineBudgetMillis derives the frame header's deadline budget from
+// the caller's context: the remaining time in whole milliseconds, or 0
+// when ctx carries no deadline ("unbounded"). A deadline in the next
+// instant still announces the minimum budget of 1ms — the server's
+// admission control, not this client, decides whether that is hopeless.
+func deadlineBudgetMillis(ctx context.Context) uint64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(d)
+	if rem <= 0 {
+		return 1
+	}
+	ms := uint64((rem + time.Millisecond - 1) / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	if ms > wire.MaxDeadlineBudgetMillis {
+		return 0 // a deadline that far out is indistinguishable from none
+	}
+	return ms
+}
+
+// budgetWireSize returns the extra framed bytes a deadline budget costs
+// (0 when no budget is shipped); both transports meter it.
+func budgetWireSize(budgetMs uint64) int {
+	if budgetMs == 0 {
+		return 0
+	}
+	return wire.UvarintSize(budgetMs)
+}
+
+// handlerContext reconstructs the server-side request context from a
+// frame's deadline budget: base plus a WithTimeout of the budget, or base
+// untouched when the frame announced none. The returned cancel must
+// always be called.
+func handlerContext(base context.Context, budgetMs uint64) (context.Context, context.CancelFunc) {
+	if budgetMs == 0 {
+		return base, func() {}
+	}
+	return context.WithTimeout(base, time.Duration(budgetMs)*time.Millisecond)
+}
+
+// runCancellable is the shared cancellable-dispatch idiom of both
+// transports (networked Mem delivery and the two loopback fast paths):
+// an uncancellable context dispatches run inline — synchronous,
+// goroutine-free, what the determinism tests rely on — while a
+// cancellable one runs it on a helper goroutine and abandons the wait
+// with ErrCallInterrupted when ctx dies first. The abandoned run keeps
+// executing (a "remote" cannot be recalled) and its result drains into
+// the buffered channel, so nothing leaks.
+func runCancellable(ctx context.Context, run func() (uint8, []byte, error)) (uint8, []byte, error) {
+	if ctx.Done() == nil {
+		return run()
+	}
+	type outcome struct {
+		respType uint8
+		resp     []byte
+		err      error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rt, resp, err := run()
+		ch <- outcome{rt, resp, err}
+	}()
+	select {
+	case out := <-ch:
+		return out.respType, out.resp, out.err
+	case <-ctx.Done():
+		return 0, nil, interruptedInFlight(ctx.Err())
+	}
+}
+
 // Mem is an in-memory network connecting any number of endpoints. It is
 // safe for concurrent use. Delivery is synchronous: Call invokes the
 // destination handler on the caller's goroutine, which makes tests
@@ -101,22 +199,24 @@ func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
 // from a stalled handler; when the context is never cancelled the result
 // is identical to synchronous delivery.
 type Mem struct {
-	mu      sync.RWMutex
-	peers   map[Addr]*memEndpoint
-	down    map[Addr]bool
-	meter   *metrics.Meter
-	load    map[Addr]*metrics.Meter // per-endpoint received-traffic meters
-	nextID  int
-	latency time.Duration // per-call simulated network delay
+	mu        sync.RWMutex
+	peers     map[Addr]*memEndpoint
+	down      map[Addr]bool
+	meter     *metrics.Meter
+	load      map[Addr]*metrics.Meter // per-endpoint received-traffic meters
+	nextID    int
+	latency   time.Duration          // per-call simulated network delay
+	peerDelay map[Addr]time.Duration // per-destination server-side queueing delay
 }
 
 // NewMem creates an empty in-memory network.
 func NewMem() *Mem {
 	return &Mem{
-		peers: make(map[Addr]*memEndpoint),
-		down:  make(map[Addr]bool),
-		meter: metrics.NewMeter(),
-		load:  make(map[Addr]*metrics.Meter),
+		peers:     make(map[Addr]*memEndpoint),
+		down:      make(map[Addr]bool),
+		meter:     metrics.NewMeter(),
+		load:      make(map[Addr]*metrics.Meter),
+		peerDelay: make(map[Addr]time.Duration),
 	}
 }
 
@@ -131,6 +231,22 @@ func (n *Mem) Meter() *metrics.Meter { return n.meter }
 func (n *Mem) SetLatency(d time.Duration) {
 	n.mu.Lock()
 	n.latency = d
+	n.mu.Unlock()
+}
+
+// SetPeerDelay models one slow or overloaded peer: every request *to*
+// addr waits d on the serving side — after the request was sent and the
+// server-side deadline clock started, before the handler dispatches —
+// like a request sitting in an overloaded peer's queue. The deadline
+// budget keeps expiring during the wait, which is exactly the state
+// admission control sheds. 0 removes the delay.
+func (n *Mem) SetPeerDelay(addr Addr, d time.Duration) {
+	n.mu.Lock()
+	if d <= 0 {
+		delete(n.peerDelay, addr)
+	} else {
+		n.peerDelay[addr] = d
+	}
 	n.mu.Unlock()
 }
 
@@ -212,12 +328,9 @@ func (e *memEndpoint) Call(ctx context.Context, to Addr, msgType uint8, body []b
 	if to == e.addr {
 		// A peer talking to itself does not use the network: dispatch
 		// directly and meter nothing, like the real implementation's
-		// local fast path.
-		respType, resp, err := h(e.addr, msgType, body)
-		if err != nil {
-			return 0, nil, &RemoteError{Msg: err.Error()}
-		}
-		return respType, resp, nil
+		// local fast path. The handler sees the caller's own context —
+		// equivalent to reconstructing the budget, without the rounding.
+		return e.localCall(ctx, h, msgType, body)
 	}
 
 	n := e.net
@@ -227,6 +340,7 @@ func (e *memEndpoint) Call(ctx context.Context, to Addr, msgType uint8, body []b
 	downDst := n.down[to]
 	loadDst := n.load[to]
 	latency := n.latency
+	delay := n.peerDelay[to]
 	n.mu.RUnlock()
 	if !ok || downSrc || downDst {
 		return 0, nil, ErrUnreachable
@@ -252,45 +366,78 @@ func (e *memEndpoint) Call(ctx context.Context, to Addr, msgType uint8, body []b
 		}
 	}
 
-	reqSize := FrameOverhead + len(body)
+	budget := deadlineBudgetMillis(ctx)
+	reqSize := FrameOverhead + budgetWireSize(budget) + len(body)
 	n.meter.Record(msgType, reqSize)
 	if loadDst != nil {
 		loadDst.Record(msgType, reqSize)
 	}
 
-	if ctx.Done() == nil {
-		// Uncancellable context: keep the synchronous, goroutine-free
-		// delivery that the determinism tests rely on.
-		return e.finishCall(dstHandler, msgType, body)
-	}
-	type outcome struct {
-		respType uint8
-		resp     []byte
-		err      error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		rt, resp, err := e.finishCall(dstHandler, msgType, body)
-		ch <- outcome{rt, resp, err}
-	}()
-	select {
-	case out := <-ch:
-		return out.respType, out.resp, out.err
-	case <-ctx.Done():
-		// The handler keeps running (the "remote" cannot be recalled), but
-		// this caller abandons the wait, exactly like the TCP transport.
-		return 0, nil, interruptedInFlight(ctx.Err())
-	}
+	// An uncancellable context dispatches synchronously (no deadline
+	// means no budget, so the handler context is plain Background); a
+	// cancellable one abandons the wait like the TCP transport while the
+	// handler keeps running.
+	return runCancellable(ctx, func() (uint8, []byte, error) {
+		return e.finishCall(dstHandler, budget, delay, msgType, body)
+	})
 }
 
-// finishCall dispatches to the destination handler and meters the reply.
-func (e *memEndpoint) finishCall(dstHandler Handler, msgType uint8, body []byte) (uint8, []byte, error) {
+// localCall is the self-call fast path. Its cancellation semantics match
+// the networked path (and TCP's local fast path): a cancellable context
+// abandons the wait on a stalled handler with ErrCallInterrupted while
+// the handler keeps running; an uncancellable one dispatches inline.
+func (e *memEndpoint) localCall(ctx context.Context, h Handler, msgType uint8, body []byte) (uint8, []byte, error) {
+	return runCancellable(ctx, func() (uint8, []byte, error) {
+		respType, resp, err := h(ctx, e.addr, msgType, body)
+		if err != nil {
+			return 0, nil, localHandlerError(err)
+		}
+		return respType, resp, nil
+	})
+}
+
+// localHandlerError maps a local handler's failure the way the remote
+// path would surface it: a shed keeps its typed identity (so callers
+// retry elsewhere); anything else becomes a RemoteError.
+func localHandlerError(err error) error {
+	if errors.Is(err, ErrShed) {
+		return err
+	}
+	return &RemoteError{Msg: err.Error()}
+}
+
+// finishCall plays the serving side of one delivered request: it
+// reconstructs the handler context from the shipped deadline budget,
+// pays any configured per-peer queueing delay (the budget clock keeps
+// running, as it would in a real overloaded peer), dispatches to the
+// destination handler and meters the reply.
+func (e *memEndpoint) finishCall(dstHandler Handler, budgetMs uint64, delay time.Duration, msgType uint8, body []byte) (uint8, []byte, error) {
 	n := e.net
-	respType, resp, err := dstHandler(e.addr, msgType, body)
+	hctx, hcancel := handlerContext(context.Background(), budgetMs)
+	defer hcancel()
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-hctx.Done():
+			// The budget expired while queued: skip the rest of the wait
+			// and dispatch immediately — admission control (if enabled)
+			// sheds the doomed request, and a PR 3 style peer wastes the
+			// work, which is exactly the contrast experiment E11 measures.
+			t.Stop()
+		}
+	}
+	respType, resp, err := dstHandler(hctx, e.addr, msgType, body)
 	if err != nil {
 		// An error reply still crosses the network: charge a frame
 		// carrying the error text, as the TCP transport would send.
 		n.meter.Record(msgType, FrameOverhead+len(err.Error()))
+		if errors.Is(err, ErrShed) {
+			// Sheds keep their typed identity across the wire (TCP uses a
+			// dedicated frame kind); callers must be able to tell "refused
+			// before work" from a real remote failure.
+			return 0, nil, err
+		}
 		return 0, nil, &RemoteError{Msg: err.Error()}
 	}
 	n.meter.Record(respType, FrameOverhead+len(resp))

@@ -9,7 +9,7 @@ import (
 	"testing"
 )
 
-func echoHandler(from Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+func echoHandler(_ context.Context, from Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	return msgType + 1, append([]byte("echo:"), body...), nil
 }
 
@@ -84,7 +84,7 @@ func TestMemFailureInjection(t *testing.T) {
 func TestMemRemoteError(t *testing.T) {
 	n := NewMem()
 	a := n.Endpoint("a", echoHandler)
-	n.Endpoint("b", func(from Addr, mt uint8, body []byte) (uint8, []byte, error) {
+	n.Endpoint("b", func(_ context.Context, from Addr, mt uint8, body []byte) (uint8, []byte, error) {
 		return 0, nil, fmt.Errorf("kaboom %d", mt)
 	})
 	_, _, err := a.Call(context.Background(), "b", 3, nil)
@@ -194,7 +194,7 @@ func TestTCPRoundTrip(t *testing.T) {
 }
 
 func TestTCPRemoteError(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(Addr, uint8, []byte) (uint8, []byte, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
 		return 0, nil, errors.New("server says no")
 	})
 	if err != nil {

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDeadlineBudgetRoundTrip pins the wire form of the frame header's
+// optional deadline field: a varint of relative milliseconds prefixed to
+// the payload, recovered exactly on the other side.
+func TestDeadlineBudgetRoundTrip(t *testing.T) {
+	payload := []byte("frame payload")
+	for _, ms := range []uint64{0, 1, 42, 999, 1 << 20, MaxDeadlineBudgetMillis} {
+		b := AppendDeadlineBudget(nil, ms)
+		b = append(b, payload...)
+		got, rest, err := ConsumeDeadlineBudget(b)
+		if err != nil {
+			t.Fatalf("budget %d: %v", ms, err)
+		}
+		if got != ms {
+			t.Errorf("budget %d round-tripped as %d", ms, got)
+		}
+		if string(rest) != string(payload) {
+			t.Errorf("budget %d: rest = %q, want %q", ms, rest, payload)
+		}
+	}
+}
+
+// TestDeadlineBudgetAbsentFieldBackCompat: a frame from a peer that
+// predates the deadline field carries no budget prefix, and its payload
+// must decode byte-for-byte as before. The transport signals presence
+// with a header flag, so "absent" means the payload is simply not run
+// through ConsumeDeadlineBudget — this test pins that a PR 3 style
+// payload is not accidentally eaten by the budget decoder when the flag
+// machinery is honoured.
+func TestDeadlineBudgetAbsentFieldBackCompat(t *testing.T) {
+	// A typical old-format body: a length-prefixed key plus a uvarint.
+	w := NewWriter(16)
+	w.String("old frame")
+	w.Uvarint(7)
+	body := append([]byte(nil), w.Bytes()...)
+
+	// Without the flag, the body is handed to the application untouched.
+	r := NewReader(body)
+	if got := r.String(); got != "old frame" {
+		t.Fatalf("key = %q", got)
+	}
+	if got := r.Uvarint(); got != 7 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the flag, the same body gains exactly one budget prefix and
+	// the remainder is byte-identical to the old body.
+	framed := AppendDeadlineBudget(nil, 250)
+	framed = append(framed, body...)
+	ms, rest, err := ConsumeDeadlineBudget(framed)
+	if err != nil || ms != 250 {
+		t.Fatalf("budget = %d, %v", ms, err)
+	}
+	if string(rest) != string(body) {
+		t.Fatalf("payload after budget differs from original body")
+	}
+}
+
+// TestDeadlineBudgetCorrupt: truncated or absurd budgets are rejected as
+// corrupt instead of creating bogus server deadlines.
+func TestDeadlineBudgetCorrupt(t *testing.T) {
+	if _, _, err := ConsumeDeadlineBudget(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty input: err = %v, want ErrCorrupt", err)
+	}
+	// An unterminated varint (all continuation bits).
+	if _, _, err := ConsumeDeadlineBudget([]byte{0x80, 0x80}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated varint: err = %v, want ErrCorrupt", err)
+	}
+	huge := AppendDeadlineBudget(nil, MaxDeadlineBudgetMillis+1)
+	if _, _, err := ConsumeDeadlineBudget(huge); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized budget: err = %v, want ErrCorrupt", err)
+	}
+}

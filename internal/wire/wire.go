@@ -251,6 +251,34 @@ func (r *Reader) StringSlice() []string {
 	return ss
 }
 
+// MaxDeadlineBudgetMillis bounds the deadline budget a frame may
+// announce: about 49 days, far beyond any realistic per-request
+// deadline. A larger value is treated as corrupt rather than silently
+// creating a context that never expires.
+const MaxDeadlineBudgetMillis = uint64(1) << 32
+
+// AppendDeadlineBudget appends a frame's deadline-budget field — the
+// caller's *remaining* time in milliseconds, as an unsigned varint — to
+// dst. Shipping a relative budget instead of an absolute deadline keeps
+// the field clock-skew-free: the receiver restarts the clock on receipt,
+// granting the request at most the time the sender had left at send.
+func AppendDeadlineBudget(dst []byte, ms uint64) []byte {
+	return binary.AppendUvarint(dst, ms)
+}
+
+// ConsumeDeadlineBudget splits a deadline-budget field off the front of
+// b, returning the budget in milliseconds and the remaining bytes.
+// Frames that do not announce the field never reach this function (the
+// transport keys it off a header flag), which is what keeps pre-budget
+// peers decodable: their payloads are returned untouched elsewhere.
+func ConsumeDeadlineBudget(b []byte) (ms uint64, rest []byte, err error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 || v > MaxDeadlineBudgetMillis {
+		return 0, nil, ErrCorrupt
+	}
+	return v, b[n:], nil
+}
+
 // UvarintSize returns the encoded size in bytes of v as an unsigned
 // varint, without encoding it. Used by size estimators.
 func UvarintSize(v uint64) int {
