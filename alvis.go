@@ -53,6 +53,14 @@
 // WithReadConsistency(ReadAnyReplica) additionally spreads a query's
 // reads across each key's whole replica set. The default (1) keeps the
 // single-copy behaviour and its byte-identical determinism contract.
+//
+// Config.DataDir makes the peer's index slice durable (a write-ahead
+// log compacted into snapshots, see DESIGN.md "Durability & recovery"):
+// a restarted peer recovers its slice from disk and rejoins the ring
+// with a delta pull — only the writes it missed while down transfer —
+// instead of re-pulling its whole range. Config.AntiEntropyInterval
+// adds a background replica-repair sweep on top of the ring-change
+// handoffs.
 package alvisp2p
 
 import (
@@ -181,7 +189,12 @@ func (n *Network) NewPeer(name string, cfg Config) (*Peer, error) {
 	d := transport.NewDispatcher()
 	ep := n.mem.Endpoint(name, d.Serve)
 	id := ids.HashString(string(ep.Addr()))
-	return &Peer{inner: core.NewPeer(id, ep, d, cfg)}, nil
+	inner, err := core.OpenPeer(id, ep, d, cfg)
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
+	}
+	return &Peer{inner: inner}, nil
 }
 
 // ListenTCP creates a standalone peer listening on addr (e.g.
@@ -193,7 +206,12 @@ func ListenTCP(addr string, cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	id := ids.HashString(string(ep.Addr()))
-	return &Peer{inner: core.NewPeer(id, ep, d, cfg)}, nil
+	inner, err := core.OpenPeer(id, ep, d, cfg)
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
+	}
+	return &Peer{inner: inner}, nil
 }
 
 // Addr returns the peer's address, which other peers use to Join.

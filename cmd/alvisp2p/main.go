@@ -45,12 +45,18 @@ func main() {
 		"in-flight handler count above which doomed requests are shed (0 = admission control off)")
 	admissionFloor := flag.Duration("admission-min-service", 2*time.Millisecond,
 		"service-time floor for the admission check before the per-type estimates warm up")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable global-index storage (WAL + snapshots); empty = in-memory only")
+	antiEntropy := flag.Duration("anti-entropy", 0,
+		"background replica-repair sweep interval (0 = ring-change events only; needs -replication > 1)")
 	flag.Parse()
 
 	cfg := alvisp2p.Config{
 		ReplicationFactor:   *replication,
 		AdmissionWatermark:  *admission,
 		AdmissionMinService: *admissionFloor,
+		DataDir:             *dataDir,
+		AntiEntropyInterval: *antiEntropy,
 	}
 	switch strings.ToLower(*strategy) {
 	case "hdk":

@@ -33,6 +33,7 @@ import (
 	"repro/internal/postings"
 	"repro/internal/qdi"
 	"repro/internal/ranking"
+	"repro/internal/storage"
 	"repro/internal/textproc"
 	"repro/internal/transport"
 )
@@ -112,6 +113,27 @@ type Config struct {
 	// window before the per-type EWMAs have observations. 0 keeps the
 	// pure EWMA.
 	AdmissionMinService time.Duration
+	// DataDir, when set, stores this peer's slice of the global index
+	// durably under the given directory (write-ahead log + snapshots,
+	// see internal/storage): a restarted peer recovers its slice from
+	// disk and rejoins with a delta pull instead of a full range
+	// migration. Empty (the default) keeps the in-memory engine and the
+	// exact pre-persistence behaviour. Use OpenPeer to surface engine
+	// open errors.
+	DataDir string
+	// Engine overrides the global-index storage engine directly (tests
+	// and embedders that manage engine lifecycles themselves). When set
+	// it takes precedence over DataDir. The peer takes ownership: Close
+	// closes the engine.
+	Engine globalindex.StorageEngine
+	// AntiEntropyInterval enables the background replica-repair sweep:
+	// every interval the peer re-replicates its owned key range to its
+	// current successors with idempotent ReplSync frames, repairing
+	// divergence left by missed best-effort write-throughs without
+	// waiting for a ring-change event. 0 (the default) disables the
+	// sweep — tests and single-copy peers don't want a timer goroutine.
+	// Ignored when ReplicationFactor <= 1.
+	AntiEntropyInterval time.Duration
 }
 
 // DefaultConcurrency is the fan-out width used when Config.Concurrency
@@ -198,13 +220,38 @@ type Peer struct {
 //	d := transport.NewDispatcher()
 //	ep := net.Endpoint("peer1", d.Serve)   // or transport.ListenTCP
 //	p := core.NewPeer(id, ep, d, cfg)
+//
+// NewPeer cannot fail unless Config.DataDir names an unopenable
+// directory, in which case it panics; peers with durable storage should
+// use OpenPeer, which surfaces the error.
 func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Config) *Peer {
+	p, err := OpenPeer(id, ep, d, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: NewPeer: %v (use OpenPeer to handle storage errors)", err))
+	}
+	return p
+}
+
+// OpenPeer is NewPeer with storage-engine recovery: when cfg.DataDir is
+// set (and cfg.Engine is not), it opens the durable engine — replaying
+// its snapshot and write-ahead log — before assembling the peer, and
+// returns the open error instead of panicking. After a successful
+// OpenPeer the peer owns the engine; Close flushes and closes it.
+func OpenPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Config) (*Peer, error) {
 	cfg.fillDefaults()
+	engine := cfg.Engine
+	if engine == nil && cfg.DataDir != "" {
+		e, err := storage.Open(cfg.DataDir, storage.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: open data dir %s: %w", cfg.DataDir, err)
+		}
+		engine = e
+	}
 	if cfg.AdmissionWatermark > 0 {
 		d.SetAdmissionControl(cfg.AdmissionWatermark, cfg.AdmissionMinService)
 	}
 	node := dht.NewNode(id, ep, d, cfg.DHT)
-	gidx := globalindex.New(node, d)
+	gidx := globalindex.NewWithEngine(node, d, engine)
 	gidx.EnableReplication(cfg.ReplicationFactor)
 	root, shutdown := context.WithCancel(context.Background())
 	p := &Peer{
@@ -223,7 +270,31 @@ func NewPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Conf
 	}
 	p.qdiMgr.SetEnabled(cfg.Strategy == StrategyQDI)
 	p.registerL5Handlers(d)
-	return p
+	if cfg.ReplicationFactor > 1 {
+		// Route the ranking layer's statistics writes through the global
+		// index's write-through machinery, so churn no longer loses BM25
+		// stats until republish (they share the replica-target cache).
+		p.gstats.EnableReplication(gidx)
+		if cfg.AntiEntropyInterval > 0 {
+			go p.antiEntropyLoop(cfg.AntiEntropyInterval)
+		}
+	}
+	return p, nil
+}
+
+// antiEntropyLoop runs the background replica-repair sweep until Close
+// cancels the peer's root context.
+func (p *Peer) antiEntropyLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.root.Done():
+			return
+		case <-t.C:
+			p.gidx.AntiEntropySweep()
+		}
+	}
 }
 
 // opCtx derives the context one operation runs under. A cancellable
@@ -250,13 +321,23 @@ func (p *Peer) opCtx(ctx context.Context) (context.Context, context.CancelFunc, 
 
 // Close shuts the peer down gracefully: the root context is cancelled
 // (in-flight fan-outs unwind at their next call boundary), the
-// dispatcher refuses new work, and the transport endpoint is closed —
-// the TCP endpoint drains its per-request server goroutines before
-// returning. Close is idempotent.
+// dispatcher refuses new work, the transport endpoint is closed — the
+// TCP endpoint drains its per-request server goroutines before
+// returning — and finally the storage engine is flushed and closed,
+// stamped with the responsibility watermark the peer held at shutdown
+// (what a durable engine needs to rejoin with a delta pull). Close is
+// idempotent.
 func (p *Peer) Close() error {
 	p.shutdown()
 	p.disp.Close()
-	return p.node.Endpoint().Close()
+	if pred := p.node.Predecessor(); !pred.IsZero() {
+		p.gidx.Store().SetWatermark(pred.ID, p.node.Self().ID)
+	}
+	err := p.node.Endpoint().Close()
+	if cerr := p.gidx.Store().Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Node returns the peer's DHT node.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dht"
 	"repro/internal/ids"
@@ -90,39 +91,54 @@ func (ix *Index) checkResponsible(keys []string) error {
 	return nil
 }
 
-func (ix *Index) handleMultiPut(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+// batchQuota asks the dispatcher's admission control how many of a
+// frame's items may be served within the request's remaining budget —
+// the batch-granular shed. A handler answers with the served prefix
+// only; the client redrives the suffix elsewhere (it provably was not
+// applied, because items apply in frame order).
+func (ix *Index) batchQuota(ctx context.Context, msgType uint8, n int) int {
+	return ix.disp.BatchQuota(ctx, msgType, n)
+}
+
+func (ix *Index) handleMultiPut(ctx context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, bounds, _, lists, err := decodeMultiPutBody(body, false)
 	if err != nil {
 		return 0, nil, err
 	}
-	if err := ix.checkResponsible(keys); err != nil {
+	serve := ix.batchQuota(ctx, MsgMultiPut, len(keys))
+	if err := ix.checkResponsible(keys[:serve]); err != nil {
 		return 0, nil, err
 	}
-	w := wire.NewWriter(8 + 4*len(keys))
-	w.Uvarint(uint64(len(keys)))
-	for i, key := range keys {
-		w.Uvarint(uint64(ix.store.Put(key, lists[i], bounds[i])))
+	start := time.Now()
+	w := wire.NewWriter(8 + 4*serve)
+	w.Uvarint(uint64(serve))
+	for i := 0; i < serve; i++ {
+		w.Uvarint(uint64(ix.store.Put(keys[i], lists[i], bounds[i])))
 	}
+	ix.disp.ObserveBatch(MsgMultiPut, time.Since(start), serve)
 	return MsgMultiPut, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiAppend(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiAppend(ctx context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	keys, bounds, dfs, lists, err := decodeMultiPutBody(body, true)
 	if err != nil {
 		return 0, nil, err
 	}
-	if err := ix.checkResponsible(keys); err != nil {
+	serve := ix.batchQuota(ctx, MsgMultiAppend, len(keys))
+	if err := ix.checkResponsible(keys[:serve]); err != nil {
 		return 0, nil, err
 	}
-	w := wire.NewWriter(8 + 4*len(keys))
-	w.Uvarint(uint64(len(keys)))
-	for i, key := range keys {
-		w.Uvarint(uint64(ix.store.Append(key, lists[i], bounds[i], dfs[i])))
+	start := time.Now()
+	w := wire.NewWriter(8 + 4*serve)
+	w.Uvarint(uint64(serve))
+	for i := 0; i < serve; i++ {
+		w.Uvarint(uint64(ix.store.Append(keys[i], lists[i], bounds[i], dfs[i])))
 	}
+	ix.disp.ObserveBatch(MsgMultiAppend, time.Since(start), serve)
 	return MsgMultiAppend, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiGet(_ context.Context, _ transport.Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiGet(ctx context.Context, _ transport.Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	count, err := readBatchCount(r)
 	if err != nil {
@@ -137,25 +153,28 @@ func (ix *Index) handleMultiGet(_ context.Context, _ transport.Addr, msgType uin
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
+	serve := ix.batchQuota(ctx, msgType, count)
 	if msgType != MsgMultiGetAny {
-		if err := ix.checkResponsible(keys); err != nil {
+		if err := ix.checkResponsible(keys[:serve]); err != nil {
 			return 0, nil, err
 		}
 	}
-	w := wire.NewWriter(64 * count)
-	w.Uvarint(uint64(count))
-	for i, key := range keys {
-		list, found, wantIndex := ix.store.Get(key, maxes[i])
+	start := time.Now()
+	w := wire.NewWriter(64 * serve)
+	w.Uvarint(uint64(serve))
+	for i := 0; i < serve; i++ {
+		list, found, wantIndex := ix.store.Get(keys[i], maxes[i])
 		w.Bool(found)
 		w.Bool(wantIndex)
 		if found {
 			list.Encode(w)
 		}
 	}
+	ix.disp.ObserveBatch(msgType, time.Since(start), serve)
 	return msgType, w.Bytes(), nil
 }
 
-func (ix *Index) handleMultiKeyInfo(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+func (ix *Index) handleMultiKeyInfo(ctx context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	r := wire.NewReader(body)
 	count, err := readBatchCount(r)
 	if err != nil {
@@ -168,14 +187,17 @@ func (ix *Index) handleMultiKeyInfo(_ context.Context, _ transport.Addr, _ uint8
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
-	if err := ix.checkResponsible(keys); err != nil {
+	serve := ix.batchQuota(ctx, MsgMultiKeyInfo, count)
+	if err := ix.checkResponsible(keys[:serve]); err != nil {
 		return 0, nil, err
 	}
-	w := wire.NewWriter(16 * count)
-	w.Uvarint(uint64(count))
-	for _, key := range keys {
-		ix.writeKeyInfoAnswer(w, key)
+	start := time.Now()
+	w := wire.NewWriter(16 * serve)
+	w.Uvarint(uint64(serve))
+	for i := 0; i < serve; i++ {
+		ix.writeKeyInfoAnswer(w, keys[i])
 	}
+	ix.disp.ObserveBatch(MsgMultiKeyInfo, time.Since(start), serve)
 	return MsgMultiKeyInfo, w.Bytes(), nil
 }
 
@@ -415,7 +437,13 @@ func (ix *Index) MultiGet(ctx context.Context, items []GetItem, workers int, pol
 			return nil
 		},
 		func(i int) error {
-			list, found, wantIndex, err := ix.Get(ctx, items[i].Terms, items[i].MaxResults, ReadPrimary)
+			// The per-item redrive keeps the caller's read policy and
+			// options: under ReadAnyReplica (hedged or not) a shed or
+			// dead copy must escalate to the other copies, exactly as
+			// the group call would have — falling back to a bare
+			// primary read would re-target the one overloaded peer the
+			// shed just steered us away from.
+			list, found, wantIndex, err := ix.Get(ctx, items[i].Terms, items[i].MaxResults, policy, opts...)
 			out[i] = GetResult{List: list, Found: found, WantIndex: wantIndex}
 			return err
 		})
@@ -531,6 +559,13 @@ func (ix *Index) runBatchCustom(ctx context.Context, keys []string, workers int,
 		return false
 	}
 	errs := make([]error, len(groups))
+	// servedOf[gi] >= 0 records a *partially served* group: the remote's
+	// admission control applied exactly that prefix of the frame's items
+	// and shed the rest, which the caller redrives individually below.
+	servedOf := make([]int, len(groups))
+	for gi := range servedOf {
+		servedOf[gi] = -1
+	}
 	replMsg := replicaWriteMsg(msg)
 	stopped := dht.RunBounded(ctx, len(groups), workers, func(gi int) {
 		g := groups[gi]
@@ -555,21 +590,39 @@ func (ix *Index) runBatchCustom(ctx context.Context, keys []string, workers int,
 			return
 		}
 		r := wire.NewReader(resp)
-		if count := int(r.Uvarint()); r.Err() != nil || count != len(g.items) {
+		count := int(r.Uvarint())
+		if r.Err() != nil || count > len(g.items) {
 			errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: bad response count", gmsg, g.addr)
 			return
 		}
-		for _, i := range g.items {
+		for _, i := range g.items[:count] {
 			if err := decodeItem(r, i); err != nil {
 				errs[gi] = fmt.Errorf("globalindex: batch 0x%02x at %s: %w", gmsg, g.addr, err)
 				return
 			}
 		}
-		if replMsg != 0 && ix.repl.factor > 1 {
-			// Write-through: the replica replay frame is the applied batch
-			// frame verbatim (same body layout, responsibility check
-			// skipped on the replica side).
-			ix.replicate(ctx, g.addr, replMsg, w.Bytes())
+		if count < len(g.items) {
+			// Batch-level partial shed: items apply in frame order, so the
+			// suffix provably never ran — safe to redrive even for the
+			// non-idempotent operations, and only the shed subset moves
+			// again.
+			servedOf[gi] = count
+		}
+		if replMsg != 0 && ix.repl.factor > 1 && count > 0 {
+			// Write-through: the replica replay frame is the *applied*
+			// batch frame (the full frame verbatim normally; re-encoded to
+			// the served prefix after a partial shed — replicas must not
+			// replay items the primary refused).
+			body := w.Bytes()
+			if count < len(g.items) {
+				pw := wire.NewWriter(64 * count)
+				pw.Uvarint(uint64(count))
+				for _, i := range g.items[:count] {
+					encodeItem(pw, i)
+				}
+				body = pw.Bytes()
+			}
+			ix.replicate(ctx, g.addr, replMsg, body)
 		}
 	})
 	if stopped != nil {
@@ -610,6 +663,20 @@ func (ix *Index) runBatchCustom(ctx context.Context, keys []string, workers int,
 		for _, i := range groups[gi].items {
 			if err := fallbackItem(i); err != nil {
 				return fmt.Errorf("globalindex: batch retry after %v: %w", gerr, err)
+			}
+		}
+	}
+	// Redrive the shed suffix of every partially-served frame through
+	// the per-item path — fresh lookups route each item to a copy that
+	// still has budget headroom (or to the same peer once its load
+	// drops). Only the shed subset moves again.
+	for gi, served := range servedOf {
+		if served < 0 {
+			continue
+		}
+		for _, i := range groups[gi].items[served:] {
+			if err := fallbackItem(i); err != nil {
+				return fmt.Errorf("globalindex: partial-shed redrive: %w", err)
 			}
 		}
 	}

@@ -1,0 +1,176 @@
+package globalindex
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+// recoveredMemory dresses a memory engine up as recovered-from-disk
+// state — what internal/storage produces after replaying its WAL and
+// snapshot — so the replication layer's delta-rejoin path can be
+// exercised without the filesystem.
+type recoveredMemory struct{ *Memory }
+
+func (recoveredMemory) Recovered() bool { return true }
+
+// populateRing stores count single-term keys through the write-through
+// path and returns them.
+func populateRing(t *testing.T, ix *Index, count int, tag string) []PutItem {
+	t.Helper()
+	var items []PutItem
+	for i := 0; i < count; i++ {
+		items = append(items, PutItem{
+			Terms: []string{fmt.Sprintf("%s%04d", tag, i)},
+			List:  &postings.List{Entries: []postings.Posting{post("src", uint32(i), float64(i%13)+1)}},
+			Bound: 10,
+		})
+	}
+	if _, err := ix.MultiPut(context.Background(), items, 4); err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+// joinWith attaches a fresh node (fixed ID) with the given engine to the
+// ring and stabilizes until it owns its range.
+func joinWith(t *testing.T, nodes []*dht.Node, net *transport.Mem, name string, engine StorageEngine) (*dht.Node, *Index) {
+	t.Helper()
+	d := transport.NewDispatcher()
+	ep := net.Endpoint(name, d.Serve)
+	joiner := dht.NewNode(ids.ID(0x7777777777777777), ep, d, dht.Options{})
+	jix := NewWithEngine(joiner, d, engine)
+	jix.EnableReplication(3)
+	if err := joiner.Join(context.Background(), nodes[0].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]*dht.Node(nil), nodes...), joiner)
+	for r := 0; r < 10; r++ {
+		for _, n := range all {
+			_ = n.Stabilize(context.Background())
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for _, n := range all {
+			_ = n.FixFingers(context.Background())
+		}
+	}
+	return joiner, jix
+}
+
+// TestDeltaRejoinTransfersOnlyChangedKeys is the tentpole's protocol
+// test: a joiner with recovered state and a persisted watermark must
+// migrate its range via the fingerprint manifest, fetching only the
+// entries it lacks (or that changed while it was down), while a cold
+// joiner pulls every owned entry — and both end up holding identical
+// content.
+func TestDeltaRejoinTransfersOnlyChangedKeys(t *testing.T) {
+	// Pass 1: a cold joiner, to learn the owned range and the baseline
+	// transfer cost.
+	nodes1, idxs1, net1 := replRing(t, 8, 3)
+	items := populateRing(t, idxs1[0], 150, "delta")
+	coldJoiner, coldIx := joinWith(t, nodes1, net1, "joiner", NewStore(0))
+	_, coldPulled := coldIx.PullTransferCounts()
+	ownedKeys := coldIx.Store().KeysInRange(coldJoiner.Predecessor().ID, coldJoiner.ID())
+	if coldPulled == 0 || len(ownedKeys) == 0 {
+		t.Fatalf("cold join pulled %d entries over %d owned keys; fixture too small", coldPulled, len(ownedKeys))
+	}
+
+	// Pass 2: identical ring (same seed), but the joiner "restarts" with
+	// the recovered slice of pass 1 minus a few entries — the writes it
+	// missed while down — and a persisted watermark.
+	nodes2, idxs2, net2 := replRing(t, 8, 3)
+	populateRing(t, idxs2[0], 150, "delta")
+	recovered := NewStore(0)
+	entries, probes, clock := coldIx.Store().(*Memory).ExportState()
+	missed := 3
+	if len(entries) <= missed {
+		t.Fatalf("recovered slice too small (%d entries)", len(entries))
+	}
+	recovered.RestoreState(entries[missed:], probes, clock)
+	recovered.SetWatermark(coldJoiner.Predecessor().ID, coldJoiner.ID())
+	// And one key that was deleted cluster-wide while the peer was down:
+	// it survives in the recovered slice but the live ring no longer has
+	// it — the delta pull must propagate the deletion, not resurrect it.
+	stale := ""
+	for i := 0; ; i++ {
+		if i > 100000 {
+			t.Fatal("no stale key found inside the joiner's range")
+		}
+		cand := fmt.Sprintf("stale%05d", i)
+		if ids.Between(ids.HashString(cand), coldJoiner.Predecessor().ID, coldJoiner.ID()) {
+			stale = cand
+			break
+		}
+	}
+	recovered.Put(stale, &postings.List{Entries: []postings.Posting{post("gone", 9, 1.0)}}, 10)
+	deltaJoiner, deltaIx := joinWith(t, nodes2, net2, "joiner", recoveredMemory{recovered})
+	if _, ok := deltaIx.Store().Peek(stale); ok {
+		t.Fatalf("key %q deleted during the downtime was resurrected by the delta rejoin", stale)
+	}
+
+	manifest, deltaPulled := deltaIx.PullTransferCounts()
+	if manifest == 0 {
+		t.Fatal("delta rejoin never walked the manifest — the cold path ran instead")
+	}
+	if deltaPulled >= coldPulled {
+		t.Fatalf("delta rejoin pulled %d entries, cold pulled %d — no transfer saved", deltaPulled, coldPulled)
+	}
+	if deltaPulled > int64(missed)+2 {
+		t.Fatalf("delta rejoin pulled %d entries for %d missed writes", deltaPulled, missed)
+	}
+	t.Logf("cold pulled %d, delta pulled %d over %d manifest pairs (%d owned keys)",
+		coldPulled, deltaPulled, manifest, len(ownedKeys))
+
+	// Both joiners must answer identically for every key they own.
+	for _, it := range items {
+		k := ids.KeyString(it.Terms)
+		if !deltaJoiner.Responsible(ids.HashString(k)) {
+			continue
+		}
+		dl, ddf, dok := deltaIx.Store().Export(k)
+		cl, cdf, cok := coldIx.Store().Export(k)
+		if dok != cok || ddf != cdf {
+			t.Fatalf("key %q diverged: delta (df=%d ok=%v) vs cold (df=%d ok=%v)", k, ddf, dok, cdf, cok)
+		}
+		if dok && string(dl.EncodeBytes()) != string(cl.EncodeBytes()) {
+			t.Fatalf("key %q content diverged after delta rejoin", k)
+		}
+	}
+
+	// Every key still resolves network-wide after the delta rejoin.
+	for _, it := range items {
+		_, found, _, err := idxs2[3].Get(context.Background(), it.Terms, 0, ReadPrimary)
+		if err != nil || !found {
+			t.Fatalf("get %v after delta rejoin: %v found=%v", it.Terms, err, found)
+		}
+	}
+}
+
+// TestEntryFingerprint pins the manifest digest: equal entries agree,
+// and any change to the list or the accumulated DF changes the
+// fingerprint.
+func TestEntryFingerprint(t *testing.T) {
+	a := &postings.List{Entries: []postings.Posting{post("x", 1, 2.0), post("x", 2, 1.0)}}
+	b := a.Clone()
+	if entryFingerprint(5, a) != entryFingerprint(5, b) {
+		t.Fatal("identical entries must fingerprint equal")
+	}
+	if entryFingerprint(5, a) == entryFingerprint(6, a) {
+		t.Fatal("a DF change must change the fingerprint")
+	}
+	b.Entries[0].Score = 9
+	if entryFingerprint(5, a) == entryFingerprint(5, b) {
+		t.Fatal("a content change must change the fingerprint")
+	}
+	c := a.Clone()
+	c.Truncated = true
+	if entryFingerprint(5, a) == entryFingerprint(5, c) {
+		t.Fatal("a truncation-mark change must change the fingerprint")
+	}
+}

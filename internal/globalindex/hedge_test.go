@@ -137,6 +137,46 @@ func TestShedThenRetryOnReplicaConverges(t *testing.T) {
 	}
 }
 
+// TestGetShedAtPrimaryFallsOverToReplica pins the single-key half of
+// shed handling: a primary that refuses a Get under admission control
+// provably never recorded the probe, so the read must fall over to the
+// replica chain instead of failing — the same escalation the batch
+// layer gets from retryProvablySafe. (The partial-shed redrive path
+// relies on this: a shed suffix redriven per-item must not die on the
+// same overloaded peer.)
+func TestGetShedAtPrimaryFallsOverToReplica(t *testing.T) {
+	nodes, idxs, disps, _, _ := hedgeRing(t, 8, 3)
+	reader := idxs[0]
+	terms := []string{"shed", "fallover"}
+	_, primaryIdx, want := putReplicated(t, nodes, idxs, terms)
+	// The write warmed the reader's replica-set cache (reader == writer).
+
+	disps[primaryIdx].SetAdmissionControl(1, 10*time.Second)
+	go func() {
+		_, _, _ = idxs[1].Node().Endpoint().Call(context.Background(), nodes[primaryIdx].Self().Addr, 0x7E, nil)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for disps[primaryIdx].Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall call never occupied the primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	l, found, _, err := reader.Get(ctx, terms, 0, ReadPrimary)
+	if err != nil {
+		t.Fatalf("Get with shedding primary: %v", err)
+	}
+	if !found || l.Len() != want.Len() {
+		t.Fatalf("fallover read returned found=%v len=%d, want %d postings", found, l.Len(), want.Len())
+	}
+	if sheds, _ := disps[primaryIdx].AdmissionStats(); sheds == 0 {
+		t.Fatal("the primary never shed — the fallover path was not exercised")
+	}
+}
+
 // TestHedgedReadWinsOverSlowPrimary pins the hedged read: with the key's
 // primary made slow, a hedged AnyReplica read returns the stored data
 // from a replica well before the primary would have answered, and —

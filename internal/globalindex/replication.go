@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dht"
 	"repro/internal/ids"
@@ -26,6 +27,16 @@ const (
 	MsgReplRemove uint8 = 0x22 // (n, n×key) -> n×removed
 	MsgPullRange  uint8 = 0x23 // (from, to) -> (n, n×(key, approxDF, list))
 	MsgReplSync   uint8 = 0x24 // (n, n×(key, approxDF, list)) -> n×storedLen
+	// MsgRangeManifest is the delta-rejoin companion of MsgPullRange: the
+	// same ring-ordered, paginated walk of a responsibility range, but
+	// shipping only (key, fingerprint) pairs — a fingerprint is a 64-bit
+	// digest of the entry's stored bytes — so a recovered peer can find
+	// the entries that changed while it was down without moving the
+	// posting lists themselves.
+	MsgRangeManifest uint8 = 0x25 // (from, to) -> (n, n×(key, fingerprint), more)
+	// MsgFetchEntries resolves a manifest diff: it fetches the full
+	// stored entries for an explicit key set.
+	MsgFetchEntries uint8 = 0x26 // (n, n×key) -> (n, n×(present, [approxDF, list]))
 )
 
 // replicator holds the replication state of one Index: the configured
@@ -38,6 +49,22 @@ type replicator struct {
 
 	mu      sync.Mutex
 	succsOf map[transport.Addr][]dht.Remote
+
+	// Rejoin transfer accounting, for the persistence experiments: how
+	// many full entries anti-entropy pulls moved into this store, and how
+	// many manifest (key, fingerprint) pairs the delta path inspected.
+	pulledKeys   atomic.Int64
+	manifestKeys atomic.Int64
+}
+
+// PullTransferCounts reports the anti-entropy transfer counters: pulled
+// is the number of full entries this index adopted from remote peers
+// during range pulls (cold or delta), manifest the number of cheap
+// (key, fingerprint) manifest pairs the delta path compared. Experiment
+// E12 reads them to quantify what WAL/snapshot recovery saves a
+// restarted peer.
+func (ix *Index) PullTransferCounts() (manifest, pulled int64) {
+	return ix.repl.manifestKeys.Load(), ix.repl.pulledKeys.Load()
 }
 
 // ReplicationFactor returns the configured replication factor (1 = no
@@ -72,6 +99,8 @@ func (ix *Index) registerReplicationHandlers(d *transport.Dispatcher) {
 	d.Handle(MsgReplRemove, ix.handleReplRemove)
 	d.Handle(MsgPullRange, ix.handlePullRange)
 	d.Handle(MsgReplSync, ix.handleReplSync)
+	d.Handle(MsgRangeManifest, ix.handleRangeManifest)
+	d.Handle(MsgFetchEntries, ix.handleFetchEntries)
 }
 
 func (ix *Index) handleReplPut(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
@@ -128,26 +157,7 @@ func (ix *Index) handlePullRange(_ context.Context, _ transport.Addr, _ uint8, b
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
-	keys := ix.store.KeysInRange(from, to)
-	more := false
-	if len(keys) > MaxBatchItems {
-		// A larger range is paginated: the puller resumes from the last
-		// returned key's hash (exclusive lower bound), so a page must end
-		// on a hash boundary — retreat the cut past any keys sharing the
-		// boundary hash, or resuming would skip the rest of the tie group.
-		cut := MaxBatchItems
-		for cut > 0 && ids.HashString(keys[cut-1]) == ids.HashString(keys[cut]) {
-			cut--
-		}
-		if cut == 0 {
-			// A whole page of one hash value cannot happen with a real
-			// 64-bit digest; if it somehow does, ship the raw page rather
-			// than loop forever.
-			cut = MaxBatchItems
-		}
-		keys = keys[:cut]
-		more = true
-	}
+	keys, more := pageRangeKeys(ix.store.KeysInRange(from, to))
 	w := wire.NewWriter(64 * len(keys))
 	w.Uvarint(uint64(len(keys)))
 	for _, key := range keys {
@@ -159,6 +169,87 @@ func (ix *Index) handlePullRange(_ context.Context, _ transport.Addr, _ uint8, b
 	}
 	w.Bool(more)
 	return MsgPullRange, w.Bytes(), nil
+}
+
+// pageRangeKeys caps one page of a ring-ordered range walk at the batch
+// bound. The puller resumes from the last returned key's hash (exclusive
+// lower bound), so a page must end on a hash boundary — the cut retreats
+// past any keys sharing the boundary hash, or resuming would skip the
+// rest of the tie group.
+func pageRangeKeys(keys []string) (page []string, more bool) {
+	if len(keys) <= MaxBatchItems {
+		return keys, false
+	}
+	cut := MaxBatchItems
+	for cut > 0 && ids.HashString(keys[cut-1]) == ids.HashString(keys[cut]) {
+		cut--
+	}
+	if cut == 0 {
+		// A whole page of one hash value cannot happen with a real 64-bit
+		// digest; if it somehow does, ship the raw page rather than loop
+		// forever.
+		cut = MaxBatchItems
+	}
+	return keys[:cut], true
+}
+
+// entryFingerprint digests one stored entry (its accumulated approximate
+// DF and the exact encoded list bytes) into the 64-bit value the range
+// manifest ships. Two peers holding byte-identical entries produce equal
+// fingerprints, so a recovered slice skips their transfer.
+func entryFingerprint(df int64, list *postings.List) uint64 {
+	w := wire.NewWriter(16 + 12*list.Len())
+	w.Varint(df)
+	list.Encode(w)
+	return uint64(ids.HashBytes(w.Bytes()))
+}
+
+func (ix *Index) handleRangeManifest(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	from := ids.ID(r.Uint64())
+	to := ids.ID(r.Uint64())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	keys, more := pageRangeKeys(ix.store.KeysInRange(from, to))
+	w := wire.NewWriter(16 * len(keys))
+	w.Uvarint(uint64(len(keys)))
+	for _, key := range keys {
+		list, df, ok := ix.store.Export(key)
+		if !ok {
+			list = &postings.List{}
+		}
+		w.String(key)
+		w.Uint64(entryFingerprint(df, list))
+	}
+	w.Bool(more)
+	return MsgRangeManifest, w.Bytes(), nil
+}
+
+func (ix *Index) handleFetchEntries(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	count, err := readBatchCount(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	keys := make([]string, count)
+	for i := 0; i < count; i++ {
+		keys[i] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	w := wire.NewWriter(64 * count)
+	w.Uvarint(uint64(count))
+	for _, key := range keys {
+		list, df, ok := ix.store.Export(key)
+		w.Bool(ok)
+		if ok {
+			w.Uvarint(uint64(df))
+			list.Encode(w)
+		}
+	}
+	return MsgFetchEntries, w.Bytes(), nil
 }
 
 func (ix *Index) handleReplSync(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
@@ -264,6 +355,49 @@ func (ix *Index) cachedReplicaTargets(primary transport.Addr) []dht.Remote {
 	return ix.repl.succsOf[primary]
 }
 
+// CallFallover issues msg to primary and — when the primary is
+// unreachable and replication is on — retries the identical frame on
+// the primary's replicas: the cached replica set first (the only
+// routing information that survives into the churn window), then a
+// ring walk past the dead node once stabilization has begun repairing
+// the ring. The first successful answer wins; if every copy fails, the
+// primary's original error is returned. Sibling per-key services
+// (ranking.Replicator) read through it.
+func (ix *Index) CallFallover(ctx context.Context, primary dht.Remote, msg uint8, body []byte) ([]byte, error) {
+	_, resp, err := ix.node.Endpoint().Call(ctx, primary.Addr, msg, body)
+	if err == nil || ix.repl.factor <= 1 || !errors.Is(err, transport.ErrUnreachable) {
+		return resp, err
+	}
+	tried := map[transport.Addr]bool{primary.Addr: true}
+	for _, t := range ix.cachedReplicaTargets(primary.Addr) {
+		if t.IsZero() || tried[t.Addr] {
+			continue
+		}
+		tried[t.Addr] = true
+		if _, r2, err2 := ix.node.Endpoint().Call(ctx, t.Addr, msg, body); err2 == nil {
+			return r2, nil
+		}
+	}
+	cur := primary
+	for i := 1; i < ix.repl.factor; i++ {
+		next, _, lerr := ix.node.Lookup(ctx, cur.ID+1)
+		if lerr != nil {
+			return nil, err
+		}
+		if next.IsZero() || next.Addr == primary.Addr {
+			return nil, err // walked back around to the dead node
+		}
+		if !tried[next.Addr] {
+			tried[next.Addr] = true
+			if _, r2, err2 := ix.node.Endpoint().Call(ctx, next.Addr, msg, body); err2 == nil {
+				return r2, nil
+			}
+		}
+		cur = next
+	}
+	return nil, err
+}
+
 // selectReplicas picks the first want distinct successors of primary,
 // excluding the primary itself.
 func selectReplicas(primary transport.Addr, succs []dht.Remote, want int) []dht.Remote {
@@ -308,14 +442,18 @@ func replicaWriteMsg(msg uint8) uint8 {
 	}
 }
 
-// getFromReplicas serves a read whose primary is unreachable from the
-// replica chain. It first tries the cached replica set (learned while the
-// primary was alive), then walks the ring past the dead node
-// (Lookup(prev.ID+1) resolves the next live owner once stabilization has
-// routed around the failure). ok reports whether a replica answered; a
-// replica's miss is returned as an authoritative absence.
+// getFromReplicas serves a read whose primary is unreachable — or
+// refused it under admission control — from the replica chain. It first
+// tries the cached replica set (learned while the primary was alive),
+// then walks the ring past the dead node (Lookup(prev.ID+1) resolves
+// the next live owner once stabilization has routed around the
+// failure). Both qualifying causes prove the primary never recorded the
+// probe, so retrying elsewhere cannot double-apply it. ok reports
+// whether a replica answered; a replica's miss is returned as an
+// authoritative absence.
 func (ix *Index) getFromReplicas(ctx context.Context, key string, maxResults int, primary dht.Remote, cause error) (list *postings.List, found, wantIndex, ok bool) {
-	if ix.repl.factor <= 1 || !errors.Is(cause, transport.ErrUnreachable) {
+	if ix.repl.factor <= 1 ||
+		!(errors.Is(cause, transport.ErrUnreachable) || errors.Is(cause, transport.ErrShed)) {
 		return nil, false, false, false
 	}
 	tried := map[transport.Addr]bool{primary.Addr: true}
@@ -392,11 +530,49 @@ func (ix *Index) onRingChange(ch dht.RingChange) {
 	if ch.PredChanged && !ch.NewPred.IsZero() {
 		ix.pullOwnedRange()
 		ix.pushOwnedRange()
+		ix.recordWatermark()
 		return
 	}
 	if ch.SuccsChanged {
 		ix.pushOwnedRange()
+		ix.recordWatermark()
 	}
+}
+
+// recordWatermark persists the current responsibility range (pred, self]
+// into the storage engine after an anti-entropy pass. A durable engine
+// journals it, which is what lets a restarted peer prove "my recovered
+// slice covers this ring interval" and rejoin with a delta pull.
+func (ix *Index) recordWatermark() {
+	pred := ix.node.Predecessor()
+	if pred.IsZero() {
+		return
+	}
+	ix.store.SetWatermark(pred.ID, ix.node.Self().ID)
+}
+
+// AntiEntropySweep runs one background anti-entropy pass: the owned
+// range (pred, self] is re-replicated to the current successors via
+// idempotent ReplSync frames, repairing replica divergence left by
+// missed best-effort write-throughs — without waiting for a ring-change
+// event. It returns the number of keys pushed (0 with replication off).
+// Long-running peers call it on the Config.AntiEntropyInterval cadence.
+func (ix *Index) AntiEntropySweep() int {
+	if ix.repl.factor <= 1 {
+		return 0
+	}
+	n := ix.pushOwnedRange()
+	ix.recordWatermark()
+	return n
+}
+
+// ReplicateFrame ships an already-applied write frame to every replica
+// of primary — the write-through path the global index uses for its own
+// writes, exported so sibling per-key services (the ranking layer's
+// distributed statistics) replicate through the same cached replica
+// sets. Best effort, like every write-through.
+func (ix *Index) ReplicateFrame(ctx context.Context, primary transport.Addr, msg uint8, body []byte) {
+	ix.replicate(ctx, primary, msg, body)
 }
 
 // pullOwnedRange fetches the entries of this node's responsibility range
@@ -413,6 +589,22 @@ func (ix *Index) pullOwnedRange() {
 	succ := ix.node.Successor()
 	if pred.IsZero() || succ.IsZero() || succ.Addr == self.Addr {
 		return
+	}
+	if ix.store.Recovered() {
+		// Delta rejoin: the engine replayed a WAL/snapshot slice whose
+		// persisted watermark proves it covered a range ending at this
+		// node's ring position — diff fingerprints against the successor
+		// and move only what changed while we were down. A watermark
+		// ending elsewhere (a data directory restored onto a different
+		// node identity) falls back to the cold pull: the recovered
+		// entries are still merged state, but they prove nothing about
+		// this position's range. The watermark's lower bound is
+		// informational: a predecessor that moved during the downtime
+		// only widens the diff (missing keys fetch like any other).
+		if _, wto, ok := ix.store.Watermark(); ok && wto == self.ID {
+			ix.pullOwnedRangeDelta(ctx, pred.ID, self, succ)
+			return
+		}
 	}
 	from := pred.ID
 	for page := 0; page < 1024; page++ { // hard stop against protocol bugs
@@ -434,6 +626,7 @@ func (ix *Index) pullOwnedRange() {
 		}
 		for i, key := range keys {
 			ix.store.AdoptReplica(key, lists[i], dfs[i])
+			ix.repl.pulledKeys.Add(1)
 		}
 		if !more || len(keys) == 0 {
 			return
@@ -446,24 +639,140 @@ func (ix *Index) pullOwnedRange() {
 	}
 }
 
+// pullOwnedRangeDelta is the recovered peer's rejoin pull: it walks the
+// successor's (from, self] range as a manifest of (key, fingerprint)
+// pairs, compares each against the recovered local entry, and fetches
+// full entries only for keys that are missing locally or whose stored
+// bytes diverged — the writes that landed at the successor while this
+// peer was down. Same pagination and best-effort semantics as the full
+// pull.
+func (ix *Index) pullOwnedRangeDelta(ctx context.Context, from ids.ID, self, succ dht.Remote) {
+	for page := 0; page < 1024; page++ { // hard stop against protocol bugs
+		w := wire.NewWriter(16)
+		w.Uint64(uint64(from))
+		w.Uint64(uint64(self.ID))
+		_, resp, err := ix.node.Endpoint().Call(ctx, succ.Addr, MsgRangeManifest, w.Bytes())
+		if err != nil {
+			return // best effort; the next ring change retries
+		}
+		r := wire.NewReader(resp)
+		count, err := readBatchCount(r)
+		if err != nil {
+			return
+		}
+		keys := make([]string, count)
+		fps := make([]uint64, count)
+		for i := 0; i < count; i++ {
+			keys[i] = r.String()
+			fps[i] = r.Uint64()
+		}
+		more := r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		ix.repl.manifestKeys.Add(int64(count))
+		remote := make(map[string]bool, count)
+		var need []string
+		for i, key := range keys {
+			remote[key] = true
+			list, df, ok := ix.store.Export(key)
+			if !ok || entryFingerprint(df, list) != fps[i] {
+				need = append(need, key)
+			}
+		}
+		if !ix.fetchEntries(ctx, succ, need) {
+			return
+		}
+		// Deletions propagate too: a key this peer recovered from disk
+		// but the successor (the range's primary throughout the
+		// downtime) no longer holds was removed cluster-wide while the
+		// peer was down — keeping it would resurrect withdrawn
+		// postings a cold rejoin would never see. The page's interval
+		// ends on a hash boundary, so the local sweep is exact.
+		pageTo := self.ID
+		if more && count > 0 {
+			pageTo = ids.HashString(keys[count-1])
+		}
+		for _, key := range ix.store.KeysInRange(from, pageTo) {
+			if !remote[key] {
+				ix.store.Remove(key)
+			}
+		}
+		if !more || count == 0 {
+			return
+		}
+		next := ids.HashString(keys[count-1])
+		if next == self.ID || next == from {
+			return
+		}
+		from = next
+	}
+}
+
+// fetchEntries pulls the named full entries from succ (chunked at the
+// batch bound) and merges them in. It reports whether every chunk was
+// transferred and decoded.
+func (ix *Index) fetchEntries(ctx context.Context, succ dht.Remote, need []string) bool {
+	for start := 0; start < len(need); start += MaxBatchItems {
+		end := start + MaxBatchItems
+		if end > len(need) {
+			end = len(need)
+		}
+		chunk := need[start:end]
+		w := wire.NewWriter(32 * len(chunk))
+		w.Uvarint(uint64(len(chunk)))
+		for _, key := range chunk {
+			w.String(key)
+		}
+		_, resp, err := ix.node.Endpoint().Call(ctx, succ.Addr, MsgFetchEntries, w.Bytes())
+		if err != nil {
+			return false
+		}
+		r := wire.NewReader(resp)
+		count, err := readBatchCount(r)
+		if err != nil || count != len(chunk) {
+			return false
+		}
+		for _, key := range chunk {
+			present := r.Bool()
+			if r.Err() != nil {
+				return false
+			}
+			if !present {
+				continue // removed at the successor since the manifest page
+			}
+			df := int64(r.Uvarint())
+			list, err := postings.Decode(r)
+			if err != nil {
+				return false
+			}
+			ix.store.AdoptReplica(key, list, df)
+			ix.repl.pulledKeys.Add(1)
+		}
+	}
+	return true
+}
+
 // pushOwnedRange re-replicates the entries of this node's responsibility
 // range (pred, self] to its current first R−1 successors, chunked at the
 // batch bound. Merging on the receiver makes repeated pushes idempotent.
-func (ix *Index) pushOwnedRange() {
+// It returns the number of owned keys shipped to the replica set.
+func (ix *Index) pushOwnedRange() int {
 	ctx := context.Background()
 	self := ix.node.Self()
 	pred := ix.node.Predecessor()
 	if pred.IsZero() {
-		return
+		return 0
 	}
 	keys := ix.store.KeysInRange(pred.ID, self.ID)
 	if len(keys) == 0 {
-		return
+		return 0
 	}
 	targets := selectReplicas(self.Addr, ix.node.Successors(), ix.repl.factor-1)
 	if len(targets) == 0 {
-		return
+		return 0
 	}
+	pushed := 0
 	for start := 0; start < len(keys); start += MaxBatchItems {
 		end := start + MaxBatchItems
 		if end > len(keys) {
@@ -492,7 +801,9 @@ func (ix *Index) pushOwnedRange() {
 		for _, t := range targets {
 			_, _, _ = ix.node.Endpoint().Call(ctx, t.Addr, MsgReplSync, w.Bytes())
 		}
+		pushed += len(items)
 	}
+	return pushed
 }
 
 // ReadPolicy selects which copy of an entry serves a read — the

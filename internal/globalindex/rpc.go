@@ -29,16 +29,28 @@ const (
 // resolver and coalesce keys per responsible peer.
 type Index struct {
 	node     *dht.Node
-	store    *Store
+	store    StorageEngine
+	disp     *transport.Dispatcher // for batch-quota consultation (partial sheds)
 	resolver *dht.Resolver
 	repl     replicator
 	lat      *loadstat.Tracker // per-peer latency EWMAs fed by timedCall
 }
 
-// New creates the component for node, registering its handlers on d.
-// Replication is off by default (factor 1); see EnableReplication.
+// New creates the component for node with the default in-memory engine,
+// registering its handlers on d. Replication is off by default (factor
+// 1); see EnableReplication.
 func New(node *dht.Node, d *transport.Dispatcher) *Index {
-	ix := &Index{node: node, store: NewStore(0), resolver: node.NewResolver(), lat: loadstat.NewTracker()}
+	return NewWithEngine(node, d, NewStore(0))
+}
+
+// NewWithEngine creates the component over an explicit storage engine —
+// the durable internal/storage engine, or any other StorageEngine
+// implementation. A nil engine selects the default memory engine.
+func NewWithEngine(node *dht.Node, d *transport.Dispatcher, engine StorageEngine) *Index {
+	if engine == nil {
+		engine = NewStore(0)
+	}
+	ix := &Index{node: node, store: engine, disp: d, resolver: node.NewResolver(), lat: loadstat.NewTracker()}
 	ix.repl.factor = 1
 	d.Handle(MsgPut, ix.handlePut)
 	d.Handle(MsgAppend, ix.handleAppend)
@@ -51,13 +63,20 @@ func New(node *dht.Node, d *transport.Dispatcher) *Index {
 	d.Handle(MsgMultiGet, ix.handleMultiGet)
 	d.Handle(MsgMultiGetAny, ix.handleMultiGet)
 	d.Handle(MsgMultiKeyInfo, ix.handleMultiKeyInfo)
+	// The Multi frames shed at item granularity under admission control:
+	// an under-budget frame is served as a prefix instead of refused
+	// whole, and the client redrives only the shed suffix.
+	for _, m := range []uint8{MsgMultiPut, MsgMultiAppend, MsgMultiGet, MsgMultiGetAny, MsgMultiKeyInfo} {
+		d.SetPartialShed(m)
+	}
 	ix.registerReplicationHandlers(d)
 	return ix
 }
 
-// Store exposes the peer's local slice of the global index (the QDI layer
-// and the monitoring UI read it).
-func (ix *Index) Store() *Store { return ix.store }
+// Store exposes the peer's local slice of the global index — the
+// storage engine behind the protocol layers (the QDI layer and the
+// monitoring UI read it).
+func (ix *Index) Store() StorageEngine { return ix.store }
 
 // Node returns the underlying DHT node.
 func (ix *Index) Node() *dht.Node { return ix.node }

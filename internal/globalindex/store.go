@@ -26,9 +26,11 @@ import (
 // lists through the same machinery.
 const HardCap = 1 << 20
 
-// Store is one peer's slice of the global index. It is safe for
-// concurrent use.
-type Store struct {
+// Memory is the in-RAM storage engine — the default, and the reference
+// implementation of StorageEngine. It is safe for concurrent use.
+// Nothing survives a restart; see internal/storage for the durable
+// engine that wraps a Memory behind a write-ahead log and snapshots.
+type Memory struct {
 	mu      sync.RWMutex
 	entries map[string]*postings.List
 
@@ -48,7 +50,17 @@ type Store struct {
 	// activation, when set (by the QDI layer), decides whether a probe of
 	// a missing key should ask the querying peer to index it on demand.
 	activation func(key string, ks KeyStats) bool
+
+	// Responsibility watermark: the ring interval this slice covered when
+	// it was last known stable. The memory engine only ever holds it in
+	// RAM — it exists so durable engines wrapping a Memory can journal it.
+	wmFrom, wmTo ids.ID
+	wmSet        bool
 }
+
+// Store is the historical name of the memory engine, kept so existing
+// callers and tests compile unchanged.
+type Store = Memory
 
 // KeyStats is the usage record of one key.
 type KeyStats struct {
@@ -57,13 +69,13 @@ type KeyStats struct {
 	Present   bool    // whether the key was indexed at last probe
 }
 
-// NewStore returns an empty store tracking at most maxTracked key-usage
-// records (0 means the 4096 default).
-func NewStore(maxTracked int) *Store {
+// NewStore returns an empty memory engine tracking at most maxTracked
+// key-usage records (0 means the 4096 default).
+func NewStore(maxTracked int) *Memory {
 	if maxTracked <= 0 {
 		maxTracked = 4096
 	}
-	return &Store{
+	return &Memory{
 		entries:    make(map[string]*postings.List),
 		approxDF:   make(map[string]int64),
 		probes:     make(map[string]*KeyStats),
@@ -73,7 +85,7 @@ func NewStore(maxTracked int) *Store {
 
 // Put replaces the list stored under key, truncating to bound (and to the
 // hard cap). It returns the stored length.
-func (s *Store) Put(key string, list *postings.List, bound int) int {
+func (s *Memory) Put(key string, list *postings.List, bound int) int {
 	if bound <= 0 || bound > HardCap {
 		bound = HardCap
 	}
@@ -96,7 +108,7 @@ func (s *Store) Put(key string, list *postings.List, bound int) int {
 // for HDK's frequency test and (b) mark lists that are incomplete.
 // announcedDF below the shipped length is corrected upward. It returns
 // the resulting stored length.
-func (s *Store) Append(key string, list *postings.List, bound, announcedDF int) int {
+func (s *Memory) Append(key string, list *postings.List, bound, announcedDF int) int {
 	if bound <= 0 || bound > HardCap {
 		bound = HardCap
 	}
@@ -124,7 +136,7 @@ func (s *Store) Append(key string, list *postings.List, bound, announcedDF int) 
 // SetActivationPolicy installs the QDI layer's on-demand indexing
 // predicate: given a missing key's usage statistics, should the querying
 // peer be asked to index it? Passing nil disables activation.
-func (s *Store) SetActivationPolicy(f func(key string, ks KeyStats) bool) {
+func (s *Memory) SetActivationPolicy(f func(key string, ks KeyStats) bool) {
 	s.mu.Lock()
 	s.activation = f
 	s.mu.Unlock()
@@ -135,7 +147,7 @@ func (s *Store) SetActivationPolicy(f func(key string, ks KeyStats) bool) {
 // recorded in the usage statistics either way. wantIndex is the QDI
 // activation signal: true when the key is missing, popular, and the
 // activation policy asks the caller to index it on demand.
-func (s *Store) Get(key string, maxResults int) (list *postings.List, found, wantIndex bool) {
+func (s *Memory) Get(key string, maxResults int) (list *postings.List, found, wantIndex bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur, ok := s.entries[key]
@@ -158,7 +170,7 @@ func (s *Store) Get(key string, maxResults int) (list *postings.List, found, wan
 
 // Peek returns the stored list without touching usage statistics
 // (monitoring and tests).
-func (s *Store) Peek(key string) (*postings.List, bool) {
+func (s *Memory) Peek(key string) (*postings.List, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cur, ok := s.entries[key]
@@ -169,7 +181,7 @@ func (s *Store) Peek(key string) (*postings.List, bool) {
 }
 
 // Remove deletes the key. It reports whether the key was present.
-func (s *Store) Remove(key string) bool {
+func (s *Memory) Remove(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.entries[key]; !ok {
@@ -183,7 +195,7 @@ func (s *Store) Remove(key string) bool {
 // ApproxDF returns the approximate global document frequency of key (the
 // number of postings ever pushed for it, pre-truncation) and whether the
 // key is present.
-func (s *Store) ApproxDF(key string) (int64, bool) {
+func (s *Memory) ApproxDF(key string) (int64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	_, present := s.entries[key]
@@ -198,7 +210,7 @@ func (s *Store) ApproxDF(key string) (int64, bool) {
 // it onward. Ring order is what makes the pull protocol resumable — a
 // response capped at the batch bound continues from the last returned
 // key's position.
-func (s *Store) KeysInRange(from, to ids.ID) []string {
+func (s *Memory) KeysInRange(from, to ids.ID) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	type keyPos struct {
@@ -227,7 +239,7 @@ func (s *Store) KeysInRange(from, to ids.ID) []string {
 // Export atomically snapshots one entry for replication transfer: the
 // stored list (with its truncation mark) and the accumulated approximate
 // document frequency.
-func (s *Store) Export(key string) (list *postings.List, approxDF int64, ok bool) {
+func (s *Memory) Export(key string) (list *postings.List, approxDF int64, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cur, ok := s.entries[key]
@@ -243,7 +255,7 @@ func (s *Store) Export(key string) (list *postings.List, approxDF int64, ok bool
 // becomes the larger of the two accumulations — both idempotent, so
 // repeated synchronization passes converge instead of double-counting.
 // It returns the resulting stored length.
-func (s *Store) AdoptReplica(key string, list *postings.List, approxDF int64) int {
+func (s *Memory) AdoptReplica(key string, list *postings.List, approxDF int64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur, ok := s.entries[key]
@@ -263,7 +275,7 @@ func (s *Store) AdoptReplica(key string, list *postings.List, approxDF int64) in
 }
 
 // Keys returns all stored keys, sorted.
-func (s *Store) Keys() []string {
+func (s *Memory) Keys() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.entries))
@@ -282,7 +294,7 @@ type Stats struct {
 }
 
 // Stats computes current storage statistics.
-func (s *Store) Stats() Stats {
+func (s *Memory) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{Keys: len(s.entries)}
@@ -294,7 +306,7 @@ func (s *Store) Stats() Stats {
 }
 
 // recordProbeLocked updates usage statistics for a key probe.
-func (s *Store) recordProbeLocked(key string, present bool) {
+func (s *Memory) recordProbeLocked(key string, present bool) {
 	s.clock++
 	ks, ok := s.probes[key]
 	if !ok {
@@ -310,7 +322,7 @@ func (s *Store) recordProbeLocked(key string, present bool) {
 }
 
 // evictColdestLocked drops the least recently probed record.
-func (s *Store) evictColdestLocked() {
+func (s *Memory) evictColdestLocked() {
 	var coldest string
 	var coldestTime int64 = 1<<63 - 1
 	for k, ks := range s.probes {
@@ -324,7 +336,7 @@ func (s *Store) evictColdestLocked() {
 }
 
 // Popularity returns the usage record for key (zero value if untracked).
-func (s *Store) Popularity(key string) KeyStats {
+func (s *Memory) Popularity(key string) KeyStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if ks, ok := s.probes[key]; ok {
@@ -336,7 +348,7 @@ func (s *Store) Popularity(key string) KeyStats {
 // PopularAbsentKeys returns keys probed at least minCount times that are
 // not currently indexed — the QDI indexing candidates — most popular
 // first.
-func (s *Store) PopularAbsentKeys(minCount float64) []string {
+func (s *Memory) PopularAbsentKeys(minCount float64) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	type kc struct {
@@ -367,7 +379,7 @@ func (s *Store) PopularAbsentKeys(minCount float64) []string {
 
 // ColdIndexedKeys returns indexed keys whose decayed popularity has
 // fallen below maxCount — the QDI eviction candidates — coldest first.
-func (s *Store) ColdIndexedKeys(maxCount float64) []string {
+func (s *Memory) ColdIndexedKeys(maxCount float64) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	type kc struct {
@@ -400,7 +412,7 @@ func (s *Store) ColdIndexedKeys(maxCount float64) []string {
 // Decay multiplies every probe count by factor (0 < factor < 1), the
 // aging mechanism that lets QDI track the *current* query distribution.
 // Records that decay below 0.01 are dropped.
-func (s *Store) Decay(factor float64) {
+func (s *Memory) Decay(factor float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for k, ks := range s.probes {
@@ -412,8 +424,84 @@ func (s *Store) Decay(factor float64) {
 }
 
 // TrackedKeys returns the number of usage records currently held.
-func (s *Store) TrackedKeys() int {
+func (s *Memory) TrackedKeys() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.probes)
+}
+
+// Watermark returns the recorded responsibility watermark; see
+// StorageEngine.Watermark.
+func (s *Memory) Watermark() (from, to ids.ID, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wmFrom, s.wmTo, s.wmSet
+}
+
+// SetWatermark records the responsibility watermark (RAM only — the
+// memory engine forgets it on restart, which is exactly what makes a
+// memory-engine rejoin cold).
+func (s *Memory) SetWatermark(from, to ids.ID) {
+	s.mu.Lock()
+	s.wmFrom, s.wmTo, s.wmSet = from, to, true
+	s.mu.Unlock()
+}
+
+// Recovered always reports false: a memory engine never restores state.
+func (s *Memory) Recovered() bool { return false }
+
+// Close is a no-op for the memory engine.
+func (s *Memory) Close() error { return nil }
+
+// EntryState is one stored entry as captured by ExportState: the key,
+// its accumulated approximate document frequency, and the stored list.
+type EntryState struct {
+	Key      string
+	ApproxDF int64
+	List     *postings.List
+}
+
+// ProbeState is one usage record as captured by ExportState.
+type ProbeState struct {
+	Key   string
+	Stats KeyStats
+}
+
+// ExportState captures the engine's complete state in deterministic
+// (key-sorted) order — the durable engine's snapshot writer consumes it.
+// The returned lists are deep copies.
+func (s *Memory) ExportState() (entries []EntryState, probes []ProbeState, clock int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries = make([]EntryState, 0, len(s.entries))
+	for k, l := range s.entries {
+		entries = append(entries, EntryState{Key: k, ApproxDF: s.approxDF[k], List: l.Clone()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	probes = make([]ProbeState, 0, len(s.probes))
+	for k, ks := range s.probes {
+		probes = append(probes, ProbeState{Key: k, Stats: *ks})
+	}
+	sort.Slice(probes, func(i, j int) bool { return probes[i].Key < probes[j].Key })
+	return entries, probes, s.clock
+}
+
+// RestoreState replaces the engine's state wholesale with a snapshot
+// produced by ExportState — the durable engine's recovery path. Incoming
+// lists are deep-copied, so the caller may keep its buffers.
+func (s *Memory) RestoreState(entries []EntryState, probes []ProbeState, clock int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*postings.List, len(entries))
+	s.approxDF = make(map[string]int64, len(entries))
+	for _, e := range entries {
+		s.entries[e.Key] = e.List.Clone()
+		s.approxDF[e.Key] = e.ApproxDF
+	}
+	s.probes = make(map[string]*KeyStats, len(probes))
+	for _, p := range probes {
+		ks := p.Stats
+		s.probes[p.Key] = &ks
+	}
+	s.clock = clock
 }

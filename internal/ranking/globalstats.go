@@ -29,17 +29,59 @@ func StatsKey(term string) ids.ID { return ids.HashString("\x00stats\x00" + term
 // CollectionKey returns the ring position of the collection counters.
 func CollectionKey() ids.ID { return ids.HashString(collectionKeyString) }
 
+// Replicator is the slice of the global-index replication layer the
+// statistics service borrows for write-through: it knows where a
+// primary's replicas live (the cached successor sets) and ships an
+// already-applied frame to them best-effort. *globalindex.Index
+// implements it; the indirection avoids an import the ranking layer
+// does not otherwise need.
+type Replicator interface {
+	// ReplicationFactor returns the configured factor R (1 = off).
+	ReplicationFactor() int
+	// ReplicateFrame replays msg/body on every replica of primary.
+	ReplicateFrame(ctx context.Context, primary transport.Addr, msg uint8, body []byte)
+	// CallFallover issues msg to primary, retrying the frame on the
+	// primary's replicas (cached set first, then a ring walk) when the
+	// primary is unreachable.
+	CallFallover(ctx context.Context, primary dht.Remote, msg uint8, body []byte) ([]byte, error)
+}
+
 // GlobalStats is the layer-4 distributed ranking component: it maintains
 // this peer's slice of the global statistics (term document frequencies
 // and collection counters for the keys hashed onto it) and gives the
 // query side access to network-wide statistics.
+//
+// With replication enabled (EnableReplication), every statistics update
+// a publisher applies at a responsible peer is replayed on that peer's
+// R−1 ring successors through the global index's write-through path, and
+// a statistics fetch whose primary is unreachable walks the same
+// successor chain — so churn no longer silently zeroes BM25 document
+// frequencies until the next republish.
 type GlobalStats struct {
 	node *dht.Node
+	repl Replicator // nil until EnableReplication
 
 	mu       sync.Mutex
 	df       map[string]int64
 	numDocs  int64
 	totalLen int64
+}
+
+// EnableReplication turns on statistics write-through and read fallover
+// using the global index's replication machinery. Call once during peer
+// assembly, before the node serves traffic; a factor <= 1 replicator
+// leaves behaviour unchanged.
+func (g *GlobalStats) EnableReplication(r Replicator) { g.repl = r }
+
+// replicationFactor returns the effective factor (1 = off).
+func (g *GlobalStats) replicationFactor() int {
+	if g.repl == nil {
+		return 1
+	}
+	if f := g.repl.ReplicationFactor(); f > 1 {
+		return f
+	}
+	return 1
 }
 
 // NewGlobalStats creates the service for node and registers its handlers
@@ -170,6 +212,7 @@ func (g *GlobalStats) publish(ctx context.Context, terms []string, docLen int, s
 		if _, _, err := g.node.Endpoint().Call(ctx, addr, MsgStatsUpdate, w.Bytes()); err != nil {
 			return err
 		}
+		g.writeThrough(ctx, addr, w.Bytes())
 	}
 	if _, ok := groups[collPeer.Addr]; !ok {
 		w := wire.NewWriter(16)
@@ -179,8 +222,20 @@ func (g *GlobalStats) publish(ctx context.Context, terms []string, docLen int, s
 		if _, _, err := g.node.Endpoint().Call(ctx, collPeer.Addr, MsgStatsUpdate, w.Bytes()); err != nil {
 			return err
 		}
+		g.writeThrough(ctx, collPeer.Addr, w.Bytes())
 	}
 	return nil
+}
+
+// writeThrough replays an applied statistics-update frame on the
+// primary's replicas. Deltas are not idempotent, so — unlike index
+// entries — a replica never receives the same frame twice: exactly one
+// replay per applied primary write, and a dropped replay is repaired
+// only by the next republish (the same contract the primary itself has).
+func (g *GlobalStats) writeThrough(ctx context.Context, primary transport.Addr, body []byte) {
+	if g.replicationFactor() > 1 {
+		g.repl.ReplicateFrame(ctx, primary, MsgStatsUpdate, body)
+	}
 }
 
 // Fetch gathers network-wide statistics for the given terms plus the
@@ -189,12 +244,14 @@ func (g *GlobalStats) Fetch(ctx context.Context, terms []string) (*FixedStats, e
 	out := &FixedStats{DF: make(map[string]int64, len(terms))}
 
 	groups := make(map[transport.Addr][]string)
+	remotes := make(map[transport.Addr]dht.Remote)
 	for _, t := range terms {
 		r, _, err := g.node.Lookup(ctx, StatsKey(t))
 		if err != nil {
 			return nil, fmt.Errorf("ranking: stats fetch %q: %w", t, err)
 		}
 		groups[r.Addr] = append(groups[r.Addr], t)
+		remotes[r.Addr] = r
 	}
 	collPeer, _, err := g.node.Lookup(ctx, CollectionKey())
 	if err != nil {
@@ -203,12 +260,13 @@ func (g *GlobalStats) Fetch(ctx context.Context, terms []string) (*FixedStats, e
 	if _, ok := groups[collPeer.Addr]; !ok {
 		groups[collPeer.Addr] = nil
 	}
+	remotes[collPeer.Addr] = collPeer
 
 	for addr, ts := range groups {
 		w := wire.NewWriter(128)
 		w.StringSlice(ts)
 		w.Bool(addr == collPeer.Addr)
-		_, resp, err := g.node.Endpoint().Call(ctx, addr, MsgStatsQuery, w.Bytes())
+		resp, err := g.queryWithFallover(ctx, remotes[addr], w.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("ranking: stats query %s: %w", addr, err)
 		}
@@ -235,4 +293,17 @@ func (g *GlobalStats) Fetch(ctx context.Context, terms []string) (*FixedStats, e
 		}
 	}
 	return out, nil
+}
+
+// queryWithFallover issues one MsgStatsQuery to the primary; with
+// replication on, the query rides the index's shared read-fallover
+// path (Replicator.CallFallover), so a dead primary's replicas — kept
+// warm by write-through — answer for its statistics slice during the
+// churn window.
+func (g *GlobalStats) queryWithFallover(ctx context.Context, primary dht.Remote, body []byte) ([]byte, error) {
+	if g.replicationFactor() > 1 {
+		return g.repl.CallFallover(ctx, primary, MsgStatsQuery, body)
+	}
+	_, resp, err := g.node.Endpoint().Call(ctx, primary.Addr, MsgStatsQuery, body)
+	return resp, err
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/postings"
 	"repro/internal/qdi"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -1204,5 +1207,203 @@ func RunE11(scale Scale) (*metrics.Table, error) {
 	t.AddRow("doomed requests executed, admission on", doomedOn)
 	t.AddRow("read p99 ms, any-replica unhedged", p99Unhedged)
 	t.AddRow("read p99 ms, any-replica hedged", p99Hedged)
+	return t, nil
+}
+
+// e12Trial runs one arm of the restart experiment: an R=3 network is
+// published, a pre-kill reference pass is recorded, 20% of the peers
+// are killed, the ring repairs while fresh keys keep being written into
+// the dead peers' ranges, and the victims then restart — cold (memory
+// engines, persistent=false) or from their durable WAL/snapshot state
+// (persistent=true) — and rejoin. Returned: the full-entry transfers
+// and manifest pairs the restarted peers' anti-entropy pulls moved,
+// and the post-restart success and recall against the pre-kill
+// reference.
+func e12Trial(coll *corpus.Collection, queries []corpus.Query, peers, kill int, hdkCfg hdk.Config, persistent bool) (pulled, manifest int64, success, recall float64, err error) {
+	ctx := context.Background()
+	var root string
+	var engines []globalindex.StorageEngine
+	engineFor := func(i int) (globalindex.StorageEngine, error) {
+		if !persistent {
+			return nil, nil
+		}
+		return storage.Open(filepath.Join(root, fmt.Sprintf("peer%03d", i)), storage.Options{})
+	}
+	if persistent {
+		root, err = os.MkdirTemp("", "alvis-e12-")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		defer os.RemoveAll(root)
+		for i := 0; i < peers; i++ {
+			e, eerr := engineFor(i)
+			if eerr != nil {
+				return 0, 0, 0, 0, eerr
+			}
+			engines = append(engines, e)
+		}
+	}
+	n := NewNetwork(Options{
+		NumPeers: peers,
+		Core:     core.Config{HDK: hdkCfg, ReplicationFactor: 3},
+		Seed:     141,
+		Engines:  engines,
+	})
+	defer func() {
+		for _, p := range n.Peers {
+			_ = p.Close()
+		}
+	}()
+	if err := n.Distribute(coll); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if err := n.PublishStats(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if _, _, err := n.PublishHDK(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Pre-kill reference pass, issued from the never-killed peer 0.
+	expected := make([][]int, len(queries))
+	for qi, q := range queries {
+		got, _, err := n.SearchCorpusDocs(n.Peers[0], q.Text())
+		if err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("pre-kill query %d: %w", qi, err)
+		}
+		expected[qi] = got
+	}
+
+	// Kill 20% of the peers (peer 0 stays: it bootstraps the rejoins).
+	rng := rand.New(rand.NewSource(142))
+	victims := map[int]bool{}
+	for len(victims) < kill {
+		victims[1+rng.Intn(peers-1)] = true
+	}
+	for v := range victims {
+		n.KillPeer(v)
+	}
+	live := n.Peers[:0:0]
+	for i, p := range n.Peers {
+		if !victims[i] {
+			live = append(live, p)
+		}
+	}
+
+	// The ring repairs around the dead peers...
+	for r := 0; r < 8; r++ {
+		for _, p := range live {
+			p.Maintain(ctx)
+		}
+	}
+	// ...and the workload keeps writing: fresh keys land in the dead
+	// peers' old ranges (their promoted successors hold them now). These
+	// are exactly the writes a restarted peer missed — what the delta
+	// rejoin must transfer, and all it should transfer.
+	fresh := &postings.List{}
+	fresh.Add(postings.Posting{Ref: postings.DocRef{Peer: n.Peers[0].Addr(), Doc: 1}, Score: 1})
+	for i := 0; i < 60; i++ {
+		if _, err := n.Peers[0].GlobalIndex().Put(ctx, []string{fmt.Sprintf("e12fresh%04d", i)}, fresh, 10); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("mid-downtime write %d: %w", i, err)
+		}
+	}
+
+	// Restart every victim and let the ring settle.
+	for v := range victims {
+		eng, eerr := engineFor(v)
+		if eerr != nil {
+			return 0, 0, 0, 0, eerr
+		}
+		if _, err := n.RestartPeer(ctx, v, eng, n.Peers[0].Addr()); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("restart peer %d: %w", v, err)
+		}
+		for r := 0; r < 4; r++ {
+			for _, p := range n.Peers {
+				p.Maintain(ctx)
+			}
+		}
+	}
+	for r := 0; r < 6; r++ {
+		for _, p := range n.Peers {
+			p.Maintain(ctx)
+		}
+	}
+	for v := range victims {
+		m, pl := n.Peers[v].GlobalIndex().PullTransferCounts()
+		manifest += m
+		pulled += pl
+	}
+
+	// Post-restart pass: success and recall against the pre-kill
+	// reference (every document is back online, so no exclusions).
+	ok, recSum, recN := 0, 0.0, 0
+	for qi, q := range queries {
+		got, _, err := n.SearchCorpusDocs(n.Peers[0], q.Text())
+		if err == nil {
+			ok++
+		}
+		if len(expected[qi]) == 0 {
+			continue
+		}
+		recN++
+		if err != nil {
+			continue
+		}
+		gotSet := make(map[int]bool, len(got))
+		for _, d := range got {
+			gotSet[d] = true
+		}
+		hit := 0
+		for _, d := range expected[qi] {
+			if gotSet[d] {
+				hit++
+			}
+		}
+		recSum += float64(hit) / float64(len(expected[qi]))
+	}
+	success, recall = 1, 1 // a query-less trial (the transfer benchmark) is vacuously perfect
+	if len(queries) > 0 {
+		success = float64(ok) / float64(len(queries))
+	}
+	if recN > 0 {
+		recall = recSum / float64(recN)
+	}
+	return pulled, manifest, success, recall, nil
+}
+
+// RunE12 measures what durable storage buys a restarting peer: 20% of
+// an R=3 network is killed and restarted mid-workload, once with plain
+// in-memory engines (cold rejoin: the whole owned range re-transfers)
+// and once with WAL+snapshot persistence (delta rejoin: the recovered
+// slice is diffed by fingerprint manifest and only the writes missed
+// during the downtime transfer). Retrieval quality must be unaffected
+// in both arms — replication already covers the downtime window — so
+// the delta column is pure bandwidth savings.
+func RunE12(scale Scale) (*metrics.Table, error) {
+	numDocs := pick(scale, 4000, 600)
+	peers := pick(scale, 20, 10)
+	numQueries := pick(scale, 100, 30)
+	kill := (peers + 4) / 5
+
+	hdkCfg := hdkConfigFor(numDocs)
+	coll := corpusFor(numDocs, 131)
+	w := corpus.GenerateWorkload(coll, corpus.WorkloadParams{NumQueries: numQueries, MaxTerms: 3, Seed: 133})
+
+	t := metrics.NewTable(
+		fmt.Sprintf("E12: restart recovery (%d peers, R=3, kill+restart %d, %d queries)",
+			peers, kill, len(w.Queries)),
+		"engine", "keys transferred", "manifest pairs", "success", "recall",
+	)
+	for _, persistent := range []bool{false, true} {
+		pulled, manifest, success, recall, err := e12Trial(coll, w.Queries, peers, kill, hdkCfg, persistent)
+		if err != nil {
+			return nil, err
+		}
+		name := "memory (cold rejoin)"
+		if persistent {
+			name = "persistent (delta rejoin)"
+		}
+		t.AddRow(name, pulled, manifest, success, recall)
+	}
 	return t, nil
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dht"
 	"repro/internal/docs"
+	"repro/internal/globalindex"
 	"repro/internal/hdk"
 	"repro/internal/ids"
 	"repro/internal/localindex"
@@ -35,6 +36,11 @@ type Options struct {
 	// SkewedIDs places 90% of the peers in 0.1% of the ring (the
 	// routing experiment's stress case).
 	SkewedIDs bool
+	// Engines, when non-nil, assigns peer i the storage engine
+	// Engines[i] (nil entries keep the in-memory default). The
+	// persistence experiments open durable engines here; each peer owns
+	// its engine and closes it on KillPeer.
+	Engines []globalindex.StorageEngine
 }
 
 // Network is a simulated AlvisP2P network plus the bookkeeping the
@@ -51,6 +57,7 @@ type Network struct {
 	RefOf      []postings.DocRef       // corpus doc index -> network ref
 	CorpusDoc  map[postings.DocRef]int // network ref -> corpus doc index
 	Central    *baseline.Centralized   // reference engine over the union
+	docsOf     [][]int                 // peer index -> corpus doc indexes it hosts
 }
 
 // NewNetwork builds the network with oracle-installed routing tables
@@ -85,7 +92,11 @@ func NewNetwork(opts Options) *Network {
 		}
 		d := transport.NewDispatcher()
 		ep := n.Net.Endpoint(fmt.Sprintf("peer%03d", i), d.Serve)
-		p := core.NewPeer(id, ep, d, opts.Core)
+		cfg := opts.Core
+		if i < len(opts.Engines) {
+			cfg.Engine = opts.Engines[i]
+		}
+		p := core.NewPeer(id, ep, d, cfg)
 		n.Peers = append(n.Peers, p)
 		n.Base = append(n.Base, baseline.NewService(p.GlobalIndex(), d))
 		nodes = append(nodes, p.Node())
@@ -116,14 +127,17 @@ func (n *Network) AddPeer(name string, id ids.ID, bootstrap transport.Addr) (*co
 func (n *Network) Distribute(c *corpus.Collection) error {
 	n.Collection = c
 	n.RefOf = make([]postings.DocRef, len(c.Docs))
+	n.docsOf = make([][]int, len(n.Peers))
 	analyzer := n.Peers[0].LocalIndex().Analyzer()
 	central := localindex.New(analyzer)
 	for i, doc := range c.Docs {
-		peer := n.Peers[i%len(n.Peers)]
+		pi := i % len(n.Peers)
+		peer := n.Peers[pi]
 		stored, err := peer.AddDocument(docFromCorpus(doc))
 		if err != nil {
 			return err
 		}
+		n.docsOf[pi] = append(n.docsOf[pi], i)
 		ref := postings.DocRef{Peer: peer.Addr(), Doc: stored.ID}
 		n.RefOf[i] = ref
 		n.CorpusDoc[ref] = i
@@ -131,6 +145,54 @@ func (n *Network) Distribute(c *corpus.Collection) error {
 	}
 	n.Central = baseline.NewCentralized(central)
 	return nil
+}
+
+// KillPeer takes peer i down: its address stops accepting traffic and
+// the peer is closed, which flushes (and closes) its storage engine.
+// Restart it with RestartPeer. (Crash-without-flush recovery is pinned
+// by the internal/storage tests; at the network level the interesting
+// difference is durable-versus-lost state, not the flush path.)
+func (n *Network) KillPeer(i int) {
+	n.Net.SetDown(n.Peers[i].Addr(), true)
+	_ = n.Peers[i].Close()
+}
+
+// RestartPeer revives a killed peer with the same identity and address,
+// backed by the given storage engine (nil = a fresh in-memory engine,
+// the cold-rejoin arm; a reopened durable engine makes it the
+// delta-rejoin arm). Its shared documents are restored from the
+// collection bookkeeping — document content lives outside the index —
+// and the peer rejoins through bootstrap; the caller drives subsequent
+// maintenance rounds like any join.
+func (n *Network) RestartPeer(ctx context.Context, i int, engine globalindex.StorageEngine, bootstrap transport.Addr) (*core.Peer, error) {
+	old := n.Peers[i]
+	addr := old.Addr()
+	id := old.Node().ID()
+	n.Net.SetDown(addr, false)
+	d := transport.NewDispatcher()
+	ep := n.Net.Endpoint(string(addr), d.Serve)
+	cfg := n.Opts.Core
+	cfg.Engine = engine
+	p, err := core.OpenPeer(id, ep, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if n.docsOf != nil {
+		// Same documents in the same order reproduce the same local doc
+		// IDs, so pre-kill DocRefs held in remote posting lists stay
+		// valid against the restarted peer.
+		for _, di := range n.docsOf[i] {
+			if _, err := p.AddDocument(docFromCorpus(n.Collection.Docs[di])); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.Join(ctx, bootstrap); err != nil {
+		return nil, err
+	}
+	n.Peers[i] = p
+	n.Base[i] = baseline.NewService(p.GlobalIndex(), d)
+	return p, nil
 }
 
 func docFromCorpus(d corpus.Doc) *docs.Document {

@@ -1,0 +1,365 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/globalindex"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+)
+
+func plist(peer string, scored ...float64) *postings.List {
+	l := &postings.List{}
+	for i, s := range scored {
+		l.Add(postings.Posting{Ref: postings.DocRef{Peer: transport.Addr(peer), Doc: uint32(i)}, Score: s})
+	}
+	l.Normalize()
+	return l
+}
+
+// stateOf flattens an engine's index content into a comparable map of
+// key -> (approxDF, encoded list bytes).
+func stateOf(t *testing.T, e globalindex.StorageEngine) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, k := range e.Keys() {
+		list, df, ok := e.Export(k)
+		if !ok {
+			t.Fatalf("key %q listed but not exportable", k)
+		}
+		out[k] = fmt.Sprintf("df=%d list=%x", df, list.EncodeBytes())
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Engine {
+	t.Helper()
+	e, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sameState(t *testing.T, got, want map[string]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("state size %d, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("key %q state %q, want %q", k, got[k], w)
+		}
+	}
+}
+
+// TestPersistReopenRestoresState covers the graceful path: Close writes
+// a snapshot, Open restores every entry, the watermark, and the
+// snapshot-persisted probe statistics.
+func TestPersistReopenRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	if e.Recovered() {
+		t.Fatal("fresh directory must not report recovered state")
+	}
+	e.Put("alpha", plist("p1", 3, 2, 1), 10)
+	e.Append("beta", plist("p2", 5), 10, 7)
+	e.Append("beta", plist("p3", 4), 10, 2)
+	e.Put("gone", plist("p1", 1), 10)
+	e.Remove("gone")
+	e.AdoptReplica("gamma", plist("p4", 9, 8), 11)
+	e.Get("alpha", 0) // probe statistics: persisted by the Close snapshot
+	e.Get("missing key", 0)
+	e.SetWatermark(100, 200)
+	want := stateOf(t, e)
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	if !re.Recovered() {
+		t.Fatal("reopened engine must report recovered state")
+	}
+	sameState(t, stateOf(t, re), want)
+	if df, ok := re.ApproxDF("beta"); !ok || df != 9 {
+		t.Fatalf("beta approxDF = %d ok=%v, want 9", df, ok)
+	}
+	if _, ok := re.Peek("gone"); ok {
+		t.Fatal("removed key resurrected by recovery")
+	}
+	if from, to, ok := re.Watermark(); !ok || from != 100 || to != 200 {
+		t.Fatalf("watermark = (%d, %d, %v), want (100, 200, true)", from, to, ok)
+	}
+	if ks := re.Popularity("alpha"); ks.Count != 1 || !ks.Present {
+		t.Fatalf("probe stats not restored: %+v", ks)
+	}
+	if ks := re.Popularity("missing key"); ks.Count != 1 || ks.Present {
+		t.Fatalf("absent-key probe stats not restored: %+v", ks)
+	}
+}
+
+// TestPersistCrashKeepsJournaledWrites covers the kill-9 path: the
+// engine is never Closed, yet every journaled mutation survives a
+// reopen (the WAL was written, only the snapshot is missing).
+func TestPersistCrashKeepsJournaledWrites(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	e.Put("k1", plist("p1", 2, 1), 10)
+	e.Append("k2", plist("p2", 4), 10, 6)
+	e.SetWatermark(7, 9)
+	want := stateOf(t, e)
+	// No Close: simulate the process dying.
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	if !re.Recovered() {
+		t.Fatal("crash reopen must report recovered state")
+	}
+	sameState(t, stateOf(t, re), want)
+	if from, to, ok := re.Watermark(); !ok || from != 7 || to != 9 {
+		t.Fatalf("watermark = (%d, %d, %v)", from, to, ok)
+	}
+}
+
+// TestRecoverTornWALTail appends garbage after valid records — a torn
+// final write — and checks replay keeps everything before the tear and
+// truncates the file cleanly.
+func TestRecoverTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	e.Put("keep1", plist("p1", 1), 10)
+	e.Put("keep2", plist("p1", 2), 10)
+	want := stateOf(t, e)
+	walSize := e.WALSize()
+
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x55, 0xaa, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	sameState(t, stateOf(t, re), want)
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != walSize {
+		t.Fatalf("torn tail not truncated: wal size %d, want %d", fi.Size(), walSize)
+	}
+	// The engine keeps journaling cleanly past the truncation.
+	re.Put("after", plist("p2", 3), 10)
+	re2state := stateOf(t, re)
+	re.Close()
+	re2 := mustOpen(t, dir, Options{})
+	defer re2.Close()
+	sameState(t, stateOf(t, re2), re2state)
+}
+
+// TestRecoverCorruptRecordCRC flips a byte inside the last record's
+// payload: the CRC check must reject it, replay stops before it, and no
+// corrupt posting list is ever served.
+func TestRecoverCorruptRecordCRC(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	e.Put("good", plist("p1", 5, 4), 10)
+	want := stateOf(t, e)
+	e.Put("bad", plist("p2", 9, 8, 7), 10)
+
+	wal := filepath.Join(dir, "wal.log")
+	buf, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff // corrupt the tail record's payload
+	if err := os.WriteFile(wal, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	if _, ok := re.Peek("bad"); ok {
+		t.Fatal("corrupt record must not be served")
+	}
+	sameState(t, stateOf(t, re), want)
+}
+
+// TestRecoverIdempotentReplay re-injects an already-compacted WAL (the
+// crash window between snapshot rename and WAL truncate): the sequence
+// check must skip every record the snapshot already contains, so the
+// non-idempotent Append DF accumulation is not double-counted.
+func TestRecoverIdempotentReplay(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	e.Append("term", plist("p1", 3), 10, 5)
+	e.Append("term", plist("p2", 2), 10, 4)
+	wal := filepath.Join(dir, "wal.log")
+	saved, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	want := stateOf(t, e)
+	// Crash window: the snapshot is in place but the WAL reset "did not
+	// happen" — put the pre-compaction records back.
+	if err := os.WriteFile(wal, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	sameState(t, stateOf(t, re), want)
+	if df, _ := re.ApproxDF("term"); df != 9 {
+		t.Fatalf("approxDF = %d, want 9 (replay double-counted the appends)", df)
+	}
+	// And replay is stable across any number of reopens.
+	re.Close()
+	re2 := mustOpen(t, dir, Options{})
+	defer re2.Close()
+	sameState(t, stateOf(t, re2), want)
+}
+
+// TestRecoverCloseMidStreamConverges drives the same mutation stream
+// into a continuously-running engine and one that is closed and
+// reopened midway: both must end byte-identical.
+func TestRecoverCloseMidStreamConverges(t *testing.T) {
+	ops := func(eng globalindex.StorageEngine, from, to int) {
+		for i := from; i < to; i++ {
+			key := fmt.Sprintf("key%03d", i%17)
+			switch i % 4 {
+			case 0:
+				eng.Put(key, plist("p1", float64(i), 1), 8)
+			case 1:
+				eng.Append(key, plist("p2", float64(i)), 8, i%5+1)
+			case 2:
+				eng.AdoptReplica(key, plist("p3", float64(i%7)), int64(i%11))
+			case 3:
+				if i%8 == 3 {
+					eng.Remove(key)
+				} else {
+					eng.Append(key, plist("p4", 2.5), 8, 2)
+				}
+			}
+		}
+	}
+	straight := globalindex.NewStore(0)
+	ops(straight, 0, 100)
+
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	ops(e, 0, 50)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	ops(re, 50, 100)
+
+	sameState(t, stateOf(t, re), stateOf(t, straight))
+}
+
+// TestPersistCompaction forces frequent compaction and checks the WAL
+// stays bounded while recovery remains exact.
+func TestPersistCompaction(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{CompactBytes: 512})
+	for i := 0; i < 200; i++ {
+		e.Put(fmt.Sprintf("k%03d", i%23), plist("p1", float64(i), 3, 2, 1), 16)
+	}
+	if sz := e.WALSize(); sz > 4096 {
+		t.Fatalf("wal grew to %d bytes despite 512-byte compaction bound", sz)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot")); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	want := stateOf(t, e)
+	// Crash-reopen (no Close) exercises snapshot + residual WAL replay.
+	re := mustOpen(t, dir, Options{CompactBytes: 512})
+	defer re.Close()
+	sameState(t, stateOf(t, re), want)
+}
+
+// TestPersistSnapshotCRCRejected corrupts the snapshot file: Open must
+// refuse loudly rather than serve or silently discard the base state.
+func TestPersistSnapshotCRCRejected(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	e.Put("k", plist("p1", 1), 10)
+	e.Close()
+	snap := filepath.Join(dir, "snapshot")
+	buf, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(snap, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot must fail Open")
+	}
+}
+
+// TestPersistEngineMatchesMemory is the differential check: a shared
+// random-ish op stream must leave the durable engine (after a crash
+// reopen) byte-identical to a plain memory engine.
+func TestPersistEngineMatchesMemory(t *testing.T) {
+	mem := globalindex.NewStore(0)
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{CompactBytes: 2048})
+	apply := func(eng globalindex.StorageEngine) {
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("t%02d", (i*7)%31)
+			switch (i * 13) % 5 {
+			case 0:
+				eng.Put(key, plist("a", float64(i%9), 4), 6)
+			case 1, 2:
+				eng.Append(key, plist("b", float64(i%5)+0.5), 6, i%4+1)
+			case 3:
+				eng.AdoptReplica(key, plist("c", 3, 1), int64(i%13))
+			case 4:
+				eng.Remove(key)
+			}
+		}
+	}
+	apply(mem)
+	apply(e)
+	sameState(t, stateOf(t, e), stateOf(t, mem))
+	// Crash + reopen: still identical.
+	re := mustOpen(t, dir, Options{CompactBytes: 2048})
+	defer re.Close()
+	sameState(t, stateOf(t, re), stateOf(t, mem))
+	if !bytes.Equal([]byte(fmt.Sprint(re.Keys())), []byte(fmt.Sprint(mem.Keys()))) {
+		t.Fatal("key sets diverged")
+	}
+}
+
+// TestPersistWatermarkJournaled pins that the watermark reaches disk
+// through the WAL alone (no snapshot), keyed by ring IDs.
+func TestPersistWatermarkJournaled(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, dir, Options{})
+	e.SetWatermark(ids.ID(0xdead), ids.ID(0xbeef))
+	// crash
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	from, to, ok := re.Watermark()
+	if !ok || from != ids.ID(0xdead) || to != ids.ID(0xbeef) {
+		t.Fatalf("watermark = (%x, %x, %v)", from, to, ok)
+	}
+	if !re.Recovered() {
+		t.Fatal("a journaled watermark alone must count as recovered state")
+	}
+}

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBatchQuotaSemantics pins the item-granular admission arithmetic:
+// when quota trimming applies, how the per-item estimate is derived, and
+// the item-shed accounting.
+func TestBatchQuotaSemantics(t *testing.T) {
+	d := NewDispatcher()
+	const msg = 0x42
+
+	// Admission control off: everything is served.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if got := d.BatchQuota(ctx, msg, 100); got != 100 {
+		t.Fatalf("quota with admission off = %d, want 100", got)
+	}
+
+	d.SetAdmissionControl(1, 10*time.Millisecond)
+
+	// No deadline budget: never trimmed, whatever the load.
+	if got := d.BatchQuota(context.Background(), msg, 100); got != 100 {
+		t.Fatalf("quota without deadline = %d, want 100", got)
+	}
+
+	// Below the in-flight watermark: not overloaded, serve everything.
+	if got := d.BatchQuota(ctx, msg, 100); got != 100 {
+		t.Fatalf("quota below watermark = %d, want 100", got)
+	}
+
+	// At the watermark with a cold estimate: one item is budgeted like
+	// one request (the minService floor), so a 50ms budget covers ~5.
+	d.inflight.Add(1)
+	defer d.inflight.Add(-1)
+	qctx, qcancel := context.WithTimeout(context.Background(), 52*time.Millisecond)
+	defer qcancel()
+	got := d.BatchQuota(qctx, msg, 100)
+	if got < 1 || got > 6 {
+		t.Fatalf("cold quota = %d, want ~5 (52ms / 10ms floor)", got)
+	}
+	if sheds := d.ItemSheds(); sheds != int64(100-got) {
+		t.Fatalf("item sheds = %d, want %d", sheds, 100-got)
+	}
+
+	// A learned per-item EWMA replaces the floor: 1ms/item covers ~50.
+	for i := 0; i < 32; i++ {
+		d.ObserveBatch(msg, 10*time.Millisecond, 10)
+	}
+	qctx2, qcancel2 := context.WithTimeout(context.Background(), 52*time.Millisecond)
+	defer qcancel2()
+	got = d.BatchQuota(qctx2, msg, 100)
+	if got < 30 || got > 60 {
+		t.Fatalf("trained quota = %d, want ~50 (52ms / 1ms learned)", got)
+	}
+
+	// More items than the budget needs: untouched.
+	if got := d.BatchQuota(qctx2, msg, 3); got != 3 {
+		t.Fatalf("small batch quota = %d, want 3", got)
+	}
+}
+
+// TestPartialShedAdmission pins the frame-level decision for
+// partial-capable types: an expired budget is still refused whole, a
+// budget below one item's cost is refused whole (typed, counted), and a
+// budget covering at least one item is admitted where a non-partial
+// frame would have been shed.
+func TestPartialShedAdmission(t *testing.T) {
+	d := NewDispatcher()
+	const whole, part = 0x50, 0x51
+	executed := 0
+	h := func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
+		executed++
+		return 0, nil, nil
+	}
+	d.Handle(whole, h)
+	d.Handle(part, h)
+	d.SetPartialShed(part)
+	d.SetAdmissionControl(1, 40*time.Millisecond)
+	d.inflight.Add(1) // park the peer at its watermark
+	defer d.inflight.Add(-1)
+
+	short, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	// 15ms budget < 40ms frame estimate: the non-partial frame sheds...
+	if _, _, err := d.Serve(short, "x", whole, nil); !errors.Is(err, ErrShed) {
+		t.Fatalf("non-partial frame under load: err = %v, want ErrShed", err)
+	}
+	// ...and so does the partial one — 15ms is below even one item's
+	// cold cost, so there is no affordable prefix.
+	if _, _, err := d.Serve(short, "x", part, nil); !errors.Is(err, ErrShed) {
+		t.Fatalf("partial frame below one-item cost: err = %v, want ErrShed", err)
+	}
+	if executed != 0 {
+		t.Fatalf("handler ran %d times before budget checks", executed)
+	}
+	sheds, _ := d.AdmissionStats()
+	if sheds != 2 {
+		t.Fatalf("frame sheds = %d, want 2", sheds)
+	}
+
+	// A 60ms budget covers one 40ms item but not the 40ms+ frame
+	// estimate: the partial type is admitted (its handler trims via
+	// BatchQuota); the whole-frame type... also admitted, since 60 > 40.
+	// Train the frame estimate up so the contrast is visible.
+	for i := 0; i < 32; i++ {
+		d.observe(whole, 100*time.Millisecond)
+		d.observe(part, 100*time.Millisecond)
+	}
+	mid, cancel2 := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel2()
+	if _, _, err := d.Serve(mid, "x", whole, nil); !errors.Is(err, ErrShed) {
+		t.Fatalf("non-partial frame, budget < 100ms estimate: err = %v, want ErrShed", err)
+	}
+	if _, _, err := d.Serve(mid, "x", part, nil); err != nil {
+		t.Fatalf("partial frame with one-item headroom must be admitted: %v", err)
+	}
+	if executed != 1 {
+		t.Fatalf("partial frame handler executions = %d, want 1", executed)
+	}
+
+	// An already-expired budget is refused whole even for partial types.
+	dead, cancel3 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel3()
+	time.Sleep(time.Millisecond)
+	if _, _, err := d.Serve(dead, "x", part, nil); !errors.Is(err, ErrShed) {
+		t.Fatalf("expired partial frame: err = %v, want ErrShed", err)
+	}
+}
