@@ -73,6 +73,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/lattice"
 	"repro/internal/qdi"
+	"repro/internal/telemetry"
 	"repro/internal/textproc"
 	"repro/internal/transport"
 )
@@ -230,8 +231,17 @@ func (p *Peer) Maintain(ctx context.Context) { p.inner.Maintain(ctx) }
 
 // Close shuts the peer down gracefully: in-flight operations are
 // unwound (their contexts cancel), the dispatcher refuses new work, and
-// the transport drains its server goroutines before returning.
+// the transport drains its server goroutines before returning. Close is
+// idempotent and safe to call concurrently with in-flight searches.
 func (p *Peer) Close() error { return p.inner.Close() }
+
+// Telemetry returns the peer's metric registry: every counter the peer
+// maintains (transport traffic, admission control, index and storage
+// gauges, replication transfers, per-peer latency EWMAs, search
+// outcomes) under one stable vocabulary. Serve it over HTTP with
+// Telemetry().Serve(addr) — the /metrics endpoint the cluster harness
+// scrapes — or read it in-process with Gather.
+func (p *Peer) Telemetry() *telemetry.Registry { return p.inner.Telemetry() }
 
 // AddDocument shares a document (it stays local; publish to make it
 // searchable network-wide).

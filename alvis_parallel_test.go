@@ -155,8 +155,12 @@ func TestParallelSearchMatchesSequential(t *testing.T) {
 			if !reflect.DeepEqual(seqRes, parRes) {
 				t.Fatalf("query %d from peer %d: results diverged:\nseq: %+v\npar: %+v", qi, pi, seqRes, parRes)
 			}
-			if !reflect.DeepEqual(seqTrace, parTrace) {
-				t.Fatalf("query %d from peer %d: traces diverged:\nseq: %+v\npar: %+v", qi, pi, seqTrace, parTrace)
+			// Span trees carry wall-clock timings, so the determinism
+			// contract covers the counters only.
+			seqCounters, parCounters := *seqTrace, *parTrace
+			seqCounters.Spans, parCounters.Spans = nil, nil
+			if !reflect.DeepEqual(seqCounters, parCounters) {
+				t.Fatalf("query %d from peer %d: traces diverged:\nseq: %+v\npar: %+v", qi, pi, seqCounters, parCounters)
 			}
 			if len(seqRes) > 0 {
 				sawResults = true

@@ -13,6 +13,17 @@
 // Without -web the client runs an interactive prompt (the "standalone
 // client" mode): type a query to search, or one of the commands
 // `add <file>`, `publish`, `stats`, `strategy hdk|qdi`, `quit`.
+//
+// With -serve the client runs headless — no prompt, no web UI — until
+// SIGINT or SIGTERM arrives, then shuts down gracefully (peer leaves
+// the network with its watermark persisted) and exits 0. This is the
+// mode the cluster harness (internal/cluster) spawns. With
+// -metrics-addr the peer's telemetry registry is served at
+// http://<addr>/metrics in Prometheus text format. Once the peer is
+// joined and its shared documents are published, one machine-readable
+// line is printed to stdout for harness consumption:
+//
+//	ALVISP2P READY addr=<p2p-addr> metrics=<metrics-addr>
 package main
 
 import (
@@ -23,11 +34,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	alvisp2p "repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +63,10 @@ func main() {
 		"directory for durable global-index storage (WAL + snapshots); empty = in-memory only")
 	antiEntropy := flag.Duration("anti-entropy", 0,
 		"background replica-repair sweep interval (0 = ring-change events only; needs -replication > 1)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the telemetry registry at http://<addr>/metrics (empty = off)")
+	serveMode := flag.Bool("serve", false,
+		"headless mode: run until SIGINT/SIGTERM, then shut down gracefully (what the cluster harness uses)")
 	flag.Parse()
 
 	cfg := alvisp2p.Config{
@@ -106,11 +124,58 @@ func main() {
 		}
 	}()
 
+	var msrv *telemetry.MetricsServer
+	if *metricsAddr != "" {
+		msrv, err = peer.Telemetry().Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		log.Printf("metrics on http://%s/metrics", msrv.Addr)
+	}
+
+	// The readiness line is the harness contract: printed only after the
+	// peer is listening, joined and (when -shared was given) published,
+	// so a parent process that has read it may immediately drive load.
+	maddr := ""
+	if msrv != nil {
+		maddr = msrv.Addr
+	}
+	fmt.Printf("ALVISP2P READY addr=%s metrics=%s\n", peer.Addr(), maddr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	if *serveMode {
+		s := <-sigc
+		log.Printf("%v: shutting down", s)
+		gracefulExit(peer, msrv)
+	}
+	go func() {
+		s := <-sigc
+		log.Printf("%v: shutting down", s)
+		gracefulExit(peer, msrv)
+	}()
+
 	if *web != "" {
 		log.Printf("web interface on http://%s", *web)
 		log.Fatal(serveWeb(peer, *web, *queryTimeout))
 	}
 	prompt(peer, *queryTimeout, *topK)
+	gracefulExit(peer, msrv)
+}
+
+// gracefulExit tears the process down in shutdown order — metrics
+// listener first (scrapers see connection refused, not hangs), then the
+// peer (watermark persisted, storage flushed) — and exits 0, or 1 when
+// the peer's shutdown surfaced an error.
+func gracefulExit(peer *alvisp2p.Peer, msrv *telemetry.MetricsServer) {
+	if msrv != nil {
+		msrv.Close()
+	}
+	if err := peer.Close(); err != nil {
+		log.Printf("close: %v", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
 
 // indexSharedDir loads every regular file of dir into the peer.

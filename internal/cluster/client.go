@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	alvisp2p "repro"
+)
+
+// Client is an in-process peer joined to a spawned cluster over real
+// TCP — the §4 "client is a peer" model. Tests drive publish/search
+// load through its public API; every query is timed into a QueryLog so
+// the CI job can upload per-query latencies.
+type Client struct {
+	Peer *alvisp2p.Peer
+	Log  *QueryLog
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewClient creates a client peer with the given config, joins it
+// through node 0 (any running node works as contact) and starts a
+// background maintenance loop so the client's ring view tracks churn.
+func (c *Cluster) NewClient(tb testing.TB, cfg alvisp2p.Config, maintain time.Duration) *Client {
+	tb.Helper()
+	p, err := alvisp2p.ListenTCP("127.0.0.1:0", cfg)
+	if err != nil {
+		tb.Fatalf("cluster client: %v", err)
+	}
+	var contact *Node
+	for _, n := range c.Nodes {
+		if n.Running() {
+			contact = n
+			break
+		}
+	}
+	if contact == nil {
+		p.Close()
+		tb.Fatal("cluster client: no running node to join through")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = p.Join(ctx, alvisp2p.Addr(contact.Addr))
+	cancel()
+	if err != nil {
+		p.Close()
+		tb.Fatalf("cluster client join via %s: %v", contact.Addr, err)
+	}
+	mctx, mcancel := context.WithCancel(context.Background())
+	cl := &Client{Peer: p, Log: &QueryLog{}, cancel: mcancel, done: make(chan struct{})}
+	go func() {
+		defer close(cl.done)
+		if maintain <= 0 {
+			maintain = time.Second
+		}
+		t := time.NewTicker(maintain)
+		defer t.Stop()
+		for {
+			select {
+			case <-mctx.Done():
+				return
+			case <-t.C:
+				p.Maintain(context.Background())
+			}
+		}
+	}()
+	tb.Cleanup(cl.Close)
+	return cl
+}
+
+// Search runs one timed query through the client peer and records it in
+// the log. Partial results (deadline expiry with a ranked prefix) count
+// as success.
+func (cl *Client) Search(ctx context.Context, query string, opts ...alvisp2p.SearchOption) (*alvisp2p.SearchResponse, error) {
+	start := time.Now()
+	resp, err := cl.Peer.Search(ctx, query, opts...)
+	took := time.Since(start)
+	ok := err == nil
+	if resp != nil && resp.Partial {
+		ok = true
+	}
+	results := 0
+	if resp != nil {
+		results = len(resp.Results)
+	}
+	cl.Log.add(QueryRecord{Query: query, Latency: took, Results: results, OK: ok})
+	return resp, err
+}
+
+// Close stops the maintenance loop and the peer. Idempotent.
+func (cl *Client) Close() {
+	cl.cancel()
+	<-cl.done
+	_ = cl.Peer.Close()
+}
+
+// QueryRecord is one timed query.
+type QueryRecord struct {
+	Query   string
+	Latency time.Duration
+	Results int
+	OK      bool
+}
+
+// QueryLog accumulates timed queries across workload goroutines.
+type QueryLog struct {
+	mu   sync.Mutex
+	rows []QueryRecord
+}
+
+func (l *QueryLog) add(r QueryRecord) {
+	l.mu.Lock()
+	l.rows = append(l.rows, r)
+	l.mu.Unlock()
+}
+
+// Records returns a snapshot of the log.
+func (l *QueryLog) Records() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, len(l.rows))
+	copy(out, l.rows)
+	return out
+}
+
+// SuccessRatio returns the fraction of logged queries that succeeded
+// (1.0 for an empty log).
+func (l *QueryLog) SuccessRatio() float64 {
+	recs := l.Records()
+	if len(recs) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, r := range recs {
+		if r.OK {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(recs))
+}
+
+// WriteCSV dumps the log as seq,query,latency_us,results,ok rows.
+func (l *QueryLog) WriteCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	_ = w.Write([]string{"seq", "query", "latency_us", "results", "ok"})
+	for i, r := range l.Records() {
+		_ = w.Write([]string{
+			fmt.Sprint(i), r.Query,
+			fmt.Sprint(r.Latency.Microseconds()),
+			fmt.Sprint(r.Results),
+			fmt.Sprint(r.OK),
+		})
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ArtifactDir returns the directory the CI job collects artifacts from
+// (the CLUSTER_ARTIFACT_DIR environment variable), or "" when the run
+// doesn't collect any.
+func ArtifactDir() string { return os.Getenv("CLUSTER_ARTIFACT_DIR") }
+
+// WriteArtifacts dumps the query log (CSV) and a JSON snapshot of every
+// running node's scraped metrics into dir, under the given file stem.
+// Scrape failures are recorded in the JSON rather than failing the
+// dump — artifacts are diagnostics, not assertions.
+func (c *Cluster) WriteArtifacts(dir, stem string, log *QueryLog) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if log != nil {
+		if err := log.WriteCSV(filepath.Join(dir, stem+"_queries.csv")); err != nil {
+			return err
+		}
+	}
+	type nodeMetrics struct {
+		Node    int                `json:"node"`
+		Addr    string             `json:"addr"`
+		Error   string             `json:"error,omitempty"`
+		Metrics map[string]float64 `json:"metrics,omitempty"`
+	}
+	var snap []nodeMetrics
+	for _, n := range c.Nodes {
+		nm := nodeMetrics{Node: n.Index, Addr: n.Addr}
+		if !n.Running() {
+			nm.Error = "not running"
+			snap = append(snap, nm)
+			continue
+		}
+		sc, err := n.Scrape()
+		if err != nil {
+			nm.Error = err.Error()
+			snap = append(snap, nm)
+			continue
+		}
+		nm.Metrics = make(map[string]float64)
+		for _, name := range sc.Names() {
+			nm.Metrics[name] = sc.Sum(name)
+		}
+		snap = append(snap, nm)
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, stem+".json"), append(b, '\n'), 0o644)
+}

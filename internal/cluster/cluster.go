@@ -1,0 +1,331 @@
+// Package cluster is the real-process end-to-end harness: it builds the
+// cmd/alvisp2p binary once per test run, spawns N peer processes on
+// loopback TCP — each with its own data directory, shared-document
+// directory and /metrics endpoint — and drives load through the public
+// client API from the test process. It supports scripted churn:
+// SIGKILL a peer mid-workload, restart it on the same address and data
+// directory, and assert (via its scraped metrics) that it came back
+// with a recovered store and a delta rejoin rather than a cold pull.
+//
+// The sim package exercises the same engine over the in-memory
+// transport; this package is the proof that nothing about the system
+// depends on that shortcut — real processes, real sockets, real
+// SIGKILL. Both expose the same metric vocabulary, which
+// TestMetricsVocabularyParity pins.
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/telemetry"
+)
+
+// readyPrefix is the machine-readable line cmd/alvisp2p prints once the
+// peer is listening, joined and published; see the command's doc.
+const readyPrefix = "ALVISP2P READY "
+
+// DocFileContent renders a corpus document as the text-file bytes the
+// harness drops into shared directories: the title on the first line
+// (the text parser takes it as the document title, making results
+// comparable across deployments) and the body after it.
+func DocFileContent(d corpus.Doc) string {
+	return d.Title + "\n" + d.Body
+}
+
+// readyTimeout bounds how long a spawned process may take to print its
+// readiness line (the binary publishes its shared directory first, and
+// -race slows everything down).
+const readyTimeout = 60 * time.Second
+
+var (
+	buildOnce sync.Once
+	buildErr  error
+	binPath   string
+)
+
+// moduleRoot locates the repository root from this source file's path —
+// cluster.go lives at <root>/internal/cluster/cluster.go.
+func moduleRoot() string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// BinaryPath builds cmd/alvisp2p once per test process and returns the
+// binary's path. Every cluster in the run shares the one build.
+func BinaryPath(tb testing.TB) string {
+	tb.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "alvisp2p-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "alvisp2p")
+		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/alvisp2p")
+		cmd.Dir = moduleRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("cluster: building alvisp2p: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		tb.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// Options configure a spawned cluster.
+type Options struct {
+	N           int           // number of peer processes
+	Replication int           // -replication for every node (0 = 1)
+	Maintain    time.Duration // -maintain interval (0 = binary default)
+	Strategy    string        // -strategy (empty = hdk)
+	AntiEntropy time.Duration // -anti-entropy interval (0 = off)
+
+	// SharedDocs[i] is written into node i's shared directory before it
+	// starts; the node indexes and publishes them during startup, so
+	// the corpus is live once every node is ready.
+	SharedDocs [][]corpus.Doc
+}
+
+// Cluster is a running set of real alvisp2p processes.
+type Cluster struct {
+	tb    testing.TB
+	opts  Options
+	root  string // scratch dir holding per-node data/shared dirs
+	Nodes []*Node
+}
+
+// Node is one spawned peer process. Addr is stable across restarts (a
+// restart reuses the listen address, and with it the peer's ring
+// position); MetricsAddr is re-learned from each start's READY line.
+type Node struct {
+	c           *Cluster
+	Index       int
+	Addr        string
+	MetricsAddr string
+	DataDir     string
+	SharedDir   string
+
+	cmd    *exec.Cmd
+	stderr bytes.Buffer
+	waitC  chan error
+}
+
+// New builds the binary, spawns opts.N processes (node 0 first as the
+// bootstrap contact, the rest joining through it) and waits for every
+// READY line. Processes still alive at test end are killed by cleanup.
+func New(tb testing.TB, opts Options) *Cluster {
+	tb.Helper()
+	if opts.N <= 0 {
+		tb.Fatal("cluster: Options.N must be positive")
+	}
+	bin := BinaryPath(tb)
+	c := &Cluster{tb: tb, opts: opts, root: tb.TempDir()}
+	tb.Cleanup(c.stopAll)
+	for i := 0; i < opts.N; i++ {
+		n := &Node{
+			c:         c,
+			Index:     i,
+			DataDir:   filepath.Join(c.root, fmt.Sprintf("node%d-data", i)),
+			SharedDir: filepath.Join(c.root, fmt.Sprintf("node%d-shared", i)),
+		}
+		for _, dir := range []string{n.DataDir, n.SharedDir} {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if i < len(opts.SharedDocs) {
+			for _, d := range opts.SharedDocs[i] {
+				if err := os.WriteFile(filepath.Join(n.SharedDir, d.Name), []byte(DocFileContent(d)), 0o644); err != nil {
+					tb.Fatal(err)
+				}
+			}
+		}
+		bootstrap := ""
+		if i > 0 {
+			bootstrap = c.Nodes[0].Addr
+		}
+		if err := n.start(bin, "127.0.0.1:0", bootstrap); err != nil {
+			tb.Fatalf("cluster: starting node %d: %v", i, err)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// start spawns the node's process and blocks until its READY line.
+func (n *Node) start(bin, listen, bootstrap string) error {
+	args := []string{
+		"-serve",
+		"-listen", listen,
+		"-metrics-addr", "127.0.0.1:0",
+		"-data-dir", n.DataDir,
+		"-shared", n.SharedDir,
+	}
+	if r := n.c.opts.Replication; r > 1 {
+		args = append(args, "-replication", fmt.Sprint(r))
+	}
+	if d := n.c.opts.Maintain; d > 0 {
+		args = append(args, "-maintain", d.String())
+	}
+	if s := n.c.opts.Strategy; s != "" {
+		args = append(args, "-strategy", s)
+	}
+	if d := n.c.opts.AntiEntropy; d > 0 {
+		args = append(args, "-anti-entropy", d.String())
+	}
+	if bootstrap != "" {
+		args = append(args, "-bootstrap", bootstrap)
+	}
+	cmd := exec.Command(bin, args...)
+	n.stderr.Reset()
+	cmd.Stderr = &n.stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	n.cmd = cmd
+	n.waitC = make(chan error, 1)
+
+	readyC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, readyPrefix) {
+				select {
+				case readyC <- line:
+				default:
+				}
+			}
+		}
+		// Drain to EOF so the child never blocks on a full stdout pipe.
+	}()
+	go func() { n.waitC <- cmd.Wait() }()
+
+	select {
+	case line := <-readyC:
+		for _, f := range strings.Fields(strings.TrimPrefix(line, readyPrefix)) {
+			if v, ok := strings.CutPrefix(f, "addr="); ok {
+				n.Addr = v
+			}
+			if v, ok := strings.CutPrefix(f, "metrics="); ok {
+				n.MetricsAddr = v
+			}
+		}
+		if n.Addr == "" || n.MetricsAddr == "" {
+			n.kill()
+			return fmt.Errorf("malformed READY line %q", line)
+		}
+		return nil
+	case err := <-n.waitC:
+		return fmt.Errorf("process exited before READY: %v\nstderr:\n%s", err, n.stderr.String())
+	case <-time.After(readyTimeout):
+		n.kill()
+		return fmt.Errorf("no READY line within %v\nstderr:\n%s", readyTimeout, n.stderr.String())
+	}
+}
+
+// Kill sends SIGKILL — the unclean death used by churn tests — and
+// reaps the process.
+func (n *Node) Kill() {
+	n.c.tb.Helper()
+	n.kill()
+	<-n.waitC
+	n.cmd = nil
+}
+
+func (n *Node) kill() {
+	if n.cmd != nil && n.cmd.Process != nil {
+		_ = n.cmd.Process.Kill()
+	}
+}
+
+// Shutdown sends SIGTERM and asserts the graceful-exit contract: the
+// process must exit 0 within the timeout.
+func (n *Node) Shutdown(timeout time.Duration) error {
+	if n.cmd == nil || n.cmd.Process == nil {
+		return fmt.Errorf("node %d not running", n.Index)
+	}
+	if err := n.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case err := <-n.waitC:
+		n.cmd = nil
+		if err != nil {
+			return fmt.Errorf("node %d exited non-zero after SIGTERM: %v\nstderr:\n%s", n.Index, err, n.stderr.String())
+		}
+		return nil
+	case <-time.After(timeout):
+		n.kill()
+		<-n.waitC
+		n.cmd = nil
+		return fmt.Errorf("node %d ignored SIGTERM for %v", n.Index, timeout)
+	}
+}
+
+// Restart re-spawns a dead node on its previous listen address and data
+// directory — same address means same ring ID, which is what lets the
+// recovered store's watermark match and the rejoin run as a delta pull.
+func (n *Node) Restart() error {
+	if n.cmd != nil {
+		return fmt.Errorf("node %d still running", n.Index)
+	}
+	bootstrap := ""
+	for _, other := range n.c.Nodes {
+		if other != n && other.cmd != nil {
+			bootstrap = other.Addr
+			break
+		}
+	}
+	return n.start(BinaryPath(n.c.tb), n.Addr, bootstrap)
+}
+
+// Running reports whether the node's process is alive.
+func (n *Node) Running() bool { return n.cmd != nil }
+
+// Stderr returns what the node wrote to stderr so far (its log).
+func (n *Node) Stderr() string { return n.stderr.String() }
+
+// Scrape fetches and parses the node's /metrics page.
+func (n *Node) Scrape() (*telemetry.Scrape, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + n.MetricsAddr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("scrape %s: HTTP %d: %s", n.MetricsAddr, resp.StatusCode, body)
+	}
+	return telemetry.ParseText(resp.Body)
+}
+
+// stopAll is the test-cleanup reaper: SIGKILL anything still running.
+func (c *Cluster) stopAll() {
+	for _, n := range c.Nodes {
+		if n.cmd != nil {
+			n.kill()
+			<-n.waitC
+			n.cmd = nil
+		}
+	}
+}

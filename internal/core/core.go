@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/qdi"
 	"repro/internal/ranking"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/textproc"
 	"repro/internal/transport"
 )
@@ -188,6 +190,11 @@ type QueryTrace struct {
 	Candidates int  // size of the union before ranking
 	Activated  int  // QDI keys indexed on demand by this query
 	FullHit    bool // the full query combination was indexed (first probe hit)
+
+	// Spans is the query's timed span tree (resolver → probe → hedge →
+	// merge); render it with Spans.JSON(). Populated whenever tracing is
+	// on (the default; WithTrace(false) disables it).
+	Spans *telemetry.Span
 }
 
 // Peer is one AlvisP2P participant.
@@ -209,6 +216,12 @@ type Peer struct {
 	gidx   *globalindex.Index
 	gstats *ranking.GlobalStats
 	qdiMgr *qdi.Manager
+
+	tel    *telemetry.Registry
+	scount searchCounters
+
+	closeOnce sync.Once
+	closeErr  error
 
 	published map[uint32]bool // docs already pushed to the network
 }
@@ -269,6 +282,7 @@ func OpenPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Con
 		published: make(map[uint32]bool),
 	}
 	p.qdiMgr.SetEnabled(cfg.Strategy == StrategyQDI)
+	p.tel = p.buildTelemetry()
 	p.registerL5Handlers(d)
 	if cfg.ReplicationFactor > 1 {
 		// Route the ranking layer's statistics writes through the global
@@ -326,18 +340,23 @@ func (p *Peer) opCtx(ctx context.Context) (context.Context, context.CancelFunc, 
 // returning — and finally the storage engine is flushed and closed,
 // stamped with the responsibility watermark the peer held at shutdown
 // (what a durable engine needs to rejoin with a delta pull). Close is
-// idempotent.
+// idempotent — every call returns the first call's error — and safe to
+// run concurrently with in-flight searches: the root-context cancel
+// unwinds them, and the teardown sequence runs exactly once.
 func (p *Peer) Close() error {
-	p.shutdown()
-	p.disp.Close()
-	if pred := p.node.Predecessor(); !pred.IsZero() {
-		p.gidx.Store().SetWatermark(pred.ID, p.node.Self().ID)
-	}
-	err := p.node.Endpoint().Close()
-	if cerr := p.gidx.Store().Close(); err == nil {
-		err = cerr
-	}
-	return err
+	p.closeOnce.Do(func() {
+		p.shutdown()
+		p.disp.Close()
+		if pred := p.node.Predecessor(); !pred.IsZero() {
+			p.gidx.Store().SetWatermark(pred.ID, p.node.Self().ID)
+		}
+		err := p.node.Endpoint().Close()
+		if cerr := p.gidx.Store().Close(); err == nil {
+			err = cerr
+		}
+		p.closeErr = err
+	})
+	return p.closeErr
 }
 
 // Node returns the peer's DHT node.
@@ -548,6 +567,18 @@ func (p *Peer) PublishIndex(ctx context.Context) (hdk.Result, error) {
 // far with Partial set, and the error is ErrQueryCancelled (cancel) or
 // ErrPartialResults (deadline expiry).
 func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (*SearchResponse, error) {
+	resp, err := p.doSearch(ctx, query, opts...)
+	p.scount.searches.Add(1)
+	if err != nil {
+		p.scount.failed.Add(1)
+	}
+	if resp != nil && resp.Partial {
+		p.scount.partial.Add(1)
+	}
+	return resp, err
+}
+
+func (p *Peer) doSearch(ctx context.Context, query string, opts ...SearchOption) (*SearchResponse, error) {
 	o := searchOpts{trace: true}
 	for _, opt := range opts {
 		opt(&o)
@@ -575,6 +606,12 @@ func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (
 	resp := &SearchResponse{}
 	if o.trace {
 		resp.Trace = qt
+		// The root span rides the context: every instrumented layer below
+		// (batch resolver, hedged reads) attaches its own children.
+		qt.Spans = telemetry.NewRootSpan("search")
+		qt.Spans.SetAttr("terms", strconv.Itoa(len(terms)))
+		ctx = telemetry.ContextWithSpan(ctx, qt.Spans)
+		defer qt.Spans.Finish()
 	}
 	if len(terms) == 0 {
 		return resp, nil
@@ -599,9 +636,13 @@ func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (
 		wantIndex: make(map[string]bool),
 		perKey:    make(map[string]*postings.List),
 	}
-	_, trace, exploreErr := lattice.Explore(ctx, fetch, terms, latCfg)
+	pctx, probeSpan := telemetry.StartSpan(ctx, "probe")
+	_, trace, exploreErr := lattice.Explore(pctx, fetch, terms, latCfg)
 	qt.Probes = trace.Probes()
 	qt.Skipped = len(trace.Skipped)
+	p.scount.probes.Add(int64(qt.Probes))
+	probeSpan.SetAttr("probes", strconv.Itoa(qt.Probes))
+	probeSpan.Finish()
 	if len(trace.Probed) > 0 && len(trace.Probed[0].Terms) == len(terms) {
 		qt.FullHit = trace.Probed[0].Found
 	}
@@ -611,12 +652,15 @@ func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (
 		return resp, exploreErr
 	}
 
+	_, mergeSpan := telemetry.StartSpan(ctx, "merge")
 	rankedAll := rankUnion(fetch.perKey)
 	qt.Candidates = len(rankedAll)
 	ranked := rankedAll
 	if len(ranked) > topK {
 		ranked = ranked[:topK]
 	}
+	mergeSpan.SetAttr("candidates", strconv.Itoa(qt.Candidates))
+	mergeSpan.Finish()
 
 	if cause := ctx.Err(); cause != nil {
 		// The exploration (or what preceded the check) was cut short.
@@ -630,7 +674,9 @@ func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (
 		return resp, fmt.Errorf("%w (%d probes completed): %w", ErrQueryCancelled, qt.Probes, cause)
 	}
 
-	results, err := p.presentResults(ctx, ranked)
+	prctx, presentSpan := telemetry.StartSpan(ctx, "present")
+	results, err := p.presentResults(prctx, ranked)
+	presentSpan.Finish()
 	if err != nil {
 		return resp, err
 	}
@@ -657,7 +703,9 @@ func (p *Peer) Search(ctx context.Context, query string, opts ...SearchOption) (
 				break
 			}
 		}
-		n, err := p.qdiMgr.ProcessQuery(ctx, terms, trace, fetch.wantIndex, acquired)
+		qctx, qdiSpan := telemetry.StartSpan(ctx, "qdi")
+		n, err := p.qdiMgr.ProcessQuery(qctx, terms, trace, fetch.wantIndex, acquired)
+		qdiSpan.Finish()
 		if err != nil {
 			return resp, fmt.Errorf("core: on-demand indexing: %w", err)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/ids"
 	"repro/internal/postings"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -310,6 +311,9 @@ func chunkGroups(groups []group, max int) []group {
 // resolveAll resolves the canonical keys of a batch through the caching
 // resolver.
 func (ix *Index) resolveAll(ctx context.Context, keys []string, workers int) ([]dht.Remote, error) {
+	_, span := telemetry.StartSpan(ctx, "resolve")
+	defer span.Finish()
+	span.SetAttr("keys", fmt.Sprint(len(keys)))
 	hashes := make([]ids.ID, len(keys))
 	for i, k := range keys {
 		hashes[i] = ids.HashString(k)

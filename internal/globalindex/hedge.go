@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -106,6 +107,9 @@ func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg u
 	if len(targets) == 0 {
 		return nil, "", transport.ErrUnreachable
 	}
+	_, span := telemetry.StartSpan(ctx, "hedge")
+	defer span.Finish()
+	span.SetAttr("replicas", fmt.Sprint(len(targets)))
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // the winner's return cancels every loser
 	type attempt struct {
@@ -114,7 +118,11 @@ func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg u
 		err  error
 	}
 	ch := make(chan attempt, len(targets))
+	spans := make([]*telemetry.Span, len(targets))
 	launch := func(i int) {
+		as := span.NewChild("attempt")
+		as.SetAttr("peer", string(targets[i]))
+		spans[i] = as
 		go func() {
 			_, r, e := ix.timedCall(cctx, targets[i], msg, body)
 			ch <- attempt{idx: i, resp: r, err: e}
@@ -130,7 +138,12 @@ func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg u
 		select {
 		case a := <-ch:
 			inflight--
+			if a.err != nil {
+				spans[a.idx].SetAttr("error", a.err.Error())
+			}
+			spans[a.idx].Finish()
 			if a.err == nil {
+				span.SetAttr("winner", string(targets[a.idx]))
 				return a.resp, targets[a.idx], nil
 			}
 			lastErr = a.err

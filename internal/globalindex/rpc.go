@@ -3,6 +3,7 @@ package globalindex
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/dht"
 	"repro/internal/ids"
@@ -80,6 +81,13 @@ func (ix *Index) Store() StorageEngine { return ix.store }
 
 // Node returns the underlying DHT node.
 func (ix *Index) Node() *dht.Node { return ix.node }
+
+// LatencySnapshot returns a copy of the per-peer round-trip EWMA table
+// the read path maintains; the telemetry registry exports it as the
+// alvis_remote_latency_ewma_seconds gauge.
+func (ix *Index) LatencySnapshot() map[transport.Addr]time.Duration {
+	return ix.lat.Snapshot()
+}
 
 func (ix *Index) handlePut(_ context.Context, _ transport.Addr, _ uint8, body []byte) (uint8, []byte, error) {
 	key, bound, _, list, err := decodeKeyBoundList(body, false)

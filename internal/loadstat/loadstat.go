@@ -100,6 +100,18 @@ func (t *Tracker) Rank(addrs []transport.Addr) {
 	copy(addrs, out)
 }
 
+// Snapshot returns a copy of every tracked peer's current EWMA — the
+// telemetry layer exports it as the per-peer latency gauge.
+func (t *Tracker) Snapshot() map[transport.Addr]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[transport.Addr]time.Duration, len(t.ewma))
+	for a, d := range t.ewma {
+		out[a] = d
+	}
+	return out
+}
+
 // Len returns the number of peers currently tracked.
 func (t *Tracker) Len() int {
 	t.mu.Lock()

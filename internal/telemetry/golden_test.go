@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text exposition byte-for-byte:
+// dashboards and the harness scraper key on stable names, types, label
+// order and value formatting, so any drift here is a breaking change.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("alvis_transport_messages_total", "messages sent and received, by frame type",
+		func(emit func(float64, ...Label)) {
+			emit(42, L("type", "0x12"))
+			emit(7, L("type", "0x10"))
+		})
+	r.RegisterGauge("alvis_admission_inflight", "handlers currently executing",
+		func(emit func(float64, ...Label)) { emit(3) })
+	r.RegisterCounter("alvis_admission_sheds_total", "requests refused before work",
+		func(emit func(float64, ...Label)) {}) // empty family: header still emitted
+	r.RegisterGauge("alvis_remote_latency_ewma_seconds", "per-peer round-trip EWMA",
+		func(emit func(float64, ...Label)) { emit(0.0125, L("peer", "127.0.0.1:4001")) })
+
+	const golden = `# HELP alvis_admission_inflight handlers currently executing
+# TYPE alvis_admission_inflight gauge
+alvis_admission_inflight 3
+# HELP alvis_admission_sheds_total requests refused before work
+# TYPE alvis_admission_sheds_total counter
+# HELP alvis_remote_latency_ewma_seconds per-peer round-trip EWMA
+# TYPE alvis_remote_latency_ewma_seconds gauge
+alvis_remote_latency_ewma_seconds{peer="127.0.0.1:4001"} 0.0125
+# HELP alvis_transport_messages_total messages sent and received, by frame type
+# TYPE alvis_transport_messages_total counter
+alvis_transport_messages_total{type="0x10"} 7
+alvis_transport_messages_total{type="0x12"} 42
+`
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != golden {
+		t.Fatalf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestExpositionParseRoundTrip proves the scraper reads back exactly
+// what the registry wrote: every sample, every type, every label.
+func TestExpositionParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("a_total", "help a", func(emit func(float64, ...Label)) {
+		emit(1.5, L("x", "1"), L("y", "two"))
+		emit(2, L("x", "2"))
+	})
+	r.RegisterGauge("b", "help b", func(emit func(float64, ...Label)) { emit(-3) })
+	r.RegisterGauge("empty", "no samples yet", func(emit func(float64, ...Label)) {})
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := sc.Names(), []string{"a_total", "b", "empty"}; len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("names = %v, want %v", got, want)
+			}
+		}
+	}
+	if sc.Types["a_total"] != "counter" || sc.Types["b"] != "gauge" || sc.Types["empty"] != "gauge" {
+		t.Fatalf("types = %v", sc.Types)
+	}
+	if v, ok := sc.Value("a_total", L("x", "1"), L("y", "two")); !ok || v != 1.5 {
+		t.Fatalf("a_total{x=1,y=two} = %v ok=%v", v, ok)
+	}
+	if v, ok := sc.Value("b"); !ok || v != -3 {
+		t.Fatalf("b = %v ok=%v", v, ok)
+	}
+	if sum := sc.Sum("a_total"); sum != 3.5 {
+		t.Fatalf("Sum(a_total) = %v, want 3.5", sum)
+	}
+	if sum := sc.Sum("empty"); sum != 0 {
+		t.Fatalf("Sum(empty) = %v, want 0", sum)
+	}
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of a scraped exposition.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is a parsed Prometheus text exposition: the cluster harness
+// fetches each node's /metrics and reads counters out of this.
+type Scrape struct {
+	// Types maps family name -> declared TYPE ("counter", "gauge").
+	// Families appear here even when they carried no samples.
+	Types map[string]string
+	// Samples holds every sample line in input order.
+	Samples []ParsedSample
+}
+
+// ParseText parses the Prometheus text exposition format produced by
+// Registry.WriteText (a practical subset of the full 0.0.4 grammar:
+// HELP/TYPE comments, sample lines with optional labels; no exemplars
+// or timestamps, which the registry never emits).
+func ParseText(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				s.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: %w", lineNo, err)
+		}
+		s.Samples = append(s.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	var name, labelPart, valuePart string
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		close := strings.LastIndexByte(line, '}')
+		if close < open {
+			return ParsedSample{}, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name = line[:open]
+		labelPart = line[open+1 : close]
+		valuePart = strings.TrimSpace(line[close+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return ParsedSample{}, fmt.Errorf("want 'name value', got %q", line)
+		}
+		name, valuePart = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(valuePart, 64)
+	if err != nil {
+		return ParsedSample{}, fmt.Errorf("bad value %q: %w", valuePart, err)
+	}
+	labels, err := parseLabels(labelPart)
+	if err != nil {
+		return ParsedSample{}, err
+	}
+	return ParsedSample{Name: name, Labels: labels, Value: v}, nil
+}
+
+// parseLabels parses `a="x",b="y"` honouring escaped quotes.
+func parseLabels(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label segment %q", s[i:])
+		}
+		name := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %q value unterminated", name)
+		}
+		i++ // closing quote
+		out[name] = b.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' at %q", s[i:])
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+// Value returns the single sample of name with exactly the given labels;
+// ok is false when absent.
+func (s *Scrape) Value(name string, labels ...Label) (float64, bool) {
+	for _, ps := range s.Samples {
+		if ps.Name != name || len(ps.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for _, l := range labels {
+			if ps.Labels[l.Name] != l.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ps.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum returns the sum of every sample of name across all label sets
+// (0 when the family has no samples).
+func (s *Scrape) Sum(name string) float64 {
+	var sum float64
+	for _, ps := range s.Samples {
+		if ps.Name == name {
+			sum += ps.Value
+		}
+	}
+	return sum
+}
+
+// Names returns the sorted family names the scrape declared (via TYPE
+// headers), whether or not they carried samples.
+func (s *Scrape) Names() []string {
+	out := make([]string, 0, len(s.Types))
+	for name := range s.Types {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,262 @@
+// Package telemetry is AlvisP2P's observability layer: one metric
+// Registry per peer exposing the counters the system already computes
+// (transport meters, admission-control statistics, storage gauges,
+// replication transfer counters, per-peer latency EWMAs) in the
+// Prometheus text exposition format, plus per-query trace spans
+// (trace.go) that follow a search through resolver, probes, hedges and
+// merging.
+//
+// The registry is collector-based: sources keep their own state (an
+// atomic counter, an EWMA table, a store) and register a function that
+// emits current samples at scrape time. Simulation experiments and the
+// real cluster therefore share one measurement vocabulary — the same
+// registry a sim test reads in-process is what cmd/alvisp2p serves on
+// its /metrics endpoint, with identical metric names.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ValueType is a metric family's Prometheus type.
+type ValueType string
+
+const (
+	// Counter is a monotonically increasing total.
+	Counter ValueType = "counter"
+	// Gauge is a level that can go up and down.
+	Gauge ValueType = "gauge"
+)
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Sample is one measured value with its labels.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Desc describes a metric family: its stable name (the dashboard
+// contract), a help line and the Prometheus type.
+type Desc struct {
+	Name string
+	Help string
+	Type ValueType
+}
+
+// CollectFunc emits a family's current samples. It is called at scrape
+// time with the registry lock held, so it must not call back into the
+// registry; emitting zero samples is fine (the family still appears in
+// the exposition with its HELP/TYPE header, keeping the name vocabulary
+// stable whether or not the source has data yet).
+type CollectFunc func(emit func(value float64, labels ...Label))
+
+type family struct {
+	desc    Desc
+	collect CollectFunc
+}
+
+// Registry is a set of metric families gathered on demand. It is safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Register adds a family. Registering a duplicate name panics: two
+// sources silently sharing a name would corrupt the exposition.
+func (r *Registry) Register(d Desc, f CollectFunc) {
+	if d.Name == "" || f == nil {
+		panic("telemetry: Register needs a name and a collector")
+	}
+	if d.Type == "" {
+		d.Type = Gauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[d.Name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", d.Name))
+	}
+	r.families[d.Name] = &family{desc: d, collect: f}
+}
+
+// RegisterCounter is Register with Type pre-set to Counter.
+func (r *Registry) RegisterCounter(name, help string, f CollectFunc) {
+	r.Register(Desc{Name: name, Help: help, Type: Counter}, f)
+}
+
+// RegisterGauge is Register with Type pre-set to Gauge.
+func (r *Registry) RegisterGauge(name, help string, f CollectFunc) {
+	r.Register(Desc{Name: name, Help: help, Type: Gauge}, f)
+}
+
+// Family is one gathered metric family: its description and the samples
+// collected at gather time, sorted by label signature.
+type Family struct {
+	Desc
+	Samples []Sample
+}
+
+// Gather collects every family, sorted by name. Sample order within a
+// family is deterministic (sorted by rendered label signature), so two
+// gathers over identical state produce identical output.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Family, 0, len(r.families))
+	for _, fam := range r.families {
+		g := Family{Desc: fam.desc}
+		fam.collect(func(value float64, labels ...Label) {
+			g.Samples = append(g.Samples, Sample{Labels: labels, Value: value})
+		})
+		sort.SliceStable(g.Samples, func(i, j int) bool {
+			return labelSignature(g.Samples[i].Labels) < labelSignature(g.Samples[j].Labels)
+		})
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted family names — the registry's vocabulary.
+// The cluster tests assert that a simulated peer and a scraped real
+// process expose identical name sets.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE headers for every family —
+// including empty ones, keeping the vocabulary visible — followed by one
+// line per sample.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.Name, fam.Type); err != nil {
+			return err
+		}
+		for _, s := range fam.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", fam.Name, labelSignature(s.Labels), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the exposition — what
+// cmd/alvisp2p mounts at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// MetricsServer is a running /metrics HTTP listener; Close stops it.
+type MetricsServer struct {
+	// Addr is the concrete bound address (host:port) — with a ":0"
+	// request this carries the OS-assigned port the harness parses.
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves the registry at
+// /metrics until Close. It returns once the listener is bound, so the
+// reported Addr is immediately scrapable.
+func (r *Registry) Serve(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close stops the metrics listener. Idempotent.
+func (ms *MetricsServer) Close() error {
+	return ms.srv.Close()
+}
+
+// labelSignature renders labels as {a="x",b="y"} in sorted-name order
+// ("" for no labels) — both the exposition syntax and the sample sort
+// key.
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	h = strings.ReplaceAll(h, "\n", `\n`)
+	return h
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"net/http"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryGatherSortsAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	var hits atomic.Int64
+	r.RegisterCounter("zeta_total", "last alphabetically", func(emit func(float64, ...Label)) {
+		emit(float64(hits.Load()))
+	})
+	r.RegisterGauge("alpha", "first alphabetically", func(emit func(float64, ...Label)) {
+		emit(2, L("b", "2"))
+		emit(1, L("a", "1"))
+	})
+
+	hits.Store(7)
+	fams := r.Gather()
+	if len(fams) != 2 || fams[0].Name != "alpha" || fams[1].Name != "zeta_total" {
+		t.Fatalf("families not sorted by name: %+v", fams)
+	}
+	if fams[1].Samples[0].Value != 7 {
+		t.Fatalf("counter snapshot = %v, want 7", fams[1].Samples[0].Value)
+	}
+	// Samples sorted by label signature.
+	if fams[0].Samples[0].Labels[0] != L("a", "1") {
+		t.Fatalf("samples not sorted: %+v", fams[0].Samples)
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"alpha", "zeta_total"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGauge("dup", "", func(emit func(float64, ...Label)) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.RegisterGauge("dup", "", func(emit func(float64, ...Label)) {})
+}
+
+func TestServeScrapesOverHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCounter("hits_total", "requests served", func(emit func(float64, ...Label)) {
+		emit(3, L("code", "200"))
+	})
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("hits_total", L("code", "200")); !ok || v != 3 {
+		t.Fatalf("scraped hits_total = %v (ok=%v), want 3", v, ok)
+	}
+	if sc.Types["hits_total"] != "counter" {
+		t.Fatalf("scraped type = %q, want counter", sc.Types["hits_total"])
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGauge("weird", "", func(emit func(float64, ...Label)) {
+		emit(1, L("v", `a"b\c`+"\nd"))
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse of %q: %v", b.String(), err)
+	}
+	if v, ok := sc.Value("weird", L("v", `a"b\c`+"\nd")); !ok || v != 1 {
+		t.Fatalf("escaped label did not round-trip: %q", b.String())
+	}
+}

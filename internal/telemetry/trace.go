@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span is one timed step of a traced operation, forming a tree: a
+// search's root span has children for resolver work, lattice probes,
+// hedged escalations, ranking and presentation. Spans are safe for
+// concurrent use — batch fan-outs add children from worker goroutines.
+//
+// All methods are nil-receiver safe: instrumented code paths call
+// StartSpan unconditionally, and when the context carries no span (the
+// caller didn't ask for a trace) every operation is a cheap no-op.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+}
+
+// NewRootSpan starts a new top-level span.
+func NewRootSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Finish stamps the span's end time (first call wins).
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key=value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns an annotation's value ("" when absent or on nil).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// NewChild starts a child span (nil parent returns nil, keeping whole
+// call chains free when tracing is off).
+func (s *Span) NewChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Children returns a snapshot of the span's children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Find returns the first descendant (depth-first, self included) with
+// the given name, or nil — what the span-shape tests navigate by.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name() == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Duration returns end-start (time-to-now for an unfinished span).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// spanJSON is the wire shape of a dumped span.
+type spanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []spanJSON        `json:"children,omitempty"`
+}
+
+func (s *Span) view() spanJSON {
+	s.mu.Lock()
+	v := spanJSON{Name: s.name, Start: s.start}
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	v.DurationUS = end.Sub(s.start).Microseconds()
+	if len(s.attrs) > 0 {
+		v.Attrs = make(map[string]string, len(s.attrs))
+		for k, val := range s.attrs {
+			v.Attrs[k] = val
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		v.Children = append(v.Children, c.view())
+	}
+	return v
+}
+
+// MarshalJSON renders the span tree as JSON — the per-query trace dump.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(s.view())
+}
+
+// JSON renders the span tree as indented JSON, for logs and artifacts.
+func (s *Span) JSON() string {
+	if s == nil {
+		return "null"
+	}
+	b, err := json.MarshalIndent(s.view(), "", "  ")
+	if err != nil {
+		return "null"
+	}
+	return string(b)
+}
+
+// spanKey is the context key carrying the active span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span (ctx
+// unchanged when s is nil).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span and returns a
+// context carrying the child. When the context has no span — tracing is
+// off — it returns ctx unchanged and a nil span, so instrumentation
+// costs one context lookup and nothing else.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.NewChild(name)
+	return ContextWithSpan(ctx, child), child
+}

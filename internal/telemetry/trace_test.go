@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeAndContextPlumbing(t *testing.T) {
+	root := NewRootSpan("search")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	cctx, probe := StartSpan(ctx, "probe")
+	if probe == nil {
+		t.Fatal("StartSpan under a root returned nil span")
+	}
+	probe.SetAttr("keys", "3")
+	if _, rpc := StartSpan(cctx, "rpc"); rpc == nil {
+		t.Fatal("grandchild span not created")
+	}
+	probe.Finish()
+	root.Finish()
+
+	if got := root.Find("probe"); got != probe {
+		t.Fatalf("Find(probe) = %v", got)
+	}
+	if root.Find("rpc") == nil {
+		t.Fatal("Find(rpc) did not descend")
+	}
+	if root.Find("absent") != nil {
+		t.Fatal("Find(absent) should be nil")
+	}
+	if probe.Attr("keys") != "3" {
+		t.Fatalf("attr = %q", probe.Attr("keys"))
+	}
+}
+
+func TestStartSpanWithoutCollectorIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "anything")
+	if sp != nil {
+		t.Fatal("span created with no active parent")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("context gained a span")
+	}
+	// All operations on nil spans are safe no-ops.
+	sp.Finish()
+	sp.SetAttr("k", "v")
+	if sp.NewChild("c") != nil || sp.Find("x") != nil || sp.Name() != "" || sp.JSON() != "null" {
+		t.Fatal("nil-span operations not inert")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewRootSpan("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.NewChild("worker")
+			c.SetAttr("k", "v")
+			c.Finish()
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if got := len(root.Children()); got != 32 {
+		t.Fatalf("children = %d, want 32", got)
+	}
+}
+
+func TestSpanJSONShape(t *testing.T) {
+	root := NewRootSpan("search")
+	child := root.NewChild("hedge")
+	child.SetAttr("winner", "peer2")
+	child.Finish()
+	root.Finish()
+
+	var v struct {
+		Name       string `json:"name"`
+		DurationUS *int64 `json:"duration_us"`
+		Children   []struct {
+			Name  string            `json:"name"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(root.JSON()), &v); err != nil {
+		t.Fatalf("JSON() not parseable: %v", err)
+	}
+	if v.Name != "search" || v.DurationUS == nil {
+		t.Fatalf("bad root: %+v", v)
+	}
+	if len(v.Children) != 1 || v.Children[0].Name != "hedge" || v.Children[0].Attrs["winner"] != "peer2" {
+		t.Fatalf("bad children: %+v", v.Children)
+	}
+}

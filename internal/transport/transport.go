@@ -311,6 +311,13 @@ type memEndpoint struct {
 
 func (e *memEndpoint) Addr() Addr { return e.addr }
 
+// Meter returns this endpoint's received-traffic meter — the same
+// counters Mem.Load reports. It gives Mem endpoints the optional
+// metered-endpoint surface the TCP endpoint has, so a peer's telemetry
+// registry exports transport counters under identical names on both
+// transports.
+func (e *memEndpoint) Meter() *metrics.Meter { return e.net.Load(e.addr) }
+
 func (e *memEndpoint) Call(ctx context.Context, to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
