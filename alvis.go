@@ -22,8 +22,8 @@
 // a deadline turns into connection/read timeouts on the TCP transport.
 // Search additionally accepts functional options — WithTopK,
 // WithTimeout, WithReadConsistency, WithHedging, WithStrategy,
-// WithTrace — that tune a single query without touching the peer's
-// configuration. A cancelled search returns ErrQueryCancelled, an
+// WithStreaming, WithTrace — that tune a single query without touching
+// the peer's configuration. A cancelled search returns ErrQueryCancelled, an
 // expired one ErrPartialResults; both leave the usable ranked prefix in
 // the response (Partial is set).
 //
@@ -146,6 +146,11 @@ var (
 	WithHedging = core.WithHedging
 	// WithStrategy overrides HDK/QDI for this query only.
 	WithStrategy = core.WithStrategy
+	// WithStreaming switches this query between the streamed
+	// score-bounded read path and classic one-shot pulls, overriding
+	// Config.StreamTopK. Same top-k set, a fraction of the bytes;
+	// see core.WithStreaming for the exact result contract.
+	WithStreaming = core.WithStreaming
 	// WithTrace toggles the response's QueryTrace (default on).
 	WithTrace = core.WithTrace
 )

@@ -128,6 +128,12 @@ type Config struct {
 	// it takes precedence over DataDir. The peer takes ownership: Close
 	// closes the engine.
 	Engine globalindex.StorageEngine
+	// StreamTopK makes every search default to the streamed
+	// score-bounded read path (score-sorted posting prefixes with
+	// threshold-test continuation, compressed chunks on the wire) instead
+	// of one-shot full-list pulls. Off by default: the classic path stays
+	// byte-identical. Per-query override: WithStreaming.
+	StreamTopK bool
 	// AntiEntropyInterval enables the background replica-repair sweep:
 	// every interval the peer re-replicates its owned key range to its
 	// current successors with idempotent ReplSync frames, repairing
@@ -617,14 +623,20 @@ func (p *Peer) doSearch(ctx context.Context, query string, opts ...SearchOption)
 		return resp, nil
 	}
 
+	streaming := p.cfg.StreamTopK
+	if o.streamingSet {
+		streaming = o.streaming
+	}
 	topK := p.cfg.TopK
 	latCfg := p.cfg.Lattice
 	if o.topK > 0 {
 		// The per-query budget replaces both the result bound and the
 		// per-probe transfer cap: no peer ships more postings than the
-		// user will see.
+		// user will see. Under streaming the cap is unnecessary — the
+		// threshold loop bounds transfers by score, and the probes must
+		// see the STORED truncation marks so pruning matches a full pull.
 		topK = o.topK
-		if latCfg.MaxResultsPerProbe == 0 || o.topK < latCfg.MaxResultsPerProbe {
+		if !streaming && (latCfg.MaxResultsPerProbe == 0 || o.topK < latCfg.MaxResultsPerProbe) {
 			latCfg.MaxResultsPerProbe = o.topK
 		}
 	}
@@ -635,6 +647,10 @@ func (p *Peer) doSearch(ctx context.Context, query string, opts ...SearchOption)
 		hedge:     o.hedge,
 		wantIndex: make(map[string]bool),
 		perKey:    make(map[string]*postings.List),
+	}
+	if streaming {
+		fetch.sess = p.gidx.NewTopKSession(topK, 0, p.cfg.Concurrency,
+			fetch.policy, globalindex.WithHedge(o.hedge))
 	}
 	pctx, probeSpan := telemetry.StartSpan(ctx, "probe")
 	_, trace, exploreErr := lattice.Explore(pctx, fetch, terms, latCfg)
@@ -650,6 +666,18 @@ func (p *Peer) doSearch(ctx context.Context, query string, opts ...SearchOption)
 		// A genuine failure (not the caller giving up): no partial
 		// semantics, surface it as before.
 		return resp, exploreErr
+	}
+
+	if fetch.sess != nil && ctx.Err() == nil {
+		// Threshold loop: extend the fetched prefixes only while the
+		// aggregate top k could still change, then re-gather the (live,
+		// extended in place) per-key lists for the final union.
+		if err := fetch.sess.Refine(ctx, rankUnionPostings); err != nil && ctx.Err() == nil {
+			return resp, fmt.Errorf("core: top-k refinement: %w", err)
+		}
+		for key, l := range fetch.sess.Lists() {
+			fetch.perKey[key] = l
+		}
 	}
 
 	_, mergeSpan := telemetry.StartSpan(ctx, "merge")
@@ -731,9 +759,14 @@ func (p *Peer) presentLocal(ranked []scoredRef) []Result {
 // maps: the lattice may drive Get from concurrent workers when the
 // fetcher is used without batch support.
 type searchFetcher struct {
-	p         *Peer
-	policy    globalindex.ReadPolicy
-	hedge     time.Duration // WithHedging delay; 0 = unhedged reads
+	p      *Peer
+	policy globalindex.ReadPolicy
+	hedge  time.Duration // WithHedging delay; 0 = unhedged reads
+	// sess, when non-nil, switches every probe to the streamed
+	// score-bounded read path: prefixes now, continuation chunks during
+	// the post-exploration threshold loop. The recorded lists are live
+	// session state that Refine extends in place.
+	sess      *globalindex.TopKSession
 	mu        sync.Mutex
 	wantIndex map[string]bool
 	perKey    map[string]*postings.List
@@ -752,6 +785,14 @@ func (sf *searchFetcher) record(key string, list *postings.List, found, want boo
 
 // Get implements lattice.Fetcher (the sequential probe path).
 func (sf *searchFetcher) Get(ctx context.Context, ts []string, max int) (*postings.List, bool, error) {
+	if sf.sess != nil {
+		res, err := sf.sess.FetchPrefixes(ctx, []globalindex.GetItem{{Terms: ts}})
+		if err != nil {
+			return nil, false, err
+		}
+		sf.record(ids.KeyString(ts), res[0].List, res[0].Found, res[0].WantIndex)
+		return res[0].List, res[0].Found, nil
+	}
 	l, found, want, err := sf.p.gidx.Get(ctx, ts, max, sf.policy, globalindex.WithHedge(sf.hedge))
 	if err != nil {
 		return nil, false, err
@@ -761,13 +802,20 @@ func (sf *searchFetcher) Get(ctx context.Context, ts []string, max int) (*postin
 }
 
 // GetBatch implements lattice.BatchFetcher: one generation of lattice
-// probes becomes one MultiGet, coalesced per serving peer.
+// probes becomes one MultiGet — or one streamed prefix batch — coalesced
+// per serving peer.
 func (sf *searchFetcher) GetBatch(ctx context.Context, combos [][]string, max int) ([]lattice.BatchResult, error) {
 	items := make([]globalindex.GetItem, len(combos))
 	for i, c := range combos {
 		items[i] = globalindex.GetItem{Terms: c, MaxResults: max}
 	}
-	res, err := sf.p.gidx.MultiGet(ctx, items, sf.p.cfg.Concurrency, sf.policy, globalindex.WithHedge(sf.hedge))
+	var res []globalindex.GetResult
+	var err error
+	if sf.sess != nil {
+		res, err = sf.sess.FetchPrefixes(ctx, items)
+	} else {
+		res, err = sf.p.gidx.MultiGet(ctx, items, sf.p.cfg.Concurrency, sf.policy, globalindex.WithHedge(sf.hedge))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -783,6 +831,17 @@ func (sf *searchFetcher) GetBatch(ctx context.Context, combos [][]string, max in
 type scoredRef struct {
 	ref   postings.DocRef
 	score float64
+}
+
+// rankUnionPostings adapts rankUnion to the global index's RankFn shape;
+// the threshold loop re-ranks with it after every continuation round.
+func rankUnionPostings(perKey map[string]*postings.List) []postings.Posting {
+	ranked := rankUnion(perKey)
+	out := make([]postings.Posting, len(ranked))
+	for i, sr := range ranked {
+		out[i] = postings.Posting{Ref: sr.ref, Score: sr.score}
+	}
+	return out
 }
 
 // rankUnion ranks the union of the retrieved per-key lists. Each posting

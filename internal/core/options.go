@@ -78,13 +78,15 @@ type SearchResponse struct {
 
 // searchOpts is the resolved per-query configuration.
 type searchOpts struct {
-	topK        int // 0 = the peer's configured TopK, no probe cap
-	timeout     time.Duration
-	consistency ReadConsistency
-	hedge       time.Duration // 0 = no hedging
-	strategy    Strategy
-	strategySet bool
-	trace       bool
+	topK         int // 0 = the peer's configured TopK, no probe cap
+	timeout      time.Duration
+	consistency  ReadConsistency
+	hedge        time.Duration // 0 = no hedging
+	strategy     Strategy
+	strategySet  bool
+	trace        bool
+	streaming    bool
+	streamingSet bool
 }
 
 // SearchOption customizes one Search call; the zero set reproduces the
@@ -103,6 +105,22 @@ func WithTopK(n int) SearchOption {
 			o.topK = n
 		}
 	}
+}
+
+// WithStreaming switches this query between the streamed score-bounded
+// read path and the classic one-shot pulls, overriding the peer's
+// Config.StreamTopK default. A streaming query fetches a score-sorted
+// prefix of every probed list plus a bound on the unseen scores, then
+// requests continuation chunks only while the k-th best aggregate could
+// still change — the same top-k result set, a fraction of the bytes when
+// the stored lists are long and their scores decay. Within the set,
+// reported scores are sound lower bounds of the exact aggregates
+// (refinement stops once the set is proven fixed), so near-tied
+// documents can present in a slightly different order. Chunks travel in
+// the compressed postings encoding; non-streamed reads keep the legacy
+// one-shot frames byte for byte.
+func WithStreaming(enabled bool) SearchOption {
+	return func(o *searchOpts) { o.streaming, o.streamingSet = enabled, true }
 }
 
 // WithTimeout gives the query its own deadline, combined with whatever

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/postings"
+)
+
+// Streamed searches carry the threshold algorithm's contract: the
+// returned top-k result SET equals the classic one-shot path's (modulo
+// documents tied at the k-th score, where either resolution is valid),
+// and every reported score is a sound lower bound of the document's
+// exact aggregate — a streamed score never exceeds the exact one beyond
+// the chunks' quantization error (~2^-21 relative, floored). In-set rank
+// order may differ for near-tied documents: scores inside the top k stop
+// refining once the set is proven fixed.
+func TestStreamingSearchMatchesDefault(t *testing.T) {
+	n := smallHDKNet(t)
+	w := corpus.GenerateWorkload(n.Collection, corpus.WorkloadParams{NumQueries: 25, MaxTerms: 3, Seed: 31})
+	peer := n.Peers[1]
+	tol := func(s float64) float64 { return 1e-4 * math.Max(1, s) }
+	for qi, q := range w.Queries {
+		// An uncapped classic search yields every candidate's exact score.
+		all, err := peer.Search(context.Background(), q.Text(), core.WithTopK(100000))
+		if err != nil {
+			t.Fatalf("query %d classic: %v", qi, err)
+		}
+		streamed, err := peer.Search(context.Background(), q.Text(), core.WithStreaming(true))
+		if err != nil {
+			t.Fatalf("query %d streamed: %v", qi, err)
+		}
+		k := 20 // the fixture's configured TopK
+		classicTop := all.Results
+		if len(classicTop) > k {
+			classicTop = classicTop[:k]
+		}
+		if len(streamed.Results) != len(classicTop) {
+			t.Fatalf("query %d (%q): %d streamed results vs %d classic",
+				qi, q.Text(), len(streamed.Results), len(classicTop))
+		}
+		if len(classicTop) == 0 {
+			continue
+		}
+		exact := map[postings.DocRef]float64{}
+		for _, r := range all.Results {
+			exact[r.Ref] = r.Score
+		}
+		boundary := classicTop[len(classicTop)-1].Score
+		inStreamed := map[postings.DocRef]bool{}
+		for i, r := range streamed.Results {
+			inStreamed[r.Ref] = true
+			want, ok := exact[r.Ref]
+			if !ok {
+				t.Fatalf("query %d (%q): streamed result %v not a classic candidate", qi, q.Text(), r.Ref)
+			}
+			if r.Score > want+tol(want) {
+				t.Fatalf("query %d (%q) rank %d: streamed score %.9f exceeds exact %.9f",
+					qi, q.Text(), i, r.Score, want)
+			}
+			// Set membership: every streamed hit must truly belong in the
+			// top k — its exact score reaches the classic k-th score.
+			if want < boundary-tol(boundary) {
+				t.Fatalf("query %d (%q): streamed %v exact score %.6f below boundary %.6f",
+					qi, q.Text(), r.Ref, want, boundary)
+			}
+		}
+		for _, c := range classicTop {
+			if !inStreamed[c.Ref] && c.Score > boundary+tol(boundary) {
+				t.Fatalf("query %d (%q): %v (%.6f) above the boundary %.6f missing from streamed results",
+					qi, q.Text(), c.Ref, c.Score, boundary)
+			}
+		}
+	}
+}
+
+// topkFamily sums one alvis_index_topk_* family on a peer's registry.
+func topkFamily(t *testing.T, p *core.Peer, name string) float64 {
+	t.Helper()
+	for _, f := range p.Telemetry().Gather() {
+		if f.Name == name {
+			var sum float64
+			for _, s := range f.Samples {
+				sum += s.Value
+			}
+			return sum
+		}
+	}
+	t.Fatalf("family %q not registered", name)
+	return 0
+}
+
+// Config.StreamTopK flips the default path — observable through the
+// coordinator-side topk counters — and WithStreaming(false) opts a
+// single query back out.
+func TestStreamingConfigDefaultAndOverride(t *testing.T) {
+	cfg := hdkTestCfg
+	cfg.StreamTopK = true
+	n := publishedNet(t, 6, cfg)
+	peer := n.Peers[0]
+
+	if _, err := peer.Search(context.Background(), "term0000 term0001", core.WithTopK(5)); err != nil {
+		t.Fatal(err)
+	}
+	saved := topkFamily(t, peer, "alvis_index_topk_bytes_saved_total")
+	if saved <= 0 {
+		t.Fatalf("StreamTopK default did not stream: bytes saved %v", saved)
+	}
+
+	// Opting the query out must leave the streamed-read counters alone.
+	if _, err := peer.Search(context.Background(), "term0000 term0001",
+		core.WithTopK(5), core.WithStreaming(false)); err != nil {
+		t.Fatal(err)
+	}
+	if after := topkFamily(t, peer, "alvis_index_topk_bytes_saved_total"); after != saved {
+		t.Fatalf("WithStreaming(false) still streamed: %v -> %v", saved, after)
+	}
+}

@@ -121,6 +121,22 @@ func (p *Peer) buildTelemetry() *telemetry.Registry {
 			emit(float64(store.TrackedKeys()))
 		})
 
+	r.RegisterCounter("alvis_index_topk_rounds_total",
+		"continuation rounds issued by streamed top-k read sessions",
+		func(emit func(float64, ...telemetry.Label)) {
+			emit(float64(p.gidx.TopKStats().Rounds))
+		})
+	r.RegisterCounter("alvis_index_topk_early_terminations_total",
+		"streamed top-k sessions ended by the threshold test with unread tail remaining",
+		func(emit func(float64, ...telemetry.Label)) {
+			emit(float64(p.gidx.TopKStats().EarlyTerminations))
+		})
+	r.RegisterCounter("alvis_index_topk_bytes_saved_total",
+		"estimated bytes of stored posting tails streamed reads never shipped",
+		func(emit func(float64, ...telemetry.Label)) {
+			emit(float64(p.gidx.TopKStats().BytesSaved))
+		})
+
 	r.RegisterGauge("alvis_storage_recovered",
 		"1 when the storage engine restored state from disk at open",
 		func(emit func(float64, ...telemetry.Label)) {

@@ -17,9 +17,58 @@ package corpus
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 )
+
+// ZipfSampler draws ranks in [0, n) from a Zipf(s) distribution —
+// P(rank r) ∝ 1/(r+1)^s — by inverse-CDF lookup over the precomputed
+// cumulative weights. Unlike math/rand's rejection sampler it accepts
+// any exponent s > 0, the classic web-text value s = 1.0 included, and
+// consumes exactly one rng.Float64 per draw, so sequences are seeded
+// and reproducible.
+type ZipfSampler struct {
+	cum []float64
+}
+
+// NewZipfSampler precomputes the cumulative weights for n ranks with
+// exponent s (s <= 0 degenerates to uniform; n < 1 is clamped to 1).
+func NewZipfSampler(s float64, n int) *ZipfSampler {
+	if n < 1 {
+		n = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	return &ZipfSampler{cum: cum}
+}
+
+// Rank draws one rank using the caller's rng.
+func (z *ZipfSampler) Rank(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// zipfRankFn selects the rank sampler for exponent s over n ranks:
+// math/rand's sampler where it is valid (s > 1, preserving the byte
+// streams of every existing seeded fixture), the inverse-CDF sampler
+// for s in (0, 1].
+func zipfRankFn(rng *rand.Rand, s float64, n int) func() int {
+	if s > 1 {
+		zipf := rand.NewZipf(rng, s, 1, uint64(n-1))
+		return func() int { return int(zipf.Uint64()) }
+	}
+	zs := NewZipfSampler(s, n)
+	return func() int { return zs.Rank(rng) }
+}
 
 // Params control collection generation.
 type Params struct {
@@ -27,8 +76,10 @@ type Params struct {
 	NumDocs int
 	// VocabSize is the vocabulary size (default 2000).
 	VocabSize int
-	// ZipfS is the Zipf exponent of the term distribution (default 1.1;
-	// must be > 1 for the standard library sampler).
+	// ZipfS is the Zipf exponent of the term distribution (default 1.1).
+	// Any exponent > 0 works: values > 1 use the standard library
+	// sampler, values in (0, 1] — the classic zipf(1.0) of web text —
+	// use the package's inverse-CDF ZipfSampler.
 	ZipfS float64
 	// MeanDocLen is the mean document length in tokens (default 80).
 	MeanDocLen int
@@ -92,7 +143,7 @@ func term(r int) string { return fmt.Sprintf("term%04d", r) }
 func Generate(p Params) *Collection {
 	p.fillDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
-	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(p.VocabSize-1))
+	globalRank := zipfRankFn(rng, p.ZipfS, p.VocabSize)
 
 	vocab := make([]string, p.VocabSize)
 	for i := range vocab {
@@ -118,7 +169,7 @@ func Generate(p Params) *Collection {
 				// Zipf-within-topic keeps a few terms per topic dominant.
 				rank = topicBase + int(float64(topicSpan)*rng.Float64()*rng.Float64())
 			} else {
-				rank = int(zipf.Uint64())
+				rank = globalRank()
 			}
 			if rank >= p.VocabSize {
 				rank = p.VocabSize - 1
@@ -143,7 +194,8 @@ type WorkloadParams struct {
 	// MaxTerms bounds the number of terms per query (default 3; the
 	// per-query term count is uniform in [1, MaxTerms]).
 	MaxTerms int
-	// PopularityS is the Zipf exponent of query popularity (default 1.2).
+	// PopularityS is the Zipf exponent of query popularity (default 1.2;
+	// exponents in (0, 1] use the inverse-CDF ZipfSampler, like ZipfS).
 	PopularityS float64
 	// Seed seeds the generator (default 2).
 	Seed int64
@@ -219,10 +271,10 @@ func GenerateWorkload(c *Collection, p WorkloadParams) *Workload {
 // rank 0 is the most popular).
 func (w *Workload) Stream(length int, seed int64) []Query {
 	rng := rand.New(rand.NewSource(seed))
-	zipf := rand.NewZipf(rng, w.Params.PopularityS, 1, uint64(len(w.Queries)-1))
+	rank := zipfRankFn(rng, w.Params.PopularityS, len(w.Queries))
 	out := make([]Query, length)
 	for i := range out {
-		out[i] = w.Queries[int(zipf.Uint64())]
+		out[i] = w.Queries[rank()]
 	}
 	return out
 }

@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfSamplerDeterministic(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.3} {
+		a := NewZipfSampler(s, 500)
+		b := NewZipfSampler(s, 500)
+		ra, rb := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+		for i := 0; i < 2000; i++ {
+			x, y := a.Rank(ra), b.Rank(rb)
+			if x != y {
+				t.Fatalf("s=%v draw %d: %d vs %d", s, i, x, y)
+			}
+			if x < 0 || x >= 500 {
+				t.Fatalf("s=%v rank %d out of range", s, x)
+			}
+		}
+	}
+}
+
+func TestZipfSamplerShape(t *testing.T) {
+	// With s = 1.0 over n ranks, P(0)/P(9) = 10: the head must dominate,
+	// and empirical frequencies must decrease (coarsely) with rank.
+	const n, draws = 100, 200000
+	z := NewZipfSampler(1.0, n)
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	if counts[0] < 5*counts[9] {
+		t.Fatalf("head not dominant: count[0]=%d count[9]=%d", counts[0], counts[9])
+	}
+	// Expected P(0) = 1/H(100) ≈ 0.193.
+	p0 := float64(counts[0]) / draws
+	var h float64
+	for r := 1; r <= n; r++ {
+		h += 1 / float64(r)
+	}
+	if want := 1 / h; math.Abs(p0-want) > 0.01 {
+		t.Fatalf("P(rank 0) = %.4f, want ≈ %.4f", p0, want)
+	}
+	// Decreasing across equal-width rank buckets.
+	d1 := sum(counts[:10])
+	d2 := sum(counts[10:20])
+	d3 := sum(counts[20:30])
+	if d1 <= d2 || d2 <= d3 {
+		t.Fatalf("mass not head-heavy: %d / %d / %d", d1, d2, d3)
+	}
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// A zipf(1.0) collection — below math/rand's s > 1 floor — generates,
+// reproduces bit-for-bit under the same seed, and diverges under a
+// different one.
+func TestGenerateZipfOneReproducible(t *testing.T) {
+	p := Params{NumDocs: 50, VocabSize: 300, ZipfS: 1.0, MeanDocLen: 30, Seed: 11}
+	a, b := Generate(p), Generate(p)
+	if len(a.Docs) != 50 || len(b.Docs) != 50 {
+		t.Fatalf("doc counts: %d, %d", len(a.Docs), len(b.Docs))
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Body != b.Docs[i].Body {
+			t.Fatalf("doc %d differs across identical seeds", i)
+		}
+	}
+	p.Seed = 12
+	c := Generate(p)
+	same := 0
+	for i := range a.Docs {
+		if a.Docs[i].Body == c.Docs[i].Body {
+			same++
+		}
+	}
+	if same == len(a.Docs) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestStreamZipfOneReproducible(t *testing.T) {
+	c := Generate(Params{NumDocs: 60, VocabSize: 300, ZipfS: 1.0, MeanDocLen: 30, Seed: 3})
+	w := GenerateWorkload(c, WorkloadParams{NumQueries: 40, PopularityS: 1.0, Seed: 5})
+	s1 := w.Stream(500, 8)
+	s2 := w.Stream(500, 8)
+	freq := map[string]int{}
+	for i := range s1 {
+		if s1[i].Text() != s2[i].Text() {
+			t.Fatalf("stream entry %d differs across identical seeds", i)
+		}
+		freq[s1[i].Text()]++
+	}
+	// Popularity must be skewed: the most popular query outdraws the
+	// uniform share several times over.
+	max := 0
+	for _, n := range freq {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 3*500/40 {
+		t.Fatalf("no popularity skew: max frequency %d of 500", max)
+	}
+}

@@ -30,6 +30,11 @@ type StorageEngine interface {
 	// recording the probe in the usage statistics either way. wantIndex
 	// is the QDI activation signal for missing-but-popular keys.
 	Get(key string, maxResults int) (list *postings.List, found, wantIndex bool)
+	// GetPrefix returns the score-ordered chunk [offset, offset+limit) of
+	// key's stored list for the streamed top-k read path. Only the first
+	// chunk (offset 0) records a probe — a continuation is part of the
+	// same logical probe, not new popularity evidence.
+	GetPrefix(key string, offset, limit int) PrefixResult
 	// Peek returns the stored list without touching usage statistics.
 	Peek(key string) (*postings.List, bool)
 	// Remove deletes the key, reporting whether it was present.

@@ -3,6 +3,7 @@ package globalindex
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dht"
@@ -35,6 +36,11 @@ type Index struct {
 	resolver *dht.Resolver
 	repl     replicator
 	lat      *loadstat.Tracker // per-peer latency EWMAs fed by timedCall
+
+	// Streamed top-k read counters (topk.go); see TopKStats.
+	topkRounds atomic.Int64
+	topkEarly  atomic.Int64
+	topkSaved  atomic.Int64
 }
 
 // New creates the component for node with the default in-memory engine,
@@ -64,10 +70,14 @@ func NewWithEngine(node *dht.Node, d *transport.Dispatcher, engine StorageEngine
 	d.Handle(MsgMultiGet, ix.handleMultiGet)
 	d.Handle(MsgMultiGetAny, ix.handleMultiGet)
 	d.Handle(MsgMultiKeyInfo, ix.handleMultiKeyInfo)
+	d.Handle(MsgMultiGetTopK, ix.handleTopK)
+	d.Handle(MsgMultiGetTopKAny, ix.handleTopK)
+	d.Handle(MsgGetMore, ix.handleTopK)
 	// The Multi frames shed at item granularity under admission control:
 	// an under-budget frame is served as a prefix instead of refused
 	// whole, and the client redrives only the shed suffix.
-	for _, m := range []uint8{MsgMultiPut, MsgMultiAppend, MsgMultiGet, MsgMultiGetAny, MsgMultiKeyInfo} {
+	for _, m := range []uint8{MsgMultiPut, MsgMultiAppend, MsgMultiGet, MsgMultiGetAny, MsgMultiKeyInfo,
+		MsgMultiGetTopK, MsgMultiGetTopKAny, MsgGetMore} {
 		d.SetPartialShed(m)
 	}
 	ix.registerReplicationHandlers(d)

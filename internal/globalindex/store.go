@@ -168,6 +168,54 @@ func (s *Memory) Get(key string, maxResults int) (list *postings.List, found, wa
 	return out, true, false
 }
 
+// PrefixResult is one chunk of a stored list served in canonical
+// (descending-score) order by GetPrefix.
+type PrefixResult struct {
+	Entries   []postings.Posting // the chunk [offset, offset+limit)
+	Total     int                // stored list length (continuation horizon)
+	Truncated bool               // the STORED list's truncation mark
+	Found     bool               // whether the key is present
+	WantIndex bool               // QDI activation signal (offset-0 probes only)
+}
+
+// GetPrefix returns the chunk [offset, offset+limit) of key's stored
+// list (limit <= 0 means to the end). Lists are stored in canonical
+// descending-score order, so a chunk is a plain slice and a continuation
+// cursor is a stored-list offset. Truncated reports the stored list's
+// own truncation mark — NOT whether this chunk cut the list short; the
+// retrieval layer's pruning decisions must match a full-pull read, and
+// the chunk horizon travels separately as Total. Only an offset-0 call
+// records a probe (and can raise the QDI activation signal): the
+// continuations of a streamed read are part of the same logical probe.
+func (s *Memory) GetPrefix(key string, offset, limit int) PrefixResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.entries[key]
+	if offset <= 0 {
+		offset = 0
+		s.recordProbeLocked(key, ok)
+	}
+	if !ok {
+		res := PrefixResult{}
+		if offset == 0 && s.activation != nil {
+			if ks := s.probes[key]; ks != nil && s.activation(key, *ks) {
+				res.WantIndex = true
+			}
+		}
+		return res
+	}
+	res := PrefixResult{Total: cur.Len(), Truncated: cur.Truncated, Found: true}
+	if offset >= cur.Len() {
+		return res
+	}
+	end := cur.Len()
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	res.Entries = append([]postings.Posting(nil), cur.Entries[offset:end]...)
+	return res
+}
+
 // Peek returns the stored list without touching usage statistics
 // (monitoring and tests).
 func (s *Memory) Peek(key string) (*postings.List, bool) {

@@ -1,0 +1,614 @@
+package globalindex
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file implements the score-bounded streamed read path (the
+// threshold-algorithm family of Akbarinia et al.): instead of pulling a
+// probed key's whole stored list in one shot, the coordinator fetches a
+// score-sorted *prefix* per key plus an upper bound on the scores it has
+// not seen, and requests continuation chunks only while the k-th best
+// aggregate could still change. Chunks travel in the compressed postings
+// encoding; the classic one-shot frames keep the legacy encoding as the
+// compatibility default.
+const (
+	// MsgMultiGetTopK opens streamed reads: (n, n×(key, cursor, chunk))
+	// -> (n×prefix answer). cursor is 0 on open; the answer carries the
+	// serving peer's address, the continuation cursor, the stored-list
+	// total, and the exact score bound on unserved entries.
+	MsgMultiGetTopK uint8 = 0x1C
+	// MsgGetMore continues streams at the peer that served the prefix:
+	// same layout as MsgMultiGetTopK with cursor > 0. No responsibility
+	// check — like a replica read, the serving copy may legitimately not
+	// own the key anymore; the coordinator falls back to a fresh full
+	// read if the copy lost the list.
+	MsgGetMore uint8 = 0x1D
+	// MsgMultiGetTopKAny is MsgMultiGetTopK minus the responsibility
+	// check, addressed to a replica under the ReadAnyReplica policy
+	// (mirrors MsgMultiGetAny).
+	MsgMultiGetTopKAny uint8 = 0x1E
+)
+
+// approxFullPostingBytes estimates the legacy wire cost of one posting
+// (delta-gap uvarint + Float64 score); the bytes-saved counter prices the
+// stored tail entries a streamed read never shipped.
+const approxFullPostingBytes = 9
+
+// TopKStats are the cumulative streamed-read counters of one Index,
+// exported as the alvis_index_topk_* telemetry families.
+type TopKStats struct {
+	Rounds            int64 // continuation (MsgGetMore) rounds issued
+	EarlyTerminations int64 // sessions ended by the threshold test with unread tail remaining
+	BytesSaved        int64 // estimated bytes of stored tails never shipped
+}
+
+// TopKStats returns the index's cumulative streamed-read counters.
+func (ix *Index) TopKStats() TopKStats {
+	return TopKStats{
+		Rounds:            ix.topkRounds.Load(),
+		EarlyTerminations: ix.topkEarly.Load(),
+		BytesSaved:        ix.topkSaved.Load(),
+	}
+}
+
+// handleTopK serves all three streamed-read frames. The request layout
+// is shared: (n, n×(key, cursor, chunk)). Responsibility is checked only
+// for MsgMultiGetTopK — continuations and replica-addressed opens go to
+// a copy that may not own the key. The frames shed at item granularity
+// like the other Multi* frames.
+func (ix *Index) handleTopK(ctx context.Context, _ transport.Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	r := wire.NewReader(body)
+	count, err := readBatchCount(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	keys := make([]string, count)
+	cursors := make([]int, count)
+	chunks := make([]int, count)
+	for i := 0; i < count; i++ {
+		keys[i] = r.String()
+		cursors[i] = int(r.Uvarint())
+		chunks[i] = int(r.Uvarint())
+	}
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	serve := ix.batchQuota(ctx, msgType, count)
+	if msgType == MsgMultiGetTopK {
+		if err := ix.checkResponsible(keys[:serve]); err != nil {
+			return 0, nil, err
+		}
+	}
+	start := time.Now()
+	self := ix.node.Self().Addr
+	w := wire.NewWriter(64 * serve)
+	w.Uvarint(uint64(serve))
+	for i := 0; i < serve; i++ {
+		res := ix.store.GetPrefix(keys[i], cursors[i], chunks[i])
+		writeTopKAnswer(w, self, cursors[i], res)
+	}
+	ix.disp.ObserveBatch(msgType, time.Since(start), serve)
+	return msgType, w.Bytes(), nil
+}
+
+// writeTopKAnswer encodes one streamed-read item answer:
+//
+//	found bool; wantIndex bool;
+//	if found: served addr; truncated bool; total uvarint; cursor uvarint;
+//	          if cursor < total: bound Float64;
+//	          chunk entries (compressed postings frame)
+//
+// truncated is the STORED list's truncation mark — the retrieval layer's
+// pruning must decide exactly as a full-pull read would; the chunk
+// horizon travels separately as (cursor, total). bound is the exact
+// stored score of the last served entry: every unserved entry scores at
+// most that, and because the compressed chunk encoding floors its
+// quantized scores, every *decoded* score respects the same bound.
+func writeTopKAnswer(w *wire.Writer, self transport.Addr, offset int, res PrefixResult) {
+	w.Bool(res.Found)
+	w.Bool(res.WantIndex)
+	if !res.Found {
+		return
+	}
+	cursor := offset + len(res.Entries)
+	if cursor > res.Total {
+		cursor = res.Total
+	}
+	w.String(string(self))
+	w.Bool(res.Truncated)
+	w.Uvarint(uint64(res.Total))
+	w.Uvarint(uint64(cursor))
+	if cursor < res.Total {
+		bound := 0.0
+		if n := len(res.Entries); n > 0 {
+			bound = res.Entries[n-1].Score
+		}
+		w.Float64(bound)
+	}
+	chunk := postings.List{Entries: res.Entries, Truncated: res.Truncated}
+	chunk.EncodeCompressed(w)
+}
+
+// topKAnswer is one decoded streamed-read item answer.
+type topKAnswer struct {
+	found     bool
+	wantIndex bool
+	served    transport.Addr
+	truncated bool
+	total     int
+	cursor    int
+	bound     float64
+	entries   []postings.Posting
+}
+
+func readTopKAnswer(r *wire.Reader) (topKAnswer, error) {
+	var a topKAnswer
+	a.found = r.Bool()
+	a.wantIndex = r.Bool()
+	if err := r.Err(); err != nil {
+		return a, err
+	}
+	if !a.found {
+		return a, nil
+	}
+	a.served = transport.Addr(r.String())
+	a.truncated = r.Bool()
+	a.total = int(r.Uvarint())
+	a.cursor = int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return a, err
+	}
+	if a.cursor > a.total {
+		return a, wire.ErrCorrupt
+	}
+	if a.cursor < a.total {
+		a.bound = r.Float64()
+	}
+	chunk, err := postings.Decode(r)
+	if err != nil {
+		return a, err
+	}
+	a.entries = chunk.Entries
+	return a, nil
+}
+
+// topkKeyState tracks one probed key through a streamed session.
+type topkKeyState struct {
+	key       string
+	terms     []string
+	peer      transport.Addr // copy that served the last chunk; continuation target
+	list      *postings.List // fetched prefix so far, canonical order
+	seen      map[postings.DocRef]bool
+	found     bool
+	wantIndex bool
+	cursor    int // stored-list offset of the next unfetched entry
+	total     int // stored-list length at the serving copy
+	bound     float64
+	done      bool // every stored entry fetched (or key absent / full-pulled)
+}
+
+func (st *topkKeyState) pending() bool { return st.found && !st.done }
+
+// absorb merges one chunk answer into the state. Chunks are consecutive
+// slices of the serving copy's canonical-order list, so appending keeps
+// the fetched prefix in canonical order; the seen filter drops the rare
+// duplicate when a fallback re-serves entries from a different copy.
+func (st *topkKeyState) absorb(a topKAnswer) {
+	st.found, st.peer = true, a.served
+	st.list.Truncated = a.truncated
+	for _, p := range a.entries {
+		if !st.seen[p.Ref] {
+			st.seen[p.Ref] = true
+			st.list.Entries = append(st.list.Entries, p)
+		}
+	}
+	st.cursor, st.total, st.bound = a.cursor, a.total, a.bound
+	st.done = a.cursor >= a.total
+}
+
+// TopKSession is the coordinator side of one streamed top-k read: it
+// opens score-sorted prefixes for every probed key (FetchPrefixes, one
+// call per lattice generation) and then runs the threshold loop
+// (Refine), requesting continuation chunks only from keys whose unseen
+// scores could still lift a document into the aggregate top k.
+type TopKSession struct {
+	ix      *Index
+	k       int
+	chunk   int
+	workers int
+	policy  ReadPolicy
+	ro      readOpts
+
+	mu     sync.Mutex
+	states map[string]*topkKeyState
+	order  []string // insertion order, for deterministic iteration
+}
+
+// NewTopKSession starts a streamed read session targeting the best k
+// aggregate results. chunk is the per-key prefix size of the first round
+// (<= 0 selects 2k, floored at 8); continuation rounds double it.
+// policy and opts carry the caller's read policy exactly as MultiGet
+// would: replica spreading and hedging apply to the prefix round.
+func (ix *Index) NewTopKSession(k, chunk, workers int, policy ReadPolicy, opts ...ReadOption) *TopKSession {
+	if k <= 0 {
+		k = 1
+	}
+	if chunk <= 0 {
+		chunk = 2 * k
+		if chunk < 8 {
+			chunk = 8
+		}
+	}
+	return &TopKSession{
+		ix:      ix,
+		k:       k,
+		chunk:   chunk,
+		workers: workers,
+		policy:  policy,
+		ro:      resolveReadOpts(opts),
+		states:  make(map[string]*topkKeyState),
+	}
+}
+
+func (s *TopKSession) state(key string, terms []string) *topkKeyState {
+	st, ok := s.states[key]
+	if !ok {
+		st = &topkKeyState{
+			key:   key,
+			terms: terms,
+			list:  &postings.List{},
+			seen:  make(map[postings.DocRef]bool),
+		}
+		s.states[key] = st
+		s.order = append(s.order, key)
+	}
+	return st
+}
+
+// fullPullReplace is the per-item self-healing fallback: when a streamed
+// frame fails (stale route, dead peer, shed) or a continuation copy lost
+// the key, the item degrades to a classic full read through Get — fresh
+// lookup, replica fallover, caller's policy and hedging preserved. The
+// state ends the session exhausted (done, no tail), so the threshold
+// loop stays sound; the extra probe the full read records is the same
+// soft-state cost the pre-streaming path paid.
+func (s *TopKSession) fullPullReplace(ctx context.Context, st *topkKeyState) error {
+	list, found, wantIndex, err := s.ix.Get(ctx, st.terms, 0, s.policy, WithHedge(s.ro.hedge))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.found = found
+	if wantIndex {
+		st.wantIndex = true
+	}
+	st.done = true
+	if found {
+		// Union keeps the maximum score per ref, so the full read's exact
+		// scores supersede any quantized chunk scores fetched earlier.
+		merged := postings.Union(st.list, list)
+		merged.Truncated = list.Truncated
+		st.list.Entries = merged.Entries
+		st.list.Truncated = merged.Truncated
+		st.cursor, st.total = merged.Len(), merged.Len()
+		for _, p := range merged.Entries {
+			st.seen[p.Ref] = true
+		}
+	}
+	return nil
+}
+
+// FetchPrefixes opens the streamed read for one batch of probed keys and
+// returns per-item results shaped exactly like MultiGet's: List is the
+// fetched prefix carrying the STORED list's truncation mark (the lattice
+// must prune exactly as it would on a full pull), Found and WantIndex
+// are the probe semantics of a classic read (the serving store records
+// the probe on the first chunk only). Keys group per serving peer into
+// MsgMultiGetTopK frames — or MsgMultiGetTopKAny under ReadAnyReplica,
+// hedged across the replica chain under WithHedge — and items whose
+// group fails or sheds degrade to classic full reads.
+func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]GetResult, error) {
+	keys := make([]string, len(items))
+	s.mu.Lock()
+	sts := make([]*topkKeyState, len(items))
+	for i, it := range items {
+		keys[i] = ids.KeyString(it.Terms)
+		sts[i] = s.state(keys[i], it.Terms)
+	}
+	s.mu.Unlock()
+
+	msg := MsgMultiGetTopK
+	var retarget func(key string, primary dht.Remote) dht.Remote
+	var callGroup groupCaller
+	if s.policy == ReadAnyReplica && s.ix.repl.factor > 1 {
+		msg = MsgMultiGetTopKAny
+		if s.ro.hedge > 0 {
+			callGroup = func(ctx context.Context, primary transport.Addr, gmsg uint8, seed string, body []byte) ([]byte, error) {
+				chain := s.ix.readChain(ctx, seed, primary)
+				resp, _, err := s.ix.callHedged(ctx, chain, gmsg, body, s.ro.hedge)
+				if err != nil && ctx.Err() == nil {
+					s.ix.dropReplicaSet(primary)
+				}
+				return resp, err
+			}
+		} else {
+			retarget = func(key string, primary dht.Remote) dht.Remote {
+				return dht.Remote{ID: primary.ID, Addr: s.ix.readTarget(ctx, key, primary)}
+			}
+		}
+	}
+	err := s.ix.runBatchCustom(ctx, keys, s.workers, msg, false, retarget, callGroup,
+		func(w *wire.Writer, i int) {
+			w.String(keys[i])
+			w.Uvarint(0)                  // cursor: opening chunk
+			w.Uvarint(uint64(s.chunk))    // chunk size
+		},
+		func(r *wire.Reader, i int) error {
+			a, err := readTopKAnswer(r)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			st := sts[i]
+			st.wantIndex = st.wantIndex || a.wantIndex
+			if a.found {
+				st.absorb(a)
+			} else {
+				st.done = true
+			}
+			return nil
+		},
+		func(i int) error {
+			return s.fullPullReplace(ctx, sts[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GetResult, len(items))
+	for i, st := range sts {
+		out[i] = GetResult{Found: st.found, WantIndex: st.wantIndex}
+		if st.found {
+			out[i].List = st.list
+		}
+	}
+	return out, nil
+}
+
+// Lists returns the per-key fetched lists of every found key — the same
+// shape rankUnion consumes after a classic exploration. The lists are
+// live session state: Refine extends them in place.
+func (s *TopKSession) Lists() map[string]*postings.List {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*postings.List, len(s.states))
+	for k, st := range s.states {
+		if st.found {
+			out[k] = st.list
+		}
+	}
+	return out
+}
+
+// RankFn aggregates the fetched per-key lists into the best-first
+// document ranking — the retrieval layer's rankUnion. The threshold loop
+// re-ranks after every continuation round; because every aggregation
+// contribution is non-negative and a longer prefix only adds postings, a
+// document's aggregate score is non-decreasing across rounds, making the
+// current ranking a valid lower bound.
+type RankFn func(perKey map[string]*postings.List) []postings.Posting
+
+// Refine runs the threshold loop: while the k-th best aggregate score
+// could still improve — an unseen document could out-score it, or a seen
+// document's unfetched postings could lift it past the current k-th —
+// fetch the next chunk of every key that still has unfetched entries,
+// doubling the chunk each round. The loop terminates early the moment
+// the bounds prove the top k fixed, and unconditionally once every key
+// is exhausted.
+//
+// The improvement test is conservative: a document's upper bound adds
+// the bounds of every pending key that has not shown it, ignoring the
+// aggregator's term-disjointness rule, so it only ever overestimates —
+// the loop may fetch an extra round, never terminate unsoundly.
+func (s *TopKSession) Refine(ctx context.Context, rank RankFn) error {
+	_, span := telemetry.StartSpan(ctx, "topk-refine")
+	defer span.Finish()
+	chunk := s.chunk
+	rounds := 0
+	defer func() {
+		span.SetAttr("rounds", fmt.Sprint(rounds))
+		s.finish()
+	}()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		var pending []*topkKeyState
+		for _, key := range s.order {
+			if st := s.states[key]; st.pending() {
+				pending = append(pending, st)
+			}
+		}
+		s.mu.Unlock()
+		if len(pending) == 0 {
+			return nil // every stream exhausted: the ranking is exact
+		}
+		ranked := rank(s.Lists())
+		if !s.couldImprove(ranked, pending) {
+			s.ix.topkEarly.Add(1)
+			return nil
+		}
+		chunk *= 2
+		if err := s.continueRound(ctx, pending, chunk); err != nil {
+			return err
+		}
+		rounds++
+		s.ix.topkRounds.Add(1)
+	}
+}
+
+// couldImprove applies the threshold test to the current ranking: true
+// while a document outside the current top k — unseen anywhere, or seen
+// with unfetched postings pending — could still reach the k-th score.
+// Ties continue the loop (>=): an equal-scoring late arrival can win the
+// deterministic DocRef tie-break and change the result set.
+func (s *TopKSession) couldImprove(ranked []postings.Posting, pending []*topkKeyState) bool {
+	if len(ranked) < s.k {
+		return true // the top k is not even full yet
+	}
+	sk := ranked[s.k-1].Score
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	unseenSum := 0.0
+	for _, st := range pending {
+		unseenSum += st.bound
+	}
+	if unseenSum >= sk {
+		return true // a completely unseen document could enter
+	}
+	for _, p := range ranked[s.k:] {
+		upper := p.Score
+		for _, st := range pending {
+			if !st.seen[p.Ref] {
+				upper += st.bound
+			}
+		}
+		if upper >= sk {
+			return true // a seen trailing document could still climb past k
+		}
+	}
+	return false
+}
+
+// continueRound fetches the next chunk of every pending key, grouped per
+// serving peer into MsgGetMore frames. A group that fails or sheds
+// degrades its items to classic full reads (fullPullReplace), as does a
+// continuation whose copy no longer holds the key.
+func (s *TopKSession) continueRound(ctx context.Context, pending []*topkKeyState, chunk int) error {
+	byPeer := make(map[transport.Addr][]*topkKeyState)
+	var peers []transport.Addr
+	for _, st := range pending {
+		if _, ok := byPeer[st.peer]; !ok {
+			peers = append(peers, st.peer)
+		}
+		byPeer[st.peer] = append(byPeer[st.peer], st)
+	}
+	type gr struct {
+		addr  transport.Addr
+		items []*topkKeyState
+	}
+	var groups []gr
+	for _, p := range peers {
+		items := byPeer[p]
+		for len(items) > MaxBatchItems {
+			groups = append(groups, gr{p, items[:MaxBatchItems]})
+			items = items[MaxBatchItems:]
+		}
+		groups = append(groups, gr{p, items})
+	}
+	// retry collects the items a failed or short group degrades to the
+	// per-item full-pull path (a continuation records no probe and reads
+	// only, so redriving is always safe); errs records failures that
+	// cannot be degraded because the caller's context died.
+	retry := make([][]*topkKeyState, len(groups))
+	errs := make([]error, len(groups))
+	stopped := dht.RunBounded(ctx, len(groups), s.workers, func(gi int) {
+		g := groups[gi]
+		w := wire.NewWriter(32 * len(g.items))
+		w.Uvarint(uint64(len(g.items)))
+		s.mu.Lock()
+		for _, st := range g.items {
+			w.String(st.key)
+			w.Uvarint(uint64(st.cursor))
+			w.Uvarint(uint64(chunk))
+		}
+		s.mu.Unlock()
+		_, resp, err := s.ix.timedCall(ctx, g.addr, MsgGetMore, w.Bytes())
+		if err != nil {
+			if ctx.Err() != nil {
+				errs[gi] = err
+				return
+			}
+			// The serving copy is gone or overloaded: stop routing there
+			// and degrade the whole group to fresh full reads.
+			s.ix.resolver.Invalidate(g.addr)
+			retry[gi] = g.items
+			return
+		}
+		r := wire.NewReader(resp)
+		count := int(r.Uvarint())
+		if r.Err() != nil || count > len(g.items) {
+			retry[gi] = g.items
+			return
+		}
+		for idx, st := range g.items[:count] {
+			a, derr := readTopKAnswer(r)
+			if derr != nil {
+				// Garbled from here on: degrade the undecoded remainder.
+				retry[gi] = append(retry[gi], g.items[idx:count]...)
+				break
+			}
+			if !a.found {
+				// The copy lost the key (restart, eviction): degrade to a
+				// fresh full read.
+				retry[gi] = append(retry[gi], st)
+				continue
+			}
+			s.mu.Lock()
+			st.absorb(a)
+			s.mu.Unlock()
+		}
+		if count < len(g.items) {
+			// Item-granular shed: the suffix provably was not served;
+			// degrade it to the self-healing per-item path.
+			retry[gi] = append(retry[gi], g.items[count:]...)
+		}
+	})
+	if stopped != nil {
+		return stopped
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, items := range retry {
+		for _, st := range items {
+			if err := s.fullPullReplace(ctx, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// finish prices the stored tails the session never shipped into the
+// bytes-saved counter.
+func (s *TopKSession) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var saved int64
+	for _, st := range s.states {
+		if st.found && st.total > st.cursor {
+			saved += int64(st.total-st.cursor) * approxFullPostingBytes
+		}
+	}
+	if saved > 0 {
+		s.ix.topkSaved.Add(saved)
+	}
+}

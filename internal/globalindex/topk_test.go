@@ -1,0 +1,304 @@
+package globalindex
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/wire"
+)
+
+func keyOf(terms []string) string { return ids.KeyString(terms) }
+
+func TestGetPrefixSemantics(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{}
+	for i := 0; i < 20; i++ {
+		l.Add(post("a", uint32(i), float64(100-i)))
+	}
+	s.Put("k", l, 10) // stored: 10 entries, truncated
+
+	res := s.GetPrefix("k", 0, 4)
+	if !res.Found || res.Total != 10 || !res.Truncated || len(res.Entries) != 4 {
+		t.Fatalf("first chunk: %+v", res)
+	}
+	if res.Entries[0].Score != 100 || res.Entries[3].Score != 97 {
+		t.Fatalf("chunk entries: %v", res.Entries)
+	}
+	if s.Popularity("k").Count != 1 {
+		t.Fatalf("offset-0 read must record exactly one probe, got %v", s.Popularity("k").Count)
+	}
+
+	// A continuation is the same logical probe: no new statistics.
+	res = s.GetPrefix("k", 4, 100)
+	if len(res.Entries) != 6 || res.Entries[0].Score != 96 {
+		t.Fatalf("continuation chunk: %v", res.Entries)
+	}
+	if s.Popularity("k").Count != 1 {
+		t.Fatalf("continuation must not record a probe, got %v", s.Popularity("k").Count)
+	}
+	// Past the end: empty chunk, metadata intact.
+	res = s.GetPrefix("k", 10, 5)
+	if len(res.Entries) != 0 || res.Total != 10 || !res.Found {
+		t.Fatalf("past-end chunk: %+v", res)
+	}
+	// Missing keys record a probe at offset 0 only.
+	if res := s.GetPrefix("absent", 0, 5); res.Found {
+		t.Fatal("absent key found")
+	}
+	if s.Popularity("absent").Count != 1 {
+		t.Fatal("absent-key probe not recorded")
+	}
+	s.GetPrefix("absent", 3, 5)
+	if s.Popularity("absent").Count != 1 {
+		t.Fatal("absent-key continuation must not record a probe")
+	}
+}
+
+// rankSumRefs is the test aggregation: single-term keys are pairwise
+// disjoint, so a document's aggregate is the plain sum of its per-key
+// scores (what core's rankUnion computes for such keys).
+func rankSumRefs(perKey map[string]*postings.List) []postings.Posting {
+	sums := map[postings.DocRef]float64{}
+	for _, l := range perKey {
+		for _, p := range l.Entries {
+			sums[p.Ref] += p.Score
+		}
+	}
+	out := make([]postings.Posting, 0, len(sums))
+	for ref, sc := range sums {
+		out = append(out, postings.Posting{Ref: ref, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Ref.Less(out[j].Ref)
+	})
+	return out
+}
+
+func topRefs(ranked []postings.Posting, k int) map[postings.DocRef]bool {
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	out := make(map[postings.DocRef]bool, len(ranked))
+	for _, p := range ranked {
+		out[p.Ref] = true
+	}
+	return out
+}
+
+// publishLongLists stores `nKeys` single-term keys, each with a long
+// descending-score list, and returns the items to probe.
+func publishLongLists(t *testing.T, ix *Index, nKeys, listLen int, seed int64) []GetItem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]GetItem, nKeys)
+	for ki := 0; ki < nKeys; ki++ {
+		terms := []string{fmt.Sprintf("term%02d", ki)}
+		l := &postings.List{}
+		for i := 0; i < listLen; i++ {
+			// Geometric decay, like a real ranked list's tail: the per-key
+			// bounds fall fast, so the threshold test can bite. The noise
+			// and the quantization error (~2^-21 relative) are both far
+			// below the separation near the top ranks.
+			score := 1000*math.Pow(0.95, float64(i)) + rng.Float64()*0.01
+			l.Add(post(fmt.Sprintf("host%d", rng.Intn(8)), uint32(ki*100000+i), score))
+		}
+		l.Normalize()
+		if _, err := ix.Put(context.Background(), terms, l, 0); err != nil {
+			t.Fatal(err)
+		}
+		items[ki] = GetItem{Terms: terms}
+	}
+	return items
+}
+
+func TestTopKSessionMatchesFullPullAndSavesBytes(t *testing.T) {
+	_, idxs, _ := ring(t, 10)
+	ix := idxs[0]
+	const k, listLen = 10, 400
+	items := publishLongLists(t, ix, 5, listLen, 42)
+
+	// Ground truth: classic full pulls.
+	full := map[string]*postings.List{}
+	for _, it := range items {
+		l, found, _, err := ix.Get(context.Background(), it.Terms, 0, ReadPrimary)
+		if err != nil || !found {
+			t.Fatalf("full pull: %v found=%v", err, found)
+		}
+		full[it.Terms[0]] = l
+	}
+	wantTop := topRefs(rankSumRefs(full), k)
+
+	sess := ix.NewTopKSession(k, 0, 4, ReadPrimary)
+	res, err := sess.FetchPrefixes(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.Found {
+			t.Fatalf("item %d not found", i)
+		}
+		if r.List.Len() >= listLen {
+			t.Fatalf("prefix fetched the whole list (%d entries) — not streaming", r.List.Len())
+		}
+	}
+	if err := sess.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+	gotTop := topRefs(rankSumRefs(sess.Lists()), k)
+	if len(gotTop) != len(wantTop) {
+		t.Fatalf("top-%d size mismatch: %d vs %d", k, len(gotTop), len(wantTop))
+	}
+	for ref := range wantTop {
+		if !gotTop[ref] {
+			t.Fatalf("streamed top-%d missing %v", k, ref)
+		}
+	}
+	// The session must have left most of the stored tails unread.
+	fetched := 0
+	for _, l := range sess.Lists() {
+		fetched += l.Len()
+	}
+	if fetched >= 5*listLen/2 {
+		t.Fatalf("fetched %d of %d stored postings — no early termination", fetched, 5*listLen)
+	}
+	st := ix.TopKStats()
+	if st.EarlyTerminations == 0 {
+		t.Fatalf("expected an early termination, stats %+v", st)
+	}
+	if st.BytesSaved <= 0 {
+		t.Fatalf("expected bytes saved, stats %+v", st)
+	}
+}
+
+func TestTopKSessionExhaustsShortLists(t *testing.T) {
+	// Lists shorter than k: the session must drain them fully and return
+	// the exact union without early-terminating on bogus bounds.
+	_, idxs, _ := ring(t, 8)
+	ix := idxs[2]
+	items := publishLongLists(t, ix, 3, 4, 7)
+	sess := ix.NewTopKSession(10, 0, 4, ReadPrimary)
+	if _, err := sess.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+	ranked := rankSumRefs(sess.Lists())
+	if len(ranked) != 12 {
+		t.Fatalf("want all 12 postings fetched, got %d", len(ranked))
+	}
+}
+
+func TestTopKSessionRandomizedEquivalence(t *testing.T) {
+	_, idxs, _ := ring(t, 12)
+	ix := idxs[0]
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		nKeys := 2 + rng.Intn(4)
+		listLen := 20 + rng.Intn(200)
+		k := 1 + rng.Intn(15)
+		items := publishLongLists(t, ix, nKeys, listLen, int64(1000+trial))
+		full := map[string]*postings.List{}
+		for _, it := range items {
+			l, found, _, err := ix.Get(context.Background(), it.Terms, 0, ReadPrimary)
+			if err != nil || !found {
+				t.Fatal(err)
+			}
+			full[it.Terms[0]] = l
+		}
+		wantTop := topRefs(rankSumRefs(full), k)
+		sess := ix.NewTopKSession(k, 1+rng.Intn(40), 4, ReadPrimary)
+		if _, err := sess.FetchPrefixes(context.Background(), items); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Refine(context.Background(), rankSumRefs); err != nil {
+			t.Fatal(err)
+		}
+		gotTop := topRefs(rankSumRefs(sess.Lists()), k)
+		for ref := range wantTop {
+			if !gotTop[ref] {
+				t.Fatalf("trial %d (keys=%d len=%d k=%d): missing %v",
+					trial, nKeys, listLen, k, ref)
+			}
+		}
+	}
+}
+
+func TestTopKContinuationSurvivesLostKey(t *testing.T) {
+	// A serving copy that loses a key mid-stream (restart, eviction)
+	// degrades that item to a fresh full read instead of failing or
+	// silently under-reporting.
+	nodes, idxs, _ := ring(t, 8)
+	ix := idxs[1]
+	items := publishLongLists(t, ix, 2, 300, 5)
+	sess := ix.NewTopKSession(5, 4, 2, ReadPrimary)
+	if _, err := sess.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one key from its responsible store between rounds.
+	victim := items[0].Terms
+	removed := false
+	for i := range idxs {
+		if l, ok := idxs[i].Store().Peek(keyOf(victim)); ok && l != nil {
+			idxs[i].Store().Remove(keyOf(victim))
+			removed = true
+		}
+	}
+	if !removed {
+		t.Fatal("victim key not stored anywhere")
+	}
+	_ = nodes
+	if err := sess.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+	// The victim key is gone everywhere, so only the surviving key's
+	// postings rank; the session must still have drained it correctly.
+	for key, l := range sess.Lists() {
+		if key == keyOf(victim) {
+			continue
+		}
+		if l.Len() == 0 {
+			t.Fatalf("surviving key %q has no postings", key)
+		}
+	}
+}
+
+func TestTopKAnswerRoundTrip(t *testing.T) {
+	l := &postings.List{}
+	for i := 0; i < 12; i++ {
+		l.Add(post("h", uint32(i), float64(50-i)))
+	}
+	l.Normalize()
+	res := PrefixResult{Entries: l.Entries[:5], Total: 12, Truncated: true, Found: true}
+	w := wire.NewWriter(256)
+	writeTopKAnswer(w, "peer-x:1", 0, res)
+	a, err := readTopKAnswer(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.found || a.served != "peer-x:1" || !a.truncated || a.total != 12 || a.cursor != 5 {
+		t.Fatalf("answer: %+v", a)
+	}
+	if a.bound != l.Entries[4].Score {
+		t.Fatalf("bound %v, want last served score %v", a.bound, l.Entries[4].Score)
+	}
+	if len(a.entries) != 5 {
+		t.Fatalf("entries: %d", len(a.entries))
+	}
+	// Exhausted answers omit the bound.
+	w = wire.NewWriter(256)
+	writeTopKAnswer(w, "peer-x:1", 7, PrefixResult{Entries: l.Entries[7:], Total: 12, Found: true})
+	a, err = readTopKAnswer(wire.NewReader(w.Bytes()))
+	if err != nil || !a.found || a.cursor != 12 || a.bound != 0 {
+		t.Fatalf("exhausted answer: %+v err=%v", a, err)
+	}
+}

@@ -1,0 +1,34 @@
+package postings
+
+import (
+	"testing"
+)
+
+// BenchmarkPostingsCodec compares the legacy and compressed list
+// encodings on a realistic mixed-peer list: encode+decode time per op
+// and bytes per posting as reported metrics.
+func BenchmarkPostingsCodec(b *testing.B) {
+	l := randomList(13, 1000)
+	b.Run("legacy", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = l.EncodeBytes()
+			if _, err := DecodeBytes(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(buf)), "bytes/list")
+		b.ReportMetric(float64(len(buf))/float64(l.Len()), "bytes/posting")
+	})
+	b.Run("compressed", func(b *testing.B) {
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = l.EncodeBytesCompressed()
+			if _, err := DecodeBytes(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(buf)), "bytes/list")
+		b.ReportMetric(float64(len(buf))/float64(l.Len()), "bytes/posting")
+	})
+}

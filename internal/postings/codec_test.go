@@ -1,0 +1,211 @@
+package postings
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func randomList(seed int64, n int) *List {
+	l := &List{Truncated: seed%2 == 0}
+	rng := rand.New(rand.NewSource(seed))
+	peers := []string{"peer-a:1", "peer-b:2", "peer-c:3", "peer-d:4"}
+	for i := 0; i < n; i++ {
+		l.Add(Posting{
+			Ref:   DocRef{Peer: transport.Addr(peers[rng.Intn(len(peers))]), Doc: uint32(rng.Intn(100000))},
+			Score: rng.Float64() * 40,
+		})
+	}
+	l.Normalize()
+	return l
+}
+
+func TestCompressedRoundTripApprox(t *testing.T) {
+	l := randomList(7, 300)
+	got, err := DecodeBytes(l.EncodeBytesCompressed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truncated != l.Truncated {
+		t.Fatalf("truncated flag: got %v want %v", got.Truncated, l.Truncated)
+	}
+	if got.Len() != l.Len() {
+		t.Fatalf("length: got %d want %d", got.Len(), l.Len())
+	}
+	exact := make(map[DocRef]float64, l.Len())
+	groupMax := map[transport.Addr]float64{}
+	for _, p := range l.Entries {
+		exact[p.Ref] = p.Score
+		if p.Score > groupMax[p.Ref.Peer] {
+			groupMax[p.Ref.Peer] = p.Score
+		}
+	}
+	for _, p := range got.Entries {
+		want, ok := exact[p.Ref]
+		if !ok {
+			t.Fatalf("unexpected ref %v", p.Ref)
+		}
+		// Floor quantization: decoded never exceeds exact, and stays
+		// within one quantum of it.
+		if p.Score > want {
+			t.Fatalf("decoded score %v exceeds exact %v for %v", p.Score, want, p.Ref)
+		}
+		if want-p.Score > groupMax[p.Ref.Peer]/quantScale+1e-12 {
+			t.Fatalf("decoded score %v too far below exact %v for %v", p.Score, want, p.Ref)
+		}
+	}
+}
+
+func TestCompressedGroupMaxIsExact(t *testing.T) {
+	// The top entry of each per-peer group must survive byte-for-byte:
+	// it is the score the threshold loop uses as that chunk's bound.
+	l := randomList(11, 120)
+	got, err := DecodeBytes(l.EncodeBytesCompressed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxExact := map[transport.Addr]float64{}
+	for _, p := range l.Entries {
+		if p.Score > maxExact[p.Ref.Peer] {
+			maxExact[p.Ref.Peer] = p.Score
+		}
+	}
+	maxGot := map[transport.Addr]float64{}
+	for _, p := range got.Entries {
+		if p.Score > maxGot[p.Ref.Peer] {
+			maxGot[p.Ref.Peer] = p.Score
+		}
+	}
+	if !reflect.DeepEqual(maxExact, maxGot) {
+		t.Fatalf("group maxima changed:\n got %v\nwant %v", maxGot, maxExact)
+	}
+}
+
+func TestCompressedRawFallback(t *testing.T) {
+	// Negative, infinite and all-zero groups cannot be quantized and
+	// must round-trip exactly through the raw per-group mode.
+	l := &List{}
+	l.Add(Posting{Ref: DocRef{Peer: "neg:1", Doc: 1}, Score: -2.5})
+	l.Add(Posting{Ref: DocRef{Peer: "neg:1", Doc: 2}, Score: 3.5})
+	l.Add(Posting{Ref: DocRef{Peer: "zero:1", Doc: 1}, Score: 0})
+	l.Add(Posting{Ref: DocRef{Peer: "inf:1", Doc: 1}, Score: math.Inf(1)})
+	l.Normalize()
+	got, err := DecodeBytes(l.EncodeBytesCompressed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("raw fallback round trip:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestCompressedEmptyList(t *testing.T) {
+	got, err := DecodeBytes((&List{}).EncodeBytesCompressed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Truncated {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestCompressedSmallerThanLegacy(t *testing.T) {
+	l := randomList(3, 500)
+	legacy, compact := l.EncodedSize(), l.EncodedSizeCompressed()
+	if compact >= legacy*2/3 {
+		t.Fatalf("compressed %d bytes not smaller than legacy %d", compact, legacy)
+	}
+}
+
+func TestCompressedEncodedSizeMatches(t *testing.T) {
+	l := randomList(9, 40)
+	if got, want := l.EncodedSizeCompressed(), len(l.EncodeBytesCompressed()); got != want {
+		t.Fatalf("EncodedSizeCompressed = %d, len = %d", got, want)
+	}
+}
+
+func TestCompressedDecodeCorruptInputs(t *testing.T) {
+	l := randomList(5, 30)
+	full := l.EncodeBytesCompressed()
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeBytes(full[:i]); err == nil {
+			t.Fatalf("decoding %d/%d bytes should fail", i, len(full))
+		}
+	}
+	// Unknown format marker.
+	if _, err := DecodeBytes([]byte{0x7F}); err == nil {
+		t.Fatal("unknown format byte must be rejected")
+	}
+	// Hostile counts and invalid group metadata.
+	hostile := func(build func(w *wire.Writer)) {
+		t.Helper()
+		w := wire.NewWriter(32)
+		w.Byte(compressedMagic)
+		build(w)
+		if _, err := DecodeBytes(w.Bytes()); err == nil {
+			t.Fatalf("hostile compressed frame must be rejected: % x", w.Bytes())
+		}
+	}
+	hostile(func(w *wire.Writer) { w.Byte(0); w.Uvarint(1 << 30) }) // absurd peer count
+	hostile(func(w *wire.Writer) { w.Byte(9); w.Uvarint(0) })       // unknown flags
+	hostile(func(w *wire.Writer) {                                  // absurd group count
+		w.Byte(0)
+		w.Uvarint(1)
+		w.String("p:1")
+		w.Uvarint(1 << 30)
+	})
+	hostile(func(w *wire.Writer) { // unknown score mode
+		w.Byte(0)
+		w.Uvarint(1)
+		w.String("p:1")
+		w.Uvarint(1)
+		w.Uvarint(0)
+		w.Byte(7)
+	})
+	hostile(func(w *wire.Writer) { // non-positive quantization max
+		w.Byte(0)
+		w.Uvarint(1)
+		w.String("p:1")
+		w.Uvarint(1)
+		w.Uvarint(0)
+		w.Byte(groupScoresQuantized)
+		w.Float64(-1)
+		w.Uvarint(5)
+	})
+	hostile(func(w *wire.Writer) { // quantized value above scale
+		w.Byte(0)
+		w.Uvarint(1)
+		w.String("p:1")
+		w.Uvarint(1)
+		w.Uvarint(0)
+		w.Byte(groupScoresQuantized)
+		w.Float64(1)
+		w.Uvarint(quantScale + 1)
+	})
+}
+
+func TestLegacyEncodingUnchanged(t *testing.T) {
+	// The legacy format is the compatibility default for old frames;
+	// its bytes must not drift. Pin a small golden frame.
+	l := &List{Truncated: true}
+	l.Add(Posting{Ref: DocRef{Peer: "a:1", Doc: 3}, Score: 1.5})
+	l.Add(Posting{Ref: DocRef{Peer: "a:1", Doc: 5}, Score: 0.5})
+	l.Normalize()
+	got := l.EncodeBytes()
+	w := wire.NewWriter(64)
+	w.Bool(true)
+	w.Uvarint(1)
+	w.String("a:1")
+	w.Uvarint(2)
+	w.Uvarint(3)
+	w.Float64(1.5)
+	w.Uvarint(2)
+	w.Float64(0.5)
+	if !reflect.DeepEqual(got, append([]byte(nil), w.Bytes()...)) {
+		t.Fatalf("legacy frame drifted:\n got % x\nwant % x", got, w.Bytes())
+	}
+}

@@ -1,0 +1,43 @@
+package postings
+
+import (
+	"testing"
+)
+
+// FuzzDecodeBytes drives the list decoder — both the legacy and the
+// compressed format share the entry point — with arbitrary byte strings.
+// Torn or corrupted frames must return an error; a panic or a hang is a
+// bug. Frames that do decode must re-encode and decode to the same list
+// (decode output is canonical, so a second round trip is a fixed point).
+func FuzzDecodeBytes(f *testing.F) {
+	empty := &List{}
+	small := &List{Truncated: true}
+	small.Add(Posting{Ref: DocRef{Peer: "seed-peer:1", Doc: 7}, Score: 2.25})
+	small.Add(Posting{Ref: DocRef{Peer: "seed-peer:1", Doc: 9}, Score: 1.5})
+	small.Add(Posting{Ref: DocRef{Peer: "other:2", Doc: 1}, Score: 3})
+	small.Normalize()
+	for _, l := range []*List{empty, small, randomList(21, 40)} {
+		f.Add(l.EncodeBytes())
+		f.Add(l.EncodeBytesCompressed())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{compressedMagic})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		for _, enc := range [][]byte{l.EncodeBytes(), l.EncodeBytesCompressed()} {
+			l2, err := DecodeBytes(enc)
+			if err != nil {
+				t.Fatalf("re-decoding own encoding failed: %v", err)
+			}
+			if l2.Len() != l.Len() || l2.Truncated != l.Truncated {
+				t.Fatalf("re-decode changed shape: %d/%v vs %d/%v",
+					l2.Len(), l2.Truncated, l.Len(), l.Truncated)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ package postings
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/transport"
@@ -244,11 +245,184 @@ func (l *List) EncodedSize() int {
 	return w.Len()
 }
 
-// Decode reads a list written by Encode and returns it in canonical
-// order. It reports an error on corrupt input.
-func Decode(r *wire.Reader) (*List, error) {
+// Compressed-encoding constants. A legacy frame's first byte is the
+// Truncated bool (0 or 1), so any first byte >= 2 is free to act as a
+// format marker; Decode sniffs it and accepts both formats.
+const (
+	compressedMagic byte = 0xC2
+
+	// Scores are quantized to quantBits of relative precision against
+	// the group maximum. Quantization floors, so a decoded score never
+	// exceeds the exact stored score — the property the top-k threshold
+	// loop relies on when comparing streamed scores against exact
+	// per-key upper bounds.
+	quantBits  = 21
+	quantScale = 1 << quantBits
+
+	groupScoresRaw       byte = 0 // count * Float64
+	groupScoresQuantized byte = 1 // maxScore Float64 + count * uvarint
+)
+
+// EncodeCompressed serializes the list in the compact wire format:
+// per-peer groups with delta-gap varint document numbers (as in Encode)
+// and quantized score blocks — one Float64 group maximum plus one
+// uvarint per entry instead of one Float64 per entry. Groups whose
+// scores cannot be quantized (non-finite or negative values, or an
+// all-zero group) fall back to raw Float64 scores per group. Decode
+// accepts both this and the legacy Encode format transparently.
+func (l *List) EncodeCompressed(w *wire.Writer) {
+	w.Byte(compressedMagic)
+	var flags byte
+	if l.Truncated {
+		flags |= 1
+	}
+	w.Byte(flags)
+	byPeer := make(map[transport.Addr][]Posting)
+	var peers []transport.Addr
+	for _, p := range l.Entries {
+		if _, ok := byPeer[p.Ref.Peer]; !ok {
+			peers = append(peers, p.Ref.Peer)
+		}
+		byPeer[p.Ref.Peer] = append(byPeer[p.Ref.Peer], p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	w.Uvarint(uint64(len(peers)))
+	for _, peer := range peers {
+		group := byPeer[peer]
+		sort.Slice(group, func(i, j int) bool { return group[i].Ref.Doc < group[j].Ref.Doc })
+		w.String(string(peer))
+		w.Uvarint(uint64(len(group)))
+		prev := uint32(0)
+		for _, p := range group {
+			w.Uvarint(uint64(p.Ref.Doc - prev))
+			prev = p.Ref.Doc
+		}
+		max := 0.0
+		quantizable := true
+		for _, p := range group {
+			if math.IsNaN(p.Score) || math.IsInf(p.Score, 0) || p.Score < 0 {
+				quantizable = false
+				break
+			}
+			if p.Score > max {
+				max = p.Score
+			}
+		}
+		if !quantizable || max == 0 {
+			w.Byte(groupScoresRaw)
+			for _, p := range group {
+				w.Float64(p.Score)
+			}
+			continue
+		}
+		w.Byte(groupScoresQuantized)
+		w.Float64(max)
+		for _, p := range group {
+			q := uint64(math.Floor(p.Score / max * quantScale))
+			if q > quantScale {
+				q = quantScale
+			}
+			w.Uvarint(q)
+		}
+	}
+}
+
+// EncodedSizeCompressed returns the exact number of bytes
+// EncodeCompressed would produce.
+func (l *List) EncodedSizeCompressed() int {
+	w := wire.NewWriter(16 + 5*len(l.Entries))
+	l.EncodeCompressed(w)
+	return w.Len()
+}
+
+// EncodeBytesCompressed is a convenience wrapper returning a fresh buffer.
+func (l *List) EncodeBytesCompressed() []byte {
+	w := wire.NewWriter(16 + 5*len(l.Entries))
+	l.EncodeCompressed(w)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+func decodeCompressed(r *wire.Reader) (*List, error) {
 	l := &List{}
-	l.Truncated = r.Bool()
+	flags := r.Byte()
+	l.Truncated = flags&1 != 0
+	numPeers := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if flags > 1 || numPeers > 1<<20 {
+		return nil, wire.ErrCorrupt
+	}
+	for i := uint64(0); i < numPeers; i++ {
+		peer := transport.Addr(r.String())
+		count := r.Uvarint()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if count > 1<<24 {
+			return nil, wire.ErrCorrupt
+		}
+		start := len(l.Entries)
+		doc := uint32(0)
+		for j := uint64(0); j < count; j++ {
+			doc += uint32(r.Uvarint())
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			l.Entries = append(l.Entries, Posting{Ref: DocRef{Peer: peer, Doc: doc}})
+		}
+		switch mode := r.Byte(); mode {
+		case groupScoresRaw:
+			for j := uint64(0); j < count; j++ {
+				l.Entries[start+int(j)].Score = r.Float64()
+			}
+		case groupScoresQuantized:
+			max := r.Float64()
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if math.IsNaN(max) || math.IsInf(max, 0) || max <= 0 {
+				return nil, wire.ErrCorrupt
+			}
+			for j := uint64(0); j < count; j++ {
+				q := r.Uvarint()
+				if q > quantScale {
+					return nil, wire.ErrCorrupt
+				}
+				l.Entries[start+int(j)].Score = float64(q) / quantScale * max
+			}
+		default:
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			return nil, wire.ErrCorrupt
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	sortCanonical(l.Entries)
+	return l, nil
+}
+
+// Decode reads a list written by Encode or EncodeCompressed and returns
+// it in canonical order, sniffing the format from the first byte. It
+// reports an error on corrupt input.
+func Decode(r *wire.Reader) (*List, error) {
+	first := r.Byte()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	switch first {
+	case 0, 1:
+		// Legacy format: first byte is the Truncated bool.
+	case compressedMagic:
+		return decodeCompressed(r)
+	default:
+		return nil, wire.ErrCorrupt
+	}
+	l := &List{}
+	l.Truncated = first == 1
 	numPeers := r.Uvarint()
 	if r.Err() != nil {
 		return nil, r.Err()

@@ -1407,3 +1407,214 @@ func RunE12(scale Scale) (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// e13Queries builds the E13 workload: mostly single head-of-Zipf terms
+// — the queries whose stored lists are long (DF far above TruncK, so
+// the index holds a full TruncK-length truncated list) and where
+// full-pull transfer is dominated by the tail a top-10 query never
+// needs — plus a fraction of two-term head pairs exercising the
+// multi-key threshold loop.
+func e13Queries(count, maxRank int, seed int64) []corpus.Query {
+	rng := rand.New(rand.NewSource(seed))
+	seenQ := map[string]bool{}
+	// Pair terms come from the very head of the Zipf curve, where single
+	// lists exceed TruncK and are stored truncated: QDI's redundancy rule
+	// (an untruncated sub-combination answers the query exactly) would
+	// otherwise veto activating any pair containing a mid-rank term.
+	pairRank := maxRank / 4
+	if pairRank < 2 {
+		pairRank = 2
+	}
+	var out []corpus.Query
+	for tries := 0; tries < count*100 && len(out) < count; tries++ {
+		n, rank := 1, maxRank
+		if rng.Float64() < 0.25 {
+			n, rank = 2, pairRank
+		}
+		set := map[string]bool{}
+		for len(set) < n {
+			set[fmt.Sprintf("term%04d", rng.Intn(rank))] = true
+		}
+		terms := make([]string, 0, n)
+		for t := range set {
+			terms = append(terms, t)
+		}
+		q := corpus.Query{Terms: terms}
+		if seenQ[q.Text()] {
+			continue
+		}
+		seenQ[q.Text()] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// e13TopSet is one query's result set as one arm saw it: the scored
+// refs plus the k-th (last) score, for tie-aware comparison.
+type e13TopSet struct {
+	scores   map[postings.DocRef]float64
+	boundary float64
+}
+
+// e13SameTop reports whether two arms' top-k sets agree modulo ties at
+// the k-th score: a document present in only one set must score within
+// the quantization tolerance of that arm's own boundary — exactly the
+// documents where either resolution is a correct top k.
+func e13SameTop(a, b e13TopSet) bool {
+	tol := func(s float64) float64 {
+		if s < 1 {
+			s = 1
+		}
+		return 1e-4 * s
+	}
+	for ref, sc := range a.scores {
+		if _, ok := b.scores[ref]; !ok && sc > a.boundary+tol(a.boundary) {
+			return false
+		}
+	}
+	for ref, sc := range b.scores {
+		if _, ok := a.scores[ref]; !ok && sc > b.boundary+tol(b.boundary) {
+			return false
+		}
+	}
+	return true
+}
+
+// e13Arm runs one measured pass of the E13 queries with streaming on or
+// off and returns mean retrieval bytes/query (presentation excluded, as
+// in measureSearchQueries) plus each query's top-k result set. Both arms
+// run with the HDK strategy override so QDI activation cannot mutate
+// index state between them, and with the same query→peer assignment.
+func e13Arm(n *Network, queries []corpus.Query, streaming bool) (int64, []e13TopSet, error) {
+	rng := rand.New(rand.NewSource(34))
+	before := n.Net.Meter().Snapshot()
+	sets := make([]e13TopSet, len(queries))
+	for i, q := range queries {
+		p := n.RandomPeer(rng)
+		resp, err := p.Search(context.Background(), q.Text(),
+			core.WithStrategy(core.StrategyHDK), core.WithStreaming(streaming))
+		if err != nil {
+			return 0, nil, err
+		}
+		set := e13TopSet{scores: make(map[postings.DocRef]float64, len(resp.Results))}
+		for _, r := range resp.Results {
+			set.scores[r.Ref] = r.Score
+		}
+		if len(resp.Results) > 0 {
+			set.boundary = resp.Results[len(resp.Results)-1].Score
+		}
+		sets[i] = set
+	}
+	delta := n.Net.Meter().Snapshot().Sub(before)
+	bytes := delta.Bytes - delta.PerType[core.MsgDocInfo].Bytes
+	return bytes / int64(len(queries)), sets, nil
+}
+
+// topkCounters sums the coordinator-side streamed-read telemetry across
+// every peer of the network.
+func topkCounters(n *Network) (rounds, early, saved float64) {
+	for _, p := range n.Peers {
+		for _, f := range p.Telemetry().Gather() {
+			var sum float64
+			for _, s := range f.Samples {
+				sum += s.Value
+			}
+			switch f.Name {
+			case "alvis_index_topk_rounds_total":
+				rounds += sum
+			case "alvis_index_topk_early_terminations_total":
+				early += sum
+			case "alvis_index_topk_bytes_saved_total":
+				saved += sum
+			}
+		}
+	}
+	return rounds, early, saved
+}
+
+// RunE13 measures the streamed score-bounded top-k read path against
+// classic full-list pulls on a zipf(1.0) collection — the exponent of
+// real web text, below math/rand's sampler floor, exercising the
+// corpus package's inverse-CDF sampler. Each strategy arm (HDK, and QDI
+// warmed by three activation passes) runs the same frequent-term query
+// mix twice over identical index state: once with one-shot full pulls,
+// once streamed (score-sorted prefixes, threshold-test continuation,
+// compressed chunks). The claim: streamed retrieval moves a fraction of
+// the bytes — the acceptance floor is 5x — while returning the same
+// top-10 result set for every query.
+func RunE13(scale Scale) (*metrics.Table, error) {
+	numDocs := pick(scale, 6000, 700)
+	peers := pick(scale, 24, 8)
+	numQueries := pick(scale, 120, 25)
+	const k = 10
+
+	hdkCfg := hdkConfigFor(numDocs)
+	hdkCfg.TruncK = pick(scale, 600, 300)
+	coll := corpus.Generate(corpus.Params{
+		NumDocs:    numDocs,
+		VocabSize:  numDocs,
+		ZipfS:      1.0,
+		MeanDocLen: 60,
+		NumTopics:  20,
+		Seed:       137,
+	})
+	queries := e13Queries(numQueries, pick(scale, 60, 30), 139)
+
+	t := metrics.NewTable(
+		fmt.Sprintf("E13: streamed top-%d vs full pulls (zipf(1.0), %d docs, %d peers, %d queries)",
+			k, numDocs, peers, len(queries)),
+		"strategy", "full B/q", "streamed B/q", "ratio", "identical@10", "rounds/q", "early-term frac",
+	)
+	for _, strat := range []core.Strategy{core.StrategyHDK, core.StrategyQDI} {
+		cfg := core.Config{Strategy: strat, HDK: hdkCfg, TopK: k}
+		if strat == core.StrategyQDI {
+			cfg.QDI = qdi.Config{ActivateThreshold: 2, TruncK: hdkCfg.TruncK}
+		}
+		n := NewNetwork(Options{NumPeers: peers, Core: cfg, Seed: 141})
+		if err := n.Distribute(coll); err != nil {
+			return nil, err
+		}
+		if err := n.PublishStats(); err != nil {
+			return nil, err
+		}
+		if _, _, err := n.PublishHDK(); err != nil { // single terms only under QDI
+			return nil, err
+		}
+		if strat == core.StrategyQDI {
+			for pass := 0; pass < 3; pass++ { // warm-up passes trigger activation
+				if _, err := measureSearchQueries(n, queries); err != nil {
+					return nil, err
+				}
+			}
+		}
+		fullBytes, fullSets, err := e13Arm(n, queries, false)
+		if err != nil {
+			return nil, err
+		}
+		rounds0, early0, _ := topkCounters(n)
+		streamBytes, streamSets, err := e13Arm(n, queries, true)
+		if err != nil {
+			return nil, err
+		}
+		rounds1, early1, _ := topkCounters(n)
+
+		identical := 0
+		for i := range fullSets {
+			if e13SameTop(fullSets[i], streamSets[i]) {
+				identical++
+			}
+		}
+		name := "HDK"
+		if strat == core.StrategyQDI {
+			name = "QDI warm"
+		}
+		nq := float64(len(queries))
+		t.AddRow(name, fullBytes, streamBytes,
+			float64(fullBytes)/float64(max64(streamBytes, 1)),
+			float64(identical)/nq,
+			(rounds1-rounds0)/nq,
+			(early1-early0)/nq,
+		)
+	}
+	return t, nil
+}

@@ -235,6 +235,12 @@ func (e *Engine) Get(key string, maxResults int) (*postings.List, bool, bool) {
 	return e.mem.Get(key, maxResults)
 }
 
+// GetPrefix implements StorageEngine.GetPrefix (delegated; probe soft
+// state is snapshot-persisted like Get's).
+func (e *Engine) GetPrefix(key string, offset, limit int) globalindex.PrefixResult {
+	return e.mem.GetPrefix(key, offset, limit)
+}
+
 // Peek implements StorageEngine.Peek.
 func (e *Engine) Peek(key string) (*postings.List, bool) { return e.mem.Peek(key) }
 
