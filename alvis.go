@@ -148,8 +148,9 @@ var (
 	WithStrategy = core.WithStrategy
 	// WithStreaming switches this query between the streamed
 	// score-bounded read path and classic one-shot pulls, overriding
-	// Config.StreamTopK. Same top-k set, a fraction of the bytes;
-	// see core.WithStreaming for the exact result contract.
+	// Config.StreamTopK. Same top-k set (up to score-quantization ties
+	// at the boundary), a fraction of the bytes; see core.WithStreaming
+	// for the exact result contract.
 	WithStreaming = core.WithStreaming
 	// WithTrace toggles the response's QueryTrace (default on).
 	WithTrace = core.WithTrace

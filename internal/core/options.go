@@ -117,8 +117,15 @@ func WithTopK(n int) SearchOption {
 // reported scores are sound lower bounds of the exact aggregates
 // (refinement stops once the set is proven fixed), so near-tied
 // documents can present in a slightly different order. Chunks travel in
-// the compressed postings encoding; non-streamed reads keep the legacy
-// one-shot frames byte for byte.
+// the compressed postings encoding, whose scores are quantized to 21
+// bits of relative precision (floored, so a decoded score undershoots
+// the exact one by < 2^-21 relative): documents tied with the k-th
+// score within that epsilon can resolve set *membership* differently
+// than the exact path via the DocRef tie-break — both resolutions are a
+// correct top k of scores that close. "Same result set" therefore holds
+// exactly for sets separated by more than the quantization error at the
+// boundary, which every practically ranked corpus satisfies.
+// Non-streamed reads keep the legacy one-shot frames byte for byte.
 func WithStreaming(enabled bool) SearchOption {
 	return func(o *searchOpts) { o.streaming, o.streamingSet = enabled, true }
 }

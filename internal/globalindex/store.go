@@ -208,8 +208,10 @@ func (s *Memory) GetPrefix(key string, offset, limit int) PrefixResult {
 	if offset >= cur.Len() {
 		return res
 	}
+	// Compare by subtraction: offset+limit can wrap for int inputs near
+	// MaxInt, and wire-supplied arguments reach this method.
 	end := cur.Len()
-	if limit > 0 && offset+limit < end {
+	if limit > 0 && limit < end-offset {
 		end = offset + limit
 	}
 	res.Entries = append([]postings.Posting(nil), cur.Entries[offset:end]...)

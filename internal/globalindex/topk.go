@@ -78,8 +78,8 @@ func (ix *Index) handleTopK(ctx context.Context, _ transport.Addr, msgType uint8
 	chunks := make([]int, count)
 	for i := 0; i < count; i++ {
 		keys[i] = r.String()
-		cursors[i] = int(r.Uvarint())
-		chunks[i] = int(r.Uvarint())
+		cursors[i] = clampPrefixArg(r.Uvarint())
+		chunks[i] = clampPrefixArg(r.Uvarint())
 	}
 	if err := r.Err(); err != nil {
 		return 0, nil, err
@@ -100,6 +100,18 @@ func (ix *Index) handleTopK(ctx context.Context, _ transport.Addr, msgType uint8
 	}
 	ix.disp.ObserveBatch(msgType, time.Since(start), serve)
 	return msgType, w.Bytes(), nil
+}
+
+// clampPrefixArg bounds a wire-supplied cursor or chunk size to the
+// store's hard cap before the int conversion. No stored list exceeds
+// HardCap entries, so a larger cursor still reads past the end and a
+// larger chunk still serves the whole remainder — while offset+limit
+// stays far from integer overflow whatever a peer sends.
+func clampPrefixArg(v uint64) int {
+	if v > HardCap {
+		return HardCap
+	}
+	return int(v)
 }
 
 // writeTopKAnswer encodes one streamed-read item answer:
@@ -169,7 +181,7 @@ func readTopKAnswer(r *wire.Reader) (topKAnswer, error) {
 	if err := r.Err(); err != nil {
 		return a, err
 	}
-	if a.cursor > a.total {
+	if a.cursor > a.total || a.total > HardCap {
 		return a, wire.ErrCorrupt
 	}
 	if a.cursor < a.total {
@@ -405,25 +417,101 @@ func (s *TopKSession) Lists() map[string]*postings.List {
 }
 
 // RankFn aggregates the fetched per-key lists into the best-first
-// document ranking — the retrieval layer's rankUnion. The threshold loop
-// re-ranks after every continuation round; because every aggregation
-// contribution is non-negative and a longer prefix only adds postings, a
-// document's aggregate score is non-decreasing across rounds, making the
-// current ranking a valid lower bound.
+// document ranking — the retrieval layer's rankUnion. The threshold
+// loop's bound arithmetic assumes the aggregator is a *greedy disjoint
+// cover*: a document's aggregate is the sum of its per-key scores over
+// the subset of keys selected by walking the keys in cover order (more
+// terms first, ties by canonical key string — see coverBefore) and
+// selecting each key whose term set is disjoint from the terms already
+// covered for that document. A plain sum over term-disjoint keys is the
+// degenerate case. Note the greedy cover is NOT monotone in the fetched
+// prefixes when key term sets intersect — a tail entry revealed later
+// can displace contributions the current ranking already counts, in
+// either direction — which is why Refine drains such keys before it
+// trusts any bound (see mustDrainLocked).
 type RankFn func(perKey map[string]*postings.List) []postings.Posting
 
-// Refine runs the threshold loop: while the k-th best aggregate score
-// could still improve — an unseen document could out-score it, or a seen
-// document's unfetched postings could lift it past the current k-th —
-// fetch the next chunk of every key that still has unfetched entries,
-// doubling the chunk each round. The loop terminates early the moment
-// the bounds prove the top k fixed, and unconditionally once every key
-// is exhausted.
+// coverBefore reports whether key a precedes key b in the aggregator's
+// greedy cover order: more terms first, ties broken by the canonical
+// key string — the order rankUnion walks when assembling each
+// document's disjoint term cover.
+func coverBefore(a, b *topkKeyState) bool {
+	if len(a.terms) != len(b.terms) {
+		return len(a.terms) > len(b.terms)
+	}
+	return a.key < b.key
+}
+
+// mustDrainLocked returns the pending keys whose unread tails must be
+// fetched to exhaustion before any early termination is sound: the
+// pending keys whose term set intersects a *later-in-cover-order* found
+// key. A tail entry of such a key, once revealed, is greedily selected
+// ahead of the later partner and can block it (or unblock a key that
+// partner was blocking), moving the document's aggregate in either
+// direction by amounts unrelated to the tail's score bound — so no
+// per-document bound derived from the current ranking is valid while
+// that tail is unread.
 //
-// The improvement test is conservative: a document's upper bound adds
-// the bounds of every pending key that has not shown it, ignoring the
-// aggregator's term-disjointness rule, so it only ever overestimates —
-// the loop may fetch an extra round, never terminate unsoundly.
+// A pending key whose intersecting partners are all *earlier* in cover
+// order is harmless once those partners are fully fetched: its own
+// selection for any document is then fixed by complete data, so a tail
+// reveal either adds its score (≤ the key's bound) or is blocked and
+// adds nothing — the additive regime couldImprove's arithmetic is built
+// on. An earlier partner that is still pending needs no separate check:
+// this key is *its* later partner, which puts the partner itself in the
+// drain set, and the loop re-evaluates once it drains.
+func (s *TopKSession) mustDrainLocked(pending []*topkKeyState) []*topkKeyState {
+	var found []*topkKeyState
+	for _, key := range s.order {
+		if st := s.states[key]; st.found {
+			found = append(found, st)
+		}
+	}
+	var out []*topkKeyState
+	for _, st := range pending {
+		terms := make(map[string]bool, len(st.terms))
+		for _, t := range st.terms {
+			terms[t] = true
+		}
+		for _, other := range found {
+			if other == st || coverBefore(other, st) {
+				continue
+			}
+			shares := false
+			for _, t := range other.terms {
+				if terms[t] {
+					shares = true
+					break
+				}
+			}
+			if shares {
+				out = append(out, st)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Refine runs the threshold loop: while the aggregate top k could still
+// change, fetch the next chunk of the keys that could still change it,
+// doubling the chunk each round. The loop terminates early the moment
+// the bounds prove the top-k set fixed, and unconditionally once every
+// key is exhausted.
+//
+// Rounds come in two regimes. While any pending key's term set
+// intersects a later-in-cover-order found key (mustDrainLocked), its
+// tail can reshuffle the aggregator's greedy cover — a late reveal can
+// displace contributions the current ranking already counts, so no
+// score bound is trustworthy; those keys are drained to exhaustion
+// first (the other keys' streams stay parked, their cursors untouched).
+// Once every remaining pending key is *additive* — each of its
+// intersecting partners fully fetched and earlier in cover order, so a
+// tail reveal can only add that key's own bounded score or be blocked —
+// the improvement test applies: a document's upper bound adds the
+// bounds of every pending key that has not shown it, ignoring the
+// disjointness rule, so it only ever overestimates. In that regime the
+// loop may fetch an extra round, never terminate unsoundly.
 func (s *TopKSession) Refine(ctx context.Context, rank RankFn) error {
 	_, span := telemetry.StartSpan(ctx, "topk-refine")
 	defer span.Finish()
@@ -444,17 +532,25 @@ func (s *TopKSession) Refine(ctx context.Context, rank RankFn) error {
 				pending = append(pending, st)
 			}
 		}
+		drain := s.mustDrainLocked(pending)
 		s.mu.Unlock()
 		if len(pending) == 0 {
 			return nil // every stream exhausted: the ranking is exact
 		}
-		ranked := rank(s.Lists())
-		if !s.couldImprove(ranked, pending) {
-			s.ix.topkEarly.Add(1)
-			return nil
+		target := pending
+		if len(drain) > 0 {
+			// Cover-reshuffling tails outstanding: no early termination
+			// can be proven; drain those keys and re-evaluate.
+			target = drain
+		} else {
+			ranked := rank(s.Lists())
+			if !s.couldImprove(ranked, pending) {
+				s.ix.topkEarly.Add(1)
+				return nil
+			}
 		}
 		chunk *= 2
-		if err := s.continueRound(ctx, pending, chunk); err != nil {
+		if err := s.continueRound(ctx, target, chunk); err != nil {
 			return err
 		}
 		rounds++
@@ -467,6 +563,15 @@ func (s *TopKSession) Refine(ctx context.Context, rank RankFn) error {
 // with unfetched postings pending — could still reach the k-th score.
 // Ties continue the loop (>=): an equal-scoring late arrival can win the
 // deterministic DocRef tie-break and change the result set.
+//
+// Callers must only trust a false return in the additive regime (every
+// pending key additive per mustDrainLocked). There a tail reveal can
+// only add the revealing key's score — bounded by st.bound — to a
+// document, so current scores are lower bounds of final scores (the
+// final k-th is at least sk) and cur + Σ bounds(pending keys not
+// showing the doc) upper-bounds any outside document's final score;
+// both together prove the set fixed. Outside that regime the greedy
+// cover can reshuffle and neither bound holds.
 func (s *TopKSession) couldImprove(ranked []postings.Posting, pending []*topkKeyState) bool {
 	if len(ranked) < s.k {
 		return true // the top k is not even full yet

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/ids"
@@ -269,6 +270,232 @@ func TestTopKContinuationSurvivesLostKey(t *testing.T) {
 		if l.Len() == 0 {
 			t.Fatalf("surviving key %q has no postings", key)
 		}
+	}
+}
+
+// rankGreedyCover mirrors core's rankUnion: walk each document's keys
+// in cover order (more terms first, ties by key string) and add a key's
+// score iff its term set is disjoint from the terms already covered —
+// the aggregation whose non-monotonicity the session's drain regime
+// guards against.
+func rankGreedyCover(perKey map[string]*postings.List) []postings.Posting {
+	type keyList struct {
+		terms []string
+		list  *postings.List
+	}
+	kls := make([]keyList, 0, len(perKey))
+	for k, l := range perKey {
+		kls = append(kls, keyList{terms: strings.Fields(k), list: l})
+	}
+	sort.Slice(kls, func(i, j int) bool {
+		if len(kls[i].terms) != len(kls[j].terms) {
+			return len(kls[i].terms) > len(kls[j].terms)
+		}
+		return strings.Join(kls[i].terms, " ") < strings.Join(kls[j].terms, " ")
+	})
+	type docState struct {
+		score   float64
+		covered map[string]bool
+	}
+	states := map[postings.DocRef]*docState{}
+	for _, kl := range kls {
+		for _, p := range kl.list.Entries {
+			st := states[p.Ref]
+			if st == nil {
+				st = &docState{covered: map[string]bool{}}
+				states[p.Ref] = st
+			}
+			free := true
+			for _, tm := range kl.terms {
+				if st.covered[tm] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			st.score += p.Score
+			for _, tm := range kl.terms {
+				st.covered[tm] = true
+			}
+		}
+	}
+	out := make([]postings.Posting, 0, len(states))
+	for ref, st := range states {
+		out = append(out, postings.Posting{Ref: ref, Score: st.score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Ref.Less(out[j].Ref)
+	})
+	return out
+}
+
+// TestTopKRefineCoverReshuffle reproduces the case where the greedy
+// disjoint-cover aggregate is non-monotone in the fetched prefixes:
+// docX currently scores 1.0 via its shown "a b" posting, which blocks
+// its much larger "b c" posting (30.0); the unread "a d e" tail hides a
+// docX entry (0.05) that, once revealed, is covered first, blocks
+// "a b", unblocks "b c" and lifts docX to 30.05 — far beyond the naive
+// upper bound of 1.0 + bound("a d e") ≈ 3. A threshold test trusting
+// that bound would early-terminate and drop the true top document; the
+// session must drain the cover-intersecting key and return the exact
+// top-k set.
+func TestTopKRefineCoverReshuffle(t *testing.T) {
+	_, idxs, _ := ring(t, 10)
+	ix := idxs[0]
+	ctx := context.Background()
+	put := func(terms []string, l *postings.List) {
+		l.Normalize()
+		if _, err := ix.Put(ctx, terms, l, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	docX := postings.DocRef{Peer: "h", Doc: 1}
+
+	// "a d e": long list whose tail hides docX at a tiny score; the
+	// first chunk's bound (~1.97) is far below the current k-th score.
+	ade := &postings.List{}
+	for i := 0; i < 40; i++ {
+		ade.Add(post("h", uint32(100+i), 2.0-float64(i)*0.01))
+	}
+	ade.Add(post("h", 1, 0.05))
+	put([]string{"a", "d", "e"}, ade)
+
+	// "a b": docX's current cover, blocking "b c".
+	put([]string{"a", "b"}, &postings.List{Entries: []postings.Posting{post("h", 1, 1.0)}})
+
+	// "b c": docX's dominant posting plus the current top documents.
+	put([]string{"b", "c"}, &postings.List{Entries: []postings.Posting{
+		post("h", 1, 30.0), post("h", 2, 20.0), post("h", 3, 19.0),
+	}})
+
+	items := []GetItem{
+		{Terms: []string{"a", "d", "e"}},
+		{Terms: []string{"a", "b"}},
+		{Terms: []string{"b", "c"}},
+	}
+	full := map[string]*postings.List{}
+	for _, it := range items {
+		l, found, _, err := ix.Get(ctx, it.Terms, 0, ReadPrimary)
+		if err != nil || !found {
+			t.Fatalf("full pull %v: %v found=%v", it.Terms, err, found)
+		}
+		full[keyOf(it.Terms)] = l
+	}
+	const k = 2
+	want := rankGreedyCover(full)
+	if want[0].Ref != docX || math.Abs(want[0].Score-30.05) > 1e-9 {
+		t.Fatalf("ground truth top-1 = %+v, want docX at 30.05", want[0])
+	}
+
+	sess := ix.NewTopKSession(k, 4, 4, ReadPrimary)
+	if _, err := sess.FetchPrefixes(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Refine(ctx, rankGreedyCover); err != nil {
+		t.Fatal(err)
+	}
+	got := rankGreedyCover(sess.Lists())
+	for i := 0; i < k; i++ {
+		if got[i].Ref != want[i].Ref {
+			t.Fatalf("rank %d: streamed %v (%.3f), full pull %v (%.3f)",
+				i, got[i].Ref, got[i].Score, want[i].Ref, want[i].Score)
+		}
+		if rel := math.Abs(got[i].Score-want[i].Score) / want[i].Score; rel > 1e-5 {
+			t.Fatalf("rank %d score: streamed %.6f vs exact %.6f (rel %.2g)",
+				i, got[i].Score, want[i].Score, rel)
+		}
+	}
+}
+
+// TestHandleTopKHostileCursorChunk feeds the streamed-read handler
+// cursor/chunk values near MaxUint64. The handler must clamp them (as
+// the postings codec clamps its counts) instead of letting offset+limit
+// wrap negative and panic on the stored-list slice — a crafted frame
+// must never crash the serving peer.
+func TestHandleTopKHostileCursorChunk(t *testing.T) {
+	_, idxs, _ := ring(t, 4)
+	ix := idxs[0]
+	l := &postings.List{}
+	for i := 0; i < 8; i++ {
+		l.Add(post("h", uint32(i), float64(8-i)))
+	}
+	l.Normalize()
+	ix.Store().Put("k", l, 0)
+
+	cases := [][2]uint64{
+		{math.MaxUint64, math.MaxUint64},
+		{1, math.MaxUint64 - 1},
+		{math.MaxUint64 / 2, math.MaxUint64 / 2},
+		{uint64(HardCap) + 1, 3},
+	}
+	for _, c := range cases {
+		w := wire.NewWriter(64)
+		w.Uvarint(1)
+		w.String("k")
+		w.Uvarint(c[0])
+		w.Uvarint(c[1])
+		// MsgGetMore skips the responsibility check, so the handler runs
+		// regardless of which ring slice owns "k".
+		_, resp, err := ix.handleTopK(context.Background(), "attacker", MsgGetMore, w.Bytes())
+		if err != nil {
+			t.Fatalf("cursor=%d chunk=%d: %v", c[0], c[1], err)
+		}
+		r := wire.NewReader(resp)
+		if n := r.Uvarint(); n != 1 {
+			t.Fatalf("cursor=%d chunk=%d: served %d items", c[0], c[1], n)
+		}
+		a, err := readTopKAnswer(r)
+		if err != nil {
+			t.Fatalf("cursor=%d chunk=%d: decode: %v", c[0], c[1], err)
+		}
+		if !a.found || a.total != 8 {
+			t.Fatalf("cursor=%d chunk=%d: answer %+v", c[0], c[1], a)
+		}
+	}
+}
+
+// TestGetPrefixOverflowArgs drives the store directly with arguments
+// whose sum overflows int: the end index must be computed by
+// subtraction, never offset+limit.
+func TestGetPrefixOverflowArgs(t *testing.T) {
+	s := NewStore(0)
+	l := &postings.List{}
+	for i := 0; i < 6; i++ {
+		l.Add(post("a", uint32(i), float64(6-i)))
+	}
+	s.Put("k", l, 0)
+	res := s.GetPrefix("k", 1, math.MaxInt)
+	if len(res.Entries) != 5 || res.Total != 6 {
+		t.Fatalf("offset=1 limit=MaxInt: %d entries, total %d", len(res.Entries), res.Total)
+	}
+	res = s.GetPrefix("k", math.MaxInt, math.MaxInt)
+	if len(res.Entries) != 0 || res.Total != 6 || !res.Found {
+		t.Fatalf("offset=MaxInt: %+v", res)
+	}
+}
+
+// TestReadTopKAnswerRejectsHugeTotal: the coordinator-side decoder
+// refuses answers whose claimed stored length exceeds the store hard
+// cap — no honest peer stores more, and the value feeds cursor echo and
+// byte accounting.
+func TestReadTopKAnswerRejectsHugeTotal(t *testing.T) {
+	w := wire.NewWriter(64)
+	w.Bool(true)  // found
+	w.Bool(false) // wantIndex
+	w.String("peer")
+	w.Bool(false)                  // truncated
+	w.Uvarint(uint64(HardCap) + 1) // total
+	w.Uvarint(0)                   // cursor
+	w.Float64(1)                   // bound
+	(&postings.List{}).EncodeCompressed(w)
+	if _, err := readTopKAnswer(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("total beyond HardCap must be rejected")
 	}
 }
 
