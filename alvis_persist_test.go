@@ -96,6 +96,7 @@ func TestAntiEntropyLoopLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//alvislint:allow sleepsync real ticker cadence: lets sweeps fire before Close; the facade exposes no sweep counter to poll
 	time.Sleep(25 * time.Millisecond) // let a few ticks fire
 	if err := p.Close(); err != nil {
 		t.Fatal(err)

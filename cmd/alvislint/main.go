@@ -1,0 +1,78 @@
+// Command alvislint is the multichecker driver for this repository's
+// project-specific analyzers (internal/analysis/...): the invariants
+// reviews kept re-finding by hand — unclamped wire integers, severed
+// context chains, fire-and-forget goroutines, orphaned wire message
+// types, deprecated Legacy wrappers, sleep-as-synchronization tests —
+// checked by machine on every commit.
+//
+// Usage:
+//
+//	go run ./cmd/alvislint ./...
+//	go run ./cmd/alvislint -checks wireclamp,ctxflow ./internal/transport
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 driver failure.
+// Suppressions are inline //alvislint: directives; see DESIGN.md
+// "Enforced invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/registry"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: alvislint [-checks a,b,...] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := registry.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Println(a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		var unknown string
+		analyzers, unknown = registry.ByName(strings.Split(*checks, ","))
+		if unknown != "" {
+			fmt.Fprintf(os.Stderr, "alvislint: unknown analyzer %q\n", unknown)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alvislint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alvislint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Printf("%s\n", d)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

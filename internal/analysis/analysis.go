@@ -1,0 +1,198 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis surface this repository needs. The
+// container that builds this repo has no module proxy access, so instead
+// of depending on x/tools the package defines the same three ideas —
+// an Analyzer with a Run function, a Pass giving it one type-checked
+// package, and Diagnostics reported at token positions — on top of
+// go/ast, go/types and `go list`.
+//
+// Analyzers live in subdirectories (wireclamp, ctxflow, goroutinelifecycle,
+// frameparity, nolegacy, sleepsync); the registry subpackage collects them
+// and cmd/alvislint is the multichecker driver. Suppression is explicit
+// and greppable: a comment
+//
+//	//alvislint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above silences that one
+// diagnostic. Analyzers may declare directive aliases (ctxflow accepts
+// //alvislint:ctxroot) so the annotation reads as a statement of design
+// intent rather than a lint mute. See DESIGN.md "Enforced invariants".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. The shape mirrors
+// x/tools/go/analysis.Analyzer so the suite can migrate to the real
+// framework wholesale if the dependency ever becomes available.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //alvislint:allow directives.
+	Name string
+
+	// Doc states the invariant the analyzer enforces, beginning with
+	// "name: ...".
+	Doc string
+
+	// Aliases are extra directive keywords that suppress this analyzer's
+	// diagnostics (e.g. ctxflow accepts "ctxroot" so sanctioned context
+	// roots read as design statements).
+	Aliases []string
+
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass hands an Analyzer one type-checked package (including its test
+// files, when the package has tests) and collects diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// testFiles marks the files of Files that are _test.go files.
+	testFiles map[*ast.File]bool
+
+	// dirs holds the parsed //alvislint: directives of each file.
+	dirs map[*ast.File][]directive
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// IsTestFile reports whether f is a _test.go file of the package.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Path returns the package's import path. Test variants report the path
+// of the package under test ("repro/internal/wire", not
+// "repro/internal/wire [repro/internal/wire.test]").
+func (p *Pass) Path() string {
+	path := p.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// Reportf records a diagnostic at pos unless an //alvislint directive on
+// the same line, or the line directly above, suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a directive covers a diagnostic at pos:
+// an allow/alias directive on pos's line or the line above, or a
+// package-scope alias directive (e.g. //alvislint:ctxroot-package)
+// anywhere in the package.
+func (p *Pass) suppressed(pos token.Position) bool {
+	for f, dirs := range p.dirs {
+		fname := p.Fset.Position(f.Package).Filename
+		for _, d := range dirs {
+			if d.scope == scopePackage && p.matches(d) {
+				return true
+			}
+			if fname != pos.Filename {
+				continue
+			}
+			if (d.line == pos.Line || d.line == pos.Line-1) && p.matches(d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pass) matches(d directive) bool {
+	if d.verb == "allow" && d.target == p.Analyzer.Name {
+		return true
+	}
+	for _, alias := range p.Analyzer.Aliases {
+		if d.verb == alias {
+			return true
+		}
+	}
+	return false
+}
+
+// Inspect walks every file of the package in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Info.Defs[id]
+}
+
+// Run executes each analyzer over pkg and returns the surviving
+// (unsuppressed) diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	dirs := make(map[*ast.File][]directive, len(pkg.Files))
+	for _, f := range pkg.Files {
+		dirs[f] = parseDirectives(pkg.Fset, f)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			testFiles: pkg.TestFiles,
+			dirs:      dirs,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,248 @@
+// Package atest is the golden-diagnostic harness for the alvislint
+// analyzers — the role analysistest plays for x/tools analyzers. A
+// fixture is a GOPATH-style tree under the analyzer's testdata/src
+// directory; every line that should be flagged carries a
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps mean several diagnostics on that
+// line). Run loads the fixture packages with full type information,
+// runs the analyzer, and fails the test on any unmatched expectation or
+// unexpected diagnostic. Fixture files named *_test.go are marked as
+// test files for the analyzer (they are invisible to the go tool, which
+// never descends into testdata).
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package (a directory under testdata/src,
+// named by import path) and checks a's diagnostics against the
+// fixtures' // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		root:    filepath.Join("testdata", "src"),
+		fset:    token.NewFileSet(),
+		checked: make(map[string]*pkg),
+	}
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(&analysis.Package{
+			ImportPath: path,
+			Fset:       l.fset,
+			Files:      p.files,
+			Types:      p.types,
+			Info:       p.info,
+			TestFiles:  p.testFiles,
+		}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on fixture %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, l.fset, p.files, diags)
+	}
+}
+
+type pkg struct {
+	files     []*ast.File
+	testFiles map[*ast.File]bool
+	types     *types.Package
+	info      *types.Info
+}
+
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	checked map[string]*pkg
+	std     types.Importer
+}
+
+func (l *loader) load(path string) (*pkg, error) {
+	if p, ok := l.checked[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.checked[path] = nil // cycle marker
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &pkg{testFiles: make(map[*ast.File]bool)}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, af)
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			p.testFiles[af] = true
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	p.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(l.root, ipath)); err == nil {
+			dep, err := l.load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			return dep.types, nil
+		}
+		return l.stdlib(ipath)
+	})}
+	p.types, err = conf.Check(path, l.fset, p.files, p.info)
+	if err != nil {
+		return nil, err
+	}
+	l.checked[path] = p
+	return p, nil
+}
+
+// stdlib imports a non-fixture package from the build cache's export
+// data, resolving the file via `go list -export` on first use.
+func (l *loader) stdlib(path string) (*types.Package, error) {
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+			if err != nil {
+				return nil, fmt.Errorf("go list -export %s: %v", path, err)
+			}
+			file := strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one "want" regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted extracts the quoted regexps of a want comment: Go string
+// literals, double-quoted or backquoted, separated by spaces.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return out
+		}
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Package ctxflow enforces the repository's context-threading contract
+// (the PR 3 invariant, previously half-enforced by a CI grep): a
+// request's context must flow from the public API edge down to every
+// RPC, so cancellation and deadline budgets propagate.
+//
+// Two checks:
+//
+//  1. A function that has a context.Context in scope must thread it:
+//     calling context.Background() or context.TODO() there severs the
+//     caller's cancellation chain.
+//  2. In non-test internal/ code, context.Background()/TODO() are
+//     banned outright except at sanctioned roots — places that truly
+//     start a lifetime (peer construction, connection accept loops,
+//     nil-ctx compatibility fallbacks). A root is sanctioned with
+//     //alvislint:ctxroot <reason> on the offending line (or the line
+//     above), or //alvislint:ctxroot-package <reason> for driver
+//     packages whose every entry point is a root (the simulator).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "ctxflow: thread the caller's context.Context to downstream calls; " +
+		"context.Background()/TODO() only at sanctioned roots in internal code",
+	Aliases: []string{"ctxroot"},
+	Run:     run,
+}
+
+func run(pass *analysis.Pass) error {
+	internal := strings.Contains(pass.Path(), "/internal/")
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		nilFallbacks := collectNilFallbacks(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, fd.Body, hasCtxParam(pass, fd.Type), internal, nilFallbacks)
+		}
+	}
+	return nil
+}
+
+// collectNilFallbacks finds the sanctioned compatibility idiom
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// which substitutes a fresh context only when the caller supplied none
+// (legacy entry points pass nil). The Background call inside it is not a
+// severed chain and is exempt from both checks.
+func collectNilFallbacks(pass *analysis.Pass, f *ast.File) map[*ast.CallExpr]bool {
+	sanctioned := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		ctxSide := cond.X
+		if isNil(pass, ctxSide) {
+			ctxSide = cond.Y
+		} else if !isNil(pass, cond.Y) {
+			return true
+		}
+		id, ok := ctxSide.(*ast.Ident)
+		if !ok || !isContextType(pass.TypeOf(id)) {
+			return true
+		}
+		guardedObj := pass.ObjectOf(id)
+		for _, stmt := range ifs.Body.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || pass.ObjectOf(lhs) != guardedObj {
+				continue
+			}
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+				if _, isFresh := freshContextCall(pass, call); isFresh {
+					sanctioned[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return sanctioned
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}
+
+// check walks one function body. ctxInScope records whether any
+// enclosing function (the declaration or a closure chain) receives a
+// context.Context; closures inherit it because they close over the
+// variable.
+func check(pass *analysis.Pass, n ast.Node, ctxInScope, internal bool, nilFallbacks map[*ast.CallExpr]bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			check(pass, node.Body, ctxInScope || hasCtxParam(pass, node.Type), internal, nilFallbacks)
+			return false
+		case *ast.CallExpr:
+			name, ok := freshContextCall(pass, node)
+			if !ok || nilFallbacks[node] {
+				return true
+			}
+			switch {
+			case ctxInScope:
+				pass.Reportf(node.Pos(), "context.%s called in a function that receives a context.Context: thread the caller's context so cancellation and deadline budgets propagate", name)
+			case internal:
+				pass.Reportf(node.Pos(), "context.%s in internal non-test code: thread a caller context, or sanction this lifetime root with //alvislint:ctxroot <reason>", name)
+			}
+		}
+		return true
+	})
+}
+
+// freshContextCall reports whether call is context.Background() or
+// context.TODO(), and which.
+func freshContextCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if name := obj.Name(); name == "Background" || name == "TODO" {
+		return name, true
+	}
+	return "", false
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,17 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestGolden(t *testing.T) {
+	atest.Run(t, Analyzer, "x/internal/a", "x/internal/driver", "y/pkg")
+}
+
+// TestSeededRegression re-finds the PR 3 bug shape: a context accepted
+// at the API edge and severed at the RPC fan-out point.
+func TestSeededRegression(t *testing.T) {
+	atest.Run(t, Analyzer, "x/internal/regress")
+}

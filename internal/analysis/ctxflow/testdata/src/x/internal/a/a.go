@@ -1,0 +1,47 @@
+// Package a is the ctxflow golden fixture: fresh contexts minted where
+// a caller's context should flow.
+package a
+
+import "context"
+
+func downstream(ctx context.Context) error { return nil }
+
+// A ctx-receiving function must thread its context.
+func severed(ctx context.Context) error {
+	return downstream(context.Background()) // want "thread the caller's context"
+}
+
+func severedTODO(ctx context.Context) error {
+	return downstream(context.TODO()) // want "thread the caller's context"
+}
+
+// Closures inherit the enclosing function's context scope.
+func severedInClosure(ctx context.Context) func() error {
+	return func() error {
+		return downstream(context.Background()) // want "thread the caller's context"
+	}
+}
+
+// Without a context in scope, internal code may not mint one unsanctioned.
+func orphanRoot() error {
+	return downstream(context.Background()) // want "internal non-test code"
+}
+
+// A sanctioned lifetime root is exempt.
+func peerRoot() (context.Context, context.CancelFunc) {
+	//alvislint:ctxroot fixture: the peer's lifetime starts here
+	return context.WithCancel(context.Background())
+}
+
+// The nil-ctx compatibility fallback is recognized structurally.
+func compat(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return downstream(ctx)
+}
+
+// Threading the caller's context is the baseline good case.
+func threaded(ctx context.Context) error {
+	return downstream(ctx)
+}

@@ -1,0 +1,8 @@
+package a
+
+import "context"
+
+// Tests are roots by nature; Background is fine here.
+func testScaffold() error {
+	return downstream(context.Background())
+}

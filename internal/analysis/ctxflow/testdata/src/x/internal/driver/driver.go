@@ -1,0 +1,22 @@
+// Package driver is the package-scope sanction fixture: an experiment
+// driver whose every entry point starts a fresh request lifetime.
+//
+//alvislint:ctxroot-package fixture: every operation here is a root, like main
+package driver
+
+import "context"
+
+func run(ctx context.Context) error { return nil }
+
+func Experiment() error {
+	return run(context.Background())
+}
+
+func Sweep() error {
+	for i := 0; i < 3; i++ {
+		if err := run(context.Background()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

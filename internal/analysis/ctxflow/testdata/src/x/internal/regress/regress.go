@@ -1,0 +1,25 @@
+// Package regress seeds the historical ctxflow bug: the PR 3 query
+// pipeline accepted the caller's context at the API edge, then minted
+// context.Background() partway down, so cancelling an abandoned search
+// kept burning RPC budget on every peer downstream of the break.
+package regress
+
+import "context"
+
+type peer struct{}
+
+func (p *peer) rpc(ctx context.Context, addr string) error { return nil }
+
+func (p *peer) search(ctx context.Context, terms []string) error {
+	for _, t := range terms {
+		if err := p.lookup(ctx, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *peer) lookup(ctx context.Context, term string) error {
+	// The historical break: a fresh context at the fan-out point.
+	return p.rpc(context.Background(), term) // want "thread the caller's context"
+}

@@ -1,0 +1,15 @@
+// Package pkg sits outside internal/: minting a root context is fine
+// at the public edge, but a ctx-receiving function must still thread.
+package pkg
+
+import "context"
+
+func downstream(ctx context.Context) error { return nil }
+
+func PublicEdge() error {
+	return downstream(context.Background())
+}
+
+func StillSevered(ctx context.Context) error {
+	return downstream(context.Background()) // want "thread the caller's context"
+}

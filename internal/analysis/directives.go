@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //alvislint: comment.
+//
+//	//alvislint:allow <analyzer> <reason>   — silence <analyzer> on this/next line
+//	//alvislint:<alias> <reason>            — analyzer-declared alias (e.g. ctxroot)
+//	//alvislint:<alias>-package <reason>    — alias applied to the whole package
+//
+// A directive with no stated reason still parses; requiring prose is a
+// review convention, not a machine check.
+type directive struct {
+	verb   string // "allow" or an alias keyword
+	target string // analyzer name (only for "allow")
+	reason string
+	line   int
+	scope  int
+}
+
+const (
+	scopeLine = iota
+	scopePackage
+)
+
+const directivePrefix = "//alvislint:"
+
+// parseDirectives extracts the //alvislint: directives of one file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			body := strings.TrimPrefix(text, directivePrefix)
+			fields := strings.Fields(body)
+			if len(fields) == 0 {
+				continue
+			}
+			d := directive{line: fset.Position(c.Pos()).Line}
+			verb := fields[0]
+			if rest, ok := strings.CutSuffix(verb, "-package"); ok {
+				verb = rest
+				d.scope = scopePackage
+			}
+			d.verb = verb
+			if verb == "allow" {
+				if len(fields) < 2 {
+					continue
+				}
+				d.target = fields[1]
+				d.reason = strings.Join(fields[2:], " ")
+			} else {
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package frameparity keeps the wire protocol's message-type constants
+// honest: every Msg* constant must be routed and tested, and no two may
+// share a value.
+//
+// The dispatcher panics at runtime on a duplicate Handle registration,
+// but an orphaned constant (declared, never registered) or an untested
+// frame shape only surfaces when a peer sends it. frameparity checks,
+// per package declaring uint8 Msg* constants:
+//
+//   - each constant is registered with a dispatcher Handle call in the
+//     same package (no orphans);
+//   - each constant is mentioned by at least one in-package test, the
+//     convention being a wire round-trip test per frame (no untested
+//     frame encodings);
+//   - no two constants share a value (no shadowed message types — the
+//     static form of the dispatcher's duplicate-registration panic).
+package frameparity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "frameparity",
+	Doc: "frameparity: every Msg* wire constant must have a dispatcher handler " +
+		"and appear in an in-package test, and no two may share a value",
+	Run: run,
+}
+
+var msgNameRE = regexp.MustCompile(`^Msg[A-Z0-9]`)
+
+func run(pass *analysis.Pass) error {
+	type msgConst struct {
+		obj *types.Const
+		id  *ast.Ident
+	}
+	var consts []msgConst
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !msgNameRE.MatchString(name.Name) {
+						continue
+					}
+					c, ok := pass.ObjectOf(name).(*types.Const)
+					if !ok || !isUint8(c.Type()) {
+						continue
+					}
+					consts = append(consts, msgConst{obj: c, id: name})
+				}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	registered := make(map[types.Object]bool)
+	mentionedInTest := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		isTest := pass.IsTestFile(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if isTest {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						mentionedInTest[obj] = true
+					}
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Handle" || len(call.Args) == 0 {
+				return true
+			}
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					registered[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	byValue := make(map[string]msgConst)
+	for _, c := range consts {
+		val := c.obj.Val().ExactString()
+		if prev, dup := byValue[val]; dup {
+			pass.Reportf(c.id.Pos(), "shadowed message type: %s has the same value (%s) as %s",
+				c.obj.Name(), formatVal(c.obj.Val()), prev.obj.Name())
+		} else {
+			byValue[val] = c
+		}
+		if !registered[c.obj] {
+			pass.Reportf(c.id.Pos(), "orphaned message type %s: no dispatcher Handle registration in this package", c.obj.Name())
+		}
+		if !mentionedInTest[c.obj] {
+			pass.Reportf(c.id.Pos(), "message type %s appears in no in-package test: add it to a wire round-trip test", c.obj.Name())
+		}
+	}
+	return nil
+}
+
+func isUint8(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8)
+}
+
+func formatVal(v constant.Value) string {
+	if i, ok := constant.Uint64Val(v); ok {
+		return fmt.Sprintf("0x%02x", i)
+	}
+	return v.ExactString()
+}

@@ -1,0 +1,18 @@
+package frameparity
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestGolden(t *testing.T) {
+	atest.Run(t, Analyzer, "fp")
+}
+
+// TestSeededRegression re-finds the PR 7 bug shape: a streaming frame
+// constant colliding with an existing value, next to a constant that
+// never received a handler.
+func TestSeededRegression(t *testing.T) {
+	atest.Run(t, Analyzer, "regress")
+}

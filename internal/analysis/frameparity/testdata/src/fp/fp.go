@@ -1,0 +1,32 @@
+// Package fp is the frameparity golden fixture: Msg* constants that
+// are routed and tested, orphaned, untested, or value-shadowed.
+package fp
+
+type handler func(body []byte) []byte
+
+type dispatcher struct {
+	handlers map[uint8]handler
+}
+
+func (d *dispatcher) Handle(msgType uint8, h handler) {
+	d.handlers[msgType] = h
+}
+
+const (
+	MsgGood     uint8 = 0x01 // registered and mentioned in a test
+	MsgOrphan   uint8 = 0x02 // want "orphaned message type MsgOrphan" "appears in no in-package test"
+	MsgUntested uint8 = 0x03 // want "MsgUntested appears in no in-package test"
+	MsgShadow   uint8 = 0x01 // want "shadowed message type: MsgShadow has the same value \\(0x01\\) as MsgGood"
+
+	// Non-message constants are ignored whatever their type.
+	maxFrame uint8 = 0xFF
+)
+
+// MsgWrongType is not uint8, so it is not a wire message type.
+const MsgWrongType int = 0x04
+
+func register(d *dispatcher) {
+	d.Handle(MsgGood, func(b []byte) []byte { return b })
+	d.Handle(MsgUntested, func(b []byte) []byte { return b })
+	d.Handle(MsgShadow, func(b []byte) []byte { return b })
+}

@@ -1,0 +1,8 @@
+package fp
+
+// The wire round-trip test mentions MsgGood and MsgShadow; MsgOrphan
+// and MsgUntested stay unmentioned on purpose.
+var roundTripped = map[string]uint8{
+	"MsgGood":   MsgGood,
+	"MsgShadow": MsgShadow,
+}

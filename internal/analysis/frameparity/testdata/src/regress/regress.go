@@ -1,0 +1,24 @@
+// Package regress seeds the historical frameparity bug: during the
+// PR 7 top-k work a new streaming frame constant was minted next to the
+// batch block and collided with an existing value — the dispatcher's
+// duplicate-registration panic caught it only at peer startup, and only
+// because both happened to be registered. This fixture is the static
+// form: a shadowed value plus a constant that never got a handler.
+package regress
+
+type handler func(body []byte) []byte
+
+type dispatcher struct{ handlers map[uint8]handler }
+
+func (d *dispatcher) Handle(msgType uint8, h handler) { d.handlers[msgType] = h }
+
+const (
+	MsgMultiGet   uint8 = 0x18
+	MsgIntersect  uint8 = 0x18 // want "shadowed message type: MsgIntersect has the same value \\(0x18\\) as MsgMultiGet"
+	MsgNeverWired uint8 = 0x19 // want "orphaned message type MsgNeverWired"
+)
+
+func register(d *dispatcher) {
+	d.Handle(MsgMultiGet, func(b []byte) []byte { return b })
+	d.Handle(MsgIntersect, func(b []byte) []byte { return b })
+}

@@ -1,0 +1,9 @@
+package regress
+
+// All three frames have round-trip coverage; the defects are the
+// shadowed value and the missing registration.
+var roundTripped = map[string]uint8{
+	"MsgMultiGet":   MsgMultiGet,
+	"MsgIntersect":  MsgIntersect,
+	"MsgNeverWired": MsgNeverWired,
+}

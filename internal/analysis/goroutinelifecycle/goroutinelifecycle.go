@@ -1,0 +1,187 @@
+// Package goroutinelifecycle flags fire-and-forget goroutines in
+// non-test internal code.
+//
+// This is the PR 4 bug class: a goroutine spawned per request with no
+// WaitGroup, lifecycle channel, or context tying it to an unwind path
+// accumulates without bound when its producer outpaces its consumer
+// (the abandoned-request set had to be bounded by hand). A `go`
+// statement passes if the spawned work visibly participates in a
+// lifecycle protocol: it touches a sync.WaitGroup, sends on / receives
+// from / closes / ranges over a channel, selects, or holds a
+// context.Context it can be cancelled through. A goroutine that is
+// genuinely detached by design is sanctioned with
+// //alvislint:allow goroutinelifecycle <reason>.
+package goroutinelifecycle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelifecycle",
+	Doc: "goroutinelifecycle: goroutines in non-test internal code must be tied to a " +
+		"WaitGroup, lifecycle channel, or cancellable context",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Path(), "/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// `go` statements preceded by a WaitGroup.Add statement in the
+		// same block are accounted for — the `wg.Add(1); go f()` idiom
+		// keeps the evidence outside the call.
+		tiedByAdd := goStmtsAfterAdd(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if tiedByAdd[g] {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !hasLifecycleEvidence(pass, lit.Body) && !argsCarryLifecycle(pass, g.Call.Args) {
+					pass.Reportf(g.Pos(), "goroutine has no visible lifecycle: tie it to a WaitGroup, channel, or context (or sanction a deliberately detached goroutine with //alvislint:allow goroutinelifecycle <reason>)")
+				}
+				return true
+			}
+			// go fn(args) / go x.method(args): the body is elsewhere, so
+			// require the spawn site itself to show the lifecycle — a
+			// context or channel argument, or a preceding WaitGroup.Add.
+			if !argsCarryLifecycle(pass, g.Call.Args) {
+				pass.Reportf(g.Pos(), "goroutine call passes no context or channel to stop it through: thread one (or sanction with //alvislint:allow goroutinelifecycle <reason>)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtsAfterAdd marks the `go` statements of f that follow a
+// (*sync.WaitGroup).Add statement in the same block.
+func goStmtsAfterAdd(pass *analysis.Pass, f *ast.File) map[*ast.GoStmt]bool {
+	tied := make(map[*ast.GoStmt]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		seenAdd := false
+		for _, stmt := range block.List {
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" && isWaitGroupMethod(pass, sel) {
+						seenAdd = true
+					}
+				}
+			}
+			if g, ok := stmt.(*ast.GoStmt); ok && seenAdd {
+				tied[g] = true
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// hasLifecycleEvidence reports whether the body participates in any
+// recognizable lifecycle protocol.
+func hasLifecycleEvidence(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(pass.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isWaitGroupMethod(pass, sel) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(n); obj != nil {
+				if isChan(obj.Type()) || isContext(obj.Type()) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func argsCarryLifecycle(pass *analysis.Pass, args []ast.Expr) bool {
+	for _, arg := range args {
+		t := pass.TypeOf(arg)
+		if isChan(t) || isContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isWaitGroupMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	switch obj.Name() {
+	case "Add", "Done", "Wait":
+	default:
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

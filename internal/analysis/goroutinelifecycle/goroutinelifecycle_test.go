@@ -1,0 +1,17 @@
+package goroutinelifecycle
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestGolden(t *testing.T) {
+	atest.Run(t, Analyzer, "x/internal/g")
+}
+
+// TestSeededRegression re-finds the PR 4 bug shape: a per-request
+// drain goroutine with no path to the endpoint's shutdown.
+func TestSeededRegression(t *testing.T) {
+	atest.Run(t, Analyzer, "x/internal/regress")
+}

@@ -1,0 +1,89 @@
+// Package g is the goroutinelifecycle golden fixture: goroutines with
+// and without a visible lifecycle.
+package g
+
+import (
+	"context"
+	"sync"
+)
+
+func work()                     {}
+func worker(stop chan struct{}) {}
+func serve(ctx context.Context) {}
+func process(id int)            {}
+
+// Fire-and-forget closures with no lifecycle evidence.
+func detachedClosure() {
+	go func() { // want "goroutine has no visible lifecycle"
+		work()
+	}()
+}
+
+// Named-function spawns must show the lifecycle at the spawn site.
+func detachedCall() {
+	go work() // want "passes no context or channel"
+}
+
+func detachedWithPlainArg() {
+	go process(42) // want "passes no context or channel"
+}
+
+// A channel argument is the stop path.
+func tiedByChannelArg(stop chan struct{}) {
+	go worker(stop)
+}
+
+// A context argument is the cancel path.
+func tiedByContextArg(ctx context.Context) {
+	go serve(ctx)
+}
+
+// A closure that waits on a channel participates in a lifecycle.
+func tiedByReceive(stop chan struct{}) {
+	go func() {
+		<-stop
+		work()
+	}()
+}
+
+// Sending on a done channel is lifecycle evidence.
+func tiedBySend(done chan error) {
+	go func() {
+		done <- nil
+	}()
+}
+
+// Selecting over channels is lifecycle evidence.
+func tiedBySelect(ctx context.Context, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+				work()
+			}
+		}
+	}()
+}
+
+// WaitGroup methods inside the body count.
+func tiedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// The wg.Add(1); go f() idiom keeps the evidence outside the call.
+func tiedByPrecedingAdd(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go work()
+}
+
+// A deliberately detached goroutine is sanctioned in place.
+func sanctionedDetached() {
+	//alvislint:allow goroutinelifecycle fixture: deliberately detached
+	go work()
+}

@@ -1,0 +1,6 @@
+package g
+
+// Tests spawn helpers freely; the analyzer skips test files.
+func testScaffold() {
+	go work()
+}

@@ -1,0 +1,20 @@
+// Package regress seeds the historical goroutinelifecycle bug: the
+// PR 4 transport spawned one goroutine per abandoned call to drain the
+// late response, with nothing tying it to the endpoint's shutdown —
+// under a flood of abandonments the set grew without bound and had to
+// be capped by hand.
+package regress
+
+type endpoint struct{}
+
+func (e *endpoint) drainLateResponse(id uint64) {}
+
+func (e *endpoint) abandon(id uint64) {
+	go e.drainLateResponse(id) // want "passes no context or channel"
+}
+
+func (e *endpoint) abandonInline(id uint64) {
+	go func() { // want "goroutine has no visible lifecycle"
+		e.drainLateResponse(id)
+	}()
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. When
+// the package has tests, Files includes the _test.go files (the "foo
+// [foo.test]" variant the go tool builds), so analyzers see test code
+// with full type information.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TestFiles  map[*ast.File]bool
+}
+
+// listedPackage mirrors the fields of `go list -json` the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+}
+
+// Load type-checks the packages matching patterns in the module rooted
+// at (or containing) dir and returns them in dependency order. Non-module
+// dependencies, the standard library included, are imported from the
+// build cache's export data (`go list -export`), so only the module's own
+// code is type-checked from source; the whole repository loads in about
+// a second with a warm build cache.
+//
+// For a package with tests, the returned Package is the test variant
+// (package files + in-package _test.go files); the plain compilation is
+// still type-checked so that importers resolve against it, but only one
+// of the two is returned for analysis, keeping diagnostics unduplicated.
+// External test packages (package foo_test) are returned as their own
+// Package.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-test",
+		"-json=Dir,ImportPath,ForTest,Export,GoFiles,Imports,ImportMap,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	var listed []*listedPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		listed = append(listed, &p)
+	}
+
+	modulePath := ""
+	for _, p := range listed {
+		if p.Module != nil {
+			modulePath = p.Module.Path
+			break
+		}
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	gcimp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	// hasVariant marks import paths that also appear as a test variant
+	// ("foo [foo.test]"); the plain compilation of such a package is
+	// type-checked for importers but not returned for analysis.
+	hasVariant := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && !strings.HasSuffix(p.ImportPath, ".test") {
+			hasVariant[strings.TrimSuffix(p.ImportPath, " ["+p.ForTest+".test]")] = true
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Module == nil || p.Module.Path != modulePath || modulePath == "" {
+			continue
+		}
+		// Skip the generated test-main packages ("foo.test"): their only
+		// file is a synthesized _testmain.go in the build cache.
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		var files []*ast.File
+		testFiles := make(map[*ast.File]bool)
+		for _, name := range p.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(p.Dir, path)
+			}
+			af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", path, err)
+			}
+			files = append(files, af)
+			if strings.HasSuffix(name, "_test.go") {
+				testFiles[af] = true
+			}
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: &chainImporter{importMap: p.ImportMap, checked: checked, fallback: gcimp},
+		}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-check %s: %v", p.ImportPath, err)
+		}
+		checked[p.ImportPath] = tpkg
+		if p.ForTest == "" && hasVariant[p.ImportPath] {
+			continue // analysis runs on the test variant instead
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			TestFiles:  testFiles,
+		})
+	}
+	return pkgs, nil
+}
+
+// chainImporter resolves a package's imports: the go tool's per-package
+// ImportMap first (it redirects imports to test variants), then the
+// source-checked module packages, then export data.
+type chainImporter struct {
+	importMap map[string]string
+	checked   map[string]*types.Package
+	fallback  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := c.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := c.checked[path]; ok {
+		return pkg, nil
+	}
+	return c.fallback.Import(path)
+}

@@ -1,0 +1,56 @@
+// Package nolegacy retires the CI grep that kept the deprecated
+// *Legacy facade wrappers out of internal code, with real positions
+// and type information instead of a regex over source text.
+//
+// The *Legacy wrappers (SearchLegacy, PublishIndexLegacy, ...) exist
+// only so external callers can migrate to the context API
+// incrementally; code inside this module must call the context-taking
+// methods directly. The analyzer flags any cross-package call to a
+// method whose name ends in "Legacy" — the declaring package itself
+// (and its tests, which must keep exercising the wrappers) is exempt.
+package nolegacy
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nolegacy",
+	Doc:  "nolegacy: deprecated *Legacy facade wrappers must not be called inside this module; use the context API",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !strings.HasSuffix(sel.Sel.Name, "Legacy") {
+				return true
+			}
+			obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || obj.Type().(*types.Signature).Recv() == nil {
+				return true
+			}
+			if obj.Pkg() == nil {
+				return true
+			}
+			// The declaring package and its external test package keep
+			// the wrappers alive; everyone else migrates.
+			if declPath := obj.Pkg().Path(); declPath == pass.Path() || pass.Path() == declPath+"_test" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "deprecated %s wrapper called from internal code: use the context-taking %s instead",
+				sel.Sel.Name, strings.TrimSuffix(sel.Sel.Name, "Legacy"))
+			return true
+		})
+	}
+	return nil
+}

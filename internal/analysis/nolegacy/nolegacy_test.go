@@ -1,0 +1,17 @@
+package nolegacy
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestGolden(t *testing.T) {
+	atest.Run(t, Analyzer, "lib", "caller", "lib_test")
+}
+
+// TestSeededRegression re-finds the bug the retired CI grep existed
+// for: internal code calling a no-context facade wrapper.
+func TestSeededRegression(t *testing.T) {
+	atest.Run(t, Analyzer, "regress")
+}

@@ -1,0 +1,21 @@
+// Package caller is internal code that must use the context API.
+package caller
+
+import (
+	"context"
+
+	"lib"
+)
+
+func search(p *lib.Peer, q string) ([]string, error) {
+	return p.SearchLegacy(q) // want "deprecated SearchLegacy wrapper called from internal code"
+}
+
+func searchModern(ctx context.Context, p *lib.Peer, q string) ([]string, error) {
+	return p.Search(ctx, q)
+}
+
+// Package-level *Legacy functions are not facade wrappers.
+func format(s string) string {
+	return lib.FormatLegacy(s)
+}

@@ -1,0 +1,23 @@
+// Package lib declares the deprecated *Legacy facade wrappers the
+// analyzer polices. The declaring package keeps them alive.
+package lib
+
+import "context"
+
+type Peer struct{}
+
+func (p *Peer) Search(ctx context.Context, q string) ([]string, error) { return nil, nil }
+
+// SearchLegacy is the deprecated no-context wrapper.
+func (p *Peer) SearchLegacy(q string) ([]string, error) {
+	return p.Search(context.Background(), q)
+}
+
+// The declaring package may call its own wrapper (delegation chains).
+func (p *Peer) searchBoth(q string) ([]string, error) {
+	return p.SearchLegacy(q)
+}
+
+// FormatLegacy is a package-level function, not a facade method: the
+// analyzer only polices method wrappers.
+func FormatLegacy(s string) string { return s }

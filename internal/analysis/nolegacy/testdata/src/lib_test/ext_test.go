@@ -1,0 +1,9 @@
+// Package lib_test is lib's external test package: it must keep
+// exercising the deprecated wrappers, so it is exempt.
+package lib_test
+
+import "lib"
+
+func exerciseWrapper(p *lib.Peer) ([]string, error) {
+	return p.SearchLegacy("q")
+}

@@ -1,0 +1,16 @@
+// Package regress seeds the historical nolegacy bug: the cluster
+// client kept calling the facade's no-context wrappers after the
+// context API landed, so its searches could neither be cancelled nor
+// carry deadline budgets — the CI grep this analyzer replaces existed
+// to catch exactly this call.
+package regress
+
+import "lib"
+
+type client struct {
+	peer *lib.Peer
+}
+
+func (c *client) query(q string) ([]string, error) {
+	return c.peer.SearchLegacy(q) // want "deprecated SearchLegacy wrapper called from internal code"
+}

@@ -1,0 +1,45 @@
+// Package registry collects the alvislint analyzer suite. It exists as
+// its own package so the analyzers can import the framework without a
+// cycle, and so drivers (cmd/alvislint, future editor integrations)
+// share one list.
+package registry
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/frameparity"
+	"repro/internal/analysis/goroutinelifecycle"
+	"repro/internal/analysis/nolegacy"
+	"repro/internal/analysis/sleepsync"
+	"repro/internal/analysis/wireclamp"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		frameparity.Analyzer,
+		goroutinelifecycle.Analyzer,
+		nolegacy.Analyzer,
+		sleepsync.Analyzer,
+		wireclamp.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, or nil and the first unknown
+// name.
+func ByName(names []string) ([]*analysis.Analyzer, string) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, name
+		}
+		out = append(out, a)
+	}
+	return out, ""
+}

@@ -1,0 +1,110 @@
+// Package sleepsync flags time.Sleep used as cross-goroutine
+// synchronization in tests.
+//
+// A sleep that waits for "the goroutine to have gotten there by now"
+// encodes a scheduler assumption; under -race on a loaded CI runner the
+// assumption fails and the test flakes, or the sleep is padded until
+// the suite crawls. Tests must wait on the condition itself: a channel
+// close, a sync.WaitGroup, or a deadline-bounded polling loop on the
+// observable state. The rare sleep that is genuinely about elapsed
+// wall-clock time (letting a real deadline budget expire, pacing a
+// load generator) is sanctioned in place with
+// //alvislint:allow sleepsync <reason>.
+package sleepsync
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepsync",
+	Doc:  "sleepsync: time.Sleep is not a synchronization primitive; tests must wait on conditions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if !pass.IsTestFile(f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || obj.Name() != "Sleep" {
+				return true
+			}
+			if insidePollLoop(stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.Sleep used in a test: wait on the condition (channel close, WaitGroup, bounded polling loop) instead, or sanction a true wall-clock wait with //alvislint:allow sleepsync <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// insidePollLoop reports whether the innermost enclosing loop is a
+// deadline-bounded polling loop — the sanctioned replacement this
+// analyzer's own diagnostic recommends, where Sleep is pacing between
+// observations of a condition rather than the synchronization itself.
+// Two shapes qualify: a while-style `for <observed cond> { ...Sleep }`,
+// and an infinite `for { ... }` whose body escapes via break or return
+// when the condition is met. A counted `for i := 0; i < n; i++` or
+// range loop does not qualify: sleeping a fixed number of times is
+// still sleeping.
+func insidePollLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch l := stack[i].(type) {
+		case *ast.RangeStmt:
+			return false
+		case *ast.FuncLit:
+			// A Sleep in a nested goroutine or closure is not the
+			// loop's pacing; judge it on its own.
+			return false
+		case *ast.ForStmt:
+			if l.Init == nil && l.Post == nil && l.Cond != nil {
+				return true
+			}
+			return l.Cond == nil && hasConditionalEscape(l.Body)
+		}
+	}
+	return false
+}
+
+// hasConditionalEscape reports whether body contains a break or return
+// belonging to the loop under inspection (nested loops and closures are
+// skipped: their escapes are theirs).
+func hasConditionalEscape(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			return false
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

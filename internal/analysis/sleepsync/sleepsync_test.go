@@ -1,0 +1,17 @@
+package sleepsync
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestGolden(t *testing.T) {
+	atest.Run(t, Analyzer, "s")
+}
+
+// TestSeededRegression re-finds the historical flake shape: join,
+// sleep a guessed settle time, assert.
+func TestSeededRegression(t *testing.T) {
+	atest.Run(t, Analyzer, "regress")
+}

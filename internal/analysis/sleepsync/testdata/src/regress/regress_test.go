@@ -1,0 +1,23 @@
+package regress
+
+import (
+	"testing"
+	"time"
+)
+
+type peer struct{}
+
+func (p *peer) join()         {}
+func (p *peer) search() error { return nil }
+
+// Seeded historical shape: the churn test joined a peer, slept "long
+// enough" for replication to settle, then asserted query results — on
+// a loaded CI runner the settle took longer and the suite flaked.
+func settleByClock(t *testing.T) {
+	p := &peer{}
+	p.join()
+	time.Sleep(500 * time.Millisecond) // want "time.Sleep used in a test"
+	if err := p.search(); err != nil {
+		t.Fatal(err)
+	}
+}

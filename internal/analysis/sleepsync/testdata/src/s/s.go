@@ -1,0 +1,9 @@
+// Package s is the sleepsync golden fixture's non-test half: Sleep in
+// production code is not this analyzer's business.
+package s
+
+import "time"
+
+func Backoff() {
+	time.Sleep(10 * time.Millisecond)
+}

@@ -1,0 +1,74 @@
+package s
+
+import (
+	"testing"
+	"time"
+)
+
+func step() bool { return true }
+
+// The classic flake: sleep, then assert the goroutine got there.
+func sleepThenAssert(t *testing.T) {
+	go step()
+	time.Sleep(20 * time.Millisecond) // want "time.Sleep used in a test"
+	if !step() {
+		t.Fatal("not ready")
+	}
+}
+
+// A counted pacing loop is still sleeping, N times.
+func sleepCounted() {
+	for i := 0; i < 3; i++ {
+		step()
+		time.Sleep(time.Millisecond) // want "time.Sleep used in a test"
+	}
+}
+
+// Range loops are no better.
+func sleepRanged(items []int) {
+	for range items {
+		time.Sleep(time.Millisecond) // want "time.Sleep used in a test"
+	}
+}
+
+// A while-style poll on observable state is the sanctioned replacement.
+func pollWhile(t *testing.T, ready func() bool) {
+	deadline := time.Now().Add(2 * time.Second)
+	for !ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// So is an infinite loop that escapes when the condition is met.
+func pollForever(t *testing.T, ready func() bool) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ready() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A closure inside a poll loop is judged on its own.
+func sleepInClosureInsideLoop(done chan struct{}) {
+	for {
+		go func() {
+			time.Sleep(time.Millisecond) // want "time.Sleep used in a test"
+		}()
+		break
+	}
+	<-done
+}
+
+// True wall-clock waits are sanctioned in place.
+func sanctionedWait() {
+	//alvislint:allow sleepsync fixture: real elapsed time is the scenario
+	time.Sleep(50 * time.Millisecond)
+}

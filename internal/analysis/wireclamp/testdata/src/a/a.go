@@ -1,0 +1,112 @@
+// Package a is the wireclamp golden fixture: wire-read integers used
+// as make sizes, indexes, and slice bounds, with and without clamps.
+package a
+
+import "wire"
+
+type entry struct{ score float64 }
+
+const maxEntries = 1 << 10
+
+// Unguarded make sizes — the core bug class.
+func allocRaw(body []byte) []entry {
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	return make([]entry, n) // want "unclamped wire integer used as make size"
+}
+
+func allocThroughConversion(body []byte) []byte {
+	r := wire.NewReader(body)
+	n := int(r.Uint32())
+	return make([]byte, n) // want "unclamped wire integer used as make size"
+}
+
+func allocInline(body []byte) []entry {
+	r := wire.NewReader(body)
+	return make([]entry, r.Uvarint()) // want "unclamped wire integer used as make size"
+}
+
+// Derived values stay tainted through arithmetic.
+func allocDerived(body []byte) []byte {
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	padded := n*8 + 4
+	return make([]byte, padded) // want "unclamped wire integer used as make size"
+}
+
+// Multi-assign Consume* results are attacker-controlled too.
+func allocConsumed(body []byte) []entry {
+	n, _, err := wire.ConsumeUvarint(body)
+	if err != nil {
+		return nil
+	}
+	return make([]entry, n) // want "unclamped wire integer used as make size"
+}
+
+// Index and slice-bound positions.
+func pickRaw(body []byte, table []entry) entry {
+	r := wire.NewReader(body)
+	i := int(r.Uvarint())
+	return table[i] // want "unclamped wire integer used as index"
+}
+
+func cutRaw(body []byte) []byte {
+	r := wire.NewReader(body)
+	end := int(r.Uint32())
+	return body[:end] // want "unclamped wire integer used as slice bound"
+}
+
+// A comparison anywhere in the function counts as the bounds check.
+func allocChecked(body []byte) []entry {
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	if n > maxEntries {
+		return nil
+	}
+	return make([]entry, n)
+}
+
+// min/max clamp the value.
+func allocClamped(body []byte) []entry {
+	r := wire.NewReader(body)
+	n := min(r.Uvarint(), maxEntries)
+	return make([]entry, n)
+}
+
+// A clamp-named helper clears its arguments.
+func clampInt(v, hi int) int {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func allocHelperClamped(body []byte) []byte {
+	r := wire.NewReader(body)
+	n := clampInt(int(r.Uvarint()), maxEntries)
+	return make([]byte, n)
+}
+
+// Guarding the source clears values derived from it.
+func allocDerivedFromChecked(body []byte) []byte {
+	r := wire.NewReader(body)
+	n := int(r.Uvarint())
+	if n > maxEntries {
+		return nil
+	}
+	size := n * 8
+	return make([]byte, size)
+}
+
+// Non-wire integers are never tainted.
+func allocLocal(n int) []byte {
+	return make([]byte, n)
+}
+
+// An explicit suppression silences a deliberate exception.
+func allocSanctioned(body []byte) []byte {
+	r := wire.NewReader(body)
+	n := r.Uvarint()
+	//alvislint:allow wireclamp fixture: deliberately unclamped
+	return make([]byte, n)
+}

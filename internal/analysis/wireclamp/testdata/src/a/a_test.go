@@ -1,0 +1,9 @@
+package a
+
+import "wire"
+
+// Test files are exempt: tests construct hostile values on purpose.
+func buildHostile(body []byte) []byte {
+	r := wire.NewReader(body)
+	return make([]byte, r.Uvarint())
+}

@@ -1,0 +1,37 @@
+// Package regress seeds the historical wireclamp bug: the PR 7
+// score-bounded top-k stream decoded a chunk's posting count and a
+// resume cursor straight off the wire and sized its buffers with them,
+// so one hostile frame could reserve gigabytes or panic the serving
+// peer. This fixture reproduces that decoder shape verbatim.
+package regress
+
+import "wire"
+
+type posting struct {
+	doc   uint32
+	score float64
+}
+
+type chunk struct {
+	postings []posting
+	cursor   int
+}
+
+func decodeChunk(body []byte) *chunk {
+	r := wire.NewReader(body)
+	count := int(r.Uvarint())
+	c := &chunk{
+		postings: make([]posting, 0, count), // want "unclamped wire integer used as make size"
+	}
+	for i := 0; i < count; i++ {
+		c.postings = append(c.postings, posting{doc: r.Uint32(), score: 0})
+	}
+	c.cursor = int(r.Uvarint())
+	return c
+}
+
+func resumeAt(body []byte, stream []posting) []posting {
+	r := wire.NewReader(body)
+	cursor := int(r.Uvarint())
+	return stream[cursor:] // want "unclamped wire integer used as slice bound"
+}

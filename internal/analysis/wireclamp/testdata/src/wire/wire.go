@@ -1,0 +1,20 @@
+// Package wire is a fixture stand-in for the real wire package: the
+// analyzer recognizes wire-read calls by package path suffix and method
+// name, so only the signatures matter.
+package wire
+
+type Reader struct {
+	b []byte
+}
+
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+func (r *Reader) Uvarint() uint64 { return 0 }
+func (r *Reader) Varint() int64   { return 0 }
+func (r *Reader) Uint64() uint64  { return 0 }
+func (r *Reader) Uint32() uint32  { return 0 }
+func (r *Reader) String() string  { return "" }
+func (r *Reader) Err() error      { return nil }
+
+func ConsumeUvarint(b []byte) (uint64, []byte, error) { return 0, b, nil }
+func ConsumeUint32(b []byte) (uint32, []byte, error)  { return 0, b, nil }

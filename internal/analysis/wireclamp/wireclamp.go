@@ -1,0 +1,373 @@
+// Package wireclamp flags integers read from the wire that reach an
+// allocation or indexing operation without a bounds check.
+//
+// This is the PR 7 bug class: a hostile frame declares a cursor or
+// chunk count, the handler does `make([]T, n)` or `items[n]` with the
+// raw value, and the serving peer either panics or reserves gigabytes
+// on behalf of a single frame. Readers must clamp every wire-supplied
+// integer against a protocol maximum (or derive the bound from the
+// remaining payload length) before using it as a size or index.
+package wireclamp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireclamp",
+	Doc: "wireclamp: integers decoded from wire frames (wire.Reader results, Consume* results) " +
+		"must be bounds-checked before use as a make size, slice index, or slice bound",
+	Run: run,
+}
+
+// readerIntMethods are the wire.Reader methods that produce attacker-
+// controlled integers.
+var readerIntMethods = map[string]bool{
+	"Uvarint": true,
+	"Varint":  true,
+	"Uint64":  true,
+	"Uint32":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the per-function taint walk: values produced by wire
+// reads are tainted; a function-wide comparison (or min/max/clamp call)
+// involving the value counts as its bounds check; tainted values
+// reaching make/index/slice positions unguarded are reported.
+// The analysis is deliberately flow-insensitive: a guard anywhere in
+// the function clears the variable, trading a little soundness for a
+// near-zero false-positive rate on real decoder loops.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	sources := make(map[types.Object][]types.Object)
+	guarded := make(map[types.Object]bool)
+
+	// Taint fixpoint over assignments: rhs wire reads (possibly through
+	// conversions and arithmetic) taint integer-typed lhs variables.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+				// n, rest, err := wire.ConsumeX(b): taint the integer results.
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isWireReadCall(pass, call) {
+					for _, lhs := range as.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pass.ObjectOf(id)
+						if obj != nil && isInteger(obj.Type()) && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				srcs, isTainted := taintOf(pass, as.Rhs[i], tainted)
+				if isTainted {
+					tainted[obj] = true
+					sources[obj] = srcs
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Guard collection: any comparison mentioning the variable, or a
+	// min/max/clamp call over it, counts as its bounds check. One
+	// exception: a for-loop condition comparing the variable against the
+	// loop's own counter (`for i := 0; i < n; i++`) bounds i, not n —
+	// that was exactly the shape of the PR 7 decoders, which looped over
+	// a hostile count after sizing a buffer with it.
+	counterCmps := loopCounterComparisons(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if counterCmps[n] {
+				return true
+			}
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				markGuarded(pass, n.X, tainted, guarded)
+				markGuarded(pass, n.Y, tainted, guarded)
+			}
+		case *ast.CallExpr:
+			if isClampCall(pass, n) {
+				for _, arg := range n.Args {
+					markGuarded(pass, arg, tainted, guarded)
+				}
+			}
+		}
+		return true
+	})
+
+	cleared := func(obj types.Object) bool {
+		seen := make(map[types.Object]bool)
+		var visit func(types.Object) bool
+		visit = func(o types.Object) bool {
+			if guarded[o] {
+				return true
+			}
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+			for _, src := range sources[o] {
+				if visit(src) {
+					return true
+				}
+			}
+			return false
+		}
+		return visit(obj)
+	}
+
+	// hot reports whether e carries an unguarded wire integer.
+	var hot func(ast.Expr) bool
+	hot = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return hot(e.X)
+		case *ast.Ident:
+			obj := pass.ObjectOf(e)
+			return obj != nil && tainted[obj] && !cleared(obj)
+		case *ast.CallExpr:
+			if isWireReadCall(pass, e) {
+				return true
+			}
+			if isConversion(pass, e) && len(e.Args) == 1 {
+				return hot(e.Args[0])
+			}
+			return false
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.ADD, token.SUB, token.MUL, token.SHL:
+				return hot(e.X) || hot(e.Y)
+			}
+			return false
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "make") {
+				for _, arg := range n.Args[1:] {
+					if hot(arg) {
+						pass.Reportf(arg.Pos(), "unclamped wire integer used as make size: bound it against a protocol maximum (or the remaining payload length) first")
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if indexable(pass.TypeOf(n.X)) && hot(n.Index) {
+				pass.Reportf(n.Index.Pos(), "unclamped wire integer used as index: check it against len() first")
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				if bound != nil && hot(bound) {
+					pass.Reportf(bound.Pos(), "unclamped wire integer used as slice bound: check it against len() first")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopCounterComparisons collects the for-loop conditions that compare
+// the loop's post-updated counter against something else. Such a
+// comparison must not clear the something else: the counter chases it,
+// it does not bound it.
+func loopCounterComparisons(body *ast.BlockStmt) map[*ast.BinaryExpr]bool {
+	skip := make(map[*ast.BinaryExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond == nil {
+			return true
+		}
+		cmp, ok := fs.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		var counter string
+		switch post := fs.Post.(type) {
+		case *ast.IncDecStmt:
+			if id, ok := post.X.(*ast.Ident); ok {
+				counter = id.Name
+			}
+		case *ast.AssignStmt:
+			if len(post.Lhs) == 1 {
+				if id, ok := post.Lhs[0].(*ast.Ident); ok {
+					counter = id.Name
+				}
+			}
+		}
+		if counter == "" {
+			return true
+		}
+		if id, ok := cmp.X.(*ast.Ident); ok && id.Name == counter {
+			skip[cmp] = true
+		}
+		if id, ok := cmp.Y.(*ast.Ident); ok && id.Name == counter {
+			skip[cmp] = true
+		}
+		return true
+	})
+	return skip
+}
+
+// taintOf reports whether e is a wire-derived integer expression, and
+// the tainted variables it derives from (empty for direct reads).
+func taintOf(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) ([]types.Object, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return taintOf(pass, e.X, tainted)
+	case *ast.Ident:
+		obj := pass.ObjectOf(e)
+		if obj != nil && tainted[obj] {
+			return []types.Object{obj}, true
+		}
+	case *ast.CallExpr:
+		if isWireReadCall(pass, e) {
+			return nil, true
+		}
+		if isConversion(pass, e) && len(e.Args) == 1 {
+			return taintOf(pass, e.Args[0], tainted)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.SHL:
+			sx, tx := taintOf(pass, e.X, tainted)
+			sy, ty := taintOf(pass, e.Y, tainted)
+			if tx || ty {
+				return append(sx, sy...), true
+			}
+		}
+	}
+	return nil, false
+}
+
+func markGuarded(pass *analysis.Pass, e ast.Expr, tainted, guarded map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && tainted[obj] {
+				guarded[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// isWireReadCall reports whether call produces an attacker-controlled
+// integer: a wire.Reader integer method, or a package-level Consume*
+// function of a wire package.
+func isWireReadCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || !isWirePackage(obj.Pkg()) {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return readerIntMethods[obj.Name()]
+	}
+	return strings.HasPrefix(obj.Name(), "Consume")
+}
+
+func isWirePackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "wire" || strings.HasSuffix(pkg.Path(), "/wire")
+}
+
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+func isClampCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, ok := pass.ObjectOf(fun).(*types.Builtin); ok {
+			return fun.Name == "min" || fun.Name == "max"
+		}
+		return strings.Contains(strings.ToLower(fun.Name), "clamp")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "clamp")
+	}
+	return false
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// indexable reports whether indexing into t with a hostile integer can
+// panic: slices, arrays, strings (maps cannot).
+func indexable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}

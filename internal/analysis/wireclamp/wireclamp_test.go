@@ -1,0 +1,17 @@
+package wireclamp
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+)
+
+func TestGolden(t *testing.T) {
+	atest.Run(t, Analyzer, "a")
+}
+
+// TestSeededRegression re-finds the PR 7 bug shape: buffers sized by a
+// raw wire-decoded count and a resume cursor used as a slice bound.
+func TestSeededRegression(t *testing.T) {
+	atest.Run(t, Analyzer, "regress")
+}

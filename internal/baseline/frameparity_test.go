@@ -1,0 +1,27 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/globalindex"
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/paritytest"
+)
+
+// TestFrameParityBaseline proves the baseline's distributed-intersection
+// message type has a live dispatcher handler that survives hostile
+// frames without panicking. The frameparity analyzer keeps this table
+// and the MsgIntersect constant in sync.
+func TestFrameParityBaseline(t *testing.T) {
+	net := transport.NewMem()
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("parity", d.Serve)
+	rng := rand.New(rand.NewSource(7))
+	node := dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+	gidx := globalindex.New(node, d)
+	NewService(gidx, d)
+	paritytest.Check(t, d, map[string]uint8{"MsgIntersect": MsgIntersect})
+}

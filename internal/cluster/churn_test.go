@@ -39,6 +39,7 @@ func TestClusterChurnDeltaRejoin(t *testing.T) {
 		SharedDocs:  shared,
 	})
 	client := cl.NewClient(t, clusterCfg(), 150*time.Millisecond)
+	//alvislint:allow sleepsync settle of cross-process background maintenance; no aggregate quiescence signal crosses the process boundary
 	time.Sleep(time.Second) // let joins, pulls and replication settle
 
 	w := corpus.GenerateWorkload(c, corpus.WorkloadParams{NumQueries: 20, MaxTerms: 2, Seed: 22})
@@ -52,6 +53,7 @@ func TestClusterChurnDeltaRejoin(t *testing.T) {
 	runQueries := func(qs []corpus.Query) {
 		for _, q := range qs {
 			_, _ = client.Search(context.Background(), q.Text(), searchOpts...)
+			//alvislint:allow sleepsync load-generator pacing: the churn scenario wants queries spread across the kill/rejoin timeline
 			time.Sleep(30 * time.Millisecond)
 		}
 	}

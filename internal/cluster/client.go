@@ -46,6 +46,7 @@ func (c *Cluster) NewClient(tb testing.TB, cfg alvisp2p.Config, maintain time.Du
 		p.Close()
 		tb.Fatal("cluster client: no running node to join through")
 	}
+	//alvislint:ctxroot harness client lifetime root: the join happens before any test-scoped context exists
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	err = p.Join(ctx, alvisp2p.Addr(contact.Addr))
 	cancel()
@@ -53,6 +54,7 @@ func (c *Cluster) NewClient(tb testing.TB, cfg alvisp2p.Config, maintain time.Du
 		p.Close()
 		tb.Fatalf("cluster client join via %s: %v", contact.Addr, err)
 	}
+	//alvislint:ctxroot maintain-loop lifetime root, cancelled by Client.Close
 	mctx, mcancel := context.WithCancel(context.Background())
 	cl := &Client{Peer: p, Log: &QueryLog{}, cancel: mcancel, done: make(chan struct{})}
 	go func() {
@@ -67,7 +69,7 @@ func (c *Cluster) NewClient(tb testing.TB, cfg alvisp2p.Config, maintain time.Du
 			case <-mctx.Done():
 				return
 			case <-t.C:
-				p.Maintain(context.Background())
+				p.Maintain(mctx)
 			}
 		}
 	}()

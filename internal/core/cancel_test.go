@@ -66,6 +66,7 @@ func TestSearchCancelMidFlight(t *testing.T) {
 		resp, err := n.Peers[0].Search(ctx, "term0000 term0001 term0002")
 		done <- outcome{resp, err}
 	}()
+	//alvislint:allow sleepsync positions the cancel mid-exploration by wall clock; waves advance on real 30ms delays
 	time.Sleep(45 * time.Millisecond) // mid-exploration (each wave costs 30ms)
 	start := time.Now()
 	cancel()
@@ -197,6 +198,7 @@ func TestPeerCloseCancelsInFlight(t *testing.T) {
 		_, err := p.Search(ctx, "term0000 term0001 term0002")
 		done <- err
 	}()
+	//alvislint:allow sleepsync positions Close mid-search by wall clock; waves advance on real 30ms delays
 	time.Sleep(45 * time.Millisecond)
 	if err := p.Close(); err != nil {
 		t.Fatal(err)

@@ -271,8 +271,9 @@ func OpenPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Con
 	}
 	node := dht.NewNode(id, ep, d, cfg.DHT)
 	gidx := globalindex.NewWithEngine(node, d, engine)
-	gidx.EnableReplication(cfg.ReplicationFactor)
+	//alvislint:ctxroot peer lifetime root, cancelled by Close
 	root, shutdown := context.WithCancel(context.Background())
+	gidx.EnableReplication(root, cfg.ReplicationFactor)
 	p := &Peer{
 		cfg:       cfg,
 		node:      node,
@@ -296,20 +297,20 @@ func OpenPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Con
 		// stats until republish (they share the replica-target cache).
 		p.gstats.EnableReplication(gidx)
 		if cfg.AntiEntropyInterval > 0 {
-			go p.antiEntropyLoop(cfg.AntiEntropyInterval)
+			go p.antiEntropyLoop(root, cfg.AntiEntropyInterval)
 		}
 	}
 	return p, nil
 }
 
-// antiEntropyLoop runs the background replica-repair sweep until Close
-// cancels the peer's root context.
-func (p *Peer) antiEntropyLoop(interval time.Duration) {
+// antiEntropyLoop runs the background replica-repair sweep until ctx —
+// the peer's root context, cancelled by Close — expires.
+func (p *Peer) antiEntropyLoop(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-p.root.Done():
+		case <-ctx.Done():
 			return
 		case <-t.C:
 			p.gidx.AntiEntropySweep()
@@ -435,6 +436,7 @@ func (p *Peer) Maintain(ctx context.Context) {
 	}
 	_ = p.node.Stabilize(ctx)
 	_ = p.node.FixFingers(ctx)
+	p.gidx.MaintainReplication()
 	p.qdiMgr.MaintenanceTick()
 }
 

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/paritytest"
+)
+
+// coreMsgTypes names the L5 (query/document) wire message types the
+// core layer declares. The frameparity analyzer keeps this table and
+// the constant block in l5.go in sync.
+var coreMsgTypes = map[string]uint8{
+	"MsgDocInfo":      MsgDocInfo,
+	"MsgForwardQuery": MsgForwardQuery,
+	"MsgFetchDoc":     MsgFetchDoc,
+}
+
+// TestFrameParityCore proves every L5 message type has a live
+// dispatcher handler that survives hostile frames without panicking.
+func TestFrameParityCore(t *testing.T) {
+	net := transport.NewMem()
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("parity", d.Serve)
+	p := NewPeer(ids.HashString("parity"), ep, d, Config{})
+	defer p.Close()
+	paritytest.Check(t, d, coreMsgTypes)
+}

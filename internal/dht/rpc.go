@@ -106,7 +106,9 @@ func (n *Node) registerHandlers(d *transport.Dispatcher) {
 		var f Remote
 		if level == 0 {
 			f = n.succs[0]
-		} else if level < len(n.fingers) {
+		} else if level > 0 && level < len(n.fingers) {
+			// The lower bound matters: a hostile uvarint above 1<<63
+			// arrives here as a negative int after conversion.
 			f = n.fingers[level]
 		}
 		n.mu.RUnlock()

@@ -45,7 +45,7 @@ func joinWith(t *testing.T, nodes []*dht.Node, net *transport.Mem, name string, 
 	ep := net.Endpoint(name, d.Serve)
 	joiner := dht.NewNode(ids.ID(0x7777777777777777), ep, d, dht.Options{})
 	jix := NewWithEngine(joiner, d, engine)
-	jix.EnableReplication(3)
+	jix.EnableReplication(context.Background(), 3)
 	if err := joiner.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}
@@ -149,6 +149,52 @@ func TestDeltaRejoinTransfersOnlyChangedKeys(t *testing.T) {
 		if err != nil || !found {
 			t.Fatalf("get %v after delta rejoin: %v found=%v", it.Terms, err, found)
 		}
+	}
+}
+
+// TestMaintainReplicationRetriesRejoinPull is the churn-flake
+// regression: a recovered peer's rejoin pull normally runs from the
+// first ring change that reveals a predecessor, but if that one attempt
+// fires before the pointers settle (or its RPCs fail) a ring that
+// stabilizes immediately afterwards never fires another — the pull must
+// then be retried from the maintenance cadence. The lost attempt is
+// modeled by enabling replication only after the ring has fully
+// stabilized, so no ring-change callback ever runs a pull.
+func TestMaintainReplicationRetriesRejoinPull(t *testing.T) {
+	nodes, idxs, net := replRing(t, 8, 3)
+	populateRing(t, idxs[0], 150, "retry")
+
+	joinerID := ids.ID(0x7777777777777777)
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("joiner", d.Serve)
+	joiner := dht.NewNode(joinerID, ep, d, dht.Options{})
+	recovered := NewStore(0)
+	recovered.SetWatermark(0, joinerID)
+	jix := NewWithEngine(joiner, d, recoveredMemory{recovered})
+	if err := joiner.Join(context.Background(), nodes[0].Self().Addr); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]*dht.Node(nil), nodes...), joiner)
+	for r := 0; r < 10; r++ {
+		for _, n := range all {
+			_ = n.Stabilize(context.Background())
+		}
+	}
+
+	jix.EnableReplication(context.Background(), 3)
+	if m, p := jix.PullTransferCounts(); m != 0 || p != 0 {
+		t.Fatalf("pull ran before any maintenance round: manifest=%d pulled=%d", m, p)
+	}
+	jix.MaintainReplication()
+	manifest, pulled := jix.PullTransferCounts()
+	if manifest == 0 || pulled == 0 {
+		t.Fatalf("maintenance round did not complete the rejoin pull: manifest=%d pulled=%d", manifest, pulled)
+	}
+	// The completed pull clears the pending marker: further maintenance
+	// rounds must not re-walk the range.
+	jix.MaintainReplication()
+	if m2, p2 := jix.PullTransferCounts(); m2 != manifest || p2 != pulled {
+		t.Fatalf("completed rejoin pull ran again on maintenance: manifest %d->%d pulled %d->%d", manifest, m2, pulled, p2)
 	}
 }
 

@@ -1,0 +1,52 @@
+package globalindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/paritytest"
+)
+
+// indexMsgTypes names every wire message type the global index layer
+// declares — the single-key RPCs, the Multi* batch frames, the top-k
+// streaming frames, and the replication/anti-entropy protocol. The
+// frameparity analyzer keeps this table and the constant blocks in
+// sync.
+var indexMsgTypes = map[string]uint8{
+	"MsgPut":             MsgPut,
+	"MsgAppend":          MsgAppend,
+	"MsgGet":             MsgGet,
+	"MsgRemove":          MsgRemove,
+	"MsgStats":           MsgStats,
+	"MsgKeyInfo":         MsgKeyInfo,
+	"MsgMultiPut":        MsgMultiPut,
+	"MsgMultiAppend":     MsgMultiAppend,
+	"MsgMultiGet":        MsgMultiGet,
+	"MsgMultiKeyInfo":    MsgMultiKeyInfo,
+	"MsgMultiGetAny":     MsgMultiGetAny,
+	"MsgMultiGetTopK":    MsgMultiGetTopK,
+	"MsgGetMore":         MsgGetMore,
+	"MsgMultiGetTopKAny": MsgMultiGetTopKAny,
+	"MsgReplPut":         MsgReplPut,
+	"MsgReplAppend":      MsgReplAppend,
+	"MsgReplRemove":      MsgReplRemove,
+	"MsgPullRange":       MsgPullRange,
+	"MsgReplSync":        MsgReplSync,
+	"MsgRangeManifest":   MsgRangeManifest,
+	"MsgFetchEntries":    MsgFetchEntries,
+}
+
+// TestFrameParityGlobalIndex proves every index message type has a live
+// dispatcher handler that survives hostile frames without panicking.
+func TestFrameParityGlobalIndex(t *testing.T) {
+	net := transport.NewMem()
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("parity", d.Serve)
+	rng := rand.New(rand.NewSource(7))
+	node := dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+	New(node, d)
+	paritytest.Check(t, d, indexMsgTypes)
+}

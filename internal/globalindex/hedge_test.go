@@ -34,7 +34,7 @@ func hedgeRing(t *testing.T, n, r int) ([]*dht.Node, []*Index, []*transport.Disp
 		ep := net.Endpoint(fmt.Sprintf("h%d", i), d.Serve)
 		nodes[i] = dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
 		idxs[i] = New(nodes[i], d)
-		idxs[i].EnableReplication(r)
+		idxs[i].EnableReplication(context.Background(), r)
 		disps[i] = d
 	}
 	dht.BuildOracleTables(nodes)
@@ -222,9 +222,8 @@ func TestHedgedReadWinsOverSlowPrimary(t *testing.T) {
 	if since := time.Since(start); since >= slow {
 		t.Fatalf("hedged Get took %s", since)
 	}
-	// leakcheck (deferred) proves the losing RPC goroutines unwound; give
-	// the slow peer's handler goroutines their delay to drain first.
-	time.Sleep(slow + 50*time.Millisecond)
+	// leakcheck (deferred) proves the losing RPC goroutines unwound; its
+	// own bounded retry (3s ≫ slow) outlasts the slow peer's drain.
 }
 
 // TestHedgedReadLearnsToAvoidSlowReplica: after a few hedged reads the

@@ -47,6 +47,11 @@ const (
 type replicator struct {
 	factor int // replication factor R; <= 1 disables replication
 
+	// life is the index's lifetime context (the peer's root): the
+	// anti-entropy passes that run from ring-maintenance callbacks,
+	// outside any query, run under it so Close unwinds their RPCs.
+	life context.Context
+
 	mu      sync.Mutex
 	succsOf map[transport.Addr][]dht.Remote
 
@@ -55,6 +60,15 @@ type replicator struct {
 	// many manifest (key, fingerprint) pairs the delta path inspected.
 	pulledKeys   atomic.Int64
 	manifestKeys atomic.Int64
+
+	// rejoinPending marks a recovered peer whose rejoin pull has not yet
+	// walked its owned range to completion. The pull normally runs from
+	// the first ring change that reveals a predecessor, but on a ring
+	// that stabilizes immediately afterwards no further change arrives —
+	// if that one attempt fired before the pointers settled or its RPCs
+	// failed, MaintainReplication retries on the maintenance cadence
+	// until a walk completes.
+	rejoinPending atomic.Bool
 }
 
 // PullTransferCounts reports the anti-entropy transfer counters: pulled
@@ -81,13 +95,41 @@ func (ix *Index) ReplicationFactor() int {
 // notifications. Call it once, before the node joins a network. With
 // R <= 1 it is a no-op: every write stays single-copy and the
 // determinism contract of the batch layer is untouched.
-func (ix *Index) EnableReplication(r int) {
+//
+// life is the index's lifetime context — the peer's root, cancelled on
+// Close — under which the ring-change-triggered anti-entropy passes
+// run; nil keeps them uncancellable.
+func (ix *Index) EnableReplication(life context.Context, r int) {
 	if r <= 1 {
 		return
 	}
+	ix.repl.life = life
 	ix.repl.factor = r
 	ix.repl.succsOf = make(map[transport.Addr][]dht.Remote)
+	ix.repl.rejoinPending.Store(ix.store.Recovered())
 	ix.node.OnRingChange(ix.onRingChange)
+}
+
+// MaintainReplication runs the replication work a maintenance round
+// owes: retrying a recovered peer's rejoin pull until one attempt walks
+// the owned range to completion. No-op for peers without recovered
+// state, once a pull has completed, or with replication disabled.
+func (ix *Index) MaintainReplication() {
+	if ix.repl.factor <= 1 || !ix.repl.rejoinPending.Load() {
+		return
+	}
+	ix.pullOwnedRange()
+}
+
+// lifetimeCtx returns the context anti-entropy passes run under: the
+// lifetime handed to EnableReplication, or an uncancellable fallback
+// when none was.
+func (ix *Index) lifetimeCtx() context.Context {
+	ctx := ix.repl.life
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
 }
 
 // registerReplicationHandlers wires the replica-side protocol. Handlers
@@ -523,7 +565,7 @@ func (ix *Index) getAt(ctx context.Context, addr transport.Addr, key string, max
 // and acting on "I own everything" would flood the ring.
 func (ix *Index) onRingChange(ch dht.RingChange) {
 	// Anti-entropy runs from ring-maintenance callbacks, outside any
-	// query: it proceeds under its own background context.
+	// query: it proceeds under the index's lifetime context.
 	ix.repl.mu.Lock()
 	ix.repl.succsOf = make(map[transport.Addr][]dht.Remote)
 	ix.repl.mu.Unlock()
@@ -581,14 +623,22 @@ func (ix *Index) ReplicateFrame(ctx context.Context, primary transport.Addr, msg
 // replicas), so the pull is exactly the key migration a join requires.
 // Responses arrive in ring order capped at the batch bound; a full page
 // resumes from the last received key's position, so ranges of any size
-// migrate completely.
-func (ix *Index) pullOwnedRange() {
-	ctx := context.Background()
+// migrate completely. complete reports whether the walk reached the end
+// of the owned range — a pull cut short by an RPC failure or unsettled
+// ring pointers leaves the pending-rejoin marker set, so the
+// maintenance cadence retries it.
+func (ix *Index) pullOwnedRange() (complete bool) {
+	defer func() {
+		if complete {
+			ix.repl.rejoinPending.Store(false)
+		}
+	}()
+	ctx := ix.lifetimeCtx()
 	self := ix.node.Self()
 	pred := ix.node.Predecessor()
 	succ := ix.node.Successor()
 	if pred.IsZero() || succ.IsZero() || succ.Addr == self.Addr {
-		return
+		return false
 	}
 	if ix.store.Recovered() {
 		// Delta rejoin: the engine replayed a WAL/snapshot slice whose
@@ -602,8 +652,7 @@ func (ix *Index) pullOwnedRange() {
 		// informational: a predecessor that moved during the downtime
 		// only widens the diff (missing keys fetch like any other).
 		if _, wto, ok := ix.store.Watermark(); ok && wto == self.ID {
-			ix.pullOwnedRangeDelta(ctx, pred.ID, self, succ)
-			return
+			return ix.pullOwnedRangeDelta(ctx, pred.ID, self, succ)
 		}
 	}
 	from := pred.ID
@@ -613,30 +662,31 @@ func (ix *Index) pullOwnedRange() {
 		w.Uint64(uint64(self.ID))
 		_, resp, err := ix.node.Endpoint().Call(ctx, succ.Addr, MsgPullRange, w.Bytes())
 		if err != nil {
-			return // best effort; the next ring change retries
+			return false // best effort; maintenance or the next ring change retries
 		}
 		r := wire.NewReader(resp)
 		keys, dfs, lists, err := decodeSyncItems(r)
 		if err != nil {
-			return
+			return false
 		}
 		more := r.Bool()
 		if r.Err() != nil {
-			return
+			return false
 		}
 		for i, key := range keys {
 			ix.store.AdoptReplica(key, lists[i], dfs[i])
 			ix.repl.pulledKeys.Add(1)
 		}
 		if !more || len(keys) == 0 {
-			return
+			return true
 		}
 		next := ids.HashString(keys[len(keys)-1])
 		if next == self.ID || next == from {
-			return // boundary reached, or no forward progress possible
+			return true // boundary reached, or no forward progress possible
 		}
 		from = next
 	}
+	return false
 }
 
 // pullOwnedRangeDelta is the recovered peer's rejoin pull: it walks the
@@ -645,20 +695,20 @@ func (ix *Index) pullOwnedRange() {
 // full entries only for keys that are missing locally or whose stored
 // bytes diverged — the writes that landed at the successor while this
 // peer was down. Same pagination and best-effort semantics as the full
-// pull.
-func (ix *Index) pullOwnedRangeDelta(ctx context.Context, from ids.ID, self, succ dht.Remote) {
+// pull; complete reports whether the walk reached the range's end.
+func (ix *Index) pullOwnedRangeDelta(ctx context.Context, from ids.ID, self, succ dht.Remote) (complete bool) {
 	for page := 0; page < 1024; page++ { // hard stop against protocol bugs
 		w := wire.NewWriter(16)
 		w.Uint64(uint64(from))
 		w.Uint64(uint64(self.ID))
 		_, resp, err := ix.node.Endpoint().Call(ctx, succ.Addr, MsgRangeManifest, w.Bytes())
 		if err != nil {
-			return // best effort; the next ring change retries
+			return false // best effort; maintenance or the next ring change retries
 		}
 		r := wire.NewReader(resp)
 		count, err := readBatchCount(r)
 		if err != nil {
-			return
+			return false
 		}
 		keys := make([]string, count)
 		fps := make([]uint64, count)
@@ -668,7 +718,7 @@ func (ix *Index) pullOwnedRangeDelta(ctx context.Context, from ids.ID, self, suc
 		}
 		more := r.Bool()
 		if r.Err() != nil {
-			return
+			return false
 		}
 		ix.repl.manifestKeys.Add(int64(count))
 		remote := make(map[string]bool, count)
@@ -681,7 +731,7 @@ func (ix *Index) pullOwnedRangeDelta(ctx context.Context, from ids.ID, self, suc
 			}
 		}
 		if !ix.fetchEntries(ctx, succ, need) {
-			return
+			return false
 		}
 		// Deletions propagate too: a key this peer recovered from disk
 		// but the successor (the range's primary throughout the
@@ -699,14 +749,15 @@ func (ix *Index) pullOwnedRangeDelta(ctx context.Context, from ids.ID, self, suc
 			}
 		}
 		if !more || count == 0 {
-			return
+			return true
 		}
 		next := ids.HashString(keys[count-1])
 		if next == self.ID || next == from {
-			return
+			return true
 		}
 		from = next
 	}
+	return false
 }
 
 // fetchEntries pulls the named full entries from succ (chunked at the
@@ -758,7 +809,7 @@ func (ix *Index) fetchEntries(ctx context.Context, succ dht.Remote, need []strin
 // batch bound. Merging on the receiver makes repeated pushes idempotent.
 // It returns the number of owned keys shipped to the replica set.
 func (ix *Index) pushOwnedRange() int {
-	ctx := context.Background()
+	ctx := ix.lifetimeCtx()
 	self := ix.node.Self()
 	pred := ix.node.Predecessor()
 	if pred.IsZero() {

@@ -27,7 +27,7 @@ func replRing(t *testing.T, n, r int) ([]*dht.Node, []*Index, *transport.Mem) {
 		ep := net.Endpoint(fmt.Sprintf("r%d", i), d.Serve)
 		nodes[i] = dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
 		idxs[i] = New(nodes[i], d)
-		idxs[i].EnableReplication(r)
+		idxs[i].EnableReplication(context.Background(), r)
 	}
 	dht.BuildOracleTables(nodes)
 	return nodes, idxs, net
@@ -283,7 +283,7 @@ func TestJoinPullsOwnedRange(t *testing.T) {
 	ep := net.Endpoint("joiner", d.Serve)
 	joiner := dht.NewNode(ids.ID(0x7777777777777777), ep, d, dht.Options{})
 	jix := New(joiner, d)
-	jix.EnableReplication(3)
+	jix.EnableReplication(context.Background(), 3)
 	if err := joiner.Join(context.Background(), nodes[0].Self().Addr); err != nil {
 		t.Fatal(err)
 	}

@@ -364,8 +364,8 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 	err := s.ix.runBatchCustom(ctx, keys, s.workers, msg, false, retarget, callGroup,
 		func(w *wire.Writer, i int) {
 			w.String(keys[i])
-			w.Uvarint(0)                  // cursor: opening chunk
-			w.Uvarint(uint64(s.chunk))    // chunk size
+			w.Uvarint(0)               // cursor: opening chunk
+			w.Uvarint(uint64(s.chunk)) // chunk size
 		},
 		func(r *wire.Reader, i int) error {
 			a, err := readTopKAnswer(r)

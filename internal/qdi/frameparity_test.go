@@ -1,0 +1,27 @@
+package qdi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/globalindex"
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/paritytest"
+)
+
+// TestFrameParityQDI proves the query-driven-indexing activation
+// message type has a live dispatcher handler that survives hostile
+// frames without panicking. The frameparity analyzer keeps this table
+// and the MsgActivate constant in sync.
+func TestFrameParityQDI(t *testing.T) {
+	net := transport.NewMem()
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("parity", d.Serve)
+	rng := rand.New(rand.NewSource(7))
+	node := dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+	gidx := globalindex.New(node, d)
+	New(Config{}, gidx, d)
+	paritytest.Check(t, d, map[string]uint8{"MsgActivate": MsgActivate})
+}

@@ -1,0 +1,31 @@
+package ranking
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/paritytest"
+)
+
+// statsMsgTypes names the global-statistics wire message types. The
+// frameparity analyzer keeps this table and the constant block in
+// globalstats.go in sync.
+var statsMsgTypes = map[string]uint8{
+	"MsgStatsUpdate": MsgStatsUpdate,
+	"MsgStatsQuery":  MsgStatsQuery,
+}
+
+// TestFrameParityStats proves every statistics message type has a live
+// dispatcher handler that survives hostile frames without panicking.
+func TestFrameParityStats(t *testing.T) {
+	net := transport.NewMem()
+	d := transport.NewDispatcher()
+	ep := net.Endpoint("parity", d.Serve)
+	rng := rand.New(rand.NewSource(7))
+	node := dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
+	NewGlobalStats(node, d)
+	paritytest.Check(t, d, statsMsgTypes)
+}

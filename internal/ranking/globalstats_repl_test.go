@@ -27,7 +27,7 @@ func buildReplicatedStatsRing(t *testing.T, n, factor int) ([]*dht.Node, []*Glob
 		ep := net.Endpoint(fmt.Sprintf("rs%d", i), d.Serve)
 		nodes[i] = dht.NewNode(ids.ID(rng.Uint64()), ep, d, dht.Options{})
 		gidx := globalindex.New(nodes[i], d)
-		gidx.EnableReplication(factor)
+		gidx.EnableReplication(context.Background(), factor)
 		svcs[i] = NewGlobalStats(nodes[i], d)
 		if factor > 1 {
 			svcs[i].EnableReplication(gidx)

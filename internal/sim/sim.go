@@ -4,6 +4,12 @@
 // measures exactly what the paper's demonstration screens report —
 // bandwidth, storage, hops, retrieval quality. The experiment functions
 // (experiments.go) regenerate every table of EXPERIMENTS.md.
+//
+// The simulator is a driver: every operation it issues starts a fresh
+// request lifetime, exactly like main does, so the whole package is a
+// sanctioned context root.
+//
+//alvislint:ctxroot-package experiment driver; every query it issues is a fresh root, like main
 package sim
 
 import (

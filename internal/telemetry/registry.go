@@ -190,8 +190,9 @@ type MetricsServer struct {
 	// request this carries the OS-assigned port the harness parses.
 	Addr string
 
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve loop has exited
 }
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves the registry at
@@ -205,14 +206,20 @@ func (r *Registry) Serve(addr string) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	ms := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
-	go func() { _ = srv.Serve(ln) }()
+	ms := &MetricsServer{Addr: ln.Addr().String(), ln: ln, srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(ms.done)
+		_ = srv.Serve(ln)
+	}()
 	return ms, nil
 }
 
-// Close stops the metrics listener. Idempotent.
+// Close stops the metrics listener and waits for the serve loop to
+// exit. Idempotent.
 func (ms *MetricsServer) Close() error {
-	return ms.srv.Close()
+	err := ms.srv.Close()
+	<-ms.done
+	return err
 }
 
 // labelSignature renders labels as {a="x",b="y"} in sorted-name order

@@ -18,7 +18,9 @@ func TestMemCancelStalledCall(t *testing.T) {
 	defer leakcheck.Check(t)()
 	n := NewMem()
 	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
 	stalled := n.Endpoint("stalled", func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
+		entered <- struct{}{}
 		<-release
 		return 1, nil, nil
 	})
@@ -33,7 +35,7 @@ func TestMemCancelStalledCall(t *testing.T) {
 		_, _, err := caller.Call(ctx, "stalled", 0x01, []byte("x"))
 		done <- err
 	}()
-	time.Sleep(20 * time.Millisecond) // let the call reach the handler
+	<-entered // the call has reached the handler and is now stalled
 	start := time.Now()
 	cancel()
 	select {

@@ -72,6 +72,15 @@ func (d *Dispatcher) Handle(msgType uint8, h Handler) {
 	d.handlers[msgType] = h
 }
 
+// Handles reports whether a handler is registered for msgType. The
+// per-package frame-parity tests use it to prove every Msg* constant is
+// routed.
+func (d *Dispatcher) Handles(msgType uint8) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.handlers[msgType] != nil
+}
+
 // SetAdmissionControl enables (watermark > 0) or disables (watermark <= 0)
 // deadline-based admission control. watermark is the in-flight handler
 // count at or above which the peer counts as overloaded; minService is a

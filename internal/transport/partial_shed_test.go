@@ -124,9 +124,8 @@ func TestPartialShedAdmission(t *testing.T) {
 	}
 
 	// An already-expired budget is refused whole even for partial types.
-	dead, cancel3 := context.WithTimeout(context.Background(), time.Nanosecond)
+	dead, cancel3 := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
 	defer cancel3()
-	time.Sleep(time.Millisecond)
 	if _, _, err := d.Serve(dead, "x", part, nil); !errors.Is(err, ErrShed) {
 		t.Fatalf("expired partial frame: err = %v, want ErrShed", err)
 	}

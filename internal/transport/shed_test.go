@@ -179,6 +179,7 @@ func TestAdmissionDisabledCountsWastedWork(t *testing.T) {
 func TestDispatcherServiceEstimateLearns(t *testing.T) {
 	d := NewDispatcher()
 	d.Handle(0x05, func(context.Context, Addr, uint8, []byte) (uint8, []byte, error) {
+		//alvislint:allow sleepsync real service time: the EWMA under test measures elapsed wall clock
 		time.Sleep(5 * time.Millisecond)
 		return 0x05, nil, nil
 	})

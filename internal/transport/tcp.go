@@ -113,6 +113,7 @@ func ListenTCP(addr string, h Handler) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	//alvislint:ctxroot endpoint lifetime root, cancelled by Close to unwind served handlers
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	t := &TCP{
 		ln:         ln,

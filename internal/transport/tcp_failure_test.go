@@ -168,6 +168,7 @@ func TestTCPReconnectAfterDrop(t *testing.T) {
 // order must not cross the replies.
 func TestTCPOutOfOrderResponses(t *testing.T) {
 	const calls = 3
+	received := make(chan struct{}, calls)
 	addr := rawServer(t, func(c net.Conn) {
 		// Answer the warm-up that pins the pooled connection.
 		id, mt, body := readRawFrame(t, c)
@@ -184,6 +185,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 		for i := 0; i < calls; i++ {
 			id, mt, body := readRawFrame(t, c)
 			reqs = append(reqs, req{id, mt, body})
+			received <- struct{}{}
 		}
 		// Answer newest-first.
 		for i := len(reqs) - 1; i >= 0; i-- {
@@ -204,7 +206,9 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Stagger the sends so the server receives them in a known order.
+	// Sequence the sends so the server receives them in a known order:
+	// each launch waits until the server confirms it holds the previous
+	// request, so "newest-first" below really is reverse send order.
 	var wg sync.WaitGroup
 	errs := make([]error, calls)
 	resps := make([][]byte, calls)
@@ -214,7 +218,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 			defer wg.Done()
 			_, resps[i], errs[i] = cli.Call(context.Background(), Addr(addr.String()), uint8(10+i), []byte{byte('a' + i)})
 		}(i)
-		time.Sleep(50 * time.Millisecond)
+		<-received
 	}
 	wg.Wait()
 	for i := 0; i < calls; i++ {
@@ -234,6 +238,7 @@ func TestTCPOutOfOrderResponses(t *testing.T) {
 func TestTCPPipelinedConcurrentCalls(t *testing.T) {
 	srv, err := ListenTCP("127.0.0.1:0", func(_ context.Context, from Addr, mt uint8, body []byte) (uint8, []byte, error) {
 		if mt == 9 {
+			//alvislint:allow sleepsync simulated slow handler: real elapsed service time is the scenario
 			time.Sleep(10 * time.Millisecond) // slow path must not block fast ones
 		}
 		return mt + 1, append([]byte("r:"), body...), nil

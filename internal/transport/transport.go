@@ -420,6 +420,7 @@ func localHandlerError(err error) error {
 // destination handler and meters the reply.
 func (e *memEndpoint) finishCall(dstHandler Handler, budgetMs uint64, delay time.Duration, msgType uint8, body []byte) (uint8, []byte, error) {
 	n := e.net
+	//alvislint:ctxroot serving-side handler root: the caller's context does not cross the wire, only its deadline budget does
 	hctx, hcancel := handlerContext(context.Background(), budgetMs)
 	defer hcancel()
 	if delay > 0 {
