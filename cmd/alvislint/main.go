@@ -2,16 +2,21 @@
 // project-specific analyzers (internal/analysis/...): the invariants
 // reviews kept re-finding by hand — unclamped wire integers, severed
 // context chains, fire-and-forget goroutines, orphaned wire message
-// types, deprecated Legacy wrappers, sleep-as-synchronization tests —
-// checked by machine on every commit.
+// types, deprecated Legacy wrappers, sleep-as-synchronization tests,
+// network calls under a mutex, swallowed taxonomy errors, locks leaked
+// on early returns — checked by machine on every commit.
 //
 // Usage:
 //
 //	go run ./cmd/alvislint ./...
-//	go run ./cmd/alvislint -checks wireclamp,ctxflow ./internal/transport
+//	go run ./cmd/alvislint -checks lockrpc,errsink,unlockpath ./internal/globalindex
+//	go run ./cmd/alvislint -json ./...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 driver failure.
-// Suppressions are inline //alvislint: directives; see DESIGN.md
+// Suppressions are inline //alvislint: directives; a directive that
+// suppresses nothing is itself reported (stalesuppression), so the
+// allowlist can only shrink. -json emits one finding per line as
+// {"check","pos","message"} for CI annotation. See DESIGN.md
 // "Enforced invariants".
 package main
 
@@ -28,8 +33,9 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON objects (check, pos, message)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: alvislint [-checks a,b,...] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: alvislint [-checks a,b,...] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,15 +66,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One call graph over everything loaded: the interprocedural
+	// analyzers (lockrpc, errsink) join its summaries across package
+	// boundaries. Stale-directive checking rides the same run; it only
+	// judges directives aimed at analyzers that actually ran.
+	runner := &analysis.Runner{
+		Graph:                analysis.BuildCallGraph(pkgs),
+		CheckStaleDirectives: true,
+	}
+
 	found := false
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+		diags, err := runner.Run(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "alvislint: %v\n", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
+		if len(diags) > 0 {
 			found = true
+		}
+		if *jsonOut {
+			if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+				fmt.Fprintf(os.Stderr, "alvislint: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		for _, d := range diags {
 			fmt.Printf("%s\n", d)
 		}
 	}

@@ -45,6 +45,13 @@ type Analyzer struct {
 	// roots read as design statements).
 	Aliases []string
 
+	// NeedsCallGraph declares that the analyzer joins the interprocedural
+	// summaries of the shared CallGraph; the driver must run it through a
+	// Runner whose Graph is non-nil (plain Run refuses with an error so a
+	// misconfigured driver fails loudly instead of silently analyzing
+	// nothing).
+	NeedsCallGraph bool
+
 	// Run executes the analyzer over one package.
 	Run func(*Pass) error
 }
@@ -58,11 +65,19 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Graph is the run-wide interprocedural call graph; non-nil exactly
+	// when the driver supplied one through Runner.Graph. Analyzers with
+	// NeedsCallGraph may rely on it.
+	Graph *CallGraph
+
 	// testFiles marks the files of Files that are _test.go files.
 	testFiles map[*ast.File]bool
 
 	// dirs holds the parsed //alvislint: directives of each file.
-	dirs map[*ast.File][]directive
+	// Directives are shared, mutable records: suppressing a diagnostic
+	// marks the directive used, which is what the stale-suppression
+	// check keys off.
+	dirs map[*ast.File][]*directive
 
 	diags *[]Diagnostic
 }
@@ -109,26 +124,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // suppressed reports whether a directive covers a diagnostic at pos:
 // an allow/alias directive on pos's line or the line above, or a
 // package-scope alias directive (e.g. //alvislint:ctxroot-package)
-// anywhere in the package.
+// anywhere in the package. Every covering directive is marked used
+// (not just the first found) so the stale-suppression check sees
+// redundant-but-live annotations as live.
 func (p *Pass) suppressed(pos token.Position) bool {
+	hit := false
 	for f, dirs := range p.dirs {
 		fname := p.Fset.Position(f.Package).Filename
 		for _, d := range dirs {
 			if d.scope == scopePackage && p.matches(d) {
-				return true
+				d.used = true
+				hit = true
 			}
 			if fname != pos.Filename {
 				continue
 			}
 			if (d.line == pos.Line || d.line == pos.Line-1) && p.matches(d) {
-				return true
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
-func (p *Pass) matches(d directive) bool {
+func (p *Pass) matches(d *directive) bool {
 	if d.verb == "allow" && d.target == p.Analyzer.Name {
 		return true
 	}
@@ -158,21 +178,52 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Info.Defs[id]
 }
 
+// StaleSuppressionCheck is the pseudo-analyzer name stale-directive
+// diagnostics are reported under. It is not itself suppressable: an
+// //alvislint:allow covering nothing must be deleted, not re-allowed,
+// so the allowlist can only shrink.
+const StaleSuppressionCheck = "stalesuppression"
+
+// Runner executes analyzers over packages with run-wide shared state:
+// the interprocedural call graph and the stale-suppression check.
+type Runner struct {
+	// Graph is the call graph built once over every loaded package
+	// (BuildCallGraph). Required when any analyzer declares
+	// NeedsCallGraph.
+	Graph *CallGraph
+
+	// CheckStaleDirectives reports //alvislint directives that suppressed
+	// nothing, provided the directive targets (by name or alias) an
+	// analyzer that actually ran — running `-checks=lockrpc` alone must
+	// not condemn a live sleepsync annotation.
+	CheckStaleDirectives bool
+}
+
 // Run executes each analyzer over pkg and returns the surviving
-// (unsuppressed) diagnostics sorted by position.
+// (unsuppressed) diagnostics sorted by position. Plain Run has no call
+// graph and no stale checking; drivers wanting either use a Runner.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return (&Runner{}).Run(pkg, analyzers)
+}
+
+// Run executes each analyzer over pkg under the runner's shared state.
+func (r *Runner) Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	dirs := make(map[*ast.File][]directive, len(pkg.Files))
+	dirs := make(map[*ast.File][]*directive, len(pkg.Files))
 	for _, f := range pkg.Files {
 		dirs[f] = parseDirectives(pkg.Fset, f)
 	}
 	for _, a := range analyzers {
+		if a.NeedsCallGraph && r.Graph == nil {
+			return nil, fmt.Errorf("%s: analyzer needs the call graph but the driver supplied none", a.Name)
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			Info:      pkg.Info,
+			Graph:     r.Graph,
 			testFiles: pkg.TestFiles,
 			dirs:      dirs,
 			diags:     &diags,
@@ -180,6 +231,9 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
 		}
+	}
+	if r.CheckStaleDirectives {
+		reportStale(pkg, analyzers, dirs, &diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -195,4 +249,35 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
 	return diags, nil
+}
+
+// reportStale appends a diagnostic for every directive that targets a
+// ran analyzer yet suppressed nothing. Directives aimed at analyzers
+// outside this run are left alone (their verdict needs the full suite).
+func reportStale(pkg *Package, analyzers []*Analyzer, dirs map[*ast.File][]*directive, diags *[]Diagnostic) {
+	targetsRun := func(d *directive) bool {
+		for _, a := range analyzers {
+			if d.verb == "allow" && d.target == a.Name {
+				return true
+			}
+			for _, alias := range a.Aliases {
+				if d.verb == alias {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range pkg.Files {
+		for _, d := range dirs[f] {
+			if d.used || !targetsRun(d) {
+				continue
+			}
+			*diags = append(*diags, Diagnostic{
+				Pos:      pkg.Fset.Position(d.pos),
+				Analyzer: StaleSuppressionCheck,
+				Message:  fmt.Sprintf("//alvislint:%s directive suppresses no diagnostic; delete it", d.rendered()),
+			})
+		}
+	}
 }

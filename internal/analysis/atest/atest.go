@@ -36,6 +36,12 @@ import (
 // Run loads each fixture package (a directory under testdata/src,
 // named by import path) and checks a's diagnostics against the
 // fixtures' // want comments.
+//
+// All fixture packages — the named ones and their fixture-local
+// imports — are loaded first and a call graph is built over the whole
+// set, so interprocedural analyzers see cross-package edges exactly as
+// cmd/alvislint does. Stale-suppression checking is on: a fixture
+// directive that suppresses nothing needs its own // want line.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &loader{
@@ -43,24 +49,58 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 		fset:    token.NewFileSet(),
 		checked: make(map[string]*pkg),
 	}
+	pkgs := make(map[string]*analysis.Package)
 	for _, path := range pkgPaths {
 		p, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.Run(&analysis.Package{
+		pkgs[path] = &analysis.Package{
 			ImportPath: path,
 			Fset:       l.fset,
 			Files:      p.files,
 			Types:      p.types,
 			Info:       p.info,
 			TestFiles:  p.testFiles,
-		}, []*analysis.Analyzer{a})
+		}
+	}
+	runner := &analysis.Runner{
+		Graph:                analysis.BuildCallGraph(l.packages()),
+		CheckStaleDirectives: true,
+	}
+	for _, path := range pkgPaths {
+		diags, err := runner.Run(pkgs[path], []*analysis.Analyzer{a})
 		if err != nil {
 			t.Fatalf("running %s on fixture %s: %v", a.Name, path, err)
 		}
-		checkExpectations(t, l.fset, p.files, diags)
+		checkExpectations(t, l.fset, pkgs[path].Files, diags)
 	}
+}
+
+// packages returns every fixture package the loader has checked,
+// including transitively imported ones, for call-graph construction.
+func (l *loader) packages() []*analysis.Package {
+	var out []*analysis.Package
+	var paths []string
+	for path := range l.checked {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := l.checked[path]
+		if p == nil {
+			continue
+		}
+		out = append(out, &analysis.Package{
+			ImportPath: path,
+			Fset:       l.fset,
+			Files:      p.files,
+			Types:      p.types,
+			Info:       p.info,
+			TestFiles:  p.testFiles,
+		})
+	}
+	return out
 }
 
 type pkg struct {

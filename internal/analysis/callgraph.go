@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer of the alvislint framework: a
+// package-graph-wide static call graph, built once per run
+// (BuildCallGraph) over every loaded module package and exposed to
+// analyzers that declare NeedsCallGraph through Pass.Graph. On top of
+// the raw edges it provides the two memoized per-function summaries the
+// PR 9 analyzers join:
+//
+//   - MayBlockOnNetwork — the function transitively reaches a network
+//     chokepoint (transport.Endpoint.Call and its implementations,
+//     globalindex timedCall, the blocking entry points of package net);
+//     lockrpc joins it with "a mutex is held at this call site".
+//   - MayReturnSentinel — the function's error result may carry one of
+//     the typed taxonomy sentinels (ErrShed, ErrPartialResults,
+//     ErrCallInterrupted), directly or through a chain of callees that
+//     all propagate their error results; errsink joins it with "the
+//     error at this call site is discarded or overwritten unread".
+//
+// Nodes are canonical string keys ("pkgpath.Recv.Name" with the go
+// tool's " [pkg.test]" variant suffix stripped), NOT *types.Func
+// pointers: the loader type-checks a package's plain compilation for
+// importers and its test variant for analysis, so the same function
+// exists as two distinct type-checker objects, and pointer identity
+// would silently sever every cross-package edge.
+//
+// The graph is a deliberate over-approximation; the caveats (see
+// DESIGN.md "Enforced invariants") are:
+//
+//   - Static dispatch only resolves named functions and methods; calls
+//     through stored func values, method values, and reflection are
+//     invisible (no edge, so summaries under-approximate there).
+//   - A call on an interface method adds edges to *every* named type in
+//     the loaded packages whose method set satisfies the interface
+//     (method-set matching), whether or not that type is ever bound to
+//     the interface — a test fake's Call counts as a network reach.
+//   - Function literals are attributed to their enclosing declaration:
+//     a function that only *spawns* a network call in a goroutine still
+//     summarizes as may-block.
+type CallGraph struct {
+	nodes map[string]*cgNode
+
+	// concrete collects the named non-interface types of the loaded
+	// packages for interface method-set matching.
+	concrete []*types.Named
+	// ifaces maps an interface method's node key to its interface type.
+	ifaces map[string]*types.Interface
+
+	// Memoized summary state. Positive answers are cached as soon as a
+	// seed is reached; negative answers only once a full top-level
+	// traversal completes (a cycle-cut negative is not a proof).
+	blockMemo   map[string]int8 // 0 unknown, 1 false, 2 true
+	blockTarget map[string]string
+	taxMemo     map[string]int8
+}
+
+// cgNode is one function in the graph.
+type cgNode struct {
+	key     string
+	name    string // bare function/method name
+	display string // human form for diagnostics, e.g. "(transport.Endpoint).Call"
+
+	callees map[string]bool
+
+	hasBody      bool
+	errResult    bool // signature has an error-typed result
+	refsSentinel bool // body references a taxonomy sentinel
+	blockSeed    bool // network chokepoint
+}
+
+// sentinelNames is the typed error taxonomy errsink protects (see
+// DESIGN.md "Request lifecycle"): values a caller must route to a
+// return, retry, or fallover sink rather than drop.
+var sentinelNames = map[string]bool{
+	"ErrShed":            true,
+	"ErrPartialResults":  true,
+	"ErrCallInterrupted": true,
+}
+
+// BuildCallGraph constructs the call graph over pkgs. Call it once per
+// alvislint run with every loaded package and share the result through
+// Runner.Graph.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes:       make(map[string]*cgNode),
+		ifaces:      make(map[string]*types.Interface),
+		blockMemo:   make(map[string]int8),
+		blockTarget: make(map[string]string),
+		taxMemo:     make(map[string]int8),
+	}
+	for _, p := range pkgs {
+		g.addPackage(p)
+	}
+	g.addInterfaceEdges()
+	return g
+}
+
+func (g *CallGraph) addPackage(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := g.node(fn)
+			n.hasBody = true
+			ast.Inspect(fd.Body, func(nd ast.Node) bool {
+				switch nd := nd.(type) {
+				case *ast.CallExpr:
+					if callee := Callee(p.Info, nd); callee != nil {
+						cn := g.node(callee)
+						n.callees[cn.key] = true
+						g.noteInterfaceMethod(callee, cn)
+					}
+				case *ast.Ident:
+					if obj := p.Info.Uses[nd]; obj != nil && isSentinel(obj) {
+						n.refsSentinel = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		g.concrete = append(g.concrete, named)
+	}
+}
+
+// noteInterfaceMethod records callee's interface type when the call
+// dispatches dynamically, so addInterfaceEdges can over-approximate it.
+func (g *CallGraph) noteInterfaceMethod(fn *types.Func, n *cgNode) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+		g.ifaces[n.key] = iface
+	}
+}
+
+// addInterfaceEdges joins every interface method that appears as a
+// callee to each concrete method that could serve the dispatch: any
+// named type of the loaded packages whose method set (value or pointer)
+// satisfies the interface. This is the deliberate over-approximation
+// the call-graph unit test pins on a transport.Endpoint fake.
+func (g *CallGraph) addInterfaceEdges() {
+	for ikey, iface := range g.ifaces {
+		inode := g.nodes[ikey]
+		for _, named := range g.concrete {
+			var impl types.Type = named
+			if !types.Implements(impl, iface) {
+				impl = types.NewPointer(named)
+				if !types.Implements(impl, iface) {
+					continue
+				}
+			}
+			ms := types.NewMethodSet(impl)
+			for i := 0; i < ms.Len(); i++ {
+				m, ok := ms.At(i).Obj().(*types.Func)
+				if !ok || m.Name() != inode.name {
+					continue
+				}
+				inode.callees[g.node(m).key] = true
+			}
+		}
+	}
+}
+
+func (g *CallGraph) node(fn *types.Func) *cgNode {
+	fn = fn.Origin()
+	key := FuncKey(fn)
+	if n, ok := g.nodes[key]; ok {
+		return n
+	}
+	n := &cgNode{
+		key:       key,
+		name:      fn.Name(),
+		display:   displayName(fn),
+		callees:   make(map[string]bool),
+		errResult: hasErrorResult(fn),
+		blockSeed: blockingSeed(fn),
+	}
+	g.nodes[key] = n
+	return n
+}
+
+// FuncKey canonicalizes a function to its graph key: the declaring
+// package path (test-variant suffix stripped), the receiver's base type
+// name for methods, and the function name. Generic instantiations
+// collapse onto their origin.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	path := "_"
+	if pkg := fn.Pkg(); pkg != nil {
+		path = trimTestVariant(pkg.Path())
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return path + "." + recv + "." + fn.Name()
+	}
+	return path + "." + fn.Name()
+}
+
+func trimTestVariant(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// displayName renders fn for diagnostics: "(transport.Endpoint).Call",
+// "(globalindex.Index).timedCall", "net.Dial".
+func displayName(fn *types.Func) string {
+	base := "_"
+	if pkg := fn.Pkg(); pkg != nil {
+		base = pkgBase(pkg.Path())
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return "(" + base + "." + recv + ")." + fn.Name()
+	}
+	return base + "." + fn.Name()
+}
+
+func pkgBase(path string) string {
+	path = trimTestVariant(path)
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// blockingSeed marks the network chokepoints the MayBlockOnNetwork
+// summary grows from. Matching is shape-based (package base name,
+// receiver, method name) rather than exact import paths so that atest
+// fixtures can model the transport with a fake package.
+func blockingSeed(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := trimTestVariant(pkg.Path())
+	switch {
+	case pkgBase(path) == "transport" && fn.Name() == "Call" && recvTypeName(fn) != "":
+		// transport.Endpoint.Call and every concrete transport's Call.
+		return true
+	case pkgBase(path) == "globalindex" && fn.Name() == "timedCall":
+		// The instrumented Call wrapper; redundant with the edge through
+		// Endpoint.Call but kept as an explicit seed for robustness.
+		return true
+	case path == "net":
+		switch fn.Name() {
+		case "Dial", "DialContext", "DialTimeout", "DialIP", "DialTCP", "DialUDP",
+			"Listen", "ListenTCP", "ListenUDP", "Accept", "AcceptTCP",
+			"Read", "Write", "ReadFrom", "WriteTo":
+			return true
+		}
+	}
+	return false
+}
+
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !sentinelNames[v.Name()] {
+		return false
+	}
+	// Package-level variable only: a local named ErrShed is not the
+	// taxonomy.
+	return v.Parent() == v.Pkg().Scope()
+}
+
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func hasErrorResult(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Implements(res.At(i).Type(), errIface) {
+			return true
+		}
+	}
+	return false
+}
+
+// Callee resolves a call expression to its static callee: a named
+// function, a method (concrete or interface), or nil for indirect calls
+// through func values, conversions, and builtins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// MayBlockOnNetwork reports whether fn can transitively reach a network
+// chokepoint, and if so names the first chokepoint a deterministic walk
+// finds (for diagnostics). Answers are memoized across queries.
+func (g *CallGraph) MayBlockOnNetwork(fn *types.Func) (chokepoint string, blocks bool) {
+	key := FuncKey(fn)
+	target, ok := g.blockDFS(key, make(map[string]bool))
+	if !ok {
+		g.blockMemo[key] = 1
+	}
+	return target, ok
+}
+
+func (g *CallGraph) blockDFS(key string, seen map[string]bool) (string, bool) {
+	if seen[key] {
+		return "", false
+	}
+	seen[key] = true
+	switch g.blockMemo[key] {
+	case 1:
+		return "", false
+	case 2:
+		return g.blockTarget[key], true
+	}
+	n := g.nodes[key]
+	if n == nil {
+		return "", false
+	}
+	if n.blockSeed {
+		g.blockMemo[key] = 2
+		g.blockTarget[key] = n.display
+		return n.display, true
+	}
+	for _, c := range sortedKeys(n.callees) {
+		if t, ok := g.blockDFS(c, seen); ok {
+			g.blockMemo[key] = 2
+			g.blockTarget[key] = t
+			return t, true
+		}
+	}
+	return "", false
+}
+
+// MayReturnSentinel reports whether fn's error result may carry one of
+// the taxonomy sentinels: fn (or a callee chain in which every link
+// itself returns an error) references ErrShed, ErrPartialResults, or
+// ErrCallInterrupted. A callee without an error result breaks the
+// chain — whatever sentinel it sees cannot flow out through it.
+func (g *CallGraph) MayReturnSentinel(fn *types.Func) bool {
+	key := FuncKey(fn)
+	ok := g.taxDFS(key, make(map[string]bool))
+	if !ok {
+		g.taxMemo[key] = 1
+	}
+	return ok
+}
+
+func (g *CallGraph) taxDFS(key string, seen map[string]bool) bool {
+	if seen[key] {
+		return false
+	}
+	seen[key] = true
+	switch g.taxMemo[key] {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	n := g.nodes[key]
+	if n == nil || !n.errResult {
+		return false
+	}
+	if n.refsSentinel {
+		g.taxMemo[key] = 2
+		return true
+	}
+	for _, c := range sortedKeys(n.callees) {
+		if g.taxDFS(c, seen) {
+			g.taxMemo[key] = 2
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// The call-graph tests type-check two tiny synthetic packages — a
+// transport stand-in (interface chokepoint + concrete implementation +
+// sentinel) and a user package with a local fake — and pin the two
+// summaries' precision/over-approximation trade-offs.
+
+const cgTransportSrc = `package transport
+
+type Addr string
+
+type Endpoint interface {
+	Call(to Addr, msg uint8, body []byte) (uint8, []byte, error)
+}
+
+type TCP struct{}
+
+func (t *TCP) Call(to Addr, msg uint8, body []byte) (uint8, []byte, error) {
+	if to == "" {
+		return 0, nil, ErrShed
+	}
+	return 0, nil, nil
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+var ErrShed error = errSentinel("shed")
+`
+
+const cgUserSrc = `package user
+
+import "x/transport"
+
+type fakeEndpoint struct{}
+
+func (fakeEndpoint) Call(to transport.Addr, msg uint8, body []byte) (uint8, []byte, error) {
+	return 0, nil, nil
+}
+
+type doer interface{ do() error }
+
+type netDoer struct{ ep transport.Endpoint }
+
+func (d netDoer) do() error {
+	_, _, err := d.ep.Call("a", 1, nil)
+	return err
+}
+
+type pureDoer struct{}
+
+func (pureDoer) do() error { return nil }
+
+func viaIface(ep transport.Endpoint) {
+	ep.Call("a", 1, nil)
+}
+
+func viaFake(f fakeEndpoint) {
+	f.Call("a", 1, nil)
+}
+
+func viaDoer(d doer) error {
+	return d.do()
+}
+
+func pure(n int) int { return n * 2 }
+
+func taxWrap(ep transport.Endpoint) error {
+	_, _, err := ep.Call("a", 1, nil)
+	return err
+}
+
+func taxBroken(ep transport.Endpoint) bool {
+	_, _, err := ep.Call("a", 1, nil)
+	return err == nil
+}
+
+func taxCaller(ep transport.Endpoint) bool { return taxBroken(ep) }
+`
+
+// checkSrc type-checks one synthetic package against deps.
+func checkSrc(t *testing.T, fset *token.FileSet, path, src string, deps map[string]*types.Package) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+"/src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerMap(deps)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      pkg,
+		Info:       info,
+		TestFiles:  map[*ast.File]bool{},
+	}
+}
+
+type importerMap map[string]*types.Package
+
+func (m importerMap) Import(path string) (*types.Package, error) {
+	return m[path], nil
+}
+
+func buildTestGraph(t *testing.T) (*CallGraph, *Package, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	tp := checkSrc(t, fset, "x/transport", cgTransportSrc, nil)
+	up := checkSrc(t, fset, "user", cgUserSrc, map[string]*types.Package{"x/transport": tp.Types})
+	return BuildCallGraph([]*Package{tp, up}), tp, up
+}
+
+func lookupFunc(t *testing.T, p *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := p.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("no function %s in %s", name, p.ImportPath)
+	}
+	return fn
+}
+
+// TestMayBlockOnNetwork pins the dispatch trade-off: a call through an
+// interface whose satisfiers include a network-touching type blocks
+// (over-approximation), while a direct call on a harmless concrete fake
+// does not (static precision).
+func TestMayBlockOnNetwork(t *testing.T) {
+	g, _, up := buildTestGraph(t)
+
+	cases := []struct {
+		fn         string
+		blocks     bool
+		chokepoint string
+	}{
+		// Straight through the transport.Endpoint interface: the
+		// interface method itself is the chokepoint seed.
+		{"viaIface", true, "(transport.Endpoint).Call"},
+		// A local fake's Call is a user-package method — statically
+		// resolved, no network reach.
+		{"viaFake", false, ""},
+		// The over-approximation the fixtures rely on: doer is a local
+		// interface, but its method set is satisfied by netDoer (which
+		// reaches the transport) and pureDoer (which doesn't); the union
+		// says "may block".
+		{"viaDoer", true, "(transport.Endpoint).Call"},
+		{"pure", false, ""},
+	}
+	for _, c := range cases {
+		chokepoint, blocks := g.MayBlockOnNetwork(lookupFunc(t, up, c.fn))
+		if blocks != c.blocks {
+			t.Errorf("MayBlockOnNetwork(%s) = %v, want %v", c.fn, blocks, c.blocks)
+		}
+		if c.blocks && chokepoint != c.chokepoint {
+			t.Errorf("MayBlockOnNetwork(%s) chokepoint = %q, want %q", c.fn, chokepoint, c.chokepoint)
+		}
+	}
+}
+
+// TestMayReturnSentinel pins taxonomy propagation: it flows through
+// callee chains whose every link returns an error, and stops at a
+// function that swallows the error into a bool.
+func TestMayReturnSentinel(t *testing.T) {
+	g, _, up := buildTestGraph(t)
+
+	cases := []struct {
+		pkg  *Package
+		fn   string
+		want bool
+	}{
+		// One frame above the interface: Call's implementations include
+		// (*TCP).Call, which references ErrShed.
+		{up, "taxWrap", true},
+		// No error result: whatever it sees cannot flow out.
+		{up, "taxBroken", false},
+		// Calls taxBroken, which broke the chain.
+		{up, "taxCaller", false},
+		{up, "pure", false},
+	}
+	for _, c := range cases {
+		if got := g.MayReturnSentinel(lookupFunc(t, c.pkg, c.fn)); got != c.want {
+			t.Errorf("MayReturnSentinel(%s) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+// TestFuncKeyTrimsTestVariant pins the canonical-key rule that makes
+// cross-package edges survive the loader's test-variant duplication:
+// "pkg [pkg.test]" and "pkg" must produce the same key.
+func TestFuncKeyTrimsTestVariant(t *testing.T) {
+	if got := trimTestVariant("repro/internal/wire [repro/internal/wire.test]"); got != "repro/internal/wire" {
+		t.Fatalf("trimTestVariant = %q", got)
+	}
+	if got := trimTestVariant("repro/internal/wire"); got != "repro/internal/wire" {
+		t.Fatalf("trimTestVariant (plain) = %q", got)
+	}
+}

@@ -20,6 +20,25 @@ type directive struct {
 	reason string
 	line   int
 	scope  int
+	pos    token.Pos
+
+	// used is set when the directive suppresses at least one diagnostic
+	// during a run; Runner.CheckStaleDirectives reports the ones still
+	// false afterwards.
+	used bool
+}
+
+// rendered reconstructs the directive keyword for the stale report,
+// e.g. "allow sleepsync" or "ctxroot-package".
+func (d *directive) rendered() string {
+	verb := d.verb
+	if d.scope == scopePackage {
+		verb += "-package"
+	}
+	if d.target != "" {
+		verb += " " + d.target
+	}
+	return verb
 }
 
 const (
@@ -30,8 +49,8 @@ const (
 const directivePrefix = "//alvislint:"
 
 // parseDirectives extracts the //alvislint: directives of one file.
-func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
-	var out []directive
+func parseDirectives(fset *token.FileSet, f *ast.File) []*directive {
+	var out []*directive
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := c.Text
@@ -43,7 +62,7 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 			if len(fields) == 0 {
 				continue
 			}
-			d := directive{line: fset.Position(c.Pos()).Line}
+			d := &directive{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
 			verb := fields[0]
 			if rest, ok := strings.CutSuffix(verb, "-package"); ok {
 				verb = rest

@@ -1,0 +1,278 @@
+// Package errsink forbids discarding errors that may carry the typed
+// taxonomy the request lifecycle is built on: transport.ErrShed,
+// transport.ErrCallInterrupted, and core.ErrPartialResults.
+//
+// These sentinels are control flow, not diagnostics — a shed must be
+// redriven on a replica or surfaced as partial results, an interrupted
+// call must stop the retry loop, partial results must reach the caller
+// typed. Dropping one with `_` or overwriting the variable before
+// anything reads it silently converts "degraded, by design" into "looks
+// fine, returns wrong answers" (the historical shed-swallow bug).
+//
+// Whether a call can produce a sentinel is the call graph's
+// interprocedural summary (analysis.CallGraph.MayReturnSentinel): the
+// function references a taxonomy sentinel, or reaches one through a
+// callee chain in which every link itself returns an error. Within the
+// flagged function the check is syntactic and flow-insensitive by
+// source order; any read of the error variable — a comparison,
+// errors.Is, a return, passing it on — counts as reaching a sink.
+// Deliberate best-effort discards are sanctioned in place with
+// //alvislint:allow errsink <reason>.
+package errsink
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:           "errsink",
+	Doc:            "errsink: taxonomy errors (ErrShed, ErrPartialResults, ErrCallInterrupted) must reach a sink, not be discarded or overwritten",
+	NeedsCallGraph: true,
+	Run:            run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// write is one assignment of a sentinel-capable call's error result to
+// a variable.
+type write struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	named := namedResults(pass, fd)
+	var taxWrites []write
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				reportDiscardedCall(pass, call, "result of %s discarded")
+			}
+		case *ast.GoStmt:
+			reportDiscardedCall(pass, n.Call, "error result of %s discarded by go statement")
+		case *ast.DeferStmt:
+			reportDiscardedCall(pass, n.Call, "error result of %s discarded by defer")
+		case *ast.AssignStmt:
+			taxWrites = append(taxWrites, checkAssign(pass, n, named)...)
+		}
+		return true
+	})
+
+	if len(taxWrites) == 0 {
+		return
+	}
+	reads, writes := usesOf(pass, fd)
+	for _, tw := range taxWrites {
+		// The variable must be read after this write and before the next
+		// straight-line overwrite: a later write only counts as the
+		// overwrite if its innermost enclosing block also contains this
+		// write (a sibling branch's write is a different path, not a
+		// clobber). Source order approximates flow; loops that read
+		// "above" their write are rare for err variables and can be
+		// sanctioned.
+		nextWrite := token.Pos(-1)
+		for _, wr := range writes[tw.obj] {
+			if wr.pos > tw.pos && wr.blockPos <= tw.pos && tw.pos <= wr.blockEnd &&
+				(nextWrite < 0 || wr.pos < nextWrite) {
+				nextWrite = wr.pos
+			}
+		}
+		seen := false
+		for _, rp := range reads[tw.obj] {
+			if rp > tw.pos && (nextWrite < 0 || rp < nextWrite) {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		verb := "is never read"
+		if nextWrite >= 0 {
+			verb = "is overwritten before being read"
+		}
+		pass.Reportf(tw.pos,
+			"%s may carry a taxonomy error (ErrShed/ErrPartialResults/ErrCallInterrupted) but %s: check it or route it to a return/retry sink",
+			tw.obj.Name(), verb)
+	}
+}
+
+// reportDiscardedCall flags a call statement whose error result is
+// dropped entirely, when the callee may return a taxonomy sentinel.
+func reportDiscardedCall(pass *analysis.Pass, call *ast.CallExpr, format string) {
+	callee := analysis.Callee(pass.Info, call)
+	if callee == nil || !pass.Graph.MayReturnSentinel(callee) {
+		return
+	}
+	pass.Reportf(call.Pos(), format+": it may carry a taxonomy error (ErrShed/ErrPartialResults/ErrCallInterrupted); check it or sanction with //alvislint:allow errsink <reason>", callee.Name())
+}
+
+// checkAssign flags blank-discarded error positions of sentinel-capable
+// calls and returns the variables that received such an error, for the
+// overwritten-before-read pass. Named result parameters are exempt:
+// writing one is the return sink.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, named map[types.Object]bool) []write {
+	if len(as.Rhs) != 1 {
+		return nil // parallel assignment of distinct calls: out of scope
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	callee := analysis.Callee(pass.Info, call)
+	if callee == nil || !pass.Graph.MayReturnSentinel(callee) {
+		return nil
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(as.Lhs) {
+		return nil
+	}
+	var out []write
+	for i, lhs := range as.Lhs {
+		if !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue // stored through a selector/index: assume it escapes to a sink
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(),
+				"error result of %s discarded with _: it may carry a taxonomy error (ErrShed/ErrPartialResults/ErrCallInterrupted); check it or sanction with //alvislint:allow errsink <reason>",
+				callee.Name())
+			continue
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || named[obj] {
+			continue
+		}
+		out = append(out, write{obj: obj, pos: id.Pos()})
+	}
+	return out
+}
+
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool { return types.Implements(t, errIface) }
+
+// namedResults collects fd's named result parameters: assigning one is
+// itself the return sink.
+func namedResults(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// blockWrite is one write to a variable, with the span of its innermost
+// enclosing block (function body, if/else body, case body, …) so the
+// overwrite check can tell a straight-line clobber from a sibling
+// branch's assignment.
+type blockWrite struct {
+	pos      token.Pos
+	blockPos token.Pos
+	blockEnd token.Pos
+}
+
+// usesOf indexes every read and write of each variable in fd. An
+// identifier on an assignment's LHS is a write; everywhere else —
+// conditions, call arguments, returns, &x — it is a read.
+func usesOf(pass *analysis.Pass, fd *ast.FuncDecl) (reads map[types.Object][]token.Pos, writes map[types.Object][]blockWrite) {
+	reads = make(map[types.Object][]token.Pos)
+	writes = make(map[types.Object][]blockWrite)
+	lhs := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					lhs[id] = true
+				}
+			}
+		}
+		return true
+	})
+	blocks := []ast.Node{fd.Body}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil:
+			return false
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			blocks = append(blocks, n)
+			for _, c := range children(n) {
+				ast.Inspect(c, walk)
+			}
+			blocks = blocks[:len(blocks)-1]
+			return false
+		case *ast.Ident:
+			obj := pass.ObjectOf(n)
+			if obj == nil {
+				return true
+			}
+			if lhs[n] {
+				b := blocks[len(blocks)-1]
+				writes[obj] = append(writes[obj], blockWrite{pos: n.Pos(), blockPos: b.Pos(), blockEnd: b.End()})
+			} else {
+				reads[obj] = append(reads[obj], n.Pos())
+			}
+		}
+		return true
+	}
+	for _, s := range fd.Body.List {
+		ast.Inspect(s, walk)
+	}
+	return reads, writes
+}
+
+// children returns the child nodes of a block-like node (for a case
+// clause that includes its guard expressions, which read variables).
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			out = append(out, s)
+		}
+	case *ast.CaseClause:
+		for _, e := range n.List {
+			out = append(out, e)
+		}
+		for _, s := range n.Body {
+			out = append(out, s)
+		}
+	case *ast.CommClause:
+		if n.Comm != nil {
+			out = append(out, n.Comm)
+		}
+		for _, s := range n.Body {
+			out = append(out, s)
+		}
+	}
+	return out
+}

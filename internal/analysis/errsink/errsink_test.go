@@ -1,0 +1,20 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	atest.Run(t, errsink.Analyzer, "es")
+}
+
+// TestRegressShedSwallow seeds the historical shed-swallow: the
+// fallover read that discarded ErrShed and returned an authoritative
+// miss. The analyzer must flag the shipped shape and pass the
+// redrive-on-replica fix.
+func TestRegressShedSwallow(t *testing.T) {
+	atest.Run(t, errsink.Analyzer, "regress")
+}

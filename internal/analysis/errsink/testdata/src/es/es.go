@@ -1,0 +1,96 @@
+// Package es exercises the errsink analyzer: taxonomy-capable errors
+// discarded, blanked, or overwritten unread are flagged; checked,
+// returned, and named-result errors pass.
+package es
+
+import "transport"
+
+// fetch propagates the taxonomy one frame up: callers discarding its
+// error are as guilty as callers discarding Call's.
+func fetch(ep transport.Endpoint) error {
+	_, _, err := ep.Call("a", 1, nil)
+	return err
+}
+
+// swallowsInternally has no error result: whatever sentinel it sees
+// cannot flow out, so discarding its bool is not an errsink matter.
+func swallowsInternally(ep transport.Endpoint) bool {
+	_, _, err := ep.Call("a", 1, nil)
+	return err == nil
+}
+
+func stmtDiscard(ep transport.Endpoint) {
+	ep.Call("a", 1, nil) // want `result of Call discarded`
+}
+
+func blankDiscard(ep transport.Endpoint) []byte {
+	_, body, _ := ep.Call("a", 1, nil) // want `error result of Call discarded with _`
+	return body
+}
+
+func goDiscard(ep transport.Endpoint) {
+	go fetch(ep) // want `error result of fetch discarded by go statement`
+}
+
+func deferDiscard(ep transport.Endpoint) {
+	defer fetch(ep) // want `error result of fetch discarded by defer`
+}
+
+func overwrittenUnread(ep transport.Endpoint) error {
+	_, _, err := ep.Call("a", 1, nil) // want `err may carry a taxonomy error .* overwritten before being read`
+	_, _, err = ep.Call("b", 1, nil)
+	return err
+}
+
+func neverRead(ep transport.Endpoint) {
+	_, _, err := ep.Call("a", 1, nil)
+	if err != nil {
+		return
+	}
+	_, _, err = ep.Call("b", 1, nil) // want `err may carry a taxonomy error .* never read`
+}
+
+func checkedOK(ep transport.Endpoint) ([]byte, error) {
+	_, body, err := ep.Call("a", 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// branchAssignOK assigns in both arms and checks after the merge: the
+// sibling branch's write is another path, not a clobber.
+func branchAssignOK(ep transport.Endpoint, alt bool) error {
+	var err error
+	if alt {
+		_, _, err = ep.Call("b", 1, nil)
+	} else {
+		_, _, err = ep.Call("a", 1, nil)
+	}
+	return err
+}
+
+// namedResultOK writes the named result: that is the return sink.
+func namedResultOK(ep transport.Endpoint) (err error) {
+	_, _, err = ep.Call("a", 1, nil)
+	return
+}
+
+// nonTaxonomy only ever returns its own plain error: discarding it is
+// sloppy but not an errsink matter.
+func nonTaxonomy() error { return errLocal }
+
+var errLocal error = errSelf{}
+
+type errSelf struct{}
+
+func (errSelf) Error() string { return "local" }
+
+func plainDiscardOK() {
+	nonTaxonomy()
+}
+
+func sanctioned(ep transport.Endpoint) {
+	//alvislint:allow errsink fixture: deliberate best-effort probe
+	ep.Call("a", 1, nil)
+}

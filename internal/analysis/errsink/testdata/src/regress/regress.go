@@ -1,0 +1,34 @@
+// Package regress seeds the historical shed-swallow: the fallover read
+// discarded the primary's error entirely, so an ErrShed — "retry me on
+// a replica, I'm overloaded" — was silently converted into an
+// authoritative miss and the query returned wrong (empty) results. The
+// fixed twin routes the error to the redrive sink.
+package regress
+
+import "transport"
+
+type client struct {
+	ep      transport.Endpoint
+	primary transport.Addr
+	replica transport.Addr
+}
+
+// getBug is the bug as shipped: the shed is dropped with _ and the nil
+// body reads as "key absent".
+func (c *client) getBug(key string) ([]byte, bool) {
+	_, body, _ := c.ep.Call(c.primary, 1, []byte(key)) // want `error result of Call discarded with _`
+	return body, body != nil
+}
+
+// getFixed redrives the read on the replica when the primary sheds or
+// fails — the error reaches a retry sink before anything overwrites it.
+func (c *client) getFixed(key string) ([]byte, bool) {
+	_, body, err := c.ep.Call(c.primary, 1, []byte(key))
+	if err != nil {
+		_, body, err = c.ep.Call(c.replica, 1, []byte(key))
+		if err != nil {
+			return nil, false
+		}
+	}
+	return body, true
+}

@@ -1,0 +1,29 @@
+// Package transport is a fixture stand-in defining the typed error
+// taxonomy (package-level Err* sentinels) and an Endpoint whose
+// concrete implementation can return them — the shape the
+// MayReturnSentinel summary keys on.
+package transport
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+var (
+	ErrShed            error = errSentinel("shed")
+	ErrCallInterrupted error = errSentinel("interrupted")
+)
+
+type Addr string
+
+type Endpoint interface {
+	Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error)
+}
+
+type Mem struct{}
+
+func (m *Mem) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	if to == "" {
+		return 0, nil, ErrShed
+	}
+	return 0, nil, nil
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonFinding is the machine-readable diagnostic shape the -json flag
+// of cmd/alvislint emits, one object per line, so CI can turn findings
+// into PR annotations without parsing the human format.
+type jsonFinding struct {
+	Check   string `json:"check"`
+	Pos     string `json:"pos"` // file:line:col
+	Message string `json:"message"`
+}
+
+// WriteJSON writes diags to w as newline-delimited JSON objects with
+// fields check, pos, and message.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		f := jsonFinding{
+			Check:   d.Analyzer,
+			Pos:     fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+			Message: d.Message,
+		}
+		if err := enc.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+// TestWriteJSONGolden pins the -json wire format CI consumes: one JSON
+// object per line with exactly check, pos, message.
+func TestWriteJSONGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/globalindex/replication.go", Line: 468, Column: 9},
+			Analyzer: "errsink",
+			Message:  `error result of Call discarded with _`,
+		},
+		{
+			Pos:      token.Position{Filename: "internal/globalindex/hedge.go", Line: 187, Column: 2},
+			Analyzer: "lockrpc",
+			Message:  `call may block on the network while ix.repl.mu is held (line 183): snapshot under the lock, call after Unlock`,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"check":"errsink","pos":"internal/globalindex/replication.go:468:9","message":"error result of Call discarded with _"}
+{"check":"lockrpc","pos":"internal/globalindex/hedge.go:187:2","message":"call may block on the network while ix.repl.mu is held (line 183): snapshot under the lock, call after Unlock"}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("WriteJSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteJSONEmpty: no findings, no output (CI treats any stdout line
+// as a finding in -json mode).
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("WriteJSON(nil) wrote %q, want empty", buf.String())
+	}
+}

@@ -1,0 +1,581 @@
+// Package lockflow is the shared flow layer under the lockrpc and
+// unlockpath analyzers: an abstract interpretation of one function body
+// that tracks which sync.Mutex/RWMutex locks are held at every
+// statement. The walker understands the shapes this codebase actually
+// uses — defer Unlock (direct or in a deferred closure), the
+// Lock…copy…Unlock…call idiom, early returns, branch/loop/switch/select
+// merging — and surfaces everything else through hooks so the analyzers
+// stay purely declarative.
+//
+// Soundness posture (documented in DESIGN.md "Enforced invariants"):
+//
+//   - Lock identity is syntactic: the selector path rooted at a
+//     resolved object ("ix.repl.mu"). Two different paths to the same
+//     mutex are two locks; an unrenderable path (index expression,
+//     call result) is not tracked at all.
+//   - TryLock/TryRLock are ignored: their conditional acquisition
+//     doesn't fit the held-set join and the codebase doesn't use them.
+//   - A function literal is analyzed as a fresh root with an empty held
+//     set: a goroutine spawned under a lock does not inherit the
+//     spawner's locks (it runs concurrently), and an immediately-called
+//     literal is over-released rather than over-held.
+//   - goto terminates the walk on its path (the codebase has none).
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Held is one lock the walker believes is held.
+type Held struct {
+	// Key identifies the lock: the rendered selector path ("ix.repl.mu")
+	// qualified by the root object's identity.
+	Key string
+	// Path is the human form of the lock for diagnostics.
+	Path string
+	// Kind is the acquiring method: "Lock" or "RLock".
+	Kind string
+	// Pos is the acquisition site.
+	Pos token.Pos
+	// DeferReleased marks locks with a pending defer Unlock: still held
+	// for Call hooks, but not leaked at exits.
+	DeferReleased bool
+}
+
+// Hooks are the analyzer-facing events.
+type Hooks struct {
+	// Call fires for every non-mutex call expression, with the locks
+	// held at that point (including defer-released ones — the lock is
+	// held when the call runs). Nil-safe.
+	Call func(call *ast.CallExpr, held []Held)
+
+	// Exit fires at each function exit — a return statement, or falling
+	// off the end of the body — with the locks still held there,
+	// excluding defer-released ones. isReturn distinguishes the two for
+	// diagnostics. Nil-safe.
+	Exit func(pos token.Pos, isReturn bool, held []Held)
+
+	// Mixed fires when control-flow paths merge with a lock held on one
+	// side and released on the other; the walker keeps the lock held
+	// (conservative) after reporting. Nil-safe.
+	Mixed func(pos token.Pos, lock Held)
+}
+
+// Walk interprets fn's body (and, as fresh roots, every function
+// literal it encloses) under hooks. info must cover the body.
+func Walk(info *types.Info, fn *ast.FuncDecl, hooks Hooks) {
+	if fn.Body == nil {
+		return
+	}
+	w := &walker{info: info, hooks: hooks}
+	w.queue = append(w.queue, fn.Body)
+	for len(w.queue) > 0 {
+		body := w.queue[0]
+		w.queue = w.queue[1:]
+		st := w.stmt(body, state{})
+		if !st.terminated {
+			if hooks.Exit != nil {
+				hooks.Exit(body.Rbrace, false, liveAtExit(st.held))
+			}
+		}
+	}
+}
+
+type walker struct {
+	info  *types.Info
+	hooks Hooks
+	queue []*ast.BlockStmt
+	loops []*loopCtx
+}
+
+type loopCtx struct {
+	breaks []state
+}
+
+// state is the abstract machine state: the held locks, and whether this
+// path has terminated (return, panic, break out of the walked region).
+type state struct {
+	held       []Held
+	terminated bool
+}
+
+func (s state) clone() state {
+	return state{held: append([]Held(nil), s.held...), terminated: s.terminated}
+}
+
+func liveAtExit(held []Held) []Held {
+	var out []Held
+	for _, h := range held {
+		if !h.DeferReleased {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// merge joins two branch states. A terminated side contributes nothing.
+// A lock held on one live side only is a mixed release: reported, then
+// kept (the conservative choice for both analyzers — lockrpc keeps
+// flagging calls under it, unlockpath's exit report names it).
+func (w *walker) merge(pos token.Pos, a, b state) state {
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := state{}
+	index := make(map[string]int)
+	for _, h := range a.held {
+		index[h.Key] = len(out.held)
+		out.held = append(out.held, h)
+	}
+	for _, h := range b.held {
+		if i, ok := index[h.Key]; ok {
+			out.held[i].DeferReleased = out.held[i].DeferReleased || h.DeferReleased
+			continue
+		}
+		if w.hooks.Mixed != nil {
+			w.hooks.Mixed(pos, h)
+		}
+		out.held = append(out.held, h)
+	}
+	for _, h := range a.held {
+		if !containsKey(b.held, h.Key) && w.hooks.Mixed != nil {
+			w.hooks.Mixed(pos, h)
+		}
+	}
+	return out
+}
+
+func containsKey(held []Held, key string) bool {
+	for _, h := range held {
+		if h.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) state {
+	if s == nil || st.terminated {
+		return st
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			st = w.stmt(sub, st)
+		}
+		return st
+
+	case *ast.ExprStmt:
+		if isPanicLike(w.info, s.X) {
+			st = w.expr(s.X, st)
+			st.terminated = true
+			return st
+		}
+		return w.expr(s.X, st)
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st = w.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			st = w.expr(e, st)
+		}
+		return st
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						st = w.expr(e, st)
+					}
+				}
+			}
+		}
+		return st
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st = w.expr(e, st)
+		}
+		if w.hooks.Exit != nil {
+			w.hooks.Exit(s.Return, true, liveAtExit(st.held))
+		}
+		st.terminated = true
+		return st
+
+	case *ast.DeferStmt:
+		return w.deferStmt(s, st)
+
+	case *ast.GoStmt:
+		// Arguments are evaluated by the spawner (under its locks); the
+		// spawned call itself runs concurrently and is not a call "while
+		// the lock is held" — its body, if a literal, becomes a fresh
+		// root.
+		for _, e := range s.Call.Args {
+			st = w.expr(e, st)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.queue = append(w.queue, lit.Body)
+		}
+		return st
+
+	case *ast.IfStmt:
+		st = w.stmt(s.Init, st)
+		st = w.expr(s.Cond, st)
+		thenSt := w.stmt(s.Body, st.clone())
+		elseSt := st.clone()
+		if s.Else != nil {
+			elseSt = w.stmt(s.Else, elseSt)
+		}
+		return w.merge(s.End(), thenSt, elseSt)
+
+	case *ast.ForStmt:
+		st = w.stmt(s.Init, st)
+		if s.Cond != nil {
+			st = w.expr(s.Cond, st)
+		}
+		lc := &loopCtx{}
+		w.loops = append(w.loops, lc)
+		bodySt := w.stmt(s.Body, st.clone())
+		bodySt = w.stmt(s.Post, bodySt)
+		w.loops = w.loops[:len(w.loops)-1]
+		out := st
+		if s.Cond == nil {
+			// for{}: the only way past is a break.
+			out = state{terminated: true}
+		}
+		out = w.merge(s.End(), out, bodySt)
+		for _, bs := range lc.breaks {
+			out = w.merge(s.End(), out, bs)
+		}
+		return out
+
+	case *ast.RangeStmt:
+		st = w.expr(s.X, st)
+		lc := &loopCtx{}
+		w.loops = append(w.loops, lc)
+		bodySt := w.stmt(s.Body, st.clone())
+		w.loops = w.loops[:len(w.loops)-1]
+		out := w.merge(s.End(), st, bodySt)
+		for _, bs := range lc.breaks {
+			out = w.merge(s.End(), out, bs)
+		}
+		return out
+
+	case *ast.SwitchStmt:
+		st = w.stmt(s.Init, st)
+		if s.Tag != nil {
+			st = w.expr(s.Tag, st)
+		}
+		return w.clauses(s.Body, s.End(), st, hasDefaultClause(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		st = w.stmt(s.Init, st)
+		st = w.stmt(s.Assign, st)
+		return w.clauses(s.Body, s.End(), st, hasDefaultClause(s.Body))
+
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, s.End(), st, true)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if len(w.loops) > 0 {
+				lc := w.loops[len(w.loops)-1]
+				lc.breaks = append(lc.breaks, st.clone())
+			}
+		case token.CONTINUE:
+			// The back edge re-joins the loop head; the body result
+			// already flows into the loop merge, so nothing to record.
+		case token.GOTO:
+			// Not used in this codebase; give up on this path.
+		}
+		st.terminated = true
+		return st
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.IncDecStmt:
+		return w.expr(s.X, st)
+
+	case *ast.SendStmt:
+		st = w.expr(s.Chan, st)
+		return w.expr(s.Value, st)
+
+	default:
+		return st
+	}
+}
+
+// clauses merges the bodies of a switch/type-switch/select. complete
+// says every execution enters some clause (select, or a default case);
+// otherwise the entry state joins the merge for the no-match path.
+func (w *walker) clauses(body *ast.BlockStmt, end token.Pos, st state, complete bool) state {
+	out := state{terminated: true}
+	for _, clause := range body.List {
+		cst := st.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				cst = w.expr(e, cst)
+			}
+			for _, s := range c.Body {
+				cst = w.stmt(s, cst)
+			}
+		case *ast.CommClause:
+			cst = w.stmt(c.Comm, cst)
+			for _, s := range c.Body {
+				cst = w.stmt(s, cst)
+			}
+		}
+		out = w.merge(end, out, cst)
+	}
+	if !complete {
+		out = w.merge(end, out, st)
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, clause := range body.List {
+		if c, ok := clause.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// deferStmt handles the two sanctioned release shapes — defer
+// mu.Unlock() and defer func(){ ...mu.Unlock()... }() — by marking the
+// lock defer-released; any other deferred call fires the Call hook
+// (it runs under whatever is still held at exit).
+func (w *walker) deferStmt(s *ast.DeferStmt, st state) state {
+	for _, e := range s.Call.Args {
+		st = w.expr(e, st)
+	}
+	if kind, path := w.mutexOp(s.Call); kind == "Unlock" || kind == "RUnlock" {
+		return markDeferReleased(st, path)
+	} else if kind != "" {
+		// defer mu.Lock() — nonsense; ignore.
+		return st
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		released := st
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if kind, path := w.mutexOp(call); kind == "Unlock" || kind == "RUnlock" {
+					released = markDeferReleased(released, path)
+				}
+			}
+			return true
+		})
+		w.queue = append(w.queue, lit.Body)
+		return released
+	}
+	if w.hooks.Call != nil {
+		w.hooks.Call(s.Call, st.held)
+	}
+	return st
+}
+
+func markDeferReleased(st state, path string) state {
+	out := st.clone()
+	for i := range out.held {
+		if out.held[i].Path == path {
+			out.held[i].DeferReleased = true
+		}
+	}
+	return out
+}
+
+// expr walks e in evaluation order, interpreting mutex operations and
+// firing the Call hook for everything else. Function literals are
+// queued as fresh roots and not descended into.
+func (w *walker) expr(e ast.Expr, st state) state {
+	if e == nil || st.terminated {
+		return st
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		st = w.expr(e.Fun, st)
+		for _, a := range e.Args {
+			st = w.expr(a, st)
+		}
+		return w.call(e, st)
+
+	case *ast.FuncLit:
+		w.queue = append(w.queue, e.Body)
+		return st
+
+	case *ast.ParenExpr:
+		return w.expr(e.X, st)
+	case *ast.SelectorExpr:
+		return w.expr(e.X, st)
+	case *ast.StarExpr:
+		return w.expr(e.X, st)
+	case *ast.UnaryExpr:
+		return w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		st = w.expr(e.X, st)
+		return w.expr(e.Y, st)
+	case *ast.IndexExpr:
+		st = w.expr(e.X, st)
+		return w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		st = w.expr(e.X, st)
+		for _, i := range e.Indices {
+			st = w.expr(i, st)
+		}
+		return st
+	case *ast.SliceExpr:
+		st = w.expr(e.X, st)
+		st = w.expr(e.Low, st)
+		st = w.expr(e.High, st)
+		return w.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			st = w.expr(el, st)
+		}
+		return st
+	case *ast.KeyValueExpr:
+		st = w.expr(e.Key, st)
+		return w.expr(e.Value, st)
+	default:
+		return st
+	}
+}
+
+// call interprets one call expression against the lock state.
+func (w *walker) call(e *ast.CallExpr, st state) state {
+	kind, path := w.mutexOp(e)
+	switch kind {
+	case "Lock", "RLock":
+		out := st.clone()
+		out.held = append(out.held, Held{
+			Key:  path,
+			Path: path,
+			Kind: kind,
+			Pos:  e.Pos(),
+		})
+		return out
+	case "Unlock", "RUnlock":
+		out := state{terminated: st.terminated}
+		for _, h := range st.held {
+			if h.Path != path {
+				out.held = append(out.held, h)
+			}
+		}
+		return out
+	case "skip":
+		return st
+	}
+	if w.hooks.Call != nil {
+		w.hooks.Call(e, st.held)
+	}
+	return st
+}
+
+// mutexOp classifies e: ("Lock"|"RLock"|"Unlock"|"RUnlock", path) for a
+// trackable sync mutex operation, ("skip", "") for a sync mutex op on
+// an unrenderable path or a Try* variant, ("", "") for everything else.
+func (w *walker) mutexOp(e *ast.CallExpr) (kind, path string) {
+	sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := w.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	case "TryLock", "TryRLock":
+		return "skip", ""
+	default:
+		return "", ""
+	}
+	p, ok := renderPath(w.info, sel.X)
+	if !ok {
+		return "skip", ""
+	}
+	return fn.Name(), p
+}
+
+// renderPath renders the lock owner expression as a stable key:
+// a selector chain rooted at a resolved identifier, with pointer
+// derefs and &-of stripped ("(&ix.repl).mu" == "ix.repl.mu").
+func renderPath(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		return obj.Name(), true
+	case *ast.SelectorExpr:
+		base, ok := renderPath(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return renderPath(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return renderPath(info, e.X)
+		}
+		return "", false
+	default:
+		return "", false
+	}
+}
+
+// isPanicLike reports whether the expression statement is a call that
+// never returns: panic, os.Exit, log.Fatal*, runtime.Goexit, or a
+// testing T/B/F Fatal/FailNow/Skip-style method.
+func isPanicLike(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln" ||
+				fn.Name() == "Panic" || fn.Name() == "Panicf" || fn.Name() == "Panicln"
+		case "runtime":
+			return fn.Name() == "Goexit"
+		case "testing":
+			switch fn.Name() {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+// Package lockrpc forbids holding a sync.Mutex/RWMutex across anything
+// that may block on the network.
+//
+// A call that transitively reaches transport.Endpoint.Call, the
+// globalindex timedCall wrapper, or package net's blocking entry points
+// can stall for a full RPC deadline (hundreds of milliseconds under
+// churn). Holding a mutex across it turns one slow peer into a
+// stop-the-world event for every goroutine contending that lock — the
+// exact shape behind the historical replication write-through stall.
+// The sanctioned idiom is snapshot-under-lock, call-outside-lock:
+//
+//	ix.repl.mu.Lock()
+//	targets := append([]replTarget(nil), ix.repl.targets...)
+//	ix.repl.mu.Unlock()
+//	for _, t := range targets { ix.timedCall(ctx, t.Addr, ...) }
+//
+// "May block on the network" is the call graph's interprocedural
+// summary (analysis.CallGraph.MayBlockOnNetwork), so the RPC can hide
+// any number of frames down; "a lock is held" is the lockflow walker's
+// per-function abstract state, so defer-released locks and the
+// Lock…copy…Unlock…call idiom are understood rather than pattern-matched.
+// Dynamic dispatch is over-approximated by method-set matching: a call
+// through any interface whose implementations include a network-touching
+// type counts. Genuinely intentional holds are sanctioned in place with
+// //alvislint:allow lockrpc <reason>.
+package lockrpc
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:           "lockrpc",
+	Doc:            "lockrpc: no call that may block on the network while a mutex is held",
+	NeedsCallGraph: true,
+	Run:            run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Tests exercise pathological interleavings on purpose, and the
+		// transport package is the chokepoint's own implementation — its
+		// internal pool locks around I/O are its local, reviewed
+		// contract.
+		if pass.IsTestFile(f) || pass.Pkg.Name() == "transport" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	lockflow.Walk(pass.Info, fd, lockflow.Hooks{
+		Call: func(call *ast.CallExpr, held []lockflow.Held) {
+			if len(held) == 0 {
+				return
+			}
+			callee := analysis.Callee(pass.Info, call)
+			if callee == nil {
+				return
+			}
+			chokepoint, blocks := pass.Graph.MayBlockOnNetwork(callee)
+			if !blocks {
+				return
+			}
+			h := held[0]
+			line := pass.Fset.Position(h.Pos).Line
+			pass.Reportf(call.Pos(),
+				"call to %s may block on the network (reaches %s) while %s.%s is held (line %d): snapshot under the lock, call after Unlock",
+				callee.Name(), chokepoint, h.Path, h.Kind, line)
+		},
+	})
+}

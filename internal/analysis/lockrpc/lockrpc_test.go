@@ -1,0 +1,19 @@
+package lockrpc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/lockrpc"
+)
+
+func TestLockRPC(t *testing.T) {
+	atest.Run(t, lockrpc.Analyzer, "lk")
+}
+
+// TestRegressWriteThroughUnderLock seeds the historical replication
+// write-through that held repl.mu across timedCall: the analyzer must
+// flag the shipped shape and pass the snapshot-then-call fix.
+func TestRegressWriteThroughUnderLock(t *testing.T) {
+	atest.Run(t, lockrpc.Analyzer, "regress")
+}

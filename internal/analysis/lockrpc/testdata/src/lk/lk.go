@@ -1,0 +1,90 @@
+// Package lk exercises the lockrpc analyzer: network-reaching calls
+// under a held mutex are flagged; the snapshot-under-lock,
+// call-outside-lock idiom and non-blocking work under a lock pass.
+package lk
+
+import (
+	"sync"
+
+	"lkdep"
+	"transport"
+)
+
+type node struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	ep      transport.Endpoint
+	targets []transport.Addr
+}
+
+// directUnderLock calls the chokepoint itself with the mutex held.
+func (n *node) directUnderLock(body []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ep.Call(n.targets[0], 1, body) // want `may block on the network .*reaches \(transport\.Endpoint\)\.Call.* while n\.mu\.Lock is held`
+}
+
+// transitiveUnderLock reaches the chokepoint through two frames in
+// another package.
+func (n *node) transitiveUnderLock(body []byte) error {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return lkdep.Ship(n.ep, n.targets[0], body) // want `call to Ship may block on the network .* while n\.rw\.RLock is held`
+}
+
+// betweenLockAndUnlock is the early non-defer shape: still held at the
+// call.
+func (n *node) betweenLockAndUnlock(body []byte) {
+	n.mu.Lock()
+	n.ep.Call(n.targets[0], 1, body) // want `may block on the network`
+	n.mu.Unlock()
+}
+
+// snapshotThenCall is the sanctioned idiom: copy under the lock, release,
+// then talk to the network.
+func (n *node) snapshotThenCall(body []byte) {
+	n.mu.Lock()
+	targets := append([]transport.Addr(nil), n.targets...)
+	n.mu.Unlock()
+	for _, t := range targets {
+		n.ep.Call(t, 1, body)
+	}
+}
+
+// pureWorkUnderLock holds the lock across local-only work.
+func (n *node) pureWorkUnderLock(body []byte) []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return lkdep.Format(body)
+}
+
+// spawnUnderLock launches the RPC in a goroutine: the spawned call runs
+// concurrently, not under the spawner's lock.
+func (n *node) spawnUnderLock(body []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.ep.Call(n.targets[0], 1, body)
+	}()
+}
+
+// branchReleased unlocks on one path: only the still-held path's call
+// is flagged.
+func (n *node) branchReleased(fast bool, body []byte) {
+	n.mu.Lock()
+	if fast {
+		n.mu.Unlock()
+		n.ep.Call(n.targets[0], 1, body)
+		return
+	}
+	n.ep.Call(n.targets[0], 1, body) // want `may block on the network`
+	n.mu.Unlock()
+}
+
+// sanctioned shows the escape hatch.
+func (n *node) sanctioned(body []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//alvislint:allow lockrpc fixture: deliberate hold to pin the directive path
+	n.ep.Call(n.targets[0], 1, body)
+}

@@ -1,0 +1,22 @@
+// Package lkdep hides network calls behind an extra package boundary so
+// the lk fixture proves the summary crosses packages.
+package lkdep
+
+import "transport"
+
+// Ship reaches the chokepoint two frames down in another package.
+func Ship(ep transport.Endpoint, to transport.Addr, body []byte) error {
+	return shipOne(ep, to, body)
+}
+
+func shipOne(ep transport.Endpoint, to transport.Addr, body []byte) error {
+	_, _, err := ep.Call(to, 1, body)
+	return err
+}
+
+// Format only shuffles bytes; holding a lock across it is fine.
+func Format(body []byte) []byte {
+	out := make([]byte, len(body))
+	copy(out, body)
+	return out
+}

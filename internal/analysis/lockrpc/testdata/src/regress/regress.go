@@ -1,0 +1,48 @@
+// Package regress seeds the historical lockrpc bug shape: the
+// replication write-through that held repl.mu across the instrumented
+// timedCall wrapper, so one dead replica's RPC deadline stalled every
+// writer contending the cache lock. The fix — snapshot the target list
+// under the lock, call after Unlock — is the passing twin below.
+package regress
+
+import (
+	"sync"
+
+	"transport"
+)
+
+type Remote struct{ Addr transport.Addr }
+
+type Index struct {
+	node interface{ Endpoint() transport.Endpoint }
+	repl struct {
+		mu      sync.Mutex
+		succsOf map[transport.Addr][]Remote
+	}
+}
+
+// timedCall mirrors the instrumented wrapper: one frame above the
+// transport chokepoint.
+func (ix *Index) timedCall(to transport.Addr, msg uint8, body []byte) (uint8, []byte, error) {
+	return ix.node.Endpoint().Call(to, msg, body)
+}
+
+// writeThroughUnderLock is the bug as shipped: iterating the cached
+// replica set with repl.mu held while each write-through does an RPC.
+func (ix *Index) writeThroughUnderLock(primary transport.Addr, msg uint8, body []byte) {
+	ix.repl.mu.Lock()
+	defer ix.repl.mu.Unlock()
+	for _, t := range ix.repl.succsOf[primary] {
+		ix.timedCall(t.Addr, msg, body) // want `call to timedCall may block on the network .* while ix\.repl\.mu\.Lock is held`
+	}
+}
+
+// writeThroughFixed is the reordering the analyzer pushes toward.
+func (ix *Index) writeThroughFixed(primary transport.Addr, msg uint8, body []byte) {
+	ix.repl.mu.Lock()
+	targets := append([]Remote(nil), ix.repl.succsOf[primary]...)
+	ix.repl.mu.Unlock()
+	for _, t := range targets {
+		ix.timedCall(t.Addr, msg, body)
+	}
+}

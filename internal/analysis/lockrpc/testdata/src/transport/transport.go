@@ -1,0 +1,19 @@
+// Package transport is a fixture stand-in for the repo's transport
+// package: the blocking-seed matcher keys on the package base name
+// "transport" plus a Call method, so this fake gives the call graph the
+// same chokepoint shape cmd/alvislint sees.
+package transport
+
+type Addr string
+
+type Endpoint interface {
+	Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error)
+}
+
+// TCP is a concrete endpoint; its Call is a chokepoint like the
+// interface method.
+type TCP struct{}
+
+func (t *TCP) Call(to Addr, msgType uint8, body []byte) (uint8, []byte, error) {
+	return 0, nil, nil
+}

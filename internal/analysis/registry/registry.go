@@ -7,10 +7,13 @@ package registry
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/errsink"
 	"repro/internal/analysis/frameparity"
 	"repro/internal/analysis/goroutinelifecycle"
+	"repro/internal/analysis/lockrpc"
 	"repro/internal/analysis/nolegacy"
 	"repro/internal/analysis/sleepsync"
+	"repro/internal/analysis/unlockpath"
 	"repro/internal/analysis/wireclamp"
 )
 
@@ -18,10 +21,13 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxflow.Analyzer,
+		errsink.Analyzer,
 		frameparity.Analyzer,
 		goroutinelifecycle.Analyzer,
+		lockrpc.Analyzer,
 		nolegacy.Analyzer,
 		sleepsync.Analyzer,
+		unlockpath.Analyzer,
 		wireclamp.Analyzer,
 	}
 }

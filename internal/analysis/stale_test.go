@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// The stale-suppression contract: a directive that suppressed a
+// diagnostic this run is live; one aimed at a ran analyzer that
+// suppressed nothing is reported (and the report itself is not
+// suppressible); one aimed at an analyzer outside this run is left
+// alone, because only the full suite can condemn it.
+
+const staleSrc = `package p
+
+func a() {}
+
+//alvislint:allow fake covered by the diagnostic on the next line
+func flagged() {}
+
+//alvislint:allow fake stale: nothing reported on this or the next line
+var x = 1
+
+//alvislint:allow other aimed at an analyzer that did not run
+var y = 2
+`
+
+// staleAliasSrc has no diagnostic for the fake analyzer at all, so its
+// package-scope alias directive suppresses nothing. (It cannot live in
+// staleSrc: a package-scope alias would suppress — and be kept live
+// by — the flagged() diagnostic there.)
+const staleAliasSrc = `package q
+
+func a() {}
+
+//alvislint:fakeroot-package stale: this package produces no fake diagnostics
+`
+
+// fakeAnalyzer reports once at every function named "flagged".
+var fakeAnalyzer = &Analyzer{
+	Name:    "fake",
+	Doc:     "fake: test analyzer",
+	Aliases: []string{"fakeroot"},
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "flagged" {
+					pass.Reportf(fd.Pos(), "function flagged")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func staleTestPackage(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+"/p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{
+		ImportPath: path,
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      pkg,
+		Info:       info,
+		TestFiles:  map[*ast.File]bool{},
+	}
+}
+
+func TestStaleDirectives(t *testing.T) {
+	runner := &Runner{CheckStaleDirectives: true}
+	diags, err := runner.Run(staleTestPackage(t, "p", staleSrc), []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != StaleSuppressionCheck {
+			t.Errorf("unexpected non-stale diagnostic: %s", d)
+			continue
+		}
+		stale = append(stale, d)
+	}
+	// Exactly the unused line directive: the live directive and the
+	// other-analyzer directive must not appear.
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale diagnostics, want 1: %v", len(stale), stale)
+	}
+	if !strings.Contains(stale[0].Message, "allow fake") || stale[0].Pos.Line != 8 {
+		t.Errorf("stale[0] = %s, want 'allow fake' at line 8", stale[0])
+	}
+}
+
+// TestStalePackageAlias: a package-scope alias directive in a package
+// with no matching diagnostics suppresses nothing and is reported.
+func TestStalePackageAlias(t *testing.T) {
+	runner := &Runner{CheckStaleDirectives: true}
+	diags, err := runner.Run(staleTestPackage(t, "q", staleAliasSrc), []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != StaleSuppressionCheck ||
+		!strings.Contains(diags[0].Message, "fakeroot-package") {
+		t.Fatalf("got %v, want one stalesuppression naming fakeroot-package", diags)
+	}
+}
+
+// TestStaleDirectivesOff pins the compat default: plain Run (and any
+// Runner without the flag) reports nothing for unused directives.
+func TestStaleDirectivesOff(t *testing.T) {
+	diags, err := Run(staleTestPackage(t, "p", staleSrc), []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == StaleSuppressionCheck {
+			t.Errorf("stale diagnostic from plain Run: %s", d)
+		}
+	}
+}

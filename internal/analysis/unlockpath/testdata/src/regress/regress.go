@@ -1,0 +1,48 @@
+// Package regress seeds the historical unlockpath bug: an error path
+// added to a Lock…Unlock section months after it was written returned
+// without releasing, and every subsequent caller of the index deadlocked
+// on a mutex owned by a goroutine that had long since returned. The
+// fixed twin releases before the early return.
+package regress
+
+import "sync"
+
+type entry struct {
+	list []int
+	df   int
+}
+
+type index struct {
+	mu    sync.Mutex
+	store map[string]entry
+}
+
+// applyBug is the bug as shipped: the validation early-return was added
+// between Lock and Unlock.
+func (ix *index) applyBug(key string, list []int) bool {
+	ix.mu.Lock() // want `ix\.mu\.Lock is not released on every path: the function returns`
+	if len(list) == 0 {
+		return false // leaked: every later caller deadlocks here
+	}
+	e := ix.store[key]
+	e.list = append(e.list, list...)
+	e.df++
+	ix.store[key] = e
+	ix.mu.Unlock()
+	return true
+}
+
+// applyFixed releases on the early path too (defer would also do).
+func (ix *index) applyFixed(key string, list []int) bool {
+	ix.mu.Lock()
+	if len(list) == 0 {
+		ix.mu.Unlock()
+		return false
+	}
+	e := ix.store[key]
+	e.list = append(e.list, list...)
+	e.df++
+	ix.store[key] = e
+	ix.mu.Unlock()
+	return true
+}

@@ -1,0 +1,121 @@
+// Package ul exercises the unlockpath analyzer: locks leaked on any
+// path out of the function are flagged; defer Unlock (direct or in a
+// deferred closure), all-paths explicit Unlock, and the
+// Lock…copy…Unlock…call idiom pass.
+package ul
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (r *reg) deferOK(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+func (r *reg) deferClosureOK(k string) int {
+	r.mu.Lock()
+	defer func() {
+		r.mu.Unlock()
+	}()
+	return r.m[k]
+}
+
+func (r *reg) allPathsOK(k string) int {
+	r.mu.Lock()
+	if v, ok := r.m[k]; ok {
+		r.mu.Unlock()
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// snapshotThenWorkOK is the idiom lockrpc pushes toward: the release is
+// explicit and dominates the exit.
+func (r *reg) snapshotThenWorkOK() []string {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.m))
+	for k := range r.m {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	return keys
+}
+
+func (r *reg) earlyReturnLeak(k string) int {
+	r.mu.Lock() // want `r\.mu\.Lock is not released on every path: the function returns`
+	if v, ok := r.m[k]; ok {
+		return v
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+func (r *reg) fallOffEndLeak() {
+	r.mu.Lock() // want `r\.mu\.Lock is not released on every path: the function falls off the end`
+	r.m["x"] = 1
+}
+
+func (r *reg) rlockLeak(k string) (int, bool) {
+	r.rw.RLock() // want `r\.rw\.RLock is not released on every path`
+	if v, ok := r.m[k]; ok {
+		r.rw.RUnlock()
+		return v, true
+	}
+	return 0, false
+}
+
+func (r *reg) mixedBranches(flush bool) {
+	r.mu.Lock() // want `released on some paths but still held where they merge`
+	if flush {
+		r.mu.Unlock()
+	}
+	r.m["x"] = 1
+}
+
+// goroutineLeak: closures are fresh roots, so a leak inside one is
+// still a leak.
+func (r *reg) goroutineLeak() {
+	go func() {
+		r.mu.Lock() // want `r\.mu\.Lock is not released on every path: the function falls off the end`
+		r.m["x"] = 1
+	}()
+}
+
+// loopSymmetricOK locks and unlocks within each iteration.
+func (r *reg) loopSymmetricOK(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		r.mu.Lock()
+		total += r.m[k]
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// switchAllPathsOK releases in every case including default.
+func (r *reg) switchAllPathsOK(mode int) int {
+	r.mu.Lock()
+	switch mode {
+	case 0:
+		r.mu.Unlock()
+		return 0
+	default:
+		v := r.m["x"]
+		r.mu.Unlock()
+		return v
+	}
+}
+
+// handoff transfers the held lock to its caller on purpose.
+func (r *reg) handoff() func() {
+	//alvislint:allow unlockpath deliberate lock handoff: the caller must invoke the returned release
+	r.mu.Lock()
+	return r.mu.Unlock
+}

@@ -1,0 +1,77 @@
+// Package unlockpath requires every Lock()/RLock() to be released on
+// every path out of the function: a defer Unlock (direct or inside a
+// deferred closure), or an Unlock dominating each return and the
+// fall-through exit.
+//
+// The lockrpc analyzer pushes code toward the Lock…copy…Unlock…call
+// idiom, which trades defer's can't-forget guarantee for explicit
+// releases — this check restores the guarantee mechanically. It is the
+// machine form of the early-return-missing-Unlock bug class: an error
+// path added later returns between Lock and Unlock and every subsequent
+// caller deadlocks.
+//
+// The check is intraprocedural over the lockflow walker's abstract
+// state. A function that intentionally transfers a held lock to its
+// caller (a locked-accessor pattern this codebase avoids) must say so
+// with //alvislint:allow unlockpath <reason>.
+package unlockpath
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lockflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unlockpath",
+	Doc:  "unlockpath: every Lock must be released on all paths (defer Unlock, or Unlock dominating each exit)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Deduplicate per lock acquisition: one leak report per Lock site is
+	// actionable; one per exit path is noise.
+	reported := make(map[token.Pos]bool)
+	lockflow.Walk(pass.Info, fd, lockflow.Hooks{
+		Exit: func(pos token.Pos, isReturn bool, held []lockflow.Held) {
+			for _, h := range held {
+				if reported[h.Pos] {
+					continue
+				}
+				reported[h.Pos] = true
+				way := "falls off the end of the function"
+				if isReturn {
+					way = "returns"
+				}
+				pass.Reportf(h.Pos,
+					"%s.%s is not released on every path: the function %s at line %d with it held (use defer %s.Unlock, or Unlock before each exit)",
+					h.Path, h.Kind, way, pass.Fset.Position(pos).Line, h.Path)
+			}
+		},
+		Mixed: func(pos token.Pos, h lockflow.Held) {
+			if reported[h.Pos] {
+				return
+			}
+			reported[h.Pos] = true
+			pass.Reportf(h.Pos,
+				"%s.%s (line %d) is released on some paths but still held where they merge at line %d: release it on every branch or defer the Unlock",
+				h.Path, h.Kind, pass.Fset.Position(h.Pos).Line, pass.Fset.Position(pos).Line)
+		},
+	})
+}

@@ -1,0 +1,20 @@
+package unlockpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/unlockpath"
+)
+
+func TestUnlockPath(t *testing.T) {
+	atest.Run(t, unlockpath.Analyzer, "ul")
+}
+
+// TestRegressEarlyReturnLeak seeds the historical deadlock: an error
+// path added between Lock and Unlock returned with the mutex held. The
+// analyzer must flag the shipped shape and pass the release-then-return
+// fix.
+func TestRegressEarlyReturnLeak(t *testing.T) {
+	atest.Run(t, unlockpath.Analyzer, "regress")
+}

@@ -434,7 +434,9 @@ func (p *Peer) Maintain(ctx context.Context) {
 	if err != nil {
 		return
 	}
+	//alvislint:allow errsink maintenance is periodic best effort: a shed or unreachable neighbor this round is retried next round, and surfacing it would make every caller a ring-health arbiter
 	_ = p.node.Stabilize(ctx)
+	//alvislint:allow errsink same contract as Stabilize above: the next round retries
 	_ = p.node.FixFingers(ctx)
 	p.gidx.MaintainReplication()
 	p.qdiMgr.MaintenanceTick()

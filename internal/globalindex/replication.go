@@ -465,7 +465,15 @@ func selectReplicas(primary transport.Addr, succs []dht.Remote, want int) []dht.
 // client's operation.
 func (ix *Index) replicate(ctx context.Context, primary transport.Addr, msg uint8, body []byte) {
 	for _, t := range ix.replicaTargets(ctx, primary) {
-		_, _, _ = ix.node.Endpoint().Call(ctx, t.Addr, msg, body)
+		_, _, err := ix.node.Endpoint().Call(ctx, t.Addr, msg, body)
+		if errors.Is(err, transport.ErrUnreachable) {
+			// An unreachable replica means the cached set is stale: drop
+			// it so the next write-through re-resolves the successor list
+			// instead of re-hammering the dead peer until an unrelated
+			// ring change clears the cache. The write itself stays best
+			// effort — anti-entropy repairs the missed frame.
+			ix.invalidateReplicaTarget(t.Addr)
+		}
 	}
 }
 
@@ -850,6 +858,7 @@ func (ix *Index) pushOwnedRange() int {
 			writeSyncItem(w, it.key, it.df, it.list)
 		}
 		for _, t := range targets {
+			//alvislint:allow errsink anti-entropy push is idempotent and re-runs next round; targets come straight from Successors(), not the replica cache, so there is no stale state to invalidate
 			_, _, _ = ix.node.Endpoint().Call(ctx, t.Addr, MsgReplSync, w.Bytes())
 		}
 		pushed += len(items)

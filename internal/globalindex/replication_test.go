@@ -161,6 +161,44 @@ func TestReplicationFactorOneUnchanged(t *testing.T) {
 	_ = nodes
 }
 
+// TestReplicateInvalidatesDeadReplica pins the errsink-found fix in
+// replicate(): a write-through that finds a cached replica unreachable
+// must drop that cached replica set, so the next write re-resolves the
+// successor list instead of hammering the dead peer until an unrelated
+// ring change clears the cache. (Before the fix the Call error was
+// discarded wholesale and the stale set lived forever.)
+func TestReplicateInvalidatesDeadReplica(t *testing.T) {
+	nodes, idxs, net := replRing(t, 10, 3)
+	terms := []string{"invalidate", "me"}
+	key := ids.KeyString(terms)
+	list := &postings.List{Entries: []postings.Posting{post("x", 1, 4.0)}}
+
+	// The writer runs the write-through, so the first Put warms the
+	// writer's replica-target cache for the key's primary.
+	if _, err := idxs[0].Put(context.Background(), terms, list, 100); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := nodes[0].Lookup(context.Background(), ids.HashString(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := idxs[0].cachedReplicaTargets(resp.Addr)
+	if len(cached) == 0 {
+		t.Fatal("no cached replica set on the writer after write-through")
+	}
+
+	// Kill one cached replica and write through again: the unreachable
+	// write-through must invalidate the stale set.
+	net.SetDown(cached[0].Addr, true)
+	if _, err := idxs[0].Put(context.Background(), terms, list, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := idxs[0].cachedReplicaTargets(resp.Addr); len(got) != 0 {
+		t.Fatalf("cached replica set survived an unreachable write-through: %v", got)
+	}
+	_ = nodes
+}
+
 // TestReadFalloverToReplica kills the primary and checks a reader whose
 // replica cache is warm still answers, byte-identical.
 func TestReadFalloverToReplica(t *testing.T) {
