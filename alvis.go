@@ -61,6 +61,14 @@
 // instead of re-pulling its whole range. Config.AntiEntropyInterval
 // adds a background replica-repair sweep on top of the ring-change
 // handoffs.
+//
+// For zipfian read traffic, Config.ResultCache and Config.PrefixCache
+// enable client-side caches (invalidated by ring changes, local writes,
+// and Config.CacheTTL), and Config.HotKeyThreshold enables popularity
+// soft replication: keys whose read rate crosses the threshold get
+// Config.SoftReplicas extra cached copies pushed to derived peers
+// outside the successor set, which hedged reads fold in (see DESIGN.md,
+// "Hot-key caching & popularity-aware soft replication").
 package alvisp2p
 
 import (
@@ -154,6 +162,10 @@ var (
 	WithStreaming = core.WithStreaming
 	// WithTrace toggles the response's QueryTrace (default on).
 	WithTrace = core.WithTrace
+	// WithResultCache(false) bypasses the peer's resolved-result cache
+	// for this query (freshness-critical callers); no-op when
+	// Config.ResultCache is off.
+	WithResultCache = core.WithResultCache
 )
 
 // Request-level errors (match with errors.Is).

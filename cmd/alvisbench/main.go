@@ -27,7 +27,7 @@ type experiment struct {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E13) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (F1,E1..E14) or 'all'")
 	small := flag.Bool("small", false, "run reduced configurations")
 	flag.Parse()
 
@@ -46,6 +46,7 @@ func main() {
 		{"E11", "admission control sheds + hedged replica-read tail latency", sim.RunE11},
 		{"E12", "restart recovery: cold rejoin vs WAL/snapshot delta rejoin", sim.RunE12},
 		{"E13", "streamed score-bounded top-k vs one-shot full pulls", sim.RunE13},
+		{"E14", "hot-key caching + soft replication under zipfian reads", sim.RunE14},
 	}
 
 	scale := sim.ScaleFull

@@ -63,6 +63,20 @@ func main() {
 		"directory for durable global-index storage (WAL + snapshots); empty = in-memory only")
 	antiEntropy := flag.Duration("anti-entropy", 0,
 		"background replica-repair sweep interval (0 = ring-change events only; needs -replication > 1)")
+	resultCache := flag.Int("result-cache", 0,
+		"resolved-result cache entries for repeat HDK queries (0 = off)")
+	prefixCache := flag.Int("prefix-cache", 0,
+		"posting-prefix cache entries for the streamed read path (0 = off)")
+	cacheTTL := flag.Duration("cache-ttl", 0,
+		"staleness bound for both client caches (0 = the 2s default when a cache is on)")
+	hotKeyThreshold := flag.Float64("hot-key-threshold", 0,
+		"reads/sec EWMA above which an owned key gets soft replicas (0 = soft replication off)")
+	softReplicas := flag.Int("soft-replicas", 2,
+		"soft copies pushed per hot key (needs -hot-key-threshold > 0)")
+	softReplicaTTL := flag.Duration("soft-replica-ttl", 30*time.Second,
+		"lifetime of a pushed soft copy at its holder")
+	softReplicaEvery := flag.Duration("soft-replica-interval", 5*time.Second,
+		"hot-key promotion sweep interval (0 = manual only; needs -hot-key-threshold > 0)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve the telemetry registry at http://<addr>/metrics (empty = off)")
 	serveMode := flag.Bool("serve", false,
@@ -75,6 +89,13 @@ func main() {
 		AdmissionMinService: *admissionFloor,
 		DataDir:             *dataDir,
 		AntiEntropyInterval: *antiEntropy,
+		ResultCache:         *resultCache,
+		PrefixCache:         *prefixCache,
+		CacheTTL:            *cacheTTL,
+		HotKeyThreshold:     *hotKeyThreshold,
+		SoftReplicas:        *softReplicas,
+		SoftReplicaTTL:      *softReplicaTTL,
+		SoftReplicaInterval: *softReplicaEvery,
 	}
 	switch strings.ToLower(*strategy) {
 	case "hdk":

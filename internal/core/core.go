@@ -34,6 +34,7 @@ import (
 	"repro/internal/postings"
 	"repro/internal/qdi"
 	"repro/internal/ranking"
+	"repro/internal/readcache"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/textproc"
@@ -142,6 +143,35 @@ type Config struct {
 	// sweep — tests and single-copy peers don't want a timer goroutine.
 	// Ignored when ReplicationFactor <= 1.
 	AntiEntropyInterval time.Duration
+	// ResultCache bounds the peer's client-side cache of resolved top-k
+	// result sets (entries). A repeat query with the same terms, k and
+	// options is answered locally while the entry is younger than
+	// CacheTTL, no local write happened, and the ring has not changed.
+	// 0 (the default) disables it. Per-query opt-out: WithResultCache.
+	ResultCache int
+	// PrefixCache bounds the peer's client-side cache of streamed
+	// posting-prefix chunks (entries), consulted by top-k session opens
+	// and refilled by finished sessions. 0 (the default) disables it.
+	PrefixCache int
+	// CacheTTL bounds both caches' staleness against remote writes this
+	// peer never observed (default 2s when either cache is on).
+	CacheTTL time.Duration
+	// HotKeyThreshold is the decayed per-key read rate at which a key
+	// counts as hot: owners push soft replicas of it to non-successor
+	// peers, and readers interleave those soft copies into hedged
+	// streamed reads. 0 (the default) disables soft replication.
+	HotKeyThreshold float64
+	// SoftReplicas is the number of soft copies per hot key (default 2).
+	SoftReplicas int
+	// SoftReplicaTTL is the lifetime of an announced soft copy
+	// (default 30s); the owner re-announces while the key stays hot.
+	SoftReplicaTTL time.Duration
+	// SoftReplicaInterval enables the background promotion sweep: every
+	// interval the peer pushes soft replicas for its owned hot keys and
+	// expires the dead copies it holds for others. 0 (the default) means
+	// no timer goroutine — call PromoteHotKeys explicitly. Ignored when
+	// HotKeyThreshold is 0.
+	SoftReplicaInterval time.Duration
 }
 
 // DefaultConcurrency is the fan-out width used when Config.Concurrency
@@ -172,6 +202,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Lattice.Concurrency == 0 {
 		c.Lattice.Concurrency = c.Concurrency
+	}
+	if (c.ResultCache > 0 || c.PrefixCache > 0) && c.CacheTTL <= 0 {
+		c.CacheTTL = 2 * time.Second
 	}
 }
 
@@ -225,6 +258,11 @@ type Peer struct {
 
 	tel    *telemetry.Registry
 	scount searchCounters
+
+	// rcache caches resolved top-k result sets per (query shape, ring
+	// epoch); nil when Config.ResultCache is 0. Invalidated by ring
+	// changes, local writes, and CacheTTL.
+	rcache *readcache.Cache
 
 	closeOnce sync.Once
 	closeErr  error
@@ -289,6 +327,21 @@ func OpenPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Con
 		published: make(map[uint32]bool),
 	}
 	p.qdiMgr.SetEnabled(cfg.Strategy == StrategyQDI)
+	if cfg.PrefixCache > 0 || cfg.HotKeyThreshold > 0 {
+		// Before Join (OpenPeer always precedes it): the hot-key path
+		// registers a ring-change callback for eager cache invalidation.
+		gidx.EnableHotKeyPath(globalindex.HotKeyConfig{
+			PrefixCache:    cfg.PrefixCache,
+			PrefixCacheTTL: cfg.CacheTTL,
+			HotThreshold:   cfg.HotKeyThreshold,
+			SoftReplicas:   cfg.SoftReplicas,
+			SoftReplicaTTL: cfg.SoftReplicaTTL,
+		})
+	}
+	if cfg.ResultCache > 0 {
+		p.rcache = readcache.New(cfg.ResultCache, cfg.CacheTTL)
+		node.OnRingChange(func(dht.RingChange) { p.rcache.Clear() })
+	}
 	p.tel = p.buildTelemetry()
 	p.registerL5Handlers(d)
 	if cfg.ReplicationFactor > 1 {
@@ -300,7 +353,43 @@ func OpenPeer(id ids.ID, ep transport.Endpoint, d *transport.Dispatcher, cfg Con
 			go p.antiEntropyLoop(root, cfg.AntiEntropyInterval)
 		}
 	}
+	if cfg.HotKeyThreshold > 0 && cfg.SoftReplicaInterval > 0 {
+		go p.softReplicaLoop(root, cfg.SoftReplicaInterval)
+	}
 	return p, nil
+}
+
+// softReplicaLoop runs the background hot-key promotion sweep until ctx
+// — the peer's root context, cancelled by Close — expires. Each tick
+// pushes soft replicas for owned keys hot enough to cross the threshold
+// and drops the dead copies this peer holds for others.
+func (p *Peer) softReplicaLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.gidx.PromoteHotKeys(ctx)
+			p.gidx.ExpireSoftCopies()
+		}
+	}
+}
+
+// PromoteHotKeys runs one hot-key promotion sweep immediately (see
+// Config.HotKeyThreshold) and returns how many keys were promoted. The
+// background loop calls the same machinery when SoftReplicaInterval is
+// set; explicit calls let tests and embedders control sweep timing.
+func (p *Peer) PromoteHotKeys(ctx context.Context) (int, error) {
+	ctx, cancel, err := p.opCtx(ctx)
+	defer cancel()
+	if err != nil {
+		return 0, err
+	}
+	n := p.gidx.PromoteHotKeys(ctx)
+	p.gidx.ExpireSoftCopies()
+	return n, nil
 }
 
 // antiEntropyLoop runs the background replica-repair sweep until ctx —
@@ -500,6 +589,7 @@ func (p *Peer) RemoveDocument(ctx context.Context, id uint32) error {
 	}
 	p.local.Remove(id)
 	p.docs.Remove(id)
+	p.rcache.Clear() // a local write may change any cached result set
 	return nil
 }
 
@@ -561,6 +651,7 @@ func (p *Peer) PublishIndex(ctx context.Context) (hdk.Result, error) {
 	if err != nil {
 		return hdk.Result{}, err
 	}
+	p.rcache.Clear() // a local publish may change any cached result set
 	return pub.Run(ctx)
 }
 
@@ -642,6 +733,28 @@ func (p *Peer) doSearch(ctx context.Context, query string, opts ...SearchOption)
 		topK = o.topK
 		if !streaming && (latCfg.MaxResultsPerProbe == 0 || o.topK < latCfg.MaxResultsPerProbe) {
 			latCfg.MaxResultsPerProbe = o.topK
+		}
+	}
+
+	// Resolved-result cache: a repeat query with the same shape served
+	// while nothing observable changed (same ring epoch, no local write,
+	// inside the TTL) skips the whole fan-out. HDK only — a QDI search
+	// has the side effect of on-demand indexing, which a cached answer
+	// must not suppress.
+	useCache := p.rcache != nil && o.strategy == StrategyHDK && !o.noResultCache
+	var ckey string
+	var cepoch uint64
+	if useCache {
+		ckey = resultCacheKey(terms, topK, streaming, o.consistency)
+		cepoch = p.node.RingEpoch()
+		if v, ok := p.rcache.Get(ckey, cepoch); ok {
+			cr := v.(*cachedResults)
+			resp.Results = append([]Result(nil), cr.results...)
+			qt.Candidates = cr.candidates
+			if o.trace {
+				qt.Spans.SetAttr("result_cache", "hit")
+			}
+			return resp, nil
 		}
 	}
 
@@ -743,7 +856,38 @@ func (p *Peer) doSearch(ctx context.Context, query string, opts ...SearchOption)
 		}
 		qt.Activated = n
 	}
+	if useCache && !resp.Partial {
+		// Stamped with the epoch captured BEFORE the fan-out: a ring
+		// change mid-query makes the entry dead on arrival rather than
+		// laundering a mixed-epoch answer as current.
+		p.rcache.Put(ckey, cepoch, &cachedResults{
+			results:    append([]Result(nil), resp.Results...),
+			candidates: qt.Candidates,
+		})
+	}
 	return resp, nil
+}
+
+// cachedResults is one result-cache entry: the presented result set of a
+// complete, non-partial search.
+type cachedResults struct {
+	results    []Result
+	candidates int
+}
+
+// resultCacheKey canonicalizes everything that shapes a search answer.
+// Terms arrive already unique; sorting makes the key order-independent,
+// exactly like the global index's canonical key strings.
+func resultCacheKey(terms []string, topK int, streaming bool, rc ReadConsistency) string {
+	sorted := append([]string(nil), terms...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	for _, t := range sorted {
+		b.WriteString(t)
+		b.WriteByte(0)
+	}
+	fmt.Fprintf(&b, "|k=%d|s=%t|c=%d", topK, streaming, int(rc))
+	return b.String()
 }
 
 // presentLocal renders ranked references without contacting their

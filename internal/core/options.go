@@ -87,6 +87,9 @@ type searchOpts struct {
 	trace        bool
 	streaming    bool
 	streamingSet bool
+	// noResultCache bypasses the peer's resolved-result cache for this
+	// query (see Config.ResultCache and WithResultCache).
+	noResultCache bool
 }
 
 // SearchOption customizes one Search call; the zero set reproduces the
@@ -173,4 +176,13 @@ func WithStrategy(s Strategy) SearchOption {
 // shed it).
 func WithTrace(enabled bool) SearchOption {
 	return func(o *searchOpts) { o.trace = enabled }
+}
+
+// WithResultCache overrides the peer-level resolved-result cache for one
+// query: WithResultCache(false) forces a fresh fan-out even when
+// Config.ResultCache is on (freshness-critical callers), and
+// WithResultCache(true) restores the default opt-in. It has no effect
+// when the peer has no cache configured.
+func WithResultCache(enabled bool) SearchOption {
+	return func(o *searchOpts) { o.noResultCache = !enabled }
 }

@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/hdk"
+	"repro/internal/sim"
+)
+
+// cacheNet builds a small HDK network with the resolved-result cache on.
+func cacheNet(t *testing.T) *sim.Network {
+	t.Helper()
+	n := sim.NewNetwork(sim.Options{
+		NumPeers: 8,
+		Seed:     21,
+		Core: core.Config{
+			Strategy:    core.StrategyHDK,
+			HDK:         hdk.Config{DFMax: 20, SMax: 3, Window: 30, TruncK: 50},
+			TopK:        10,
+			ResultCache: 16,
+			CacheTTL:    time.Minute,
+		},
+	})
+	c := corpus.Generate(corpus.Params{NumDocs: 200, VocabSize: 300, MeanDocLen: 40, Seed: 6})
+	if err := n.Distribute(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.PublishStats(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := n.PublishHDK(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestResultCacheServesRepeatQueries(t *testing.T) {
+	n := cacheNet(t)
+	p := n.Peers[0]
+	w := corpus.GenerateWorkload(n.Collection, corpus.WorkloadParams{NumQueries: 20, MaxTerms: 2, Seed: 4})
+
+	// Find a query whose answer is non-empty and costs network traffic.
+	var query string
+	for _, q := range w.Queries {
+		before := n.Net.Meter().Snapshot().Messages
+		resp, err := p.Search(context.Background(), q.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) > 0 && n.Net.Meter().Snapshot().Messages > before {
+			query = q.Text()
+			break
+		}
+	}
+	if query == "" {
+		t.Fatal("no metered query with results in the workload")
+	}
+
+	first, err := p.Search(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The repeat is served from the cache: zero messages, same answer.
+	before := n.Net.Meter().Snapshot().Messages
+	second, err := p.Search(context.Background(), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Net.Meter().Snapshot().Messages - before; got != 0 {
+		t.Fatalf("cached repeat cost %d messages, want 0", got)
+	}
+	if len(second.Results) != len(first.Results) {
+		t.Fatalf("cached answer has %d results, fresh had %d", len(second.Results), len(first.Results))
+	}
+	for i := range first.Results {
+		if second.Results[i] != first.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, second.Results[i], first.Results[i])
+		}
+	}
+
+	// WithResultCache(false) forces the fan-out.
+	before = n.Net.Meter().Snapshot().Messages
+	if _, err := p.Search(context.Background(), query, core.WithResultCache(false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Net.Meter().Snapshot().Messages - before; got == 0 {
+		t.Fatal("WithResultCache(false) was still served from the cache")
+	}
+
+	// A different shape (other k) is a different entry: first miss, then hit.
+	before = n.Net.Meter().Snapshot().Messages
+	if _, err := p.Search(context.Background(), query, core.WithTopK(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Net.Meter().Snapshot().Messages - before; got == 0 {
+		t.Fatal("changed topK must not share the cached entry")
+	}
+	before = n.Net.Meter().Snapshot().Messages
+	if _, err := p.Search(context.Background(), query, core.WithTopK(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Net.Meter().Snapshot().Messages - before; got != 0 {
+		t.Fatalf("repeat topK=3 cost %d messages, want 0", got)
+	}
+}
+
+func TestResultCacheInvalidatedByLocalWrite(t *testing.T) {
+	n := cacheNet(t)
+	p := n.Peers[1]
+	w := corpus.GenerateWorkload(n.Collection, corpus.WorkloadParams{NumQueries: 5, MaxTerms: 2, Seed: 8})
+	query := w.Queries[0].Text()
+
+	if _, err := p.Search(context.Background(), query); err != nil {
+		t.Fatal(err)
+	}
+	// Publishing new local content clears the cache: the next repeat
+	// must re-resolve instead of serving a pre-write answer.
+	if _, err := p.AddFile("new.txt", []byte("entirely fresh content words")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PublishIndex(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := n.Net.Meter().Snapshot().Messages
+	if _, err := p.Search(context.Background(), query); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Net.Meter().Snapshot().Messages - before; got == 0 {
+		t.Fatal("post-publish repeat served a stale cached result set")
+	}
+}

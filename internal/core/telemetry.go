@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/readcache"
 	"repro/internal/telemetry"
 )
 
@@ -201,6 +202,50 @@ func (p *Peer) buildTelemetry() *telemetry.Registry {
 		"lattice probes issued across all searches",
 		func(emit func(float64, ...telemetry.Label)) {
 			emit(float64(p.scount.probes.Load()))
+		})
+
+	// Hot-key read path: both client caches report under one family per
+	// verb, labelled by cache. Registered unconditionally — with the
+	// caches off every series reads 0 and the vocabulary stays identical.
+	emitCaches := func(emit func(float64, ...telemetry.Label), pick func(readcache.Stats) int64) {
+		emit(float64(pick(p.rcache.CounterStats())), telemetry.L("cache", "result"))
+		emit(float64(pick(p.gidx.PrefixCacheStats())), telemetry.L("cache", "prefix"))
+	}
+	r.RegisterCounter("alvis_readcache_hits_total",
+		"reads served from a client-side cache (result sets and posting prefixes)",
+		func(emit func(float64, ...telemetry.Label)) {
+			emitCaches(emit, func(s readcache.Stats) int64 { return s.Hits })
+		})
+	r.RegisterCounter("alvis_readcache_misses_total",
+		"client-side cache consults that went to the network",
+		func(emit func(float64, ...telemetry.Label)) {
+			emitCaches(emit, func(s readcache.Stats) int64 { return s.Misses })
+		})
+	r.RegisterCounter("alvis_readcache_evictions_total",
+		"client-side cache entries evicted by the capacity bound",
+		func(emit func(float64, ...telemetry.Label)) {
+			emitCaches(emit, func(s readcache.Stats) int64 { return s.Evictions })
+		})
+	r.RegisterCounter("alvis_readcache_invalidations_total",
+		"client-side cache entries dropped by writes, TTL, or ring changes",
+		func(emit func(float64, ...telemetry.Label)) {
+			emitCaches(emit, func(s readcache.Stats) int64 { return s.Invalidations })
+		})
+
+	r.RegisterCounter("alvis_softreplica_announced_total",
+		"soft-replica announces accepted by placement peers for this owner's hot keys",
+		func(emit func(float64, ...telemetry.Label)) {
+			emit(float64(p.gidx.SoftReplicaStats().Announced))
+		})
+	r.RegisterCounter("alvis_softreplica_served_total",
+		"streamed chunks this peer served from soft copies it holds",
+		func(emit func(float64, ...telemetry.Label)) {
+			emit(float64(p.gidx.SoftReplicaStats().Served))
+		})
+	r.RegisterCounter("alvis_softreplica_expired_total",
+		"soft copies dropped by TTL, ring-epoch change, or holder eviction",
+		func(emit func(float64, ...telemetry.Label)) {
+			emit(float64(p.gidx.SoftReplicaStats().Expired))
 		})
 
 	return r

@@ -164,6 +164,7 @@ func (ix *Index) handleMultiGet(ctx context.Context, _ transport.Addr, msgType u
 	w := wire.NewWriter(64 * serve)
 	w.Uvarint(uint64(serve))
 	for i := 0; i < serve; i++ {
+		ix.observeRead(keys[i])
 		list, found, wantIndex := ix.store.Get(keys[i], maxes[i])
 		w.Bool(found)
 		w.Bool(wantIndex)
@@ -335,6 +336,7 @@ func (ix *Index) MultiPut(ctx context.Context, items []PutItem, workers int) ([]
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
+		ix.pcache.Invalidate(keys[i]) // write watermark: never serve a pre-write prefix
 	}
 	out := make([]int, len(items))
 	err := ix.runBatch(ctx, keys, workers, MsgMultiPut, true, nil,
@@ -359,6 +361,7 @@ func (ix *Index) MultiAppend(ctx context.Context, items []AppendItem, workers in
 	keys := make([]string, len(items))
 	for i, it := range items {
 		keys[i] = ids.KeyString(it.Terms)
+		ix.pcache.Invalidate(keys[i]) // write watermark: never serve a pre-write prefix
 	}
 	out := make([]int, len(items))
 	err := ix.runBatch(ctx, keys, workers, MsgMultiAppend, false, nil,

@@ -110,7 +110,11 @@ func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
 		t.Fatal("missing key reported found")
 	}
 
-	// The same fetches one at a time must cost strictly more round trips.
+	// The same fetches one at a time must cost meaningfully more round
+	// trips. Sequential singles route through the read-path resolver
+	// cache (repeat lookups skip the ring walk), so the margin is 1.5x
+	// rather than the 2x of the pre-cache uncached-lookup era — batching
+	// still wins on the data round trips themselves.
 	before = net.Meter().Snapshot().Messages
 	for _, g := range gets {
 		if _, _, _, err := idxs[3].Get(context.Background(), g.Terms, g.MaxResults, ReadPrimary); err != nil {
@@ -118,8 +122,8 @@ func TestMultiPutAndMultiGetEndToEnd(t *testing.T) {
 		}
 	}
 	seqMsgs := net.Meter().Snapshot().Messages - before
-	if batchMsgs*2 > seqMsgs {
-		t.Fatalf("batched gets cost %d messages, sequential %d (want >=2x saving)", batchMsgs, seqMsgs)
+	if batchMsgs*3 > seqMsgs*2 {
+		t.Fatalf("batched gets cost %d messages, sequential %d (want >=1.5x saving)", batchMsgs, seqMsgs)
 	}
 	t.Logf("MultiGet %d messages vs sequential %d", batchMsgs, seqMsgs)
 }

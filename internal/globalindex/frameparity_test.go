@@ -37,6 +37,8 @@ var indexMsgTypes = map[string]uint8{
 	"MsgReplSync":        MsgReplSync,
 	"MsgRangeManifest":   MsgRangeManifest,
 	"MsgFetchEntries":    MsgFetchEntries,
+	"MsgSoftAnnounce":    MsgSoftAnnounce,
+	"MsgSoftGet":         MsgSoftGet,
 }
 
 // TestFrameParityGlobalIndex proves every index message type has a live

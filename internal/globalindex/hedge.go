@@ -9,6 +9,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // This file implements the load-aware / hedged side of replica reads
@@ -96,14 +97,36 @@ func (ix *Index) readChain(ctx context.Context, seed string, primary transport.A
 	return chain
 }
 
-// callHedged fires msg at the targets in preference order with hedging:
-// targets[0] immediately, and another target every time `delay` passes
-// without a winner or the newest attempt fails fast (shed, unreachable,
-// remote error). The first success wins and every other in-flight
-// attempt is cancelled through a shared child context; their goroutines
-// drain into a buffered channel, so nothing leaks. If every target
-// fails, the last error is returned.
+// hedgeTarget is one copy a hedged read may try: a hard target (the
+// primary or a successor replica, addressed with the caller's frame) or
+// a soft one (a popularity replica, addressed with MsgSoftGet — whose
+// request layout the streamed top-k frames already share).
+type hedgeTarget struct {
+	addr transport.Addr
+	soft bool
+}
+
+// callHedged is callHedgedTargets over hard targets only — the
+// unchanged entry point of the classic hedged read paths.
 func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg uint8, body []byte, delay time.Duration) (resp []byte, served transport.Addr, err error) {
+	hts := make([]hedgeTarget, len(targets))
+	for i, t := range targets {
+		hts[i] = hedgeTarget{addr: t}
+	}
+	return ix.callHedgedTargets(ctx, hts, msg, body, delay)
+}
+
+// callHedgedTargets fires at the targets in preference order with
+// hedging: targets[0] immediately, and another target every time
+// `delay` passes without a winner or the newest attempt fails fast
+// (shed, unreachable, remote error). Hard targets get msg, soft targets
+// get MsgSoftGet — a soft copy that misses any key answers with an
+// error, which is exactly a fast failure escalating to the next copy.
+// The first success wins and every other in-flight attempt is cancelled
+// through a shared child context; their goroutines drain into a
+// buffered channel, so nothing leaks. If every target fails, the last
+// error is returned.
+func (ix *Index) callHedgedTargets(ctx context.Context, targets []hedgeTarget, msg uint8, body []byte, delay time.Duration) (resp []byte, served transport.Addr, err error) {
 	if len(targets) == 0 {
 		return nil, "", transport.ErrUnreachable
 	}
@@ -121,10 +144,15 @@ func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg u
 	spans := make([]*telemetry.Span, len(targets))
 	launch := func(i int) {
 		as := span.NewChild("attempt")
-		as.SetAttr("peer", string(targets[i]))
+		as.SetAttr("peer", string(targets[i].addr))
+		m := msg
+		if targets[i].soft {
+			m = MsgSoftGet
+			as.SetAttr("soft", "1")
+		}
 		spans[i] = as
 		go func() {
-			_, r, e := ix.timedCall(cctx, targets[i], msg, body)
+			_, r, e := ix.timedCall(cctx, targets[i].addr, m, body)
 			ch <- attempt{idx: i, resp: r, err: e}
 		}()
 	}
@@ -143,8 +171,8 @@ func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg u
 			}
 			spans[a.idx].Finish()
 			if a.err == nil {
-				span.SetAttr("winner", string(targets[a.idx]))
-				return a.resp, targets[a.idx], nil
+				span.SetAttr("winner", string(targets[a.idx].addr))
+				return a.resp, targets[a.idx].addr, nil
 			}
 			lastErr = a.err
 			if ctx.Err() != nil {
@@ -178,6 +206,69 @@ func (ix *Index) callHedged(ctx context.Context, targets []transport.Addr, msg u
 			return nil, "", fmt.Errorf("%w: %w", transport.ErrCallInterrupted, ctx.Err())
 		}
 	}
+}
+
+// readChainWithSoft is readChain with the key's soft-placement peers
+// interleaved: the primary, its successor replicas, and the soft copies
+// derived from the key's placement points form one pool, hash-rotated
+// by the key and then latency-ranked — so repeat reads of a hot key
+// genuinely spread across hard AND soft copies instead of merely
+// hedging to them. Soft members are flagged so callHedgedTargets
+// addresses them with MsgSoftGet; a derived peer holding no live copy
+// fails fast and the hedge escalates past it.
+func (ix *Index) readChainWithSoft(ctx context.Context, key string, primary transport.Addr) []hedgeTarget {
+	addrs := []transport.Addr{primary}
+	for _, r := range ix.replicaTargets(ctx, primary) {
+		addrs = append(addrs, r.Addr)
+	}
+	isSoft := make(map[transport.Addr]bool)
+	for _, a := range ix.softTargets(ctx, key, primary) {
+		dup := false
+		for _, b := range addrs {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			addrs = append(addrs, a)
+			isSoft[a] = true
+		}
+	}
+	if len(addrs) > 1 {
+		rot := int(uint64(ids.HashString(key)) % uint64(len(addrs)))
+		rotated := make([]transport.Addr, 0, len(addrs))
+		rotated = append(rotated, addrs[rot:]...)
+		rotated = append(rotated, addrs[:rot]...)
+		addrs = rotated
+		ix.lat.Rank(addrs)
+	}
+	out := make([]hedgeTarget, len(addrs))
+	for i, a := range addrs {
+		out[i] = hedgeTarget{addr: a, soft: isSoft[a]}
+	}
+	return out
+}
+
+// hedgeTargetsFor builds the hedged preference chain for one streamed
+// read group. A single-key group whose key the local popularity tracker
+// scores at or above the hot threshold gets the soft-augmented chain;
+// everything else — multi-key groups (soft copies are per-key, a group
+// frame cannot split across them) and cold keys — gets the classic hard
+// chain. The group seed IS the single key when the group has one item,
+// which is exactly when the soft chain is usable.
+func (ix *Index) hedgeTargetsFor(ctx context.Context, seed string, primary transport.Addr, body []byte) []hedgeTarget {
+	if ix.hotRate != nil && ix.hot.threshold > 0 {
+		if wire.NewReader(body).Uvarint() == 1 && ix.hotScore(seed) >= ix.hot.threshold {
+			return ix.readChainWithSoft(ctx, seed, primary)
+		}
+	}
+	chain := ix.readChain(ctx, seed, primary)
+	out := make([]hedgeTarget, len(chain))
+	for i, a := range chain {
+		out[i] = hedgeTarget{addr: a}
+	}
+	return out
 }
 
 // dropReplicaSet forgets the cached replica set of primary; the next

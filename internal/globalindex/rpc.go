@@ -10,6 +10,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/loadstat"
 	"repro/internal/postings"
+	"repro/internal/readcache"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -36,6 +37,16 @@ type Index struct {
 	resolver *dht.Resolver
 	repl     replicator
 	lat      *loadstat.Tracker // per-peer latency EWMAs fed by timedCall
+
+	// Hot-key read path (softreplica.go): client-side posting-prefix
+	// cache, per-key popularity tracker, and the soft-replica state.
+	// pcache and hotRate stay nil until EnableHotKeyPath arms them —
+	// every call site is nil-safe, so the disabled path is byte-for-byte
+	// the pre-cache behaviour. hot's holder side (copies of other
+	// peers' hot keys) is live unconditionally.
+	pcache  *readcache.Cache
+	hotRate *loadstat.KeyRate
+	hot     hotKeyState
 
 	// Streamed top-k read counters (topk.go); see TopKStats.
 	topkRounds atomic.Int64
@@ -73,6 +84,8 @@ func NewWithEngine(node *dht.Node, d *transport.Dispatcher, engine StorageEngine
 	d.Handle(MsgMultiGetTopK, ix.handleTopK)
 	d.Handle(MsgMultiGetTopKAny, ix.handleTopK)
 	d.Handle(MsgGetMore, ix.handleTopK)
+	d.Handle(MsgSoftAnnounce, ix.handleSoftAnnounce)
+	d.Handle(MsgSoftGet, ix.handleSoftGet)
 	// The Multi frames shed at item granularity under admission control:
 	// an under-budget frame is served as a prefix instead of refused
 	// whole, and the client redrives only the shed suffix.
@@ -128,6 +141,7 @@ func (ix *Index) handleGet(_ context.Context, _ transport.Addr, _ uint8, body []
 	if err := r.Err(); err != nil {
 		return 0, nil, err
 	}
+	ix.observeRead(key)
 	list, found, wantIndex := ix.store.Get(key, maxResults)
 	w := wire.NewWriter(64)
 	w.Bool(found)
@@ -196,13 +210,31 @@ func encodeKeyBoundList(key string, bound, announcedDF int, list *postings.List,
 	return append([]byte(nil), w.Bytes()...)
 }
 
-// resolve finds the peer responsible for a canonical key string.
+// resolve finds the peer responsible for a canonical key string with a
+// fresh ring walk. The write paths use it: single-key write handlers do
+// not responsibility-check, so a cached stale route would silently
+// misplace a write where no lookup finds it.
 func (ix *Index) resolve(ctx context.Context, key string) (dht.Remote, error) {
 	r, _, err := ix.node.Lookup(ctx, ids.HashString(key))
 	if err != nil {
 		return dht.Remote{}, fmt.Errorf("globalindex: resolve %q: %w", key, err)
 	}
 	return r, nil
+}
+
+// resolveRead resolves a key for a READ through the caching resolver:
+// successful reads record the responsible peer per ring interval, so
+// repeat lookups for hot ranges skip the ring walk entirely. Safe for
+// reads only — a stale cached route costs one failed or misdirected
+// read that the fallover/invalidate machinery repairs, never a
+// misplaced write. The cache drops itself whenever the local ring epoch
+// moves (see dht.Resolver).
+func (ix *Index) resolveRead(ctx context.Context, key string) (dht.Remote, error) {
+	peers, err := ix.resolver.Resolve(ctx, []ids.ID{ids.HashString(key)}, 1)
+	if err != nil {
+		return dht.Remote{}, fmt.Errorf("globalindex: resolve %q: %w", key, err)
+	}
+	return peers[0], nil
 }
 
 // Put stores list under the canonical key for terms, replacing any
@@ -221,6 +253,9 @@ func (ix *Index) Append(ctx context.Context, terms []string, list *postings.List
 
 func (ix *Index) putOrAppend(ctx context.Context, msg uint8, terms []string, list *postings.List, bound, announcedDF int) (int, error) {
 	key := ids.KeyString(terms)
+	// Write watermark: a cached prefix must never outlive the key's last
+	// locally observed write.
+	ix.pcache.Invalidate(key)
 	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return 0, err
@@ -260,7 +295,8 @@ func (ix *Index) putOrAppend(ctx context.Context, msg uint8, terms []string, lis
 func (ix *Index) Get(ctx context.Context, terms []string, maxResults int, policy ReadPolicy, opts ...ReadOption) (list *postings.List, found, wantIndex bool, err error) {
 	ro := resolveReadOpts(opts)
 	key := ids.KeyString(terms)
-	peer, err := ix.resolve(ctx, key)
+	ix.observeRead(key)
+	peer, err := ix.resolveRead(ctx, key)
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -296,6 +332,11 @@ func (ix *Index) Get(ctx context.Context, terms []string, maxResults int, policy
 	}
 	_, resp, err := ix.timedCall(ctx, peer.Addr, MsgGet, w.Bytes())
 	if err != nil {
+		if ctx.Err() == nil {
+			// The cached read route may be what steered us at a dead or
+			// moved peer: drop it so the next read re-resolves.
+			ix.resolver.Invalidate(peer.Addr)
+		}
 		// The primary is unreachable: with replication on, fall over to
 		// its successor replicas before failing the read.
 		if l, f, wi, ok := ix.getFromReplicas(ctx, key, maxResults, peer, err); ok {
@@ -325,6 +366,7 @@ func decodeGetResponse(resp []byte) (list *postings.List, found, wantIndex bool,
 // Remove deletes the entry for the given term combination.
 func (ix *Index) Remove(ctx context.Context, terms []string) (bool, error) {
 	key := ids.KeyString(terms)
+	ix.pcache.Invalidate(key)
 	peer, err := ix.resolve(ctx, key)
 	if err != nil {
 		return false, err

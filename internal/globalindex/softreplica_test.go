@@ -1,0 +1,288 @@
+package globalindex
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/postings"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ownerOf returns the index of the peer responsible for key.
+func ownerOf(t *testing.T, idxs []*Index, key string) int {
+	t.Helper()
+	for i, ix := range idxs {
+		if ix.node.Responsible(ids.HashString(key)) {
+			return i
+		}
+	}
+	t.Fatalf("no peer responsible for %q", key)
+	return -1
+}
+
+func TestPromoteHotKeysInstallsSoftCopies(t *testing.T) {
+	_, idxs, _ := ring(t, 10)
+	for _, ix := range idxs {
+		ix.EnableHotKeyPath(HotKeyConfig{HotThreshold: 3, SoftReplicas: 2, SoftReplicaTTL: time.Minute})
+	}
+	terms := []string{"hotterm"}
+	list := &postings.List{Entries: []postings.Posting{post("a", 1, 3), post("b", 2, 2), post("c", 3, 1)}}
+	if _, err := idxs[0].Put(context.Background(), terms, list, 100); err != nil {
+		t.Fatal(err)
+	}
+	key := ids.KeyString(terms)
+	owner := ownerOf(t, idxs, key)
+
+	// Cold key: no promotion.
+	if n := idxs[owner].PromoteHotKeys(context.Background()); n != 0 {
+		t.Fatalf("promoted %d cold keys", n)
+	}
+
+	// Heat the key at the owner (server-side observes happen in handlers;
+	// here we drive the tracker directly) and promote.
+	for i := 0; i < 10; i++ {
+		idxs[owner].observeRead(key)
+	}
+	if n := idxs[owner].PromoteHotKeys(context.Background()); n != 1 {
+		t.Fatalf("promoted %d, want 1", n)
+	}
+	if st := idxs[owner].SoftReplicaStats(); st.Announced != 2 {
+		t.Fatalf("announced = %d, want 2", st.Announced)
+	}
+
+	// Exactly the derived targets hold copies, and never the owner.
+	targets := idxs[owner].softTargets(context.Background(), key, idxs[owner].node.Self().Addr)
+	if len(targets) != 2 {
+		t.Fatalf("derived %d soft targets, want 2", len(targets))
+	}
+	holders := map[transport.Addr]bool{}
+	for _, ix := range idxs {
+		for _, k := range ix.SoftCopyKeys() {
+			if k == key {
+				holders[ix.node.Self().Addr] = true
+			}
+		}
+	}
+	if len(holders) != 2 {
+		t.Fatalf("%d peers hold soft copies, want 2", len(holders))
+	}
+	for _, tgt := range targets {
+		if !holders[tgt] {
+			t.Fatalf("derived target %s holds no copy", tgt)
+		}
+	}
+	if holders[idxs[owner].node.Self().Addr] {
+		t.Fatal("owner must not hold a soft copy of its own key")
+	}
+
+	// A non-owner never promotes someone else's key.
+	other := (owner + 1) % len(idxs)
+	for i := 0; i < 10; i++ {
+		idxs[other].observeRead(key)
+	}
+	if n := idxs[other].PromoteHotKeys(context.Background()); n != 0 {
+		t.Fatalf("non-owner promoted %d keys", n)
+	}
+
+	// Re-promoting within the suppression window is a no-op.
+	if n := idxs[owner].PromoteHotKeys(context.Background()); n != 0 {
+		t.Fatalf("re-promoted %d inside suppression window", n)
+	}
+}
+
+func TestSoftGetServesAndFailsClosed(t *testing.T) {
+	nodes, idxs, _ := ring(t, 8)
+	for _, ix := range idxs {
+		ix.EnableHotKeyPath(HotKeyConfig{HotThreshold: 1, SoftReplicas: 2, SoftReplicaTTL: time.Minute})
+	}
+	terms := []string{"served"}
+	list := &postings.List{Entries: []postings.Posting{post("a", 1, 9), post("b", 2, 8), post("c", 3, 7), post("d", 4, 6)}}
+	if _, err := idxs[0].Put(context.Background(), terms, list, 100); err != nil {
+		t.Fatal(err)
+	}
+	key := ids.KeyString(terms)
+	owner := ownerOf(t, idxs, key)
+	for i := 0; i < 5; i++ {
+		idxs[owner].observeRead(key)
+	}
+	if n := idxs[owner].PromoteHotKeys(context.Background()); n != 1 {
+		t.Fatalf("promoted %d, want 1", n)
+	}
+	holder := idxs[owner].softTargets(context.Background(), key, idxs[owner].node.Self().Addr)[0]
+
+	// A SoftGet for the copy decodes exactly like a topK answer and
+	// serves the canonical prefix.
+	w := wire.NewWriter(64)
+	w.Uvarint(1)
+	w.String(key)
+	w.Uvarint(0) // cursor
+	w.Uvarint(2) // chunk
+	_, resp, err := nodes[0].Endpoint().Call(context.Background(), holder, MsgSoftGet, w.Bytes())
+	if err != nil {
+		t.Fatalf("soft get: %v", err)
+	}
+	r := wire.NewReader(resp)
+	if n, err := readBatchCount(r); err != nil || n != 1 {
+		t.Fatalf("batch count %d, %v", n, err)
+	}
+	a, err := readTopKAnswer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.found || len(a.entries) != 2 || a.total != 4 || a.entries[0] != list.Entries[0] {
+		t.Fatalf("soft answer %+v", a)
+	}
+	if a.served != holder {
+		t.Fatalf("served by %s, want %s", a.served, holder)
+	}
+
+	// A request touching any key without a live copy fails whole — a
+	// cache miss must escalate, never read as authoritative absence.
+	w = wire.NewWriter(64)
+	w.Uvarint(2)
+	w.String(key)
+	w.Uvarint(0)
+	w.Uvarint(2)
+	w.String("never-announced")
+	w.Uvarint(0)
+	w.Uvarint(2)
+	if _, _, err := nodes[0].Endpoint().Call(context.Background(), holder, MsgSoftGet, w.Bytes()); err == nil {
+		t.Fatal("soft get of a missing copy must fail the request")
+	}
+}
+
+func TestSoftCopyExpiry(t *testing.T) {
+	h := &hotKeyState{}
+	now := time.Unix(1000, 0)
+	h.clock = func() time.Time { return now }
+	l := &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}
+	h.install("k", 1, l, 10*time.Second, 5)
+
+	// Live: same epoch, inside TTL.
+	if _, ok := h.getPrefix("k", 0, 10, 5); !ok {
+		t.Fatal("live copy not served")
+	}
+	// The holder's ring moved: the copy is dead even inside its TTL.
+	if _, ok := h.getPrefix("k", 0, 10, 6); ok {
+		t.Fatal("epoch-stale copy served")
+	}
+	if h.expiredN.Load() != 1 {
+		t.Fatalf("expired = %d, want 1", h.expiredN.Load())
+	}
+
+	// TTL expiry via the sweep.
+	h.install("k", 1, l, 10*time.Second, 6)
+	now = now.Add(11 * time.Second)
+	if n := h.sweep(6); n != 1 {
+		t.Fatalf("sweep dropped %d, want 1", n)
+	}
+	if _, ok := h.getPrefix("k", 0, 10, 6); ok {
+		t.Fatal("TTL-expired copy served")
+	}
+}
+
+func TestSoftCopyBoundEvictsEarliestExpiring(t *testing.T) {
+	h := &hotKeyState{}
+	now := time.Unix(1000, 0)
+	h.clock = func() time.Time { return now }
+	l := &postings.List{Entries: []postings.Posting{post("a", 1, 1)}}
+	for i := 0; i < maxSoftCopies; i++ {
+		h.install(string(rune('a'+i%26))+string(rune('0'+i/26)), 1, l, time.Duration(i+1)*time.Minute, 1)
+	}
+	h.install("overflow", 1, l, time.Hour, 1)
+	if len(h.copies) != maxSoftCopies {
+		t.Fatalf("holder grew to %d copies, bound is %d", len(h.copies), maxSoftCopies)
+	}
+	if _, ok := h.copies["a0"]; ok {
+		t.Fatal("earliest-expiring copy survived the eviction")
+	}
+	if _, ok := h.copies["overflow"]; !ok {
+		t.Fatal("new copy was not installed")
+	}
+}
+
+func TestPrefixCacheServesRepeatOpens(t *testing.T) {
+	_, idxs, net := ring(t, 8)
+	reader := idxs[2]
+	reader.EnableHotKeyPath(HotKeyConfig{PrefixCache: 32, PrefixCacheTTL: time.Minute})
+	items := publishLongLists(t, idxs[0], 3, 40, 11)
+
+	sess := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	res1, err := sess.FetchPrefixes(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The repeat open is served entirely from the cache: zero messages.
+	before := net.Meter().Snapshot().Messages
+	sess2 := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	res2, err := sess2.FetchPrefixes(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Meter().Snapshot().Messages - before; got != 0 {
+		t.Fatalf("cached open cost %d messages, want 0", got)
+	}
+	for i := range res1 {
+		if !res2[i].Found || res2[i].List.Len() != res1[i].List.Len() {
+			t.Fatalf("item %d: cached prefix %+v differs from fetched %+v", i, res2[i], res1[i])
+		}
+		for j := range res1[i].List.Entries {
+			if res2[i].List.Entries[j] != res1[i].List.Entries[j] {
+				t.Fatalf("item %d entry %d differs", i, j)
+			}
+		}
+	}
+	if st := reader.PrefixCacheStats(); st.Hits < 3 {
+		t.Fatalf("cache stats %+v, want >=3 hits", st)
+	}
+
+	// A refined session must still end with the exact streamed top-k.
+	if err := sess2.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+
+	// A local write to one key invalidates exactly that entry.
+	extra := &postings.List{Entries: []postings.Posting{post("zz", 99, 5000)}}
+	if _, err := reader.Append(context.Background(), items[0].Terms, extra, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	before = net.Meter().Snapshot().Messages
+	sess3 := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	res3, err := sess3.FetchPrefixes(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Meter().Snapshot().Messages - before; got == 0 {
+		t.Fatal("post-write open served stale cache, wanted a network fetch")
+	}
+	if res3[0].List.Entries[0] != post("zz", 99, 5000) {
+		t.Fatalf("post-write prefix misses the new top posting: %+v", res3[0].List.Entries)
+	}
+}
+
+func TestPrefixCacheDisabledByDefault(t *testing.T) {
+	_, idxs, net := ring(t, 6)
+	items := publishLongLists(t, idxs[0], 2, 20, 3)
+	// Both keys live on peer 1 (fixed seeds): read from a peer that owns
+	// neither, so every fetch is a metered network call.
+	reader := idxs[3]
+	sess := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	if _, err := sess.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	before := net.Meter().Snapshot().Messages
+	sess2 := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	if _, err := sess2.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Meter().Snapshot().Messages - before; got == 0 {
+		t.Fatal("without a cache, the repeat open must hit the network")
+	}
+	if st := reader.PrefixCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", st)
+	}
+}

@@ -94,8 +94,21 @@ func (ix *Index) handleTopK(ctx context.Context, _ transport.Addr, msgType uint8
 	self := ix.node.Self().Addr
 	w := wire.NewWriter(64 * serve)
 	w.Uvarint(uint64(serve))
+	epoch := ix.node.RingEpoch()
 	for i := 0; i < serve; i++ {
+		if cursors[i] == 0 {
+			ix.observeRead(keys[i])
+		}
 		res := ix.store.GetPrefix(keys[i], cursors[i], chunks[i])
+		if !res.Found && msgType == MsgGetMore {
+			// A continuation for a key this peer does not store may still
+			// target a live soft copy here: a hedged open won by MsgSoftGet
+			// continues against the serving peer.
+			if sres, ok := ix.hot.getPrefix(keys[i], cursors[i], chunks[i], epoch); ok {
+				res = sres
+				ix.hot.servedN.Add(1)
+			}
+		}
 		writeTopKAnswer(w, self, cursors[i], res)
 	}
 	ix.disp.ObserveBatch(msgType, time.Since(start), serve)
@@ -322,6 +335,47 @@ func (s *TopKSession) fullPullReplace(ctx context.Context, st *topkKeyState) err
 	return nil
 }
 
+// cachedPrefix is a posting-prefix cache entry: one key's last known
+// chunk answer, replayable into a fresh session state exactly as the
+// wire answer it condenses. entries is immutable once cached — absorb
+// copies postings out, and fills always store a fresh copy.
+type cachedPrefix struct {
+	entries   []postings.Posting
+	truncated bool
+	wantIndex bool
+	peer      transport.Addr
+	cursor    int
+	total     int
+	bound     float64
+}
+
+// cachedPrefixOf snapshots a key state for the cache. Callers hold s.mu.
+func cachedPrefixOf(st *topkKeyState) *cachedPrefix {
+	return &cachedPrefix{
+		entries:   append([]postings.Posting(nil), st.list.Entries...),
+		truncated: st.list.Truncated,
+		wantIndex: st.wantIndex,
+		peer:      st.peer,
+		cursor:    st.cursor,
+		total:     st.total,
+		bound:     st.bound,
+	}
+}
+
+// answerOf replays the cached prefix as the chunk answer it condenses.
+func (cp *cachedPrefix) answerOf() topKAnswer {
+	return topKAnswer{
+		found:     true,
+		wantIndex: cp.wantIndex,
+		served:    cp.peer,
+		truncated: cp.truncated,
+		total:     cp.total,
+		cursor:    cp.cursor,
+		bound:     cp.bound,
+		entries:   cp.entries,
+	}
+}
+
 // FetchPrefixes opens the streamed read for one batch of probed keys and
 // returns per-item results shaped exactly like MultiGet's: List is the
 // fetched prefix carrying the STORED list's truncation mark (the lattice
@@ -331,6 +385,14 @@ func (s *TopKSession) fullPullReplace(ctx context.Context, st *topkKeyState) err
 // MsgMultiGetTopK frames — or MsgMultiGetTopKAny under ReadAnyReplica,
 // hedged across the replica chain under WithHedge — and items whose
 // group fails or sheds degrade to classic full reads.
+//
+// With the hot-key path armed, two things short-circuit the fan-out:
+// a fresh item whose key has a live posting-prefix cache entry (same
+// ring epoch, younger than the TTL, no intervening local write) absorbs
+// the cached chunk and skips the network entirely — no probe is
+// recorded at the store, the accepted cost of serving from cache — and
+// a single-key hedged group whose key is locally hot interleaves the
+// key's soft replicas into the hedge chain (hedgeTargetsFor).
 func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]GetResult, error) {
 	keys := make([]string, len(items))
 	s.mu.Lock()
@@ -341,6 +403,34 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 	}
 	s.mu.Unlock()
 
+	// Cache consult: a hit replays the cached answer into the session
+	// state; only the misses go to the network. Items that already
+	// carry session state (a repeated key within one session) keep the
+	// pre-cache behaviour of re-fetching, so the absorb dedup — not the
+	// cache — stays the arbiter of their contents.
+	epoch := s.ix.node.RingEpoch()
+	fetchIdx := make([]int, 0, len(items))
+	s.mu.Lock()
+	for i := range items {
+		s.ix.observeRead(keys[i])
+		st := sts[i]
+		if !st.found && !st.done && st.list.Len() == 0 {
+			if v, ok := s.ix.pcache.Get(keys[i], epoch); ok {
+				cp := v.(*cachedPrefix)
+				st.absorb(cp.answerOf())
+				st.wantIndex = st.wantIndex || cp.wantIndex
+				continue
+			}
+		}
+		fetchIdx = append(fetchIdx, i)
+	}
+	s.mu.Unlock()
+
+	fetchKeys := make([]string, len(fetchIdx))
+	for fi, i := range fetchIdx {
+		fetchKeys[fi] = keys[i]
+	}
+
 	msg := MsgMultiGetTopK
 	var retarget func(key string, primary dht.Remote) dht.Remote
 	var callGroup groupCaller
@@ -348,8 +438,8 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 		msg = MsgMultiGetTopKAny
 		if s.ro.hedge > 0 {
 			callGroup = func(ctx context.Context, primary transport.Addr, gmsg uint8, seed string, body []byte) ([]byte, error) {
-				chain := s.ix.readChain(ctx, seed, primary)
-				resp, _, err := s.ix.callHedged(ctx, chain, gmsg, body, s.ro.hedge)
+				targets := s.ix.hedgeTargetsFor(ctx, seed, primary, body)
+				resp, _, err := s.ix.callHedgedTargets(ctx, targets, gmsg, body, s.ro.hedge)
 				if err != nil && ctx.Err() == nil {
 					s.ix.dropReplicaSet(primary)
 				}
@@ -361,20 +451,20 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 			}
 		}
 	}
-	err := s.ix.runBatchCustom(ctx, keys, s.workers, msg, false, retarget, callGroup,
-		func(w *wire.Writer, i int) {
-			w.String(keys[i])
+	err := s.ix.runBatchCustom(ctx, fetchKeys, s.workers, msg, false, retarget, callGroup,
+		func(w *wire.Writer, fi int) {
+			w.String(fetchKeys[fi])
 			w.Uvarint(0)               // cursor: opening chunk
 			w.Uvarint(uint64(s.chunk)) // chunk size
 		},
-		func(r *wire.Reader, i int) error {
+		func(r *wire.Reader, fi int) error {
 			a, err := readTopKAnswer(r)
 			if err != nil {
 				return err
 			}
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			st := sts[i]
+			st := sts[fetchIdx[fi]]
 			st.wantIndex = st.wantIndex || a.wantIndex
 			if a.found {
 				st.absorb(a)
@@ -383,14 +473,23 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 			}
 			return nil
 		},
-		func(i int) error {
-			return s.fullPullReplace(ctx, sts[i])
+		func(fi int) error {
+			return s.fullPullReplace(ctx, sts[fetchIdx[fi]])
 		})
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ix.pcache != nil {
+		// Fill with what the network just served (finish() re-fills with
+		// the refined, longer prefixes when the session ends).
+		for _, i := range fetchIdx {
+			if st := sts[i]; st.found {
+				s.ix.pcache.Put(st.key, epoch, cachedPrefixOf(st))
+			}
+		}
+	}
 	out := make([]GetResult, len(items))
 	for i, st := range sts {
 		out[i] = GetResult{Found: st.found, WantIndex: st.wantIndex}
@@ -703,14 +802,24 @@ func (s *TopKSession) continueRound(ctx context.Context, pending []*topkKeyState
 }
 
 // finish prices the stored tails the session never shipped into the
-// bytes-saved counter.
+// bytes-saved counter, and re-fills the posting-prefix cache with the
+// session's final (refined, possibly longer) prefixes — the replayed
+// bound stays sound because it is the serving store's bound for exactly
+// this cursor position.
 func (s *TopKSession) finish() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var saved int64
+	epoch := uint64(0)
+	if s.ix.pcache != nil {
+		epoch = s.ix.node.RingEpoch()
+	}
 	for _, st := range s.states {
 		if st.found && st.total > st.cursor {
 			saved += int64(st.total-st.cursor) * approxFullPostingBytes
+		}
+		if s.ix.pcache != nil && st.found {
+			s.ix.pcache.Put(st.key, epoch, cachedPrefixOf(st))
 		}
 	}
 	if saved > 0 {

@@ -1,0 +1,142 @@
+package loadstat
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// KeyRate tracks per-key read popularity as an exponentially-decayed
+// counter: each Observe adds 1, and the accumulated count halves every
+// half-life. The score is therefore "reads in the last few half-lives",
+// which is the read-EWMA signal the hot-key promoter thresholds on —
+// keys whose score crosses HotKeyThreshold get soft replicas, and the
+// score falls back below the threshold by itself once the key cools.
+//
+// The table is bounded: inserting beyond maxKeys evicts the coldest
+// tracked key, so a zipfian tail of one-off keys cannot grow the map.
+type KeyRate struct {
+	mu      sync.Mutex
+	half    time.Duration
+	maxKeys int
+	keys    map[string]*keyRateEntry
+	clock   func() time.Time // test seam; nil = time.Now
+}
+
+type keyRateEntry struct {
+	count float64
+	last  time.Time
+}
+
+// DefaultKeyRateHalfLife is the decay half-life used when the caller
+// passes a non-positive one.
+const DefaultKeyRateHalfLife = 10 * time.Second
+
+// NewKeyRate returns a bounded decayed-count tracker. maxKeys <= 0
+// selects a default bound of 4096 keys.
+func NewKeyRate(halfLife time.Duration, maxKeys int) *KeyRate {
+	if halfLife <= 0 {
+		halfLife = DefaultKeyRateHalfLife
+	}
+	if maxKeys <= 0 {
+		maxKeys = 4096
+	}
+	return &KeyRate{half: halfLife, maxKeys: maxKeys, keys: make(map[string]*keyRateEntry)}
+}
+
+func (r *KeyRate) now() time.Time {
+	if r.clock != nil {
+		return r.clock()
+	}
+	return time.Now()
+}
+
+// decayedLocked returns e's count decayed to now without mutating it.
+func (r *KeyRate) decayedLocked(e *keyRateEntry, now time.Time) float64 {
+	dt := now.Sub(e.last)
+	if dt <= 0 {
+		return e.count
+	}
+	return e.count * math.Exp2(-float64(dt)/float64(r.half))
+}
+
+// Observe records one read of key.
+func (r *KeyRate) Observe(key string) {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.keys[key]; ok {
+		e.count = r.decayedLocked(e, now) + 1
+		e.last = now
+		return
+	}
+	if len(r.keys) >= r.maxKeys {
+		r.evictColdestLocked(now)
+	}
+	r.keys[key] = &keyRateEntry{count: 1, last: now}
+}
+
+// evictColdestLocked drops the key with the smallest decayed count;
+// ties break on key order so eviction is deterministic.
+func (r *KeyRate) evictColdestLocked(now time.Time) {
+	victim := ""
+	best := math.Inf(1)
+	for k, e := range r.keys {
+		c := r.decayedLocked(e, now)
+		if c < best || (c == best && (victim == "" || k < victim)) {
+			best, victim = c, k
+		}
+	}
+	if victim != "" {
+		delete(r.keys, victim)
+	}
+}
+
+// Score returns key's decayed read count (0 for an untracked key).
+func (r *KeyRate) Score(key string) float64 {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.keys[key]
+	if !ok {
+		return 0
+	}
+	return r.decayedLocked(e, now)
+}
+
+// Hot returns every key whose decayed count is at least threshold,
+// hottest first (key order on ties, so the result is deterministic).
+func (r *KeyRate) Hot(threshold float64) []string {
+	now := r.now()
+	r.mu.Lock()
+	type scored struct {
+		key   string
+		count float64
+	}
+	hot := make([]scored, 0)
+	for k, e := range r.keys {
+		if c := r.decayedLocked(e, now); c >= threshold {
+			hot = append(hot, scored{k, c})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].count != hot[j].count {
+			return hot[i].count > hot[j].count
+		}
+		return hot[i].key < hot[j].key
+	})
+	out := make([]string, len(hot))
+	for i, s := range hot {
+		out[i] = s.key
+	}
+	return out
+}
+
+// Len returns the number of keys currently tracked.
+func (r *KeyRate) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.keys)
+}

@@ -27,15 +27,88 @@ const ewmaWeight = 4
 // are demoted.
 const quantum = time.Millisecond
 
+// maxIdleSteps caps how many decay steps a single sweep applies to one
+// peer, so an estimate untouched for days converges in one bounded hop
+// instead of looping proportionally to wall-clock idle time.
+const maxIdleSteps = 8
+
 // Tracker is a concurrency-safe per-peer latency EWMA table.
 type Tracker struct {
-	mu   sync.Mutex
-	ewma map[transport.Addr]time.Duration
+	mu         sync.Mutex
+	ewma       map[transport.Addr]time.Duration
+	lastObs    map[transport.Addr]time.Time
+	idleWindow time.Duration    // 0 = idle decay disabled
+	clock      func() time.Time // test seam; nil = time.Now
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{ewma: make(map[transport.Addr]time.Duration)}
+	return &Tracker{
+		ewma:    make(map[transport.Addr]time.Duration),
+		lastObs: make(map[transport.Addr]time.Time),
+	}
+}
+
+// EnableIdleDecay makes estimates perishable: a peer not observed for a
+// full window has its EWMA aged one step toward the fleet median per
+// elapsed window. Without this, a peer that was slow once and then
+// stopped being selected (precisely because it ranked last) keeps its
+// stale demotion forever — the estimate can only be corrected by the
+// traffic the estimate itself repels. A non-positive window disables
+// decay again.
+func (t *Tracker) EnableIdleDecay(window time.Duration) {
+	t.mu.Lock()
+	if window < 0 {
+		window = 0
+	}
+	t.idleWindow = window
+	t.mu.Unlock()
+}
+
+func (t *Tracker) nowLocked() time.Time {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Now()
+}
+
+// decayIdleLocked ages every idle peer's EWMA toward the fleet median.
+// The median is computed from the pre-decay values so the result does
+// not depend on map iteration order.
+func (t *Tracker) decayIdleLocked() {
+	if t.idleWindow <= 0 || len(t.ewma) < 2 {
+		return
+	}
+	now := t.nowLocked()
+	vals := make([]time.Duration, 0, len(t.ewma))
+	for _, d := range t.ewma {
+		vals = append(vals, d)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	median := vals[len(vals)/2]
+	for a, d := range t.ewma {
+		last, ok := t.lastObs[a]
+		if !ok {
+			t.lastObs[a] = now
+			continue
+		}
+		steps := int(now.Sub(last) / t.idleWindow)
+		if steps <= 0 {
+			continue
+		}
+		if steps > maxIdleSteps {
+			steps = maxIdleSteps
+			// After a capped sweep the peer is treated as freshly aged;
+			// otherwise the uncredited backlog would replay next call.
+			t.lastObs[a] = now
+		} else {
+			t.lastObs[a] = last.Add(time.Duration(steps) * t.idleWindow)
+		}
+		for s := 0; s < steps; s++ {
+			d += (median - d) / ewmaWeight
+		}
+		t.ewma[a] = d
+	}
 }
 
 // Observe folds one measured round trip to addr into the peer's EWMA.
@@ -51,6 +124,7 @@ func (t *Tracker) Observe(addr transport.Addr, took time.Duration) {
 	} else {
 		t.ewma[addr] = old + (took-old)/ewmaWeight
 	}
+	t.lastObs[addr] = t.nowLocked()
 	t.mu.Unlock()
 }
 
@@ -59,6 +133,7 @@ func (t *Tracker) Observe(addr transport.Addr, took time.Duration) {
 func (t *Tracker) Estimate(addr transport.Addr) (time.Duration, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.decayIdleLocked()
 	d, ok := t.ewma[addr]
 	return d, ok
 }
@@ -68,6 +143,7 @@ func (t *Tracker) Estimate(addr transport.Addr) (time.Duration, bool) {
 func (t *Tracker) Forget(addr transport.Addr) {
 	t.mu.Lock()
 	delete(t.ewma, addr)
+	delete(t.lastObs, addr)
 	t.mu.Unlock()
 }
 
@@ -83,6 +159,7 @@ func (t *Tracker) Rank(addrs []transport.Addr) {
 	}
 	buckets := make([]int64, len(addrs))
 	t.mu.Lock()
+	t.decayIdleLocked()
 	for i, a := range addrs {
 		buckets[i] = int64(t.ewma[a] / quantum) // absent => 0
 	}
@@ -105,6 +182,7 @@ func (t *Tracker) Rank(addrs []transport.Addr) {
 func (t *Tracker) Snapshot() map[transport.Addr]time.Duration {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.decayIdleLocked()
 	out := make(map[transport.Addr]time.Duration, len(t.ewma))
 	for a, d := range t.ewma {
 		out[a] = d

@@ -1,0 +1,137 @@
+package readcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestHitMissAndLRU(t *testing.T) {
+	c := New(2, 0)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, "va")
+	c.Put("b", 1, "vb")
+	if v, ok := c.Get("a", 1); !ok || v != "va" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("c", 1, "vc") // evicts b (a was touched more recently)
+	if _, ok := c.Get("b", 1); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a", 1); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	st := c.CounterStats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(4, 0)
+	c.Put("k", 7, "v")
+	if _, ok := c.Get("k", 8); ok {
+		t.Fatal("epoch-stale entry served")
+	}
+	if _, ok := c.Get("k", 7); ok {
+		t.Fatal("stale entry must be deleted, not kept for its old epoch")
+	}
+	if st := c.CounterStats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestTTLInvalidation(t *testing.T) {
+	c := New(4, time.Second)
+	now := time.Unix(100, 0)
+	c.clock = func() time.Time { return now }
+	c.Put("k", 1, "v")
+	now = now.Add(900 * time.Millisecond)
+	if _, ok := c.Get("k", 1); !ok {
+		t.Fatal("entry expired before TTL")
+	}
+	now = now.Add(200 * time.Millisecond)
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("entry served past TTL")
+	}
+}
+
+func TestInvalidateAndClear(t *testing.T) {
+	c := New(8, 0)
+	c.Put("k", 1, "v")
+	c.Invalidate("k")
+	c.Invalidate("never-there")
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("invalidated entry served")
+	}
+	c.Put("x", 1, 1)
+	c.Put("y", 1, 2)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", c.Len())
+	}
+	if st := c.CounterStats(); st.Invalidations != 3 {
+		t.Fatalf("invalidations = %d, want 3 (one explicit + two cleared)", st.Invalidations)
+	}
+}
+
+func TestNilCacheIsSafeAndEmpty(t *testing.T) {
+	var c *Cache
+	c.Put("k", 1, "v")
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.Invalidate("k")
+	c.Clear()
+	if c.Len() != 0 || c.CounterStats() != (Stats{}) {
+		t.Fatal("nil cache not empty")
+	}
+	if New(0, 0) != nil {
+		t.Fatal("capacity 0 must return the nil (disabled) cache")
+	}
+}
+
+func TestPutReplaceUpdatesEpoch(t *testing.T) {
+	c := New(4, 0)
+	c.Put("k", 1, "old")
+	c.Put("k", 2, "new")
+	if _, ok := c.Get("k", 1); ok {
+		t.Fatal("old-epoch value served after replace")
+	}
+	c.Put("k", 2, "new") // re-fill after the epoch-1 probe deleted it
+	if v, ok := c.Get("k", 2); !ok || v != "new" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	c := New(32, 0)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%64)
+				c.Put(k, uint64(i%3), i)
+				c.Get(k, uint64(i%3))
+				if i%17 == 0 {
+					c.Invalidate(k)
+				}
+				if i%101 == 0 {
+					c.Clear()
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if c.Len() > 32 {
+		t.Fatalf("capacity breached: %d", c.Len())
+	}
+}

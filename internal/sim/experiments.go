@@ -1618,3 +1618,226 @@ func RunE13(scale Scale) (*metrics.Table, error) {
 	}
 	return t, nil
 }
+
+// e14Counters sums the hot-key read-path telemetry across every peer:
+// client-cache hits and misses (result + prefix series combined) and
+// accepted soft-replica announces.
+func e14Counters(n *Network) (hits, misses, announced float64) {
+	for _, p := range n.Peers {
+		for _, f := range p.Telemetry().Gather() {
+			var sum float64
+			for _, s := range f.Samples {
+				sum += s.Value
+			}
+			switch f.Name {
+			case "alvis_readcache_hits_total":
+				hits += sum
+			case "alvis_readcache_misses_total":
+				misses += sum
+			case "alvis_softreplica_announced_total":
+				announced += sum
+			}
+		}
+	}
+	return hits, misses, announced
+}
+
+// e14LoadSnapshot reads every peer's served-load meter (requests
+// received, presentation traffic excluded — the claim concerns
+// posting-list serving, like the bandwidth experiments).
+func e14LoadSnapshot(n *Network) []metrics.Snapshot {
+	out := make([]metrics.Snapshot, len(n.Peers))
+	for i, p := range n.Peers {
+		out[i] = n.Net.Load(p.Addr()).Snapshot()
+	}
+	return out
+}
+
+// e14LoadRatio reduces per-peer served-load deltas to the imbalance
+// metric max/mean over retrieval bytes. A pass that served everything
+// from client caches put zero load on every peer — zero imbalance, so
+// the ratio reports the ideal 1.
+func e14LoadRatio(n *Network, before, after []metrics.Snapshot) float64 {
+	loads := make([]float64, len(before))
+	var total float64
+	for i := range before {
+		d := after[i].Sub(before[i])
+		b := d.Bytes - d.PerType[core.MsgDocInfo].Bytes
+		loads[i] = float64(b)
+		total += float64(b)
+	}
+	if total <= 0 {
+		return 1
+	}
+	mean := total / float64(len(loads))
+	maxv := 0.0
+	for _, l := range loads {
+		if l > maxv {
+			maxv = l
+		}
+	}
+	return maxv / mean
+}
+
+// RunE14 measures the hot-key read path — client-side result and
+// posting-prefix caches plus popularity-triggered soft replication —
+// under zipfian repeat-query traffic, the read-side counterpart of the
+// paper's storage-side load-balancing concern. A fixed set of frontend
+// peers first issues every pool query once (steady-state warm-up; hot
+// keys get promoted to soft replicas), then a measured pass samples the
+// pool zipf(1.0) — the repeat skew of real query logs. Both arms run
+// identical network state, query sequence and read options (streamed,
+// hedged, replica-spread reads at R=3) over a wire with non-zero
+// latency; the arms differ only in the cache/soft-replica knobs. The
+// claim: with the hot-key path on, repeat-heavy traffic is answered at
+// the edge — p99 latency and the served-load imbalance (max/mean bytes
+// across peers) both drop to at most half of the disabled arm's, while
+// every query returns the identical top-10 set.
+func RunE14(scale Scale) (*metrics.Table, error) {
+	numDocs := pick(scale, 4000, 700)
+	peers := pick(scale, 64, 24)
+	numFrontends := pick(scale, 8, 4)
+	poolSize := pick(scale, 24, 12)
+	numQueries := pick(scale, 400, 120)
+	latency := pick(scale, 2*time.Millisecond, time.Millisecond)
+	const k = 10
+
+	hdkCfg := hdkConfigFor(numDocs)
+	hdkCfg.TruncK = pick(scale, 600, 300)
+	coll := corpus.Generate(corpus.Params{
+		NumDocs:    numDocs,
+		VocabSize:  numDocs,
+		ZipfS:      1.0,
+		MeanDocLen: 60,
+		NumTopics:  20,
+		Seed:       151,
+	})
+	pool := e13Queries(poolSize, pick(scale, 60, 30), 153)
+
+	// The measured sequence — (query rank, frontend) pairs — is drawn
+	// once and replayed identically by both arms.
+	zs := corpus.NewZipfSampler(1.0, len(pool))
+	rng := rand.New(rand.NewSource(155))
+	type draw struct{ rank, frontend int }
+	seq := make([]draw, numQueries)
+	for i := range seq {
+		seq[i] = draw{rank: zs.Rank(rng), frontend: rng.Intn(numFrontends)}
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("E14: hot-key caching + soft replication (zipf(1.0) repeats, %d docs, %d peers, %d frontends, %d queries)",
+			numDocs, peers, numFrontends, len(seq)),
+		"arm", "p99 ms", "load max/mean", "identical@10", "cache hit frac", "soft announced",
+	)
+
+	type armResult struct {
+		p99      time.Duration
+		loadVar  float64
+		sets     []e13TopSet
+		hitFrac  float64
+		announce float64
+	}
+	runArm := func(enabled bool) (armResult, error) {
+		cfg := core.Config{
+			Strategy:          core.StrategyHDK,
+			HDK:               hdkCfg,
+			TopK:              k,
+			ReplicationFactor: 3,
+			StreamTopK:        true,
+		}
+		if enabled {
+			cfg.ResultCache = 64
+			cfg.PrefixCache = 256
+			cfg.CacheTTL = time.Minute
+			cfg.HotKeyThreshold = 2
+			cfg.SoftReplicas = 2
+			cfg.SoftReplicaTTL = time.Minute
+		}
+		n := NewNetwork(Options{NumPeers: peers, Core: cfg, Seed: 157})
+		if err := n.Distribute(coll); err != nil {
+			return armResult{}, err
+		}
+		if err := n.PublishStats(); err != nil {
+			return armResult{}, err
+		}
+		if _, _, err := n.PublishHDK(); err != nil {
+			return armResult{}, err
+		}
+		opts := []core.SearchOption{
+			core.WithReadConsistency(core.ReadAnyReplica),
+			core.WithHedging(2 * latency),
+		}
+		// Warm-up on a latency-free wire: every frontend resolves every
+		// pool query once (and heats the owners' popularity trackers).
+		for f := 0; f < numFrontends; f++ {
+			for _, q := range pool {
+				if _, err := n.Peers[f].Search(context.Background(), q.Text(), opts...); err != nil {
+					return armResult{}, err
+				}
+			}
+		}
+		if enabled {
+			for _, p := range n.Peers {
+				if _, err := p.PromoteHotKeys(context.Background()); err != nil {
+					return armResult{}, err
+				}
+			}
+		}
+
+		n.Net.SetLatency(latency)
+		loadBefore := e14LoadSnapshot(n)
+		hist := metrics.NewHistogram()
+		sets := make([]e13TopSet, len(seq))
+		for i, d := range seq {
+			p := n.Peers[d.frontend]
+			start := time.Now()
+			resp, err := p.Search(context.Background(), pool[d.rank].Text(), opts...)
+			if err != nil {
+				return armResult{}, err
+			}
+			hist.Add(int(time.Since(start) / time.Microsecond))
+			set := e13TopSet{scores: make(map[postings.DocRef]float64, len(resp.Results))}
+			for _, r := range resp.Results {
+				set.scores[r.Ref] = r.Score
+			}
+			if len(resp.Results) > 0 {
+				set.boundary = resp.Results[len(resp.Results)-1].Score
+			}
+			sets[i] = set
+		}
+		n.Net.SetLatency(0)
+
+		hits, misses, announced := e14Counters(n)
+		hitFrac := 0.0
+		if hits+misses > 0 {
+			hitFrac = hits / (hits + misses)
+		}
+		return armResult{
+			p99:      time.Duration(hist.Percentile(99)) * time.Microsecond,
+			loadVar:  e14LoadRatio(n, loadBefore, e14LoadSnapshot(n)),
+			sets:     sets,
+			hitFrac:  hitFrac,
+			announce: announced,
+		}, nil
+	}
+
+	off, err := runArm(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := runArm(true)
+	if err != nil {
+		return nil, err
+	}
+	identical := 0
+	for i := range off.sets {
+		if e13SameTop(off.sets[i], on.sets[i]) {
+			identical++
+		}
+	}
+	nq := float64(len(seq))
+	t.AddRow("disabled", float64(off.p99)/float64(time.Millisecond), off.loadVar, 1.0, off.hitFrac, off.announce)
+	t.AddRow("hot-key path", float64(on.p99)/float64(time.Millisecond), on.loadVar,
+		float64(identical)/nq, on.hitFrac, on.announce)
+	return t, nil
+}
