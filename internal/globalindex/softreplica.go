@@ -206,11 +206,25 @@ func (h *hotKeyState) markAnnounced(key string, now time.Time) {
 	if h.announced == nil {
 		h.announced = make(map[string]time.Time)
 	}
-	if len(h.announced) >= maxAnnounceMarks {
+	if _, ok := h.announced[key]; !ok && len(h.announced) >= maxAnnounceMarks {
 		for k, at := range h.announced {
 			if now.Sub(at) >= h.ttl/2 {
 				delete(h.announced, k)
 			}
+		}
+		// Every mark still fresh: evict the oldest (key order on ties)
+		// so the bound holds even when the simultaneously-hot key set
+		// outgrows the table. Losing a mark only costs an early
+		// re-announce, never correctness.
+		for len(h.announced) >= maxAnnounceMarks {
+			victim := ""
+			var vat time.Time
+			for k, at := range h.announced {
+				if victim == "" || at.Before(vat) || (at.Equal(vat) && k < victim) {
+					victim, vat = k, at
+				}
+			}
+			delete(h.announced, victim)
 		}
 	}
 	h.announced[key] = now

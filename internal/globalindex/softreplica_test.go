@@ -2,9 +2,11 @@ package globalindex
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/dht"
 	"repro/internal/ids"
 	"repro/internal/postings"
 	"repro/internal/transport"
@@ -204,6 +206,32 @@ func TestSoftCopyBoundEvictsEarliestExpiring(t *testing.T) {
 	}
 }
 
+// TestAnnounceMarkBoundEvictsOldest pins the suppression-table bound:
+// when every existing mark is still fresh (inside ttl/2), an insert past
+// maxAnnounceMarks must evict the oldest mark, not grow the table.
+func TestAnnounceMarkBoundEvictsOldest(t *testing.T) {
+	h := &hotKeyState{ttl: time.Minute}
+	base := time.Unix(1000, 0)
+	for i := 0; i < maxAnnounceMarks; i++ {
+		h.markAnnounced(fmt.Sprintf("k%04d", i), base.Add(time.Duration(i)*time.Millisecond))
+	}
+	h.markAnnounced("overflow", base.Add(time.Second))
+	if len(h.announced) > maxAnnounceMarks {
+		t.Fatalf("announce table grew to %d, bound is %d", len(h.announced), maxAnnounceMarks)
+	}
+	if _, ok := h.announced["k0000"]; ok {
+		t.Fatal("oldest mark survived the over-bound insert")
+	}
+	if _, ok := h.announced["overflow"]; !ok {
+		t.Fatal("new mark was not recorded")
+	}
+	// Re-marking an existing key never evicts: the map does not grow.
+	h.markAnnounced("overflow", base.Add(2*time.Second))
+	if len(h.announced) > maxAnnounceMarks {
+		t.Fatalf("re-mark grew the table to %d", len(h.announced))
+	}
+}
+
 func TestPrefixCacheServesRepeatOpens(t *testing.T) {
 	_, idxs, net := ring(t, 8)
 	reader := idxs[2]
@@ -261,6 +289,96 @@ func TestPrefixCacheServesRepeatOpens(t *testing.T) {
 	}
 	if res3[0].List.Entries[0] != post("zz", 99, 5000) {
 		t.Fatalf("post-write prefix misses the new top posting: %+v", res3[0].List.Entries)
+	}
+}
+
+// TestPrefixCacheHitDoesNotResetTTL pins the rule-3 staleness bound for
+// hot keys: a session served purely from the cache must not re-Put the
+// entry at finish — a Put resets the fill time, so a key queried more
+// often than the TTL would never expire and could serve unboundedly
+// stale postings against writes this peer never observed.
+func TestPrefixCacheHitDoesNotResetTTL(t *testing.T) {
+	_, idxs, _ := ring(t, 8)
+	reader := idxs[2]
+	reader.EnableHotKeyPath(HotKeyConfig{PrefixCache: 32, PrefixCacheTTL: time.Minute})
+	// Lists short enough that the opening chunk exhausts them: the
+	// cached replay is complete and the refined session never needs a
+	// continuation, i.e. it advances purely from the cache.
+	items := publishLongLists(t, idxs[0], 2, 3, 11)
+
+	sess := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	if _, err := sess.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+	key := ids.KeyString(items[0].Terms)
+	epoch := reader.node.RingEpoch()
+	v1, ok := reader.pcache.Get(key, epoch)
+	if !ok {
+		t.Fatal("fetched session did not fill the prefix cache")
+	}
+
+	sess2 := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	if _, err := sess2.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+	v2, ok := reader.pcache.Get(key, epoch)
+	if !ok {
+		t.Fatal("cache entry vanished after the cache-hit session")
+	}
+	// Put always stores a fresh cachedPrefix copy, so pointer identity
+	// distinguishes "entry untouched" from "entry re-filled".
+	if v1 != v2 {
+		t.Fatal("pure cache-hit session re-filled the entry, resetting its TTL clock")
+	}
+}
+
+// TestFinishStampsSessionEpoch pins finish()'s epoch stamp: data fetched
+// under the session-open ring must not re-enter the cache under a newer
+// epoch after a mid-session ring change — the refill has to be dead on
+// arrival at the epoch check, exactly like FetchPrefixes' own fills.
+func TestFinishStampsSessionEpoch(t *testing.T) {
+	nodes, idxs, _ := ring(t, 8)
+	reader := idxs[2]
+	reader.EnableHotKeyPath(HotKeyConfig{PrefixCache: 32, PrefixCacheTTL: time.Minute})
+	// Long lists: Refine runs continuation rounds, so states absorb
+	// network answers after the ring change and finish() wants to refill.
+	items := publishLongLists(t, idxs[0], 2, 40, 11)
+
+	sess := reader.NewTopKSession(5, 4, 4, ReadPrimary)
+	if _, err := sess.FetchPrefixes(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip the reader's predecessor pointer: the epoch bumps and the
+	// eager ring-change callback clears the cache. Continuations are
+	// unaffected — they go straight to the serving copies.
+	epoch0 := reader.node.RingEpoch()
+	oldPred := reader.node.Predecessor()
+	var newPred dht.Remote
+	for _, n := range nodes {
+		if r := n.Self(); r.Addr != oldPred.Addr && r.Addr != reader.node.Self().Addr {
+			newPred = r
+			break
+		}
+	}
+	reader.node.InstallRing(newPred, reader.node.Successors(), reader.node.Fingers())
+	if reader.node.RingEpoch() == epoch0 {
+		t.Fatal("predecessor flip did not bump the ring epoch")
+	}
+
+	if err := sess.Refine(context.Background(), rankSumRefs); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if _, ok := reader.pcache.Get(ids.KeyString(it.Terms), reader.node.RingEpoch()); ok {
+			t.Fatal("finish() laundered old-ring data under the post-change epoch")
+		}
 	}
 }
 

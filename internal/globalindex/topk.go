@@ -221,6 +221,7 @@ type topkKeyState struct {
 	total     int // stored-list length at the serving copy
 	bound     float64
 	done      bool // every stored entry fetched (or key absent / full-pulled)
+	fetched   bool // a network answer was absorbed this session (vs. pure cache replay)
 }
 
 func (st *topkKeyState) pending() bool { return st.found && !st.done }
@@ -258,6 +259,13 @@ type TopKSession struct {
 	mu     sync.Mutex
 	states map[string]*topkKeyState
 	order  []string // insertion order, for deterministic iteration
+
+	// epoch is the ring epoch captured before the session's first
+	// fan-out; every cache refill is stamped with it, so a mid-session
+	// ring change makes the refill dead on arrival at the epoch check
+	// instead of laundering old-ring data as current.
+	epoch   uint64
+	epochOK bool
 }
 
 // NewTopKSession starts a streamed read session targeting the best k
@@ -316,6 +324,7 @@ func (s *TopKSession) fullPullReplace(ctx context.Context, st *topkKeyState) err
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st.found = found
+	st.fetched = true
 	if wantIndex {
 		st.wantIndex = true
 	}
@@ -411,6 +420,9 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 	epoch := s.ix.node.RingEpoch()
 	fetchIdx := make([]int, 0, len(items))
 	s.mu.Lock()
+	if !s.epochOK {
+		s.epoch, s.epochOK = epoch, true
+	}
 	for i := range items {
 		s.ix.observeRead(keys[i])
 		st := sts[i]
@@ -465,6 +477,7 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			st := sts[fetchIdx[fi]]
+			st.fetched = true
 			st.wantIndex = st.wantIndex || a.wantIndex
 			if a.found {
 				st.absorb(a)
@@ -483,10 +496,14 @@ func (s *TopKSession) FetchPrefixes(ctx context.Context, items []GetItem) ([]Get
 	defer s.mu.Unlock()
 	if s.ix.pcache != nil {
 		// Fill with what the network just served (finish() re-fills with
-		// the refined, longer prefixes when the session ends).
+		// the refined, longer prefixes when the session ends). The stamp
+		// is the session epoch, not this call's: a repeated key in a
+		// later generation may mix data fetched under an older ring, and
+		// a conservative old stamp only costs the refill, never serves
+		// mixed-epoch data as current.
 		for _, i := range fetchIdx {
 			if st := sts[i]; st.found {
-				s.ix.pcache.Put(st.key, epoch, cachedPrefixOf(st))
+				s.ix.pcache.Put(st.key, s.epoch, cachedPrefixOf(st))
 			}
 		}
 	}
@@ -774,6 +791,7 @@ func (s *TopKSession) continueRound(ctx context.Context, pending []*topkKeyState
 				continue
 			}
 			s.mu.Lock()
+			st.fetched = true
 			st.absorb(a)
 			s.mu.Unlock()
 		}
@@ -805,21 +823,23 @@ func (s *TopKSession) continueRound(ctx context.Context, pending []*topkKeyState
 // bytes-saved counter, and re-fills the posting-prefix cache with the
 // session's final (refined, possibly longer) prefixes — the replayed
 // bound stays sound because it is the serving store's bound for exactly
-// this cursor position.
+// this cursor position. Only states that absorbed a network answer this
+// session refill: a Put resets the entry's fill time, so re-Putting a
+// pure cache replay would let a key queried more often than the TTL
+// never expire, defeating rule 3's staleness bound against remote
+// writes for exactly the hot keys. The stamp is the epoch captured at
+// session open, so a mid-session ring change makes the refill dead on
+// arrival instead of laundering old-ring data under the new epoch.
 func (s *TopKSession) finish() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var saved int64
-	epoch := uint64(0)
-	if s.ix.pcache != nil {
-		epoch = s.ix.node.RingEpoch()
-	}
 	for _, st := range s.states {
 		if st.found && st.total > st.cursor {
 			saved += int64(st.total-st.cursor) * approxFullPostingBytes
 		}
-		if s.ix.pcache != nil && st.found {
-			s.ix.pcache.Put(st.key, epoch, cachedPrefixOf(st))
+		if s.ix.pcache != nil && st.found && st.fetched && s.epochOK {
+			s.ix.pcache.Put(st.key, s.epoch, cachedPrefixOf(st))
 		}
 	}
 	if saved > 0 {
